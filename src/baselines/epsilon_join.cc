@@ -1,0 +1,68 @@
+#include "baselines/epsilon_join.h"
+
+namespace rcj {
+namespace {
+
+struct EpsilonContext {
+  const RTree* tp;
+  const RTree* tq;
+  double eps2;  // squared threshold
+  std::vector<JoinPair>* out;
+};
+
+// Synchronized traversal. The two trees may have different heights; the
+// deeper side is descended until levels align at the leaves.
+Status JoinRec(const EpsilonContext& ctx, const Node& np, const Node& nq) {
+  if (np.is_leaf() && nq.is_leaf()) {
+    for (const LeafEntry& ep : np.points) {
+      for (const LeafEntry& eq : nq.points) {
+        if (Dist2(ep.rec.pt, eq.rec.pt) <= ctx.eps2) {
+          ctx.out->push_back(JoinPair{ep.rec, eq.rec});
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  // Descend the non-leaf side with the higher level (ties: P side).
+  const bool descend_p = !np.is_leaf() && (nq.is_leaf() || np.level >= nq.level);
+  if (descend_p) {
+    const Rect q_mbr = nq.ComputeMbr();
+    for (const BranchEntry& e : np.children) {
+      if (MinDist2(e.mbr, q_mbr) <= ctx.eps2) {
+        Result<Node> child = ctx.tp->ReadNode(e.child);
+        if (!child.ok()) return child.status();
+        RINGJOIN_RETURN_IF_ERROR(JoinRec(ctx, child.value(), nq));
+      }
+    }
+    return Status::OK();
+  }
+
+  const Rect p_mbr = np.ComputeMbr();
+  for (const BranchEntry& e : nq.children) {
+    if (MinDist2(p_mbr, e.mbr) <= ctx.eps2) {
+      Result<Node> child = ctx.tq->ReadNode(e.child);
+      if (!child.ok()) return child.status();
+      RINGJOIN_RETURN_IF_ERROR(JoinRec(ctx, np, child.value()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EpsilonJoin(const RTree& tp, const RTree& tq, double epsilon,
+                   std::vector<JoinPair>* out) {
+  out->clear();
+  if (tp.height() == 0 || tq.height() == 0 || epsilon < 0.0) {
+    return Status::OK();
+  }
+  Result<Node> root_p = tp.ReadNode(tp.root_page());
+  if (!root_p.ok()) return root_p.status();
+  Result<Node> root_q = tq.ReadNode(tq.root_page());
+  if (!root_q.ok()) return root_q.status();
+  EpsilonContext ctx{&tp, &tq, epsilon * epsilon, out};
+  return JoinRec(ctx, root_p.value(), root_q.value());
+}
+
+}  // namespace rcj

@@ -1,0 +1,23 @@
+// ε-distance join (Brinkhoff, Kriegel, Seeger, SIGMOD 1993): all pairs
+// <p, q> with dist(p, q) <= ε, computed by a synchronized depth-first
+// traversal of both R-trees. One of the baselines the paper compares RCJ's
+// result set against (Section 5.1, Fig. 10).
+#ifndef RINGJOIN_BASELINES_EPSILON_JOIN_H_
+#define RINGJOIN_BASELINES_EPSILON_JOIN_H_
+
+#include <vector>
+
+#include "baselines/join_pair.h"
+#include "common/status.h"
+#include "rtree/rtree.h"
+
+namespace rcj {
+
+/// All pairs within distance epsilon (closed predicate, as in Table 1 of
+/// the paper: dist(p, q) <= ε).
+Status EpsilonJoin(const RTree& tp, const RTree& tq, double epsilon,
+                   std::vector<JoinPair>* out);
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_BASELINES_EPSILON_JOIN_H_

@@ -1,0 +1,19 @@
+// Result type shared by the baseline spatial joins of paper Section 5.1.
+#ifndef RINGJOIN_BASELINES_JOIN_PAIR_H_
+#define RINGJOIN_BASELINES_JOIN_PAIR_H_
+
+#include "geometry/point.h"
+
+namespace rcj {
+
+/// One pair produced by a distance-based join (ε-range, k-closest-pairs,
+/// k-NN join). Unlike RcjPair it carries no derived circle — the baselines
+/// are defined purely on pairwise distance.
+struct JoinPair {
+  PointRecord p;
+  PointRecord q;
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_BASELINES_JOIN_PAIR_H_

@@ -1,0 +1,115 @@
+#include "baselines/k_closest_pairs.h"
+
+#include <queue>
+
+namespace rcj {
+namespace {
+
+// One side of a heap item: either a subtree (page) or a materialized point.
+struct Side {
+  bool is_point = false;
+  PointRecord rec;
+  uint64_t page = 0;
+  Rect mbr;       // bounding box of the subtree (or the point itself)
+  uint32_t level = 0;  // node level when !is_point
+};
+
+struct PairItem {
+  double key = 0.0;  // squared mindist between the two sides
+  Side p;
+  Side q;
+};
+
+struct PairCompare {
+  bool operator()(const PairItem& a, const PairItem& b) const {
+    return a.key > b.key;
+  }
+};
+
+double SideDist2(const Side& a, const Side& b) {
+  if (a.is_point && b.is_point) return Dist2(a.rec.pt, b.rec.pt);
+  if (a.is_point) return b.mbr.MinDist2(a.rec.pt);
+  if (b.is_point) return a.mbr.MinDist2(b.rec.pt);
+  return MinDist2(a.mbr, b.mbr);
+}
+
+Side PointSide(const PointRecord& rec) {
+  Side s;
+  s.is_point = true;
+  s.rec = rec;
+  s.mbr = Rect::FromPoint(rec.pt);
+  return s;
+}
+
+Side NodeSide(const Rect& mbr, uint64_t page, uint32_t level) {
+  Side s;
+  s.is_point = false;
+  s.mbr = mbr;
+  s.page = page;
+  s.level = level;
+  return s;
+}
+
+}  // namespace
+
+Status KClosestPairs(const RTree& tp, const RTree& tq, size_t k,
+                     std::vector<JoinPair>* out) {
+  out->clear();
+  if (k == 0 || tp.height() == 0 || tq.height() == 0) return Status::OK();
+
+  std::priority_queue<PairItem, std::vector<PairItem>, PairCompare> heap;
+  {
+    Result<Rect> bp = tp.Bounds();
+    if (!bp.ok()) return bp.status();
+    Result<Rect> bq = tq.Bounds();
+    if (!bq.ok()) return bq.status();
+    PairItem root;
+    root.p = NodeSide(bp.value(), tp.root_page(), tp.height() - 1);
+    root.q = NodeSide(bq.value(), tq.root_page(), tq.height() - 1);
+    root.key = SideDist2(root.p, root.q);
+    heap.push(root);
+  }
+
+  // Expands `side` of `item` against the fixed other side.
+  auto expand = [&heap](const RTree& tree, const Side& to_expand,
+                        const Side& fixed, bool expanded_is_p) -> Status {
+    Result<Node> node = tree.ReadNode(to_expand.page);
+    if (!node.ok()) return node.status();
+    auto push = [&heap, &fixed, expanded_is_p](const Side& s) {
+      PairItem item;
+      item.p = expanded_is_p ? s : fixed;
+      item.q = expanded_is_p ? fixed : s;
+      item.key = SideDist2(item.p, item.q);
+      heap.push(item);
+    };
+    if (node.value().is_leaf()) {
+      for (const LeafEntry& e : node.value().points) push(PointSide(e.rec));
+    } else {
+      for (const BranchEntry& e : node.value().children) {
+        push(NodeSide(e.mbr, e.child, node.value().level - 1));
+      }
+    }
+    return Status::OK();
+  };
+
+  while (!heap.empty() && out->size() < k) {
+    PairItem top = heap.top();
+    heap.pop();
+    if (top.p.is_point && top.q.is_point) {
+      out->push_back(JoinPair{top.p.rec, top.q.rec});
+      continue;
+    }
+    // Expand the side with the higher subtree (points count as height -1),
+    // so both sides reach the leaves in balanced fashion.
+    const int lp = top.p.is_point ? -1 : static_cast<int>(top.p.level);
+    const int lq = top.q.is_point ? -1 : static_cast<int>(top.q.level);
+    if (lp >= lq) {
+      RINGJOIN_RETURN_IF_ERROR(expand(tp, top.p, top.q, /*expanded_is_p=*/true));
+    } else {
+      RINGJOIN_RETURN_IF_ERROR(expand(tq, top.q, top.p, /*expanded_is_p=*/false));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rcj

@@ -1,0 +1,23 @@
+// k-closest-pairs join (Corral et al., SIGMOD 2000; Hjaltason & Samet,
+// SIGMOD 1998): the k pairs of P x Q with the smallest pairwise distances,
+// computed incrementally with a best-first priority queue over entry pairs.
+// Baseline for paper Section 5.1 (Fig. 11).
+#ifndef RINGJOIN_BASELINES_K_CLOSEST_PAIRS_H_
+#define RINGJOIN_BASELINES_K_CLOSEST_PAIRS_H_
+
+#include <vector>
+
+#include "baselines/join_pair.h"
+#include "common/status.h"
+#include "rtree/rtree.h"
+
+namespace rcj {
+
+/// The k closest pairs, emitted in ascending distance order. Returns fewer
+/// than k pairs if |P| * |Q| < k.
+Status KClosestPairs(const RTree& tp, const RTree& tq, size_t k,
+                     std::vector<JoinPair>* out);
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_BASELINES_K_CLOSEST_PAIRS_H_

@@ -1,0 +1,33 @@
+#include "baselines/knn_join.h"
+
+#include "rtree/inn_cursor.h"
+
+namespace rcj {
+
+Status KnnJoin(const RTree& tp, const RTree& tq, size_t k,
+               std::vector<JoinPair>* out) {
+  out->clear();
+  if (k == 0 || tp.height() == 0 || tq.height() == 0) return Status::OK();
+
+  Status inner_status;
+  Status visit_status = tp.VisitLeavesDepthFirst([&](const Node& leaf) {
+    for (const LeafEntry& e : leaf.points) {
+      InnCursor cursor(&tq, e.rec.pt);
+      PointRecord neighbor;
+      size_t found = 0;
+      while (found < k && cursor.Next(&neighbor)) {
+        out->push_back(JoinPair{e.rec, neighbor});
+        ++found;
+      }
+      if (!cursor.status().ok()) {
+        inner_status = cursor.status();
+        return false;  // stop the traversal
+      }
+    }
+    return true;
+  });
+  RINGJOIN_RETURN_IF_ERROR(visit_status);
+  return inner_status;
+}
+
+}  // namespace rcj

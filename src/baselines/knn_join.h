@@ -1,0 +1,22 @@
+// k-nearest-neighbor join (Xia et al., VLDB 2004): pairs <p, q> such that q
+// is among the k nearest neighbors of p in Q. Result size is k * |P| and the
+// pairs are asymmetric (paper Table 1). Baseline for Section 5.1 (Fig. 12).
+#ifndef RINGJOIN_BASELINES_KNN_JOIN_H_
+#define RINGJOIN_BASELINES_KNN_JOIN_H_
+
+#include <vector>
+
+#include "baselines/join_pair.h"
+#include "common/status.h"
+#include "rtree/rtree.h"
+
+namespace rcj {
+
+/// For every p in T_P, its k nearest neighbors in T_Q. P's leaves are
+/// visited depth-first for buffer locality.
+Status KnnJoin(const RTree& tp, const RTree& tq, size_t k,
+               std::vector<JoinPair>* out);
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_BASELINES_KNN_JOIN_H_

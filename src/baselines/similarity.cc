@@ -1,0 +1,46 @@
+#include "baselines/similarity.h"
+
+#include <unordered_set>
+
+namespace rcj {
+namespace {
+
+uint64_t PairKey(PointId p_id, PointId q_id) {
+  // ids are dataset-local and non-negative; mix them into one key.
+  return (static_cast<uint64_t>(p_id) << 32) ^
+         (static_cast<uint64_t>(q_id) & 0xffffffffull);
+}
+
+}  // namespace
+
+PrecisionRecall ComparePairSets(const std::vector<JoinPair>& candidate,
+                                const std::vector<RcjPair>& reference) {
+  PrecisionRecall out;
+  out.candidate_size = candidate.size();
+  out.reference_size = reference.size();
+
+  std::unordered_set<uint64_t> reference_keys;
+  reference_keys.reserve(reference.size() * 2);
+  for (const RcjPair& pair : reference) {
+    reference_keys.insert(PairKey(pair.p.id, pair.q.id));
+  }
+  // Candidate sets may contain duplicates in theory; count distinct hits.
+  std::unordered_set<uint64_t> hit;
+  hit.reserve(candidate.size() / 4 + 1);
+  for (const JoinPair& pair : candidate) {
+    const uint64_t key = PairKey(pair.p.id, pair.q.id);
+    if (reference_keys.count(key) != 0) hit.insert(key);
+  }
+  out.intersection = hit.size();
+  out.precision = candidate.empty()
+                      ? 0.0
+                      : 100.0 * static_cast<double>(out.intersection) /
+                            static_cast<double>(candidate.size());
+  out.recall = reference.empty()
+                   ? 0.0
+                   : 100.0 * static_cast<double>(out.intersection) /
+                         static_cast<double>(reference.size());
+  return out;
+}
+
+}  // namespace rcj

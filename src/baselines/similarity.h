@@ -1,0 +1,31 @@
+// Precision/recall between the result set of a distance-based join and the
+// RCJ result set, as defined in paper Section 5.1:
+//   precision(S', S) = |S ∩ S'| / |S'|,   recall(S', S) = |S ∩ S'| / |S|.
+#ifndef RINGJOIN_BASELINES_SIMILARITY_H_
+#define RINGJOIN_BASELINES_SIMILARITY_H_
+
+#include <vector>
+
+#include "baselines/join_pair.h"
+#include "core/rcj_types.h"
+
+namespace rcj {
+
+/// Precision/recall of a candidate pair set against a reference pair set.
+/// Values are percentages in [0, 100].
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  size_t intersection = 0;
+  size_t candidate_size = 0;
+  size_t reference_size = 0;
+};
+
+/// Pairs are identified by (p.id, q.id); both sets must come from the same
+/// P/Q id spaces.
+PrecisionRecall ComparePairSets(const std::vector<JoinPair>& candidate,
+                                const std::vector<RcjPair>& reference);
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_BASELINES_SIMILARITY_H_

@@ -1,0 +1,17 @@
+// Common compiler macros shared across the ringjoin library.
+#ifndef RINGJOIN_COMMON_MACROS_H_
+#define RINGJOIN_COMMON_MACROS_H_
+
+// Disallows the copy constructor and operator= functions.
+#define RINGJOIN_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;               \
+  TypeName& operator=(const TypeName&) = delete
+
+// Propagates an error Status from an expression returning Status.
+#define RINGJOIN_RETURN_IF_ERROR(expr)          \
+  do {                                          \
+    ::rcj::Status _status = (expr);             \
+    if (!_status.ok()) return _status;          \
+  } while (false)
+
+#endif  // RINGJOIN_COMMON_MACROS_H_

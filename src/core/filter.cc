@@ -1,0 +1,191 @@
+#include "core/filter.h"
+
+#include <queue>
+
+#include "geometry/halfplane.h"
+
+namespace rcj {
+namespace {
+
+// Heap element of the best-first traversal: either a node page or a point.
+struct HeapItem {
+  double key = 0.0;  // squared mindist from the reference point
+  bool is_point = false;
+  PointRecord rec;
+  uint64_t child_page = 0;
+  Rect mbr;  // valid for nodes
+};
+struct HeapCompare {
+  bool operator()(const HeapItem& a, const HeapItem& b) const {
+    return a.key > b.key;
+  }
+};
+using MinHeap = std::priority_queue<HeapItem, std::vector<HeapItem>, HeapCompare>;
+
+}  // namespace
+
+Status FilterCandidates(const RTree& tp, const Point& q,
+                        PointId self_skip_id,
+                        std::vector<PointRecord>* candidates) {
+  candidates->clear();
+  if (tp.height() == 0) return Status::OK();
+
+  // Pruning half-planes of the candidates found so far (Lemmas 1 and 3).
+  std::vector<PruneRegion> regions;
+
+  MinHeap heap;
+  {
+    HeapItem root;
+    root.is_point = false;
+    root.child_page = tp.root_page();
+    root.key = 0.0;
+    heap.push(root);
+  }
+
+  while (!heap.empty()) {
+    HeapItem top = heap.top();
+    heap.pop();
+
+    bool pruned = false;
+    for (const PruneRegion& region : regions) {
+      if (top.is_point ? region.PrunesPoint(top.rec.pt)
+                       : region.PrunesRect(top.mbr)) {
+        pruned = true;
+        break;
+      }
+    }
+    if (pruned) continue;
+
+    if (top.is_point) {
+      if (top.rec.id == self_skip_id) continue;  // identity in a self-join
+      candidates->push_back(top.rec);
+      regions.emplace_back(q, top.rec.pt);
+      continue;
+    }
+
+    Result<Node> node = tp.ReadNode(top.child_page);
+    if (!node.ok()) return node.status();
+    if (node.value().is_leaf()) {
+      for (const LeafEntry& e : node.value().points) {
+        HeapItem item;
+        item.is_point = true;
+        item.rec = e.rec;
+        item.key = Dist2(q, e.rec.pt);
+        heap.push(item);
+      }
+    } else {
+      for (const BranchEntry& e : node.value().children) {
+        HeapItem item;
+        item.is_point = false;
+        item.child_page = e.child;
+        item.mbr = e.mbr;
+        item.key = e.mbr.MinDist2(q);
+        heap.push(item);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BulkFilterCandidates(const RTree& tp,
+                            const std::vector<PointRecord>& qs,
+                            const BulkFilterOptions& options,
+                            std::vector<std::vector<PointRecord>>*
+                                per_q_candidates) {
+  const size_t group = qs.size();
+  per_q_candidates->assign(group, {});
+  if (group == 0 || tp.height() == 0) return Status::OK();
+
+  // Centroid of the group: the single reference point of the traversal
+  // order (Algorithm 7 examines T_P in ascending distance from it).
+  Point centroid{0.0, 0.0};
+  for (const PointRecord& q : qs) {
+    centroid.x += q.pt.x;
+    centroid.y += q.pt.y;
+  }
+  centroid.x /= static_cast<double>(group);
+  centroid.y /= static_cast<double>(group);
+
+  // anchors[i]: pruning half-planes usable for qs[i]. With symmetric
+  // pruning (Section 4.2) the sibling points of the leaf seed the anchor
+  // sets before any candidate from P has been discovered.
+  std::vector<std::vector<PruneRegion>> anchors(group);
+  if (options.symmetric_pruning) {
+    for (size_t i = 0; i < group; ++i) {
+      for (size_t j = 0; j < group; ++j) {
+        if (i == j || qs[i].pt == qs[j].pt) continue;
+        anchors[i].emplace_back(qs[i].pt, qs[j].pt);
+      }
+    }
+  }
+
+  auto pruned_for = [&](size_t i, const HeapItem& item) {
+    for (const PruneRegion& region : anchors[i]) {
+      if (item.is_point ? region.PrunesPoint(item.rec.pt)
+                        : region.PrunesRect(item.mbr)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  MinHeap heap;
+  {
+    HeapItem root;
+    root.is_point = false;
+    root.child_page = tp.root_page();
+    root.key = 0.0;
+    heap.push(root);
+  }
+
+  while (!heap.empty()) {
+    HeapItem top = heap.top();
+    heap.pop();
+
+    // Discard the entry only if it is prunable with respect to *every*
+    // group member (Algorithm 7, line 7).
+    bool prunable_for_all = true;
+    for (size_t i = 0; i < group; ++i) {
+      if (!pruned_for(i, top)) {
+        prunable_for_all = false;
+        break;
+      }
+    }
+    if (prunable_for_all) continue;
+
+    if (top.is_point) {
+      for (size_t i = 0; i < group; ++i) {
+        if (options.self_join && top.rec.id == qs[i].id) continue;
+        if (!pruned_for(i, top)) {
+          (*per_q_candidates)[i].push_back(top.rec);
+          anchors[i].emplace_back(qs[i].pt, top.rec.pt);
+        }
+      }
+      continue;
+    }
+
+    Result<Node> node = tp.ReadNode(top.child_page);
+    if (!node.ok()) return node.status();
+    if (node.value().is_leaf()) {
+      for (const LeafEntry& e : node.value().points) {
+        HeapItem item;
+        item.is_point = true;
+        item.rec = e.rec;
+        item.key = Dist2(centroid, e.rec.pt);
+        heap.push(item);
+      }
+    } else {
+      for (const BranchEntry& e : node.value().children) {
+        HeapItem item;
+        item.is_point = false;
+        item.child_page = e.child;
+        item.mbr = e.mbr;
+        item.key = e.mbr.MinDist2(centroid);
+        heap.push(item);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rcj

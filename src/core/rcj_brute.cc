@@ -1,0 +1,53 @@
+#include "core/rcj_brute.h"
+
+namespace rcj {
+
+bool PairSatisfiesRingConstraint(const PointRecord& p, const PointRecord& q,
+                                 const std::vector<PointRecord>& others,
+                                 PointId skip_id1, PointId skip_id2) {
+  for (const PointRecord& o : others) {
+    if (o.id == skip_id1 || o.id == skip_id2) continue;
+    // Exact diametral predicate; see StrictlyInsideDiametral for why the
+    // center/radius form is not used here.
+    if (StrictlyInsideDiametral(o.pt, p.pt, q.pt)) return false;
+  }
+  return true;
+}
+
+std::vector<RcjPair> BruteForceRcj(const std::vector<PointRecord>& pset,
+                                   const std::vector<PointRecord>& qset) {
+  std::vector<RcjPair> out;
+  for (const PointRecord& p : pset) {
+    for (const PointRecord& q : qset) {
+      // The enclosing circle must contain no other point of P nor of Q.
+      if (!PairSatisfiesRingConstraint(p, q, pset, p.id, kInvalidPointId)) {
+        continue;
+      }
+      if (!PairSatisfiesRingConstraint(p, q, qset, q.id, kInvalidPointId)) {
+        continue;
+      }
+      out.push_back(RcjPair::Make(p, q));
+    }
+  }
+  return out;
+}
+
+std::vector<RcjPair> BruteForceRcjSelf(const std::vector<PointRecord>& pset) {
+  std::vector<RcjPair> out;
+  for (size_t i = 0; i < pset.size(); ++i) {
+    for (size_t j = i + 1; j < pset.size(); ++j) {
+      const PointRecord& a = pset[i];
+      const PointRecord& b = pset[j];
+      if (!PairSatisfiesRingConstraint(a, b, pset, a.id, b.id)) continue;
+      // Normalize order: p.id < q.id.
+      if (a.id < b.id) {
+        out.push_back(RcjPair::Make(a, b));
+      } else {
+        out.push_back(RcjPair::Make(b, a));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rcj

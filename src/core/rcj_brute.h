@@ -1,0 +1,32 @@
+// Brute-force RCJ: the definitional O(|P| * |Q| * (|P|+|Q|)) nested-loop
+// algorithm from the paper's introduction. It is the correctness oracle for
+// every indexed algorithm and the "BRUTE" row of Table 4.
+#ifndef RINGJOIN_CORE_RCJ_BRUTE_H_
+#define RINGJOIN_CORE_RCJ_BRUTE_H_
+
+#include <vector>
+
+#include "core/rcj_types.h"
+
+namespace rcj {
+
+/// All RCJ pairs of P x Q, computed by definition (no index, no pruning).
+/// "Other points" are identified by dataset membership and id, so duplicate
+/// coordinates across P and Q behave exactly like the indexed algorithms.
+std::vector<RcjPair> BruteForceRcj(const std::vector<PointRecord>& pset,
+                                   const std::vector<PointRecord>& qset);
+
+/// Self-join variant (paper's postbox scenario): P joined with itself.
+/// Reports each unordered pair once, with p.id < q.id.
+std::vector<RcjPair> BruteForceRcjSelf(const std::vector<PointRecord>& pset);
+
+/// True iff the smallest circle enclosing (p, q) contains no point of
+/// `others` strictly inside, excluding the entries whose ids appear in
+/// (skip_id1, skip_id2). Exposed for tests.
+bool PairSatisfiesRingConstraint(const PointRecord& p, const PointRecord& q,
+                                 const std::vector<PointRecord>& others,
+                                 PointId skip_id1, PointId skip_id2);
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_CORE_RCJ_BRUTE_H_

@@ -1,0 +1,67 @@
+#include "core/rcj_bulk.h"
+
+#include "core/filter.h"
+#include "core/rcj_inj.h"
+#include "core/verify.h"
+
+namespace rcj {
+
+Status RunBulkJoin(const RTree& tq, const RTree& tp,
+                   const BulkJoinOptions& options, std::vector<RcjPair>* out,
+                   JoinStats* stats) {
+  const size_t first_result = out->size();
+
+  std::vector<uint64_t> leaf_pages;
+  RINGJOIN_RETURN_IF_ERROR(
+      LeafPagesInOrder(tq, options.order, options.random_seed, &leaf_pages));
+
+  BulkFilterOptions filter_options;
+  filter_options.symmetric_pruning = options.symmetric_pruning;
+  filter_options.self_join = options.self_join;
+
+  std::vector<PointRecord> group;
+  std::vector<std::vector<PointRecord>> per_q;
+  std::vector<CandidateCircle> circles;
+
+  for (const uint64_t page : leaf_pages) {
+    Result<Node> leaf = tq.ReadNode(page);
+    if (!leaf.ok()) return leaf.status();
+
+    group.clear();
+    for (const LeafEntry& entry : leaf.value().points) {
+      group.push_back(entry.rec);
+    }
+
+    RINGJOIN_RETURN_IF_ERROR(
+        BulkFilterCandidates(tp, group, filter_options, &per_q));
+
+    circles.clear();
+    for (size_t i = 0; i < group.size(); ++i) {
+      const PointRecord& q = group[i];
+      for (const PointRecord& p : per_q[i]) {
+        if (options.self_join && p.id >= q.id) continue;
+        circles.push_back(CandidateCircle::Make(p, q));
+      }
+    }
+    stats->candidates += circles.size();
+
+    if (options.verify) {
+      if (options.self_join) {
+        RINGJOIN_RETURN_IF_ERROR(
+            VerifyCandidates(tq, TreeSide::kQSide, true, &circles));
+      } else {
+        RINGJOIN_RETURN_IF_ERROR(
+            VerifyCandidates(tq, TreeSide::kQSide, false, &circles));
+        RINGJOIN_RETURN_IF_ERROR(
+            VerifyCandidates(tp, TreeSide::kPSide, false, &circles));
+      }
+    }
+    for (const CandidateCircle& c : circles) {
+      if (c.alive) out->push_back(RcjPair{c.p, c.q, c.circle});
+    }
+  }
+  stats->results += out->size() - first_result;
+  return Status::OK();
+}
+
+}  // namespace rcj

@@ -1,0 +1,39 @@
+// Bulk Index Nested Loop Join (paper Section 4, Algorithm 6). BIJ computes
+// RCJ pairs for all points of one T_Q leaf in a single best-first traversal
+// of T_P (Bulk_Filter, Algorithm 7); OBJ additionally seeds the pruning with
+// the leaf's own sibling points via the symmetric Lemma-5 rule (Section
+// 4.2).
+#ifndef RINGJOIN_CORE_RCJ_BULK_H_
+#define RINGJOIN_CORE_RCJ_BULK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/rcj_types.h"
+#include "rtree/rtree.h"
+
+namespace rcj {
+
+/// Options for the bulk join. Defaults give BIJ; `symmetric_pruning = true`
+/// gives OBJ.
+struct BulkJoinOptions {
+  /// Section 4.2's Lemma-5 rule (OBJ).
+  bool symmetric_pruning = false;
+  /// Disable to measure the filter step alone (paper Fig. 14).
+  bool verify = true;
+  /// T_Q and T_P are the same tree (see InjOptions::self_join).
+  bool self_join = false;
+  /// Leaf visiting order on T_Q.
+  SearchOrder order = SearchOrder::kDepthFirst;
+  uint64_t random_seed = 42;
+};
+
+/// Algorithm 6 (BIJ / OBJ). Appends results to `out`; accumulates candidate
+/// and result counts into `stats`.
+Status RunBulkJoin(const RTree& tq, const RTree& tp,
+                   const BulkJoinOptions& options, std::vector<RcjPair>* out,
+                   JoinStats* stats);
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_CORE_RCJ_BULK_H_

@@ -1,0 +1,70 @@
+#include "core/rcj_inj.h"
+
+#include <algorithm>
+#include <random>
+
+#include "core/filter.h"
+#include "core/verify.h"
+
+namespace rcj {
+
+Status LeafPagesInOrder(const RTree& tree, SearchOrder order, uint64_t seed,
+                        std::vector<uint64_t>* pages) {
+  pages->clear();
+  RINGJOIN_RETURN_IF_ERROR(tree.CollectLeafPages(pages));
+  if (order == SearchOrder::kRandom) {
+    std::mt19937_64 rng(seed);
+    std::shuffle(pages->begin(), pages->end(), rng);
+  }
+  return Status::OK();
+}
+
+Status RunInj(const RTree& tq, const RTree& tp, const InjOptions& options,
+              std::vector<RcjPair>* out, JoinStats* stats) {
+  const size_t first_result = out->size();
+  std::vector<uint64_t> leaf_pages;
+  RINGJOIN_RETURN_IF_ERROR(
+      LeafPagesInOrder(tq, options.order, options.random_seed, &leaf_pages));
+
+  std::vector<PointRecord> candidates;
+  std::vector<CandidateCircle> circles;
+  for (const uint64_t page : leaf_pages) {
+    Result<Node> leaf = tq.ReadNode(page);
+    if (!leaf.ok()) return leaf.status();
+
+    for (const LeafEntry& entry : leaf.value().points) {
+      const PointRecord& q = entry.rec;
+      RINGJOIN_RETURN_IF_ERROR(FilterCandidates(
+          tp, q.pt, options.self_join ? q.id : kInvalidPointId, &candidates));
+
+      circles.clear();
+      for (const PointRecord& p : candidates) {
+        // Self-join: each unordered pair is generated once, from its
+        // higher-id endpoint's perspective (the filter guarantees every
+        // true partner of q is present, so no pair is lost).
+        if (options.self_join && p.id >= q.id) continue;
+        circles.push_back(CandidateCircle::Make(p, q));
+      }
+      stats->candidates += circles.size();
+
+      if (options.verify) {
+        if (options.self_join) {
+          RINGJOIN_RETURN_IF_ERROR(
+              VerifyCandidates(tq, TreeSide::kQSide, true, &circles));
+        } else {
+          RINGJOIN_RETURN_IF_ERROR(
+              VerifyCandidates(tq, TreeSide::kQSide, false, &circles));
+          RINGJOIN_RETURN_IF_ERROR(
+              VerifyCandidates(tp, TreeSide::kPSide, false, &circles));
+        }
+      }
+      for (const CandidateCircle& c : circles) {
+        if (c.alive) out->push_back(RcjPair{c.p, c.q, c.circle});
+      }
+    }
+  }
+  stats->results += out->size() - first_result;
+  return Status::OK();
+}
+
+}  // namespace rcj

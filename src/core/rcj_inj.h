@@ -1,0 +1,41 @@
+// Index Nested Loop Join for RCJ (paper Section 3, Algorithms 4 & 5):
+// depth-first over the leaves of T_Q; for each point q, Filter() collects
+// candidates from T_P, then Verify() checks the enclosing circles against
+// both trees.
+#ifndef RINGJOIN_CORE_RCJ_INJ_H_
+#define RINGJOIN_CORE_RCJ_INJ_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/rcj_types.h"
+#include "rtree/rtree.h"
+
+namespace rcj {
+
+/// Options for the INJ algorithm.
+struct InjOptions {
+  /// Leaf visiting order on T_Q (Section 3.4; kRandom is the ablation).
+  SearchOrder order = SearchOrder::kDepthFirst;
+  /// Disable to measure the filter step alone (paper Fig. 14).
+  bool verify = true;
+  /// T_Q and T_P are the same tree; identity pairs are excluded and each
+  /// unordered pair is reported once (p.id < q.id).
+  bool self_join = false;
+  /// Shuffle seed for SearchOrder::kRandom.
+  uint64_t random_seed = 42;
+};
+
+/// Algorithm 5 (INJ_DF). Appends results to `out` and accumulates candidate
+/// and result counts into `stats` (I/O and time accounting is done by the
+/// caller around this call).
+Status RunInj(const RTree& tq, const RTree& tp, const InjOptions& options,
+              std::vector<RcjPair>* out, JoinStats* stats);
+
+/// Leaf pages of `tree` in the requested order (shared by INJ and BIJ).
+Status LeafPagesInOrder(const RTree& tree, SearchOrder order, uint64_t seed,
+                        std::vector<uint64_t>* pages);
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_CORE_RCJ_INJ_H_

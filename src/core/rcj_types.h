@@ -1,0 +1,82 @@
+// Shared types of the ring-constrained join (RCJ) operator.
+#ifndef RINGJOIN_CORE_RCJ_TYPES_H_
+#define RINGJOIN_CORE_RCJ_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/circle.h"
+#include "geometry/point.h"
+
+namespace rcj {
+
+/// One RCJ result: the pair and its smallest enclosing circle. The circle
+/// center is the derived "fair middleman" location and the radius its
+/// service distance (paper Section 1).
+struct RcjPair {
+  PointRecord p;
+  PointRecord q;
+  Circle circle;
+
+  static RcjPair Make(const PointRecord& p, const PointRecord& q) {
+    return RcjPair{p, q, Circle::Enclosing(p.pt, q.pt)};
+  }
+};
+
+/// A candidate pair flowing through the verification step (Algorithm 3).
+struct CandidateCircle {
+  Circle circle;
+  PointRecord p;
+  PointRecord q;
+  bool alive = true;
+
+  static CandidateCircle Make(const PointRecord& p, const PointRecord& q) {
+    return CandidateCircle{Circle::Enclosing(p.pt, q.pt), p, q, true};
+  }
+};
+
+/// Cost and cardinality counters for one join execution, mirroring the
+/// measurements of the paper's Section 5 (Table 4 candidates; I/O time =
+/// page faults x 10 ms; CPU time; node accesses).
+struct JoinStats {
+  uint64_t candidates = 0;     ///< circles submitted to verification.
+  uint64_t results = 0;        ///< surviving RCJ pairs.
+  uint64_t node_accesses = 0;  ///< logical R-tree node reads (buffer pins).
+  uint64_t page_faults = 0;    ///< buffer misses during the join.
+  double io_seconds = 0.0;     ///< page_faults x ms_per_fault / 1000.
+  double cpu_seconds = 0.0;    ///< measured wall time of the join phase.
+
+  double total_seconds() const { return io_seconds + cpu_seconds; }
+};
+
+/// Leaf visiting order for the index nested loop joins (paper Section 3.4).
+enum class SearchOrder {
+  kDepthFirst,  ///< depth-first over T_Q: exploits buffer locality.
+  kRandom,      ///< shuffled leaf order: the strawman the paper argues against.
+};
+
+/// Which RCJ algorithm to run (paper Section 5's competitors).
+enum class RcjAlgorithm {
+  kBrute,  ///< nested loop + range verification; O(|P||Q|) candidates.
+  kInj,    ///< Index Nested Loop Join (Algorithm 5).
+  kBij,    ///< Bulk Index Nested Loop Join (Algorithm 6).
+  kObj,    ///< BIJ + symmetric Lemma-5 pruning (Section 4.2).
+};
+
+inline const char* AlgorithmName(RcjAlgorithm a) {
+  switch (a) {
+    case RcjAlgorithm::kBrute:
+      return "BRUTE";
+    case RcjAlgorithm::kInj:
+      return "INJ";
+    case RcjAlgorithm::kBij:
+      return "BIJ";
+    case RcjAlgorithm::kObj:
+      return "OBJ";
+  }
+  return "?";
+}
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_CORE_RCJ_TYPES_H_

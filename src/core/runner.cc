@@ -1,0 +1,178 @@
+#include "core/runner.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/rcj_brute.h"
+#include "core/rcj_bulk.h"
+#include "core/rcj_inj.h"
+
+namespace rcj {
+namespace {
+
+Status BuildTree(RTree* tree, const std::vector<PointRecord>& records,
+                 bool bulk_load) {
+  if (bulk_load) {
+    return tree->BulkLoadStr(records);
+  }
+  for (const PointRecord& rec : records) {
+    RINGJOIN_RETURN_IF_ERROR(tree->Insert(rec));
+  }
+  return Status::OK();
+}
+
+size_t BufferPagesFor(uint64_t total_pages, double fraction,
+                      size_t min_pages) {
+  const auto pages = static_cast<size_t>(fraction *
+                                         static_cast<double>(total_pages));
+  return std::max(min_pages, pages);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RcjEnvironment>> RcjEnvironment::BuildImpl(
+    const std::vector<PointRecord>& qset,
+    const std::vector<PointRecord>& pset, bool self_join,
+    const RcjRunOptions& options) {
+  std::unique_ptr<RcjEnvironment> env(new RcjEnvironment());
+  env->self_join_ = self_join;
+  env->qset_ = qset;
+  env->pset_ = self_join ? qset : pset;
+  env->cost_model_.ms_per_fault = options.io_ms_per_fault;
+
+  // Build with a generous buffer, then shrink to the experiment size — the
+  // paper measures joins, not index construction.
+  env->buffer_ = std::make_unique<BufferManager>(1u << 20);
+
+  env->q_store_ = std::make_unique<MemPageStore>(options.page_size);
+  Result<std::unique_ptr<RTree>> tq =
+      RTree::Create(env->q_store_.get(), env->buffer_.get(),
+                    options.rtree_options);
+  if (!tq.ok()) return tq.status();
+  env->tq_ = std::move(tq.value());
+  RINGJOIN_RETURN_IF_ERROR(
+      BuildTree(env->tq_.get(), env->qset_, options.bulk_load));
+
+  if (!self_join) {
+    env->p_store_ = std::make_unique<MemPageStore>(options.page_size);
+    Result<std::unique_ptr<RTree>> tp =
+        RTree::Create(env->p_store_.get(), env->buffer_.get(),
+                      options.rtree_options);
+    if (!tp.ok()) return tp.status();
+    env->tp_ = std::move(tp.value());
+    RINGJOIN_RETURN_IF_ERROR(
+        BuildTree(env->tp_.get(), env->pset_, options.bulk_load));
+  }
+
+  RINGJOIN_RETURN_IF_ERROR(env->SetBufferFraction(options.buffer_fraction,
+                                                  options.min_buffer_pages));
+  return env;
+}
+
+Result<std::unique_ptr<RcjEnvironment>> RcjEnvironment::Build(
+    const std::vector<PointRecord>& qset,
+    const std::vector<PointRecord>& pset, const RcjRunOptions& options) {
+  return BuildImpl(qset, pset, /*self_join=*/false, options);
+}
+
+Result<std::unique_ptr<RcjEnvironment>> RcjEnvironment::BuildSelf(
+    const std::vector<PointRecord>& set, const RcjRunOptions& options) {
+  return BuildImpl(set, set, /*self_join=*/true, options);
+}
+
+uint64_t RcjEnvironment::total_tree_pages() const {
+  uint64_t total = tq_->num_pages();
+  if (!self_join_) total += tp_->num_pages();
+  return total;
+}
+
+Status RcjEnvironment::SetBufferFraction(double fraction, size_t min_pages) {
+  RINGJOIN_RETURN_IF_ERROR(buffer_->Clear());
+  return buffer_->SetCapacity(
+      BufferPagesFor(total_tree_pages(), fraction, min_pages));
+}
+
+Result<RcjRunResult> RcjEnvironment::Run(const RcjRunOptions& options) {
+  RcjRunResult result;
+  const RTree& tq = *tq_;
+  const RTree& tp = self_join_ ? *tq_ : *tp_;
+
+  // Cold start, as in the paper: each algorithm measurement begins with an
+  // empty buffer and zeroed counters.
+  RINGJOIN_RETURN_IF_ERROR(buffer_->Clear());
+  buffer_->ResetStats();
+
+  const auto start = std::chrono::steady_clock::now();
+  Status status;
+  switch (options.algorithm) {
+    case RcjAlgorithm::kBrute: {
+      // The in-memory definitional algorithm; candidates = |P| x |Q|.
+      result.stats.candidates =
+          self_join_ ? qset_.size() * (qset_.size() - 1) / 2
+                     : pset_.size() * qset_.size();
+      result.pairs = self_join_ ? BruteForceRcjSelf(qset_)
+                                : BruteForceRcj(pset_, qset_);
+      result.stats.results = result.pairs.size();
+      break;
+    }
+    case RcjAlgorithm::kInj: {
+      InjOptions inj;
+      inj.order = options.order;
+      inj.verify = options.verify;
+      inj.self_join = self_join_;
+      inj.random_seed = options.random_seed;
+      status = RunInj(tq, tp, inj, &result.pairs, &result.stats);
+      break;
+    }
+    case RcjAlgorithm::kBij:
+    case RcjAlgorithm::kObj: {
+      BulkJoinOptions bulk;
+      bulk.symmetric_pruning = options.algorithm == RcjAlgorithm::kObj;
+      bulk.verify = options.verify;
+      bulk.self_join = self_join_;
+      bulk.order = options.order;
+      bulk.random_seed = options.random_seed;
+      status = RunBulkJoin(tq, tp, bulk, &result.pairs, &result.stats);
+      break;
+    }
+  }
+  if (!status.ok()) return status;
+  const auto end = std::chrono::steady_clock::now();
+
+  const BufferStats& buffer_stats = buffer_->stats();
+  result.stats.node_accesses = buffer_stats.logical_accesses;
+  result.stats.page_faults = buffer_stats.page_faults;
+  IoCostModel model = cost_model_;
+  model.ms_per_fault = options.io_ms_per_fault;
+  result.stats.io_seconds = model.SecondsFor(buffer_stats);
+  result.stats.cpu_seconds =
+      std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+Result<RcjRunResult> RunRcj(const std::vector<PointRecord>& qset,
+                            const std::vector<PointRecord>& pset,
+                            const RcjRunOptions& options) {
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, options);
+  if (!env.ok()) return env.status();
+  return env.value()->Run(options);
+}
+
+Result<RcjRunResult> RunRcjSelf(const std::vector<PointRecord>& set,
+                                const RcjRunOptions& options) {
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::BuildSelf(set, options);
+  if (!env.ok()) return env.status();
+  return env.value()->Run(options);
+}
+
+void NormalizePairs(std::vector<RcjPair>* pairs) {
+  std::sort(pairs->begin(), pairs->end(),
+            [](const RcjPair& a, const RcjPair& b) {
+              if (a.q.id != b.q.id) return a.q.id < b.q.id;
+              return a.p.id < b.p.id;
+            });
+}
+
+}  // namespace rcj

@@ -1,0 +1,124 @@
+// High-level entry points: assemble the paper's experimental environment
+// (two R*-trees over one shared LRU buffer, sized as a fraction of the total
+// tree pages) from raw pointsets, run any RCJ algorithm with a cold buffer,
+// and report paper-style statistics.
+#ifndef RINGJOIN_CORE_RUNNER_H_
+#define RINGJOIN_CORE_RUNNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "core/rcj_types.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_manager.h"
+#include "storage/cost_model.h"
+#include "storage/page_store.h"
+
+namespace rcj {
+
+/// Knobs of one join execution, defaulting to the paper's setup: 1 KiB
+/// pages, a shared buffer of 1% of the total tree sizes, 10 ms charged per
+/// page fault, OBJ with depth-first search order.
+struct RcjRunOptions {
+  RcjAlgorithm algorithm = RcjAlgorithm::kObj;
+  SearchOrder order = SearchOrder::kDepthFirst;
+  bool verify = true;
+
+  uint32_t page_size = kDefaultPageSize;
+  /// Buffer capacity as a fraction of the page count of both trees.
+  double buffer_fraction = 0.01;
+  /// Floor on the buffer size. The join's working set is roughly both root
+  /// paths plus a few leaf pages (~2 heights + constant); below that the
+  /// pool thrashes pathologically, which the paper's (absolutely larger)
+  /// setups never hit. 32 pages = 32 KiB at the default page size.
+  size_t min_buffer_pages = 32;
+  /// STR bulk loading (fast, default) or one-by-one R* insertion.
+  bool bulk_load = true;
+  RTreeOptions rtree_options;
+
+  uint64_t random_seed = 42;
+  double io_ms_per_fault = 10.0;
+};
+
+/// Result of one join execution.
+struct RcjRunResult {
+  std::vector<RcjPair> pairs;
+  JoinStats stats;
+};
+
+/// The assembled experimental environment. Build once, then Run() any
+/// number of algorithm configurations against the same trees; every Run()
+/// starts with a cold buffer and fresh statistics, like the paper's
+/// per-algorithm measurements.
+class RcjEnvironment {
+ public:
+  /// Builds T_Q over `qset` and T_P over `pset` (note the order: the outer
+  /// loop of all algorithms iterates Q, matching the paper's INJ(T_Q, T_P)).
+  static Result<std::unique_ptr<RcjEnvironment>> Build(
+      const std::vector<PointRecord>& qset,
+      const std::vector<PointRecord>& pset, const RcjRunOptions& options);
+
+  /// Builds a single tree self-join environment (postbox scenario).
+  static Result<std::unique_ptr<RcjEnvironment>> BuildSelf(
+      const std::vector<PointRecord>& set, const RcjRunOptions& options);
+
+  RINGJOIN_DISALLOW_COPY_AND_ASSIGN(RcjEnvironment);
+
+  /// Runs `options.algorithm` cold (cleared buffer, reset stats) and
+  /// returns pairs plus paper-style statistics. The environment's trees are
+  /// reused across calls; only algorithm/order/verify/seed/io cost fields of
+  /// `options` are honored here (the structural fields were fixed at Build
+  /// time).
+  Result<RcjRunResult> Run(const RcjRunOptions& options);
+
+  const RTree& tq() const { return *tq_; }
+  const RTree& tp() const { return *tp_; }
+  BufferManager& buffer() { return *buffer_; }
+  bool self_join() const { return self_join_; }
+
+  /// Total pages of both trees — the base of the buffer-fraction sizing.
+  uint64_t total_tree_pages() const;
+
+  /// Resizes the shared buffer to `fraction` of the total tree pages
+  /// (paper Fig. 15's sweep).
+  Status SetBufferFraction(double fraction, size_t min_pages = 32);
+
+  const std::vector<PointRecord>& qset() const { return qset_; }
+  const std::vector<PointRecord>& pset() const { return pset_; }
+
+ private:
+  RcjEnvironment() = default;
+
+  static Result<std::unique_ptr<RcjEnvironment>> BuildImpl(
+      const std::vector<PointRecord>& qset,
+      const std::vector<PointRecord>& pset, bool self_join,
+      const RcjRunOptions& options);
+
+  bool self_join_ = false;
+  std::unique_ptr<MemPageStore> q_store_;
+  std::unique_ptr<MemPageStore> p_store_;  // null in self-join mode
+  std::unique_ptr<BufferManager> buffer_;
+  std::unique_ptr<RTree> tq_;
+  std::unique_ptr<RTree> tp_;  // null in self-join mode (alias tq_)
+  std::vector<PointRecord> qset_;
+  std::vector<PointRecord> pset_;
+  IoCostModel cost_model_;
+};
+
+/// One-shot convenience: build an environment and run one algorithm.
+Result<RcjRunResult> RunRcj(const std::vector<PointRecord>& qset,
+                            const std::vector<PointRecord>& pset,
+                            const RcjRunOptions& options = {});
+
+/// One-shot self-join convenience (paper's postbox scenario).
+Result<RcjRunResult> RunRcjSelf(const std::vector<PointRecord>& set,
+                                const RcjRunOptions& options = {});
+
+/// Sorts pairs by (q.id, p.id) for deterministic comparison and output.
+void NormalizePairs(std::vector<RcjPair>* pairs);
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_CORE_RUNNER_H_

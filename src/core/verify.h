@@ -1,0 +1,36 @@
+// The verification step (paper Section 3.2, Algorithm 3): checks a set of
+// candidate circles concurrently against one R-tree, killing every candidate
+// whose circle strictly contains a data point other than its own endpoints.
+//
+// Non-leaf entries are handled with the paper's three cases: disjoint MBRs
+// are skipped; an MBR with a whole face strictly inside a circle certifies
+// an invalidating point without descending (the MBR property guarantees a
+// data point on each face); intersecting MBRs are descended into.
+#ifndef RINGJOIN_CORE_VERIFY_H_
+#define RINGJOIN_CORE_VERIFY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/rcj_types.h"
+#include "rtree/rtree.h"
+
+namespace rcj {
+
+/// Which endpoint of each candidate pair lives in the tree being verified —
+/// that endpoint is on the circle boundary by construction and must not be
+/// treated as an invalidating point.
+enum class TreeSide {
+  kPSide,  ///< the tree stores dataset P: skip candidate.p.id at leaves.
+  kQSide,  ///< the tree stores dataset Q: skip candidate.q.id at leaves.
+};
+
+/// Algorithm 3. Marks `alive = false` on every candidate invalidated by a
+/// point in `tree`. With `self_join`, both endpoints' ids are skipped (the
+/// tree stores the single self-joined dataset).
+Status VerifyCandidates(const RTree& tree, TreeSide side, bool self_join,
+                        std::vector<CandidateCircle>* candidates);
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_CORE_VERIFY_H_

@@ -1,0 +1,30 @@
+#include "extensions/cost_estimator.h"
+
+namespace rcj {
+
+CostModelFit FitCostModel(const CostSample& small_run,
+                          const CostSample& large_run) {
+  CostModelFit fit;
+  const double y1 = small_run.PerQuery();
+  const double y2 = large_run.PerQuery();
+  const double h1 = static_cast<double>(small_run.tp_height);
+  const double h2 = static_cast<double>(large_run.tp_height);
+  if (h1 == h2) {
+    // Heights coincide: only the combined per-query constant is
+    // identifiable.
+    fit.a = 0.5 * (y1 + y2);
+    fit.b = 0.0;
+    return fit;
+  }
+  fit.b = (y2 - y1) / (h2 - h1);
+  fit.a = y1 - fit.b * h1;
+  return fit;
+}
+
+double PredictNodeAccesses(const CostModelFit& fit, uint64_t q_size,
+                           uint32_t tp_height) {
+  return static_cast<double>(q_size) *
+         (fit.a + fit.b * static_cast<double>(tp_height));
+}
+
+}  // namespace rcj

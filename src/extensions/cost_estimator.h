@@ -1,0 +1,59 @@
+// I/O cost model for the RCJ algorithms — the paper's first future-work
+// item ("devise accurate I/O cost models for our proposed algorithms, by
+// analyzing the effect of their pruning techniques on search space
+// reduction").
+//
+// Analysis sketch for uniform data: each query point's filter explores a
+// region whose area is independent of n (the Lemma-1 half-planes of the
+// first few candidates cap the search at a constant expected number of
+// leaf regions — the expected bichromatic Gabriel degree is a constant
+// ~4). The per-query node-access cost therefore decomposes into
+//
+//     accesses(q) = a  +  b * height(T_P)
+//
+// (a constant local-neighborhood term plus one root-path descent), and the
+// total is |Q| times that. The constants a and b depend on fanout and the
+// pruning rule (INJ vs OBJ), so the model is calibrated from two small
+// measured runs with different tree heights and then extrapolates to any
+// target size. Validation: bench_ext_costmodel.
+#ifndef RINGJOIN_EXTENSIONS_COST_ESTIMATOR_H_
+#define RINGJOIN_EXTENSIONS_COST_ESTIMATOR_H_
+
+#include <cstdint>
+
+namespace rcj {
+
+/// One measured calibration point.
+struct CostSample {
+  uint64_t q_size = 0;         ///< |Q| of the measured run.
+  uint32_t tp_height = 0;      ///< height of T_P in the measured run.
+  uint64_t node_accesses = 0;  ///< measured total node accesses.
+
+  double PerQuery() const {
+    return static_cast<double>(node_accesses) /
+           static_cast<double>(q_size);
+  }
+};
+
+/// The fitted per-query model: accesses/query = a + b * height(T_P).
+struct CostModelFit {
+  double a = 0.0;
+  double b = 0.0;
+
+  bool valid() const { return b >= 0.0 && a + b > 0.0; }
+};
+
+/// Solves the 2x2 system from two calibration runs with different tree
+/// heights. If the heights coincide the per-level term cannot be
+/// identified; the fit degenerates to a constant model (b = 0).
+CostModelFit FitCostModel(const CostSample& small_run,
+                          const CostSample& large_run);
+
+/// Predicted total node accesses for a run with `q_size` outer points
+/// against a T_P of height `tp_height`.
+double PredictNodeAccesses(const CostModelFit& fit, uint64_t q_size,
+                           uint32_t tp_height);
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_EXTENSIONS_COST_ESTIMATOR_H_

@@ -1,0 +1,153 @@
+#include "extensions/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rcj {
+namespace {
+
+struct Triangle {
+  uint32_t a, b, c;
+  bool alive = true;
+};
+
+double Orient(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+// InCircle predicate for a counter-clockwise triangle (a, b, c): positive
+// iff d lies strictly inside the circumcircle. Plain double arithmetic is
+// adequate for the randomized test inputs this oracle serves.
+double InCircle(const Point& a, const Point& b, const Point& c,
+                const Point& d) {
+  const double adx = a.x - d.x, ady = a.y - d.y;
+  const double bdx = b.x - d.x, bdy = b.y - d.y;
+  const double cdx = c.x - d.x, cdy = c.y - d.y;
+  const double ad = adx * adx + ady * ady;
+  const double bd = bdx * bdx + bdy * bdy;
+  const double cd = cdx * cdx + cdy * cdy;
+  return adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx) +
+         ad * (bdx * cdy - bdy * cdx);
+}
+
+uint64_t EdgeKey(uint32_t u, uint32_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+DelaunayTriangulation::DelaunayTriangulation(
+    const std::vector<Point>& points) {
+  num_points_ = points.size();
+  if (points.size() < 2) return;
+
+  // Working vertex array: input points plus three super-triangle vertices
+  // far outside the data bounding box.
+  std::vector<Point> verts = points;
+  double min_x = points[0].x, max_x = points[0].x;
+  double min_y = points[0].y, max_y = points[0].y;
+  for (const Point& p : points) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double span = std::max({max_x - min_x, max_y - min_y, 1.0});
+  const double cx = 0.5 * (min_x + max_x);
+  const double cy = 0.5 * (min_y + max_y);
+  const double m = 64.0 * span;
+  const auto s0 = static_cast<uint32_t>(points.size());
+  const auto s1 = s0 + 1;
+  const auto s2 = s0 + 2;
+  verts.push_back(Point{cx - m, cy - m});
+  verts.push_back(Point{cx + m, cy - m});
+  verts.push_back(Point{cx, cy + m});
+
+  std::vector<Triangle> tris;
+  tris.push_back(Triangle{s0, s1, s2, true});
+
+  std::vector<size_t> bad;
+  std::unordered_map<uint64_t, int> boundary_count;
+  std::vector<std::array<uint32_t, 2>> boundary_edges;
+
+  for (uint32_t i = 0; i < num_points_; ++i) {
+    const Point& p = verts[i];
+    bad.clear();
+    boundary_count.clear();
+    boundary_edges.clear();
+
+    for (size_t t = 0; t < tris.size(); ++t) {
+      if (!tris[t].alive) continue;
+      const Point& a = verts[tris[t].a];
+      const Point& b = verts[tris[t].b];
+      const Point& c = verts[tris[t].c];
+      if (InCircle(a, b, c, p) > 0.0) bad.push_back(t);
+    }
+
+    // Boundary of the cavity: edges that belong to exactly one bad
+    // triangle.
+    for (const size_t t : bad) {
+      const uint32_t vs[3] = {tris[t].a, tris[t].b, tris[t].c};
+      for (int e = 0; e < 3; ++e) {
+        const uint32_t u = vs[e];
+        const uint32_t v = vs[(e + 1) % 3];
+        boundary_count[EdgeKey(u, v)] += 1;
+      }
+    }
+    for (const size_t t : bad) {
+      const uint32_t vs[3] = {tris[t].a, tris[t].b, tris[t].c};
+      for (int e = 0; e < 3; ++e) {
+        const uint32_t u = vs[e];
+        const uint32_t v = vs[(e + 1) % 3];
+        if (boundary_count[EdgeKey(u, v)] == 1) {
+          boundary_edges.push_back({u, v});
+        }
+      }
+      tris[t].alive = false;
+    }
+
+    // Re-triangulate the cavity as a fan around p, keeping CCW orientation.
+    for (const auto& edge : boundary_edges) {
+      Triangle nt{edge[0], edge[1], i, true};
+      if (Orient(verts[nt.a], verts[nt.b], verts[nt.c]) < 0.0) {
+        std::swap(nt.b, nt.c);
+      }
+      tris.push_back(nt);
+    }
+
+    // Periodic compaction keeps the O(T) scan tolerable.
+    if (tris.size() > 16 * num_points_) {
+      std::vector<Triangle> compact;
+      compact.reserve(tris.size() / 2);
+      for (const Triangle& t : tris) {
+        if (t.alive) compact.push_back(t);
+      }
+      tris = std::move(compact);
+    }
+  }
+
+  std::unordered_set<uint64_t> edge_set;
+  for (const Triangle& t : tris) {
+    if (!t.alive) continue;
+    all_triangles_.push_back({t.a, t.b, t.c});
+    const bool has_super = t.a >= num_points_ || t.b >= num_points_ ||
+                           t.c >= num_points_;
+    if (has_super) continue;
+    triangles_.push_back({t.a, t.b, t.c});
+    const uint32_t vs[3] = {t.a, t.b, t.c};
+    for (int e = 0; e < 3; ++e) {
+      edge_set.insert(EdgeKey(vs[e], vs[(e + 1) % 3]));
+    }
+  }
+  edges_.reserve(edge_set.size());
+  for (const uint64_t key : edge_set) {
+    edges_.emplace_back(static_cast<uint32_t>(key >> 32),
+                        static_cast<uint32_t>(key & 0xffffffffu));
+  }
+  std::sort(edges_.begin(), edges_.end());
+}
+
+}  // namespace rcj

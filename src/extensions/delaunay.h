@@ -1,0 +1,57 @@
+// Incremental Bowyer-Watson Delaunay triangulation. This is the substrate
+// for the Gabriel-graph oracle (see gabriel.h): with the open-disk
+// convention, RCJ pairs are exactly the bichromatic Gabriel edges of P ∪ Q,
+// and Gabriel edges are a subset of Delaunay edges — giving an independent,
+// index-free code path to cross-check the R-tree algorithms.
+//
+// The implementation targets the oracle's needs: double-precision
+// predicates, O(n) bad-triangle scan per insertion (O(n^2) total), suitable
+// for test inputs up to a few thousand points in general position.
+#ifndef RINGJOIN_EXTENSIONS_DELAUNAY_H_
+#define RINGJOIN_EXTENSIONS_DELAUNAY_H_
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace rcj {
+
+/// A Delaunay triangulation of a planar pointset.
+class DelaunayTriangulation {
+ public:
+  /// Builds the triangulation of `points` (ids are positional indices).
+  explicit DelaunayTriangulation(const std::vector<Point>& points);
+
+  /// Undirected Delaunay edges as index pairs (i < j), sorted.
+  const std::vector<std::pair<uint32_t, uint32_t>>& edges() const {
+    return edges_;
+  }
+
+  /// Final triangles (vertex indices into the input; super-triangle
+  /// vertices removed).
+  const std::vector<std::array<uint32_t, 3>>& triangles() const {
+    return triangles_;
+  }
+
+  /// For Gabriel extraction: triangles that include super-triangle vertices
+  /// are retained here with indices >= points.size() for the synthetic
+  /// vertices.
+  const std::vector<std::array<uint32_t, 3>>& all_triangles() const {
+    return all_triangles_;
+  }
+
+  size_t num_input_points() const { return num_points_; }
+
+ private:
+  size_t num_points_ = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> edges_;
+  std::vector<std::array<uint32_t, 3>> triangles_;
+  std::vector<std::array<uint32_t, 3>> all_triangles_;
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_EXTENSIONS_DELAUNAY_H_

@@ -1,0 +1,70 @@
+// Incremental maintenance of an RCJ result set under point insertions —
+// the natural dynamic companion of the paper's decision-support scenarios
+// (a new restaurant opens: update the recycling-station plan locally
+// instead of re-running the join).
+//
+// Correctness rests on a locality theorem for the ring constraint:
+// inserting a point x into P ∪ Q
+//   (a) can only *invalidate* existing pairs whose circle strictly
+//       contains x (x is a new witness), and
+//   (b) can only *create* pairs that involve x itself (any pair not
+//       involving x that was invalid before keeps its witness: insertions
+//       never remove points).
+// So one pass over the current result set (a) plus one filter+verify for x
+// against the opposite dataset (b) maintains the exact join.
+#ifndef RINGJOIN_EXTENSIONS_DYNAMIC_RCJ_H_
+#define RINGJOIN_EXTENSIONS_DYNAMIC_RCJ_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "core/rcj_types.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_manager.h"
+#include "storage/page_store.h"
+
+namespace rcj {
+
+/// A dynamically-maintained ring-constrained join over two growing
+/// pointsets. Supports insertions; each insertion updates the maintained
+/// pair set in time proportional to the affected neighborhood plus one
+/// scan of the current result list.
+class DynamicRcj {
+ public:
+  /// Creates an empty maintained join (both sides empty).
+  static Result<std::unique_ptr<DynamicRcj>> Create(
+      uint32_t page_size = kDefaultPageSize);
+
+  RINGJOIN_DISALLOW_COPY_AND_ASSIGN(DynamicRcj);
+
+  /// Inserts a point into P and updates the result set.
+  Status InsertP(const PointRecord& p);
+
+  /// Inserts a point into Q and updates the result set.
+  Status InsertQ(const PointRecord& q);
+
+  /// The maintained RCJ pairs (unordered).
+  const std::vector<RcjPair>& pairs() const { return pairs_; }
+
+  uint64_t p_size() const { return tp_->num_points(); }
+  uint64_t q_size() const { return tq_->num_points(); }
+
+ private:
+  DynamicRcj() = default;
+
+  // side: true = new point joined P (partners come from Q).
+  Status InsertImpl(const PointRecord& rec, bool into_p);
+
+  std::unique_ptr<MemPageStore> p_store_;
+  std::unique_ptr<MemPageStore> q_store_;
+  std::unique_ptr<BufferManager> buffer_;
+  std::unique_ptr<RTree> tp_;
+  std::unique_ptr<RTree> tq_;
+  std::vector<RcjPair> pairs_;
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_EXTENSIONS_DYNAMIC_RCJ_H_

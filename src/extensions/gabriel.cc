@@ -1,0 +1,133 @@
+#include "extensions/gabriel.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "extensions/delaunay.h"
+#include "geometry/circle.h"
+
+namespace rcj {
+namespace {
+
+uint64_t EdgeKey(uint32_t u, uint32_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+// Definitional O(n^3) Gabriel edges; fallback for degenerate inputs (e.g.
+// all points collinear, where no Delaunay triangle exists).
+std::vector<std::pair<uint32_t, uint32_t>> BruteGabrielEdges(
+    const std::vector<Point>& points) {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  const auto n = static_cast<uint32_t>(points.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      bool empty = true;
+      for (uint32_t k = 0; k < n; ++k) {
+        if (k == i || k == j) continue;
+        if (StrictlyInsideDiametral(points[k], points[i], points[j])) {
+          empty = false;
+          break;
+        }
+      }
+      if (empty) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<uint32_t, uint32_t>> GabrielEdges(
+    const std::vector<Point>& points) {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  const size_t n = points.size();
+  if (n < 2) return out;
+  if (n == 2) {
+    out.emplace_back(0u, 1u);
+    return out;
+  }
+
+  const DelaunayTriangulation delaunay(points);
+  if (delaunay.triangles().empty()) {
+    // Degenerate input (collinear points): no triangulation exists; fall
+    // back to the definition.
+    return BruteGabrielEdges(points);
+  }
+
+  // Opposite vertices per edge, collected over *all* final triangles
+  // (including those touching the super-triangle: their far-away synthetic
+  // vertices can never fall inside a diametral disk of real points, and the
+  // real opposite vertices they contribute are needed for hull edges).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> opposite;
+  for (const auto& tri : delaunay.all_triangles()) {
+    for (int e = 0; e < 3; ++e) {
+      const uint32_t u = tri[e];
+      const uint32_t v = tri[(e + 1) % 3];
+      const uint32_t w = tri[(e + 2) % 3];
+      if (u >= n || v >= n) continue;  // edge touches a synthetic vertex
+      opposite[EdgeKey(u, v)].push_back(w);
+    }
+  }
+
+  for (const auto& edge : delaunay.edges()) {
+    const Point& a = points[edge.first];
+    const Point& b = points[edge.second];
+    bool gabriel = true;
+    const auto it = opposite.find(EdgeKey(edge.first, edge.second));
+    if (it != opposite.end()) {
+      for (const uint32_t w : it->second) {
+        if (w >= n) continue;  // super-triangle vertex: far outside
+        if (StrictlyInsideDiametral(points[w], a, b)) {
+          gabriel = false;
+          break;
+        }
+      }
+    }
+    if (gabriel) out.push_back(edge);
+  }
+  return out;
+}
+
+std::vector<RcjPair> GabrielRcj(const std::vector<PointRecord>& pset,
+                                const std::vector<PointRecord>& qset) {
+  std::vector<Point> all;
+  all.reserve(pset.size() + qset.size());
+  for (const PointRecord& r : pset) all.push_back(r.pt);
+  for (const PointRecord& r : qset) all.push_back(r.pt);
+
+  const auto edges = GabrielEdges(all);
+  const uint32_t p_count = static_cast<uint32_t>(pset.size());
+
+  std::vector<RcjPair> out;
+  for (const auto& [u, v] : edges) {
+    const bool u_in_p = u < p_count;
+    const bool v_in_p = v < p_count;
+    if (u_in_p == v_in_p) continue;  // monochromatic edge
+    const PointRecord& p = u_in_p ? pset[u] : pset[v];
+    const PointRecord& q = u_in_p ? qset[v - p_count] : qset[u - p_count];
+    out.push_back(RcjPair::Make(p, q));
+  }
+  return out;
+}
+
+std::vector<RcjPair> GabrielRcjSelf(const std::vector<PointRecord>& set) {
+  std::vector<Point> all;
+  all.reserve(set.size());
+  for (const PointRecord& r : set) all.push_back(r.pt);
+
+  const auto edges = GabrielEdges(all);
+  std::vector<RcjPair> out;
+  for (const auto& [u, v] : edges) {
+    const PointRecord& a = set[u];
+    const PointRecord& b = set[v];
+    if (a.id < b.id) {
+      out.push_back(RcjPair::Make(a, b));
+    } else {
+      out.push_back(RcjPair::Make(b, a));
+    }
+  }
+  return out;
+}
+
+}  // namespace rcj

@@ -1,0 +1,40 @@
+// Gabriel graph and the computational-geometry RCJ oracle.
+//
+// An edge (u, v) is a Gabriel edge iff the open disk with diameter uv
+// contains no other point — which is *exactly* the ring constraint under
+// this library's open-disk convention. Hence:
+//
+//   RCJ(P, Q) == { bichromatic Gabriel edges of P ∪ Q }.
+//
+// Gabriel edges are a subset of Delaunay edges, and a Delaunay edge is
+// Gabriel iff the opposite vertices of its (at most two) adjacent triangles
+// lie outside the open diametral disk. This gives an O(n log n)-class
+// algorithm entirely independent of the R-tree code paths — used as a
+// correctness oracle and as an in-memory baseline benchmark.
+#ifndef RINGJOIN_EXTENSIONS_GABRIEL_H_
+#define RINGJOIN_EXTENSIONS_GABRIEL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/rcj_types.h"
+#include "geometry/point.h"
+
+namespace rcj {
+
+/// Gabriel-graph edges of `points` as index pairs (i < j), sorted.
+std::vector<std::pair<uint32_t, uint32_t>> GabrielEdges(
+    const std::vector<Point>& points);
+
+/// RCJ(P, Q) via the Gabriel oracle (general position assumed; intended for
+/// tests and in-memory baselines, not for the disk-based pipeline).
+std::vector<RcjPair> GabrielRcj(const std::vector<PointRecord>& pset,
+                                const std::vector<PointRecord>& qset);
+
+/// Self-join variant; pairs normalized to p.id < q.id.
+std::vector<RcjPair> GabrielRcjSelf(const std::vector<PointRecord>& set);
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_EXTENSIONS_GABRIEL_H_

@@ -1,0 +1,221 @@
+#include "extensions/metric_rcj.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace rcj {
+namespace {
+
+// Strictly-inside test for the m-ball of pair (x, q).
+bool InsideBallStrict(Metric metric, const Point& o, const Point& x,
+                      const Point& q) {
+  const Point mid = Midpoint(x, q);
+  return MetricDist(metric, o, mid) < 0.5 * MetricDist(metric, x, q);
+}
+
+// The midpoint image of a rect under x -> (x + q) / 2.
+Rect MidpointRect(const Rect& r, const Point& q) {
+  return Rect{Midpoint(r.lo, q), Midpoint(r.hi, q)};
+}
+
+struct HeapItem {
+  double key = 0.0;
+  bool is_point = false;
+  PointRecord rec;
+  uint64_t child_page = 0;
+  Rect mbr;
+};
+struct HeapCompare {
+  bool operator()(const HeapItem& a, const HeapItem& b) const {
+    return a.key > b.key;
+  }
+};
+
+}  // namespace
+
+double MetricMinDistToRect(Metric metric, const Point& p, const Rect& r) {
+  const double dx = p.x < r.lo.x ? r.lo.x - p.x : (p.x > r.hi.x ? p.x - r.hi.x : 0.0);
+  const double dy = p.y < r.lo.y ? r.lo.y - p.y : (p.y > r.hi.y ? p.y - r.hi.y : 0.0);
+  switch (metric) {
+    case Metric::kL1:
+      return dx + dy;
+    case Metric::kLInf:
+      return std::max(dx, dy);
+    case Metric::kL2:
+    default:
+      return std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+double MetricMaxDistToRect(Metric metric, const Point& p, const Rect& r) {
+  const double dx = std::max(std::fabs(p.x - r.lo.x), std::fabs(p.x - r.hi.x));
+  const double dy = std::max(std::fabs(p.y - r.lo.y), std::fabs(p.y - r.hi.y));
+  switch (metric) {
+    case Metric::kL1:
+      return dx + dy;
+    case Metric::kLInf:
+      return std::max(dx, dy);
+    case Metric::kL2:
+    default:
+      return std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+std::vector<MetricRcjPair> BruteForceMetricRcj(
+    const std::vector<PointRecord>& pset,
+    const std::vector<PointRecord>& qset, Metric metric) {
+  std::vector<MetricRcjPair> out;
+  for (const PointRecord& p : pset) {
+    for (const PointRecord& q : qset) {
+      bool valid = true;
+      for (const PointRecord& o : pset) {
+        if (o.id == p.id) continue;
+        if (InsideBallStrict(metric, o.pt, p.pt, q.pt)) {
+          valid = false;
+          break;
+        }
+      }
+      if (valid) {
+        for (const PointRecord& o : qset) {
+          if (o.id == q.id) continue;
+          if (InsideBallStrict(metric, o.pt, p.pt, q.pt)) {
+            valid = false;
+            break;
+          }
+        }
+      }
+      if (valid) out.push_back(MetricRcjPair::Make(p, q, metric));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Conservative subtree pruning: anchor `a` prunes the whole rect R for
+// query q if even the farthest possible midpoint is closer to `a` than the
+// smallest possible ball radius:
+//   max_{x in R} m(a, (x+q)/2)  <  min_{x in R} m(q, x) / 2.
+bool AnchorPrunesRect(Metric metric, const Point& anchor, const Point& q,
+                      const Rect& r) {
+  const Rect mid_rect = MidpointRect(r, q);
+  return MetricMaxDistToRect(metric, anchor, mid_rect) <
+         0.5 * MetricMinDistToRect(metric, q, r);
+}
+
+// Filter for one query point: best-first over T_P in ascending m-mindist
+// from q, pruning with the definitional anchor test (points) and the
+// conservative bound (subtrees).
+Status MetricFilter(const RTree& tp, const Point& q, Metric metric,
+                    std::vector<PointRecord>* candidates) {
+  candidates->clear();
+  if (tp.height() == 0) return Status::OK();
+
+  std::priority_queue<HeapItem, std::vector<HeapItem>, HeapCompare> heap;
+  {
+    HeapItem root;
+    root.child_page = tp.root_page();
+    heap.push(root);
+  }
+
+  while (!heap.empty()) {
+    HeapItem top = heap.top();
+    heap.pop();
+
+    bool pruned = false;
+    for (const PointRecord& anchor : *candidates) {
+      if (top.is_point
+              ? InsideBallStrict(metric, anchor.pt, top.rec.pt, q)
+              : AnchorPrunesRect(metric, anchor.pt, q, top.mbr)) {
+        pruned = true;
+        break;
+      }
+    }
+    if (pruned) continue;
+
+    if (top.is_point) {
+      candidates->push_back(top.rec);
+      continue;
+    }
+    Result<Node> node = tp.ReadNode(top.child_page);
+    if (!node.ok()) return node.status();
+    if (node.value().is_leaf()) {
+      for (const LeafEntry& e : node.value().points) {
+        HeapItem item;
+        item.is_point = true;
+        item.rec = e.rec;
+        item.key = MetricDist(metric, q, e.rec.pt);
+        heap.push(item);
+      }
+    } else {
+      for (const BranchEntry& e : node.value().children) {
+        HeapItem item;
+        item.child_page = e.child;
+        item.mbr = e.mbr;
+        item.key = MetricMinDistToRect(metric, q, e.mbr);
+        heap.push(item);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Exact verification: range-search the bounding square of the m-ball and
+// apply the strict m-distance test, excluding the pair's own endpoints.
+Status MetricVerify(const RTree& tree, Metric metric, const Point& p,
+                    const Point& q, PointId skip_id, bool* valid) {
+  const Point mid = Midpoint(p, q);
+  const double radius = 0.5 * MetricDist(metric, p, q);
+  // Every L1/L2/L∞ ball of radius r fits in the square of half-width r.
+  const Rect box{Point{mid.x - radius, mid.y - radius},
+                 Point{mid.x + radius, mid.y + radius}};
+  std::vector<PointRecord> hits;
+  RINGJOIN_RETURN_IF_ERROR(tree.RangeSearch(box, &hits));
+  for (const PointRecord& o : hits) {
+    if (o.id == skip_id) continue;
+    if (MetricDist(metric, o.pt, mid) < radius) {
+      *valid = false;
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MetricRcjJoin(const RTree& tq, const RTree& tp, Metric metric,
+                     std::vector<MetricRcjPair>* out,
+                     MetricJoinStats* stats) {
+  out->clear();
+  MetricJoinStats local_stats;
+
+  std::vector<PointRecord> candidates;
+  Status inner_status;
+  Status visit_status = tq.VisitLeavesDepthFirst([&](const Node& leaf) {
+    for (const LeafEntry& entry : leaf.points) {
+      const PointRecord& q = entry.rec;
+      inner_status = MetricFilter(tp, q.pt, metric, &candidates);
+      if (!inner_status.ok()) return false;
+      local_stats.candidates += candidates.size();
+      for (const PointRecord& p : candidates) {
+        bool valid = true;
+        inner_status = MetricVerify(tq, metric, p.pt, q.pt, q.id, &valid);
+        if (!inner_status.ok()) return false;
+        if (valid) {
+          inner_status = MetricVerify(tp, metric, p.pt, q.pt, p.id, &valid);
+          if (!inner_status.ok()) return false;
+        }
+        if (valid) out->push_back(MetricRcjPair::Make(p, q, metric));
+      }
+    }
+    return true;
+  });
+  RINGJOIN_RETURN_IF_ERROR(visit_status);
+  RINGJOIN_RETURN_IF_ERROR(inner_status);
+  local_stats.results = out->size();
+  if (stats != nullptr) *stats = local_stats;
+  return Status::OK();
+}
+
+}  // namespace rcj

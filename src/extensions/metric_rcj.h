@@ -1,0 +1,70 @@
+// Generalized ring constraint under non-Euclidean Minkowski metrics — the
+// paper's Section 6 future-work item ("alternative definitions of the
+// circle constraint ... (i) the Manhattan distance").
+//
+// Under a metric m, the smallest enclosing m-ball of {p, q} is centered at
+// their midpoint (which lies on a geodesic between them for every Minkowski
+// metric) with radius m(p, q) / 2: a diamond for L1, a square for L∞, the
+// classic disk for L2. A pair qualifies iff no other point lies strictly
+// inside that ball.
+//
+// The indexed algorithm keeps the paper's filter/verify architecture but
+// replaces the Lemma-1 half-plane (which is specific to L2) with the
+// *definitional* anchor test — anchor a prunes candidate x for query q iff
+// a lies strictly inside the m-ball of (x, q) — and a conservative MBR
+// bound for subtree pruning. The filter output is a superset of the true
+// partners; verification is exact.
+#ifndef RINGJOIN_EXTENSIONS_METRIC_RCJ_H_
+#define RINGJOIN_EXTENSIONS_METRIC_RCJ_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/rcj_types.h"
+#include "geometry/metric.h"
+#include "rtree/rtree.h"
+
+namespace rcj {
+
+/// One generalized-RCJ result: the pair, the m-ball center (midpoint) and
+/// the m-radius.
+struct MetricRcjPair {
+  PointRecord p;
+  PointRecord q;
+  Point center;
+  double radius = 0.0;
+
+  static MetricRcjPair Make(const PointRecord& p, const PointRecord& q,
+                            Metric metric) {
+    const Point mid = Midpoint(p.pt, q.pt);
+    return MetricRcjPair{p, q, mid, 0.5 * MetricDist(metric, p.pt, q.pt)};
+  }
+};
+
+/// Candidate/result counters of the metric join.
+struct MetricJoinStats {
+  uint64_t candidates = 0;
+  uint64_t results = 0;
+};
+
+/// Definitional brute force under metric m (oracle and small-input path).
+std::vector<MetricRcjPair> BruteForceMetricRcj(
+    const std::vector<PointRecord>& pset,
+    const std::vector<PointRecord>& qset, Metric metric);
+
+/// R-tree based generalized RCJ. Exact (the conservative filter never drops
+/// a true partner; verification is definitional). For Metric::kL2 this
+/// produces exactly the classic RCJ result.
+Status MetricRcjJoin(const RTree& tq, const RTree& tp, Metric metric,
+                     std::vector<MetricRcjPair>* out,
+                     MetricJoinStats* stats = nullptr);
+
+/// m-distance from a point to the closest point of a rect (0 inside).
+double MetricMinDistToRect(Metric metric, const Point& p, const Rect& r);
+
+/// m-distance from a point to the farthest point of a rect.
+double MetricMaxDistToRect(Metric metric, const Point& p, const Rect& r);
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_EXTENSIONS_METRIC_RCJ_H_

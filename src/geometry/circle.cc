@@ -1,0 +1,5 @@
+// Circle is header-only; this translation unit exists so the module has a
+// home for future non-inline helpers and keeps the build graph uniform.
+#include "geometry/circle.h"
+
+namespace rcj {}  // namespace rcj

@@ -1,0 +1,32 @@
+// Distance-metric generalization used by the extensions module (the paper's
+// Section 6 future-work item: ring constraints under non-Euclidean metrics).
+#ifndef RINGJOIN_GEOMETRY_METRIC_H_
+#define RINGJOIN_GEOMETRY_METRIC_H_
+
+#include "geometry/point.h"
+
+namespace rcj {
+
+/// Supported Minkowski metrics for the generalized ring constraint.
+enum class Metric {
+  kL1,    ///< Manhattan; the "ball" is a diamond.
+  kL2,    ///< Euclidean; the classic RCJ of the paper.
+  kLInf,  ///< Chebyshev; the ball is an axis-aligned square.
+};
+
+/// Distance between a and b under the chosen metric.
+inline double MetricDist(Metric m, const Point& a, const Point& b) {
+  switch (m) {
+    case Metric::kL1:
+      return DistL1(a, b);
+    case Metric::kLInf:
+      return DistLInf(a, b);
+    case Metric::kL2:
+    default:
+      return Dist(a, b);
+  }
+}
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_GEOMETRY_METRIC_H_

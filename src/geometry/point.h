@@ -1,0 +1,79 @@
+// 2-D point primitives. All geometry in ringjoin is planar, matching the
+// paper's setting; coordinates are doubles in an arbitrary domain (the
+// experiments normalize to [0, 10000]^2).
+#ifndef RINGJOIN_GEOMETRY_POINT_H_
+#define RINGJOIN_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace rcj {
+
+/// A point in the plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+};
+
+/// Squared Euclidean distance. Preferred in all correctness-critical
+/// comparisons: it avoids the sqrt rounding step, so the filter, the
+/// verifier, the brute-force oracle, and the Gabriel oracle all evaluate the
+/// exact same floating-point expression.
+inline double Dist2(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance (for reporting and heap keys, not for predicates).
+inline double Dist(const Point& a, const Point& b) {
+  return std::sqrt(Dist2(a, b));
+}
+
+/// Manhattan (L1) distance.
+inline double DistL1(const Point& a, const Point& b) {
+  return std::fabs(a.x - b.x) + std::fabs(a.y - b.y);
+}
+
+/// Chebyshev (L-infinity) distance.
+inline double DistLInf(const Point& a, const Point& b) {
+  return std::fmax(std::fabs(a.x - b.x), std::fabs(a.y - b.y));
+}
+
+/// Midpoint of the segment ab; the center of the smallest enclosing circle
+/// of {a, b} (paper Section 1: the "fair middleman" location).
+inline Point Midpoint(const Point& a, const Point& b) {
+  return Point{0.5 * (a.x + b.x), 0.5 * (a.y + b.y)};
+}
+
+/// Dot product of vectors (a - o) and (b - o).
+inline double DotFrom(const Point& o, const Point& a, const Point& b) {
+  return (a.x - o.x) * (b.x - o.x) + (a.y - o.y) * (b.y - o.y);
+}
+
+/// Identifier of a point within its dataset. Ids are unique within one
+/// dataset; P and Q have independent id spaces.
+using PointId = std::int64_t;
+
+/// Sentinel for "no point".
+inline constexpr PointId kInvalidPointId = -1;
+
+/// A point together with its dataset identifier — the unit stored in R-tree
+/// leaves and reported in join results.
+struct PointRecord {
+  Point pt;
+  PointId id = kInvalidPointId;
+
+  friend bool operator==(const PointRecord& a, const PointRecord& b) {
+    return a.id == b.id && a.pt == b.pt;
+  }
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_GEOMETRY_POINT_H_

@@ -1,0 +1,66 @@
+#include "geometry/rect.h"
+
+namespace rcj {
+
+Point Rect::Corner(int i) const {
+  switch (i & 3) {
+    case 0:
+      return lo;
+    case 1:
+      return Point{hi.x, lo.y};
+    case 2:
+      return hi;
+    default:
+      return Point{lo.x, hi.y};
+  }
+}
+
+double Rect::OverlapArea(const Rect& r) const {
+  const double w =
+      std::min(hi.x, r.hi.x) - std::max(lo.x, r.lo.x);
+  if (w <= 0.0) return 0.0;
+  const double h =
+      std::min(hi.y, r.hi.y) - std::max(lo.y, r.lo.y);
+  if (h <= 0.0) return 0.0;
+  return w * h;
+}
+
+double Rect::MinDist2(const Point& p) const {
+  double dx = 0.0;
+  if (p.x < lo.x) {
+    dx = lo.x - p.x;
+  } else if (p.x > hi.x) {
+    dx = p.x - hi.x;
+  }
+  double dy = 0.0;
+  if (p.y < lo.y) {
+    dy = lo.y - p.y;
+  } else if (p.y > hi.y) {
+    dy = p.y - hi.y;
+  }
+  return dx * dx + dy * dy;
+}
+
+double Rect::MaxDist2(const Point& p) const {
+  const double dx = std::max(std::fabs(p.x - lo.x), std::fabs(p.x - hi.x));
+  const double dy = std::max(std::fabs(p.y - lo.y), std::fabs(p.y - hi.y));
+  return dx * dx + dy * dy;
+}
+
+double MinDist2(const Rect& a, const Rect& b) {
+  double dx = 0.0;
+  if (a.hi.x < b.lo.x) {
+    dx = b.lo.x - a.hi.x;
+  } else if (b.hi.x < a.lo.x) {
+    dx = a.lo.x - b.hi.x;
+  }
+  double dy = 0.0;
+  if (a.hi.y < b.lo.y) {
+    dy = b.lo.y - a.hi.y;
+  } else if (b.hi.y < a.lo.y) {
+    dy = a.lo.y - b.hi.y;
+  }
+  return dx * dx + dy * dy;
+}
+
+}  // namespace rcj

@@ -1,0 +1,62 @@
+#include "rtree/inn_cursor.h"
+
+namespace rcj {
+
+InnCursor::InnCursor(const RTree* tree, const Point& query)
+    : tree_(tree), query_(query) {
+  if (tree_->height() == 0) return;
+  HeapItem root;
+  root.key = 0.0;
+  root.is_point = false;
+  root.child_page = tree_->root_page();
+  heap_.push(root);
+}
+
+bool InnCursor::Next(PointRecord* out, double* dist2_out) {
+  while (!heap_.empty()) {
+    HeapItem top = heap_.top();
+    heap_.pop();
+    if (top.is_point) {
+      *out = top.rec;
+      if (dist2_out != nullptr) *dist2_out = top.key;
+      return true;
+    }
+    Result<Node> node = tree_->ReadNode(top.child_page);
+    if (!node.ok()) {
+      status_ = node.status();
+      return false;
+    }
+    if (node.value().is_leaf()) {
+      for (const LeafEntry& e : node.value().points) {
+        HeapItem item;
+        item.key = Dist2(query_, e.rec.pt);
+        item.is_point = true;
+        item.rec = e.rec;
+        heap_.push(item);
+      }
+    } else {
+      for (const BranchEntry& e : node.value().children) {
+        HeapItem item;
+        item.key = e.mbr.MinDist2(query_);
+        item.is_point = false;
+        item.child_page = e.child;
+        heap_.push(item);
+      }
+    }
+  }
+  return false;
+}
+
+Result<std::vector<PointRecord>> RTree::Knn(const Point& q, size_t k) const {
+  std::vector<PointRecord> out;
+  out.reserve(k);
+  InnCursor cursor(this, q);
+  PointRecord rec;
+  while (out.size() < k && cursor.Next(&rec)) {
+    out.push_back(rec);
+  }
+  if (!cursor.status().ok()) return cursor.status();
+  return out;
+}
+
+}  // namespace rcj

@@ -1,0 +1,54 @@
+// Incremental nearest-neighbor cursor (Hjaltason & Samet, TODS 1999) — the
+// spatial ranking operator the paper builds its filter step on (Section
+// 2.1): points are reported in ascending distance from the query point, and
+// the consumer decides on-demand how far to go.
+#ifndef RINGJOIN_RTREE_INN_CURSOR_H_
+#define RINGJOIN_RTREE_INN_CURSOR_H_
+
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+#include "rtree/rtree.h"
+
+namespace rcj {
+
+/// Streams the points of an RTree in ascending (squared) Euclidean distance
+/// from a fixed query point. The heap holds copies of visited entries, so no
+/// buffer pins are held between Next() calls.
+class InnCursor {
+ public:
+  InnCursor(const RTree* tree, const Point& query);
+
+  /// Advances to the next-nearest point. Returns false when the tree is
+  /// exhausted or an I/O error occurred (check status()).
+  bool Next(PointRecord* out, double* dist2_out = nullptr);
+
+  /// OK unless an I/O error interrupted the scan.
+  const Status& status() const { return status_; }
+
+  const Point& query() const { return query_; }
+
+ private:
+  struct HeapItem {
+    double key = 0.0;  // squared mindist from the query
+    bool is_point = false;
+    PointRecord rec;
+    uint64_t child_page = 0;
+  };
+  struct HeapCompare {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      return a.key > b.key;  // min-heap
+    }
+  };
+
+  const RTree* tree_;
+  Point query_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, HeapCompare> heap_;
+  Status status_;
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_RTREE_INN_CURSOR_H_

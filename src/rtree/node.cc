@@ -1,0 +1,115 @@
+#include "rtree/node.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace rcj {
+namespace {
+
+constexpr uint32_t kNodeHeaderBytes = 8;
+constexpr uint32_t kLeafEntryBytes = 24;   // x, y, id
+constexpr uint32_t kBranchEntryBytes = 40; // 4 mbr doubles + child
+
+// memcpy-based unaligned scalar access (the page buffer has no alignment
+// guarantees for doubles).
+template <typename T>
+T LoadScalar(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void StoreScalar(uint8_t* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+}  // namespace
+
+Rect Node::ComputeMbr() const {
+  Rect mbr = Rect::Empty();
+  if (is_leaf()) {
+    for (const LeafEntry& e : points) mbr.Expand(e.rec.pt);
+  } else {
+    for (const BranchEntry& e : children) mbr.ExpandRect(e.mbr);
+  }
+  return mbr;
+}
+
+uint32_t Node::LeafCapacity(uint32_t page_size) {
+  assert(page_size > kNodeHeaderBytes + kLeafEntryBytes);
+  return (page_size - kNodeHeaderBytes) / kLeafEntryBytes;
+}
+
+uint32_t Node::BranchCapacity(uint32_t page_size) {
+  assert(page_size > kNodeHeaderBytes + kBranchEntryBytes);
+  return (page_size - kNodeHeaderBytes) / kBranchEntryBytes;
+}
+
+void Node::SerializeTo(uint8_t* out, uint32_t page_size) const {
+  const size_t count = size();
+  assert(count <= (is_leaf() ? LeafCapacity(page_size)
+                             : BranchCapacity(page_size)));
+  (void)page_size;
+  StoreScalar<uint16_t>(out, static_cast<uint16_t>(level));
+  StoreScalar<uint16_t>(out + 2, static_cast<uint16_t>(count));
+  StoreScalar<uint32_t>(out + 4, 0);
+  uint8_t* cursor = out + kNodeHeaderBytes;
+  if (is_leaf()) {
+    for (const LeafEntry& e : points) {
+      StoreScalar<double>(cursor + 0, e.rec.pt.x);
+      StoreScalar<double>(cursor + 8, e.rec.pt.y);
+      StoreScalar<int64_t>(cursor + 16, e.rec.id);
+      cursor += kLeafEntryBytes;
+    }
+  } else {
+    for (const BranchEntry& e : children) {
+      StoreScalar<double>(cursor + 0, e.mbr.lo.x);
+      StoreScalar<double>(cursor + 8, e.mbr.lo.y);
+      StoreScalar<double>(cursor + 16, e.mbr.hi.x);
+      StoreScalar<double>(cursor + 24, e.mbr.hi.y);
+      StoreScalar<uint64_t>(cursor + 32, e.child);
+      cursor += kBranchEntryBytes;
+    }
+  }
+}
+
+Status Node::Deserialize(const uint8_t* in, uint32_t page_size, Node* out) {
+  const uint16_t level = LoadScalar<uint16_t>(in);
+  const uint16_t count = LoadScalar<uint16_t>(in + 2);
+  out->level = level;
+  out->points.clear();
+  out->children.clear();
+  const uint32_t capacity =
+      level == 0 ? LeafCapacity(page_size) : BranchCapacity(page_size);
+  if (count > capacity) {
+    return Status::Corruption("node entry count exceeds page capacity");
+  }
+  const uint8_t* cursor = in + kNodeHeaderBytes;
+  if (level == 0) {
+    out->points.reserve(count);
+    for (uint16_t i = 0; i < count; ++i) {
+      LeafEntry e;
+      e.rec.pt.x = LoadScalar<double>(cursor + 0);
+      e.rec.pt.y = LoadScalar<double>(cursor + 8);
+      e.rec.id = LoadScalar<int64_t>(cursor + 16);
+      out->points.push_back(e);
+      cursor += kLeafEntryBytes;
+    }
+  } else {
+    out->children.reserve(count);
+    for (uint16_t i = 0; i < count; ++i) {
+      BranchEntry e;
+      e.mbr.lo.x = LoadScalar<double>(cursor + 0);
+      e.mbr.lo.y = LoadScalar<double>(cursor + 8);
+      e.mbr.hi.x = LoadScalar<double>(cursor + 16);
+      e.mbr.hi.y = LoadScalar<double>(cursor + 24);
+      e.child = LoadScalar<uint64_t>(cursor + 32);
+      out->children.push_back(e);
+      cursor += kBranchEntryBytes;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rcj

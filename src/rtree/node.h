@@ -1,0 +1,70 @@
+// On-page R-tree node layout and its in-memory decoded form.
+//
+// A node occupies exactly one page:
+//   [u16 level][u16 count][u32 pad]  (8-byte header)
+//   level == 0 (leaf):    count * LeafEntry    {x f64, y f64, id i64}  24 B
+//   level  > 0 (branch):  count * BranchEntry  {mbr 4xf64, child u64}  40 B
+//
+// With the paper's 1 KiB pages this yields fanouts of 42 (leaf) and 25
+// (branch), matching the order of magnitude in the original experiments.
+#ifndef RINGJOIN_RTREE_NODE_H_
+#define RINGJOIN_RTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace rcj {
+
+/// Leaf slot: one indexed point.
+struct LeafEntry {
+  PointRecord rec;
+
+  Rect Mbr() const { return Rect::FromPoint(rec.pt); }
+};
+
+/// Branch slot: child page and the MBR of its whole subtree.
+struct BranchEntry {
+  Rect mbr;
+  uint64_t child = 0;
+
+  const Rect& Mbr() const { return mbr; }
+};
+
+/// Decoded R-tree node. Exactly one of `points` / `children` is populated,
+/// by `level`. Nodes may transiently exceed page capacity in memory during
+/// insertion (the overflow is resolved by reinsert/split before the node is
+/// ever serialized).
+class Node {
+ public:
+  /// 0 for leaves; the root has the highest level.
+  uint32_t level = 0;
+
+  std::vector<LeafEntry> points;
+  std::vector<BranchEntry> children;
+
+  bool is_leaf() const { return level == 0; }
+
+  size_t size() const { return is_leaf() ? points.size() : children.size(); }
+
+  /// Exact MBR over all entries.
+  Rect ComputeMbr() const;
+
+  /// Max leaf entries per page of this size.
+  static uint32_t LeafCapacity(uint32_t page_size);
+  /// Max branch entries per page of this size.
+  static uint32_t BranchCapacity(uint32_t page_size);
+
+  /// Encodes into `out` (page_size bytes). The node must fit.
+  void SerializeTo(uint8_t* out, uint32_t page_size) const;
+
+  /// Decodes a node from a page image.
+  static Status Deserialize(const uint8_t* in, uint32_t page_size, Node* out);
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_RTREE_NODE_H_

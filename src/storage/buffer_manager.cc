@@ -1,0 +1,151 @@
+#include "storage/buffer_manager.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace rcj {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    bm_ = other.bm_;
+    frame_ = other.frame_;
+    other.bm_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  return *this;
+}
+
+void PageHandle::Release() {
+  if (frame_ != nullptr) {
+    bm_->Unpin(frame_);
+    frame_ = nullptr;
+    bm_ = nullptr;
+  }
+}
+
+BufferManager::BufferManager(size_t capacity_pages)
+    : capacity_(capacity_pages > 0 ? capacity_pages : 1) {}
+
+BufferManager::~BufferManager() {
+  // Best-effort flush; errors are ignored in the destructor (library code
+  // that cares about durability calls FlushAll explicitly).
+  (void)FlushAll();
+}
+
+int BufferManager::RegisterStore(PageStore* store) {
+  stores_.push_back(store);
+  return static_cast<int>(stores_.size()) - 1;
+}
+
+Result<PageHandle> BufferManager::Pin(int store_id, uint64_t page_no) {
+  assert(store_id >= 0 && static_cast<size_t>(store_id) < stores_.size());
+  ++stats_.logical_accesses;
+  const uint64_t key = Key(store_id, page_no);
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    // Hit: move to the MRU position.
+    frames_.splice(frames_.begin(), frames_, it->second);
+    Frame* frame = &*it->second;
+    ++frame->pin_count;
+    return PageHandle(this, frame);
+  }
+
+  // Miss: fault the page in.
+  ++stats_.page_faults;
+  RINGJOIN_RETURN_IF_ERROR(EvictIfNeeded());
+  PageStore* store = stores_[store_id];
+  Frame frame;
+  frame.store_id = store_id;
+  frame.page_no = page_no;
+  frame.data = std::make_unique<uint8_t[]>(store->page_size());
+  RINGJOIN_RETURN_IF_ERROR(store->Read(page_no, frame.data.get()));
+  frame.pin_count = 1;
+  frames_.push_front(std::move(frame));
+  table_[key] = frames_.begin();
+  return PageHandle(this, &frames_.front());
+}
+
+Result<PageHandle> BufferManager::NewPage(int store_id, uint64_t* page_no) {
+  assert(store_id >= 0 && static_cast<size_t>(store_id) < stores_.size());
+  PageStore* store = stores_[store_id];
+  Result<uint64_t> alloc = store->Allocate();
+  if (!alloc.ok()) return alloc.status();
+  *page_no = alloc.value();
+
+  RINGJOIN_RETURN_IF_ERROR(EvictIfNeeded());
+  Frame frame;
+  frame.store_id = store_id;
+  frame.page_no = *page_no;
+  frame.data = std::make_unique<uint8_t[]>(store->page_size());
+  std::memset(frame.data.get(), 0, store->page_size());
+  frame.dirty = true;
+  frame.pin_count = 1;
+  frames_.push_front(std::move(frame));
+  table_[Key(store_id, *page_no)] = frames_.begin();
+  return PageHandle(this, &frames_.front());
+}
+
+void BufferManager::Unpin(Frame* frame) {
+  assert(frame->pin_count > 0);
+  --frame->pin_count;
+}
+
+Status BufferManager::EvictIfNeeded() {
+  while (frames_.size() >= capacity_) {
+    // Find the least-recently-used unpinned frame (scan from the back).
+    auto victim = frames_.end();
+    for (auto it = std::prev(frames_.end());; --it) {
+      if (it->pin_count == 0) {
+        victim = it;
+        break;
+      }
+      if (it == frames_.begin()) break;
+    }
+    if (victim == frames_.end()) {
+      // Everything is pinned: over-commit (bounded by O(tree height) in
+      // practice; see class comment).
+      return Status::OK();
+    }
+    RINGJOIN_RETURN_IF_ERROR(WriteBack(&*victim));
+    ++stats_.evictions;
+    table_.erase(Key(victim->store_id, victim->page_no));
+    frames_.erase(victim);
+  }
+  return Status::OK();
+}
+
+Status BufferManager::WriteBack(Frame* frame) {
+  if (!frame->dirty) return Status::OK();
+  PageStore* store = stores_[frame->store_id];
+  RINGJOIN_RETURN_IF_ERROR(store->Write(frame->page_no, frame->data.get()));
+  frame->dirty = false;
+  ++stats_.writebacks;
+  return Status::OK();
+}
+
+Status BufferManager::FlushAll() {
+  for (Frame& frame : frames_) {
+    RINGJOIN_RETURN_IF_ERROR(WriteBack(&frame));
+  }
+  return Status::OK();
+}
+
+Status BufferManager::Clear() {
+  for (Frame& frame : frames_) {
+    if (frame.pin_count > 0) {
+      return Status::InvalidArgument("Clear() with outstanding pins");
+    }
+  }
+  RINGJOIN_RETURN_IF_ERROR(FlushAll());
+  frames_.clear();
+  table_.clear();
+  return Status::OK();
+}
+
+Status BufferManager::SetCapacity(size_t capacity_pages) {
+  capacity_ = capacity_pages > 0 ? capacity_pages : 1;
+  return EvictIfNeeded();
+}
+
+}  // namespace rcj

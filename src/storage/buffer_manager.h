@@ -1,0 +1,146 @@
+// LRU buffer manager shared by all page stores of an experiment.
+//
+// The paper's experiments put one memory buffer in front of *both* R-trees
+// ("a small memory buffer ... 1% of the sum of both tree sizes", Section 5)
+// and charge 10 ms per page fault. This class reproduces that accounting:
+// every page access goes through Pin(); a miss reads from the PageStore and
+// increments `page_faults`.
+#ifndef RINGJOIN_STORAGE_BUFFER_MANAGER_H_
+#define RINGJOIN_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/page_store.h"
+
+namespace rcj {
+
+/// Counters exposed to the cost model and the benchmark harness.
+struct BufferStats {
+  uint64_t logical_accesses = 0;  ///< Pin() calls (== R-tree node accesses).
+  uint64_t page_faults = 0;       ///< misses that hit the page store.
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;        ///< dirty pages written on eviction/flush.
+
+  uint64_t hits() const { return logical_accesses - page_faults; }
+};
+
+namespace internal {
+
+/// One slot of the buffer pool. Lives in a std::list so its address is
+/// stable for the lifetime of the frame.
+struct BufferFrame {
+  int store_id = -1;
+  uint64_t page_no = 0;
+  std::unique_ptr<uint8_t[]> data;
+  bool dirty = false;
+  int pin_count = 0;
+};
+
+}  // namespace internal
+
+class BufferManager;
+
+/// RAII pin on a buffered page. While a PageHandle is alive the frame cannot
+/// be evicted. Move-only.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  ~PageHandle() { Release(); }
+
+  RINGJOIN_DISALLOW_COPY_AND_ASSIGN(PageHandle);
+
+  bool valid() const { return frame_ != nullptr; }
+  const uint8_t* data() const { return frame_->data.get(); }
+
+  /// Mutable view of the page; marks the frame dirty.
+  uint8_t* mutable_data() {
+    frame_->dirty = true;
+    return frame_->data.get();
+  }
+
+  uint64_t page_no() const { return frame_->page_no; }
+
+  /// Explicitly releases the pin (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferManager;
+  PageHandle(BufferManager* bm, internal::BufferFrame* frame)
+      : bm_(bm), frame_(frame) {}
+
+  BufferManager* bm_ = nullptr;
+  internal::BufferFrame* frame_ = nullptr;
+};
+
+/// A fixed-capacity LRU cache of pages from one or more registered
+/// PageStores. Capacity is expressed in pages. If every frame is pinned the
+/// pool temporarily over-commits (tree maintenance pins only O(height)
+/// pages, so this stays negligible) — over-committed reads still count as
+/// faults.
+class BufferManager {
+ public:
+  explicit BufferManager(size_t capacity_pages);
+  ~BufferManager();
+
+  RINGJOIN_DISALLOW_COPY_AND_ASSIGN(BufferManager);
+
+  /// Registers a backing store; returns its store id for Pin()/NewPage().
+  int RegisterStore(PageStore* store);
+
+  /// Pins page `page_no` of store `store_id`, faulting it in if absent.
+  Result<PageHandle> Pin(int store_id, uint64_t page_no);
+
+  /// Allocates a fresh page in the store and pins it (zero-filled, dirty).
+  /// The new page's number is written to `*page_no`. Allocation does not
+  /// count as a page fault: the paper's fault accounting concerns query-time
+  /// reads, and stats are reset after tree construction anyway.
+  Result<PageHandle> NewPage(int store_id, uint64_t* page_no);
+
+  /// Writes back all dirty frames (does not drop them).
+  Status FlushAll();
+
+  /// Flushes and drops every cached frame. Requires no outstanding pins.
+  Status Clear();
+
+  /// Changes capacity; evicts LRU unpinned frames if shrinking.
+  Status SetCapacity(size_t capacity_pages);
+
+  size_t capacity() const { return capacity_; }
+  size_t cached_pages() const { return frames_.size(); }
+
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferStats(); }
+
+ private:
+  friend class PageHandle;
+  using Frame = internal::BufferFrame;
+
+  // (store_id, page_no) packed into one key; store ids are tiny.
+  static uint64_t Key(int store_id, uint64_t page_no) {
+    return (static_cast<uint64_t>(store_id) << 48) | page_no;
+  }
+
+  void Unpin(Frame* frame);
+  Status EvictIfNeeded();
+  Status WriteBack(Frame* frame);
+
+  std::vector<PageStore*> stores_;
+  size_t capacity_;
+  // LRU list: front = most recently used. std::list gives stable Frame
+  // addresses, which PageHandle relies on.
+  std::list<Frame> frames_;
+  std::unordered_map<uint64_t, std::list<Frame>::iterator> table_;
+  BufferStats stats_;
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_STORAGE_BUFFER_MANAGER_H_

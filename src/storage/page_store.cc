@@ -1,0 +1,107 @@
+#include "storage/page_store.h"
+
+#include <cstring>
+
+namespace rcj {
+
+Status MemPageStore::Read(uint64_t page_no, uint8_t* out) const {
+  if (page_no >= pages_.size()) {
+    return Status::OutOfRange("read past end of MemPageStore");
+  }
+  std::memcpy(out, pages_[page_no].get(), page_size());
+  return Status::OK();
+}
+
+Status MemPageStore::Write(uint64_t page_no, const uint8_t* data) {
+  if (page_no >= pages_.size()) {
+    return Status::OutOfRange("write past end of MemPageStore");
+  }
+  std::memcpy(pages_[page_no].get(), data, page_size());
+  return Status::OK();
+}
+
+Result<uint64_t> MemPageStore::Allocate() {
+  auto page = std::make_unique<uint8_t[]>(page_size());
+  std::memset(page.get(), 0, page_size());
+  pages_.push_back(std::move(page));
+  return static_cast<uint64_t>(pages_.size() - 1);
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
+    const std::string& path, uint32_t page_size, bool create) {
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) {
+    if (!create) {
+      return Status::NotFound("cannot open page file: " + path);
+    }
+    file = std::fopen(path.c_str(), "wb+");
+    if (file == nullptr) {
+      return Status::IoError("cannot create page file: " + path);
+    }
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::IoError("seek failed on: " + path);
+  }
+  const long bytes = std::ftell(file);
+  if (bytes < 0 || bytes % static_cast<long>(page_size) != 0) {
+    std::fclose(file);
+    return Status::Corruption("page file size is not a multiple of the page "
+                              "size: " +
+                              path);
+  }
+  const uint64_t pages = static_cast<uint64_t>(bytes) / page_size;
+  return std::unique_ptr<FilePageStore>(
+      new FilePageStore(file, page_size, pages));
+}
+
+FilePageStore::~FilePageStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FilePageStore::Read(uint64_t page_no, uint8_t* out) const {
+  if (page_no >= num_pages_) {
+    return Status::OutOfRange("read past end of FilePageStore");
+  }
+  if (std::fseek(file_, static_cast<long>(page_no * page_size()), SEEK_SET) !=
+      0) {
+    return Status::IoError("seek failed");
+  }
+  if (std::fread(out, 1, page_size(), file_) != page_size()) {
+    return Status::IoError("short read");
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::Write(uint64_t page_no, const uint8_t* data) {
+  if (page_no >= num_pages_) {
+    return Status::OutOfRange("write past end of FilePageStore");
+  }
+  if (std::fseek(file_, static_cast<long>(page_no * page_size()), SEEK_SET) !=
+      0) {
+    return Status::IoError("seek failed");
+  }
+  if (std::fwrite(data, 1, page_size(), file_) != page_size()) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FilePageStore::Allocate() {
+  std::vector<uint8_t> zeros(page_size(), 0);
+  if (std::fseek(file_, static_cast<long>(num_pages_ * page_size()),
+                 SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  if (std::fwrite(zeros.data(), 1, page_size(), file_) != page_size()) {
+    return Status::IoError("short write while allocating");
+  }
+  return num_pages_++;
+}
+
+Status FilePageStore::Sync() {
+  if (std::fflush(file_) != 0) return Status::IoError("fflush failed");
+  return Status::OK();
+}
+
+}  // namespace rcj

@@ -1,0 +1,96 @@
+// The simulated disk: a flat array of fixed-size pages addressed by page
+// number. Two backends are provided — an in-memory store (used by tests and
+// benchmarks; "disk" behaviour is modeled by the buffer manager's fault
+// accounting, exactly as the paper charges 10 ms per page fault rather than
+// timing a physical disk) and a POSIX-file store for actual persistence.
+#ifndef RINGJOIN_STORAGE_PAGE_STORE_H_
+#define RINGJOIN_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace rcj {
+
+/// Default page size, matching the paper's experimental setup ("disk page
+/// size of 1K bytes", Section 5).
+inline constexpr uint32_t kDefaultPageSize = 1024;
+
+/// Abstract page-addressed storage. All reads and writes transfer exactly
+/// `page_size()` bytes. Not thread-safe; ringjoin is single-threaded by
+/// design (the paper's algorithms are sequential).
+class PageStore {
+ public:
+  explicit PageStore(uint32_t page_size) : page_size_(page_size) {}
+  virtual ~PageStore() = default;
+
+  RINGJOIN_DISALLOW_COPY_AND_ASSIGN(PageStore);
+
+  uint32_t page_size() const { return page_size_; }
+
+  /// Number of allocated pages; valid page numbers are [0, num_pages()).
+  virtual uint64_t num_pages() const = 0;
+
+  /// Reads page `page_no` into `out` (page_size() bytes).
+  virtual Status Read(uint64_t page_no, uint8_t* out) const = 0;
+
+  /// Writes page `page_no` from `data` (page_size() bytes).
+  virtual Status Write(uint64_t page_no, const uint8_t* data) = 0;
+
+  /// Appends a zero-filled page and returns its page number.
+  virtual Result<uint64_t> Allocate() = 0;
+
+ private:
+  uint32_t page_size_;
+};
+
+/// Heap-backed page store: the default substrate for experiments.
+class MemPageStore : public PageStore {
+ public:
+  explicit MemPageStore(uint32_t page_size = kDefaultPageSize)
+      : PageStore(page_size) {}
+
+  uint64_t num_pages() const override { return pages_.size(); }
+  Status Read(uint64_t page_no, uint8_t* out) const override;
+  Status Write(uint64_t page_no, const uint8_t* data) override;
+  Result<uint64_t> Allocate() override;
+
+ private:
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+};
+
+/// File-backed page store for durable trees. The file is a dense array of
+/// pages with no header (tree metadata lives in the tree's own header page).
+class FilePageStore : public PageStore {
+ public:
+  /// Opens (or creates, if `create` is true) the store at `path`.
+  static Result<std::unique_ptr<FilePageStore>> Open(
+      const std::string& path, uint32_t page_size = kDefaultPageSize,
+      bool create = true);
+
+  ~FilePageStore() override;
+
+  uint64_t num_pages() const override { return num_pages_; }
+  Status Read(uint64_t page_no, uint8_t* out) const override;
+  Status Write(uint64_t page_no, const uint8_t* data) override;
+  Result<uint64_t> Allocate() override;
+
+  /// Flushes OS buffers.
+  Status Sync();
+
+ private:
+  FilePageStore(std::FILE* file, uint32_t page_size, uint64_t num_pages)
+      : PageStore(page_size), file_(file), num_pages_(num_pages) {}
+
+  std::FILE* file_;
+  uint64_t num_pages_;
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_STORAGE_PAGE_STORE_H_

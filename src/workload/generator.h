@@ -1,0 +1,64 @@
+// Synthetic pointset generators for the paper's experiments (Section 5):
+// uniform (UI) data, Gaussian cluster data (w clusters, sigma = 1000), and
+// surrogates for the USGS real datasets PP/SC/LO (see the substitution
+// table in DESIGN.md — the originals are not redistributable, so we generate
+// heavy-tailed, cross-correlated clustered mixtures with the original
+// cardinalities).
+#ifndef RINGJOIN_WORKLOAD_GENERATOR_H_
+#define RINGJOIN_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace rcj {
+
+/// The coordinate domain; the paper normalizes everything to [0, 10000].
+struct Domain {
+  double lo = 0.0;
+  double hi = 10000.0;
+
+  double Width() const { return hi - lo; }
+};
+
+/// Uniform (UI) data: both coordinates i.i.d. uniform over the domain.
+std::vector<PointRecord> GenerateUniform(size_t n, uint64_t seed,
+                                         Domain domain = {});
+
+/// Gaussian cluster data (paper Fig. 18): `num_clusters` equal-size
+/// clusters, centers uniform over the domain, per-cluster Gaussian spread
+/// with the given sigma (paper: 1000). Samples are clamped to the domain.
+std::vector<PointRecord> GenerateGaussianClusters(size_t n,
+                                                  size_t num_clusters,
+                                                  double sigma, uint64_t seed,
+                                                  Domain domain = {});
+
+/// The paper's real datasets (Table 2), reproduced as surrogates.
+enum class RealDataset {
+  kPopulatedPlaces,  ///< PP, |PP| = 177983
+  kSchools,          ///< SC, |SC| = 172188
+  kLocales,          ///< LO, |LO| = 128476
+};
+
+/// Cardinality of the original USGS dataset (paper Table 2).
+size_t RealDatasetCardinality(RealDataset kind);
+
+const char* RealDatasetName(RealDataset kind);
+
+/// Surrogate for a USGS dataset: a heavy-tailed clustered mixture in which
+/// schools and locales are co-located with populated places (sampled around
+/// shared anchor towns), reproducing the skew and cross-correlation that
+/// drive the paper's real-data experiments. Deterministic in `seed`; two
+/// different kinds generated with the same seed share anchor towns and are
+/// therefore spatially correlated, like the originals.
+///
+/// `cardinality` 0 means the original cardinality; benches pass a scaled
+/// value to keep default runtimes short.
+std::vector<PointRecord> MakeRealSurrogate(RealDataset kind, uint64_t seed,
+                                           size_t cardinality = 0,
+                                           Domain domain = {});
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_WORKLOAD_GENERATOR_H_

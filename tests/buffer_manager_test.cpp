@@ -1,0 +1,185 @@
+#include "storage/buffer_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "storage/cost_model.h"
+
+namespace rcj {
+namespace {
+
+// A store of `n` pre-allocated pages where page i is filled with byte i.
+std::unique_ptr<MemPageStore> MakeStore(int n, uint32_t page_size = 128) {
+  auto store = std::make_unique<MemPageStore>(page_size);
+  std::vector<uint8_t> buf(page_size);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(store->Allocate().ok());
+    std::memset(buf.data(), i, page_size);
+    EXPECT_TRUE(store->Write(static_cast<uint64_t>(i), buf.data()).ok());
+  }
+  return store;
+}
+
+TEST(BufferManagerTest, HitAndMissAccounting) {
+  auto store = MakeStore(4);
+  BufferManager buffer(8);
+  const int sid = buffer.RegisterStore(store.get());
+
+  { auto h = buffer.Pin(sid, 0); ASSERT_TRUE(h.ok()); }
+  { auto h = buffer.Pin(sid, 0); ASSERT_TRUE(h.ok()); }
+  { auto h = buffer.Pin(sid, 1); ASSERT_TRUE(h.ok()); }
+
+  EXPECT_EQ(buffer.stats().logical_accesses, 3u);
+  EXPECT_EQ(buffer.stats().page_faults, 2u);
+  EXPECT_EQ(buffer.stats().hits(), 1u);
+}
+
+TEST(BufferManagerTest, PinReturnsStoredBytes) {
+  auto store = MakeStore(4);
+  BufferManager buffer(8);
+  const int sid = buffer.RegisterStore(store.get());
+  auto h = buffer.Pin(sid, 3);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().data()[0], 3);
+  EXPECT_EQ(h.value().data()[127], 3);
+  EXPECT_EQ(h.value().page_no(), 3u);
+}
+
+TEST(BufferManagerTest, LruEvictionOrder) {
+  auto store = MakeStore(4);
+  BufferManager buffer(2);
+  const int sid = buffer.RegisterStore(store.get());
+
+  { auto h = buffer.Pin(sid, 0); ASSERT_TRUE(h.ok()); }
+  { auto h = buffer.Pin(sid, 1); ASSERT_TRUE(h.ok()); }
+  // Touch page 0 so page 1 becomes the LRU victim.
+  { auto h = buffer.Pin(sid, 0); ASSERT_TRUE(h.ok()); }
+  { auto h = buffer.Pin(sid, 2); ASSERT_TRUE(h.ok()); }  // evicts 1
+
+  buffer.ResetStats();
+  { auto h = buffer.Pin(sid, 0); ASSERT_TRUE(h.ok()); }  // still cached
+  EXPECT_EQ(buffer.stats().page_faults, 0u);
+  { auto h = buffer.Pin(sid, 1); ASSERT_TRUE(h.ok()); }  // was evicted
+  EXPECT_EQ(buffer.stats().page_faults, 1u);
+}
+
+TEST(BufferManagerTest, PinnedPagesAreNotEvicted) {
+  auto store = MakeStore(4);
+  BufferManager buffer(2);
+  const int sid = buffer.RegisterStore(store.get());
+
+  auto pinned = buffer.Pin(sid, 0);
+  ASSERT_TRUE(pinned.ok());
+  // Fill and overflow the pool while page 0 stays pinned.
+  { auto h = buffer.Pin(sid, 1); ASSERT_TRUE(h.ok()); }
+  { auto h = buffer.Pin(sid, 2); ASSERT_TRUE(h.ok()); }
+  { auto h = buffer.Pin(sid, 3); ASSERT_TRUE(h.ok()); }
+
+  buffer.ResetStats();
+  { auto h = buffer.Pin(sid, 0); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(buffer.stats().page_faults, 0u) << "pinned page must stay cached";
+  pinned.value().Release();
+}
+
+TEST(BufferManagerTest, DirtyPageWrittenBackOnEviction) {
+  auto store = MakeStore(4);
+  BufferManager buffer(1);
+  const int sid = buffer.RegisterStore(store.get());
+
+  {
+    auto h = buffer.Pin(sid, 0);
+    ASSERT_TRUE(h.ok());
+    h.value().mutable_data()[0] = 0xAB;
+  }
+  // Evict page 0 by touching another page.
+  { auto h = buffer.Pin(sid, 1); ASSERT_TRUE(h.ok()); }
+  EXPECT_GE(buffer.stats().writebacks, 1u);
+
+  std::vector<uint8_t> raw(128);
+  ASSERT_TRUE(store->Read(0, raw.data()).ok());
+  EXPECT_EQ(raw[0], 0xAB);
+}
+
+TEST(BufferManagerTest, FlushAllPersistsWithoutEviction) {
+  auto store = MakeStore(2);
+  BufferManager buffer(8);
+  const int sid = buffer.RegisterStore(store.get());
+  {
+    auto h = buffer.Pin(sid, 1);
+    ASSERT_TRUE(h.ok());
+    h.value().mutable_data()[5] = 0x77;
+  }
+  ASSERT_TRUE(buffer.FlushAll().ok());
+  std::vector<uint8_t> raw(128);
+  ASSERT_TRUE(store->Read(1, raw.data()).ok());
+  EXPECT_EQ(raw[5], 0x77);
+  EXPECT_EQ(buffer.cached_pages(), 1u) << "flush must not drop frames";
+}
+
+TEST(BufferManagerTest, ClearFailsWithOutstandingPins) {
+  auto store = MakeStore(2);
+  BufferManager buffer(8);
+  const int sid = buffer.RegisterStore(store.get());
+  auto h = buffer.Pin(sid, 0);
+  ASSERT_TRUE(h.ok());
+  EXPECT_FALSE(buffer.Clear().ok());
+  h.value().Release();
+  EXPECT_TRUE(buffer.Clear().ok());
+  EXPECT_EQ(buffer.cached_pages(), 0u);
+}
+
+TEST(BufferManagerTest, NewPageAllocatesZeroedDirtyPage) {
+  auto store = MakeStore(0);
+  BufferManager buffer(8);
+  const int sid = buffer.RegisterStore(store.get());
+  uint64_t page_no = 99;
+  auto h = buffer.NewPage(sid, &page_no);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(page_no, 0u);
+  EXPECT_EQ(h.value().data()[0], 0);
+  EXPECT_EQ(store->num_pages(), 1u);
+  EXPECT_EQ(buffer.stats().page_faults, 0u)
+      << "allocation is not a query-time fault";
+}
+
+TEST(BufferManagerTest, TwoStoresShareOneBuffer) {
+  auto store_a = MakeStore(2);
+  auto store_b = MakeStore(2);
+  BufferManager buffer(8);
+  const int a = buffer.RegisterStore(store_a.get());
+  const int b = buffer.RegisterStore(store_b.get());
+  ASSERT_NE(a, b);
+
+  { auto h = buffer.Pin(a, 1); ASSERT_TRUE(h.ok()); EXPECT_EQ(h.value().data()[0], 1); }
+  { auto h = buffer.Pin(b, 1); ASSERT_TRUE(h.ok()); EXPECT_EQ(h.value().data()[0], 1); }
+  EXPECT_EQ(buffer.stats().page_faults, 2u)
+      << "same page number in different stores must be distinct frames";
+}
+
+TEST(BufferManagerTest, SetCapacityShrinksPool) {
+  auto store = MakeStore(6);
+  BufferManager buffer(6);
+  const int sid = buffer.RegisterStore(store.get());
+  for (uint64_t i = 0; i < 5; ++i) {
+    auto h = buffer.Pin(sid, i);
+    ASSERT_TRUE(h.ok());
+  }
+  ASSERT_TRUE(buffer.SetCapacity(2).ok());
+  EXPECT_LE(buffer.cached_pages(), 2u);
+}
+
+TEST(CostModelTest, ChargesTenMillisecondsPerFaultByDefault) {
+  IoCostModel model;
+  EXPECT_DOUBLE_EQ(model.Seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(model.Seconds(100), 1.0);
+  BufferStats stats;
+  stats.logical_accesses = 500;
+  stats.page_faults = 250;
+  EXPECT_DOUBLE_EQ(model.SecondsFor(stats), 2.5);
+  IoCostModel fast{1.0};
+  EXPECT_DOUBLE_EQ(fast.Seconds(100), 0.1);
+}
+
+}  // namespace
+}  // namespace rcj

@@ -1,0 +1,168 @@
+#include "geometry/circle.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rcj {
+namespace {
+
+using testing_util::SplitMix;
+
+TEST(CircleTest, EnclosingCircleOfPairIsDiametral) {
+  const Point a{0.0, 0.0};
+  const Point b{4.0, 0.0};
+  const Circle c = Circle::Enclosing(a, b);
+  EXPECT_EQ(c.center, (Point{2.0, 0.0}));
+  EXPECT_DOUBLE_EQ(c.radius2, 4.0);
+  EXPECT_DOUBLE_EQ(c.Radius(), 2.0);
+  EXPECT_DOUBLE_EQ(c.Diameter(), 4.0);
+}
+
+TEST(CircleTest, EndpointsAreNotStrictlyInsideUnderDiametralPredicate) {
+  SplitMix rng(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Point a = rng.NextPoint(-100, 100);
+    const Point b = rng.NextPoint(-100, 100);
+    // Open-disk convention: the defining pair lies on the boundary, never
+    // strictly inside. The diametral (dot) predicate guarantees this
+    // *exactly* — dot(a - a, b - a) == 0 — which is why all
+    // correctness-critical containment checks use it.
+    EXPECT_FALSE(StrictlyInsideDiametral(a, a, b));
+    EXPECT_FALSE(StrictlyInsideDiametral(b, a, b));
+    // The center/radius form, by contrast, may be off by ~1 ulp because
+    // the midpoint rounds; assert it is at least boundary-close.
+    const Circle c = Circle::Enclosing(a, b);
+    EXPECT_NEAR(Dist2(a, c.center), c.radius2, 1e-9 * (1.0 + c.radius2));
+    EXPECT_NEAR(Dist2(b, c.center), c.radius2, 1e-9 * (1.0 + c.radius2));
+  }
+}
+
+TEST(CircleTest, DiametralPredicateMatchesCenterRadiusFormAwayFromBoundary) {
+  SplitMix rng(33);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Point a = rng.NextPoint(-100, 100);
+    const Point b = rng.NextPoint(-100, 100);
+    const Point o = rng.NextPoint(-150, 150);
+    const Circle c = Circle::Enclosing(a, b);
+    // Random third points are never within an ulp of the ring, so the two
+    // predicate forms must agree.
+    EXPECT_EQ(StrictlyInsideDiametral(o, a, b), c.ContainsStrict(o));
+  }
+}
+
+TEST(CircleTest, DiametralFaceRuleMatchesCornerDefinition) {
+  SplitMix rng(34);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const Point a = rng.NextPoint(-10, 10);
+    const Point b = rng.NextPoint(-10, 10);
+    Rect r = Rect::Empty();
+    r.Expand(rng.NextPoint(-12, 12));
+    r.Expand(rng.NextPoint(-12, 12));
+    bool expected = false;
+    for (int i = 0; i < 4; ++i) {
+      if (StrictlyInsideDiametral(r.Corner(i), a, b) &&
+          StrictlyInsideDiametral(r.Corner((i + 1) & 3), a, b)) {
+        expected = true;
+      }
+    }
+    EXPECT_EQ(DiametralContainsRectFace(a, b, r), expected);
+  }
+}
+
+TEST(CircleTest, ContainsStrictIsOpen) {
+  const Circle c = Circle::Enclosing(Point{0.0, 0.0}, Point{2.0, 0.0});
+  EXPECT_TRUE(c.ContainsStrict(Point{1.0, 0.0}));     // center
+  EXPECT_TRUE(c.ContainsStrict(Point{1.0, 0.999}));
+  EXPECT_FALSE(c.ContainsStrict(Point{1.0, 1.0}));    // on the ring
+  EXPECT_FALSE(c.ContainsStrict(Point{1.0, 1.001}));  // outside
+  EXPECT_FALSE(c.ContainsStrict(Point{0.0, 0.0}));    // endpoint on ring
+}
+
+TEST(CircleTest, DegeneratePairGivesPointCircle) {
+  const Point a{5.0, 5.0};
+  const Circle c = Circle::Enclosing(a, a);
+  EXPECT_DOUBLE_EQ(c.radius2, 0.0);
+  EXPECT_FALSE(c.ContainsStrict(a));  // open disk of radius 0 is empty
+}
+
+TEST(CircleTest, IntersectsRect) {
+  const Circle c = Circle::Enclosing(Point{0.0, 0.0}, Point{2.0, 0.0});
+  EXPECT_TRUE(c.IntersectsRect(Rect{{0.5, -0.5}, {1.5, 0.5}}));   // inside
+  EXPECT_TRUE(c.IntersectsRect(Rect{{1.5, 0.0}, {5.0, 5.0}}));    // overlap
+  EXPECT_FALSE(c.IntersectsRect(Rect{{2.0, 1.0}, {5.0, 5.0}}));   // corner on ring
+  EXPECT_FALSE(c.IntersectsRect(Rect{{4.0, 4.0}, {5.0, 5.0}}));   // far away
+}
+
+TEST(CircleTest, ContainsRectStrict) {
+  const Circle c = Circle::Enclosing(Point{-2.0, 0.0}, Point{2.0, 0.0});
+  EXPECT_TRUE(c.ContainsRectStrict(Rect{{-0.5, -0.5}, {0.5, 0.5}}));
+  EXPECT_FALSE(c.ContainsRectStrict(Rect{{-2.0, -2.0}, {2.0, 2.0}}));
+}
+
+TEST(CircleTest, FaceInsideDetectsFullyEnclosedSide) {
+  const Circle c = Circle::Enclosing(Point{-2.0, 0.0}, Point{2.0, 0.0});
+  // Tall thin rect: bottom side is deep inside the circle, top far outside.
+  const Rect tall{{-0.2, -0.5}, {0.2, 50.0}};
+  EXPECT_TRUE(c.ContainsRectFaceStrict(tall));
+  // Rect entirely inside: all faces inside.
+  EXPECT_TRUE(c.ContainsRectFaceStrict(Rect{{-0.5, -0.5}, {0.5, 0.5}}));
+  // Rect whose corners all lie outside: no face inside.
+  EXPECT_FALSE(c.ContainsRectFaceStrict(Rect{{-3.0, -3.0}, {3.0, 3.0}}));
+}
+
+TEST(CircleTest, FaceInsideNeedsAdjacentCornersNotDiagonal) {
+  // Circle around the origin; rect positioned so exactly two *diagonal*
+  // corners are inside -> no face is fully inside.
+  const Circle c{Point{0.0, 0.0}, 1.0};  // radius 1
+  const Rect diag{{-0.9, -0.9}, {0.9, 0.9}};
+  // Corners at distance sqrt(1.62) > 1: none inside; sanity-check setup.
+  EXPECT_FALSE(c.ContainsRectFaceStrict(diag));
+
+  // Now a rect with one corner inside only.
+  const Rect one{{0.0, 0.0}, {5.0, 5.0}};
+  EXPECT_FALSE(c.ContainsRectFaceStrict(one));
+
+  // Rect with the left side inside (both left corners), right side out.
+  const Rect left{{-0.5, -0.5}, {5.0, 0.5}};
+  EXPECT_TRUE(c.ContainsRectFaceStrict(left));
+}
+
+TEST(CircleTest, FaceInsideImpliesIntersects) {
+  SplitMix rng(17);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Circle c = Circle::Enclosing(rng.NextPoint(-10, 10),
+                                       rng.NextPoint(-10, 10));
+    Rect r = Rect::Empty();
+    r.Expand(rng.NextPoint(-12, 12));
+    r.Expand(rng.NextPoint(-12, 12));
+    if (c.ContainsRectFaceStrict(r)) {
+      EXPECT_TRUE(c.IntersectsRect(r));
+    }
+    if (c.ContainsRectStrict(r)) {
+      EXPECT_TRUE(c.ContainsRectFaceStrict(r));
+    }
+  }
+}
+
+TEST(CircleTest, FaceInsideMatchesCornerDefinition) {
+  SplitMix rng(23);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const Circle c = Circle::Enclosing(rng.NextPoint(-10, 10),
+                                       rng.NextPoint(-10, 10));
+    Rect r = Rect::Empty();
+    r.Expand(rng.NextPoint(-12, 12));
+    r.Expand(rng.NextPoint(-12, 12));
+    bool expected = false;
+    for (int i = 0; i < 4; ++i) {
+      if (c.ContainsStrict(r.Corner(i)) &&
+          c.ContainsStrict(r.Corner((i + 1) & 3))) {
+        expected = true;
+      }
+    }
+    EXPECT_EQ(c.ContainsRectFaceStrict(r), expected);
+  }
+}
+
+}  // namespace
+}  // namespace rcj

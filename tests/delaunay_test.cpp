@@ -1,0 +1,108 @@
+#include "extensions/delaunay.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geometry/circle.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace rcj {
+namespace {
+
+using testing_util::SplitMix;
+
+TEST(DelaunayTest, TriangleOfThreePoints) {
+  const std::vector<Point> pts{{0.0, 0.0}, {10.0, 0.0}, {5.0, 8.0}};
+  DelaunayTriangulation dt(pts);
+  EXPECT_EQ(dt.triangles().size(), 1u);
+  EXPECT_EQ(dt.edges().size(), 3u);
+}
+
+TEST(DelaunayTest, SquareHasFiveEdges) {
+  // A square triangulates into two triangles sharing one diagonal.
+  const std::vector<Point> pts{{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0},
+                               {0.0, 10.0}};
+  DelaunayTriangulation dt(pts);
+  EXPECT_EQ(dt.triangles().size(), 2u);
+  EXPECT_EQ(dt.edges().size(), 5u);
+}
+
+TEST(DelaunayTest, FewerThanTwoPoints) {
+  EXPECT_TRUE(DelaunayTriangulation({}).edges().empty());
+  EXPECT_TRUE(DelaunayTriangulation({Point{1, 1}}).edges().empty());
+}
+
+TEST(DelaunayTest, EdgeCountBoundsForPlanarGraph) {
+  const std::vector<PointRecord> recs = GenerateUniform(500, 61);
+  std::vector<Point> pts;
+  for (const PointRecord& r : recs) pts.push_back(r.pt);
+  DelaunayTriangulation dt(pts);
+  EXPECT_LE(dt.edges().size(), 3 * pts.size() - 6);
+  EXPECT_GE(dt.edges().size(), pts.size() - 1);
+}
+
+TEST(DelaunayTest, EmptyCircumcirclePropertySampled) {
+  // The defining property: no input point strictly inside any final
+  // triangle's circumcircle. Checked exhaustively on a moderate input.
+  const std::vector<PointRecord> recs = GenerateUniform(120, 62);
+  std::vector<Point> pts;
+  for (const PointRecord& r : recs) pts.push_back(r.pt);
+  DelaunayTriangulation dt(pts);
+  ASSERT_FALSE(dt.triangles().empty());
+
+  for (const auto& tri : dt.triangles()) {
+    const Point& a = pts[tri[0]];
+    const Point& b = pts[tri[1]];
+    const Point& c = pts[tri[2]];
+    // Circumcenter via perpendicular bisector intersection.
+    const double d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) +
+                            c.x * (a.y - b.y));
+    ASSERT_NE(d, 0.0);
+    const double a2 = a.x * a.x + a.y * a.y;
+    const double b2 = b.x * b.x + b.y * b.y;
+    const double c2 = c.x * c.x + c.y * c.y;
+    const Point center{(a2 * (b.y - c.y) + b2 * (c.y - a.y) +
+                        c2 * (a.y - b.y)) /
+                           d,
+                       (a2 * (c.x - b.x) + b2 * (a.x - c.x) +
+                        c2 * (b.x - a.x)) /
+                           d};
+    const double r2 = Dist2(center, a);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (i == tri[0] || i == tri[1] || i == tri[2]) continue;
+      // Allow a sliver of floating-point slack: the incremental algorithm
+      // uses plain doubles.
+      EXPECT_GE(Dist2(pts[i], center), r2 * (1.0 - 1e-9))
+          << "point " << i << " inside circumcircle of triangle";
+    }
+  }
+}
+
+TEST(DelaunayTest, EveryPointAppearsInSomeEdge) {
+  const std::vector<PointRecord> recs = GenerateUniform(300, 63);
+  std::vector<Point> pts;
+  for (const PointRecord& r : recs) pts.push_back(r.pt);
+  DelaunayTriangulation dt(pts);
+  std::set<uint32_t> seen;
+  for (const auto& [u, v] : dt.edges()) {
+    ASSERT_LT(u, v);
+    seen.insert(u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), pts.size());
+}
+
+TEST(DelaunayTest, ClusteredInputStillValid) {
+  const std::vector<PointRecord> recs =
+      GenerateGaussianClusters(400, 3, 500.0, 64);
+  std::vector<Point> pts;
+  for (const PointRecord& r : recs) pts.push_back(r.pt);
+  DelaunayTriangulation dt(pts);
+  EXPECT_LE(dt.edges().size(), 3 * pts.size() - 6);
+  EXPECT_GE(dt.edges().size(), pts.size() - 1);
+}
+
+}  // namespace
+}  // namespace rcj

@@ -1,0 +1,112 @@
+// Incremental RCJ maintenance vs full recomputation: after every insertion
+// the maintained pair set must equal the batch join of the points inserted
+// so far.
+#include "extensions/dynamic_rcj.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rcj_brute.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace rcj {
+namespace {
+
+using testing_util::ExpectSamePairs;
+
+TEST(DynamicRcjTest, EmptyJoinHasNoPairs) {
+  auto join = DynamicRcj::Create();
+  ASSERT_TRUE(join.ok());
+  EXPECT_TRUE(join.value()->pairs().empty());
+}
+
+TEST(DynamicRcjTest, FirstPairAppearsAfterOnePointPerSide) {
+  auto join = std::move(DynamicRcj::Create().value());
+  ASSERT_TRUE(join->InsertP(PointRecord{{100.0, 100.0}, 0}).ok());
+  EXPECT_TRUE(join->pairs().empty()) << "no Q points yet";
+  ASSERT_TRUE(join->InsertQ(PointRecord{{200.0, 100.0}, 0}).ok());
+  ASSERT_EQ(join->pairs().size(), 1u);
+  EXPECT_EQ(join->pairs()[0].circle.center, (Point{150.0, 100.0}));
+}
+
+TEST(DynamicRcjTest, InsertionKillsBlockedPair) {
+  auto join = std::move(DynamicRcj::Create().value());
+  ASSERT_TRUE(join->InsertP(PointRecord{{0.0, 0.0}, 0}).ok());
+  ASSERT_TRUE(join->InsertQ(PointRecord{{10.0, 0.0}, 0}).ok());
+  ASSERT_EQ(join->pairs().size(), 1u);
+  // A new P point in the middle of the existing pair's circle kills it and
+  // forms a new, tighter pair with the Q point.
+  ASSERT_TRUE(join->InsertP(PointRecord{{5.0, 0.1}, 1}).ok());
+  const auto ids = testing_util::PairIds(join->pairs());
+  EXPECT_TRUE(ids.count({0, 0}) == 0) << "old pair must be invalidated";
+  EXPECT_TRUE(ids.count({1, 0}) != 0) << "new point pairs with q0";
+  EXPECT_TRUE(ids.count({0, 0}) == 0);
+}
+
+class DynamicSequenceSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(DynamicSequenceSweep, MatchesBatchJoinAfterEveryInsertion) {
+  const auto [n_per_side, seed] = GetParam();
+  const std::vector<PointRecord> pset = GenerateUniform(n_per_side, seed);
+  const std::vector<PointRecord> qset =
+      GenerateUniform(n_per_side, seed + 1000);
+
+  auto join = std::move(DynamicRcj::Create().value());
+  std::vector<PointRecord> inserted_p;
+  std::vector<PointRecord> inserted_q;
+
+  // Interleave insertions; cross-check against brute force at checkpoints
+  // (every insertion for small runs would be O(n^4) overall).
+  const size_t checkpoint = std::max<size_t>(1, n_per_side / 4);
+  for (size_t i = 0; i < n_per_side; ++i) {
+    ASSERT_TRUE(join->InsertP(pset[i]).ok());
+    inserted_p.push_back(pset[i]);
+    ASSERT_TRUE(join->InsertQ(qset[i]).ok());
+    inserted_q.push_back(qset[i]);
+
+    if ((i + 1) % checkpoint == 0 || i + 1 == n_per_side) {
+      std::vector<RcjPair> maintained = join->pairs();
+      ExpectSamePairs(maintained, BruteForceRcj(inserted_p, inserted_q),
+                      ("after " + std::to_string(i + 1) + " rounds").c_str());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DynamicSequenceSweep,
+    ::testing::Combine(::testing::Values<size_t>(20, 60, 120),
+                       ::testing::Values<uint64_t>(900, 901)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(DynamicRcjTest, SkewedInsertionOrderStillCorrect) {
+  // All P first, then all Q — exercises the one-sided phases.
+  const std::vector<PointRecord> pset = GenerateUniform(80, 910);
+  const std::vector<PointRecord> qset = GenerateUniform(80, 911);
+  auto join = std::move(DynamicRcj::Create().value());
+  for (const PointRecord& p : pset) ASSERT_TRUE(join->InsertP(p).ok());
+  EXPECT_TRUE(join->pairs().empty());
+  for (const PointRecord& q : qset) ASSERT_TRUE(join->InsertQ(q).ok());
+  std::vector<RcjPair> maintained = join->pairs();
+  ExpectSamePairs(maintained, BruteForceRcj(pset, qset), "P-then-Q order");
+}
+
+TEST(DynamicRcjTest, ClusteredInsertions) {
+  const std::vector<PointRecord> pset =
+      GenerateGaussianClusters(100, 3, 600.0, 920);
+  const std::vector<PointRecord> qset =
+      GenerateGaussianClusters(100, 3, 600.0, 921);
+  auto join = std::move(DynamicRcj::Create().value());
+  for (size_t i = 0; i < pset.size(); ++i) {
+    ASSERT_TRUE(join->InsertP(pset[i]).ok());
+    ASSERT_TRUE(join->InsertQ(qset[i]).ok());
+  }
+  std::vector<RcjPair> maintained = join->pairs();
+  ExpectSamePairs(maintained, BruteForceRcj(pset, qset), "clustered");
+}
+
+}  // namespace
+}  // namespace rcj

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "geometry/metric.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "test_util.h"
+
+namespace rcj {
+namespace {
+
+using testing_util::SplitMix;
+
+TEST(PointTest, Distances) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Dist2(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Dist(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(DistL1(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(DistLInf(a, b), 4.0);
+}
+
+TEST(PointTest, MidpointIsEquidistant) {
+  const Point a{1.0, 7.0};
+  const Point b{5.0, -3.0};
+  const Point m = Midpoint(a, b);
+  EXPECT_DOUBLE_EQ(Dist2(a, m), Dist2(b, m));
+}
+
+TEST(PointTest, MetricDistDispatch) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(MetricDist(Metric::kL1, a, b), 7.0);
+  EXPECT_DOUBLE_EQ(MetricDist(Metric::kL2, a, b), 5.0);
+  EXPECT_DOUBLE_EQ(MetricDist(Metric::kLInf, a, b), 4.0);
+}
+
+TEST(RectTest, EmptyRect) {
+  const Rect e = Rect::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_DOUBLE_EQ(e.Area(), 0.0);
+  EXPECT_DOUBLE_EQ(e.Margin(), 0.0);
+  Rect r = Rect::Empty();
+  r.Expand(Point{2.0, 3.0});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_EQ(r, Rect::FromPoint(Point{2.0, 3.0}));
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  const Rect r{{0.0, 0.0}, {10.0, 5.0}};
+  EXPECT_TRUE(r.Contains(Point{0.0, 0.0}));    // closed boundary
+  EXPECT_TRUE(r.Contains(Point{10.0, 5.0}));
+  EXPECT_FALSE(r.Contains(Point{10.0001, 5.0}));
+  EXPECT_TRUE(r.Intersects(Rect{{10.0, 5.0}, {20.0, 8.0}}));  // corner touch
+  EXPECT_FALSE(r.Intersects(Rect{{10.5, 0.0}, {20.0, 8.0}}));
+  EXPECT_TRUE(r.ContainsRect(Rect{{1.0, 1.0}, {9.0, 4.0}}));
+  EXPECT_FALSE(r.ContainsRect(Rect{{1.0, 1.0}, {11.0, 4.0}}));
+}
+
+TEST(RectTest, AreaMarginCenter) {
+  const Rect r{{1.0, 2.0}, {4.0, 8.0}};
+  EXPECT_DOUBLE_EQ(r.Area(), 18.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 9.0);
+  EXPECT_EQ(r.Center(), (Point{2.5, 5.0}));
+}
+
+TEST(RectTest, CornersAreCyclicallyAdjacent) {
+  const Rect r{{0.0, 0.0}, {2.0, 1.0}};
+  EXPECT_EQ(r.Corner(0), (Point{0.0, 0.0}));
+  EXPECT_EQ(r.Corner(1), (Point{2.0, 0.0}));
+  EXPECT_EQ(r.Corner(2), (Point{2.0, 1.0}));
+  EXPECT_EQ(r.Corner(3), (Point{0.0, 1.0}));
+  // Adjacent corners differ in exactly one coordinate (that is what the
+  // face-inside-circle test relies on).
+  for (int i = 0; i < 4; ++i) {
+    const Point a = r.Corner(i);
+    const Point b = r.Corner((i + 1) & 3);
+    EXPECT_TRUE((a.x == b.x) != (a.y == b.y));
+  }
+}
+
+TEST(RectTest, OverlapArea) {
+  const Rect a{{0.0, 0.0}, {4.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Rect{{2.0, 2.0}, {6.0, 6.0}}), 4.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Rect{{4.0, 0.0}, {8.0, 4.0}}), 0.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Rect{{5.0, 5.0}, {6.0, 6.0}}), 0.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(a), 16.0);
+}
+
+TEST(RectTest, MinDist2ToPoint) {
+  const Rect r{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_DOUBLE_EQ(r.MinDist2(Point{5.0, 5.0}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(r.MinDist2(Point{13.0, 14.0}), 25.0);
+  EXPECT_DOUBLE_EQ(r.MinDist2(Point{-3.0, 5.0}), 9.0);
+  EXPECT_DOUBLE_EQ(r.MinDist2(Point{10.0, 10.0}), 0.0);  // boundary
+}
+
+TEST(RectTest, MaxDist2ToPoint) {
+  const Rect r{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_DOUBLE_EQ(r.MaxDist2(Point{0.0, 0.0}), 200.0);
+  EXPECT_DOUBLE_EQ(r.MaxDist2(Point{5.0, 5.0}), 50.0);
+}
+
+TEST(RectTest, MinDist2PropertySampledAgainstDefinition) {
+  SplitMix rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    Rect r = Rect::Empty();
+    r.Expand(rng.NextPoint(-100, 100));
+    r.Expand(rng.NextPoint(-100, 100));
+    const Point p = rng.NextPoint(-200, 200);
+    // Sampled lower bound on the true mindist.
+    double best = 1e300;
+    for (int i = 0; i <= 20; ++i) {
+      for (int j = 0; j <= 20; ++j) {
+        const Point s{r.lo.x + (r.hi.x - r.lo.x) * i / 20.0,
+                      r.lo.y + (r.hi.y - r.lo.y) * j / 20.0};
+        best = std::min(best, Dist2(p, s));
+      }
+    }
+    EXPECT_LE(r.MinDist2(p), best + 1e-9);
+    EXPECT_GE(r.MaxDist2(p), best - 1e-9);
+  }
+}
+
+TEST(RectTest, UnionAndEnlargement) {
+  const Rect a{{0.0, 0.0}, {2.0, 2.0}};
+  const Rect b{{3.0, 1.0}, {5.0, 4.0}};
+  const Rect u = Union(a, b);
+  EXPECT_EQ(u, (Rect{{0.0, 0.0}, {5.0, 4.0}}));
+  EXPECT_DOUBLE_EQ(Enlargement(a, b), 20.0 - 4.0);
+  EXPECT_DOUBLE_EQ(Enlargement(a, Rect{{1.0, 1.0}, {2.0, 2.0}}), 0.0);
+}
+
+TEST(RectTest, RectRectMinDist2) {
+  const Rect a{{0.0, 0.0}, {2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(MinDist2(a, Rect{{1.0, 1.0}, {3.0, 3.0}}), 0.0);
+  EXPECT_DOUBLE_EQ(MinDist2(a, Rect{{5.0, 0.0}, {6.0, 2.0}}), 9.0);
+  EXPECT_DOUBLE_EQ(MinDist2(a, Rect{{5.0, 6.0}, {7.0, 8.0}}), 9.0 + 16.0);
+  EXPECT_DOUBLE_EQ(MinDist2(a, a), 0.0);
+}
+
+TEST(RectTest, RectRectMinDist2IsSymmetric) {
+  SplitMix rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    Rect a = Rect::Empty();
+    a.Expand(rng.NextPoint(-50, 50));
+    a.Expand(rng.NextPoint(-50, 50));
+    Rect b = Rect::Empty();
+    b.Expand(rng.NextPoint(-50, 50));
+    b.Expand(rng.NextPoint(-50, 50));
+    EXPECT_DOUBLE_EQ(MinDist2(a, b), MinDist2(b, a));
+    if (a.Intersects(b)) {
+      EXPECT_DOUBLE_EQ(MinDist2(a, b), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcj

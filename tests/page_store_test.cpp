@@ -1,0 +1,111 @@
+#include "storage/page_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace rcj {
+namespace {
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  std::string path = dir != nullptr ? dir : "/tmp";
+  path += "/";
+  path += name;
+  return path;
+}
+
+void FillPattern(std::vector<uint8_t>* buf, uint8_t seed) {
+  for (size_t i = 0; i < buf->size(); ++i) {
+    (*buf)[i] = static_cast<uint8_t>(seed + i * 13);
+  }
+}
+
+TEST(MemPageStoreTest, AllocateReadWriteRoundtrip) {
+  MemPageStore store(256);
+  EXPECT_EQ(store.page_size(), 256u);
+  EXPECT_EQ(store.num_pages(), 0u);
+
+  Result<uint64_t> p0 = store.Allocate();
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(p0.value(), 0u);
+  Result<uint64_t> p1 = store.Allocate();
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p1.value(), 1u);
+  EXPECT_EQ(store.num_pages(), 2u);
+
+  std::vector<uint8_t> out(256, 0xff);
+  ASSERT_TRUE(store.Read(0, out.data()).ok());
+  for (uint8_t byte : out) EXPECT_EQ(byte, 0) << "fresh pages are zeroed";
+
+  std::vector<uint8_t> in(256);
+  FillPattern(&in, 7);
+  ASSERT_TRUE(store.Write(1, in.data()).ok());
+  ASSERT_TRUE(store.Read(1, out.data()).ok());
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), 256), 0);
+}
+
+TEST(MemPageStoreTest, OutOfRangeAccessFails) {
+  MemPageStore store(128);
+  std::vector<uint8_t> buf(128);
+  EXPECT_EQ(store.Read(0, buf.data()).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(store.Write(5, buf.data()).code(), StatusCode::kOutOfRange);
+}
+
+TEST(FilePageStoreTest, CreateWriteReopenRead) {
+  const std::string path = TempPath("ringjoin_pagestore_test.bin");
+  std::remove(path.c_str());
+
+  std::vector<uint8_t> in(512);
+  FillPattern(&in, 42);
+  {
+    Result<std::unique_ptr<FilePageStore>> store =
+        FilePageStore::Open(path, 512, /*create=*/true);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    Result<uint64_t> p0 = store.value()->Allocate();
+    ASSERT_TRUE(p0.ok());
+    Result<uint64_t> p1 = store.value()->Allocate();
+    ASSERT_TRUE(p1.ok());
+    ASSERT_TRUE(store.value()->Write(1, in.data()).ok());
+    ASSERT_TRUE(store.value()->Sync().ok());
+  }
+  {
+    Result<std::unique_ptr<FilePageStore>> store =
+        FilePageStore::Open(path, 512, /*create=*/false);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_EQ(store.value()->num_pages(), 2u);
+    std::vector<uint8_t> out(512);
+    ASSERT_TRUE(store.value()->Read(1, out.data()).ok());
+    EXPECT_EQ(std::memcmp(in.data(), out.data(), 512), 0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, MissingFileWithoutCreateFails) {
+  Result<std::unique_ptr<FilePageStore>> store = FilePageStore::Open(
+      TempPath("ringjoin_does_not_exist.bin"), 512, /*create=*/false);
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FilePageStoreTest, CorruptSizeDetected) {
+  const std::string path = TempPath("ringjoin_corrupt_size.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[100] = {0};
+    std::fwrite(junk, 1, sizeof(junk), f);  // 100 bytes: not a page multiple
+    std::fclose(f);
+  }
+  Result<std::unique_ptr<FilePageStore>> store =
+      FilePageStore::Open(path, 512, /*create=*/false);
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rcj

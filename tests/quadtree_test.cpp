@@ -1,0 +1,148 @@
+#include "quadtree/quadtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace rcj {
+namespace {
+
+using testing_util::RandomRecords;
+
+constexpr Rect kDomain{{0.0, 0.0}, {10000.0, 10000.0}};
+
+struct Env {
+  std::unique_ptr<MemPageStore> store;
+  std::unique_ptr<BufferManager> buffer;
+  std::unique_ptr<QuadTree> tree;
+};
+
+Env MakeTree(const std::vector<PointRecord>& recs, uint32_t page_size = 512) {
+  Env env;
+  env.store = std::make_unique<MemPageStore>(page_size);
+  env.buffer = std::make_unique<BufferManager>(1u << 16);
+  Result<std::unique_ptr<QuadTree>> tree =
+      QuadTree::Create(env.store.get(), env.buffer.get(), kDomain);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  env.tree = std::move(tree.value());
+  for (const PointRecord& r : recs) {
+    EXPECT_TRUE(env.tree->Insert(r).ok());
+  }
+  return env;
+}
+
+TEST(QuadTreeTest, EmptyTree) {
+  Env env = MakeTree({});
+  EXPECT_EQ(env.tree->num_points(), 0u);
+  std::vector<PointRecord> out;
+  ASSERT_TRUE(env.tree->RangeSearch(kDomain, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(env.tree->CheckInvariants().ok());
+}
+
+TEST(QuadTreeTest, RejectsPointOutsideDomain) {
+  Env env = MakeTree({});
+  EXPECT_FALSE(env.tree->Insert(PointRecord{{-1.0, 5.0}, 0}).ok());
+  EXPECT_FALSE(env.tree->Insert(PointRecord{{5.0, 10001.0}, 0}).ok());
+}
+
+TEST(QuadTreeTest, RejectsEmptyDomain) {
+  MemPageStore store(512);
+  BufferManager buffer(64);
+  EXPECT_FALSE(QuadTree::Create(&store, &buffer, Rect::Empty()).ok());
+}
+
+class QuadTreeSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, uint32_t>> {};
+
+TEST_P(QuadTreeSweep, InvariantsAndRangeQueries) {
+  const auto [n, page_size] = GetParam();
+  const std::vector<PointRecord> recs = RandomRecords(n, 600 + n);
+  Env env = MakeTree(recs, page_size);
+  EXPECT_EQ(env.tree->num_points(), n);
+  ASSERT_TRUE(env.tree->CheckInvariants().ok())
+      << env.tree->CheckInvariants().ToString();
+
+  testing_util::SplitMix rng(9);
+  for (int trial = 0; trial < 15; ++trial) {
+    Rect box = Rect::Empty();
+    box.Expand(rng.NextPoint(0, 10000));
+    box.Expand(rng.NextPoint(0, 10000));
+    std::vector<PointRecord> got;
+    ASSERT_TRUE(env.tree->RangeSearch(box, &got).ok());
+    size_t expected = 0;
+    for (const PointRecord& r : recs) {
+      if (box.Contains(r.pt)) ++expected;
+    }
+    EXPECT_EQ(got.size(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, QuadTreeSweep,
+    ::testing::Combine(::testing::Values<size_t>(1, 25, 300, 3000),
+                       ::testing::Values<uint32_t>(256, 1024)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_page" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(QuadTreeTest, ClusteredDataSplitsDeep) {
+  // A tight cluster forces repeated splits in one corner.
+  const std::vector<PointRecord> recs =
+      GenerateGaussianClusters(2000, 1, 20.0, 5);
+  Env env = MakeTree(recs);
+  ASSERT_TRUE(env.tree->CheckInvariants().ok());
+  std::vector<PointRecord> out;
+  ASSERT_TRUE(env.tree->RangeSearch(kDomain, &out).ok());
+  EXPECT_EQ(out.size(), recs.size());
+}
+
+TEST(QuadTreeTest, MassiveDuplicatesHitMaxDepthGracefully) {
+  Env env = MakeTree({});
+  const size_t capacity = env.tree->leaf_capacity();
+  Status last = Status::OK();
+  for (size_t i = 0; i < capacity + 5; ++i) {
+    last = env.tree->Insert(PointRecord{{5.0, 5.0}, static_cast<PointId>(i)});
+    if (!last.ok()) break;
+  }
+  EXPECT_FALSE(last.ok()) << "duplicate overflow must fail, not loop";
+  EXPECT_EQ(last.code(), StatusCode::kNotSupported);
+}
+
+TEST(QuadTreeTest, VisitLeavesCoversAllPointsOnce) {
+  const std::vector<PointRecord> recs = RandomRecords(800, 15);
+  Env env = MakeTree(recs);
+  std::vector<PointId> seen;
+  ASSERT_TRUE(env.tree
+                  ->VisitLeavesDepthFirst(
+                      [&](const QuadNode& leaf, const Rect& region) {
+                        for (const LeafEntry& e : leaf.points) {
+                          EXPECT_TRUE(region.Contains(e.rec.pt));
+                          seen.push_back(e.rec.id);
+                        }
+                        return true;
+                      })
+                  .ok());
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), recs.size());
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], static_cast<PointId>(i));
+  }
+}
+
+TEST(QuadTreeTest, BufferAccountingFlowsThroughSharedManager) {
+  const std::vector<PointRecord> recs = RandomRecords(500, 16);
+  Env env = MakeTree(recs);
+  env.buffer->ResetStats();
+  std::vector<PointRecord> out;
+  ASSERT_TRUE(env.tree->RangeSearch(Rect{{0, 0}, {2000, 2000}}, &out).ok());
+  EXPECT_GT(env.buffer->stats().logical_accesses, 0u);
+}
+
+}  // namespace
+}  // namespace rcj

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "rtree/rtree.h"
+#include "test_util.h"
+
+namespace rcj {
+namespace {
+
+using testing_util::RandomRecords;
+
+struct TreeFixture {
+  std::unique_ptr<MemPageStore> store;
+  std::unique_ptr<BufferManager> buffer;
+  std::unique_ptr<RTree> tree;
+};
+
+TreeFixture MakeTree(const std::vector<PointRecord>& recs,
+                     uint32_t page_size = 512) {
+  TreeFixture f;
+  f.store = std::make_unique<MemPageStore>(page_size);
+  f.buffer = std::make_unique<BufferManager>(1u << 16);
+  f.tree = std::move(
+      RTree::Create(f.store.get(), f.buffer.get(), RTreeOptions{}).value());
+  for (const PointRecord& r : recs) {
+    EXPECT_TRUE(f.tree->Insert(r).ok());
+  }
+  return f;
+}
+
+std::set<PointId> TreeIds(const RTree& tree) {
+  std::vector<PointRecord> all;
+  EXPECT_TRUE(tree.RangeSearch(Rect{{-1e9, -1e9}, {1e9, 1e9}}, &all).ok());
+  std::set<PointId> ids;
+  for (const PointRecord& r : all) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), all.size());
+  return ids;
+}
+
+TEST(RTreeDeleteTest, DeleteExistingPoint) {
+  const std::vector<PointRecord> recs = RandomRecords(200, 800);
+  TreeFixture f = MakeTree(recs);
+  bool found = false;
+  ASSERT_TRUE(f.tree->Delete(recs[77], &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(f.tree->num_points(), 199u);
+  ASSERT_TRUE(f.tree->CheckInvariants().ok())
+      << f.tree->CheckInvariants().ToString();
+  EXPECT_EQ(TreeIds(*f.tree).count(77), 0u);
+}
+
+TEST(RTreeDeleteTest, DeleteMissingPointIsNoop) {
+  const std::vector<PointRecord> recs = RandomRecords(100, 801);
+  TreeFixture f = MakeTree(recs);
+  bool found = true;
+  ASSERT_TRUE(
+      f.tree->Delete(PointRecord{{123.0, 456.0}, 9999}, &found).ok());
+  EXPECT_FALSE(found);
+  EXPECT_EQ(f.tree->num_points(), 100u);
+  EXPECT_TRUE(f.tree->CheckInvariants().ok());
+}
+
+TEST(RTreeDeleteTest, WrongIdAtSameCoordsIsNotDeleted) {
+  std::vector<PointRecord> recs{{{5.0, 5.0}, 0}, {{5.0, 5.0}, 1}};
+  TreeFixture f = MakeTree(recs);
+  bool found = false;
+  // id 2 does not exist at those coordinates.
+  ASSERT_TRUE(f.tree->Delete(PointRecord{{5.0, 5.0}, 2}, &found).ok());
+  EXPECT_FALSE(found);
+  // Deleting id 1 removes only that record.
+  ASSERT_TRUE(f.tree->Delete(PointRecord{{5.0, 5.0}, 1}, &found).ok());
+  EXPECT_TRUE(found);
+  const std::set<PointId> ids = TreeIds(*f.tree);
+  EXPECT_EQ(ids.count(0), 1u);
+  EXPECT_EQ(ids.count(1), 0u);
+}
+
+TEST(RTreeDeleteTest, DeleteEverythingLeavesEmptyTree) {
+  const std::vector<PointRecord> recs = RandomRecords(300, 802);
+  TreeFixture f = MakeTree(recs, 256);  // low fanout: deep tree, cascades
+  for (const PointRecord& r : recs) {
+    bool found = false;
+    ASSERT_TRUE(f.tree->Delete(r, &found).ok());
+    ASSERT_TRUE(found) << "record " << r.id;
+  }
+  EXPECT_EQ(f.tree->num_points(), 0u);
+  EXPECT_TRUE(f.tree->empty());
+  EXPECT_TRUE(f.tree->CheckInvariants().ok());
+  // The tree remains usable after total erasure.
+  ASSERT_TRUE(f.tree->Insert(PointRecord{{1.0, 2.0}, 5000}).ok());
+  EXPECT_EQ(TreeIds(*f.tree).count(5000), 1u);
+}
+
+TEST(RTreeDeleteTest, RandomInterleavedInsertDeleteMatchesReference) {
+  TreeFixture f = MakeTree({}, 256);
+  std::vector<PointRecord> reference;
+  testing_util::SplitMix rng(33);
+  PointId next_id = 0;
+
+  for (int op = 0; op < 3000; ++op) {
+    const bool do_insert = reference.empty() || (rng.Next() % 3 != 0);
+    if (do_insert) {
+      const PointRecord rec{rng.NextPoint(0, 10000), next_id++};
+      ASSERT_TRUE(f.tree->Insert(rec).ok());
+      reference.push_back(rec);
+    } else {
+      const size_t victim = rng.Next() % reference.size();
+      bool found = false;
+      ASSERT_TRUE(f.tree->Delete(reference[victim], &found).ok());
+      ASSERT_TRUE(found);
+      reference.erase(reference.begin() +
+                      static_cast<std::ptrdiff_t>(victim));
+    }
+    ASSERT_EQ(f.tree->num_points(), reference.size());
+  }
+  ASSERT_TRUE(f.tree->CheckInvariants().ok())
+      << f.tree->CheckInvariants().ToString();
+
+  // Full content check plus a few range queries against the reference.
+  std::set<PointId> expected_ids;
+  for (const PointRecord& r : reference) expected_ids.insert(r.id);
+  EXPECT_EQ(TreeIds(*f.tree), expected_ids);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    Rect box = Rect::Empty();
+    box.Expand(rng.NextPoint(0, 10000));
+    box.Expand(rng.NextPoint(0, 10000));
+    std::vector<PointRecord> got;
+    ASSERT_TRUE(f.tree->RangeSearch(box, &got).ok());
+    size_t expected = 0;
+    for (const PointRecord& r : reference) {
+      if (box.Contains(r.pt)) ++expected;
+    }
+    EXPECT_EQ(got.size(), expected);
+  }
+}
+
+TEST(RTreeDeleteTest, UnderflowCascadeShrinksHeight) {
+  // Build a 3+ level tree, then delete most points: the root chain must
+  // shrink and invariants must hold throughout.
+  const std::vector<PointRecord> recs = RandomRecords(2000, 803);
+  TreeFixture f = MakeTree(recs, 256);
+  const uint32_t initial_height = f.tree->height();
+  ASSERT_GE(initial_height, 3u);
+
+  for (size_t i = 0; i < 1950; ++i) {
+    bool found = false;
+    ASSERT_TRUE(f.tree->Delete(recs[i], &found).ok());
+    ASSERT_TRUE(found);
+  }
+  ASSERT_TRUE(f.tree->CheckInvariants().ok())
+      << f.tree->CheckInvariants().ToString();
+  EXPECT_LT(f.tree->height(), initial_height);
+  EXPECT_EQ(f.tree->num_points(), 50u);
+  const std::set<PointId> ids = TreeIds(*f.tree);
+  for (size_t i = 1950; i < 2000; ++i) {
+    EXPECT_EQ(ids.count(recs[i].id), 1u);
+  }
+}
+
+TEST(RTreeDeleteTest, KnnCorrectAfterDeletions) {
+  std::vector<PointRecord> recs = RandomRecords(500, 804);
+  TreeFixture f = MakeTree(recs);
+  for (size_t i = 0; i < 250; ++i) {
+    bool found = false;
+    ASSERT_TRUE(f.tree->Delete(recs[i], &found).ok());
+  }
+  recs.erase(recs.begin(), recs.begin() + 250);
+
+  const Point q{5000.0, 5000.0};
+  Result<std::vector<PointRecord>> knn = f.tree->Knn(q, 10);
+  ASSERT_TRUE(knn.ok());
+  std::sort(recs.begin(), recs.end(),
+            [&](const PointRecord& a, const PointRecord& b) {
+              return Dist2(q, a.pt) < Dist2(q, b.pt);
+            });
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(Dist2(q, knn.value()[i].pt), Dist2(q, recs[i].pt));
+  }
+}
+
+}  // namespace
+}  // namespace rcj

@@ -1,0 +1,86 @@
+#include "baselines/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace rcj {
+namespace {
+
+JoinPair JP(PointId p, PointId q) {
+  return JoinPair{PointRecord{{0, 0}, p}, PointRecord{{1, 1}, q}};
+}
+
+RcjPair RP(PointId p, PointId q) {
+  return RcjPair::Make(PointRecord{{0, 0}, p}, PointRecord{{1, 1}, q});
+}
+
+TEST(SimilarityTest, PerfectMatch) {
+  const std::vector<JoinPair> candidate{JP(1, 1), JP(2, 2)};
+  const std::vector<RcjPair> reference{RP(1, 1), RP(2, 2)};
+  const PrecisionRecall pr = ComparePairSets(candidate, reference);
+  EXPECT_DOUBLE_EQ(pr.precision, 100.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 100.0);
+  EXPECT_EQ(pr.intersection, 2u);
+}
+
+TEST(SimilarityTest, Disjoint) {
+  const std::vector<JoinPair> candidate{JP(1, 2), JP(2, 1)};
+  const std::vector<RcjPair> reference{RP(1, 1), RP(2, 2)};
+  const PrecisionRecall pr = ComparePairSets(candidate, reference);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+}
+
+TEST(SimilarityTest, PartialOverlapAsymmetric) {
+  // Candidate: 4 pairs, 2 correct. Reference: 8 pairs.
+  const std::vector<JoinPair> candidate{JP(1, 1), JP(2, 2), JP(9, 9),
+                                        JP(8, 8)};
+  std::vector<RcjPair> reference;
+  for (PointId i = 1; i <= 8; ++i) {
+    reference.push_back(RP(i, i));
+  }
+  const PrecisionRecall pr = ComparePairSets(candidate, reference);
+  // Hits: (1,1),(2,2),(8,8) -> 3 of 4 candidates, 3 of 8 reference.
+  EXPECT_DOUBLE_EQ(pr.precision, 75.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 37.5);
+}
+
+TEST(SimilarityTest, EmptySetsAreZeroNotNan) {
+  const PrecisionRecall both = ComparePairSets({}, {});
+  EXPECT_DOUBLE_EQ(both.precision, 0.0);
+  EXPECT_DOUBLE_EQ(both.recall, 0.0);
+  const PrecisionRecall no_candidate = ComparePairSets({}, {RP(1, 1)});
+  EXPECT_DOUBLE_EQ(no_candidate.precision, 0.0);
+  EXPECT_DOUBLE_EQ(no_candidate.recall, 0.0);
+}
+
+TEST(SimilarityTest, PairsAreDirectional) {
+  // (p=1, q=2) is not the same pair as (p=2, q=1).
+  const std::vector<JoinPair> candidate{JP(1, 2)};
+  const std::vector<RcjPair> reference{RP(2, 1)};
+  const PrecisionRecall pr = ComparePairSets(candidate, reference);
+  EXPECT_EQ(pr.intersection, 0u);
+}
+
+TEST(SimilarityTest, EpsilonBehaviorShape) {
+  // The qualitative claim of Figs. 10-12: growing the candidate set floods
+  // precision but raises recall.
+  std::vector<RcjPair> reference;
+  for (PointId i = 0; i < 10; ++i) reference.push_back(RP(i, i));
+
+  std::vector<JoinPair> small_set;  // high precision, low recall
+  small_set.push_back(JP(0, 0));
+  const PrecisionRecall small_pr = ComparePairSets(small_set, reference);
+
+  std::vector<JoinPair> big_set;  // low precision, full recall
+  for (PointId i = 0; i < 10; ++i) big_set.push_back(JP(i, i));
+  for (PointId i = 0; i < 90; ++i) big_set.push_back(JP(100 + i, 100 + i));
+  const PrecisionRecall big_pr = ComparePairSets(big_set, reference);
+
+  EXPECT_GT(small_pr.precision, big_pr.precision);
+  EXPECT_LT(small_pr.recall, big_pr.recall);
+  EXPECT_DOUBLE_EQ(big_pr.recall, 100.0);
+  EXPECT_DOUBLE_EQ(big_pr.precision, 10.0);
+}
+
+}  // namespace
+}  // namespace rcj

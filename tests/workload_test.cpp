@@ -1,0 +1,150 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace rcj {
+namespace {
+
+TEST(GeneratorTest, UniformRespectsDomainAndCount) {
+  const Domain domain{100.0, 200.0};
+  const std::vector<PointRecord> recs = GenerateUniform(5000, 1, domain);
+  ASSERT_EQ(recs.size(), 5000u);
+  for (const PointRecord& r : recs) {
+    EXPECT_GE(r.pt.x, 100.0);
+    EXPECT_LE(r.pt.x, 200.0);
+    EXPECT_GE(r.pt.y, 100.0);
+    EXPECT_LE(r.pt.y, 200.0);
+  }
+  // Ids are dense positional indices.
+  for (size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].id, static_cast<PointId>(i));
+  }
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  const std::vector<PointRecord> a = GenerateUniform(100, 7);
+  const std::vector<PointRecord> b = GenerateUniform(100, 7);
+  const std::vector<PointRecord> c = GenerateUniform(100, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pt, b[i].pt);
+  }
+  bool any_differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].pt == c[i].pt)) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(GeneratorTest, UniformCoversTheDomain) {
+  const std::vector<PointRecord> recs = GenerateUniform(20000, 3);
+  int quadrant[4] = {0, 0, 0, 0};
+  for (const PointRecord& r : recs) {
+    const int idx = (r.pt.x > 5000.0 ? 1 : 0) + (r.pt.y > 5000.0 ? 2 : 0);
+    ++quadrant[idx];
+  }
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_GT(quadrant[q], 4000) << "quadrant " << q << " underpopulated";
+    EXPECT_LT(quadrant[q], 6000);
+  }
+}
+
+TEST(GeneratorTest, GaussianClustersAreClustered) {
+  const size_t n = 20000;
+  const std::vector<PointRecord> clustered =
+      GenerateGaussianClusters(n, 5, 1000.0, 11);
+  ASSERT_EQ(clustered.size(), n);
+  for (const PointRecord& r : clustered) {
+    EXPECT_GE(r.pt.x, 0.0);
+    EXPECT_LE(r.pt.x, 10000.0);
+  }
+  // Clustered data is measurably more skewed than uniform: compare cell
+  // occupancy variance over a 10x10 grid.
+  auto cell_variance = [](const std::vector<PointRecord>& recs) {
+    int cells[100] = {0};
+    for (const PointRecord& r : recs) {
+      const int cx = std::min(9, static_cast<int>(r.pt.x / 1000.0));
+      const int cy = std::min(9, static_cast<int>(r.pt.y / 1000.0));
+      ++cells[cy * 10 + cx];
+    }
+    const double mean = static_cast<double>(recs.size()) / 100.0;
+    double var = 0.0;
+    for (int c : cells) var += (c - mean) * (c - mean);
+    return var / 100.0;
+  };
+  const std::vector<PointRecord> uniform = GenerateUniform(n, 11);
+  EXPECT_GT(cell_variance(clustered), 10.0 * cell_variance(uniform));
+}
+
+TEST(GeneratorTest, MoreClustersMeansLessSkew) {
+  auto max_cell = [](const std::vector<PointRecord>& recs) {
+    int cells[100] = {0};
+    for (const PointRecord& r : recs) {
+      const int cx = std::min(9, static_cast<int>(r.pt.x / 1000.0));
+      const int cy = std::min(9, static_cast<int>(r.pt.y / 1000.0));
+      ++cells[cy * 10 + cx];
+    }
+    return *std::max_element(cells, cells + 100);
+  };
+  const auto w2 = GenerateGaussianClusters(20000, 2, 1000.0, 12);
+  const auto w20 = GenerateGaussianClusters(20000, 20, 1000.0, 12);
+  EXPECT_GT(max_cell(w2), max_cell(w20))
+      << "paper Fig. 18: more clusters -> more even distribution";
+}
+
+TEST(GeneratorTest, RealSurrogateCardinalities) {
+  EXPECT_EQ(RealDatasetCardinality(RealDataset::kPopulatedPlaces), 177983u);
+  EXPECT_EQ(RealDatasetCardinality(RealDataset::kSchools), 172188u);
+  EXPECT_EQ(RealDatasetCardinality(RealDataset::kLocales), 128476u);
+  EXPECT_STREQ(RealDatasetName(RealDataset::kPopulatedPlaces), "PP");
+  EXPECT_STREQ(RealDatasetName(RealDataset::kSchools), "SC");
+  EXPECT_STREQ(RealDatasetName(RealDataset::kLocales), "LO");
+
+  const auto pp = MakeRealSurrogate(RealDataset::kPopulatedPlaces, 1, 5000);
+  ASSERT_EQ(pp.size(), 5000u);
+  for (const PointRecord& r : pp) {
+    EXPECT_GE(r.pt.x, 0.0);
+    EXPECT_LE(r.pt.x, 10000.0);
+  }
+}
+
+TEST(GeneratorTest, SurrogatesWithSameSeedAreSpatiallyCorrelated) {
+  // Schools should be much closer to populated places than uniform points
+  // are, because both surrogates share anchor towns (like the real USGS
+  // layers share actual towns).
+  const size_t n = 4000;
+  const auto pp = MakeRealSurrogate(RealDataset::kPopulatedPlaces, 2, n);
+  const auto sc = MakeRealSurrogate(RealDataset::kSchools, 2, n);
+  const auto ui = GenerateUniform(n, 2);
+
+  auto mean_nn_dist = [&pp](const std::vector<PointRecord>& from) {
+    double total = 0.0;
+    for (size_t i = 0; i < from.size(); i += 40) {  // sample every 40th
+      double best = 1e300;
+      for (const PointRecord& t : pp) {
+        best = std::min(best, Dist2(from[i].pt, t.pt));
+      }
+      total += std::sqrt(best);
+    }
+    return total / (static_cast<double>(from.size()) / 40.0);
+  };
+  EXPECT_LT(mean_nn_dist(sc), 0.5 * mean_nn_dist(ui));
+}
+
+TEST(GeneratorTest, SurrogateIsSkewed) {
+  const auto pp = MakeRealSurrogate(RealDataset::kPopulatedPlaces, 4, 20000);
+  int cells[100] = {0};
+  for (const PointRecord& r : pp) {
+    const int cx = std::min(9, static_cast<int>(r.pt.x / 1000.0));
+    const int cy = std::min(9, static_cast<int>(r.pt.y / 1000.0));
+    ++cells[cy * 10 + cx];
+  }
+  const int max_cell = *std::max_element(cells, cells + 100);
+  EXPECT_GT(max_cell, 600) << "heavy-tailed town weights create hot cells";
+}
+
+}  // namespace
+}  // namespace rcj

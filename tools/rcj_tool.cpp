@@ -1,0 +1,236 @@
+// rcj_tool — command-line front end for the ringjoin library.
+//
+//   rcj_tool generate --kind uniform --n 10000 --seed 1 --out q.csv
+//   rcj_tool generate --kind gaussian --n 10000 --clusters 5 --out p.csv
+//   rcj_tool generate --kind pp --n 20000 --out pp.csv
+//   rcj_tool join --q q.csv --p p.csv --algo obj --out pairs.csv
+//   rcj_tool join --q buildings.csv --self --out postboxes.csv
+//   rcj_tool stats --q q.csv --p p.csv
+//
+// Pair output CSV columns: p_id, q_id, center_x, center_y, radius.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/rcj.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace rcj;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  rcj_tool generate --kind uniform|gaussian|pp|sc|lo --n N\n"
+      "           [--seed S] [--clusters W] [--sigma SG] --out FILE.csv\n"
+      "  rcj_tool join --q Q.csv [--p P.csv | --self]\n"
+      "           [--algo brute|inj|bij|obj] [--buffer-frac F]\n"
+      "           [--page-size B] [--out PAIRS.csv]\n"
+      "  rcj_tool stats --q Q.csv --p P.csv\n");
+  return 2;
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    const std::string key = argv[i] + 2;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[key] = argv[i + 1];
+      ++i;
+    } else {
+      flags[key] = "1";  // boolean flag
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& def) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? def : it->second;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  const std::string kind = FlagOr(flags, "kind", "uniform");
+  const size_t n = std::strtoull(FlagOr(flags, "n", "10000").c_str(),
+                                 nullptr, 10);
+  const uint64_t seed = std::strtoull(FlagOr(flags, "seed", "1").c_str(),
+                                      nullptr, 10);
+  const std::string out = FlagOr(flags, "out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+
+  Dataset dataset;
+  dataset.name = kind;
+  if (kind == "uniform") {
+    dataset.points = GenerateUniform(n, seed);
+  } else if (kind == "gaussian") {
+    const size_t clusters = std::strtoull(
+        FlagOr(flags, "clusters", "5").c_str(), nullptr, 10);
+    const double sigma = std::atof(FlagOr(flags, "sigma", "1000").c_str());
+    dataset.points = GenerateGaussianClusters(n, clusters, sigma, seed);
+  } else if (kind == "pp") {
+    dataset.points = MakeRealSurrogate(RealDataset::kPopulatedPlaces, seed, n);
+  } else if (kind == "sc") {
+    dataset.points = MakeRealSurrogate(RealDataset::kSchools, seed, n);
+  } else if (kind == "lo") {
+    dataset.points = MakeRealSurrogate(RealDataset::kLocales, seed, n);
+  } else {
+    std::fprintf(stderr, "generate: unknown kind '%s'\n", kind.c_str());
+    return 2;
+  }
+
+  const Status status = SaveCsv(dataset, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "generate: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu points to %s\n", dataset.points.size(),
+              out.c_str());
+  return 0;
+}
+
+RcjAlgorithm AlgoFromName(const std::string& name) {
+  if (name == "brute") return RcjAlgorithm::kBrute;
+  if (name == "inj") return RcjAlgorithm::kInj;
+  if (name == "bij") return RcjAlgorithm::kBij;
+  return RcjAlgorithm::kObj;
+}
+
+int CmdJoin(const std::map<std::string, std::string>& flags) {
+  const std::string q_path = FlagOr(flags, "q", "");
+  if (q_path.empty()) {
+    std::fprintf(stderr, "join: --q is required\n");
+    return 2;
+  }
+  Result<Dataset> qset = LoadCsv(q_path);
+  if (!qset.ok()) {
+    std::fprintf(stderr, "join: %s\n", qset.status().ToString().c_str());
+    return 1;
+  }
+
+  RcjRunOptions options;
+  options.algorithm = AlgoFromName(FlagOr(flags, "algo", "obj"));
+  options.buffer_fraction =
+      std::atof(FlagOr(flags, "buffer-frac", "0.01").c_str());
+  options.page_size = static_cast<uint32_t>(
+      std::strtoul(FlagOr(flags, "page-size", "1024").c_str(), nullptr, 10));
+
+  Result<RcjRunResult> result(Status::InvalidArgument("not yet run"));
+  const bool self = flags.count("self") != 0;
+  if (self) {
+    result = RunRcjSelf(qset.value().points, options);
+  } else {
+    const std::string p_path = FlagOr(flags, "p", "");
+    if (p_path.empty()) {
+      std::fprintf(stderr, "join: --p or --self is required\n");
+      return 2;
+    }
+    Result<Dataset> pset = LoadCsv(p_path);
+    if (!pset.ok()) {
+      std::fprintf(stderr, "join: %s\n", pset.status().ToString().c_str());
+      return 1;
+    }
+    result = RunRcj(qset.value().points, pset.value().points, options);
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "join: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  RcjRunResult& run = result.value();
+  NormalizePairs(&run.pairs);
+
+  const std::string out = FlagOr(flags, "out", "");
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "join: cannot open %s\n", out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "p_id,q_id,center_x,center_y,radius\n");
+    for (const RcjPair& pair : run.pairs) {
+      std::fprintf(f, "%lld,%lld,%.17g,%.17g,%.17g\n",
+                   static_cast<long long>(pair.p.id),
+                   static_cast<long long>(pair.q.id), pair.circle.center.x,
+                   pair.circle.center.y, pair.circle.Radius());
+    }
+    std::fclose(f);
+  }
+
+  std::printf("%s%s: %llu pairs | candidates %llu | node accesses %llu | "
+              "faults %llu | I/O %.2fs | CPU %.3fs\n",
+              AlgorithmName(options.algorithm), self ? " (self)" : "",
+              static_cast<unsigned long long>(run.stats.results),
+              static_cast<unsigned long long>(run.stats.candidates),
+              static_cast<unsigned long long>(run.stats.node_accesses),
+              static_cast<unsigned long long>(run.stats.page_faults),
+              run.stats.io_seconds, run.stats.cpu_seconds);
+  if (!out.empty()) std::printf("pairs written to %s\n", out.c_str());
+  return 0;
+}
+
+int CmdStats(const std::map<std::string, std::string>& flags) {
+  const std::string q_path = FlagOr(flags, "q", "");
+  const std::string p_path = FlagOr(flags, "p", "");
+  if (q_path.empty() || p_path.empty()) {
+    std::fprintf(stderr, "stats: --q and --p are required\n");
+    return 2;
+  }
+  Result<Dataset> qset = LoadCsv(q_path);
+  Result<Dataset> pset = LoadCsv(p_path);
+  if (!qset.ok() || !pset.ok()) {
+    std::fprintf(stderr, "stats: failed to load datasets\n");
+    return 1;
+  }
+
+  RcjRunOptions options;
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset.value().points, pset.value().points,
+                            options);
+  if (!env.ok()) {
+    std::fprintf(stderr, "stats: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-6s %12s %10s %12s %10s %9s %9s\n", "algo", "candidates",
+              "results", "node-access", "faults", "I/O(s)", "CPU(s)");
+  for (const RcjAlgorithm algorithm :
+       {RcjAlgorithm::kInj, RcjAlgorithm::kBij, RcjAlgorithm::kObj}) {
+    options.algorithm = algorithm;
+    Result<RcjRunResult> run = env.value()->Run(options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "stats: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    const JoinStats& stats = run.value().stats;
+    std::printf("%-6s %12llu %10llu %12llu %10llu %9.2f %9.3f\n",
+                AlgorithmName(algorithm),
+                static_cast<unsigned long long>(stats.candidates),
+                static_cast<unsigned long long>(stats.results),
+                static_cast<unsigned long long>(stats.node_accesses),
+                static_cast<unsigned long long>(stats.page_faults),
+                stats.io_seconds, stats.cpu_seconds);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "join") return CmdJoin(flags);
+  if (command == "stats") return CmdStats(flags);
+  return Usage();
+}
