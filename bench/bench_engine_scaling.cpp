@@ -1,0 +1,146 @@
+// Engine scaling: speedup of the parallel batched engine over the serial
+// runner on a uniform workload, swept over worker-thread counts, plus batch
+// throughput for a many-query service mix.
+//
+// This is a systems benchmark, not a paper reproduction: the paper's
+// experimental runner executes one cold query at a time, while a middleman-
+// location service answers many queries over warm shared indexes. Expected
+// shape on a multi-core machine: >1.5x wall-clock speedup at 4 threads for
+// the single-query (intra-parallel) sweep, and near-linear batch
+// throughput; on a single hardware thread both collapse to ~1x, which the
+// JSON artifact records honestly.
+//
+// Default workload: 100k uniform points (50k per side) scaled by the usual
+// bench factor; --full for the unscaled sizes.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+
+namespace {
+
+using namespace rcj;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::ParseScale(argc, argv);
+  bench::PrintBanner(
+      "Engine scaling: parallel batched execution vs the serial runner",
+      "no paper counterpart; speedup should grow with worker threads",
+      scale);
+
+  const size_t n = scale.N(50000);  // per side; 100k points total at --full
+  std::printf("workload: OBJ over %zu x %zu uniform points, warm indexes\n\n",
+              n, n);
+  const std::vector<PointRecord> qset = GenerateUniform(n, 101);
+  const std::vector<PointRecord> pset = GenerateUniform(n, 102);
+
+  RcjRunOptions options;
+  options.algorithm = RcjAlgorithm::kObj;
+  std::unique_ptr<RcjEnvironment> env = bench::MustBuild(qset, pset, options);
+
+  bench::JsonReporter reporter("engine_scaling");
+  reporter.AddMetric("workload", "points_per_side",
+                     static_cast<double>(n));
+
+  // ---- Serial baseline (the paper's runner, warm trees, cold buffer). ---
+  const Clock::time_point serial_start = Clock::now();
+  const RcjRunResult serial = bench::MustRun(env.get(), options);
+  const double serial_seconds = SecondsSince(serial_start);
+  std::printf("%-14s %10s %10s %10s %9s %9s\n", "configuration", "results",
+              "faults", "wall(s)", "speedup", "eff.");
+  std::printf("%-14s %10llu %10llu %10.3f %9s %9s\n", "serial",
+              static_cast<unsigned long long>(serial.stats.results),
+              static_cast<unsigned long long>(serial.stats.page_faults),
+              serial_seconds, "1.00x", "-");
+  reporter.AddStats("serial", serial.stats);
+  reporter.AddMetric("serial", "wall_seconds", serial_seconds);
+  reporter.AddMetric("serial", "speedup", 1.0);
+
+  // ---- Intra-query parallelism sweep. -----------------------------------
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    EngineOptions engine_options;
+    engine_options.num_threads = threads;
+    Engine engine(engine_options);
+
+    const Clock::time_point start = Clock::now();
+    const Result<RcjRunResult> run = engine.Run(*env, options);
+    const double wall = SecondsSince(start);
+    if (!run.ok()) {
+      std::fprintf(stderr, "engine run failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    if (run.value().stats.results != serial.stats.results) {
+      std::fprintf(stderr, "result mismatch at %zu threads\n", threads);
+      return 1;
+    }
+    const double speedup = serial_seconds / wall;
+    const std::string label = "threads=" + std::to_string(threads);
+    std::printf("%-14s %10llu %10llu %10.3f %8.2fx %8.0f%%\n", label.c_str(),
+                static_cast<unsigned long long>(run.value().stats.results),
+                static_cast<unsigned long long>(
+                    run.value().stats.page_faults),
+                wall, speedup,
+                100.0 * speedup / static_cast<double>(threads));
+    reporter.AddStats(label, run.value().stats);
+    reporter.AddMetric(label, "wall_seconds", wall);
+    reporter.AddMetric(label, "speedup", speedup);
+    reporter.AddMetric(label, "threads", static_cast<double>(threads));
+  }
+
+  // ---- Batch throughput: a service mix of concurrent queries. -----------
+  const size_t batch_size = 16;
+  std::vector<EngineQuery> batch(batch_size);
+  const RcjAlgorithm algos[] = {RcjAlgorithm::kObj, RcjAlgorithm::kBij,
+                                RcjAlgorithm::kInj};
+  for (size_t i = 0; i < batch_size; ++i) {
+    batch[i].env = env.get();
+    batch[i].options = options;
+    batch[i].options.algorithm = algos[i % 3];
+  }
+
+  const Clock::time_point loop_start = Clock::now();
+  for (const EngineQuery& query : batch) {
+    (void)bench::MustRun(env.get(), query.options);
+  }
+  const double loop_seconds = SecondsSince(loop_start);
+
+  EngineOptions batch_options;  // hardware concurrency
+  Engine batch_engine(batch_options);
+  const Clock::time_point batch_start = Clock::now();
+  const std::vector<EngineQueryResult> batch_results =
+      batch_engine.RunBatch(batch);
+  const double batch_seconds = SecondsSince(batch_start);
+  for (const EngineQueryResult& result : batch_results) {
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "batch query failed: %s\n",
+                   result.status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("\nbatch of %zu mixed queries (OBJ/BIJ/INJ):\n", batch_size);
+  std::printf("  serial loop   %8.3f s\n", loop_seconds);
+  std::printf("  engine batch  %8.3f s  (%.2fx, %zu worker threads)\n",
+              batch_seconds, loop_seconds / batch_seconds,
+              batch_engine.num_threads());
+  reporter.AddMetric("batch", "queries", static_cast<double>(batch_size));
+  reporter.AddMetric("batch", "serial_loop_seconds", loop_seconds);
+  reporter.AddMetric("batch", "engine_batch_seconds", batch_seconds);
+  reporter.AddMetric("batch", "speedup", loop_seconds / batch_seconds);
+  reporter.AddMetric("batch", "worker_threads",
+                     static_cast<double>(batch_engine.num_threads()));
+
+  reporter.Write();
+  return 0;
+}

@@ -72,6 +72,78 @@ void PrintStatsRow(const std::string& label, const JoinStats& stats) {
               stats.total_seconds());
 }
 
+JsonReporter::JsonReporter(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+void JsonReporter::AddMetric(const std::string& label, const std::string& key,
+                             double value) {
+  for (auto& row : rows_) {
+    if (row.first == label) {
+      row.second.emplace_back(key, value);
+      return;
+    }
+  }
+  rows_.emplace_back(label, Row{{key, value}});
+}
+
+void JsonReporter::AddStats(const std::string& label, const JoinStats& stats) {
+  AddMetric(label, "candidates", static_cast<double>(stats.candidates));
+  AddMetric(label, "results", static_cast<double>(stats.results));
+  AddMetric(label, "node_accesses",
+            static_cast<double>(stats.node_accesses));
+  AddMetric(label, "page_faults", static_cast<double>(stats.page_faults));
+  AddMetric(label, "io_seconds", stats.io_seconds);
+  AddMetric(label, "cpu_seconds", stats.cpu_seconds);
+  AddMetric(label, "total_seconds", stats.total_seconds());
+}
+
+std::string JsonReporter::path() const {
+  const char* dir = std::getenv("RINGJOIN_BENCH_JSON_DIR");
+  std::string out = dir != nullptr ? dir : ".";
+  if (!out.empty() && out.back() != '/') out += '/';
+  return out + "BENCH_" + name_ + ".json";
+}
+
+namespace {
+
+// Labels are bench-chosen ASCII; escape just enough for valid JSON.
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  for (const char c : in) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool JsonReporter::Write() const {
+  const std::string file_path = path();
+  std::FILE* f = std::fopen(file_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", file_path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema_version\": 1,\n"
+               "  \"rows\": [\n",
+               JsonEscape(name_).c_str());
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    std::fprintf(f, "    {\"label\": \"%s\", \"metrics\": {",
+                 JsonEscape(rows_[r].first).c_str());
+    const Row& row = rows_[r].second;
+    for (size_t m = 0; m < row.size(); ++m) {
+      std::fprintf(f, "%s\"%s\": %.17g", m == 0 ? "" : ", ",
+                   JsonEscape(row[m].first).c_str(), row[m].second);
+    }
+    std::fprintf(f, "}}%s\n", r + 1 == rows_.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("json results written to %s\n", file_path.c_str());
+  return true;
+}
+
 RcjRunResult MustRun(RcjEnvironment* env, RcjRunOptions options) {
   Result<RcjRunResult> result = env->Run(options);
   if (!result.ok()) {

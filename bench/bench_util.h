@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/rcj.h"
@@ -71,6 +72,36 @@ void PrintStatsRow(const std::string& label, const JoinStats& stats);
 /// Per-node-access CPU charge used for the modeled CPU column (50 us,
 /// calibrated to the paper's Pentium D stacked bars).
 inline constexpr double kCpuModelSecondsPerNodeAccess = 50e-6;
+
+/// Machine-readable bench results. Each bench registers labelled rows of
+/// numeric metrics and writes one `BENCH_<name>.json` artifact, so CI and
+/// future PRs can track the performance trajectory without scraping stdout.
+/// The output directory is $RINGJOIN_BENCH_JSON_DIR (default: the current
+/// working directory).
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name);
+
+  /// Appends `key` = `value` to the row called `label`, creating the row on
+  /// first use. Rows and metrics keep insertion order in the output.
+  void AddMetric(const std::string& label, const std::string& key,
+                 double value);
+
+  /// Adds the standard JoinStats columns as metrics of row `label`.
+  void AddStats(const std::string& label, const JoinStats& stats);
+
+  /// Writes BENCH_<name>.json. Returns false (and warns on stderr) on I/O
+  /// failure; benches treat the artifact as best-effort.
+  bool Write() const;
+
+  /// The artifact path Write() targets.
+  std::string path() const;
+
+ private:
+  using Row = std::vector<std::pair<std::string, double>>;
+  std::string name_;
+  std::vector<std::pair<std::string, Row>> rows_;
+};
 
 /// Builds an environment and runs one algorithm with the default options,
 /// dying with a message on error (benches have no error recovery story).

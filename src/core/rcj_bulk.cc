@@ -12,8 +12,13 @@ Status RunBulkJoin(const RTree& tq, const RTree& tp,
   const size_t first_result = out->size();
 
   std::vector<uint64_t> leaf_pages;
-  RINGJOIN_RETURN_IF_ERROR(
-      LeafPagesInOrder(tq, options.order, options.random_seed, &leaf_pages));
+  if (options.leaf_pages == nullptr) {
+    RINGJOIN_RETURN_IF_ERROR(
+        LeafPagesInOrder(tq, options.order, options.random_seed,
+                         &leaf_pages));
+  }
+  const std::vector<uint64_t>& pages =
+      options.leaf_pages != nullptr ? *options.leaf_pages : leaf_pages;
 
   BulkFilterOptions filter_options;
   filter_options.symmetric_pruning = options.symmetric_pruning;
@@ -23,7 +28,7 @@ Status RunBulkJoin(const RTree& tq, const RTree& tp,
   std::vector<std::vector<PointRecord>> per_q;
   std::vector<CandidateCircle> circles;
 
-  for (const uint64_t page : leaf_pages) {
+  for (const uint64_t page : pages) {
     Result<Node> leaf = tq.ReadNode(page);
     if (!leaf.ok()) return leaf.status();
 

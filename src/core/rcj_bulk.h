@@ -26,6 +26,9 @@ struct BulkJoinOptions {
   /// Leaf visiting order on T_Q.
   SearchOrder order = SearchOrder::kDepthFirst;
   uint64_t random_seed = 42;
+  /// When non-null, visits exactly these T_Q leaf pages in the given order
+  /// and ignores `order`/`random_seed` (see InjOptions::leaf_pages).
+  const std::vector<uint64_t>* leaf_pages = nullptr;
 };
 
 /// Algorithm 6 (BIJ / OBJ). Appends results to `out`; accumulates candidate

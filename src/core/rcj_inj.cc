@@ -23,12 +23,17 @@ Status RunInj(const RTree& tq, const RTree& tp, const InjOptions& options,
               std::vector<RcjPair>* out, JoinStats* stats) {
   const size_t first_result = out->size();
   std::vector<uint64_t> leaf_pages;
-  RINGJOIN_RETURN_IF_ERROR(
-      LeafPagesInOrder(tq, options.order, options.random_seed, &leaf_pages));
+  if (options.leaf_pages == nullptr) {
+    RINGJOIN_RETURN_IF_ERROR(
+        LeafPagesInOrder(tq, options.order, options.random_seed,
+                         &leaf_pages));
+  }
+  const std::vector<uint64_t>& pages =
+      options.leaf_pages != nullptr ? *options.leaf_pages : leaf_pages;
 
   std::vector<PointRecord> candidates;
   std::vector<CandidateCircle> circles;
-  for (const uint64_t page : leaf_pages) {
+  for (const uint64_t page : pages) {
     Result<Node> leaf = tq.ReadNode(page);
     if (!leaf.ok()) return leaf.status();
 

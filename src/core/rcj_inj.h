@@ -24,6 +24,12 @@ struct InjOptions {
   bool self_join = false;
   /// Shuffle seed for SearchOrder::kRandom.
   uint64_t random_seed = 42;
+  /// When non-null, visits exactly these T_Q leaf pages in the given order
+  /// and ignores `order`/`random_seed`. The parallel engine partitions the
+  /// depth-first leaf order into contiguous ranges and hands one range to
+  /// each worker; concatenating the workers' outputs in range order yields
+  /// the serial result.
+  const std::vector<uint64_t>* leaf_pages = nullptr;
 };
 
 /// Algorithm 5 (INJ_DF). Appends results to `out` and accumulates candidate

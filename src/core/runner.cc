@@ -39,6 +39,7 @@ Result<std::unique_ptr<RcjEnvironment>> RcjEnvironment::BuildImpl(
   env->qset_ = qset;
   env->pset_ = self_join ? qset : pset;
   env->cost_model_.ms_per_fault = options.io_ms_per_fault;
+  env->rtree_options_ = options.rtree_options;
 
   // Build with a generous buffer, then shrink to the experiment size — the
   // paper measures joins, not index construction.
@@ -62,6 +63,15 @@ Result<std::unique_ptr<RcjEnvironment>> RcjEnvironment::BuildImpl(
     env->tp_ = std::move(tp.value());
     RINGJOIN_RETURN_IF_ERROR(
         BuildTree(env->tp_.get(), env->pset_, options.bulk_load));
+  }
+
+  // Persist both tree headers so the parallel engine can open additional
+  // read-only views over the same stores (RTree::Open reads the header
+  // page). SetBufferFraction below clears the buffer, which also flushes
+  // every constructed page to the stores.
+  RINGJOIN_RETURN_IF_ERROR(env->tq_->SaveHeader());
+  if (!self_join) {
+    RINGJOIN_RETURN_IF_ERROR(env->tp_->SaveHeader());
   }
 
   RINGJOIN_RETURN_IF_ERROR(env->SetBufferFraction(options.buffer_fraction,
@@ -92,6 +102,56 @@ Status RcjEnvironment::SetBufferFraction(double fraction, size_t min_pages) {
       BufferPagesFor(total_tree_pages(), fraction, min_pages));
 }
 
+Status ExecuteRcj(const RTree& tq, const RTree& tp,
+                  const std::vector<PointRecord>& qset,
+                  const std::vector<PointRecord>& pset, bool self_join,
+                  const RcjRunOptions& options,
+                  const std::vector<uint64_t>* tq_leaf_subset,
+                  std::vector<RcjPair>* out, JoinStats* stats) {
+  switch (options.algorithm) {
+    case RcjAlgorithm::kBrute: {
+      if (tq_leaf_subset != nullptr) {
+        return Status::InvalidArgument(
+            "BRUTE does not traverse T_Q leaves; leaf subsets do not apply");
+      }
+      // The in-memory definitional algorithm; candidates = |P| x |Q|.
+      stats->candidates += self_join
+                               ? qset.size() * (qset.size() - 1) / 2
+                               : pset.size() * qset.size();
+      std::vector<RcjPair> pairs =
+          self_join ? BruteForceRcjSelf(qset) : BruteForceRcj(pset, qset);
+      stats->results += pairs.size();
+      if (out->empty()) {
+        *out = std::move(pairs);
+      } else {
+        out->insert(out->end(), pairs.begin(), pairs.end());
+      }
+      return Status::OK();
+    }
+    case RcjAlgorithm::kInj: {
+      InjOptions inj;
+      inj.order = options.order;
+      inj.verify = options.verify;
+      inj.self_join = self_join;
+      inj.random_seed = options.random_seed;
+      inj.leaf_pages = tq_leaf_subset;
+      return RunInj(tq, tp, inj, out, stats);
+    }
+    case RcjAlgorithm::kBij:
+    case RcjAlgorithm::kObj: {
+      BulkJoinOptions bulk;
+      bulk.symmetric_pruning = options.algorithm == RcjAlgorithm::kObj;
+      bulk.verify = options.verify;
+      bulk.self_join = self_join;
+      bulk.order = options.order;
+      bulk.random_seed = options.random_seed;
+      bulk.leaf_pages = tq_leaf_subset;
+      return RunBulkJoin(tq, tp, bulk, out, stats);
+    }
+  }
+  return Status::InvalidArgument("unknown RCJ algorithm");
+}
+
 Result<RcjRunResult> RcjEnvironment::Run(const RcjRunOptions& options) {
   RcjRunResult result;
   const RTree& tq = *tq_;
@@ -103,39 +163,9 @@ Result<RcjRunResult> RcjEnvironment::Run(const RcjRunOptions& options) {
   buffer_->ResetStats();
 
   const auto start = std::chrono::steady_clock::now();
-  Status status;
-  switch (options.algorithm) {
-    case RcjAlgorithm::kBrute: {
-      // The in-memory definitional algorithm; candidates = |P| x |Q|.
-      result.stats.candidates =
-          self_join_ ? qset_.size() * (qset_.size() - 1) / 2
-                     : pset_.size() * qset_.size();
-      result.pairs = self_join_ ? BruteForceRcjSelf(qset_)
-                                : BruteForceRcj(pset_, qset_);
-      result.stats.results = result.pairs.size();
-      break;
-    }
-    case RcjAlgorithm::kInj: {
-      InjOptions inj;
-      inj.order = options.order;
-      inj.verify = options.verify;
-      inj.self_join = self_join_;
-      inj.random_seed = options.random_seed;
-      status = RunInj(tq, tp, inj, &result.pairs, &result.stats);
-      break;
-    }
-    case RcjAlgorithm::kBij:
-    case RcjAlgorithm::kObj: {
-      BulkJoinOptions bulk;
-      bulk.symmetric_pruning = options.algorithm == RcjAlgorithm::kObj;
-      bulk.verify = options.verify;
-      bulk.self_join = self_join_;
-      bulk.order = options.order;
-      bulk.random_seed = options.random_seed;
-      status = RunBulkJoin(tq, tp, bulk, &result.pairs, &result.stats);
-      break;
-    }
-  }
+  const Status status =
+      ExecuteRcj(tq, tp, qset_, pset_, self_join_, options,
+                 /*tq_leaf_subset=*/nullptr, &result.pairs, &result.stats);
   if (!status.ok()) return status;
   const auto end = std::chrono::steady_clock::now();
 

@@ -2,6 +2,12 @@
 // (two R*-trees over one shared LRU buffer, sized as a fraction of the total
 // tree pages) from raw pointsets, run any RCJ algorithm with a cold buffer,
 // and report paper-style statistics.
+//
+// Environment setup (tree construction, buffer sizing) is deliberately
+// separated from execution: Build() is the one-shot expensive phase, after
+// which Run() — or the parallel engine's worker views opened over the same
+// page stores — can execute any number of algorithm configurations against
+// the warm, immutable indexes.
 #ifndef RINGJOIN_CORE_RUNNER_H_
 #define RINGJOIN_CORE_RUNNER_H_
 
@@ -88,6 +94,14 @@ class RcjEnvironment {
   const std::vector<PointRecord>& qset() const { return qset_; }
   const std::vector<PointRecord>& pset() const { return pset_; }
 
+  /// Backing stores of the built trees. Build() persists both tree headers,
+  /// so additional read-only views can be opened over these stores with
+  /// RTree::Open (the engine opens one per task, each with a private buffer
+  /// pool). `p_page_store()` is null in self-join mode.
+  PageStore* q_page_store() const { return q_store_.get(); }
+  PageStore* p_page_store() const { return p_store_.get(); }
+  const RTreeOptions& rtree_options() const { return rtree_options_; }
+
  private:
   RcjEnvironment() = default;
 
@@ -97,6 +111,7 @@ class RcjEnvironment {
       const RcjRunOptions& options);
 
   bool self_join_ = false;
+  RTreeOptions rtree_options_;
   std::unique_ptr<MemPageStore> q_store_;
   std::unique_ptr<MemPageStore> p_store_;  // null in self-join mode
   std::unique_ptr<BufferManager> buffer_;
@@ -106,6 +121,21 @@ class RcjEnvironment {
   std::vector<PointRecord> pset_;
   IoCostModel cost_model_;
 };
+
+/// The repeatable execution core shared by RcjEnvironment::Run and the
+/// parallel engine: dispatches `options.algorithm` over already-built trees,
+/// appending pairs to `out` and accumulating candidate/result counts into
+/// `stats`. Does not touch buffer state or wall clocks — the caller decides
+/// cold/warm semantics and time accounting. `tq_leaf_subset`, when non-null,
+/// restricts the indexed algorithms (INJ/BIJ/OBJ) to that contiguous range
+/// of T_Q leaf pages; it must be null for BRUTE. `qset`/`pset` are consulted
+/// only by BRUTE.
+Status ExecuteRcj(const RTree& tq, const RTree& tp,
+                  const std::vector<PointRecord>& qset,
+                  const std::vector<PointRecord>& pset, bool self_join,
+                  const RcjRunOptions& options,
+                  const std::vector<uint64_t>* tq_leaf_subset,
+                  std::vector<RcjPair>* out, JoinStats* stats);
 
 /// One-shot convenience: build an environment and run one algorithm.
 Result<RcjRunResult> RunRcj(const std::vector<PointRecord>& qset,

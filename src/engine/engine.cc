@@ -1,0 +1,267 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/rcj_inj.h"
+#include "storage/buffer_manager.h"
+#include "storage/cost_model.h"
+
+namespace rcj {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A worker's private, read-only window onto one environment's indexes:
+/// fresh RTree views over the shared page stores, faulting through a
+/// private LRU pool so buffer accounting needs no cross-thread latching.
+struct WorkerView {
+  std::unique_ptr<BufferManager> buffer;
+  std::unique_ptr<RTree> tq;
+  std::unique_ptr<RTree> tp;  // aliases tq for self-joins
+
+  const RTree& tq_ref() const { return *tq; }
+  const RTree& tp_ref() const { return tp != nullptr ? *tp : *tq; }
+};
+
+Status OpenWorkerView(const RcjEnvironment& env, const EngineOptions& options,
+                      WorkerView* view) {
+  const auto scaled = static_cast<size_t>(
+      options.worker_buffer_fraction *
+      static_cast<double>(env.total_tree_pages()));
+  const size_t pool_pages =
+      std::max(options.worker_min_buffer_pages, scaled);
+  view->buffer = std::make_unique<BufferManager>(pool_pages);
+
+  Result<std::unique_ptr<RTree>> tq = RTree::Open(
+      env.q_page_store(), view->buffer.get(), env.rtree_options());
+  if (!tq.ok()) return tq.status();
+  view->tq = std::move(tq).value();
+
+  if (!env.self_join()) {
+    Result<std::unique_ptr<RTree>> tp = RTree::Open(
+        env.p_page_store(), view->buffer.get(), env.rtree_options());
+    if (!tp.ok()) return tp.status();
+    view->tp = std::move(tp).value();
+  }
+  // Opening the views pinned the header pages; reset so the aggregated
+  // counters cover exactly the join, like the serial runner's cold start.
+  view->buffer->ResetStats();
+  return Status::OK();
+}
+
+/// One schedulable unit: a whole query, or one contiguous leaf range of an
+/// indexed query. Filled in by the worker that executes it.
+struct EngineTask {
+  size_t query_index = 0;
+  // Owned copy of this task's T_Q leaf range; null-equivalent (empty, with
+  // use_subset false) for single-task queries and BRUTE.
+  bool use_subset = false;
+  std::vector<uint64_t> leaf_subset;
+
+  Status status;
+  std::vector<RcjPair> pairs;
+  JoinStats stats;
+  BufferStats buffer_stats;
+  Clock::time_point start;
+  Clock::time_point end;
+};
+
+bool IsIndexed(RcjAlgorithm algorithm) {
+  return algorithm != RcjAlgorithm::kBrute;
+}
+
+void SubmitTasks(const std::vector<EngineQuery>& queries,
+                 const EngineOptions& engine_options, ThreadPool* pool,
+                 std::vector<EngineTask>* tasks) {
+  for (EngineTask& task : *tasks) {
+    const EngineQuery& query = queries[task.query_index];
+    EngineTask* t = &task;
+    pool->Submit([t, &query, &engine_options] {
+      t->start = Clock::now();
+      // The join code reports errors via Status, but allocation can still
+      // throw on oversized result sets; convert to a per-query failure so
+      // one starved query never poisons its batchmates (engine.h contract).
+      try {
+        WorkerView view;
+        t->status = OpenWorkerView(*query.env, engine_options, &view);
+        if (t->status.ok()) {
+          t->status = ExecuteRcj(view.tq_ref(), view.tp_ref(),
+                                 query.env->qset(), query.env->pset(),
+                                 query.env->self_join(), query.options,
+                                 t->use_subset ? &t->leaf_subset : nullptr,
+                                 &t->pairs, &t->stats);
+          t->buffer_stats = view.buffer->stats();
+        }
+      } catch (const std::exception& e) {
+        t->status = Status::IoError(std::string("engine task threw: ") +
+                                    e.what());
+      } catch (...) {
+        t->status = Status::IoError("engine task threw a non-std exception");
+      }
+      t->end = Clock::now();
+    });
+  }
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(options), pool_(options.num_threads) {}
+
+Engine::~Engine() = default;
+
+std::vector<EngineQueryResult> Engine::RunBatch(
+    const std::vector<EngineQuery>& queries) {
+  std::vector<EngineQueryResult> results(queries.size());
+
+  // ---- Plan: expand each query into one or more leaf-range tasks. -------
+  // Batches typically repeat the same environment many times; compute each
+  // distinct (env, order, seed) leaf order once so the serial planning
+  // prefix stays O(distinct environments), not O(queries).
+  struct LeafOrder {
+    const RcjEnvironment* env;
+    SearchOrder order;
+    uint64_t seed;
+    std::vector<uint64_t> leaves;
+  };
+  std::vector<LeafOrder> leaf_orders;
+
+  std::vector<EngineTask> tasks;
+  std::vector<std::vector<size_t>> tasks_of_query(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const EngineQuery& query = queries[qi];
+    if (query.env == nullptr) {
+      results[qi].status =
+          Status::InvalidArgument("EngineQuery with null environment");
+      continue;
+    }
+
+    std::vector<std::vector<uint64_t>> ranges;
+    if (options_.intra_query_parallelism &&
+        IsIndexed(query.options.algorithm) && pool_.num_threads() > 1) {
+      // The depth-first (or seeded-shuffle) leaf order is computed once
+      // here on the caller thread, then split into contiguous ranges, so
+      // concatenating task outputs in range order equals the serial run.
+      const std::vector<uint64_t>* leaves_ptr = nullptr;
+      for (const LeafOrder& cached : leaf_orders) {
+        if (cached.env == query.env && cached.order == query.options.order &&
+            cached.seed == query.options.random_seed) {
+          leaves_ptr = &cached.leaves;
+          break;
+        }
+      }
+      if (leaves_ptr == nullptr) {
+        LeafOrder entry;
+        entry.env = query.env;
+        entry.order = query.options.order;
+        entry.seed = query.options.random_seed;
+        const Status status =
+            LeafPagesInOrder(query.env->tq(), query.options.order,
+                             query.options.random_seed, &entry.leaves);
+        if (!status.ok()) {
+          results[qi].status = status;
+          continue;
+        }
+        leaf_orders.push_back(std::move(entry));
+        leaves_ptr = &leaf_orders.back().leaves;
+      }
+      const std::vector<uint64_t>& leaves = *leaves_ptr;
+      if (leaves.size() >= options_.min_leaves_to_split) {
+        const size_t max_tasks = std::max<size_t>(
+            1, pool_.num_threads() * options_.tasks_per_thread);
+        const size_t num_ranges = std::min(max_tasks, leaves.size());
+        ranges.resize(num_ranges);
+        // Balanced contiguous split: range sizes differ by at most one.
+        const size_t base = leaves.size() / num_ranges;
+        const size_t extra = leaves.size() % num_ranges;
+        size_t next = 0;
+        for (size_t r = 0; r < num_ranges; ++r) {
+          const size_t len = base + (r < extra ? 1 : 0);
+          ranges[r].assign(leaves.begin() + next,
+                           leaves.begin() + next + len);
+          next += len;
+        }
+      }
+    }
+
+    if (ranges.empty()) {
+      EngineTask task;
+      task.query_index = qi;
+      tasks_of_query[qi].push_back(tasks.size());
+      tasks.push_back(std::move(task));
+    } else {
+      for (std::vector<uint64_t>& range : ranges) {
+        EngineTask task;
+        task.query_index = qi;
+        task.use_subset = true;
+        task.leaf_subset = std::move(range);
+        tasks_of_query[qi].push_back(tasks.size());
+        tasks.push_back(std::move(task));
+      }
+    }
+  }
+
+  // ---- Execute: one flat task list, so inter- and intra-query work
+  // interleaves freely across the pool. Queued lambdas hold pointers into
+  // `tasks` and `queries`, so if a Submit() allocation throws mid-loop we
+  // must drain the already-queued work before unwinding destroys them.
+  try {
+    SubmitTasks(queries, options_, &pool_, &tasks);
+  } catch (...) {
+    pool_.WaitIdle();
+    throw;
+  }
+  pool_.WaitIdle();
+
+  // ---- Merge: concatenate leaf ranges in order; aggregate the private
+  // pools' fault accounting; charge the paper's I/O cost model. -----------
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    if (!results[qi].status.ok()) continue;  // planning already failed
+    EngineQueryResult& result = results[qi];
+    double busy_seconds = 0.0;
+    for (const size_t ti : tasks_of_query[qi]) {
+      const EngineTask& task = tasks[ti];
+      if (!task.status.ok()) {
+        result.status = task.status;
+        break;
+      }
+      result.run.pairs.insert(result.run.pairs.end(), task.pairs.begin(),
+                              task.pairs.end());
+      result.run.stats.candidates += task.stats.candidates;
+      result.run.stats.results += task.stats.results;
+      result.run.stats.node_accesses += task.buffer_stats.logical_accesses;
+      result.run.stats.page_faults += task.buffer_stats.page_faults;
+      busy_seconds +=
+          std::chrono::duration<double>(task.end - task.start).count();
+    }
+    if (!result.status.ok()) {
+      result.run = RcjRunResult();
+      continue;
+    }
+    IoCostModel model;
+    model.ms_per_fault = queries[qi].options.io_ms_per_fault;
+    BufferStats aggregated;
+    aggregated.page_faults = result.run.stats.page_faults;
+    aggregated.logical_accesses = result.run.stats.node_accesses;
+    result.run.stats.io_seconds = model.SecondsFor(aggregated);
+    // Summed execution time of the query's own tasks — comparable to the
+    // serial runner's cpu_seconds and never inflated by other queries'
+    // tasks interleaving on the pool. Batch latency is the caller's wall
+    // clock around RunBatch.
+    result.run.stats.cpu_seconds = busy_seconds;
+  }
+  return results;
+}
+
+Result<RcjRunResult> Engine::Run(const RcjEnvironment& env,
+                                 const RcjRunOptions& options) {
+  std::vector<EngineQuery> batch(1);
+  batch[0].env = &env;
+  batch[0].options = options;
+  std::vector<EngineQueryResult> results = RunBatch(batch);
+  if (!results[0].status.ok()) return results[0].status;
+  return std::move(results[0].run);
+}
+
+}  // namespace rcj

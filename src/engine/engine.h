@@ -1,0 +1,106 @@
+// rcj::Engine — a thread-pool-backed execution layer for batches of
+// ring-constrained joins.
+//
+// The paper's runner executes one algorithm at a time against a cold
+// buffer; a middleman-location service instead faces many concurrent
+// queries (mixed algorithms, search orders, and pointset pairs) over a
+// small set of long-lived indexes. The engine separates those concerns:
+// environments are built once (RcjEnvironment::Build — trees, page stores,
+// headers persisted), after which the engine executes whole batches
+// concurrently over the shared immutable indexes.
+//
+// Two levels of parallelism compose inside one flat task list:
+//   * inter-query: every query of a batch becomes at least one task;
+//   * intra-query: an indexed join (INJ/BIJ/OBJ) is split into contiguous
+//     ranges of T_Q's depth-first leaf order — the unit the paper's
+//     algorithms already process independently — and each range becomes its
+//     own task. Concatenating the ranges' outputs in order reproduces the
+//     serial result pair for pair.
+//
+// Each task opens private read-only R-tree views (RTree::Open) over the
+// environment's page stores with a private LRU buffer pool, so workers
+// never contend on buffer latches; per-worker BufferStats are aggregated
+// into the query's JoinStats afterwards (the summed fault count is
+// honestly a little higher than one shared serial pool would produce,
+// since every worker faults its own root path).
+#ifndef RINGJOIN_ENGINE_ENGINE_H_
+#define RINGJOIN_ENGINE_ENGINE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "core/runner.h"
+#include "engine/thread_pool.h"
+
+namespace rcj {
+
+/// Engine-wide knobs, fixed at construction.
+struct EngineOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  size_t num_threads = 0;
+  /// Split single indexed queries across workers (intra-query parallelism).
+  bool intra_query_parallelism = true;
+  /// Target number of leaf-range tasks per worker thread when splitting one
+  /// query; >1 lets the pool rebalance skewed ranges.
+  size_t tasks_per_thread = 2;
+  /// Queries whose T_Q has fewer leaves than this run as one task — the
+  /// per-worker view/buffer setup would outweigh the traversal.
+  size_t min_leaves_to_split = 8;
+  /// Sizing of each worker's private buffer pool, mirroring the serial
+  /// runner's buffer_fraction/min_buffer_pages pair.
+  double worker_buffer_fraction = 0.01;
+  size_t worker_min_buffer_pages = 32;
+};
+
+/// One query of a batch: which environment to run against and the
+/// algorithm/order/verify/io-cost knobs. The environment must outlive the
+/// batch and is treated as strictly read-only (its shared buffer is never
+/// touched by the engine's workers).
+struct EngineQuery {
+  const RcjEnvironment* env = nullptr;
+  RcjRunOptions options;
+};
+
+/// Outcome of one batch entry, in input order. `run` is meaningful only
+/// when `status.ok()`.
+struct EngineQueryResult {
+  Status status;
+  RcjRunResult run;
+};
+
+/// A reusable batched executor. Construct once (threads spin up
+/// immediately), then feed it any number of batches. One batch call at a
+/// time: RunBatch is not reentrant — external callers serialize, which is
+/// the natural shape for a service dispatch loop.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  RINGJOIN_DISALLOW_COPY_AND_ASSIGN(Engine);
+
+  size_t num_threads() const { return pool_.num_threads(); }
+  const EngineOptions& options() const { return options_; }
+
+  /// Executes every query of the batch concurrently; results are returned
+  /// in input order. Per-query failures are reported in the corresponding
+  /// slot — one bad query never poisons its batchmates.
+  std::vector<EngineQueryResult> RunBatch(
+      const std::vector<EngineQuery>& queries);
+
+  /// Single-query convenience: a one-element batch, so an indexed join
+  /// still fans out across all workers when intra-query parallelism is on.
+  Result<RcjRunResult> Run(const RcjEnvironment& env,
+                           const RcjRunOptions& options);
+
+ private:
+  EngineOptions options_;
+  ThreadPool pool_;
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_ENGINE_ENGINE_H_

@@ -1,0 +1,58 @@
+// A fixed-size worker pool with a single FIFO task queue — the execution
+// substrate of the batched RCJ engine. Deliberately minimal: tasks are
+// type-erased thunks, there is no work stealing, and the only
+// synchronization primitives are one mutex and two condition variables, so
+// the scheduling behavior stays easy to reason about under profiling.
+#ifndef RINGJOIN_ENGINE_THREAD_POOL_H_
+#define RINGJOIN_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace rcj {
+
+/// Fixed-size thread pool. Submit() enqueues a task; WaitIdle() blocks the
+/// caller until every submitted task has finished. Tasks must not Submit()
+/// recursively and then block on WaitIdle() from inside the pool — the
+/// engine schedules flat task lists only, so this never arises.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1; 0 is promoted to
+  /// std::thread::hardware_concurrency()).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  RINGJOIN_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  /// Enqueues one task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void WaitIdle();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_tasks_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_ENGINE_THREAD_POOL_H_

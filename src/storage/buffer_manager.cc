@@ -34,11 +34,13 @@ BufferManager::~BufferManager() {
 }
 
 int BufferManager::RegisterStore(PageStore* store) {
+  std::lock_guard<std::mutex> lock(mu_);
   stores_.push_back(store);
   return static_cast<int>(stores_.size()) - 1;
 }
 
 Result<PageHandle> BufferManager::Pin(int store_id, uint64_t page_no) {
+  std::lock_guard<std::mutex> lock(mu_);
   assert(store_id >= 0 && static_cast<size_t>(store_id) < stores_.size());
   ++stats_.logical_accesses;
   const uint64_t key = Key(store_id, page_no);
@@ -53,7 +55,7 @@ Result<PageHandle> BufferManager::Pin(int store_id, uint64_t page_no) {
 
   // Miss: fault the page in.
   ++stats_.page_faults;
-  RINGJOIN_RETURN_IF_ERROR(EvictIfNeeded());
+  RINGJOIN_RETURN_IF_ERROR(EvictIfNeededLocked());
   PageStore* store = stores_[store_id];
   Frame frame;
   frame.store_id = store_id;
@@ -67,13 +69,14 @@ Result<PageHandle> BufferManager::Pin(int store_id, uint64_t page_no) {
 }
 
 Result<PageHandle> BufferManager::NewPage(int store_id, uint64_t* page_no) {
+  std::lock_guard<std::mutex> lock(mu_);
   assert(store_id >= 0 && static_cast<size_t>(store_id) < stores_.size());
   PageStore* store = stores_[store_id];
   Result<uint64_t> alloc = store->Allocate();
   if (!alloc.ok()) return alloc.status();
   *page_no = alloc.value();
 
-  RINGJOIN_RETURN_IF_ERROR(EvictIfNeeded());
+  RINGJOIN_RETURN_IF_ERROR(EvictIfNeededLocked());
   Frame frame;
   frame.store_id = store_id;
   frame.page_no = *page_no;
@@ -87,11 +90,12 @@ Result<PageHandle> BufferManager::NewPage(int store_id, uint64_t* page_no) {
 }
 
 void BufferManager::Unpin(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
   assert(frame->pin_count > 0);
   --frame->pin_count;
 }
 
-Status BufferManager::EvictIfNeeded() {
+Status BufferManager::EvictIfNeededLocked() {
   while (frames_.size() >= capacity_) {
     // Find the least-recently-used unpinned frame (scan from the back).
     auto victim = frames_.end();
@@ -107,7 +111,7 @@ Status BufferManager::EvictIfNeeded() {
       // practice; see class comment).
       return Status::OK();
     }
-    RINGJOIN_RETURN_IF_ERROR(WriteBack(&*victim));
+    RINGJOIN_RETURN_IF_ERROR(WriteBackLocked(&*victim));
     ++stats_.evictions;
     table_.erase(Key(victim->store_id, victim->page_no));
     frames_.erase(victim);
@@ -115,7 +119,7 @@ Status BufferManager::EvictIfNeeded() {
   return Status::OK();
 }
 
-Status BufferManager::WriteBack(Frame* frame) {
+Status BufferManager::WriteBackLocked(Frame* frame) {
   if (!frame->dirty) return Status::OK();
   PageStore* store = stores_[frame->store_id];
   RINGJOIN_RETURN_IF_ERROR(store->Write(frame->page_no, frame->data.get()));
@@ -124,28 +128,35 @@ Status BufferManager::WriteBack(Frame* frame) {
   return Status::OK();
 }
 
-Status BufferManager::FlushAll() {
+Status BufferManager::FlushAllLocked() {
   for (Frame& frame : frames_) {
-    RINGJOIN_RETURN_IF_ERROR(WriteBack(&frame));
+    RINGJOIN_RETURN_IF_ERROR(WriteBackLocked(&frame));
   }
   return Status::OK();
 }
 
+Status BufferManager::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushAllLocked();
+}
+
 Status BufferManager::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& frame : frames_) {
     if (frame.pin_count > 0) {
       return Status::InvalidArgument("Clear() with outstanding pins");
     }
   }
-  RINGJOIN_RETURN_IF_ERROR(FlushAll());
+  RINGJOIN_RETURN_IF_ERROR(FlushAllLocked());
   frames_.clear();
   table_.clear();
   return Status::OK();
 }
 
 Status BufferManager::SetCapacity(size_t capacity_pages) {
+  std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity_pages > 0 ? capacity_pages : 1;
-  return EvictIfNeeded();
+  return EvictIfNeededLocked();
 }
 
 }  // namespace rcj

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -85,6 +86,19 @@ class PageHandle {
 /// pool temporarily over-commits (tree maintenance pins only O(height)
 /// pages, so this stays negligible) — over-committed reads still count as
 /// faults.
+///
+/// Thread safety: Pin/NewPage/Unpin and the maintenance entry points are
+/// internally synchronized (one coarse mutex), so multiple threads may
+/// share one pool *correctly* — but not scalably: the lock is held across
+/// the backing-store read on a fault, so a fault stalls every other user
+/// of the pool. The parallel join engine therefore gives each worker a
+/// private pool and aggregates the stats; the mutex here makes casual
+/// sharing (e.g. two threads calling RcjEnvironment::Run) safe rather than
+/// fast. Page *contents* are not protected: concurrent access to the same
+/// page is safe only while no thread holds a mutable_data() view, which is
+/// the case for query workloads over immutable trees. stats()/ResetStats()
+/// are unsynchronized reads of plain counters — call them only while no
+/// worker is actively pinning.
 class BufferManager {
  public:
   explicit BufferManager(size_t capacity_pages);
@@ -113,8 +127,14 @@ class BufferManager {
   /// Changes capacity; evicts LRU unpinned frames if shrinking.
   Status SetCapacity(size_t capacity_pages);
 
-  size_t capacity() const { return capacity_; }
-  size_t cached_pages() const { return frames_.size(); }
+  size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+  }
+  size_t cached_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_.size();
+  }
 
   const BufferStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferStats(); }
@@ -129,9 +149,13 @@ class BufferManager {
   }
 
   void Unpin(Frame* frame);
-  Status EvictIfNeeded();
-  Status WriteBack(Frame* frame);
+  // Internal helpers; the caller must hold `mu_`.
+  Status EvictIfNeededLocked();
+  Status WriteBackLocked(Frame* frame);
+  Status FlushAllLocked();
 
+  // Guards every structure below (frame list, hash table, counters).
+  mutable std::mutex mu_;
   std::vector<PageStore*> stores_;
   size_t capacity_;
   // LRU list: front = most recently used. std::list gives stable Frame

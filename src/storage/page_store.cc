@@ -60,6 +60,7 @@ FilePageStore::~FilePageStore() {
 }
 
 Status FilePageStore::Read(uint64_t page_no, uint8_t* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (page_no >= num_pages_) {
     return Status::OutOfRange("read past end of FilePageStore");
   }
@@ -74,6 +75,7 @@ Status FilePageStore::Read(uint64_t page_no, uint8_t* out) const {
 }
 
 Status FilePageStore::Write(uint64_t page_no, const uint8_t* data) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (page_no >= num_pages_) {
     return Status::OutOfRange("write past end of FilePageStore");
   }
@@ -88,6 +90,7 @@ Status FilePageStore::Write(uint64_t page_no, const uint8_t* data) {
 }
 
 Result<uint64_t> FilePageStore::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<uint8_t> zeros(page_size(), 0);
   if (std::fseek(file_, static_cast<long>(num_pages_ * page_size()),
                  SEEK_SET) != 0) {
@@ -100,6 +103,7 @@ Result<uint64_t> FilePageStore::Allocate() {
 }
 
 Status FilePageStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (std::fflush(file_) != 0) return Status::IoError("fflush failed");
   return Status::OK();
 }

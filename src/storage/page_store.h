@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,8 +23,13 @@ namespace rcj {
 inline constexpr uint32_t kDefaultPageSize = 1024;
 
 /// Abstract page-addressed storage. All reads and writes transfer exactly
-/// `page_size()` bytes. Not thread-safe; ringjoin is single-threaded by
-/// design (the paper's algorithms are sequential).
+/// `page_size()` bytes.
+///
+/// Thread safety: concurrent Read() calls are safe on both backends as long
+/// as no thread is concurrently writing or allocating — the situation the
+/// parallel join engine is in, where several worker buffer pools fault pages
+/// of one immutable tree. Writes and allocation (tree construction) remain
+/// single-threaded by design.
 class PageStore {
  public:
   explicit PageStore(uint32_t page_size) : page_size_(page_size) {}
@@ -50,6 +56,8 @@ class PageStore {
 };
 
 /// Heap-backed page store: the default substrate for experiments.
+/// Concurrent Read() is naturally safe (pages are immutable heap arrays and
+/// the page vector only grows during single-threaded construction).
 class MemPageStore : public PageStore {
  public:
   explicit MemPageStore(uint32_t page_size = kDefaultPageSize)
@@ -66,6 +74,8 @@ class MemPageStore : public PageStore {
 
 /// File-backed page store for durable trees. The file is a dense array of
 /// pages with no header (tree metadata lives in the tree's own header page).
+/// A mutex makes the stdio seek+transfer pair atomic, so concurrent readers
+/// (and the buffer managers in front of them) can share one store.
 class FilePageStore : public PageStore {
  public:
   /// Opens (or creates, if `create` is true) the store at `path`.
@@ -87,6 +97,7 @@ class FilePageStore : public PageStore {
   FilePageStore(std::FILE* file, uint32_t page_size, uint64_t num_pages)
       : PageStore(page_size), file_(file), num_pages_(num_pages) {}
 
+  mutable std::mutex mu_;  // serializes the fseek+fread/fwrite pairs
   std::FILE* file_;
   uint64_t num_pages_;
 };

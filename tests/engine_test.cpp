@@ -1,0 +1,260 @@
+// Tests for the parallel batched execution engine: a multi-threaded batch
+// must return pair-for-pair identical results to the serial runner on the
+// same inputs, across algorithms, search orders, self-joins, and mixed
+// batches, with coherent aggregated statistics.
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/rcj.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace rcj {
+namespace {
+
+// Sorted (q.id, p.id) projection so serial and parallel outputs can be
+// compared pair for pair regardless of leaf-range concatenation order.
+std::vector<RcjPair> Sorted(std::vector<RcjPair> pairs) {
+  NormalizePairs(&pairs);
+  return pairs;
+}
+
+void ExpectIdenticalPairs(const std::vector<RcjPair>& parallel,
+                          const std::vector<RcjPair>& serial,
+                          const char* label) {
+  ASSERT_EQ(parallel.size(), serial.size()) << label;
+  const std::vector<RcjPair> lhs = Sorted(parallel);
+  const std::vector<RcjPair> rhs = Sorted(serial);
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    ASSERT_EQ(lhs[i].p.id, rhs[i].p.id) << label << " at " << i;
+    ASSERT_EQ(lhs[i].q.id, rhs[i].q.id) << label << " at " << i;
+    ASSERT_DOUBLE_EQ(lhs[i].circle.center.x, rhs[i].circle.center.x)
+        << label << " at " << i;
+    ASSERT_DOUBLE_EQ(lhs[i].circle.center.y, rhs[i].circle.center.y)
+        << label << " at " << i;
+  }
+}
+
+TEST(EngineTest, ParallelBatchMatchesSerialRunPairForPair) {
+  const std::vector<PointRecord> qset = GenerateUniform(4000, 11);
+  const std::vector<PointRecord> pset = GenerateUniform(4000, 12);
+
+  RcjRunOptions options;
+  options.algorithm = RcjAlgorithm::kObj;
+  const Result<RcjRunResult> serial = RunRcj(qset, pset, options);
+  ASSERT_TRUE(serial.ok());
+
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, options);
+  ASSERT_TRUE(env.ok());
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  Engine engine(engine_options);
+  const Result<RcjRunResult> parallel = engine.Run(*env.value(), options);
+  ASSERT_TRUE(parallel.ok());
+
+  ExpectIdenticalPairs(parallel.value().pairs, serial.value().pairs, "OBJ");
+  EXPECT_EQ(parallel.value().stats.results, serial.value().stats.results);
+  EXPECT_EQ(parallel.value().stats.candidates,
+            serial.value().stats.candidates)
+      << "leaf-granular partitioning must not change OBJ's pruning";
+}
+
+TEST(EngineTest, EveryAlgorithmMatchesSerial) {
+  const std::vector<PointRecord> qset = GenerateUniform(1200, 21);
+  const std::vector<PointRecord> pset = GenerateUniform(1500, 22);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, RcjRunOptions{});
+  ASSERT_TRUE(env.ok());
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 3;
+  Engine engine(engine_options);
+
+  for (const RcjAlgorithm algorithm :
+       {RcjAlgorithm::kBrute, RcjAlgorithm::kInj, RcjAlgorithm::kBij,
+        RcjAlgorithm::kObj}) {
+    RcjRunOptions options;
+    options.algorithm = algorithm;
+    const Result<RcjRunResult> serial = env.value()->Run(options);
+    ASSERT_TRUE(serial.ok()) << AlgorithmName(algorithm);
+    const Result<RcjRunResult> parallel = engine.Run(*env.value(), options);
+    ASSERT_TRUE(parallel.ok()) << AlgorithmName(algorithm);
+    ExpectIdenticalPairs(parallel.value().pairs, serial.value().pairs,
+                         AlgorithmName(algorithm));
+  }
+}
+
+TEST(EngineTest, SelfJoinMatchesSerial) {
+  const std::vector<PointRecord> set = GenerateUniform(2500, 31);
+  RcjRunOptions options;
+  const Result<RcjRunResult> serial = RunRcjSelf(set, options);
+  ASSERT_TRUE(serial.ok());
+
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::BuildSelf(set, options);
+  ASSERT_TRUE(env.ok());
+  Engine engine(EngineOptions{});
+  const Result<RcjRunResult> parallel = engine.Run(*env.value(), options);
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdenticalPairs(parallel.value().pairs, serial.value().pairs, "self");
+}
+
+TEST(EngineTest, RandomSearchOrderMatchesSerial) {
+  // The seeded shuffle must partition identically to the serial shuffle.
+  const std::vector<PointRecord> qset = GenerateUniform(1800, 41);
+  const std::vector<PointRecord> pset = GenerateUniform(1800, 42);
+  RcjRunOptions options;
+  options.order = SearchOrder::kRandom;
+  options.random_seed = 99;
+
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, options);
+  ASSERT_TRUE(env.ok());
+  const Result<RcjRunResult> serial = env.value()->Run(options);
+  ASSERT_TRUE(serial.ok());
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  Engine engine(engine_options);
+  const Result<RcjRunResult> parallel = engine.Run(*env.value(), options);
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdenticalPairs(parallel.value().pairs, serial.value().pairs,
+                       "random order");
+}
+
+TEST(EngineTest, MixedBatchOverMultipleEnvironmentsInInputOrder) {
+  const std::vector<PointRecord> a = GenerateUniform(900, 51);
+  const std::vector<PointRecord> b = GenerateUniform(1100, 52);
+  const std::vector<PointRecord> c =
+      MakeRealSurrogate(RealDataset::kSchools, 5, 1000);
+
+  Result<std::unique_ptr<RcjEnvironment>> env_ab =
+      RcjEnvironment::Build(a, b, RcjRunOptions{});
+  Result<std::unique_ptr<RcjEnvironment>> env_cb =
+      RcjEnvironment::Build(c, b, RcjRunOptions{});
+  Result<std::unique_ptr<RcjEnvironment>> env_self =
+      RcjEnvironment::BuildSelf(c, RcjRunOptions{});
+  ASSERT_TRUE(env_ab.ok());
+  ASSERT_TRUE(env_cb.ok());
+  ASSERT_TRUE(env_self.ok());
+
+  // A mixed batch: different environments, algorithms, and orders.
+  std::vector<EngineQuery> batch;
+  const RcjAlgorithm algos[] = {RcjAlgorithm::kObj, RcjAlgorithm::kInj,
+                                RcjAlgorithm::kBij};
+  RcjEnvironment* envs[] = {env_ab.value().get(), env_cb.value().get(),
+                            env_self.value().get()};
+  std::vector<RcjEnvironment*> owner_of_query;
+  for (int i = 0; i < 9; ++i) {
+    EngineQuery query;
+    query.env = envs[i % 3];
+    query.options.algorithm = algos[(i / 3) % 3];
+    owner_of_query.push_back(envs[i % 3]);
+    batch.push_back(query);
+  }
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  Engine engine(engine_options);
+  const std::vector<EngineQueryResult> results = engine.RunBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok()) << "query " << i;
+    // Compare against a serial run of the same (env, options) slot.
+    const Result<RcjRunResult> serial =
+        owner_of_query[i]->Run(batch[i].options);
+    ASSERT_TRUE(serial.ok()) << "query " << i;
+    ExpectIdenticalPairs(results[i].run.pairs, serial.value().pairs,
+                         "batch query");
+  }
+}
+
+TEST(EngineTest, AggregatedStatsAreCoherent) {
+  const std::vector<PointRecord> qset = GenerateUniform(2000, 61);
+  const std::vector<PointRecord> pset = GenerateUniform(2000, 62);
+  RcjRunOptions options;
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, options);
+  ASSERT_TRUE(env.ok());
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  Engine engine(engine_options);
+  const Result<RcjRunResult> run = engine.Run(*env.value(), options);
+  ASSERT_TRUE(run.ok());
+  const JoinStats& stats = run.value().stats;
+
+  EXPECT_EQ(stats.results, run.value().pairs.size());
+  EXPECT_GE(stats.candidates, stats.results);
+  EXPECT_GT(stats.node_accesses, 0u);
+  EXPECT_GE(stats.node_accesses, stats.page_faults);
+  // Aggregated private pools still obey the paper's I/O cost model.
+  EXPECT_DOUBLE_EQ(stats.io_seconds,
+                   static_cast<double>(stats.page_faults) * 0.010);
+  EXPECT_GT(stats.cpu_seconds, 0.0);
+}
+
+TEST(EngineTest, NullEnvironmentFailsWithoutPoisoningBatchmates) {
+  const std::vector<PointRecord> set = GenerateUniform(600, 71);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::BuildSelf(set, RcjRunOptions{});
+  ASSERT_TRUE(env.ok());
+
+  std::vector<EngineQuery> batch(2);
+  batch[0].env = nullptr;  // invalid
+  batch[1].env = env.value().get();
+
+  Engine engine(EngineOptions{});
+  const std::vector<EngineQueryResult> results = engine.RunBatch(batch);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].status.ok());
+  EXPECT_TRUE(results[1].status.ok());
+  EXPECT_GT(results[1].run.pairs.size(), 0u);
+}
+
+TEST(EngineTest, IntraQueryParallelismOffStillMatchesSerial) {
+  const std::vector<PointRecord> qset = GenerateUniform(1300, 81);
+  const std::vector<PointRecord> pset = GenerateUniform(1300, 82);
+  RcjRunOptions options;
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, options);
+  ASSERT_TRUE(env.ok());
+  const Result<RcjRunResult> serial = env.value()->Run(options);
+  ASSERT_TRUE(serial.ok());
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  engine_options.intra_query_parallelism = false;
+  Engine engine(engine_options);
+  const Result<RcjRunResult> parallel = engine.Run(*env.value(), options);
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdenticalPairs(parallel.value().pairs, serial.value().pairs,
+                       "no intra");
+}
+
+TEST(EngineTest, EngineIsReusableAcrossBatches) {
+  const std::vector<PointRecord> set = GenerateUniform(1000, 91);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::BuildSelf(set, RcjRunOptions{});
+  ASSERT_TRUE(env.ok());
+
+  Engine engine(EngineOptions{});
+  const Result<RcjRunResult> first = engine.Run(*env.value(), {});
+  const Result<RcjRunResult> second = engine.Run(*env.value(), {});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().pairs.size(), second.value().pairs.size());
+  EXPECT_EQ(first.value().stats.page_faults,
+            second.value().stats.page_faults)
+      << "fresh worker pools each run: identical cold-start accounting";
+}
+
+}  // namespace
+}  // namespace rcj

@@ -6,15 +6,19 @@
 //   rcj_tool join --q q.csv --p p.csv --algo obj --out pairs.csv
 //   rcj_tool join --q buildings.csv --self --out postboxes.csv
 //   rcj_tool stats --q q.csv --p p.csv
+//   rcj_tool batch --q q.csv --p p.csv --algos obj,inj --repeat 4 --threads 8
 //
 // Pair output CSV columns: p_id, q_id, center_x, center_y, radius.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/rcj.h"
+#include "engine/engine.h"
 #include "workload/dataset.h"
 #include "workload/generator.h"
 
@@ -31,7 +35,10 @@ int Usage() {
       "  rcj_tool join --q Q.csv [--p P.csv | --self]\n"
       "           [--algo brute|inj|bij|obj] [--buffer-frac F]\n"
       "           [--page-size B] [--out PAIRS.csv]\n"
-      "  rcj_tool stats --q Q.csv --p P.csv\n");
+      "  rcj_tool stats --q Q.csv --p P.csv\n"
+      "  rcj_tool batch --q Q.csv [--p P.csv | --self]\n"
+      "           [--algos obj,inj,bij] [--repeat N] [--threads T]\n"
+      "           [--no-intra] [--compare-serial]\n");
   return 2;
 }
 
@@ -99,49 +106,105 @@ int CmdGenerate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-RcjAlgorithm AlgoFromName(const std::string& name) {
-  if (name == "brute") return RcjAlgorithm::kBrute;
-  if (name == "inj") return RcjAlgorithm::kInj;
-  if (name == "bij") return RcjAlgorithm::kBij;
-  return RcjAlgorithm::kObj;
+// Parses a small non-negative count flag; rejects signs, garbage, and
+// values that would wrap or absurdly over-allocate (strtoull would happily
+// turn "-1" into 2^64-1 and take down the thread pool).
+bool ParseCount(const std::string& text, size_t max_value, size_t* out) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  const unsigned long long value = std::strtoull(text.c_str(), nullptr, 10);
+  if (value > max_value) return false;
+  *out = static_cast<size_t>(value);
+  return true;
 }
 
-int CmdJoin(const std::map<std::string, std::string>& flags) {
+bool ParseAlgo(const std::string& name, RcjAlgorithm* algo) {
+  if (name == "brute") {
+    *algo = RcjAlgorithm::kBrute;
+  } else if (name == "inj") {
+    *algo = RcjAlgorithm::kInj;
+  } else if (name == "bij") {
+    *algo = RcjAlgorithm::kBij;
+  } else if (name == "obj") {
+    *algo = RcjAlgorithm::kObj;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Shared by join/batch: reads --buffer-frac/--page-size into `options`,
+// loads --q (and --p unless --self), and builds the environment. On
+// failure prints a `cmd`-prefixed message and returns the process exit
+// code via `*exit_code`.
+Result<std::unique_ptr<RcjEnvironment>> BuildEnvFromFlags(
+    const char* cmd, const std::map<std::string, std::string>& flags,
+    RcjRunOptions* options, int* exit_code) {
+  *exit_code = 0;
+  options->buffer_fraction =
+      std::atof(FlagOr(flags, "buffer-frac", "0.01").c_str());
+  options->page_size = static_cast<uint32_t>(
+      std::strtoul(FlagOr(flags, "page-size", "1024").c_str(), nullptr, 10));
+
   const std::string q_path = FlagOr(flags, "q", "");
   if (q_path.empty()) {
-    std::fprintf(stderr, "join: --q is required\n");
-    return 2;
+    std::fprintf(stderr, "%s: --q is required\n", cmd);
+    *exit_code = 2;
+    return Status::InvalidArgument("missing --q");
   }
   Result<Dataset> qset = LoadCsv(q_path);
   if (!qset.ok()) {
-    std::fprintf(stderr, "join: %s\n", qset.status().ToString().c_str());
-    return 1;
+    std::fprintf(stderr, "%s: %s\n", cmd,
+                 qset.status().ToString().c_str());
+    *exit_code = 1;
+    return qset.status();
   }
 
-  RcjRunOptions options;
-  options.algorithm = AlgoFromName(FlagOr(flags, "algo", "obj"));
-  options.buffer_fraction =
-      std::atof(FlagOr(flags, "buffer-frac", "0.01").c_str());
-  options.page_size = static_cast<uint32_t>(
-      std::strtoul(FlagOr(flags, "page-size", "1024").c_str(), nullptr, 10));
-
-  Result<RcjRunResult> result(Status::InvalidArgument("not yet run"));
-  const bool self = flags.count("self") != 0;
-  if (self) {
-    result = RunRcjSelf(qset.value().points, options);
+  Result<std::unique_ptr<RcjEnvironment>> env(
+      Status::InvalidArgument("not yet built"));
+  if (flags.count("self") != 0) {
+    env = RcjEnvironment::BuildSelf(qset.value().points, *options);
   } else {
     const std::string p_path = FlagOr(flags, "p", "");
     if (p_path.empty()) {
-      std::fprintf(stderr, "join: --p or --self is required\n");
-      return 2;
+      std::fprintf(stderr, "%s: --p or --self is required\n", cmd);
+      *exit_code = 2;
+      return Status::InvalidArgument("missing --p/--self");
     }
     Result<Dataset> pset = LoadCsv(p_path);
     if (!pset.ok()) {
-      std::fprintf(stderr, "join: %s\n", pset.status().ToString().c_str());
-      return 1;
+      std::fprintf(stderr, "%s: %s\n", cmd,
+                   pset.status().ToString().c_str());
+      *exit_code = 1;
+      return pset.status();
     }
-    result = RunRcj(qset.value().points, pset.value().points, options);
+    env = RcjEnvironment::Build(qset.value().points, pset.value().points,
+                                *options);
   }
+  if (!env.ok()) {
+    std::fprintf(stderr, "%s: %s\n", cmd, env.status().ToString().c_str());
+    *exit_code = 1;
+  }
+  return env;
+}
+
+int CmdJoin(const std::map<std::string, std::string>& flags) {
+  RcjRunOptions options;
+  const std::string algo_name = FlagOr(flags, "algo", "obj");
+  if (!ParseAlgo(algo_name, &options.algorithm)) {
+    std::fprintf(stderr, "join: unknown algorithm '%s'\n", algo_name.c_str());
+    return 2;
+  }
+
+  int exit_code = 0;
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      BuildEnvFromFlags("join", flags, &options, &exit_code);
+  if (!env.ok()) return exit_code;
+  const bool self = flags.count("self") != 0;
+
+  Result<RcjRunResult> result = env.value()->Run(options);
   if (!result.ok()) {
     std::fprintf(stderr, "join: %s\n", result.status().ToString().c_str());
     return 1;
@@ -177,6 +240,116 @@ int CmdJoin(const std::map<std::string, std::string>& flags) {
               run.stats.io_seconds, run.stats.cpu_seconds);
   if (!out.empty()) std::printf("pairs written to %s\n", out.c_str());
   return 0;
+}
+
+// Executes a batch of queries (the --algos list, repeated --repeat times)
+// through the parallel engine over one warm environment — the service
+// shape: build once, answer many.
+int CmdBatch(const std::map<std::string, std::string>& flags) {
+  // Validate the cheap flags first — a typo must fail in milliseconds, not
+  // after minutes of tree construction.
+  const std::string algos = FlagOr(flags, "algos", "obj");
+  std::vector<RcjAlgorithm> algorithms;
+  size_t pos = 0;
+  while (pos <= algos.size()) {
+    size_t comma = algos.find(',', pos);
+    if (comma == std::string::npos) comma = algos.size();
+    const std::string name = algos.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (name.empty()) continue;
+    RcjAlgorithm algorithm;
+    if (!ParseAlgo(name, &algorithm)) {
+      std::fprintf(stderr, "batch: unknown algorithm '%s'\n", name.c_str());
+      return 2;
+    }
+    algorithms.push_back(algorithm);
+  }
+  if (algorithms.empty()) {
+    std::fprintf(stderr, "batch: --algos lists no algorithms\n");
+    return 2;
+  }
+  size_t repeat = 1;
+  if (!ParseCount(FlagOr(flags, "repeat", "1"), 1u << 20, &repeat)) {
+    std::fprintf(stderr, "batch: invalid --repeat '%s'\n",
+                 FlagOr(flags, "repeat", "1").c_str());
+    return 2;
+  }
+  EngineOptions engine_options;
+  if (!ParseCount(FlagOr(flags, "threads", "0"), 4096,
+                  &engine_options.num_threads)) {
+    std::fprintf(stderr, "batch: invalid --threads '%s'\n",
+                 FlagOr(flags, "threads", "0").c_str());
+    return 2;
+  }
+  engine_options.intra_query_parallelism = flags.count("no-intra") == 0;
+
+  RcjRunOptions options;
+  int exit_code = 0;
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      BuildEnvFromFlags("batch", flags, &options, &exit_code);
+  if (!env.ok()) return exit_code;
+
+  // Expand --algos x --repeat into the query list.
+  std::vector<EngineQuery> queries;
+  for (size_t r = 0; r < (repeat == 0 ? 1 : repeat); ++r) {
+    for (const RcjAlgorithm algorithm : algorithms) {
+      EngineQuery query;
+      query.env = env.value().get();
+      query.options = options;
+      query.options.algorithm = algorithm;
+      queries.push_back(query);
+    }
+  }
+  // Workers honor --buffer-frac too, so the engine side and any
+  // --compare-serial replay run under the same buffer sizing.
+  engine_options.worker_buffer_fraction = options.buffer_fraction;
+  Engine engine(engine_options);
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<EngineQueryResult> results = engine.RunBatch(queries);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::printf("%-6s %10s %12s %10s %9s %9s\n", "algo", "results",
+              "node-access", "faults", "I/O(s)", "CPU(s)");
+  int failures = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].status.ok()) {
+      std::fprintf(stderr, "query %zu: %s\n", i,
+                   results[i].status.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    const JoinStats& stats = results[i].run.stats;
+    std::printf("%-6s %10llu %12llu %10llu %9.2f %9.3f\n",
+                AlgorithmName(queries[i].options.algorithm),
+                static_cast<unsigned long long>(stats.results),
+                static_cast<unsigned long long>(stats.node_accesses),
+                static_cast<unsigned long long>(stats.page_faults),
+                stats.io_seconds, stats.cpu_seconds);
+  }
+  std::printf("batch: %zu queries in %.3f s on %zu threads\n",
+              queries.size(), wall, engine.num_threads());
+
+  if (flags.count("compare-serial") != 0) {
+    const auto serial_start = std::chrono::steady_clock::now();
+    for (const EngineQuery& query : queries) {
+      Result<RcjRunResult> run = env.value()->Run(query.options);
+      if (!run.ok()) {
+        std::fprintf(stderr, "serial replay failed: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+    }
+    const double serial_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      serial_start)
+            .count();
+    std::printf("serial loop: %.3f s (batch speedup %.2fx)\n", serial_wall,
+                serial_wall / wall);
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 int CmdStats(const std::map<std::string, std::string>& flags) {
@@ -232,5 +405,6 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "join") return CmdJoin(flags);
   if (command == "stats") return CmdStats(flags);
+  if (command == "batch") return CmdBatch(flags);
   return Usage();
 }
