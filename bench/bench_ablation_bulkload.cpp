@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const auto qset = GenerateUniform(n, 31);
   const auto pset = GenerateUniform(n, 32);
 
+  JsonReporter reporter("ablation_bulkload");
   PrintStatsHeader();
   uint64_t results[2] = {0, 0};
   int i = 0;
@@ -32,14 +33,17 @@ int main(int argc, char** argv) {
          {RcjAlgorithm::kInj, RcjAlgorithm::kObj}) {
       options.algorithm = algorithm;
       const RcjRunResult run = MustRun(env.get(), options);
-      PrintStatsRow(std::string(bulk ? "STR / " : "R*-ins / ") +
-                        AlgorithmName(algorithm),
-                    run.stats);
+      const std::string label = std::string(bulk ? "STR / " : "R*-ins / ") +
+                                AlgorithmName(algorithm);
+      ReportStatsRow(&reporter, label, run.stats);
+      reporter.AddMetric(label, "total_tree_pages",
+                         static_cast<double>(env->total_tree_pages()));
       results[i] = run.stats.results;
     }
     ++i;
   }
   std::printf("\nresult counts agree across build methods: %s\n",
               results[0] == results[1] ? "yes" : "NO (BUG)");
+  reporter.Write();
   return 0;
 }

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
                        MakeRealSurrogate(RealDataset::kPopulatedPlaces, 25,
                                          n)});
 
+  JsonReporter reporter("ablation_pruning");
   PrintStatsHeader();
   for (const Workload& workload : workloads) {
     auto env = MustBuild(workload.qset, workload.pset);
@@ -38,17 +39,20 @@ int main(int argc, char** argv) {
       RcjRunOptions options;
       options.algorithm = algorithm;
       const RcjRunResult run = MustRun(env.get(), options);
-      PrintStatsRow(std::string(workload.name) + " / " +
-                        AlgorithmName(algorithm),
-                    run.stats);
+      const std::string label =
+          std::string(workload.name) + " / " + AlgorithmName(algorithm);
+      ReportStatsRow(&reporter, label, run.stats);
       if (algorithm == RcjAlgorithm::kBij) {
         bij_candidates = run.stats.candidates;
       } else {
-        std::printf("  -> OBJ candidates are %.1f%% of BIJ's\n",
-                    100.0 * static_cast<double>(run.stats.candidates) /
-                        static_cast<double>(bij_candidates));
+        const double pct = 100.0 *
+                           static_cast<double>(run.stats.candidates) /
+                           static_cast<double>(bij_candidates);
+        std::printf("  -> OBJ candidates are %.1f%% of BIJ's\n", pct);
+        reporter.AddMetric(label, "candidates_vs_bij_pct", pct);
       }
     }
   }
+  reporter.Write();
   return 0;
 }

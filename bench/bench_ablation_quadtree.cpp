@@ -48,8 +48,9 @@ int main(int argc, char** argv) {
 
   std::vector<RcjPair> quad_pairs;
   JoinStats quad_stats;
+  VectorSink quad_sink(&quad_pairs);
   const auto start = std::chrono::steady_clock::now();
-  const Status status = RunQuadRcj(*tq, *tp, &quad_pairs, &quad_stats);
+  const Status status = RunQuadRcj(*tq, *tp, &quad_sink, &quad_stats);
   if (!status.ok()) {
     std::fprintf(stderr, "quadtree join failed: %s\n",
                  status.ToString().c_str());
@@ -65,12 +66,19 @@ int main(int argc, char** argv) {
   std::printf("|P| = |Q| = %zu; R-tree pages %llu, quadtree pages %llu\n\n",
               n, static_cast<unsigned long long>(env->total_tree_pages()),
               static_cast<unsigned long long>(total_pages));
+  JsonReporter reporter("ablation_quadtree");
+  reporter.AddMetric("workload", "n", static_cast<double>(n));
+  reporter.AddMetric("workload", "rtree_pages",
+                     static_cast<double>(env->total_tree_pages()));
+  reporter.AddMetric("workload", "quadtree_pages",
+                     static_cast<double>(total_pages));
   PrintStatsHeader();
-  PrintStatsRow("R*-tree / INJ", rtree_run.stats);
-  PrintStatsRow("quadtree / INJ", quad_stats);
+  ReportStatsRow(&reporter, "R*-tree / INJ", rtree_run.stats);
+  ReportStatsRow(&reporter, "quadtree / INJ", quad_stats);
   std::printf("\nresult sets identical: %s (%llu pairs)\n",
               quad_stats.results == rtree_run.stats.results ? "yes"
                                                             : "NO (BUG)",
               static_cast<unsigned long long>(quad_stats.results));
+  reporter.Write();
   return 0;
 }

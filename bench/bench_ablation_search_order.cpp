@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   auto env = MustBuild(qset, pset);
   std::printf("|P| = |Q| = %zu, INJ algorithm\n\n", n);
 
+  JsonReporter reporter("ablation_search_order");
   PrintStatsHeader();
   for (const double percent : {0.5, 1.0, 5.0}) {
     const Status status = env->SetBufferFraction(percent / 100.0);
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
     }
     uint64_t faults[2] = {0, 0};
     int i = 0;
+    std::string random_label;
     for (const SearchOrder order :
          {SearchOrder::kDepthFirst, SearchOrder::kRandom}) {
       RcjRunOptions options;
@@ -42,13 +44,18 @@ int main(int argc, char** argv) {
       std::snprintf(label, sizeof(label), "buf %.1f%% / %s", percent,
                     order == SearchOrder::kDepthFirst ? "depth-first"
                                                       : "random");
-      PrintStatsRow(label, run.stats);
+      ReportStatsRow(&reporter, label, run.stats);
+      if (order == SearchOrder::kRandom) random_label = label;
       faults[i++] = run.stats.page_faults;
     }
+    const double fault_ratio = static_cast<double>(faults[1]) /
+                               static_cast<double>(faults[0]);
     std::printf("  -> random order pays %.2fx the page faults of "
                 "depth-first\n",
-                static_cast<double>(faults[1]) /
-                    static_cast<double>(faults[0]));
+                fault_ratio);
+    reporter.AddMetric(random_label, "fault_ratio_vs_depth_first",
+                       fault_ratio);
   }
+  reporter.Write();
   return 0;
 }

@@ -67,13 +67,15 @@ int main(int argc, char** argv) {
   reporter.AddMetric("serial", "speedup", 1.0);
 
   // ---- Intra-query parallelism sweep. -----------------------------------
+  QuerySpec spec = QuerySpec::For(env.get());
+  spec.algorithm = options.algorithm;
   for (const size_t threads : {1u, 2u, 4u, 8u}) {
     EngineOptions engine_options;
     engine_options.num_threads = threads;
     Engine engine(engine_options);
 
     const Clock::time_point start = Clock::now();
-    const Result<RcjRunResult> run = engine.Run(*env, options);
+    const Result<RcjRunResult> run = engine.Run(spec);
     const double wall = SecondsSince(start);
     if (!run.ok()) {
       std::fprintf(stderr, "engine run failed: %s\n",
@@ -104,14 +106,15 @@ int main(int argc, char** argv) {
   const RcjAlgorithm algos[] = {RcjAlgorithm::kObj, RcjAlgorithm::kBij,
                                 RcjAlgorithm::kInj};
   for (size_t i = 0; i < batch_size; ++i) {
-    batch[i].env = env.get();
-    batch[i].options = options;
-    batch[i].options.algorithm = algos[i % 3];
+    batch[i].spec = QuerySpec::For(env.get());
+    batch[i].spec.algorithm = algos[i % 3];
   }
 
   const Clock::time_point loop_start = Clock::now();
   for (const EngineQuery& query : batch) {
-    (void)bench::MustRun(env.get(), query.options);
+    RcjRunOptions serial_options = options;
+    serial_options.algorithm = query.spec.algorithm;
+    (void)bench::MustRun(env.get(), serial_options);
   }
   const double loop_seconds = SecondsSince(loop_start);
 

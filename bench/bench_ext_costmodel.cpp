@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
               "large within ~15%",
               scale);
 
+  JsonReporter reporter("ext_costmodel");
   for (const RcjAlgorithm algorithm :
        {RcjAlgorithm::kInj, RcjAlgorithm::kObj}) {
     // Calibrate on two cheap runs whose trees have different heights.
@@ -62,8 +63,16 @@ int main(int argc, char** argv) {
                   predicted,
                   static_cast<unsigned long long>(actual.node_accesses),
                   error);
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s / n=%zu",
+                    AlgorithmName(algorithm), n);
+      reporter.AddMetric(label, "predicted_accesses", predicted);
+      reporter.AddMetric(label, "measured_accesses",
+                         static_cast<double>(actual.node_accesses));
+      reporter.AddMetric(label, "error_pct", error);
     }
   }
+  reporter.Write();
   std::printf("\nnote: the model predicts logical node accesses (the "
               "paper's CPU proxy); fault counts additionally depend on the "
               "buffer size and access locality.\n");

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
               "buffered disk)",
               scale);
 
+  JsonReporter reporter("ext_gabriel");
   std::printf("%10s %10s %14s %14s %14s %8s\n", "n", "|RCJ|", "OBJ I/O(s)",
               "OBJ CPU(s)", "Gabriel CPU(s)", "match");
   for (const size_t paper_n : {25000u, 50000u, 100000u}) {
@@ -41,7 +42,14 @@ int main(int argc, char** argv) {
                 obj.pairs.size(), obj.stats.io_seconds,
                 obj.stats.cpu_seconds, gabriel_seconds,
                 obj.pairs.size() == oracle.size() ? "yes" : "NO");
+    char label[32];
+    std::snprintf(label, sizeof(label), "n=%zu", n);
+    reporter.AddStats(label, obj.stats);
+    reporter.AddMetric(label, "gabriel_cpu_seconds", gabriel_seconds);
+    reporter.AddMetric(label, "match",
+                       obj.pairs.size() == oracle.size() ? 1.0 : 0.0);
   }
+  reporter.Write();
   std::printf("\nnote: the Delaunay implementation is an O(n^2)-class "
               "oracle built for correctness, not speed; the comparison "
               "illustrates the cost *model* difference, not a race.\n");

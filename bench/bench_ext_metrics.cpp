@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   auto env = MustBuild(qset, pset);
   std::printf("|P| = |Q| = %zu (uniform)\n\n", n);
 
+  JsonReporter reporter("ext_metrics");
   std::set<std::pair<PointId, PointId>> l2_ids;
   std::printf("%8s %10s %12s %16s\n", "metric", "|result|", "candidates",
               "overlap with L2");
@@ -56,10 +57,17 @@ int main(int argc, char** argv) {
     const char* name = metric == Metric::kL2
                            ? "L2"
                            : (metric == Metric::kL1 ? "L1" : "Linf");
+    const double overlap_pct = 100.0 * static_cast<double>(overlap) /
+                               static_cast<double>(ids.size());
     std::printf("%8s %10zu %12llu %15.1f%%\n", name, pairs.size(),
                 static_cast<unsigned long long>(stats.candidates),
-                100.0 * static_cast<double>(overlap) /
-                    static_cast<double>(ids.size()));
+                overlap_pct);
+    reporter.AddMetric(name, "result_size",
+                       static_cast<double>(pairs.size()));
+    reporter.AddMetric(name, "candidates",
+                       static_cast<double>(stats.candidates));
+    reporter.AddMetric(name, "overlap_with_l2_pct", overlap_pct);
   }
+  reporter.Write();
   return 0;
 }

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
               "precision falls / recall rises with eps; no eps wins both",
               scale);
 
+  JsonReporter reporter("fig10_epsilon_similarity");
   for (const JoinCombo& combo : PaperCombos()) {
     if (std::string(combo.name) != "SP" && std::string(combo.name) != "LP") {
       continue;
@@ -55,7 +56,14 @@ int main(int argc, char** argv) {
       const PrecisionRecall pr = ComparePairSets(pairs, reference.pairs);
       std::printf("%12.1f %12zu %12.1f %12.1f\n", paper_eps, pairs.size(),
                   pr.precision, pr.recall);
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s / eps=%.2f", combo.name,
+                    paper_eps);
+      reporter.AddMetric(label, "pairs", static_cast<double>(pairs.size()));
+      reporter.AddMetric(label, "precision_pct", pr.precision);
+      reporter.AddMetric(label, "recall_pct", pr.recall);
     }
   }
+  reporter.Write();
   return 0;
 }

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
               "even at k ~ |RCJ|",
               scale);
 
+  JsonReporter reporter("fig11_kcp_similarity");
   for (const JoinCombo& combo : PaperCombos()) {
     if (std::string(combo.name) != "SP" && std::string(combo.name) != "LP") {
       continue;
@@ -50,7 +51,14 @@ int main(int argc, char** argv) {
       const PrecisionRecall pr = ComparePairSets(pairs, reference.pairs);
       std::printf("%14.2f %10zu %12.1f %12.1f\n", fraction, k, pr.precision,
                   pr.recall);
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s / k=%.2fx|RCJ|", combo.name,
+                    fraction);
+      reporter.AddMetric(label, "k", static_cast<double>(k));
+      reporter.AddMetric(label, "precision_pct", pr.precision);
+      reporter.AddMetric(label, "recall_pct", pr.recall);
     }
   }
+  reporter.Write();
   return 0;
 }

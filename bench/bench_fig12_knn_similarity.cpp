@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   PrintBanner("Figure 12 - resemblance of k-NN join vs k",
               "precision falls / recall rises with k in [1, 10]", scale);
 
+  JsonReporter reporter("fig12_knn_similarity");
   for (const JoinCombo& combo : PaperCombos()) {
     if (std::string(combo.name) != "SP" && std::string(combo.name) != "LP") {
       continue;
@@ -42,7 +43,13 @@ int main(int argc, char** argv) {
       const PrecisionRecall pr = ComparePairSets(pairs, reference.pairs);
       std::printf("%6zu %12zu %12.1f %12.1f\n", k, pairs.size(),
                   pr.precision, pr.recall);
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s / k=%zu", combo.name, k);
+      reporter.AddMetric(label, "pairs", static_cast<double>(pairs.size()));
+      reporter.AddMetric(label, "precision_pct", pr.precision);
+      reporter.AddMetric(label, "recall_pct", pr.recall);
     }
   }
+  reporter.Write();
   return 0;
 }

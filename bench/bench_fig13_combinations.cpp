@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   PrintBanner("Figure 13 - join combinations, real-data surrogates",
               "OBJ < BIJ < INJ in every combination; LP < LP'", scale);
 
+  JsonReporter reporter("fig13_combinations");
   PrintStatsHeader();
   for (const JoinCombo& combo : PaperCombos()) {
     const auto qset = Surrogate(combo.q_kind, scale);
@@ -24,10 +25,12 @@ int main(int argc, char** argv) {
       RcjRunOptions options;
       options.algorithm = algorithm;
       const RcjRunResult run = MustRun(env.get(), options);
-      PrintStatsRow(std::string(combo.name) + " / " +
-                        AlgorithmName(algorithm),
-                    run.stats);
+      ReportStatsRow(&reporter,
+                     std::string(combo.name) + " / " +
+                         AlgorithmName(algorithm),
+                     run.stats);
     }
   }
+  reporter.Write();
   return 0;
 }

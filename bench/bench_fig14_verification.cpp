@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   auto env = MustBuild(qset, pset);
   std::printf("|P| = |Q| = %zu\n\n", n);
 
+  JsonReporter reporter("fig14_verification");
   PrintStatsHeader();
   for (const RcjAlgorithm algorithm :
        {RcjAlgorithm::kInj, RcjAlgorithm::kBij, RcjAlgorithm::kObj}) {
@@ -30,14 +31,19 @@ int main(int argc, char** argv) {
       options.algorithm = algorithm;
       options.verify = verify;
       const RcjRunResult run = MustRun(env.get(), options);
-      PrintStatsRow(std::string(AlgorithmName(algorithm)) +
-                        (verify ? " (with verif.)" : " (no verif.)"),
-                    run.stats);
+      ReportStatsRow(&reporter,
+                     std::string(AlgorithmName(algorithm)) +
+                         (verify ? " (with verif.)" : " (no verif.)"),
+                     run.stats);
       (verify ? with_total : without_total) = run.stats.total_seconds();
     }
+    const double share = 100.0 * (with_total - without_total) / with_total;
     std::printf("  -> verification share of %s total: %.1f%%\n",
-                AlgorithmName(algorithm),
-                100.0 * (with_total - without_total) / with_total);
+                AlgorithmName(algorithm), share);
+    reporter.AddMetric(std::string(AlgorithmName(algorithm)) +
+                           " (with verif.)",
+                       "verification_share_pct", share);
   }
+  reporter.Write();
   return 0;
 }

@@ -15,16 +15,19 @@ int main(int argc, char** argv) {
               "I/O falls with buffer; OBJ leads, most at small buffers",
               scale);
 
-  const size_t n = scale.N(800000);  // larger base so sub-1% buffers stay above the floor
+  // Larger base so sub-1% buffers stay above the floor.
+  const size_t n = scale.N(800000);
   const auto qset = GenerateUniform(n, 3);
   const auto pset = GenerateUniform(n, 4);
   auto env = MustBuild(qset, pset);
   std::printf("|P| = |Q| = %zu, total tree pages = %llu\n\n", n,
               static_cast<unsigned long long>(env->total_tree_pages()));
 
+  JsonReporter reporter("fig15_buffer");
   PrintStatsHeader();
   for (const double percent : {0.2, 0.5, 1.0, 2.0, 5.0}) {
-    const Status status = env->SetBufferFraction(percent / 100.0, /*min_pages=*/8);
+    const Status status =
+        env->SetBufferFraction(percent / 100.0, /*min_pages=*/8);
     if (!status.ok()) {
       std::fprintf(stderr, "buffer resize failed: %s\n",
                    status.ToString().c_str());
@@ -38,8 +41,9 @@ int main(int argc, char** argv) {
       char label[64];
       std::snprintf(label, sizeof(label), "buffer %.1f%% / %s", percent,
                     AlgorithmName(algorithm));
-      PrintStatsRow(label, run.stats);
+      ReportStatsRow(&reporter, label, run.stats);
     }
   }
+  reporter.Write();
   return 0;
 }

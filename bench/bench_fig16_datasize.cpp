@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
               "cost scales ~linearly, OBJ lead widens; |RCJ| linear in n",
               scale);
 
+  JsonReporter reporter("fig16_datasize");
   PrintStatsHeader();
   std::printf("\n");
   std::printf("%10s %12s %14s\n", "n", "|RCJ|", "|RCJ| / n");
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
       char label[64];
       std::snprintf(label, sizeof(label), "n=%zu / %s", n,
                     AlgorithmName(algorithm));
-      PrintStatsRow(label, run.stats);
+      ReportStatsRow(&reporter, label, run.stats);
       results = run.stats.results;
     }
     cardinalities.emplace_back(n, results);
@@ -48,6 +49,13 @@ int main(int argc, char** argv) {
     std::printf("%10zu %12llu %14.3f\n", n,
                 static_cast<unsigned long long>(results),
                 static_cast<double>(results) / static_cast<double>(n));
+    char label[64];
+    std::snprintf(label, sizeof(label), "cardinality n=%zu", n);
+    reporter.AddMetric(label, "rcj_size", static_cast<double>(results));
+    reporter.AddMetric(label, "rcj_per_n",
+                       static_cast<double>(results) /
+                           static_cast<double>(n));
   }
+  reporter.Write();
   return 0;
 }

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   const Ratio ratios[] = {{"1:4", 0.2}, {"1:2", 1.0 / 3.0}, {"1:1", 0.5},
                           {"2:1", 2.0 / 3.0}, {"4:1", 0.8}};
 
+  JsonReporter reporter("fig17_ratio");
   PrintStatsHeader();
   std::vector<std::pair<const char*, uint64_t>> cardinalities;
   for (const Ratio& ratio : ratios) {
@@ -43,7 +44,7 @@ int main(int argc, char** argv) {
       char label[64];
       std::snprintf(label, sizeof(label), "%s / %s", ratio.name,
                     AlgorithmName(algorithm));
-      PrintStatsRow(label, run.stats);
+      ReportStatsRow(&reporter, label, run.stats);
       results = run.stats.results;
     }
     cardinalities.emplace_back(ratio.name, results);
@@ -54,6 +55,9 @@ int main(int argc, char** argv) {
   for (const auto& [name, results] : cardinalities) {
     std::printf("%8s %12llu\n", name,
                 static_cast<unsigned long long>(results));
+    reporter.AddMetric(std::string("cardinality ") + name, "rcj_size",
+                       static_cast<double>(results));
   }
+  reporter.Write();
   return 0;
 }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
               scale);
 
   const size_t n = scale.N(200000);
+  JsonReporter reporter("fig18_clusters");
   PrintStatsHeader();
   std::vector<std::pair<size_t, double>> cardinalities;
   for (const size_t w : {2u, 5u, 10u, 15u, 20u}) {
@@ -33,7 +34,7 @@ int main(int argc, char** argv) {
         char label[64];
         std::snprintf(label, sizeof(label), "w=%-3zu / %s", w,
                       AlgorithmName(algorithm));
-        PrintStatsRow(label, run.stats);
+        ReportStatsRow(&reporter, label, run.stats);
       }
     }
     // Cardinality: cluster placement is random, so average over seeds
@@ -59,6 +60,10 @@ int main(int argc, char** argv) {
   std::printf("%8s %12s\n", "w", "|RCJ|");
   for (const auto& [w, results] : cardinalities) {
     std::printf("%8zu %12.0f\n", w, results);
+    char label[64];
+    std::snprintf(label, sizeof(label), "cardinality w=%zu", w);
+    reporter.AddMetric(label, "rcj_size_mean", results);
   }
+  reporter.Write();
   return 0;
 }

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   PrintBanner("Table 4 - candidate pairs, real-data surrogates",
               "BRUTE >> BIJ > INJ >> OBJ ~ |RCJ result|", scale);
 
+  JsonReporter reporter("table4_candidates");
   for (const JoinCombo& combo : PaperCombos()) {
     if (std::string(combo.name) != "SP" && std::string(combo.name) != "LP") {
       continue;  // Table 4 uses SP and LP only
@@ -31,6 +32,8 @@ int main(int argc, char** argv) {
     const double cartesian = static_cast<double>(pset.size()) *
                              static_cast<double>(qset.size());
     std::printf("%-10s %16.3E %14s\n", "BRUTE", cartesian, "1");
+    reporter.AddMetric(std::string(combo.name) + " / BRUTE", "candidates",
+                       cartesian);
 
     uint64_t results = 0;
     for (const RcjAlgorithm algorithm :
@@ -41,10 +44,20 @@ int main(int argc, char** argv) {
       std::printf("%-10s %16llu %13.2E\n", AlgorithmName(algorithm),
                   static_cast<unsigned long long>(run.stats.candidates),
                   static_cast<double>(run.stats.candidates) / cartesian);
+      const std::string label =
+          std::string(combo.name) + " / " + AlgorithmName(algorithm);
+      reporter.AddMetric(label, "candidates",
+                         static_cast<double>(run.stats.candidates));
+      reporter.AddMetric(label, "vs_cartesian",
+                         static_cast<double>(run.stats.candidates) /
+                             cartesian);
       results = run.stats.results;
     }
     std::printf("%-10s %16llu\n", "RCJ result",
                 static_cast<unsigned long long>(results));
+    reporter.AddMetric(std::string(combo.name) + " / result", "rcj_size",
+                       static_cast<double>(results));
   }
+  reporter.Write();
   return 0;
 }

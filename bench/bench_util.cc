@@ -144,6 +144,12 @@ bool JsonReporter::Write() const {
   return true;
 }
 
+void ReportStatsRow(JsonReporter* reporter, const std::string& label,
+                    const JoinStats& stats) {
+  PrintStatsRow(label, stats);
+  reporter->AddStats(label, stats);
+}
+
 RcjRunResult MustRun(RcjEnvironment* env, RcjRunOptions options) {
   Result<RcjRunResult> result = env->Run(options);
   if (!result.ok()) {

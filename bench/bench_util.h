@@ -103,6 +103,12 @@ class JsonReporter {
   std::vector<std::pair<std::string, Row>> rows_;
 };
 
+/// Prints the standard stats row AND records it into `reporter` — the
+/// one-call idiom for benches that both narrate to stdout and emit the
+/// BENCH_<name>.json artifact.
+void ReportStatsRow(JsonReporter* reporter, const std::string& label,
+                    const JoinStats& stats);
+
 /// Builds an environment and runs one algorithm with the default options,
 /// dying with a message on error (benches have no error recovery story).
 RcjRunResult MustRun(RcjEnvironment* env, RcjRunOptions options);

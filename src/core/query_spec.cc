@@ -1,0 +1,39 @@
+#include "core/query_spec.h"
+
+#include <cmath>
+#include <string>
+
+namespace rcj {
+
+Status QuerySpec::Validate() const {
+  if (env == nullptr) {
+    return Status::InvalidArgument("QuerySpec.env is null");
+  }
+  switch (algorithm) {
+    case RcjAlgorithm::kBrute:
+    case RcjAlgorithm::kInj:
+    case RcjAlgorithm::kBij:
+    case RcjAlgorithm::kObj:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "QuerySpec.algorithm is not a known RcjAlgorithm (" +
+          std::to_string(static_cast<int>(algorithm)) + ")");
+  }
+  switch (order) {
+    case SearchOrder::kDepthFirst:
+    case SearchOrder::kRandom:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "QuerySpec.order is not a known SearchOrder (" +
+          std::to_string(static_cast<int>(order)) + ")");
+  }
+  if (!std::isfinite(io_ms_per_fault) || io_ms_per_fault < 0.0) {
+    return Status::InvalidArgument(
+        "QuerySpec.io_ms_per_fault must be finite and non-negative");
+  }
+  return Status::OK();
+}
+
+}  // namespace rcj

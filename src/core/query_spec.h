@@ -1,0 +1,61 @@
+// QuerySpec — the validated description of one RCJ query.
+//
+// The runner's RcjRunOptions conflates two concerns: structural knobs that
+// are fixed when an environment is built (page size, buffer sizing, bulk
+// loading) and per-query execution knobs (algorithm, order, verification).
+// Every layer that re-used it for the latter had to document which fields
+// it actually honored. QuerySpec is the per-query half only, bound to the
+// environment it runs against, with an explicit Validate() so malformed
+// queries fail fast with a Status instead of being silently reinterpreted.
+#ifndef RINGJOIN_CORE_QUERY_SPEC_H_
+#define RINGJOIN_CORE_QUERY_SPEC_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/rcj_types.h"
+
+namespace rcj {
+
+class RcjEnvironment;
+
+/// One query: which environment to join, which algorithm and knobs to use,
+/// and how much of the result stream the caller wants. Plain aggregate —
+/// fill the fields, then Validate() before (or let the execution layer
+/// validate at) submission.
+struct QuerySpec {
+  /// The built environment to run against. Must outlive the query's
+  /// execution; the executing layer treats it as strictly read-only.
+  const RcjEnvironment* env = nullptr;
+
+  RcjAlgorithm algorithm = RcjAlgorithm::kObj;
+  SearchOrder order = SearchOrder::kDepthFirst;
+  /// Disable to measure the filter step alone (paper Fig. 14).
+  bool verify = true;
+  /// Shuffle seed for SearchOrder::kRandom.
+  uint64_t random_seed = 42;
+
+  /// Stop after this many pairs (0 = unlimited). The pairs delivered are
+  /// exactly the length-`limit` prefix of the full serial result stream —
+  /// the top-k middleman pairs without paying for the full join.
+  uint64_t limit = 0;
+
+  /// Milliseconds charged per page fault by the paper's I/O cost model.
+  double io_ms_per_fault = 10.0;
+
+  /// Checks the spec describes an executable query: a bound environment,
+  /// a known algorithm and search order, and a finite non-negative I/O
+  /// charge. Returns the first violation as InvalidArgument.
+  Status Validate() const;
+
+  /// Convenience: a default spec bound to `env`.
+  static QuerySpec For(const RcjEnvironment* env) {
+    QuerySpec spec;
+    spec.env = env;
+    return spec;
+  }
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_CORE_QUERY_SPEC_H_

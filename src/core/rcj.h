@@ -10,6 +10,8 @@
 #define RINGJOIN_CORE_RCJ_H_
 
 #include "core/filter.h"      // IWYU pragma: export
+#include "core/pair_sink.h"   // IWYU pragma: export
+#include "core/query_spec.h"  // IWYU pragma: export
 #include "core/rcj_brute.h"   // IWYU pragma: export
 #include "core/rcj_bulk.h"    // IWYU pragma: export
 #include "core/rcj_inj.h"     // IWYU pragma: export

@@ -14,9 +14,8 @@ bool PairSatisfiesRingConstraint(const PointRecord& p, const PointRecord& q,
   return true;
 }
 
-std::vector<RcjPair> BruteForceRcj(const std::vector<PointRecord>& pset,
-                                   const std::vector<PointRecord>& qset) {
-  std::vector<RcjPair> out;
+Status BruteForceRcj(const std::vector<PointRecord>& pset,
+                     const std::vector<PointRecord>& qset, PairSink* sink) {
   for (const PointRecord& p : pset) {
     for (const PointRecord& q : qset) {
       // The enclosing circle must contain no other point of P nor of Q.
@@ -26,27 +25,40 @@ std::vector<RcjPair> BruteForceRcj(const std::vector<PointRecord>& pset,
       if (!PairSatisfiesRingConstraint(p, q, qset, q.id, kInvalidPointId)) {
         continue;
       }
-      out.push_back(RcjPair::Make(p, q));
+      if (!sink->Emit(RcjPair::Make(p, q))) return Status::OK();
     }
   }
-  return out;
+  return Status::OK();
 }
 
-std::vector<RcjPair> BruteForceRcjSelf(const std::vector<PointRecord>& pset) {
-  std::vector<RcjPair> out;
+Status BruteForceRcjSelf(const std::vector<PointRecord>& pset,
+                         PairSink* sink) {
   for (size_t i = 0; i < pset.size(); ++i) {
     for (size_t j = i + 1; j < pset.size(); ++j) {
       const PointRecord& a = pset[i];
       const PointRecord& b = pset[j];
       if (!PairSatisfiesRingConstraint(a, b, pset, a.id, b.id)) continue;
       // Normalize order: p.id < q.id.
-      if (a.id < b.id) {
-        out.push_back(RcjPair::Make(a, b));
-      } else {
-        out.push_back(RcjPair::Make(b, a));
-      }
+      const RcjPair pair =
+          a.id < b.id ? RcjPair::Make(a, b) : RcjPair::Make(b, a);
+      if (!sink->Emit(pair)) return Status::OK();
     }
   }
+  return Status::OK();
+}
+
+std::vector<RcjPair> BruteForceRcj(const std::vector<PointRecord>& pset,
+                                   const std::vector<PointRecord>& qset) {
+  std::vector<RcjPair> out;
+  VectorSink sink(&out);
+  (void)BruteForceRcj(pset, qset, &sink);  // in-memory: cannot fail
+  return out;
+}
+
+std::vector<RcjPair> BruteForceRcjSelf(const std::vector<PointRecord>& pset) {
+  std::vector<RcjPair> out;
+  VectorSink sink(&out);
+  (void)BruteForceRcjSelf(pset, &sink);  // in-memory: cannot fail
   return out;
 }
 

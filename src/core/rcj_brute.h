@@ -6,18 +6,27 @@
 
 #include <vector>
 
+#include "common/status.h"
+#include "core/pair_sink.h"
 #include "core/rcj_types.h"
 
 namespace rcj {
 
-/// All RCJ pairs of P x Q, computed by definition (no index, no pruning).
+/// All RCJ pairs of P x Q, computed by definition (no index, no pruning),
+/// emitted through `sink` in deterministic (p, q) nested-loop order.
 /// "Other points" are identified by dataset membership and id, so duplicate
 /// coordinates across P and Q behave exactly like the indexed algorithms.
-std::vector<RcjPair> BruteForceRcj(const std::vector<PointRecord>& pset,
-                                   const std::vector<PointRecord>& qset);
+Status BruteForceRcj(const std::vector<PointRecord>& pset,
+                     const std::vector<PointRecord>& qset, PairSink* sink);
 
 /// Self-join variant (paper's postbox scenario): P joined with itself.
-/// Reports each unordered pair once, with p.id < q.id.
+/// Emits each unordered pair once, with p.id < q.id.
+Status BruteForceRcjSelf(const std::vector<PointRecord>& pset,
+                         PairSink* sink);
+
+/// Vector-collecting conveniences over the streaming entry points.
+std::vector<RcjPair> BruteForceRcj(const std::vector<PointRecord>& pset,
+                                   const std::vector<PointRecord>& qset);
 std::vector<RcjPair> BruteForceRcjSelf(const std::vector<PointRecord>& pset);
 
 /// True iff the smallest circle enclosing (p, q) contains no point of

@@ -7,9 +7,9 @@
 namespace rcj {
 
 Status RunBulkJoin(const RTree& tq, const RTree& tp,
-                   const BulkJoinOptions& options, std::vector<RcjPair>* out,
+                   const BulkJoinOptions& options, PairSink* sink,
                    JoinStats* stats) {
-  const size_t first_result = out->size();
+  uint64_t emitted = 0;
 
   std::vector<uint64_t> leaf_pages;
   if (options.leaf_pages == nullptr) {
@@ -62,10 +62,15 @@ Status RunBulkJoin(const RTree& tq, const RTree& tp,
       }
     }
     for (const CandidateCircle& c : circles) {
-      if (c.alive) out->push_back(RcjPair{c.p, c.q, c.circle});
+      if (!c.alive) continue;
+      ++emitted;
+      if (!sink->Emit(RcjPair{c.p, c.q, c.circle})) {
+        stats->results += emitted;
+        return Status::OK();  // early termination requested by the sink
+      }
     }
   }
-  stats->results += out->size() - first_result;
+  stats->results += emitted;
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/pair_sink.h"
 #include "core/rcj_types.h"
 #include "rtree/rtree.h"
 
@@ -31,10 +32,13 @@ struct BulkJoinOptions {
   const std::vector<uint64_t>* leaf_pages = nullptr;
 };
 
-/// Algorithm 6 (BIJ / OBJ). Appends results to `out`; accumulates candidate
-/// and result counts into `stats`.
+/// Algorithm 6 (BIJ / OBJ). Emits each surviving pair through `sink` as its
+/// T_Q leaf group is verified, in deterministic leaf/point order, and
+/// accumulates candidate and result counts into `stats`. Returns OK early,
+/// with a prefix of the serial output emitted, when the sink requests
+/// termination.
 Status RunBulkJoin(const RTree& tq, const RTree& tp,
-                   const BulkJoinOptions& options, std::vector<RcjPair>* out,
+                   const BulkJoinOptions& options, PairSink* sink,
                    JoinStats* stats);
 
 }  // namespace rcj

@@ -20,8 +20,8 @@ Status LeafPagesInOrder(const RTree& tree, SearchOrder order, uint64_t seed,
 }
 
 Status RunInj(const RTree& tq, const RTree& tp, const InjOptions& options,
-              std::vector<RcjPair>* out, JoinStats* stats) {
-  const size_t first_result = out->size();
+              PairSink* sink, JoinStats* stats) {
+  uint64_t emitted = 0;
   std::vector<uint64_t> leaf_pages;
   if (options.leaf_pages == nullptr) {
     RINGJOIN_RETURN_IF_ERROR(
@@ -64,11 +64,16 @@ Status RunInj(const RTree& tq, const RTree& tp, const InjOptions& options,
         }
       }
       for (const CandidateCircle& c : circles) {
-        if (c.alive) out->push_back(RcjPair{c.p, c.q, c.circle});
+        if (!c.alive) continue;
+        ++emitted;
+        if (!sink->Emit(RcjPair{c.p, c.q, c.circle})) {
+          stats->results += emitted;
+          return Status::OK();  // early termination requested by the sink
+        }
       }
     }
   }
-  stats->results += out->size() - first_result;
+  stats->results += emitted;
   return Status::OK();
 }
 

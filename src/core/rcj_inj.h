@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/pair_sink.h"
 #include "core/rcj_types.h"
 #include "rtree/rtree.h"
 
@@ -32,11 +33,14 @@ struct InjOptions {
   const std::vector<uint64_t>* leaf_pages = nullptr;
 };
 
-/// Algorithm 5 (INJ_DF). Appends results to `out` and accumulates candidate
-/// and result counts into `stats` (I/O and time accounting is done by the
-/// caller around this call).
+/// Algorithm 5 (INJ_DF). Emits each surviving pair through `sink` as soon
+/// as its leaf group is verified, in deterministic leaf/point order, and
+/// accumulates candidate and result counts into `stats` (I/O and time
+/// accounting is done by the caller around this call). Returns OK early,
+/// with a prefix of the serial output emitted, when the sink requests
+/// termination.
 Status RunInj(const RTree& tq, const RTree& tp, const InjOptions& options,
-              std::vector<RcjPair>* out, JoinStats* stats);
+              PairSink* sink, JoinStats* stats);
 
 /// Leaf pages of `tree` in the requested order (shared by INJ and BIJ).
 Status LeafPagesInOrder(const RTree& tree, SearchOrder order, uint64_t seed,

@@ -105,55 +105,65 @@ Status RcjEnvironment::SetBufferFraction(double fraction, size_t min_pages) {
 Status ExecuteRcj(const RTree& tq, const RTree& tp,
                   const std::vector<PointRecord>& qset,
                   const std::vector<PointRecord>& pset, bool self_join,
-                  const RcjRunOptions& options,
-                  const std::vector<uint64_t>* tq_leaf_subset,
-                  std::vector<RcjPair>* out, JoinStats* stats) {
-  switch (options.algorithm) {
+                  const QuerySpec& spec,
+                  const std::vector<uint64_t>* tq_leaf_subset, PairSink* sink,
+                  JoinStats* stats) {
+  switch (spec.algorithm) {
     case RcjAlgorithm::kBrute: {
       if (tq_leaf_subset != nullptr) {
         return Status::InvalidArgument(
             "BRUTE does not traverse T_Q leaves; leaf subsets do not apply");
       }
-      // The in-memory definitional algorithm; candidates = |P| x |Q|.
+      // The in-memory definitional algorithm; candidates = |P| x |Q| by
+      // construction (counted up front even if the sink stops the stream).
       stats->candidates += self_join
                                ? qset.size() * (qset.size() - 1) / 2
                                : pset.size() * qset.size();
-      std::vector<RcjPair> pairs =
-          self_join ? BruteForceRcjSelf(qset) : BruteForceRcj(pset, qset);
-      stats->results += pairs.size();
-      if (out->empty()) {
-        *out = std::move(pairs);
-      } else {
-        out->insert(out->end(), pairs.begin(), pairs.end());
-      }
-      return Status::OK();
+      uint64_t emitted = 0;
+      CallbackSink counting([&emitted, sink](const RcjPair& pair) {
+        ++emitted;
+        return sink->Emit(pair);
+      });
+      const Status status = self_join ? BruteForceRcjSelf(qset, &counting)
+                                      : BruteForceRcj(pset, qset, &counting);
+      stats->results += emitted;
+      return status;
     }
     case RcjAlgorithm::kInj: {
       InjOptions inj;
-      inj.order = options.order;
-      inj.verify = options.verify;
+      inj.order = spec.order;
+      inj.verify = spec.verify;
       inj.self_join = self_join;
-      inj.random_seed = options.random_seed;
+      inj.random_seed = spec.random_seed;
       inj.leaf_pages = tq_leaf_subset;
-      return RunInj(tq, tp, inj, out, stats);
+      return RunInj(tq, tp, inj, sink, stats);
     }
     case RcjAlgorithm::kBij:
     case RcjAlgorithm::kObj: {
       BulkJoinOptions bulk;
-      bulk.symmetric_pruning = options.algorithm == RcjAlgorithm::kObj;
-      bulk.verify = options.verify;
+      bulk.symmetric_pruning = spec.algorithm == RcjAlgorithm::kObj;
+      bulk.verify = spec.verify;
       bulk.self_join = self_join;
-      bulk.order = options.order;
-      bulk.random_seed = options.random_seed;
+      bulk.order = spec.order;
+      bulk.random_seed = spec.random_seed;
       bulk.leaf_pages = tq_leaf_subset;
-      return RunBulkJoin(tq, tp, bulk, out, stats);
+      return RunBulkJoin(tq, tp, bulk, sink, stats);
     }
   }
   return Status::InvalidArgument("unknown RCJ algorithm");
 }
 
-Result<RcjRunResult> RcjEnvironment::Run(const RcjRunOptions& options) {
-  RcjRunResult result;
+Status RcjEnvironment::Run(const QuerySpec& spec, PairSink* sink,
+                           JoinStats* stats) {
+  QuerySpec bound = spec;
+  if (bound.env == nullptr) bound.env = this;
+  RINGJOIN_RETURN_IF_ERROR(bound.Validate());
+  if (bound.env != this) {
+    return Status::InvalidArgument(
+        "QuerySpec is bound to a different environment");
+  }
+
+  *stats = JoinStats();
   const RTree& tq = *tq_;
   const RTree& tp = self_join_ ? *tq_ : *tp_;
 
@@ -162,22 +172,44 @@ Result<RcjRunResult> RcjEnvironment::Run(const RcjRunOptions& options) {
   RINGJOIN_RETURN_IF_ERROR(buffer_->Clear());
   buffer_->ResetStats();
 
+  // The limit is enforced here, at the delivery boundary, so the
+  // algorithms stay limit-agnostic: the sink's refusal is what stops the
+  // traversal after exactly `limit` pairs of the serial order.
+  LimitSink limited(sink, bound.limit);
+
   const auto start = std::chrono::steady_clock::now();
   const Status status =
-      ExecuteRcj(tq, tp, qset_, pset_, self_join_, options,
-                 /*tq_leaf_subset=*/nullptr, &result.pairs, &result.stats);
+      ExecuteRcj(tq, tp, qset_, pset_, self_join_, bound,
+                 /*tq_leaf_subset=*/nullptr, &limited, stats);
   if (!status.ok()) return status;
   const auto end = std::chrono::steady_clock::now();
 
   const BufferStats& buffer_stats = buffer_->stats();
-  result.stats.node_accesses = buffer_stats.logical_accesses;
-  result.stats.page_faults = buffer_stats.page_faults;
+  stats->node_accesses = buffer_stats.logical_accesses;
+  stats->page_faults = buffer_stats.page_faults;
   IoCostModel model = cost_model_;
-  model.ms_per_fault = options.io_ms_per_fault;
-  result.stats.io_seconds = model.SecondsFor(buffer_stats);
-  result.stats.cpu_seconds =
-      std::chrono::duration<double>(end - start).count();
+  model.ms_per_fault = bound.io_ms_per_fault;
+  stats->io_seconds = model.SecondsFor(buffer_stats);
+  stats->cpu_seconds = std::chrono::duration<double>(end - start).count();
+  return Status::OK();
+}
+
+Result<RcjRunResult> RcjEnvironment::Run(const QuerySpec& spec) {
+  RcjRunResult result;
+  VectorSink sink(&result.pairs);
+  const Status status = Run(spec, &sink, &result.stats);
+  if (!status.ok()) return status;
   return result;
+}
+
+Result<RcjRunResult> RcjEnvironment::Run(const RcjRunOptions& options) {
+  QuerySpec spec = QuerySpec::For(this);
+  spec.algorithm = options.algorithm;
+  spec.order = options.order;
+  spec.verify = options.verify;
+  spec.random_seed = options.random_seed;
+  spec.io_ms_per_fault = options.io_ms_per_fault;
+  return Run(spec);
 }
 
 Result<RcjRunResult> RunRcj(const std::vector<PointRecord>& qset,

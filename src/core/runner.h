@@ -16,6 +16,8 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "core/pair_sink.h"
+#include "core/query_spec.h"
 #include "core/rcj_types.h"
 #include "rtree/rtree.h"
 #include "storage/buffer_manager.h"
@@ -72,11 +74,21 @@ class RcjEnvironment {
 
   RINGJOIN_DISALLOW_COPY_AND_ASSIGN(RcjEnvironment);
 
-  /// Runs `options.algorithm` cold (cleared buffer, reset stats) and
-  /// returns pairs plus paper-style statistics. The environment's trees are
-  /// reused across calls; only algorithm/order/verify/seed/io cost fields of
-  /// `options` are honored here (the structural fields were fixed at Build
-  /// time).
+  /// Streaming primary: runs `spec` cold (cleared buffer, reset stats),
+  /// emitting each pair through `sink` as it is found — in the algorithm's
+  /// deterministic serial order — and filling `stats` with paper-style
+  /// accounting. `spec.limit` caps the stream at the first k pairs and
+  /// stops the traversal; a sink returning false does the same. `spec.env`
+  /// must be this environment (or null, which binds it automatically).
+  Status Run(const QuerySpec& spec, PairSink* sink, JoinStats* stats);
+
+  /// Collecting convenience over the streaming primary: materializes the
+  /// (possibly limit-capped) stream into an RcjRunResult.
+  Result<RcjRunResult> Run(const QuerySpec& spec);
+
+  /// Legacy shim: runs the per-query fields of `options`
+  /// (algorithm/order/verify/seed/io cost — the structural fields were
+  /// fixed at Build time) as an unlimited QuerySpec.
   Result<RcjRunResult> Run(const RcjRunOptions& options);
 
   const RTree& tq() const { return *tq_; }
@@ -123,19 +135,23 @@ class RcjEnvironment {
 };
 
 /// The repeatable execution core shared by RcjEnvironment::Run and the
-/// parallel engine: dispatches `options.algorithm` over already-built trees,
-/// appending pairs to `out` and accumulating candidate/result counts into
-/// `stats`. Does not touch buffer state or wall clocks — the caller decides
-/// cold/warm semantics and time accounting. `tq_leaf_subset`, when non-null,
+/// parallel engine: dispatches `spec.algorithm` over already-built trees,
+/// emitting pairs through `sink` and accumulating candidate/result counts
+/// into `stats`. Does not touch buffer state or wall clocks — the caller
+/// decides cold/warm semantics and time accounting. Only the algorithm
+/// knobs of `spec` are consulted: `spec.env` is ignored (the trees are
+/// passed explicitly) and `spec.limit` is the caller's to enforce via a
+/// LimitSink — the engine runs leaf-range fragments whose in-order prefix
+/// is determined only at delivery time. `tq_leaf_subset`, when non-null,
 /// restricts the indexed algorithms (INJ/BIJ/OBJ) to that contiguous range
-/// of T_Q leaf pages; it must be null for BRUTE. `qset`/`pset` are consulted
-/// only by BRUTE.
+/// of T_Q leaf pages; it must be null for BRUTE. `qset`/`pset` are
+/// consulted only by BRUTE.
 Status ExecuteRcj(const RTree& tq, const RTree& tp,
                   const std::vector<PointRecord>& qset,
                   const std::vector<PointRecord>& pset, bool self_join,
-                  const RcjRunOptions& options,
-                  const std::vector<uint64_t>* tq_leaf_subset,
-                  std::vector<RcjPair>* out, JoinStats* stats);
+                  const QuerySpec& spec,
+                  const std::vector<uint64_t>* tq_leaf_subset, PairSink* sink,
+                  JoinStats* stats);
 
 /// One-shot convenience: build an environment and run one algorithm.
 Result<RcjRunResult> RunRcj(const std::vector<PointRecord>& qset,

@@ -1,7 +1,9 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <mutex>
 
 #include "core/rcj_inj.h"
 #include "storage/buffer_manager.h"
@@ -50,10 +52,64 @@ Status OpenWorkerView(const RcjEnvironment& env, const EngineOptions& options,
   return Status::OK();
 }
 
+/// Per-query streaming state, shared by the query's leaf-range tasks. Tasks
+/// buffer their pairs privately (ranges finish out of order), then hand the
+/// buffer to DeliverReadyRanges, which flushes buffers to the delivery sink
+/// strictly in range order — so the sink observes the exact serial pair
+/// stream, incrementally, as the frontier of completed ranges advances.
+struct QueryEmitState {
+  std::mutex mu;
+  /// Final delivery target: the caller's sink, or an engine-owned
+  /// VectorSink into the result slot.
+  PairSink* sink = nullptr;
+  uint64_t limit = 0;      ///< 0 = unlimited (from QuerySpec::limit).
+  uint64_t delivered = 0;  ///< pairs handed to `sink` so far.
+  size_t next_range = 0;   ///< first range not yet flushed.
+  std::vector<const std::vector<RcjPair>*> buffers;  ///< per-range output.
+  std::vector<char> range_done;
+  /// True once nothing more may reach the sink: the limit was satisfied,
+  /// the sink refused a pair, or an earlier range failed (a later range's
+  /// output would no longer be a serial prefix).
+  bool delivery_closed = false;
+  /// First failure raised by the delivery sink itself (an Emit() that
+  /// threw); settled into the query's result status at merge time.
+  Status delivery_status;
+  /// Relaxed cross-thread signal that remaining work is pointless: queued
+  /// tasks skip themselves and running tasks stop at their next emission.
+  std::atomic<bool> cancelled{false};
+};
+
+/// Task-local sink: buffers into the task's private vector and aborts the
+/// traversal as soon as the query was cancelled (limit satisfied elsewhere)
+/// or this task has buffered `limit` pairs itself. The per-task cap is
+/// sound because delivery is cumulative in range order: once a single
+/// range holds `limit` pairs, nothing past them can ever reach the user's
+/// sink — so a limit-capped query stops early even when it runs as one
+/// task (single worker, small tree, or BRUTE).
+class TaskBufferSink final : public PairSink {
+ public:
+  TaskBufferSink(std::vector<RcjPair>* buffer,
+                 const std::atomic<bool>* cancelled, uint64_t limit)
+      : buffer_(buffer), cancelled_(cancelled), limit_(limit) {}
+
+  bool Emit(const RcjPair& pair) override {
+    if (cancelled_->load(std::memory_order_relaxed)) return false;
+    buffer_->push_back(pair);
+    return limit_ == 0 || buffer_->size() < limit_;
+  }
+
+ private:
+  std::vector<RcjPair>* buffer_;
+  const std::atomic<bool>* cancelled_;
+  uint64_t limit_;
+};
+
 /// One schedulable unit: a whole query, or one contiguous leaf range of an
 /// indexed query. Filled in by the worker that executes it.
 struct EngineTask {
   size_t query_index = 0;
+  size_t range_index = 0;
+  QueryEmitState* emit = nullptr;
   // Owned copy of this task's T_Q leaf range; null-equivalent (empty, with
   // use_subset false) for single-task queries and BRUTE.
   bool use_subset = false;
@@ -67,8 +123,54 @@ struct EngineTask {
   Clock::time_point end;
 };
 
-bool IsIndexed(RcjAlgorithm algorithm) {
-  return algorithm != RcjAlgorithm::kBrute;
+/// Marks `range` complete and flushes every ready range at the frontier to
+/// the delivery sink, in order. Called by the worker that finished the
+/// range; the per-query mutex serializes delivery, so sinks see one thread
+/// at a time. On reaching the limit (or a sink refusal / range failure),
+/// closes delivery and raises the cancellation flag for the query's
+/// remaining tasks.
+void DeliverReadyRanges(QueryEmitState* st, size_t range,
+                        const std::vector<RcjPair>* pairs, bool failed) {
+  std::lock_guard<std::mutex> lock(st->mu);
+  st->range_done[range] = 1;
+  st->buffers[range] = failed ? nullptr : pairs;
+  if (failed) {
+    st->delivery_closed = true;
+    st->cancelled.store(true, std::memory_order_relaxed);
+  }
+  while (st->next_range < st->range_done.size() &&
+         st->range_done[st->next_range]) {
+    const std::vector<RcjPair>* ready = st->buffers[st->next_range];
+    if (!st->delivery_closed && ready != nullptr) {
+      // The sink is caller code (or a vector push_back that can hit
+      // bad_alloc); a throw must not escape into the thread pool with the
+      // frontier half-advanced — convert it to a per-query failure and
+      // close delivery, keeping this function's state transitions atomic.
+      try {
+        for (const RcjPair& pair : *ready) {
+          ++st->delivered;
+          const bool more = st->sink->Emit(pair);
+          const bool at_limit = st->limit != 0 && st->delivered >= st->limit;
+          if (!more || at_limit) {
+            st->delivery_closed = true;
+            st->cancelled.store(true, std::memory_order_relaxed);
+            break;
+          }
+        }
+      } catch (const std::exception& e) {
+        st->delivery_status =
+            Status::IoError(std::string("result sink threw: ") + e.what());
+        st->delivery_closed = true;
+        st->cancelled.store(true, std::memory_order_relaxed);
+      } catch (...) {
+        st->delivery_status =
+            Status::IoError("result sink threw a non-std exception");
+        st->delivery_closed = true;
+        st->cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    ++st->next_range;
+  }
 }
 
 void SubmitTasks(const std::vector<EngineQuery>& queries,
@@ -83,15 +185,22 @@ void SubmitTasks(const std::vector<EngineQuery>& queries,
       // throw on oversized result sets; convert to a per-query failure so
       // one starved query never poisons its batchmates (engine.h contract).
       try {
-        WorkerView view;
-        t->status = OpenWorkerView(*query.env, engine_options, &view);
-        if (t->status.ok()) {
-          t->status = ExecuteRcj(view.tq_ref(), view.tp_ref(),
-                                 query.env->qset(), query.env->pset(),
-                                 query.env->self_join(), query.options,
-                                 t->use_subset ? &t->leaf_subset : nullptr,
-                                 &t->pairs, &t->stats);
-          t->buffer_stats = view.buffer->stats();
+        // Skip outright if the query was already satisfied or failed — the
+        // cancellation that makes limit-capped queries cheaper than the
+        // full join.
+        if (!t->emit->cancelled.load(std::memory_order_relaxed)) {
+          WorkerView view;
+          const RcjEnvironment& env = *query.spec.env;
+          t->status = OpenWorkerView(env, engine_options, &view);
+          if (t->status.ok()) {
+            TaskBufferSink sink(&t->pairs, &t->emit->cancelled,
+                                query.spec.limit);
+            t->status = ExecuteRcj(view.tq_ref(), view.tp_ref(), env.qset(),
+                                   env.pset(), env.self_join(), query.spec,
+                                   t->use_subset ? &t->leaf_subset : nullptr,
+                                   &sink, &t->stats);
+            t->buffer_stats = view.buffer->stats();
+          }
         }
       } catch (const std::exception& e) {
         t->status = Status::IoError(std::string("engine task threw: ") +
@@ -99,6 +208,8 @@ void SubmitTasks(const std::vector<EngineQuery>& queries,
       } catch (...) {
         t->status = Status::IoError("engine task threw a non-std exception");
       }
+      DeliverReadyRanges(t->emit, t->range_index, &t->pairs,
+                         !t->status.ok());
       t->end = Clock::now();
     });
   }
@@ -129,36 +240,44 @@ std::vector<EngineQueryResult> Engine::RunBatch(
 
   std::vector<EngineTask> tasks;
   std::vector<std::vector<size_t>> tasks_of_query(queries.size());
+  // Per-query streaming state and engine-owned collection sinks. Both are
+  // stable deques/vectors of pointers referenced by queued lambdas, so they
+  // must outlive pool_.WaitIdle() below.
+  std::vector<std::unique_ptr<QueryEmitState>> emit_states(queries.size());
+  std::vector<std::unique_ptr<VectorSink>> collect_sinks(queries.size());
+
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const EngineQuery& query = queries[qi];
-    if (query.env == nullptr) {
-      results[qi].status =
-          Status::InvalidArgument("EngineQuery with null environment");
+    const Status valid = query.spec.Validate();
+    if (!valid.ok()) {
+      results[qi].status = valid;
       continue;
     }
 
     std::vector<std::vector<uint64_t>> ranges;
     if (options_.intra_query_parallelism &&
-        IsIndexed(query.options.algorithm) && pool_.num_threads() > 1) {
+        query.spec.algorithm != RcjAlgorithm::kBrute &&
+        pool_.num_threads() > 1) {
       // The depth-first (or seeded-shuffle) leaf order is computed once
       // here on the caller thread, then split into contiguous ranges, so
-      // concatenating task outputs in range order equals the serial run.
+      // flushing task outputs in range order equals the serial run.
       const std::vector<uint64_t>* leaves_ptr = nullptr;
       for (const LeafOrder& cached : leaf_orders) {
-        if (cached.env == query.env && cached.order == query.options.order &&
-            cached.seed == query.options.random_seed) {
+        if (cached.env == query.spec.env &&
+            cached.order == query.spec.order &&
+            cached.seed == query.spec.random_seed) {
           leaves_ptr = &cached.leaves;
           break;
         }
       }
       if (leaves_ptr == nullptr) {
         LeafOrder entry;
-        entry.env = query.env;
-        entry.order = query.options.order;
-        entry.seed = query.options.random_seed;
+        entry.env = query.spec.env;
+        entry.order = query.spec.order;
+        entry.seed = query.spec.random_seed;
         const Status status =
-            LeafPagesInOrder(query.env->tq(), query.options.order,
-                             query.options.random_seed, &entry.leaves);
+            LeafPagesInOrder(query.spec.env->tq(), query.spec.order,
+                             query.spec.random_seed, &entry.leaves);
         if (!status.ok()) {
           results[qi].status = status;
           continue;
@@ -185,17 +304,34 @@ std::vector<EngineQueryResult> Engine::RunBatch(
       }
     }
 
+    emit_states[qi] = std::make_unique<QueryEmitState>();
+    QueryEmitState* emit = emit_states[qi].get();
+    if (query.sink != nullptr) {
+      emit->sink = query.sink;
+    } else {
+      collect_sinks[qi] = std::make_unique<VectorSink>(&results[qi].run.pairs);
+      emit->sink = collect_sinks[qi].get();
+    }
+    emit->limit = query.spec.limit;
+    const size_t num_ranges = ranges.empty() ? 1 : ranges.size();
+    emit->buffers.assign(num_ranges, nullptr);
+    emit->range_done.assign(num_ranges, 0);
+
     if (ranges.empty()) {
       EngineTask task;
       task.query_index = qi;
+      task.range_index = 0;
+      task.emit = emit;
       tasks_of_query[qi].push_back(tasks.size());
       tasks.push_back(std::move(task));
     } else {
-      for (std::vector<uint64_t>& range : ranges) {
+      for (size_t r = 0; r < ranges.size(); ++r) {
         EngineTask task;
         task.query_index = qi;
+        task.range_index = r;
+        task.emit = emit;
         task.use_subset = true;
-        task.leaf_subset = std::move(range);
+        task.leaf_subset = std::move(ranges[r]);
         tasks_of_query[qi].push_back(tasks.size());
         tasks.push_back(std::move(task));
       }
@@ -214,8 +350,9 @@ std::vector<EngineQueryResult> Engine::RunBatch(
   }
   pool_.WaitIdle();
 
-  // ---- Merge: concatenate leaf ranges in order; aggregate the private
-  // pools' fault accounting; charge the paper's I/O cost model. -----------
+  // ---- Merge: delivery already happened in range order as tasks
+  // completed; here we aggregate the private pools' fault accounting,
+  // charge the paper's I/O cost model, and settle per-query statuses. -----
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     if (!results[qi].status.ok()) continue;  // planning already failed
     EngineQueryResult& result = results[qi];
@@ -226,21 +363,27 @@ std::vector<EngineQueryResult> Engine::RunBatch(
         result.status = task.status;
         break;
       }
-      result.run.pairs.insert(result.run.pairs.end(), task.pairs.begin(),
-                              task.pairs.end());
       result.run.stats.candidates += task.stats.candidates;
-      result.run.stats.results += task.stats.results;
       result.run.stats.node_accesses += task.buffer_stats.logical_accesses;
       result.run.stats.page_faults += task.buffer_stats.page_faults;
       busy_seconds +=
           std::chrono::duration<double>(task.end - task.start).count();
     }
+    if (result.status.ok() && !emit_states[qi]->delivery_status.ok()) {
+      result.status = emit_states[qi]->delivery_status;
+    }
     if (!result.status.ok()) {
+      // The caller's sink may have received a serial prefix before the
+      // failing range was reached; the status is the source of truth.
       result.run = RcjRunResult();
       continue;
     }
+    // Results = pairs actually delivered to the sink (the in-order stream),
+    // not the sum of task-local buffers — tasks past a satisfied limit may
+    // have buffered pairs that were rightly dropped.
+    result.run.stats.results = emit_states[qi]->delivered;
     IoCostModel model;
-    model.ms_per_fault = queries[qi].options.io_ms_per_fault;
+    model.ms_per_fault = queries[qi].spec.io_ms_per_fault;
     BufferStats aggregated;
     aggregated.page_faults = result.run.stats.page_faults;
     aggregated.logical_accesses = result.run.stats.node_accesses;
@@ -254,14 +397,22 @@ std::vector<EngineQueryResult> Engine::RunBatch(
   return results;
 }
 
-Result<RcjRunResult> Engine::Run(const RcjEnvironment& env,
-                                 const RcjRunOptions& options) {
+Result<RcjRunResult> Engine::Run(const QuerySpec& spec) {
   std::vector<EngineQuery> batch(1);
-  batch[0].env = &env;
-  batch[0].options = options;
+  batch[0].spec = spec;
   std::vector<EngineQueryResult> results = RunBatch(batch);
   if (!results[0].status.ok()) return results[0].status;
   return std::move(results[0].run);
+}
+
+Status Engine::Run(const QuerySpec& spec, PairSink* sink, JoinStats* stats) {
+  std::vector<EngineQuery> batch(1);
+  batch[0].spec = spec;
+  batch[0].sink = sink;
+  std::vector<EngineQueryResult> results = RunBatch(batch);
+  if (!results[0].status.ok()) return results[0].status;
+  *stats = results[0].run.stats;
+  return Status::OK();
 }
 
 }  // namespace rcj

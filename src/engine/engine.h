@@ -14,8 +14,16 @@
 //   * intra-query: an indexed join (INJ/BIJ/OBJ) is split into contiguous
 //     ranges of T_Q's depth-first leaf order — the unit the paper's
 //     algorithms already process independently — and each range becomes its
-//     own task. Concatenating the ranges' outputs in order reproduces the
-//     serial result pair for pair.
+//     own task.
+//
+// Results stream: each query carries an optional PairSink, and pairs are
+// delivered to it in the exact serial order as leaf-range tasks complete —
+// a range's output is flushed the moment every earlier range has been
+// flushed, so the head of the stream is available long before the join
+// finishes. A QuerySpec::limit (or a sink returning false) stops delivery
+// after the serial prefix and cancels the query's remaining tasks, which
+// is how a caller gets top-k middleman pairs without paying for the full
+// join.
 //
 // Each task opens private read-only R-tree views (RTree::Open) over the
 // environment's page stores with a private LRU buffer pool, so workers
@@ -55,17 +63,23 @@ struct EngineOptions {
   size_t worker_min_buffer_pages = 32;
 };
 
-/// One query of a batch: which environment to run against and the
-/// algorithm/order/verify/io-cost knobs. The environment must outlive the
-/// batch and is treated as strictly read-only (its shared buffer is never
-/// touched by the engine's workers).
+/// One query of a batch: the validated spec plus an optional streaming
+/// target. When `sink` is set, pairs are delivered to it in serial order as
+/// leaf-range tasks complete (and EngineQueryResult::run.pairs stays
+/// empty); when null, pairs are collected into the result. The spec's
+/// environment must outlive the batch and is treated as strictly read-only
+/// (its shared buffer is never touched by the engine's workers). A shared
+/// sink is driven by one thread at a time per query, but different queries
+/// may flush concurrently — point each query at its own sink unless the
+/// sink is thread-safe.
 struct EngineQuery {
-  const RcjEnvironment* env = nullptr;
-  RcjRunOptions options;
+  QuerySpec spec;
+  PairSink* sink = nullptr;
 };
 
 /// Outcome of one batch entry, in input order. `run` is meaningful only
-/// when `status.ok()`.
+/// when `status.ok()`; for limit-capped queries its stats cover the work
+/// actually performed before cancellation.
 struct EngineQueryResult {
   Status status;
   RcjRunResult run;
@@ -74,7 +88,8 @@ struct EngineQueryResult {
 /// A reusable batched executor. Construct once (threads spin up
 /// immediately), then feed it any number of batches. One batch call at a
 /// time: RunBatch is not reentrant — external callers serialize, which is
-/// the natural shape for a service dispatch loop.
+/// the natural shape for a service dispatch loop (rcj::Service owns
+/// exactly that loop).
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
@@ -91,10 +106,10 @@ class Engine {
   std::vector<EngineQueryResult> RunBatch(
       const std::vector<EngineQuery>& queries);
 
-  /// Single-query convenience: a one-element batch, so an indexed join
+  /// Single-query conveniences: a one-element batch, so an indexed join
   /// still fans out across all workers when intra-query parallelism is on.
-  Result<RcjRunResult> Run(const RcjEnvironment& env,
-                           const RcjRunOptions& options);
+  Result<RcjRunResult> Run(const QuerySpec& spec);
+  Status Run(const QuerySpec& spec, PairSink* sink, JoinStats* stats);
 
  private:
   EngineOptions options_;

@@ -116,9 +116,9 @@ Status QuadFilterCandidates(const QuadTree& tp, const Point& q,
   return Status::OK();
 }
 
-Status RunQuadRcj(const QuadTree& tq, const QuadTree& tp,
-                  std::vector<RcjPair>* out, JoinStats* stats) {
-  const size_t first_result = out->size();
+Status RunQuadRcj(const QuadTree& tq, const QuadTree& tp, PairSink* sink,
+                  JoinStats* stats) {
+  uint64_t emitted = 0;
   std::vector<PointRecord> candidates;
 
   Status inner_status;
@@ -143,14 +143,19 @@ Status RunQuadRcj(const QuadTree& tq, const QuadTree& tp,
                                 p.id, kInvalidPointId, &alive);
               if (!inner_status.ok()) return false;
             }
-            if (alive) out->push_back(RcjPair{p, q, candidate.circle});
+            if (alive) {
+              ++emitted;
+              // Early termination: stop the traversal; inner_status stays
+              // OK, so the join reports success with a prefix emitted.
+              if (!sink->Emit(RcjPair{p, q, candidate.circle})) return false;
+            }
           }
         }
         return true;
       });
   RINGJOIN_RETURN_IF_ERROR(visit_status);
   RINGJOIN_RETURN_IF_ERROR(inner_status);
-  stats->results += out->size() - first_result;
+  stats->results += emitted;
   return Status::OK();
 }
 

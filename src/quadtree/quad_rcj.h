@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/pair_sink.h"
 #include "core/rcj_types.h"
 #include "quadtree/quadtree.h"
 
@@ -21,10 +22,11 @@ Status QuadFilterCandidates(const QuadTree& tp, const Point& q,
                             std::vector<PointRecord>* candidates);
 
 /// Index nested loop RCJ over two quadtrees (INJ of Algorithm 5, with the
-/// quadtree as the hierarchical index). Results and `stats` semantics match
-/// RunInj.
-Status RunQuadRcj(const QuadTree& tq, const QuadTree& tp,
-                  std::vector<RcjPair>* out, JoinStats* stats);
+/// quadtree as the hierarchical index). Emission and `stats` semantics
+/// match RunInj: pairs stream through `sink` in deterministic depth-first
+/// order, and a sink returning false stops the traversal with OK.
+Status RunQuadRcj(const QuadTree& tq, const QuadTree& tp, PairSink* sink,
+                  JoinStats* stats);
 
 }  // namespace rcj
 

@@ -1,0 +1,109 @@
+#include "service/service.h"
+
+#include <utility>
+
+namespace rcj {
+namespace {
+
+/// Discards pairs when the caller submitted without a sink (stats-only).
+class NullSink final : public PairSink {
+ public:
+  bool Emit(const RcjPair&) override { return true; }
+};
+
+NullSink* SharedNullSink() {
+  static NullSink sink;  // stateless, safe to share across threads
+  return &sink;
+}
+
+}  // namespace
+
+Status QueryTicket::Wait() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->status;
+}
+
+bool QueryTicket::TryGet(Status* status) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (!state_->done) return false;
+  if (status != nullptr) *status = state_->status;
+  return true;
+}
+
+JoinStats QueryTicket::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->stats;
+}
+
+Service::Service(ServiceOptions options)
+    : options_(options), engine_(options.engine) {
+  if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+Service::~Service() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatcher_.join();
+}
+
+QueryTicket Service::Submit(const QuerySpec& spec, PairSink* sink) {
+  Request request;
+  request.spec = spec;
+  request.sink = sink != nullptr ? sink : SharedNullSink();
+  request.state = std::make_shared<QueryTicket::State>();
+  QueryTicket ticket(request.state);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(request));
+  }
+  queue_cv_.notify_one();
+  return ticket;
+}
+
+size_t Service::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void Service::DispatcherLoop() {
+  for (;;) {
+    std::vector<Request> round;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_, and all work drained
+      while (!queue_.empty() && round.size() < options_.max_batch_size) {
+        round.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+
+    std::vector<EngineQuery> batch(round.size());
+    for (size_t i = 0; i < round.size(); ++i) {
+      batch[i].spec = round[i].spec;
+      batch[i].sink = round[i].sink;
+    }
+    // Pairs stream to the request sinks from inside this call, as the
+    // engine's leaf-range tasks complete — completion of RunBatch only
+    // settles statuses and stats.
+    const std::vector<EngineQueryResult> results = engine_.RunBatch(batch);
+
+    for (size_t i = 0; i < round.size(); ++i) {
+      QueryTicket::State* state = round[i].state.get();
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->status = results[i].status;
+        state->stats = results[i].run.stats;
+        state->done = true;
+      }
+      state->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace rcj

@@ -1,0 +1,129 @@
+// rcj::Service — the asynchronous front end of the ringjoin stack.
+//
+// The layers below are synchronous: algorithms emit pairs through sinks,
+// RcjEnvironment::Run executes one query, Engine::RunBatch executes a batch
+// and blocks until it finishes. A middleman-location service cannot block
+// its request path on a join, so Service adds the missing piece: Submit()
+// enqueues a validated QuerySpec and returns a QueryTicket immediately; a
+// dispatcher thread drains the request queue, forms batches, and feeds them
+// to an owned Engine. Result pairs stream to the caller's PairSink in exact
+// serial order as leaf-range tasks complete (the engine's ordered flush),
+// so the head of a result is available while the tail is still being
+// joined, and a QuerySpec::limit cancels a query's remaining work the
+// moment its top-k prefix has been delivered.
+//
+// This is the layer a network protocol would sit on: one Service per
+// process, one ticket + sink per connection. (ROADMAP: "then a network
+// protocol".)
+#ifndef RINGJOIN_SERVICE_SERVICE_H_
+#define RINGJOIN_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace rcj {
+
+/// Service-wide knobs, fixed at construction.
+struct ServiceOptions {
+  /// Knobs of the owned execution engine (worker threads, intra-query
+  /// parallelism, per-worker buffer sizing).
+  EngineOptions engine;
+  /// Most queries drained into one engine batch per dispatch round. Larger
+  /// rounds amortize planning; smaller rounds reduce the latency a late
+  /// arrival waits behind an in-flight batch.
+  size_t max_batch_size = 16;
+};
+
+/// Completion handle of one submitted query. Cheap to copy (shared state);
+/// a default-constructed ticket is invalid. The query's pairs go to the
+/// sink passed at Submit() — the ticket carries only status and stats.
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+
+  /// True iff this ticket came from a Submit() call.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the query finishes; returns its final status.
+  Status Wait();
+
+  /// Non-blocking probe: returns true iff the query has finished, filling
+  /// `*status` (when non-null) with the final status.
+  bool TryGet(Status* status = nullptr);
+
+  /// Paper-style statistics of the finished query (the executed portion,
+  /// for limit-capped queries). Valid once Wait() returned or TryGet()
+  /// returned true.
+  JoinStats stats() const;
+
+ private:
+  friend class Service;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    JoinStats stats;
+  };
+
+  explicit QueryTicket(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Asynchronous query service over a set of built RcjEnvironments. Owns a
+/// dispatcher thread and an Engine; Submit() never blocks on join work.
+/// Destruction completes every already-submitted query, then stops.
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  ~Service();
+
+  RINGJOIN_DISALLOW_COPY_AND_ASSIGN(Service);
+
+  /// Enqueues `spec` and returns immediately with a ticket. `sink` receives
+  /// the query's pairs in exact serial order, invoked from service-owned
+  /// threads; it may be null to discard pairs (stats-only probes). Both the
+  /// sink and spec.env must stay alive until the ticket reports done.
+  /// Invalid specs are not rejected here — the ticket resolves with the
+  /// validation error, so submission stays non-blocking and uniform.
+  QueryTicket Submit(const QuerySpec& spec, PairSink* sink);
+
+  /// Queries accepted but not yet handed to the engine. In-flight batches
+  /// are not counted.
+  size_t pending() const;
+
+  size_t num_threads() const { return engine_.num_threads(); }
+
+ private:
+  struct Request {
+    QuerySpec spec;
+    PairSink* sink = nullptr;
+    std::shared_ptr<QueryTicket::State> state;
+  };
+
+  void DispatcherLoop();
+
+  ServiceOptions options_;
+  Engine engine_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_SERVICE_SERVICE_H_

@@ -1,12 +1,16 @@
 // Tests for the parallel batched execution engine: a multi-threaded batch
 // must return pair-for-pair identical results to the serial runner on the
 // same inputs, across algorithms, search orders, self-joins, and mixed
-// batches, with coherent aggregated statistics.
+// batches, with coherent aggregated statistics. The streaming contract is
+// stricter than set equality: pairs delivered through a PairSink must
+// arrive in the exact serial order, and a QuerySpec::limit must yield
+// exactly the serial prefix while cancelling the remaining work.
 #include "engine/engine.h"
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "core/rcj.h"
@@ -39,6 +43,17 @@ void ExpectIdenticalPairs(const std::vector<RcjPair>& parallel,
   }
 }
 
+// Exact sequence equality — the streaming order contract.
+void ExpectSameSequence(const std::vector<RcjPair>& streamed,
+                        const std::vector<RcjPair>& serial,
+                        const char* label) {
+  ASSERT_EQ(streamed.size(), serial.size()) << label;
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    ASSERT_EQ(streamed[i].p.id, serial[i].p.id) << label << " at " << i;
+    ASSERT_EQ(streamed[i].q.id, serial[i].q.id) << label << " at " << i;
+  }
+}
+
 TEST(EngineTest, ParallelBatchMatchesSerialRunPairForPair) {
   const std::vector<PointRecord> qset = GenerateUniform(4000, 11);
   const std::vector<PointRecord> pset = GenerateUniform(4000, 12);
@@ -55,7 +70,8 @@ TEST(EngineTest, ParallelBatchMatchesSerialRunPairForPair) {
   EngineOptions engine_options;
   engine_options.num_threads = 4;
   Engine engine(engine_options);
-  const Result<RcjRunResult> parallel = engine.Run(*env.value(), options);
+  const Result<RcjRunResult> parallel =
+      engine.Run(QuerySpec::For(env.value().get()));
   ASSERT_TRUE(parallel.ok());
 
   ExpectIdenticalPairs(parallel.value().pairs, serial.value().pairs, "OBJ");
@@ -79,11 +95,11 @@ TEST(EngineTest, EveryAlgorithmMatchesSerial) {
   for (const RcjAlgorithm algorithm :
        {RcjAlgorithm::kBrute, RcjAlgorithm::kInj, RcjAlgorithm::kBij,
         RcjAlgorithm::kObj}) {
-    RcjRunOptions options;
-    options.algorithm = algorithm;
-    const Result<RcjRunResult> serial = env.value()->Run(options);
+    QuerySpec spec = QuerySpec::For(env.value().get());
+    spec.algorithm = algorithm;
+    const Result<RcjRunResult> serial = env.value()->Run(spec);
     ASSERT_TRUE(serial.ok()) << AlgorithmName(algorithm);
-    const Result<RcjRunResult> parallel = engine.Run(*env.value(), options);
+    const Result<RcjRunResult> parallel = engine.Run(spec);
     ASSERT_TRUE(parallel.ok()) << AlgorithmName(algorithm);
     ExpectIdenticalPairs(parallel.value().pairs, serial.value().pairs,
                          AlgorithmName(algorithm));
@@ -100,7 +116,8 @@ TEST(EngineTest, SelfJoinMatchesSerial) {
       RcjEnvironment::BuildSelf(set, options);
   ASSERT_TRUE(env.ok());
   Engine engine(EngineOptions{});
-  const Result<RcjRunResult> parallel = engine.Run(*env.value(), options);
+  const Result<RcjRunResult> parallel =
+      engine.Run(QuerySpec::For(env.value().get()));
   ASSERT_TRUE(parallel.ok());
   ExpectIdenticalPairs(parallel.value().pairs, serial.value().pairs, "self");
 }
@@ -109,20 +126,20 @@ TEST(EngineTest, RandomSearchOrderMatchesSerial) {
   // The seeded shuffle must partition identically to the serial shuffle.
   const std::vector<PointRecord> qset = GenerateUniform(1800, 41);
   const std::vector<PointRecord> pset = GenerateUniform(1800, 42);
-  RcjRunOptions options;
-  options.order = SearchOrder::kRandom;
-  options.random_seed = 99;
 
   Result<std::unique_ptr<RcjEnvironment>> env =
-      RcjEnvironment::Build(qset, pset, options);
+      RcjEnvironment::Build(qset, pset, RcjRunOptions{});
   ASSERT_TRUE(env.ok());
-  const Result<RcjRunResult> serial = env.value()->Run(options);
+  QuerySpec spec = QuerySpec::For(env.value().get());
+  spec.order = SearchOrder::kRandom;
+  spec.random_seed = 99;
+  const Result<RcjRunResult> serial = env.value()->Run(spec);
   ASSERT_TRUE(serial.ok());
 
   EngineOptions engine_options;
   engine_options.num_threads = 4;
   Engine engine(engine_options);
-  const Result<RcjRunResult> parallel = engine.Run(*env.value(), options);
+  const Result<RcjRunResult> parallel = engine.Run(spec);
   ASSERT_TRUE(parallel.ok());
   ExpectIdenticalPairs(parallel.value().pairs, serial.value().pairs,
                        "random order");
@@ -153,8 +170,8 @@ TEST(EngineTest, MixedBatchOverMultipleEnvironmentsInInputOrder) {
   std::vector<RcjEnvironment*> owner_of_query;
   for (int i = 0; i < 9; ++i) {
     EngineQuery query;
-    query.env = envs[i % 3];
-    query.options.algorithm = algos[(i / 3) % 3];
+    query.spec.env = envs[i % 3];
+    query.spec.algorithm = algos[(i / 3) % 3];
     owner_of_query.push_back(envs[i % 3]);
     batch.push_back(query);
   }
@@ -167,9 +184,9 @@ TEST(EngineTest, MixedBatchOverMultipleEnvironmentsInInputOrder) {
 
   for (size_t i = 0; i < batch.size(); ++i) {
     ASSERT_TRUE(results[i].status.ok()) << "query " << i;
-    // Compare against a serial run of the same (env, options) slot.
+    // Compare against a serial run of the same (env, spec) slot.
     const Result<RcjRunResult> serial =
-        owner_of_query[i]->Run(batch[i].options);
+        owner_of_query[i]->Run(batch[i].spec);
     ASSERT_TRUE(serial.ok()) << "query " << i;
     ExpectIdenticalPairs(results[i].run.pairs, serial.value().pairs,
                          "batch query");
@@ -179,15 +196,15 @@ TEST(EngineTest, MixedBatchOverMultipleEnvironmentsInInputOrder) {
 TEST(EngineTest, AggregatedStatsAreCoherent) {
   const std::vector<PointRecord> qset = GenerateUniform(2000, 61);
   const std::vector<PointRecord> pset = GenerateUniform(2000, 62);
-  RcjRunOptions options;
   Result<std::unique_ptr<RcjEnvironment>> env =
-      RcjEnvironment::Build(qset, pset, options);
+      RcjEnvironment::Build(qset, pset, RcjRunOptions{});
   ASSERT_TRUE(env.ok());
 
   EngineOptions engine_options;
   engine_options.num_threads = 4;
   Engine engine(engine_options);
-  const Result<RcjRunResult> run = engine.Run(*env.value(), options);
+  const Result<RcjRunResult> run =
+      engine.Run(QuerySpec::For(env.value().get()));
   ASSERT_TRUE(run.ok());
   const JoinStats& stats = run.value().stats;
 
@@ -208,32 +225,220 @@ TEST(EngineTest, NullEnvironmentFailsWithoutPoisoningBatchmates) {
   ASSERT_TRUE(env.ok());
 
   std::vector<EngineQuery> batch(2);
-  batch[0].env = nullptr;  // invalid
-  batch[1].env = env.value().get();
+  batch[0].spec.env = nullptr;  // invalid
+  batch[1].spec.env = env.value().get();
 
   Engine engine(EngineOptions{});
   const std::vector<EngineQueryResult> results = engine.RunBatch(batch);
   ASSERT_EQ(results.size(), 2u);
   EXPECT_FALSE(results[0].status.ok());
+  EXPECT_EQ(results[0].status.code(), StatusCode::kInvalidArgument);
   EXPECT_TRUE(results[1].status.ok());
   EXPECT_GT(results[1].run.pairs.size(), 0u);
+}
+
+TEST(EngineTest, InvalidAlgorithmEnumFailsPerSlot) {
+  const std::vector<PointRecord> set = GenerateUniform(600, 72);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::BuildSelf(set, RcjRunOptions{});
+  ASSERT_TRUE(env.ok());
+
+  std::vector<EngineQuery> batch(3);
+  batch[0].spec.env = env.value().get();
+  batch[1].spec.env = env.value().get();
+  batch[1].spec.algorithm = static_cast<RcjAlgorithm>(42);  // corrupt enum
+  batch[2].spec.env = env.value().get();
+
+  Engine engine(EngineOptions{});
+  const std::vector<EngineQueryResult> results = engine.RunBatch(batch);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_FALSE(results[1].status.ok());
+  EXPECT_EQ(results[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(results[2].status.ok());
+  EXPECT_EQ(results[0].run.pairs.size(), results[2].run.pairs.size());
+}
+
+TEST(EngineTest, BruteMixedIntoIndexedBatchKeepsPerSlotResults) {
+  // BRUTE has no T_Q leaves to split, so it must ride along as a single
+  // task among the indexed queries' leaf-range tasks — per-slot status and
+  // results stay independent.
+  const std::vector<PointRecord> qset = GenerateUniform(700, 73);
+  const std::vector<PointRecord> pset = GenerateUniform(900, 74);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, RcjRunOptions{});
+  ASSERT_TRUE(env.ok());
+
+  std::vector<EngineQuery> batch(3);
+  batch[0].spec.env = env.value().get();
+  batch[0].spec.algorithm = RcjAlgorithm::kObj;
+  batch[1].spec.env = env.value().get();
+  batch[1].spec.algorithm = RcjAlgorithm::kBrute;
+  batch[2].spec.env = env.value().get();
+  batch[2].spec.algorithm = RcjAlgorithm::kInj;
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  Engine engine(engine_options);
+  const std::vector<EngineQueryResult> results = engine.RunBatch(batch);
+  ASSERT_EQ(results.size(), 3u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok()) << "query " << i;
+  }
+  const std::vector<RcjPair> oracle = BruteForceRcj(pset, qset);
+  ExpectIdenticalPairs(results[1].run.pairs, oracle, "brute slot");
+  ExpectIdenticalPairs(results[0].run.pairs, oracle, "obj slot");
+  ExpectIdenticalPairs(results[2].run.pairs, oracle, "inj slot");
+}
+
+TEST(EngineTest, SinkReceivesExactSerialOrder) {
+  const std::vector<PointRecord> qset = GenerateUniform(3000, 75);
+  const std::vector<PointRecord> pset = GenerateUniform(3000, 76);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, RcjRunOptions{});
+  ASSERT_TRUE(env.ok());
+
+  for (const RcjAlgorithm algorithm :
+       {RcjAlgorithm::kInj, RcjAlgorithm::kObj}) {
+    QuerySpec spec = QuerySpec::For(env.value().get());
+    spec.algorithm = algorithm;
+    const Result<RcjRunResult> serial = env.value()->Run(spec);
+    ASSERT_TRUE(serial.ok());
+
+    EngineOptions engine_options;
+    engine_options.num_threads = 4;
+    Engine engine(engine_options);
+    std::vector<RcjPair> streamed;
+    VectorSink sink(&streamed);
+    JoinStats stats;
+    ASSERT_TRUE(engine.Run(spec, &sink, &stats).ok());
+    ExpectSameSequence(streamed, serial.value().pairs,
+                       AlgorithmName(algorithm));
+    EXPECT_EQ(stats.results, streamed.size());
+  }
+}
+
+TEST(EngineTest, LimitDeliversSerialPrefixAndCancelsRemainingWork) {
+  const std::vector<PointRecord> qset = GenerateUniform(4000, 77);
+  const std::vector<PointRecord> pset = GenerateUniform(4000, 78);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, RcjRunOptions{});
+  ASSERT_TRUE(env.ok());
+
+  QuerySpec spec = QuerySpec::For(env.value().get());
+  const Result<RcjRunResult> full = env.value()->Run(spec);
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full.value().pairs.size(), 20u);
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  Engine engine(engine_options);
+
+  for (const uint64_t k : {uint64_t{1}, uint64_t{7}, uint64_t{20}}) {
+    QuerySpec limited = spec;
+    limited.limit = k;
+    std::vector<RcjPair> streamed;
+    VectorSink sink(&streamed);
+    JoinStats stats;
+    ASSERT_TRUE(engine.Run(limited, &sink, &stats).ok());
+    ASSERT_EQ(streamed.size(), k) << "k=" << k;
+    EXPECT_EQ(stats.results, k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(streamed[i].p.id, full.value().pairs[i].p.id)
+          << "k=" << k << " at " << i;
+      EXPECT_EQ(streamed[i].q.id, full.value().pairs[i].q.id)
+          << "k=" << k << " at " << i;
+    }
+  }
+
+  // A tiny limit must cancel most of the join: the engine's candidate
+  // count should fall well short of the full run's.
+  QuerySpec one = spec;
+  one.limit = 1;
+  std::vector<RcjPair> streamed;
+  VectorSink sink(&streamed);
+  JoinStats stats;
+  ASSERT_TRUE(engine.Run(one, &sink, &stats).ok());
+  EXPECT_LT(stats.candidates, full.value().stats.candidates)
+      << "limit=1 must cancel remaining leaf-range tasks";
+}
+
+TEST(EngineTest, ThrowingSinkFailsItsQueryWithoutPoisoningBatchmates) {
+  const std::vector<PointRecord> set = GenerateUniform(900, 95);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::BuildSelf(set, RcjRunOptions{});
+  ASSERT_TRUE(env.ok());
+
+  CallbackSink throwing([](const RcjPair&) -> bool {
+    throw std::runtime_error("downstream consumer died");
+  });
+  std::vector<RcjPair> healthy_pairs;
+  VectorSink healthy(&healthy_pairs);
+
+  std::vector<EngineQuery> batch(2);
+  batch[0].spec.env = env.value().get();
+  batch[0].sink = &throwing;
+  batch[1].spec.env = env.value().get();
+  batch[1].sink = &healthy;
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  Engine engine(engine_options);
+  const std::vector<EngineQueryResult> results = engine.RunBatch(batch);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].status.ok());
+  EXPECT_EQ(results[0].status.code(), StatusCode::kIoError);
+  EXPECT_TRUE(results[1].status.ok());
+  EXPECT_GT(healthy_pairs.size(), 0u);
+}
+
+TEST(EngineTest, LimitStopsSingleTaskQueriesEarly) {
+  // One worker thread means no intra-query split: the query runs as a
+  // single task, so early termination must come from the per-task buffer
+  // cap, not from cross-task cancellation.
+  const std::vector<PointRecord> qset = GenerateUniform(3000, 79);
+  const std::vector<PointRecord> pset = GenerateUniform(3000, 80);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, RcjRunOptions{});
+  ASSERT_TRUE(env.ok());
+
+  QuerySpec spec = QuerySpec::For(env.value().get());
+  const Result<RcjRunResult> full = env.value()->Run(spec);
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full.value().pairs.size(), 5u);
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 1;
+  Engine engine(engine_options);
+  QuerySpec limited = spec;
+  limited.limit = 5;
+  const Result<RcjRunResult> prefix = engine.Run(limited);
+  ASSERT_TRUE(prefix.ok());
+  ASSERT_EQ(prefix.value().pairs.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(prefix.value().pairs[i].p.id, full.value().pairs[i].p.id);
+    EXPECT_EQ(prefix.value().pairs[i].q.id, full.value().pairs[i].q.id);
+  }
+  EXPECT_LT(prefix.value().stats.candidates, full.value().stats.candidates)
+      << "the single task must stop at the buffer cap, not run the full "
+         "join";
 }
 
 TEST(EngineTest, IntraQueryParallelismOffStillMatchesSerial) {
   const std::vector<PointRecord> qset = GenerateUniform(1300, 81);
   const std::vector<PointRecord> pset = GenerateUniform(1300, 82);
-  RcjRunOptions options;
   Result<std::unique_ptr<RcjEnvironment>> env =
-      RcjEnvironment::Build(qset, pset, options);
+      RcjEnvironment::Build(qset, pset, RcjRunOptions{});
   ASSERT_TRUE(env.ok());
-  const Result<RcjRunResult> serial = env.value()->Run(options);
+  const QuerySpec spec = QuerySpec::For(env.value().get());
+  const Result<RcjRunResult> serial = env.value()->Run(spec);
   ASSERT_TRUE(serial.ok());
 
   EngineOptions engine_options;
   engine_options.num_threads = 2;
   engine_options.intra_query_parallelism = false;
   Engine engine(engine_options);
-  const Result<RcjRunResult> parallel = engine.Run(*env.value(), options);
+  const Result<RcjRunResult> parallel = engine.Run(spec);
   ASSERT_TRUE(parallel.ok());
   ExpectIdenticalPairs(parallel.value().pairs, serial.value().pairs,
                        "no intra");
@@ -246,8 +451,9 @@ TEST(EngineTest, EngineIsReusableAcrossBatches) {
   ASSERT_TRUE(env.ok());
 
   Engine engine(EngineOptions{});
-  const Result<RcjRunResult> first = engine.Run(*env.value(), {});
-  const Result<RcjRunResult> second = engine.Run(*env.value(), {});
+  const QuerySpec spec = QuerySpec::For(env.value().get());
+  const Result<RcjRunResult> first = engine.Run(spec);
+  const Result<RcjRunResult> second = engine.Run(spec);
   ASSERT_TRUE(first.ok());
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(first.value().pairs.size(), second.value().pairs.size());

@@ -144,8 +144,9 @@ TEST(FaultInjectionTest, JoinSurfacesMidFlightError) {
   std::vector<RcjPair> out;
   JoinStats stats;
   InjOptions options;
+  VectorSink sink(&out);
   const Status status =
-      RunInj(*env_q.tree, *env_p.tree, options, &out, &stats);
+      RunInj(*env_q.tree, *env_p.tree, options, &sink, &stats);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kIoError);
 }

@@ -74,7 +74,8 @@ TEST_P(QuadRcjSweep, MatchesBruteForce) {
 
   std::vector<RcjPair> got;
   JoinStats stats;
-  ASSERT_TRUE(RunQuadRcj(*env.tq, *env.tp, &got, &stats).ok());
+  VectorSink sink(&got);
+  ASSERT_TRUE(RunQuadRcj(*env.tq, *env.tp, &sink, &stats).ok());
   ExpectSamePairs(got, BruteForceRcj(pset, qset), "quadtree RCJ");
   EXPECT_EQ(stats.results, got.size());
   EXPECT_GE(stats.candidates, stats.results);
@@ -98,8 +99,9 @@ TEST(QuadRcjTest, AgreesWithRTreePipelineOnSkewedData) {
   Env quad_env = MakeEnv(qset, pset);
   std::vector<RcjPair> quad_pairs;
   JoinStats quad_stats;
+  VectorSink quad_sink(&quad_pairs);
   ASSERT_TRUE(
-      RunQuadRcj(*quad_env.tq, *quad_env.tp, &quad_pairs, &quad_stats).ok());
+      RunQuadRcj(*quad_env.tq, *quad_env.tp, &quad_sink, &quad_stats).ok());
 
   RcjRunOptions options;
   options.algorithm = RcjAlgorithm::kObj;
@@ -118,7 +120,8 @@ TEST(QuadRcjTest, GaussianClusters) {
   Env env = MakeEnv(qset, pset);
   std::vector<RcjPair> got;
   JoinStats stats;
-  ASSERT_TRUE(RunQuadRcj(*env.tq, *env.tp, &got, &stats).ok());
+  VectorSink sink(&got);
+  ASSERT_TRUE(RunQuadRcj(*env.tq, *env.tp, &sink, &stats).ok());
   ExpectSamePairs(got, BruteForceRcj(pset, qset), "quadtree RCJ gaussian");
 }
 
@@ -126,8 +129,37 @@ TEST(QuadRcjTest, EmptySides) {
   Env env = MakeEnv({}, GenerateUniform(20, 722));
   std::vector<RcjPair> got;
   JoinStats stats;
-  ASSERT_TRUE(RunQuadRcj(*env.tq, *env.tp, &got, &stats).ok());
+  VectorSink sink(&got);
+  ASSERT_TRUE(RunQuadRcj(*env.tq, *env.tp, &sink, &stats).ok());
   EXPECT_TRUE(got.empty());
+}
+
+TEST(QuadRcjTest, SinkEarlyTerminationYieldsSerialPrefix) {
+  const std::vector<PointRecord> qset = GenerateUniform(120, 730);
+  const std::vector<PointRecord> pset = GenerateUniform(150, 731);
+  Env env = MakeEnv(qset, pset);
+
+  std::vector<RcjPair> full;
+  JoinStats full_stats;
+  VectorSink full_sink(&full);
+  ASSERT_TRUE(RunQuadRcj(*env.tq, *env.tp, &full_sink, &full_stats).ok());
+  ASSERT_GT(full.size(), 4u);
+
+  const uint64_t k = 3;
+  std::vector<RcjPair> prefix;
+  JoinStats prefix_stats;
+  VectorSink collect(&prefix);
+  LimitSink limited(&collect, k);
+  ASSERT_TRUE(RunQuadRcj(*env.tq, *env.tp, &limited, &prefix_stats).ok());
+
+  ASSERT_EQ(prefix.size(), k);
+  EXPECT_EQ(prefix_stats.results, k);
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(prefix[i].p.id, full[i].p.id) << "prefix mismatch at " << i;
+    EXPECT_EQ(prefix[i].q.id, full[i].q.id) << "prefix mismatch at " << i;
+  }
+  EXPECT_LT(prefix_stats.candidates, full_stats.candidates)
+      << "early termination must stop the traversal, not just the output";
 }
 
 }  // namespace

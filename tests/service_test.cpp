@@ -1,0 +1,238 @@
+// Tests for rcj::Service, the async front end: Submit() must be genuinely
+// non-blocking, tickets must resolve with per-query statuses, and sinks
+// must receive exactly the serial pair stream — including the limit=k
+// top-k prefix — no matter how requests interleave on the dispatcher.
+#include "service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/rcj.h"
+#include "workload/generator.h"
+
+namespace rcj {
+namespace {
+
+std::unique_ptr<RcjEnvironment> BuildEnv(size_t n, uint64_t seed) {
+  const std::vector<PointRecord> qset = GenerateUniform(n, seed);
+  const std::vector<PointRecord> pset = GenerateUniform(n + 50, seed + 1);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, RcjRunOptions{});
+  EXPECT_TRUE(env.ok());
+  return std::move(env).value();
+}
+
+void ExpectSameSequence(const std::vector<RcjPair>& got,
+                        const std::vector<RcjPair>& want, const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].p.id, want[i].p.id) << label << " at " << i;
+    ASSERT_EQ(got[i].q.id, want[i].q.id) << label << " at " << i;
+  }
+}
+
+TEST(ServiceTest, StreamsExactSerialPairsForEveryAlgorithm) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(1500, 301);
+
+  ServiceOptions options;
+  options.engine.num_threads = 4;
+  Service service(options);
+
+  const RcjAlgorithm algorithms[] = {RcjAlgorithm::kBrute, RcjAlgorithm::kInj,
+                                     RcjAlgorithm::kBij, RcjAlgorithm::kObj};
+  std::vector<std::vector<RcjPair>> streams(4);
+  std::vector<std::unique_ptr<VectorSink>> sinks;
+  std::vector<QueryTicket> tickets;
+  for (size_t i = 0; i < 4; ++i) {
+    QuerySpec spec = QuerySpec::For(env.get());
+    spec.algorithm = algorithms[i];
+    sinks.push_back(std::make_unique<VectorSink>(&streams[i]));
+    tickets.push_back(service.Submit(spec, sinks.back().get()));
+  }
+
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(tickets[i].valid());
+    ASSERT_TRUE(tickets[i].Wait().ok()) << AlgorithmName(algorithms[i]);
+    QuerySpec spec = QuerySpec::For(env.get());
+    spec.algorithm = algorithms[i];
+    const Result<RcjRunResult> serial = env->Run(spec);
+    ASSERT_TRUE(serial.ok());
+    ExpectSameSequence(streams[i], serial.value().pairs,
+                       AlgorithmName(algorithms[i]));
+    EXPECT_EQ(tickets[i].stats().results, streams[i].size());
+  }
+}
+
+TEST(ServiceTest, LimitedQueryDeliversTopKPrefix) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(2500, 311);
+  const Result<RcjRunResult> full = env->Run(QuerySpec::For(env.get()));
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full.value().pairs.size(), 12u);
+
+  ServiceOptions options;
+  options.engine.num_threads = 4;
+  Service service(options);
+
+  QuerySpec spec = QuerySpec::For(env.get());
+  spec.limit = 12;
+  std::vector<RcjPair> streamed;
+  VectorSink sink(&streamed);
+  QueryTicket ticket = service.Submit(spec, &sink);
+  ASSERT_TRUE(ticket.Wait().ok());
+
+  ASSERT_EQ(streamed.size(), 12u);
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].p.id, full.value().pairs[i].p.id) << "at " << i;
+    EXPECT_EQ(streamed[i].q.id, full.value().pairs[i].q.id) << "at " << i;
+  }
+  EXPECT_EQ(ticket.stats().results, 12u);
+  EXPECT_LT(ticket.stats().candidates, full.value().stats.candidates)
+      << "the limit must cancel remaining work, not filter a full join";
+}
+
+TEST(ServiceTest, SubmitIsNonBlockingWhileAJoinIsInFlight) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(1200, 321);
+
+  // Gate: the first query's sink blocks on its first pair until the main
+  // thread has finished submitting the second query. If Submit() blocked
+  // until join completion, the first Submit could never return and the
+  // test would deadlock instead of passing.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool second_submitted = false;
+
+  CallbackSink blocking_sink([&](const RcjPair&) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return second_submitted; });
+    return true;
+  });
+
+  ServiceOptions options;
+  options.engine.num_threads = 2;
+  Service service(options);
+
+  QueryTicket first = service.Submit(QuerySpec::For(env.get()),
+                                     &blocking_sink);
+  ASSERT_TRUE(first.valid());
+  // The first join cannot have finished: its sink is still gated.
+  EXPECT_FALSE(first.TryGet());
+
+  std::vector<RcjPair> second_pairs;
+  VectorSink second_sink(&second_pairs);
+  QueryTicket second = service.Submit(QuerySpec::For(env.get()),
+                                      &second_sink);
+  ASSERT_TRUE(second.valid());  // returned while the first is in flight
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    second_submitted = true;
+  }
+  cv.notify_all();
+
+  EXPECT_TRUE(first.Wait().ok());
+  EXPECT_TRUE(second.Wait().ok());
+  EXPECT_GT(second_pairs.size(), 0u);
+}
+
+TEST(ServiceTest, ManyConcurrentTicketsOverMixedEnvironments) {
+  std::unique_ptr<RcjEnvironment> env_a = BuildEnv(900, 331);
+  std::unique_ptr<RcjEnvironment> env_b = BuildEnv(1100, 333);
+
+  ServiceOptions options;
+  options.engine.num_threads = 4;
+  options.max_batch_size = 3;  // force several dispatch rounds
+  Service service(options);
+
+  const RcjAlgorithm algorithms[] = {RcjAlgorithm::kObj, RcjAlgorithm::kInj,
+                                     RcjAlgorithm::kBij};
+  constexpr size_t kRequests = 10;
+  std::vector<std::vector<RcjPair>> streams(kRequests);
+  std::vector<std::unique_ptr<VectorSink>> sinks;
+  std::vector<QuerySpec> specs;
+  std::vector<QueryTicket> tickets;
+  for (size_t i = 0; i < kRequests; ++i) {
+    QuerySpec spec =
+        QuerySpec::For(i % 2 == 0 ? env_a.get() : env_b.get());
+    spec.algorithm = algorithms[i % 3];
+    specs.push_back(spec);
+    sinks.push_back(std::make_unique<VectorSink>(&streams[i]));
+    tickets.push_back(service.Submit(spec, sinks.back().get()));
+  }
+
+  for (size_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(tickets[i].Wait().ok()) << "request " << i;
+    RcjEnvironment* owner = i % 2 == 0 ? env_a.get() : env_b.get();
+    const Result<RcjRunResult> serial = owner->Run(specs[i]);
+    ASSERT_TRUE(serial.ok());
+    ExpectSameSequence(streams[i], serial.value().pairs, "request");
+  }
+}
+
+TEST(ServiceTest, InvalidSpecResolvesTicketWithError) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(400, 341);
+  Service service(ServiceOptions{});
+
+  QuerySpec bad = QuerySpec::For(env.get());
+  bad.algorithm = static_cast<RcjAlgorithm>(77);
+  QueryTicket bad_ticket = service.Submit(bad, nullptr);
+
+  QuerySpec unbound;  // env == nullptr
+  QueryTicket unbound_ticket = service.Submit(unbound, nullptr);
+
+  const Status bad_status = bad_ticket.Wait();
+  EXPECT_EQ(bad_status.code(), StatusCode::kInvalidArgument);
+  const Status unbound_status = unbound_ticket.Wait();
+  EXPECT_EQ(unbound_status.code(), StatusCode::kInvalidArgument);
+
+  // A valid query on the same service still succeeds afterwards.
+  std::vector<RcjPair> pairs;
+  VectorSink sink(&pairs);
+  EXPECT_TRUE(service.Submit(QuerySpec::For(env.get()), &sink).Wait().ok());
+  EXPECT_GT(pairs.size(), 0u);
+}
+
+TEST(ServiceTest, TryGetAndStatsOnNullSinkProbe) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(800, 351);
+  Service service(ServiceOptions{});
+
+  // Stats-only probe: no sink, pairs discarded, counters still real.
+  QueryTicket ticket = service.Submit(QuerySpec::For(env.get()), nullptr);
+  Status status;
+  while (!ticket.TryGet(&status)) {
+  }
+  EXPECT_TRUE(status.ok());
+  EXPECT_GT(ticket.stats().results, 0u);
+  EXPECT_GT(ticket.stats().node_accesses, 0u);
+}
+
+TEST(ServiceTest, DestructorDrainsSubmittedWork) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(700, 361);
+
+  std::vector<std::vector<RcjPair>> streams(4);
+  std::vector<std::unique_ptr<VectorSink>> sinks;
+  std::vector<QueryTicket> tickets;
+  {
+    ServiceOptions options;
+    options.max_batch_size = 1;  // one query per round: real queueing
+    Service service(options);
+    for (size_t i = 0; i < streams.size(); ++i) {
+      sinks.push_back(std::make_unique<VectorSink>(&streams[i]));
+      tickets.push_back(
+          service.Submit(QuerySpec::For(env.get()), sinks.back().get()));
+    }
+    // Service destroyed here with work likely still queued.
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    Status status;
+    ASSERT_TRUE(tickets[i].TryGet(&status)) << "ticket " << i;
+    EXPECT_TRUE(status.ok());
+    EXPECT_EQ(streams[i].size(), streams[0].size());
+  }
+}
+
+}  // namespace
+}  // namespace rcj

@@ -1,0 +1,179 @@
+// Streaming emission contract of the serial layer: sinks observe the exact
+// serial pair stream of every algorithm, a LimitSink caps a query at the
+// serial prefix while actually stopping the traversal, and QuerySpec
+// validation rejects malformed queries before any work happens.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/rcj.h"
+#include "workload/generator.h"
+
+namespace rcj {
+namespace {
+
+std::unique_ptr<RcjEnvironment> BuildEnv(size_t n, uint64_t seed) {
+  const std::vector<PointRecord> qset = GenerateUniform(n, seed);
+  const std::vector<PointRecord> pset = GenerateUniform(n + 100, seed + 1);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, RcjRunOptions{});
+  EXPECT_TRUE(env.ok());
+  return std::move(env).value();
+}
+
+void ExpectSameSequence(const std::vector<RcjPair>& got,
+                        const std::vector<RcjPair>& want, const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].p.id, want[i].p.id) << label << " at " << i;
+    ASSERT_EQ(got[i].q.id, want[i].q.id) << label << " at " << i;
+  }
+}
+
+TEST(StreamingTest, SinkStreamEqualsCollectedRunForEveryAlgorithm) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(1200, 201);
+
+  for (const RcjAlgorithm algorithm :
+       {RcjAlgorithm::kBrute, RcjAlgorithm::kInj, RcjAlgorithm::kBij,
+        RcjAlgorithm::kObj}) {
+    QuerySpec spec = QuerySpec::For(env.get());
+    spec.algorithm = algorithm;
+
+    const Result<RcjRunResult> collected = env->Run(spec);
+    ASSERT_TRUE(collected.ok()) << AlgorithmName(algorithm);
+
+    std::vector<RcjPair> streamed;
+    VectorSink sink(&streamed);
+    JoinStats stats;
+    ASSERT_TRUE(env->Run(spec, &sink, &stats).ok())
+        << AlgorithmName(algorithm);
+
+    ExpectSameSequence(streamed, collected.value().pairs,
+                       AlgorithmName(algorithm));
+    EXPECT_EQ(stats.results, streamed.size());
+    EXPECT_EQ(stats.candidates, collected.value().stats.candidates);
+  }
+}
+
+TEST(StreamingTest, LimitYieldsExactSerialPrefixAndStopsTraversal) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(2500, 211);
+
+  for (const RcjAlgorithm algorithm :
+       {RcjAlgorithm::kInj, RcjAlgorithm::kObj}) {
+    QuerySpec spec = QuerySpec::For(env.get());
+    spec.algorithm = algorithm;
+    const Result<RcjRunResult> full = env->Run(spec);
+    ASSERT_TRUE(full.ok());
+    ASSERT_GT(full.value().pairs.size(), 10u);
+
+    for (const uint64_t k : {uint64_t{1}, uint64_t{4}, uint64_t{10}}) {
+      QuerySpec limited = spec;
+      limited.limit = k;
+      const Result<RcjRunResult> prefix = env->Run(limited);
+      ASSERT_TRUE(prefix.ok()) << AlgorithmName(algorithm) << " k=" << k;
+      ASSERT_EQ(prefix.value().pairs.size(), k);
+      EXPECT_EQ(prefix.value().stats.results, k);
+      for (size_t i = 0; i < k; ++i) {
+        EXPECT_EQ(prefix.value().pairs[i].p.id, full.value().pairs[i].p.id)
+            << AlgorithmName(algorithm) << " k=" << k << " at " << i;
+        EXPECT_EQ(prefix.value().pairs[i].q.id, full.value().pairs[i].q.id)
+            << AlgorithmName(algorithm) << " k=" << k << " at " << i;
+      }
+      // The sink's refusal must stop the join, not merely mute the output:
+      // with thousands of T_Q points and k <= 10, a terminated traversal
+      // generates strictly fewer candidates than the full run.
+      EXPECT_LT(prefix.value().stats.candidates,
+                full.value().stats.candidates)
+          << AlgorithmName(algorithm) << " k=" << k;
+    }
+  }
+}
+
+TEST(StreamingTest, CallbackSinkCanStopMidStream) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(900, 221);
+  const Result<RcjRunResult> full = env->Run(QuerySpec::For(env.get()));
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full.value().pairs.size(), 5u);
+
+  std::vector<RcjPair> got;
+  CallbackSink sink([&got](const RcjPair& pair) {
+    got.push_back(pair);
+    return got.size() < 5;  // stop after the 5th pair
+  });
+  JoinStats stats;
+  ASSERT_TRUE(env->Run(QuerySpec::For(env.get()), &sink, &stats).ok());
+  ASSERT_EQ(got.size(), 5u);
+  ExpectSameSequence(
+      got,
+      {full.value().pairs.begin(), full.value().pairs.begin() + 5},
+      "callback prefix");
+}
+
+TEST(StreamingTest, BruteSinkMatchesVectorConvenience) {
+  const std::vector<PointRecord> qset = GenerateUniform(120, 231);
+  const std::vector<PointRecord> pset = GenerateUniform(150, 232);
+
+  const std::vector<RcjPair> classic = BruteForceRcj(pset, qset);
+  std::vector<RcjPair> streamed;
+  VectorSink sink(&streamed);
+  ASSERT_TRUE(BruteForceRcj(pset, qset, &sink).ok());
+  ExpectSameSequence(streamed, classic, "brute");
+
+  const std::vector<RcjPair> classic_self = BruteForceRcjSelf(pset);
+  std::vector<RcjPair> streamed_self;
+  VectorSink self_sink(&streamed_self);
+  ASSERT_TRUE(BruteForceRcjSelf(pset, &self_sink).ok());
+  ExpectSameSequence(streamed_self, classic_self, "brute self");
+}
+
+TEST(StreamingTest, LimitSinkSemantics) {
+  std::vector<RcjPair> out;
+  VectorSink inner(&out);
+  LimitSink limited(&inner, 2);
+
+  const RcjPair pair = RcjPair::Make(PointRecord{{0, 0}, 1},
+                                     PointRecord{{1, 1}, 2});
+  EXPECT_TRUE(limited.Emit(pair));    // 1st: delivered, keep going
+  EXPECT_FALSE(limited.Emit(pair));   // 2nd: delivered, at limit -> stop
+  EXPECT_FALSE(limited.Emit(pair));   // 3rd: refused outright
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(limited.forwarded(), 2u);
+
+  // Unlimited passthrough.
+  std::vector<RcjPair> all;
+  VectorSink all_inner(&all);
+  LimitSink unlimited(&all_inner, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(unlimited.Emit(pair));
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(StreamingTest, QuerySpecValidation) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(300, 241);
+
+  EXPECT_TRUE(QuerySpec::For(env.get()).Validate().ok());
+
+  QuerySpec null_env;
+  EXPECT_EQ(null_env.Validate().code(), StatusCode::kInvalidArgument);
+
+  QuerySpec bad_algo = QuerySpec::For(env.get());
+  bad_algo.algorithm = static_cast<RcjAlgorithm>(99);
+  EXPECT_EQ(bad_algo.Validate().code(), StatusCode::kInvalidArgument);
+
+  QuerySpec bad_order = QuerySpec::For(env.get());
+  bad_order.order = static_cast<SearchOrder>(7);
+  EXPECT_EQ(bad_order.Validate().code(), StatusCode::kInvalidArgument);
+
+  QuerySpec bad_io = QuerySpec::For(env.get());
+  bad_io.io_ms_per_fault = -1.0;
+  EXPECT_EQ(bad_io.Validate().code(), StatusCode::kInvalidArgument);
+
+  // A spec bound to one environment cannot run against another.
+  std::unique_ptr<RcjEnvironment> other = BuildEnv(300, 242);
+  const Result<RcjRunResult> cross = other->Run(QuerySpec::For(env.get()));
+  EXPECT_FALSE(cross.ok());
+  EXPECT_EQ(cross.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rcj

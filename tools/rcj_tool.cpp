@@ -7,6 +7,7 @@
 //   rcj_tool join --q buildings.csv --self --out postboxes.csv
 //   rcj_tool stats --q q.csv --p p.csv
 //   rcj_tool batch --q q.csv --p p.csv --algos obj,inj --repeat 4 --threads 8
+//   rcj_tool serve --q q.csv --p p.csv --algos obj,inj --repeat 8 --limit 10
 //
 // Pair output CSV columns: p_id, q_id, center_x, center_y, radius.
 #include <chrono>
@@ -14,11 +15,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/rcj.h"
 #include "engine/engine.h"
+#include "service/service.h"
 #include "workload/dataset.h"
 #include "workload/generator.h"
 
@@ -38,7 +41,10 @@ int Usage() {
       "  rcj_tool stats --q Q.csv --p P.csv\n"
       "  rcj_tool batch --q Q.csv [--p P.csv | --self]\n"
       "           [--algos obj,inj,bij] [--repeat N] [--threads T]\n"
-      "           [--no-intra] [--compare-serial]\n");
+      "           [--no-intra] [--compare-serial]\n"
+      "  rcj_tool serve --q Q.csv [--p P.csv | --self]\n"
+      "           [--algos obj,inj,bij] [--repeat N] [--limit K]\n"
+      "           [--threads T] [--max-batch B] [--out PAIRS.csv]\n");
   return 2;
 }
 
@@ -135,6 +141,34 @@ bool ParseAlgo(const std::string& name, RcjAlgorithm* algo) {
   return true;
 }
 
+// Shared by batch/serve: parses the comma-separated --algos list, printing
+// a `cmd`-prefixed message on bad or missing names.
+bool ParseAlgoList(const char* cmd,
+                   const std::map<std::string, std::string>& flags,
+                   std::vector<RcjAlgorithm>* algorithms) {
+  const std::string algos = FlagOr(flags, "algos", "obj");
+  size_t pos = 0;
+  while (pos <= algos.size()) {
+    size_t comma = algos.find(',', pos);
+    if (comma == std::string::npos) comma = algos.size();
+    const std::string name = algos.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (name.empty()) continue;
+    RcjAlgorithm algorithm;
+    if (!ParseAlgo(name, &algorithm)) {
+      std::fprintf(stderr, "%s: unknown algorithm '%s'\n", cmd,
+                   name.c_str());
+      return false;
+    }
+    algorithms->push_back(algorithm);
+  }
+  if (algorithms->empty()) {
+    std::fprintf(stderr, "%s: --algos lists no algorithms\n", cmd);
+    return false;
+  }
+  return true;
+}
+
 // Shared by join/batch: reads --buffer-frac/--page-size into `options`,
 // loads --q (and --p unless --self), and builds the environment. On
 // failure prints a `cmd`-prefixed message and returns the process exit
@@ -145,8 +179,27 @@ Result<std::unique_ptr<RcjEnvironment>> BuildEnvFromFlags(
   *exit_code = 0;
   options->buffer_fraction =
       std::atof(FlagOr(flags, "buffer-frac", "0.01").c_str());
-  options->page_size = static_cast<uint32_t>(
-      std::strtoul(FlagOr(flags, "page-size", "1024").c_str(), nullptr, 10));
+  if (!(options->buffer_fraction >= 0.0) ||
+      options->buffer_fraction > 1.0) {
+    std::fprintf(stderr, "%s: invalid --buffer-frac '%s' (want [0, 1])\n",
+                 cmd, FlagOr(flags, "buffer-frac", "0.01").c_str());
+    *exit_code = 2;
+    return Status::InvalidArgument("invalid --buffer-frac");
+  }
+  // Pages must hold the node header plus at least a few entries; a bare
+  // strtoul would let "abc" (0) or a tiny value underflow the node layout
+  // in Release builds.
+  size_t page_size = 0;
+  if (!ParseCount(FlagOr(flags, "page-size", "1024"), 1u << 20,
+                  &page_size) ||
+      page_size < 256) {
+    std::fprintf(stderr,
+                 "%s: invalid --page-size '%s' (want 256..1048576)\n", cmd,
+                 FlagOr(flags, "page-size", "1024").c_str());
+    *exit_code = 2;
+    return Status::InvalidArgument("invalid --page-size");
+  }
+  options->page_size = static_cast<uint32_t>(page_size);
 
   const std::string q_path = FlagOr(flags, "q", "");
   if (q_path.empty()) {
@@ -248,26 +301,8 @@ int CmdJoin(const std::map<std::string, std::string>& flags) {
 int CmdBatch(const std::map<std::string, std::string>& flags) {
   // Validate the cheap flags first — a typo must fail in milliseconds, not
   // after minutes of tree construction.
-  const std::string algos = FlagOr(flags, "algos", "obj");
   std::vector<RcjAlgorithm> algorithms;
-  size_t pos = 0;
-  while (pos <= algos.size()) {
-    size_t comma = algos.find(',', pos);
-    if (comma == std::string::npos) comma = algos.size();
-    const std::string name = algos.substr(pos, comma - pos);
-    pos = comma + 1;
-    if (name.empty()) continue;
-    RcjAlgorithm algorithm;
-    if (!ParseAlgo(name, &algorithm)) {
-      std::fprintf(stderr, "batch: unknown algorithm '%s'\n", name.c_str());
-      return 2;
-    }
-    algorithms.push_back(algorithm);
-  }
-  if (algorithms.empty()) {
-    std::fprintf(stderr, "batch: --algos lists no algorithms\n");
-    return 2;
-  }
+  if (!ParseAlgoList("batch", flags, &algorithms)) return 2;
   size_t repeat = 1;
   if (!ParseCount(FlagOr(flags, "repeat", "1"), 1u << 20, &repeat)) {
     std::fprintf(stderr, "batch: invalid --repeat '%s'\n",
@@ -294,9 +329,8 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   for (size_t r = 0; r < (repeat == 0 ? 1 : repeat); ++r) {
     for (const RcjAlgorithm algorithm : algorithms) {
       EngineQuery query;
-      query.env = env.value().get();
-      query.options = options;
-      query.options.algorithm = algorithm;
+      query.spec = QuerySpec::For(env.value().get());
+      query.spec.algorithm = algorithm;
       queries.push_back(query);
     }
   }
@@ -323,7 +357,7 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
     }
     const JoinStats& stats = results[i].run.stats;
     std::printf("%-6s %10llu %12llu %10llu %9.2f %9.3f\n",
-                AlgorithmName(queries[i].options.algorithm),
+                AlgorithmName(queries[i].spec.algorithm),
                 static_cast<unsigned long long>(stats.results),
                 static_cast<unsigned long long>(stats.node_accesses),
                 static_cast<unsigned long long>(stats.page_faults),
@@ -335,7 +369,7 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   if (flags.count("compare-serial") != 0) {
     const auto serial_start = std::chrono::steady_clock::now();
     for (const EngineQuery& query : queries) {
-      Result<RcjRunResult> run = env.value()->Run(query.options);
+      Result<RcjRunResult> run = env.value()->Run(query.spec);
       if (!run.ok()) {
         std::fprintf(stderr, "serial replay failed: %s\n",
                      run.status().ToString().c_str());
@@ -348,6 +382,133 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
             .count();
     std::printf("serial loop: %.3f s (batch speedup %.2fx)\n", serial_wall,
                 serial_wall / wall);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// Drives the async service front end: submits the whole request mix
+// up front (every Submit returns immediately), then harvests tickets as
+// they resolve. Pairs stream to per-request sinks in serial order while
+// later requests are still queued; --limit K turns every request into a
+// top-k query that cancels its remaining work once the prefix is
+// delivered. With --out, the first request's pairs are written to CSV
+// incrementally, straight from its sink.
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  std::vector<RcjAlgorithm> algorithms;
+  if (!ParseAlgoList("serve", flags, &algorithms)) return 2;
+  size_t repeat = 1;
+  if (!ParseCount(FlagOr(flags, "repeat", "1"), 1u << 20, &repeat)) {
+    std::fprintf(stderr, "serve: invalid --repeat '%s'\n",
+                 FlagOr(flags, "repeat", "1").c_str());
+    return 2;
+  }
+  size_t limit = 0;
+  if (!ParseCount(FlagOr(flags, "limit", "0"), 1u << 30, &limit)) {
+    std::fprintf(stderr, "serve: invalid --limit '%s'\n",
+                 FlagOr(flags, "limit", "0").c_str());
+    return 2;
+  }
+  ServiceOptions service_options;
+  if (!ParseCount(FlagOr(flags, "threads", "0"), 4096,
+                  &service_options.engine.num_threads)) {
+    std::fprintf(stderr, "serve: invalid --threads '%s'\n",
+                 FlagOr(flags, "threads", "0").c_str());
+    return 2;
+  }
+  if (!ParseCount(FlagOr(flags, "max-batch", "16"), 1u << 20,
+                  &service_options.max_batch_size)) {
+    std::fprintf(stderr, "serve: invalid --max-batch '%s'\n",
+                 FlagOr(flags, "max-batch", "16").c_str());
+    return 2;
+  }
+
+  RcjRunOptions options;
+  int exit_code = 0;
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      BuildEnvFromFlags("serve", flags, &options, &exit_code);
+  if (!env.ok()) return exit_code;
+  service_options.engine.worker_buffer_fraction = options.buffer_fraction;
+
+  const std::string out = FlagOr(flags, "out", "");
+  std::FILE* out_file = nullptr;
+  if (!out.empty()) {
+    out_file = std::fopen(out.c_str(), "w");
+    if (out_file == nullptr) {
+      std::fprintf(stderr, "serve: cannot open %s\n", out.c_str());
+      return 1;
+    }
+    std::fprintf(out_file, "p_id,q_id,center_x,center_y,radius\n");
+  }
+
+  Service service(service_options);
+
+  struct Request {
+    RcjAlgorithm algorithm = RcjAlgorithm::kObj;
+    uint64_t streamed = 0;
+    std::unique_ptr<PairSink> sink;
+    QueryTicket ticket;
+  };
+  std::vector<Request> requests;
+  requests.reserve((repeat == 0 ? 1 : repeat) * algorithms.size());
+  const auto submit_start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < (repeat == 0 ? 1 : repeat); ++r) {
+    for (const RcjAlgorithm algorithm : algorithms) {
+      requests.emplace_back();
+      Request& request = requests.back();
+      request.algorithm = algorithm;
+      uint64_t* streamed = &request.streamed;
+      // The first request optionally streams to the CSV as pairs arrive;
+      // everything else just counts its stream.
+      std::FILE* file = requests.size() == 1 ? out_file : nullptr;
+      request.sink = std::make_unique<CallbackSink>(
+          [streamed, file](const RcjPair& pair) {
+            ++*streamed;
+            if (file != nullptr) {
+              std::fprintf(file, "%lld,%lld,%.17g,%.17g,%.17g\n",
+                           static_cast<long long>(pair.p.id),
+                           static_cast<long long>(pair.q.id),
+                           pair.circle.center.x, pair.circle.center.y,
+                           pair.circle.Radius());
+            }
+            return true;
+          });
+      QuerySpec spec = QuerySpec::For(env.value().get());
+      spec.algorithm = algorithm;
+      spec.limit = limit;
+      request.ticket = service.Submit(spec, request.sink.get());
+    }
+  }
+  const double submit_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    submit_start)
+          .count();
+  std::printf("submitted %zu requests in %.6f s (%zu still queued); "
+              "joins run on %zu worker threads\n",
+              requests.size(), submit_seconds, service.pending(),
+              service.num_threads());
+
+  std::printf("%-8s %-6s %10s %12s %10s %9s %9s\n", "ticket", "algo",
+              "streamed", "candidates", "faults", "I/O(s)", "CPU(s)");
+  int failures = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Status status = requests[i].ticket.Wait();
+    if (!status.ok()) {
+      std::fprintf(stderr, "request %zu: %s\n", i,
+                   status.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    const JoinStats stats = requests[i].ticket.stats();
+    std::printf("%-8zu %-6s %10llu %12llu %10llu %9.2f %9.3f\n", i,
+                AlgorithmName(requests[i].algorithm),
+                static_cast<unsigned long long>(requests[i].streamed),
+                static_cast<unsigned long long>(stats.candidates),
+                static_cast<unsigned long long>(stats.page_faults),
+                stats.io_seconds, stats.cpu_seconds);
+  }
+  if (out_file != nullptr) {
+    std::fclose(out_file);
+    std::printf("first request's pairs streamed to %s\n", out.c_str());
   }
   return failures == 0 ? 0 : 1;
 }
@@ -406,5 +567,6 @@ int main(int argc, char** argv) {
   if (command == "join") return CmdJoin(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "batch") return CmdBatch(flags);
+  if (command == "serve") return CmdServe(flags);
   return Usage();
 }
