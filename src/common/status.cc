@@ -19,6 +19,8 @@ const char* CodeName(StatusCode code) {
       return "Not supported";
     case StatusCode::kOutOfRange:
       return "Out of range";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

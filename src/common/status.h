@@ -20,6 +20,7 @@ enum class StatusCode {
   kCorruption = 4,
   kNotSupported = 5,
   kOutOfRange = 6,
+  kCancelled = 7,
 };
 
 /// A cheap, copyable success-or-error value. `Status::OK()` carries no
@@ -49,6 +50,9 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff the status represents success.

@@ -185,6 +185,13 @@ void SubmitTasks(const std::vector<EngineQuery>& queries,
       // throw on oversized result sets; convert to a per-query failure so
       // one starved query never poisons its batchmates (engine.h contract).
       try {
+        // An external cancel (service ticket, dropped network peer) joins
+        // the internal one here, so even a query that never emits a pair
+        // stops at the next leaf-range boundary.
+        if (query.cancel != nullptr &&
+            query.cancel->load(std::memory_order_relaxed)) {
+          t->emit->cancelled.store(true, std::memory_order_relaxed);
+        }
         // Skip outright if the query was already satisfied or failed — the
         // cancellation that makes limit-capped queries cheaper than the
         // full join.

@@ -34,6 +34,7 @@
 #ifndef RINGJOIN_ENGINE_ENGINE_H_
 #define RINGJOIN_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -75,6 +76,13 @@ struct EngineOptions {
 struct EngineQuery {
   QuerySpec spec;
   PairSink* sink = nullptr;
+  /// Optional external cancellation flag (a service ticket's, a session's).
+  /// Once true, the query winds down like a satisfied limit: leaf-range
+  /// tasks not yet started are skipped and delivery closes. Granularity is
+  /// the leaf-range task — a task already inside its traversal finishes
+  /// that range (per-pair abort still happens through the sink contract).
+  /// Must outlive the batch; null means not externally cancellable.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Outcome of one batch entry, in input order. `run` is meaningful only

@@ -1,0 +1,332 @@
+#include "net/net_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "core/runner.h"
+#include "net/protocol.h"
+
+namespace rcj {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+NetServer::NetServer(Service* service,
+                     std::map<std::string, const RcjEnvironment*> environments,
+                     NetServerOptions options)
+    : service_(service),
+      environments_(std::move(environments)),
+      options_(std::move(options)) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError(Errno("socket"));
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    const Status status = Status::IoError(Errno("bind"));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (listen(listen_fd_, options_.backlog) != 0) {
+    const Status status = Status::IoError(Errno("listen"));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                  &addr_len) != 0) {
+    const Status status = Status::IoError(Errno("getsockname"));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  stop_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void NetServer::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  accept_thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Unblock every connection: cancel its query (the engine drops the
+  // remaining work at the next delivery) and shut the socket down so reads
+  // and writes in the handler return immediately.
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections = connections_;
+  }
+  for (const std::shared_ptr<Connection>& connection : connections) {
+    std::lock_guard<std::mutex> lock(connection->mu);
+    connection->ticket.Cancel();
+    if (connection->fd >= 0) shutdown(connection->fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(threads_);
+    connections_.clear();
+  }
+  for (std::thread& thread : threads) thread.join();
+  started_ = false;
+}
+
+NetServer::Counters NetServer::counters() const {
+  Counters counters;
+  counters.connections = connections_count_.load(std::memory_order_relaxed);
+  counters.ok = ok_count_.load(std::memory_order_relaxed);
+  counters.rejected = rejected_count_.load(std::memory_order_relaxed);
+  counters.cancelled = cancelled_count_.load(std::memory_order_relaxed);
+  counters.failed = failed_count_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void NetServer::ReapFinishedConnections() {
+  // Swap-remove keeps connections_[i] and threads_[i] paired. Joining a
+  // finished handler returns immediately, but still happens outside the
+  // lock so a slow exit never blocks Submit-path accounting.
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t i = 0;
+    while (i < connections_.size()) {
+      if (connections_[i]->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(threads_[i]));
+        connections_[i] = std::move(connections_.back());
+        connections_.pop_back();
+        threads_[i] = std::move(threads_.back());
+        threads_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (std::thread& thread : finished) thread.join();
+}
+
+void NetServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    ReapFinishedConnections();
+    bool saturated;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      saturated = connections_.size() >= options_.max_connections;
+    }
+    if (saturated) {
+      // Let peers queue in the kernel backlog until a handler finishes,
+      // instead of growing the thread count without bound.
+      poll(nullptr, 0, 20);
+      continue;
+    }
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (options_.send_buffer_bytes > 0) {
+      setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                 sizeof(options_.send_buffer_bytes));
+    }
+    connections_count_.fetch_add(1, std::memory_order_relaxed);
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    std::lock_guard<std::mutex> lock(mu_);
+    connections_.push_back(connection);
+    threads_.emplace_back(
+        [this, connection] { HandleConnection(connection.get()); });
+  }
+}
+
+Status NetServer::ReadRequestLine(int fd, std::string* line) {
+  line->clear();
+  // Wall-clock deadline: a slow-drip client that keeps the socket readable
+  // must still run out of time, or it pins a handler thread forever.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.request_timeout_ms);
+  for (;;) {
+    if (std::chrono::steady_clock::now() >= deadline ||
+        stop_.load(std::memory_order_relaxed)) {
+      return Status::InvalidArgument("timed out waiting for request line");
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) return Status::IoError(Errno("poll"));
+    if (ready <= 0) continue;
+    char buffer[512];
+    const ssize_t got = recv(fd, buffer, sizeof(buffer), 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("recv"));
+    }
+    if (got == 0) {
+      return Status::InvalidArgument(
+          "connection closed before a full request line");
+    }
+    for (ssize_t i = 0; i < got; ++i) {
+      if (buffer[i] == '\n') {
+        // Bytes past the newline are ignored: the protocol carries one
+        // request per connection.
+        return Status::OK();
+      }
+      line->push_back(buffer[i]);
+      if (line->size() > options_.max_request_bytes) {
+        return Status::InvalidArgument("request line exceeds " +
+                                       std::to_string(
+                                           options_.max_request_bytes) +
+                                       " bytes");
+      }
+    }
+  }
+}
+
+void NetServer::HandleConnection(Connection* connection) {
+  const int fd = connection->fd;
+  SocketSink sink(fd, options_.sink);
+
+  std::string line;
+  Status status = ReadRequestLine(fd, &line);
+  net::WireRequest request;
+  if (status.ok()) status = net::ParseRequestLine(line, &request);
+  if (status.ok()) {
+    const auto it = environments_.find(request.env_name);
+    if (it == environments_.end()) {
+      status = Status::NotFound("unknown environment '" + request.env_name +
+                                "'");
+    } else {
+      request.spec.env = it->second;
+      status = request.spec.Validate();
+    }
+  }
+
+  if (!status.ok()) {
+    rejected_count_.fetch_add(1, std::memory_order_relaxed);
+    sink.SendLine(net::FormatErrLine(status));
+    sink.Flush(options_.sink.drain_grace_ms);
+  } else {
+    sink.SendLine("OK");
+    QueryTicket ticket = service_->Submit(request.spec, &sink);
+    {
+      std::lock_guard<std::mutex> lock(connection->mu);
+      connection->ticket = ticket;
+    }
+    // Close the Stop() race: if Stop's cancel pass ran before the ticket
+    // was stored above, it cancelled an invalid (no-op) ticket — but then
+    // stop_ was already set, so self-cancel here. Either interleaving
+    // cancels the real ticket (the connection mutex orders the two).
+    if (stop_.load(std::memory_order_relaxed)) ticket.Cancel();
+
+    // Babysit the in-flight query: resolve the ticket while watching the
+    // socket's read side. A read *error* (ECONNRESET: the peer vanished
+    // with data in flight) cancels the query — the service stops delivery
+    // at the next pair, so the other connections' joins keep their
+    // workers. A plain EOF is NOT a cancellation: a netcat-style client
+    // legitimately half-closes its write side after the request while it
+    // keeps reading, so EOF only means "done sending" — a peer that truly
+    // closed is caught by the sink's failing sends instead.
+    Status final;
+    bool peer_gone = false;
+    bool read_side_open = true;
+    while (!ticket.TryGet(&final)) {
+      if (!read_side_open) {
+        final = ticket.Wait();  // sink death / Stop() resolve the ticket
+        break;
+      }
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int ready = poll(&pfd, 1, 20);
+      if (ready <= 0) continue;
+      char buffer[256];
+      const ssize_t got = recv(fd, buffer, sizeof(buffer), MSG_DONTWAIT);
+      if (got > 0) continue;  // stray bytes: one request per connection
+      if (got < 0 &&
+          (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+        continue;
+      }
+      if (got == 0) {
+        read_side_open = false;  // half-close: keep streaming
+      } else {
+        peer_gone = true;  // hard error: the peer is gone
+        ticket.Cancel();
+        read_side_open = false;
+      }
+    }
+
+    if (final.ok() && !sink.dead()) {
+      net::WireSummary summary;
+      summary.pairs = sink.emitted();
+      summary.stats = ticket.stats();
+      sink.SendLine(net::FormatEndLine(summary));
+      if (sink.Flush(options_.sink.drain_grace_ms)) {
+        ok_count_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (final.code() == StatusCode::kCancelled || sink.dead() ||
+               peer_gone) {
+      cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+      sink.SendLine(net::FormatErrLine(
+          Status::Cancelled("stream cancelled before completion")));
+      sink.Flush(options_.sink.drain_grace_ms);
+    } else {
+      failed_count_.fetch_add(1, std::memory_order_relaxed);
+      sink.SendLine(net::FormatErrLine(final));
+      sink.Flush(options_.sink.drain_grace_ms);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(connection->mu);
+    close(fd);
+    connection->fd = -1;
+  }
+  connection->done.store(true, std::memory_order_release);
+}
+
+}  // namespace rcj

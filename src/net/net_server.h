@@ -1,0 +1,142 @@
+// rcj::NetServer — the TCP front door of the ringjoin stack.
+//
+// Layered directly on rcj::Service: one accepted connection carries one
+// QUERY request line, becomes one Submit() ticket, and streams its result
+// pairs back through a SocketSink in the exact serial order the engine
+// delivers them (protocol.h defines the grammar). The connection lifecycle
+// maps onto the service's cancellation hook in both directions:
+//
+//   * client drop — the connection thread watches the socket while the
+//     ticket is in flight; an EOF or error pulls QueryTicket::Cancel(), so
+//     the engine abandons the query's remaining leaf ranges instead of
+//     joining for a departed caller;
+//   * slow consumer — the SocketSink's bounded pending buffer turns a
+//     stalled socket into Emit()->false, the same limit-style cancellation.
+//
+// Connections are served by one thread each (the joins themselves run on
+// the service's engine pool; connection threads only shuttle bytes), and
+// every environment the server can answer for is registered by name at
+// construction — requests select one with the `env=` field.
+#ifndef RINGJOIN_NET_NET_SERVER_H_
+#define RINGJOIN_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "net/socket_sink.h"
+#include "service/service.h"
+
+namespace rcj {
+
+struct NetServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (read it back with
+  /// port() after Start()).
+  uint16_t port = 0;
+  /// Listen address. The default only accepts loopback peers; widen it
+  /// explicitly (e.g. "0.0.0.0") to serve remote callers.
+  std::string bind_address = "127.0.0.1";
+  int backlog = 64;
+  /// Cap on simultaneously served connections (each holds one thread).
+  /// At the cap the accept loop defers — further peers wait in the kernel
+  /// backlog instead of spawning unbounded threads.
+  size_t max_connections = 256;
+  /// Hard cap on the request line; longer requests are rejected.
+  size_t max_request_bytes = 4096;
+  /// How long a connection may take to deliver its request line.
+  int request_timeout_ms = 10000;
+  /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Shrinking
+  /// it (tests do) makes the sink's bounded-queue backpressure bite after
+  /// a few pairs instead of after megabytes.
+  int send_buffer_bytes = 0;
+  /// Backpressure knobs of each connection's SocketSink.
+  SocketSinkOptions sink;
+};
+
+class NetServer {
+ public:
+  /// Monotonic counters of connection outcomes, for observability and
+  /// tests (e.g. asserting that a mid-stream disconnect was counted as a
+  /// cancellation, not a success).
+  struct Counters {
+    uint64_t connections = 0;  ///< accepted sockets.
+    uint64_t ok = 0;           ///< full stream + END delivered.
+    uint64_t rejected = 0;     ///< malformed/unknown requests (ERR before OK).
+    uint64_t cancelled = 0;    ///< client drop or backpressure cancellation.
+    uint64_t failed = 0;       ///< engine-side query failure (ERR after OK).
+  };
+
+  /// Serves queries against `environments` (name -> built environment) by
+  /// submitting to `service`. Both must outlive the server; environments
+  /// are treated as strictly read-only.
+  NetServer(Service* service,
+            std::map<std::string, const RcjEnvironment*> environments,
+            NetServerOptions options = {});
+  ~NetServer();
+
+  RINGJOIN_DISALLOW_COPY_AND_ASSIGN(NetServer);
+
+  /// Binds, listens, and starts accepting. IoError on bind/listen failure
+  /// (e.g. the port is taken).
+  Status Start();
+
+  /// Stops accepting, cancels every in-flight ticket, unblocks and joins
+  /// all connection threads. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound port (resolves ephemeral port 0); valid after Start().
+  uint16_t port() const { return port_; }
+
+  Counters counters() const;
+
+ private:
+  /// Per-connection state shared between its handler thread and Stop().
+  struct Connection {
+    std::mutex mu;
+    int fd = -1;           // -1 once the handler closed it
+    QueryTicket ticket;    // valid once submitted
+    /// Set by the handler as its very last step; the accept loop reaps
+    /// (joins and erases) done connections so a long-lived server does
+    /// not accumulate dead threads.
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Connection* connection);
+  /// Joins and erases the connections whose handlers have finished.
+  void ReapFinishedConnections();
+  /// Reads the request line (up to max_request_bytes within
+  /// request_timeout_ms).
+  Status ReadRequestLine(int fd, std::string* line);
+
+  Service* service_;
+  const std::map<std::string, const RcjEnvironment*> environments_;
+  NetServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<uint64_t> connections_count_{0};
+  std::atomic<uint64_t> ok_count_{0};
+  std::atomic<uint64_t> rejected_count_{0};
+  std::atomic<uint64_t> cancelled_count_{0};
+  std::atomic<uint64_t> failed_count_{0};
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_NET_NET_SERVER_H_

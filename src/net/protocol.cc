@@ -1,0 +1,453 @@
+#include "net/protocol.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace rcj {
+namespace net {
+namespace {
+
+/// Splits on runs of spaces/tabs and drops a trailing CR, so both strict
+/// clients and interactive netcat sessions (which send CRLF) parse alike.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == '\n' || c == '\r') break;
+    if (c == ' ' || c == '\t') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+Status ParseBoolField(const std::string& key, const std::string& value,
+                      bool* out) {
+  if (!ParseBoolName(value, out)) {
+    return Status::InvalidArgument("field '" + key +
+                                   "' wants 0/1/true/false, got '" + value +
+                                   "'");
+  }
+  return Status::OK();
+}
+
+bool IsEnvName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                    c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+const char* StatusCodeWireName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+  }
+  return "Unknown";
+}
+
+bool ParseStatusCodeWireName(const std::string& token, StatusCode* code) {
+  for (StatusCode candidate :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kIoError, StatusCode::kCorruption,
+        StatusCode::kNotSupported, StatusCode::kOutOfRange,
+        StatusCode::kCancelled}) {
+    if (token == StatusCodeWireName(candidate)) {
+      *code = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status MakeStatus(StatusCode code, std::string message) {
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kIoError:
+      return Status::IoError(std::move(message));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(message));
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::move(message));
+    case StatusCode::kOk:
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* AlgorithmWireName(RcjAlgorithm algorithm) {
+  switch (algorithm) {
+    case RcjAlgorithm::kBrute:
+      return "brute";
+    case RcjAlgorithm::kInj:
+      return "inj";
+    case RcjAlgorithm::kBij:
+      return "bij";
+    case RcjAlgorithm::kObj:
+      return "obj";
+  }
+  return "?";
+}
+
+bool ParseAlgorithmName(const std::string& name, RcjAlgorithm* algorithm) {
+  for (RcjAlgorithm candidate : {RcjAlgorithm::kBrute, RcjAlgorithm::kInj,
+                                 RcjAlgorithm::kBij, RcjAlgorithm::kObj}) {
+    if (name == AlgorithmWireName(candidate)) {
+      *algorithm = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* SearchOrderWireName(SearchOrder order) {
+  switch (order) {
+    case SearchOrder::kDepthFirst:
+      return "dfs";
+    case SearchOrder::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+bool ParseSearchOrderName(const std::string& name, SearchOrder* order) {
+  for (SearchOrder candidate :
+       {SearchOrder::kDepthFirst, SearchOrder::kRandom}) {
+    if (name == SearchOrderWireName(candidate)) {
+      *order = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseBoolName(const std::string& name, bool* value) {
+  if (name == "1" || name == "true") {
+    *value = true;
+    return true;
+  }
+  if (name == "0" || name == "false") {
+    *value = false;
+    return true;
+  }
+  return false;
+}
+
+Status ParseUint64Field(const std::string& key, const std::string& value,
+                        uint64_t* out) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("field '" + key +
+                                   "' is not an unsigned integer: '" +
+                                   value + "'");
+  }
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value.c_str(), nullptr, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("field '" + key + "' overflows uint64: '" +
+                              value + "'");
+  }
+  *out = static_cast<uint64_t>(parsed);
+  return Status::OK();
+}
+
+Status ParseDoubleField(const std::string& key, const std::string& value,
+                        double* out) {
+  if (value.empty()) {
+    return Status::InvalidArgument("field '" + key + "' is empty");
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || !std::isfinite(parsed)) {
+    return Status::InvalidArgument("field '" + key +
+                                   "' is not a finite number: '" + value +
+                                   "'");
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+Status ParseRequestLine(const std::string& line, WireRequest* out) {
+  *out = WireRequest{};
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty() || tokens[0] != "QUERY") {
+    return Status::InvalidArgument("request must start with QUERY");
+  }
+
+  std::vector<std::string> seen;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& field = tokens[i];
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("field '" + field +
+                                     "' is not key=value");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key.empty()) {
+      return Status::InvalidArgument("empty key in field '" + field + "'");
+    }
+    for (const std::string& earlier : seen) {
+      if (earlier == key) {
+        return Status::InvalidArgument("duplicate key '" + key + "'");
+      }
+    }
+    seen.push_back(key);
+
+    Status status = Status::OK();
+    if (key == "env") {
+      if (!IsEnvName(value)) {
+        status = Status::InvalidArgument("invalid env name '" + value + "'");
+      } else {
+        out->env_name = value;
+      }
+    } else if (key == "algo") {
+      if (!ParseAlgorithmName(value, &out->spec.algorithm)) {
+        status =
+            Status::InvalidArgument("unknown algorithm '" + value +
+                                    "' (want brute|inj|bij|obj)");
+      }
+    } else if (key == "order") {
+      if (!ParseSearchOrderName(value, &out->spec.order)) {
+        status = Status::InvalidArgument("unknown search order '" + value +
+                                         "' (want dfs|random)");
+      }
+    } else if (key == "verify") {
+      status = ParseBoolField(key, value, &out->spec.verify);
+    } else if (key == "seed") {
+      status = ParseUint64Field(key, value, &out->spec.random_seed);
+    } else if (key == "limit") {
+      status = ParseUint64Field(key, value, &out->spec.limit);
+    } else if (key == "io_ms") {
+      status = ParseDoubleField(key, value, &out->spec.io_ms_per_fault);
+      if (status.ok() && out->spec.io_ms_per_fault < 0.0) {
+        status = Status::OutOfRange("field 'io_ms' must be non-negative");
+      }
+    } else {
+      status = Status::InvalidArgument("unknown key '" + key + "'");
+    }
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+std::string FormatRequestLine(const WireRequest& request) {
+  const WireRequest defaults;
+  std::string line = "QUERY";
+  if (request.env_name != defaults.env_name) {
+    line += " env=" + request.env_name;
+  }
+  if (request.spec.algorithm != defaults.spec.algorithm) {
+    line += std::string(" algo=") + AlgorithmWireName(request.spec.algorithm);
+  }
+  if (request.spec.order != defaults.spec.order) {
+    line += std::string(" order=") + SearchOrderWireName(request.spec.order);
+  }
+  if (request.spec.verify != defaults.spec.verify) {
+    line += request.spec.verify ? " verify=1" : " verify=0";
+  }
+  if (request.spec.random_seed != defaults.spec.random_seed) {
+    line += " seed=" + std::to_string(request.spec.random_seed);
+  }
+  if (request.spec.limit != defaults.spec.limit) {
+    line += " limit=" + std::to_string(request.spec.limit);
+  }
+  if (request.spec.io_ms_per_fault != defaults.spec.io_ms_per_fault) {
+    line += " io_ms=" + FormatDouble(request.spec.io_ms_per_fault);
+  }
+  return line;
+}
+
+std::string FormatPairLine(const RcjPair& pair) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer),
+                "PAIR %" PRId64 " %" PRId64 " %.17g %.17g %.17g %.17g",
+                pair.p.id, pair.q.id, pair.p.pt.x, pair.p.pt.y, pair.q.pt.x,
+                pair.q.pt.y);
+  return buffer;
+}
+
+Status ParsePairLine(const std::string& line, RcjPair* out) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.size() != 7 || tokens[0] != "PAIR") {
+    return Status::InvalidArgument(
+        "PAIR line wants 'PAIR p_id q_id x1 y1 x2 y2'");
+  }
+  PointRecord p;
+  PointRecord q;
+  for (int side = 0; side < 2; ++side) {
+    const std::string& id_token = tokens[1 + side];
+    errno = 0;
+    char* end = nullptr;
+    const long long id = std::strtoll(id_token.c_str(), &end, 10);
+    if (end != id_token.c_str() + id_token.size() || id_token.empty() ||
+        errno == ERANGE) {
+      return Status::InvalidArgument("bad point id '" + id_token + "'");
+    }
+    (side == 0 ? p : q).id = static_cast<PointId>(id);
+  }
+  double coords[4];
+  for (int i = 0; i < 4; ++i) {
+    const std::string& token = tokens[3 + i];
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || token.empty() ||
+        !std::isfinite(value)) {
+      return Status::InvalidArgument("bad coordinate '" + token + "'");
+    }
+    coords[i] = value;
+  }
+  p.pt = Point{coords[0], coords[1]};
+  q.pt = Point{coords[2], coords[3]};
+  *out = RcjPair::Make(p, q);
+  return Status::OK();
+}
+
+std::string FormatEndLine(const WireSummary& summary) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "END pairs=%llu candidates=%llu results=%llu "
+                "node_accesses=%llu faults=%llu io_s=%.17g cpu_s=%.17g",
+                static_cast<unsigned long long>(summary.pairs),
+                static_cast<unsigned long long>(summary.stats.candidates),
+                static_cast<unsigned long long>(summary.stats.results),
+                static_cast<unsigned long long>(summary.stats.node_accesses),
+                static_cast<unsigned long long>(summary.stats.page_faults),
+                summary.stats.io_seconds, summary.stats.cpu_seconds);
+  return buffer;
+}
+
+Status ParseEndLine(const std::string& line, WireSummary* out) {
+  *out = WireSummary{};
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty() || tokens[0] != "END") {
+    return Status::InvalidArgument("END line must start with END");
+  }
+  bool seen[7] = {};
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("END field '" + tokens[i] +
+                                     "' is not key=value");
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    Status status = Status::OK();
+    int slot = -1;
+    if (key == "pairs") {
+      slot = 0;
+      status = ParseUint64Field(key, value, &out->pairs);
+    } else if (key == "candidates") {
+      slot = 1;
+      status = ParseUint64Field(key, value, &out->stats.candidates);
+    } else if (key == "results") {
+      slot = 2;
+      status = ParseUint64Field(key, value, &out->stats.results);
+    } else if (key == "node_accesses") {
+      slot = 3;
+      status = ParseUint64Field(key, value, &out->stats.node_accesses);
+    } else if (key == "faults") {
+      slot = 4;
+      status = ParseUint64Field(key, value, &out->stats.page_faults);
+    } else if (key == "io_s") {
+      slot = 5;
+      status = ParseDoubleField(key, value, &out->stats.io_seconds);
+    } else if (key == "cpu_s") {
+      slot = 6;
+      status = ParseDoubleField(key, value, &out->stats.cpu_seconds);
+    } else {
+      return Status::InvalidArgument("unknown END key '" + key + "'");
+    }
+    if (!status.ok()) return status;
+    if (seen[slot]) {
+      return Status::InvalidArgument("duplicate END key '" + key + "'");
+    }
+    seen[slot] = true;
+  }
+  for (bool present : seen) {
+    if (!present) {
+      return Status::InvalidArgument("END line is missing fields");
+    }
+  }
+  return Status::OK();
+}
+
+std::string FormatErrLine(const Status& status) {
+  std::string line = "ERR ";
+  line += StatusCodeWireName(status.code());
+  if (!status.message().empty()) {
+    line += ' ';
+    // Keep the frame one line no matter what the message contains.
+    for (char c : status.message()) {
+      line += (c == '\n' || c == '\r') ? ' ' : c;
+    }
+  }
+  return line;
+}
+
+Status ParseErrLine(const std::string& line, Status* out) {
+  std::string trimmed = line;
+  while (!trimmed.empty() &&
+         (trimmed.back() == '\n' || trimmed.back() == '\r')) {
+    trimmed.pop_back();
+  }
+  if (trimmed.rfind("ERR ", 0) != 0) {
+    return Status::InvalidArgument("ERR line must start with 'ERR '");
+  }
+  const size_t token_begin = 4;
+  size_t token_end = trimmed.find(' ', token_begin);
+  if (token_end == std::string::npos) token_end = trimmed.size();
+  StatusCode code;
+  if (!ParseStatusCodeWireName(
+          trimmed.substr(token_begin, token_end - token_begin), &code)) {
+    return Status::InvalidArgument("unknown ERR code in '" + trimmed + "'");
+  }
+  std::string message;
+  if (token_end < trimmed.size()) message = trimmed.substr(token_end + 1);
+  *out = MakeStatus(code, std::move(message));
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace rcj

@@ -1,0 +1,100 @@
+// Wire format of the ringjoin network protocol.
+//
+// One connection carries one query: the client sends a single `QUERY` line
+// whose key=value fields mirror QuerySpec (same knobs, same validation),
+// and the server answers with an `OK` acknowledgement, a stream of `PAIR`
+// lines in the exact serial result order, and an `END` summary — or a
+// single `ERR` line when the request is malformed or the query fails. The
+// grammar is line-oriented ASCII so a netcat session is a valid client:
+//
+//   request  = "QUERY" *( SP key "=" value ) LF
+//   key      = "env" | "algo" | "order" | "verify" | "seed" | "limit"
+//            | "io_ms"
+//   ok       = "OK" LF
+//   pair     = "PAIR" SP p_id SP q_id SP x1 SP y1 SP x2 SP y2 LF
+//   end      = "END" SP "pairs=" N SP "candidates=" N SP "results=" N
+//              SP "node_accesses=" N SP "faults=" N SP "io_s=" F
+//              SP "cpu_s=" F LF
+//   err      = "ERR" SP code-token SP message LF
+//
+// A PAIR line carries the two matched points; the fair-middleman circle is
+// re-derived on the client (Circle::Enclosing is deterministic), so the
+// stream stays minimal. Coordinates travel as %.17g, which round-trips
+// IEEE doubles exactly.
+//
+// Parsing is strict — empty keys, duplicate keys, unknown keys, malformed
+// or out-of-range numbers and unknown algorithm/order names are rejected
+// with InvalidArgument — and shared: rcj_tool's flag parsing uses the same
+// name tables, so the CLI and the wire accept the same spellings.
+#ifndef RINGJOIN_NET_PROTOCOL_H_
+#define RINGJOIN_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/query_spec.h"
+#include "core/rcj_types.h"
+
+namespace rcj {
+namespace net {
+
+/// One parsed request: the per-query knobs plus the name of the server-side
+/// environment to bind (`spec.env` stays null until the server resolves
+/// the name against its registry).
+struct WireRequest {
+  std::string env_name = "default";
+  QuerySpec spec;
+};
+
+/// Final summary of one streamed query, sent as the END line.
+struct WireSummary {
+  uint64_t pairs = 0;  ///< PAIR lines actually delivered to this client.
+  JoinStats stats;     ///< paper-style counters of the executed portion.
+};
+
+/// Lowercase wire spellings of the algorithm / search-order enums. These
+/// are the single source of truth for every textual front end (wire + CLI).
+const char* AlgorithmWireName(RcjAlgorithm algorithm);
+bool ParseAlgorithmName(const std::string& name, RcjAlgorithm* algorithm);
+const char* SearchOrderWireName(SearchOrder order);
+bool ParseSearchOrderName(const std::string& name, SearchOrder* order);
+/// The wire's boolean spellings (0/1/true/false), shared with the CLI.
+bool ParseBoolName(const std::string& name, bool* value);
+/// Strict uint64 field parse (digits only): InvalidArgument on malformed
+/// text, OutOfRange past uint64. The validation the wire applies to
+/// seed/limit, exported so the CLI accepts exactly the same values.
+Status ParseUint64Field(const std::string& key, const std::string& value,
+                        uint64_t* out);
+/// Strict finite-double field parse — the wire's io_ms validation, shared
+/// with the CLI for the same reason.
+Status ParseDoubleField(const std::string& key, const std::string& value,
+                        double* out);
+
+/// Parses one request line into `*out` (which is reset to defaults first).
+/// Unknown, empty, or repeated keys and malformed values are
+/// InvalidArgument; the caller still owns QuerySpec::Validate() after
+/// binding the environment.
+Status ParseRequestLine(const std::string& line, WireRequest* out);
+
+/// Serializes a request; fields matching the defaults are omitted, so the
+/// minimal query is the bare line "QUERY".
+std::string FormatRequestLine(const WireRequest& request);
+
+std::string FormatPairLine(const RcjPair& pair);
+/// Rebuilds the pair — including its enclosing middleman circle — from a
+/// PAIR line.
+Status ParsePairLine(const std::string& line, RcjPair* out);
+
+std::string FormatEndLine(const WireSummary& summary);
+Status ParseEndLine(const std::string& line, WireSummary* out);
+
+std::string FormatErrLine(const Status& status);
+/// Reconstructs the transported error from an ERR line; a malformed ERR
+/// line is itself InvalidArgument.
+Status ParseErrLine(const std::string& line, Status* out);
+
+}  // namespace net
+}  // namespace rcj
+
+#endif  // RINGJOIN_NET_PROTOCOL_H_

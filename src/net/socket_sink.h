@@ -1,0 +1,81 @@
+// SocketSink — the PairSink that turns a connected TCP socket into a
+// streaming result channel.
+//
+// Every pair is serialized to one PAIR line and appended to a bounded
+// pending buffer that is drained with non-blocking sends, so a reading
+// client receives results incrementally while the join is still running.
+// Backpressure maps onto the engine's cancellation contract: when the
+// kernel send buffer is full and the pending buffer would exceed its bound
+// (after a short drain grace), or the peer disconnected, Emit() returns
+// false — exactly the signal a satisfied limit raises — and the engine
+// cancels the query's remaining work instead of joining for a client that
+// cannot or will not consume the stream.
+//
+// Threading: like every per-query sink, one thread drives Emit() at a time
+// (the engine serializes delivery per query). The connection thread only
+// calls SendLine()/Flush() before submitting and after the ticket resolved,
+// so no internal locking is needed.
+#ifndef RINGJOIN_NET_SOCKET_SINK_H_
+#define RINGJOIN_NET_SOCKET_SINK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/pair_sink.h"
+
+namespace rcj {
+
+struct SocketSinkOptions {
+  /// Bound of the userspace pending buffer (serialized-but-unsent bytes).
+  /// Overflowing it past the drain grace cancels the query.
+  size_t max_pending_bytes = 256 * 1024;
+  /// How long one Emit() may wait for the socket to become writable once
+  /// the pending buffer is full before declaring the consumer dead.
+  int drain_grace_ms = 2000;
+};
+
+class SocketSink final : public PairSink {
+ public:
+  /// Does not own `fd`; the caller closes it after the last Flush().
+  explicit SocketSink(int fd, SocketSinkOptions options = {});
+
+  /// Serializes and enqueues one PAIR line. Returns false — requesting
+  /// engine-side cancellation — once the peer is gone or the bounded
+  /// pending buffer cannot be drained.
+  bool Emit(const RcjPair& pair) override;
+
+  /// Enqueues one control frame (OK/END/ERR, without the newline). Returns
+  /// false when the sink is already dead.
+  bool SendLine(const std::string& line);
+
+  /// Blocks up to `timeout_ms` draining the pending buffer; true when every
+  /// queued byte reached the kernel.
+  bool Flush(int timeout_ms);
+
+  /// True once a send failed or the pending bound was overrun; no further
+  /// bytes will be accepted or sent.
+  bool dead() const { return dead_; }
+
+  /// PAIR lines accepted so far (the count an END summary reports).
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  bool Append(const std::string& line);
+  /// Sends as much pending data as the socket accepts right now.
+  void TryDrain();
+  /// Bytes enqueued but not yet handed to the kernel.
+  size_t pending_bytes() const { return pending_.size() - drained_; }
+
+  int fd_;
+  SocketSinkOptions options_;
+  std::string pending_;
+  /// Length of pending_'s already-sent prefix (compacted lazily).
+  size_t drained_ = 0;
+  bool dead_ = false;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_NET_SOCKET_SINK_H_

@@ -16,6 +16,25 @@ NullSink* SharedNullSink() {
   return &sink;
 }
 
+/// Forwards to the request's sink until the ticket's cancellation flag is
+/// raised, then returns false — which the engine treats exactly like a
+/// satisfied limit: remaining leaf-range tasks are cancelled and the query
+/// winds down with the prefix it already delivered.
+class CancellableSink final : public PairSink {
+ public:
+  CancellableSink(PairSink* inner, const std::atomic<bool>* cancelled)
+      : inner_(inner), cancelled_(cancelled) {}
+
+  bool Emit(const RcjPair& pair) override {
+    if (cancelled_->load(std::memory_order_relaxed)) return false;
+    return inner_->Emit(pair);
+  }
+
+ private:
+  PairSink* inner_;
+  const std::atomic<bool>* cancelled_;
+};
+
 }  // namespace
 
 Status QueryTicket::Wait() {
@@ -34,6 +53,11 @@ bool QueryTicket::TryGet(Status* status) {
 JoinStats QueryTicket::stats() const {
   std::lock_guard<std::mutex> lock(state_->mu);
   return state_->stats;
+}
+
+void QueryTicket::Cancel() {
+  if (state_ == nullptr) return;
+  state_->cancelled.store(true, std::memory_order_relaxed);
 }
 
 Service::Service(ServiceOptions options)
@@ -83,22 +107,54 @@ void Service::DispatcherLoop() {
       }
     }
 
-    std::vector<EngineQuery> batch(round.size());
+    // Requests cancelled while still queued never reach the engine; the
+    // rest run behind a cancellation-aware sink shim so a Cancel() during
+    // the join stops pair delivery like a satisfied limit. The shims live
+    // on this frame: sinks are only driven from inside RunBatch.
+    std::vector<EngineQuery> batch;
+    std::vector<CancellableSink> shims;
+    std::vector<size_t> batch_to_round;
+    batch.reserve(round.size());
+    shims.reserve(round.size());
     for (size_t i = 0; i < round.size(); ++i) {
-      batch[i].spec = round[i].spec;
-      batch[i].sink = round[i].sink;
+      if (round[i].state->cancelled.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      shims.emplace_back(round[i].sink, &round[i].state->cancelled);
+      EngineQuery query;
+      query.spec = round[i].spec;
+      // The engine also watches the flag between leaf-range tasks, so a
+      // cancelled query that emits no pairs still stops early.
+      query.cancel = &round[i].state->cancelled;
+      batch.push_back(query);
+      batch_to_round.push_back(i);
     }
+    for (size_t i = 0; i < batch.size(); ++i) batch[i].sink = &shims[i];
     // Pairs stream to the request sinks from inside this call, as the
     // engine's leaf-range tasks complete — completion of RunBatch only
     // settles statuses and stats.
     const std::vector<EngineQueryResult> results = engine_.RunBatch(batch);
 
+    std::vector<Status> statuses(round.size(),
+                                 Status::Cancelled("cancelled before run"));
+    std::vector<JoinStats> stats(round.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      statuses[batch_to_round[i]] = results[i].status;
+      stats[batch_to_round[i]] = results[i].run.stats;
+    }
     for (size_t i = 0; i < round.size(); ++i) {
       QueryTicket::State* state = round[i].state.get();
+      // A cancel that lands mid-join leaves the engine status OK (early
+      // termination is not an engine error); surface it as Cancelled so
+      // the submitter can tell a dropped stream from a completed one.
+      if (state->cancelled.load(std::memory_order_relaxed) &&
+          statuses[i].ok()) {
+        statuses[i] = Status::Cancelled("cancelled during run");
+      }
       {
         std::lock_guard<std::mutex> lock(state->mu);
-        state->status = results[i].status;
-        state->stats = results[i].run.stats;
+        state->status = statuses[i];
+        state->stats = stats[i];
         state->done = true;
       }
       state->cv.notify_all();

@@ -18,6 +18,7 @@
 #ifndef RINGJOIN_SERVICE_SERVICE_H_
 #define RINGJOIN_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -65,6 +66,15 @@ class QueryTicket {
   /// returned true.
   JoinStats stats() const;
 
+  /// Requests cooperative cancellation — the hook a network front end pulls
+  /// when its client drops mid-stream. A still-queued query resolves as
+  /// Cancelled without running; an in-flight query stops at its next pair
+  /// delivery (the engine's limit-style cancellation) and its ticket
+  /// resolves as Cancelled. Queries that already finished are unaffected.
+  /// Safe to call from any thread, any number of times; a no-op on an
+  /// invalid ticket.
+  void Cancel();
+
  private:
   friend class Service;
   struct State {
@@ -73,6 +83,7 @@ class QueryTicket {
     bool done = false;
     Status status;
     JoinStats stats;
+    std::atomic<bool> cancelled{false};
   };
 
   explicit QueryTicket(std::shared_ptr<State> state)

@@ -54,6 +54,44 @@ void ExpectSameSequence(const std::vector<RcjPair>& streamed,
   }
 }
 
+TEST(EngineTest, ExternalCancelFlagSkipsWorkWithoutAnyPairDelivered) {
+  // The cancel flag must be honored at leaf-range-task boundaries, not
+  // only inside pair delivery — otherwise a query that never emits a pair
+  // (or whose caller vanished before the first one) runs to completion.
+  const std::vector<PointRecord> qset = GenerateUniform(2500, 17);
+  const std::vector<PointRecord> pset = GenerateUniform(2500, 18);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, RcjRunOptions{});
+  ASSERT_TRUE(env.ok());
+
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  Engine engine(engine_options);
+
+  std::atomic<bool> cancelled{true};  // cancelled before the batch starts
+  std::vector<RcjPair> cancelled_pairs;
+  VectorSink cancelled_sink(&cancelled_pairs);
+  std::vector<RcjPair> live_pairs;
+  VectorSink live_sink(&live_pairs);
+
+  std::vector<EngineQuery> batch(2);
+  batch[0].spec = QuerySpec::For(env.value().get());
+  batch[0].sink = &cancelled_sink;
+  batch[0].cancel = &cancelled;
+  batch[1].spec = QuerySpec::For(env.value().get());
+  batch[1].sink = &live_sink;  // no cancel flag: runs in full
+
+  const std::vector<EngineQueryResult> results = engine.RunBatch(batch);
+  ASSERT_TRUE(results[0].status.ok());
+  ASSERT_TRUE(results[1].status.ok());
+
+  EXPECT_TRUE(cancelled_pairs.empty())
+      << "a pre-cancelled query must not deliver pairs";
+  EXPECT_EQ(results[0].run.stats.node_accesses, 0u)
+      << "every leaf-range task must be skipped, not run and discarded";
+  EXPECT_GT(live_pairs.size(), 0u) << "batchmates are unaffected";
+}
+
 TEST(EngineTest, ParallelBatchMatchesSerialRunPairForPair) {
   const std::vector<PointRecord> qset = GenerateUniform(4000, 11);
   const std::vector<PointRecord> pset = GenerateUniform(4000, 12);

@@ -1,0 +1,394 @@
+// In-process loopback end-to-end tests for rcj::NetServer: the wire must
+// carry exactly the engine's serial result stream to every concurrent
+// connection, malformed requests must be rejected without taking the
+// server down, and a client that disappears mid-stream must cancel its
+// query instead of stalling the service for everyone else.
+#include "net/net_server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rcj.h"
+#include "net/protocol.h"
+#include "workload/generator.h"
+
+namespace rcj {
+namespace {
+
+std::unique_ptr<RcjEnvironment> BuildEnv(size_t n, uint64_t seed) {
+  const std::vector<PointRecord> qset = GenerateUniform(n, seed);
+  const std::vector<PointRecord> pset = GenerateUniform(n + 100, seed + 1);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, RcjRunOptions{});
+  EXPECT_TRUE(env.ok());
+  return std::move(env).value();
+}
+
+int ConnectLoopback(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent_total = 0;
+  while (sent_total < data.size()) {
+    const ssize_t sent = send(fd, data.data() + sent_total,
+                              data.size() - sent_total, MSG_NOSIGNAL);
+    ASSERT_GT(sent, 0) << std::strerror(errno);
+    sent_total += static_cast<size_t>(sent);
+  }
+}
+
+/// Everything one connection received, parsed frame by frame.
+struct Response {
+  bool saw_ok = false;
+  bool saw_end = false;
+  std::vector<RcjPair> pairs;
+  net::WireSummary summary;
+  Status error;       // the ERR frame, when one arrived
+  bool saw_err = false;
+  bool clean = true;  // no unparseable frames
+};
+
+/// Blocking-reads the full response until END/ERR/EOF. `stop_after_pairs`
+/// simulates a client that walks away mid-stream: after that many PAIR
+/// lines the function returns early (the caller then closes the socket).
+Response ReadResponse(int fd, size_t stop_after_pairs = 0) {
+  Response response;
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      RcjPair pair;
+      if (!response.saw_ok) {
+        if (line == "OK") {
+          response.saw_ok = true;
+        } else if (net::ParseErrLine(line, &response.error).ok()) {
+          response.saw_err = true;
+          return response;
+        } else {
+          response.clean = false;
+          return response;
+        }
+      } else if (net::ParsePairLine(line, &pair).ok()) {
+        response.pairs.push_back(pair);
+        if (stop_after_pairs != 0 &&
+            response.pairs.size() >= stop_after_pairs) {
+          return response;
+        }
+      } else if (net::ParseEndLine(line, &response.summary).ok()) {
+        response.saw_end = true;
+        return response;
+      } else if (net::ParseErrLine(line, &response.error).ok()) {
+        response.saw_err = true;
+        return response;
+      } else {
+        response.clean = false;
+        return response;
+      }
+    }
+    const ssize_t got = recv(fd, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) return response;  // EOF before END
+    buffer.append(chunk, static_cast<size_t>(got));
+  }
+}
+
+Response RunQuery(uint16_t port, const std::string& request_line) {
+  const int fd = ConnectLoopback(port);
+  SendAll(fd, request_line + "\n");
+  Response response = ReadResponse(fd);
+  close(fd);
+  return response;
+}
+
+void ExpectSamePairs(const std::vector<RcjPair>& got,
+                     const std::vector<RcjPair>& want, const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].p.id, want[i].p.id) << label << " at " << i;
+    ASSERT_EQ(got[i].q.id, want[i].q.id) << label << " at " << i;
+    // The wire carries raw coordinates; the reconstructed middleman circle
+    // must be bit-identical to the engine's.
+    ASSERT_EQ(got[i].circle.center, want[i].circle.center)
+        << label << " at " << i;
+    ASSERT_EQ(got[i].circle.radius2, want[i].circle.radius2)
+        << label << " at " << i;
+  }
+}
+
+TEST(NetServerTest, EightConcurrentConnectionsMatchRunBatch) {
+  std::unique_ptr<RcjEnvironment> env_a = BuildEnv(1200, 401);
+  std::unique_ptr<RcjEnvironment> env_b = BuildEnv(900, 411);
+
+  ServiceOptions service_options;
+  service_options.engine.num_threads = 4;
+  Service service(service_options);
+  NetServer server(&service, {{"default", env_a.get()}, {"b", env_b.get()}});
+  ASSERT_TRUE(server.Start().ok());
+
+  // The same eight specs the connections will ask for, run straight
+  // through the engine as the ground truth.
+  struct Case {
+    std::string request;
+    EngineQuery query;
+  };
+  const RcjAlgorithm algorithms[] = {RcjAlgorithm::kObj, RcjAlgorithm::kInj,
+                                     RcjAlgorithm::kBij,
+                                     RcjAlgorithm::kBrute};
+  std::vector<Case> cases(8);
+  std::vector<std::vector<RcjPair>> expected(cases.size());
+  std::vector<std::unique_ptr<VectorSink>> expected_sinks;
+  for (size_t i = 0; i < cases.size(); ++i) {
+    RcjEnvironment* env = i % 2 == 0 ? env_a.get() : env_b.get();
+    net::WireRequest request;
+    request.env_name = i % 2 == 0 ? "default" : "b";
+    request.spec.algorithm = algorithms[i % 4];
+    if (i == 5) request.spec.limit = 17;  // one top-k caller in the mix
+    cases[i].request = net::FormatRequestLine(request);
+    cases[i].query.spec = request.spec;
+    cases[i].query.spec.env = env;
+    expected_sinks.push_back(std::make_unique<VectorSink>(&expected[i]));
+    cases[i].query.sink = expected_sinks.back().get();
+  }
+  {
+    Engine engine;  // fresh engine: the service's stays untouched
+    std::vector<EngineQuery> queries;
+    for (const Case& c : cases) queries.push_back(c.query);
+    for (const EngineQueryResult& result : engine.RunBatch(queries)) {
+      ASSERT_TRUE(result.status.ok());
+    }
+  }
+
+  std::vector<Response> responses(cases.size());
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < cases.size(); ++i) {
+    clients.emplace_back([&, i] {
+      responses[i] = RunQuery(server.port(), cases[i].request);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (size_t i = 0; i < cases.size(); ++i) {
+    ASSERT_TRUE(responses[i].saw_ok) << "connection " << i;
+    ASSERT_TRUE(responses[i].saw_end) << "connection " << i;
+    ASSERT_TRUE(responses[i].clean) << "connection " << i;
+    ExpectSamePairs(responses[i].pairs, expected[i],
+                    ("connection " + std::to_string(i)).c_str());
+    EXPECT_EQ(responses[i].summary.pairs, expected[i].size());
+  }
+
+  server.Stop();
+  const NetServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.connections, cases.size());
+  EXPECT_EQ(counters.ok, cases.size());
+  EXPECT_EQ(counters.cancelled, 0u);
+  EXPECT_EQ(counters.rejected, 0u);
+}
+
+TEST(NetServerTest, MalformedRequestsGetErrAndServerSurvives) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(500, 421);
+  Service service(ServiceOptions{});
+  NetServer server(&service, {{"default", env.get()}});
+  ASSERT_TRUE(server.Start().ok());
+
+  const struct {
+    const char* request;
+    StatusCode want_code;
+  } kBadRequests[] = {
+      {"HELLO", StatusCode::kInvalidArgument},
+      {"QUERY algo=quantum", StatusCode::kInvalidArgument},
+      {"QUERY algo=obj algo=obj", StatusCode::kInvalidArgument},
+      {"QUERY =1", StatusCode::kInvalidArgument},
+      {"QUERY limit=18446744073709551616", StatusCode::kOutOfRange},
+      {"QUERY env=nosuch", StatusCode::kNotFound},
+  };
+  for (const auto& bad : kBadRequests) {
+    const Response response = RunQuery(server.port(), bad.request);
+    EXPECT_FALSE(response.saw_ok) << bad.request;
+    ASSERT_TRUE(response.saw_err) << bad.request;
+    EXPECT_EQ(response.error.code(), bad.want_code) << bad.request;
+  }
+
+  // The server is unharmed: a valid query still streams a full result.
+  const Response good = RunQuery(server.port(), "QUERY algo=obj");
+  ASSERT_TRUE(good.saw_ok);
+  ASSERT_TRUE(good.saw_end);
+  EXPECT_GT(good.pairs.size(), 0u);
+
+  server.Stop();
+  const NetServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.rejected,
+            sizeof(kBadRequests) / sizeof(kBadRequests[0]));
+  EXPECT_EQ(counters.ok, 1u);
+}
+
+TEST(NetServerTest, HalfClosedClientStillReceivesFullStream) {
+  // netcat-style clients send FIN right after the request line while they
+  // keep reading. EOF on the server's read side must mean "done sending",
+  // not "gone": the full stream and the END summary still arrive.
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(800, 471);
+  Service service(ServiceOptions{});
+  NetServer server(&service, {{"default", env.get()}});
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = ConnectLoopback(server.port());
+  SendAll(fd, "QUERY algo=obj\n");
+  shutdown(fd, SHUT_WR);
+  const Response response = ReadResponse(fd);
+  close(fd);
+
+  ASSERT_TRUE(response.saw_ok);
+  ASSERT_TRUE(response.saw_end);
+  EXPECT_GT(response.pairs.size(), 0u);
+  EXPECT_EQ(response.summary.pairs, response.pairs.size());
+
+  server.Stop();
+  const NetServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.ok, 1u);
+  EXPECT_EQ(counters.cancelled, 0u);
+}
+
+TEST(NetServerTest, MidStreamDisconnectCancelsWithoutStallingOthers) {
+  // Big enough that the full join streams for a while.
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(4000, 431);
+
+  ServiceOptions service_options;
+  service_options.engine.num_threads = 4;
+  Service service(service_options);
+  NetServerOptions server_options;
+  // Tiny socket + pending budgets so an unread stream backs up after a
+  // handful of pairs instead of after megabytes.
+  server_options.send_buffer_bytes = 4096;
+  server_options.sink.max_pending_bytes = 16 * 1024;
+  server_options.sink.drain_grace_ms = 300;
+  NetServer server(&service, {{"default", env.get()}}, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A well-behaved reader runs concurrently and must come out whole.
+  Response survivor;
+  std::thread survivor_thread([&] {
+    survivor = RunQuery(server.port(), "QUERY algo=obj");
+  });
+
+  // The deserter reads three pairs, then slams the connection shut.
+  const int fd = ConnectLoopback(server.port());
+  SendAll(fd, "QUERY algo=obj\n");
+  const Response partial = ReadResponse(fd, 3);
+  ASSERT_TRUE(partial.saw_ok);
+  ASSERT_EQ(partial.pairs.size(), 3u);
+  ASSERT_FALSE(partial.saw_end);
+  close(fd);
+
+  survivor_thread.join();
+  ASSERT_TRUE(survivor.saw_ok);
+  ASSERT_TRUE(survivor.saw_end);
+  EXPECT_GT(survivor.pairs.size(), 0u);
+
+  // The deserted query must resolve as a cancellation (not hang, not count
+  // as success). Stop() below would deadlock the test if the connection
+  // thread were stalled on the dead socket.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.counters().cancelled == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server.Stop();
+  const NetServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.cancelled, 1u);
+  EXPECT_EQ(counters.ok, 1u);
+  EXPECT_EQ(counters.failed, 0u);
+}
+
+TEST(NetServerTest, SlowConsumerIsCancelledByBackpressure) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(4000, 441);
+  Service service(ServiceOptions{});
+  NetServerOptions server_options;
+  server_options.send_buffer_bytes = 4096;
+  server_options.sink.max_pending_bytes = 8 * 1024;
+  server_options.sink.drain_grace_ms = 100;
+  NetServer server(&service, {{"default", env.get()}}, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Connect, ask for the full join, then never read: the bounded queue
+  // must overflow and cancel the query rather than buffer it all.
+  const int fd = ConnectLoopback(server.port());
+  SendAll(fd, "QUERY algo=obj\n");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.counters().cancelled == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.counters().cancelled, 1u);
+  close(fd);
+  server.Stop();
+}
+
+TEST(NetServerTest, LimitQueryStreamsExactPrefixOverTheWire) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(1500, 451);
+  const Result<RcjRunResult> full = env->Run(QuerySpec::For(env.get()));
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full.value().pairs.size(), 9u);
+
+  Service service(ServiceOptions{});
+  NetServer server(&service, {{"default", env.get()}});
+  ASSERT_TRUE(server.Start().ok());
+
+  const Response response = RunQuery(server.port(), "QUERY limit=9");
+  ASSERT_TRUE(response.saw_end);
+  ExpectSamePairs(response.pairs,
+                  {full.value().pairs.begin(), full.value().pairs.begin() + 9},
+                  "top-9 prefix");
+  EXPECT_EQ(response.summary.pairs, 9u);
+  EXPECT_LT(response.summary.stats.candidates,
+            full.value().stats.candidates)
+      << "the wire limit must cancel remaining work server-side";
+  server.Stop();
+}
+
+TEST(NetServerTest, StopWithIdleConnectionDoesNotHang) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(400, 461);
+  Service service(ServiceOptions{});
+  NetServerOptions server_options;
+  server_options.request_timeout_ms = 60 * 1000;  // Stop must not wait this
+  NetServer server(&service, {{"default", env.get()}}, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A connection that never sends its request line.
+  const int fd = ConnectLoopback(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.Stop();  // must unblock the reader and return promptly
+  close(fd);
+  const NetServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.connections, 1u);
+  EXPECT_EQ(counters.ok, 0u);
+}
+
+}  // namespace
+}  // namespace rcj

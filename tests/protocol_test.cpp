@@ -1,0 +1,285 @@
+// Wire-format tests: the protocol parser must accept exactly what
+// QuerySpec::Validate() accepts (one shared vocabulary with the CLI), be
+// strict about malformed framing, and round-trip every frame it formats —
+// PAIR lines must reconstruct the identical doubles, since clients rebuild
+// the middleman circle from them.
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "core/rcj.h"
+#include "workload/generator.h"
+
+namespace rcj {
+namespace net {
+namespace {
+
+TEST(ProtocolRequestTest, BareQueryYieldsDefaults) {
+  WireRequest request;
+  ASSERT_TRUE(ParseRequestLine("QUERY", &request).ok());
+  EXPECT_EQ(request.env_name, "default");
+  EXPECT_EQ(request.spec.algorithm, RcjAlgorithm::kObj);
+  EXPECT_EQ(request.spec.order, SearchOrder::kDepthFirst);
+  EXPECT_TRUE(request.spec.verify);
+  EXPECT_EQ(request.spec.random_seed, 42u);
+  EXPECT_EQ(request.spec.limit, 0u);
+  EXPECT_EQ(request.spec.io_ms_per_fault, 10.0);
+}
+
+TEST(ProtocolRequestTest, AllFieldsParse) {
+  WireRequest request;
+  ASSERT_TRUE(ParseRequestLine("QUERY env=hubs algo=inj order=random "
+                               "verify=0 seed=7 limit=25 io_ms=2.5",
+                               &request)
+                  .ok());
+  EXPECT_EQ(request.env_name, "hubs");
+  EXPECT_EQ(request.spec.algorithm, RcjAlgorithm::kInj);
+  EXPECT_EQ(request.spec.order, SearchOrder::kRandom);
+  EXPECT_FALSE(request.spec.verify);
+  EXPECT_EQ(request.spec.random_seed, 7u);
+  EXPECT_EQ(request.spec.limit, 25u);
+  EXPECT_EQ(request.spec.io_ms_per_fault, 2.5);
+}
+
+TEST(ProtocolRequestTest, ToleratesCrlfAndExtraWhitespace) {
+  WireRequest request;
+  ASSERT_TRUE(
+      ParseRequestLine("QUERY   algo=bij \t limit=3\r\n", &request).ok());
+  EXPECT_EQ(request.spec.algorithm, RcjAlgorithm::kBij);
+  EXPECT_EQ(request.spec.limit, 3u);
+}
+
+TEST(ProtocolRequestTest, RejectsMissingVerb) {
+  WireRequest request;
+  EXPECT_EQ(ParseRequestLine("", &request).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequestLine("query algo=obj", &request).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequestLine("HELLO", &request).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolRequestTest, RejectsEmptyAndDuplicateKeys) {
+  WireRequest request;
+  const Status empty = ParseRequestLine("QUERY =obj", &request);
+  EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(empty.message().find("empty key"), std::string::npos);
+
+  const Status duplicate =
+      ParseRequestLine("QUERY algo=obj algo=inj", &request);
+  EXPECT_EQ(duplicate.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(duplicate.message().find("duplicate key"), std::string::npos);
+
+  EXPECT_EQ(ParseRequestLine("QUERY algo", &request).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolRequestTest, RejectsUnknownKeysAndAlgorithms) {
+  WireRequest request;
+  EXPECT_EQ(ParseRequestLine("QUERY turbo=1", &request).code(),
+            StatusCode::kInvalidArgument);
+  const Status algorithm = ParseRequestLine("QUERY algo=quantum", &request);
+  EXPECT_EQ(algorithm.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(algorithm.message().find("quantum"), std::string::npos);
+  EXPECT_EQ(ParseRequestLine("QUERY order=sideways", &request).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequestLine("QUERY verify=maybe", &request).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequestLine("QUERY env=no/slashes", &request).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolRequestTest, RejectsMalformedAndOutOfRangeNumbers) {
+  WireRequest request;
+  EXPECT_EQ(ParseRequestLine("QUERY limit=-1", &request).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequestLine("QUERY limit=ten", &request).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequestLine("QUERY limit=", &request).code(),
+            StatusCode::kInvalidArgument);
+  // 2^64 overflows uint64 by one: the wire rejects what the struct field
+  // cannot represent.
+  EXPECT_EQ(
+      ParseRequestLine("QUERY limit=18446744073709551616", &request).code(),
+      StatusCode::kOutOfRange);
+  EXPECT_EQ(
+      ParseRequestLine("QUERY seed=99999999999999999999999", &request).code(),
+      StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseRequestLine("QUERY io_ms=nan", &request).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequestLine("QUERY io_ms=inf", &request).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequestLine("QUERY io_ms=-1", &request).code(),
+            StatusCode::kOutOfRange);
+}
+
+// The contract with the execution layer: anything the parser lets through
+// passes QuerySpec::Validate() once an environment is bound — the server
+// can never accept a request the engine then rejects as malformed.
+TEST(ProtocolRequestTest, ParsedRequestsValidateOnceBound) {
+  const std::vector<PointRecord> qset = GenerateUniform(400, 91);
+  const std::vector<PointRecord> pset = GenerateUniform(500, 92);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, RcjRunOptions{});
+  ASSERT_TRUE(env.ok());
+
+  for (const char* line :
+       {"QUERY", "QUERY algo=brute", "QUERY algo=inj order=random seed=1",
+        "QUERY algo=bij verify=0", "QUERY algo=obj limit=10 io_ms=0",
+        "QUERY limit=18446744073709551615"}) {
+    WireRequest request;
+    ASSERT_TRUE(ParseRequestLine(line, &request).ok()) << line;
+    request.spec.env = env.value().get();
+    EXPECT_TRUE(request.spec.Validate().ok()) << line;
+  }
+
+  // Unbound requests still fail Validate — binding is the server's job.
+  WireRequest unbound;
+  ASSERT_TRUE(ParseRequestLine("QUERY", &unbound).ok());
+  EXPECT_EQ(unbound.spec.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolRequestTest, FormatParseRoundTrip) {
+  WireRequest request;
+  request.env_name = "hubs";
+  request.spec.algorithm = RcjAlgorithm::kBrute;
+  request.spec.order = SearchOrder::kRandom;
+  request.spec.verify = false;
+  request.spec.random_seed = 1234567;
+  request.spec.limit = 99;
+  request.spec.io_ms_per_fault = 0.125;
+
+  WireRequest reparsed;
+  ASSERT_TRUE(
+      ParseRequestLine(FormatRequestLine(request), &reparsed).ok());
+  EXPECT_EQ(reparsed.env_name, request.env_name);
+  EXPECT_EQ(reparsed.spec.algorithm, request.spec.algorithm);
+  EXPECT_EQ(reparsed.spec.order, request.spec.order);
+  EXPECT_EQ(reparsed.spec.verify, request.spec.verify);
+  EXPECT_EQ(reparsed.spec.random_seed, request.spec.random_seed);
+  EXPECT_EQ(reparsed.spec.limit, request.spec.limit);
+  EXPECT_EQ(reparsed.spec.io_ms_per_fault, request.spec.io_ms_per_fault);
+
+  EXPECT_EQ(FormatRequestLine(WireRequest{}), "QUERY");
+}
+
+TEST(ProtocolNameTest, WireNamesRoundTripAndMatchCli) {
+  for (RcjAlgorithm algorithm : {RcjAlgorithm::kBrute, RcjAlgorithm::kInj,
+                                 RcjAlgorithm::kBij, RcjAlgorithm::kObj}) {
+    RcjAlgorithm parsed;
+    ASSERT_TRUE(ParseAlgorithmName(AlgorithmWireName(algorithm), &parsed));
+    EXPECT_EQ(parsed, algorithm);
+  }
+  for (SearchOrder order : {SearchOrder::kDepthFirst, SearchOrder::kRandom}) {
+    SearchOrder parsed;
+    ASSERT_TRUE(ParseSearchOrderName(SearchOrderWireName(order), &parsed));
+    EXPECT_EQ(parsed, order);
+  }
+  RcjAlgorithm ignored;
+  EXPECT_FALSE(ParseAlgorithmName("OBJ", &ignored));  // case-sensitive
+  EXPECT_FALSE(ParseAlgorithmName("", &ignored));
+
+  bool value = false;
+  EXPECT_TRUE(ParseBoolName("1", &value) && value);
+  EXPECT_TRUE(ParseBoolName("true", &value) && value);
+  EXPECT_TRUE(ParseBoolName("0", &value) && !value);
+  EXPECT_TRUE(ParseBoolName("false", &value) && !value);
+  EXPECT_FALSE(ParseBoolName("yes", &value));
+  EXPECT_FALSE(ParseBoolName("", &value));
+}
+
+TEST(ProtocolPairTest, RoundTripsExactDoublesAndRebuildsCircle) {
+  PointRecord p{Point{123.456789012345678, -0.0000001}, 17};
+  PointRecord q{Point{1e300, 2.0 / 3.0}, -3};
+  const RcjPair original = RcjPair::Make(p, q);
+
+  RcjPair reparsed;
+  ASSERT_TRUE(ParsePairLine(FormatPairLine(original), &reparsed).ok());
+  EXPECT_EQ(reparsed.p.id, original.p.id);
+  EXPECT_EQ(reparsed.q.id, original.q.id);
+  EXPECT_EQ(reparsed.p.pt, original.p.pt);  // %.17g is exact for doubles
+  EXPECT_EQ(reparsed.q.pt, original.q.pt);
+  EXPECT_EQ(reparsed.circle.center, original.circle.center);
+  EXPECT_EQ(reparsed.circle.radius2, original.circle.radius2);
+}
+
+TEST(ProtocolPairTest, RejectsMalformedPairLines) {
+  RcjPair pair;
+  EXPECT_FALSE(ParsePairLine("PAIR 1 2 3 4 5", &pair).ok());  // short
+  EXPECT_FALSE(ParsePairLine("PAIR 1 2 3 4 5 6 7", &pair).ok());  // long
+  EXPECT_FALSE(ParsePairLine("PAIR x 2 3 4 5 6", &pair).ok());
+  EXPECT_FALSE(ParsePairLine("PAIR 1 2 3 4 5 nan", &pair).ok());
+  EXPECT_FALSE(ParsePairLine("pair 1 2 3 4 5 6", &pair).ok());
+}
+
+TEST(ProtocolEndTest, RoundTripsSummary) {
+  WireSummary summary;
+  summary.pairs = 42;
+  summary.stats.candidates = 100;
+  summary.stats.results = 42;
+  summary.stats.node_accesses = 77;
+  summary.stats.page_faults = 13;
+  summary.stats.io_seconds = 0.13;
+  summary.stats.cpu_seconds = 0.0075;
+
+  WireSummary reparsed;
+  ASSERT_TRUE(ParseEndLine(FormatEndLine(summary), &reparsed).ok());
+  EXPECT_EQ(reparsed.pairs, summary.pairs);
+  EXPECT_EQ(reparsed.stats.candidates, summary.stats.candidates);
+  EXPECT_EQ(reparsed.stats.results, summary.stats.results);
+  EXPECT_EQ(reparsed.stats.node_accesses, summary.stats.node_accesses);
+  EXPECT_EQ(reparsed.stats.page_faults, summary.stats.page_faults);
+  EXPECT_EQ(reparsed.stats.io_seconds, summary.stats.io_seconds);
+  EXPECT_EQ(reparsed.stats.cpu_seconds, summary.stats.cpu_seconds);
+}
+
+TEST(ProtocolEndTest, RejectsIncompleteOrDuplicateSummaries) {
+  WireSummary summary;
+  EXPECT_FALSE(ParseEndLine("END pairs=1", &summary).ok());
+  EXPECT_FALSE(ParseEndLine("OK", &summary).ok());
+  EXPECT_FALSE(
+      ParseEndLine("END pairs=1 pairs=2 candidates=0 results=0 "
+                   "node_accesses=0 faults=0 io_s=0 cpu_s=0",
+                   &summary)
+          .ok());
+  EXPECT_FALSE(
+      ParseEndLine("END pairs=1 candidates=0 results=0 node_accesses=0 "
+                   "faults=0 io_s=0 cpu_s=0 bonus=1",
+                   &summary)
+          .ok());
+}
+
+TEST(ProtocolErrTest, RoundTripsEveryStatusCode) {
+  for (const Status& original :
+       {Status::InvalidArgument("duplicate key 'algo'"),
+        Status::NotFound("unknown environment 'x'"),
+        Status::IoError("recv: reset"), Status::Corruption("bad page"),
+        Status::NotSupported("nope"), Status::OutOfRange("limit"),
+        Status::Cancelled("client dropped")}) {
+    Status reparsed;
+    ASSERT_TRUE(ParseErrLine(FormatErrLine(original), &reparsed).ok())
+        << original.ToString();
+    EXPECT_EQ(reparsed, original);
+  }
+  Status ignored;
+  EXPECT_FALSE(ParseErrLine("ERR", &ignored).ok());
+  EXPECT_FALSE(ParseErrLine("ERR Bogus message", &ignored).ok());
+  EXPECT_FALSE(ParseErrLine("OK", &ignored).ok());
+}
+
+TEST(ProtocolErrTest, MultiLineMessagesStayOneFrame) {
+  const std::string line =
+      FormatErrLine(Status::InvalidArgument("line one\nline two"));
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  Status reparsed;
+  ASSERT_TRUE(ParseErrLine(line, &reparsed).ok());
+  EXPECT_EQ(reparsed.message(), "line one line two");
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace rcj

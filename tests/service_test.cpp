@@ -209,6 +209,105 @@ TEST(ServiceTest, TryGetAndStatsOnNullSinkProbe) {
   EXPECT_GT(ticket.stats().node_accesses, 0u);
 }
 
+TEST(ServiceTest, CancelWhileQueuedSkipsExecution) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(900, 371);
+
+  // Gate the first query's sink so everything behind it stays queued.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  CallbackSink gate_sink([&](const RcjPair&) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    return true;
+  });
+
+  ServiceOptions options;
+  options.max_batch_size = 1;  // one query per dispatch round
+  Service service(options);
+
+  QueryTicket gate = service.Submit(QuerySpec::For(env.get()), &gate_sink);
+  std::vector<RcjPair> pairs;
+  VectorSink sink(&pairs);
+  QueryTicket queued = service.Submit(QuerySpec::For(env.get()), &sink);
+  queued.Cancel();
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+
+  EXPECT_TRUE(gate.Wait().ok());
+  const Status cancelled = queued.Wait();
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(pairs.empty()) << "a queued cancel must never run the join";
+  EXPECT_EQ(queued.stats().node_accesses, 0u);
+}
+
+TEST(ServiceTest, CancelMidFlightStopsDeliveryLikeALimit) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(2500, 381);
+  const Result<RcjRunResult> full = env->Run(QuerySpec::For(env.get()));
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full.value().pairs.size(), 8u);
+
+  ServiceOptions options;
+  options.engine.num_threads = 4;
+  Service service(options);
+
+  // The cancellation hook is pulled after the 5th delivered pair — the
+  // same moment a network front end notices its client dropped. The sink
+  // waits for the ticket handoff so Cancel() never races Submit()'s
+  // return value.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool have_ticket = false;
+  QueryTicket ticket;
+  uint64_t delivered = 0;
+  CallbackSink sink([&](const RcjPair&) {
+    if (++delivered == 5) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return have_ticket; });
+      ticket.Cancel();
+    }
+    return true;
+  });
+  {
+    QueryTicket submitted = service.Submit(QuerySpec::For(env.get()), &sink);
+    std::lock_guard<std::mutex> lock(mu);
+    ticket = submitted;
+    have_ticket = true;
+  }
+  cv.notify_all();
+
+  const Status status = ticket.Wait();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_LT(delivered, full.value().pairs.size())
+      << "cancel must stop the stream early";
+  EXPECT_LT(ticket.stats().candidates, full.value().stats.candidates)
+      << "cancel must abandon remaining work, not filter a full join";
+}
+
+TEST(ServiceTest, CancelAfterCompletionIsANoOp) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(500, 391);
+  Service service(ServiceOptions{});
+
+  std::vector<RcjPair> pairs;
+  VectorSink sink(&pairs);
+  QueryTicket ticket = service.Submit(QuerySpec::For(env.get()), &sink);
+  ASSERT_TRUE(ticket.Wait().ok());
+  const size_t delivered = pairs.size();
+
+  ticket.Cancel();  // already done: must change nothing
+  Status status;
+  ASSERT_TRUE(ticket.TryGet(&status));
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(pairs.size(), delivered);
+
+  QueryTicket invalid;
+  invalid.Cancel();  // no-op on an invalid ticket, not a crash
+}
+
 TEST(ServiceTest, DestructorDrainsSubmittedWork) {
   std::unique_ptr<RcjEnvironment> env = BuildEnv(700, 361);
 

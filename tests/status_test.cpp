@@ -22,7 +22,13 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
   EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
   EXPECT_EQ(Status::IoError("disk on fire").message(), "disk on fire");
+}
+
+TEST(StatusTest, CancelledToString) {
+  EXPECT_EQ(Status::Cancelled("client dropped").ToString(),
+            "Cancelled: client dropped");
 }
 
 TEST(StatusTest, ToStringContainsCategoryAndMessage) {

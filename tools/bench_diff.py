@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json artifact sets and flag perf regressions.
+
+Every non-gbench bench binary emits one ``BENCH_<name>.json`` artifact
+(bench::JsonReporter, schema_version 1): labelled rows of numeric metrics.
+This tool compares a baseline directory against a current one, prints a
+per-bench delta table, and exits non-zero when any *tracked* metric grew
+beyond the threshold — the perf-trajectory gate CI runs on every sweep.
+
+Tracked metrics default to the deterministic cost counters (candidates,
+node accesses, page faults, and the modeled I/O seconds derived from
+them); measured CPU seconds are too noisy on shared CI runners to gate on,
+but can be opted in with --metrics.
+
+Usage:
+  bench_diff.py BASELINE_DIR CURRENT_DIR [--threshold 0.15]
+                [--metrics candidates,node_accesses,page_faults,io_seconds]
+                [--github] [--out delta.md]
+
+Exit codes: 0 = no regression, 1 = at least one tracked metric regressed,
+2 = usage or unreadable artifacts.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_METRICS = "candidates,node_accesses,page_faults,io_seconds"
+
+
+def load_artifacts(directory: Path):
+    """Returns {bench_name: {row_label: {metric: value}}}."""
+    benches = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            sys.exit(2)
+        if doc.get("schema_version") != 1:
+            print(
+                f"error: {path} has schema_version "
+                f"{doc.get('schema_version')!r}, want 1",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        rows = {}
+        for row in doc.get("rows", []):
+            rows[row["label"]] = dict(row.get("metrics", {}))
+        name = doc.get("bench", path.stem)
+        if name in benches:
+            # Overwriting would silently drop the earlier artifact's rows
+            # from both sides of the gate.
+            print(
+                f"error: duplicate bench name '{name}' in {path}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        benches[name] = rows
+    return benches
+
+
+def relative_delta(old: float, new: float):
+    """Relative growth of a cost metric; None when undefined (old == 0)."""
+    if old == 0:
+        return None
+    return (new - old) / old
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline", type=Path, help="baseline artifact dir")
+    parser.add_argument("current", type=Path, help="current artifact dir")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative growth that counts as a regression (default 0.15)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=DEFAULT_METRICS,
+        help=f"comma-separated tracked metrics (default {DEFAULT_METRICS})",
+    )
+    parser.add_argument(
+        "--zero-tolerance",
+        type=float,
+        default=0.0,
+        help="absolute growth allowed on a zero baseline (default 0)",
+    )
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="emit GitHub Actions annotations for regressions",
+    )
+    parser.add_argument(
+        "--annotate-level",
+        choices=("warning", "error"),
+        default="warning",
+        help="annotation level for --github: 'warning' for advisory runs, "
+        "'error' when the caller treats a non-zero exit as a hard gate",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="also write the table here"
+    )
+    args = parser.parse_args()
+
+    for directory in (args.baseline, args.current):
+        if not directory.is_dir():
+            print(f"error: {directory} is not a directory", file=sys.stderr)
+            return 2
+    if args.threshold <= 0:
+        print("error: --threshold must be positive", file=sys.stderr)
+        return 2
+    tracked = [m for m in args.metrics.split(",") if m]
+    if not tracked:
+        print("error: --metrics lists no metrics", file=sys.stderr)
+        return 2
+
+    baseline = load_artifacts(args.baseline)
+    current = load_artifacts(args.current)
+    if not baseline:
+        print(
+            f"note: no BENCH_*.json in baseline {args.baseline}; "
+            "nothing to compare (first run?)"
+        )
+        return 0
+    if not current:
+        print(f"error: no BENCH_*.json in current {args.current}", file=sys.stderr)
+        return 2
+
+    lines = []  # the delta table, also written to --out
+    regressions = []  # (bench, label, metric, old, new, delta)
+    improvements = 0
+    compared = 0
+
+    for bench in sorted(set(baseline) | set(current)):
+        if bench not in current:
+            lines.append(f"~ {bench}: missing from current run (removed bench?)")
+            continue
+        if bench not in baseline:
+            lines.append(f"~ {bench}: new bench, no baseline yet")
+            continue
+        bench_lines = []
+        for label, old_metrics in baseline[bench].items():
+            new_metrics = current[bench].get(label)
+            if new_metrics is None:
+                bench_lines.append(f"  ~ row '{label}' missing from current run")
+                continue
+            for metric in tracked:
+                old_has = metric in old_metrics
+                new_has = metric in new_metrics
+                if not old_has and not new_has:
+                    continue  # this bench never reported the metric
+                if old_has != new_has:
+                    # A gated metric that disappeared (or appeared) is a
+                    # visible note, never a silent drop from the gate.
+                    side = "baseline" if old_has else "current"
+                    bench_lines.append(
+                        f"  ~ {label} / {metric}: only in {side} run"
+                    )
+                    continue
+                old, new = old_metrics[metric], new_metrics[metric]
+                compared += 1
+                delta = relative_delta(old, new)
+                if delta is None:
+                    regressed = new > args.zero_tolerance
+                    shown = "inf" if regressed else "0%"
+                else:
+                    regressed = delta > args.threshold
+                    shown = f"{delta:+.1%}"
+                if regressed:
+                    regressions.append((bench, label, metric, old, new, shown))
+                    marker = "REGRESSED"
+                elif delta is not None and delta < -args.threshold:
+                    improvements += 1
+                    marker = "improved"
+                else:
+                    continue  # within threshold: keep the table readable
+                bench_lines.append(
+                    f"  {marker:>9}  {label} / {metric}: "
+                    f"{old:g} -> {new:g} ({shown})"
+                )
+        if bench_lines:
+            lines.append(f"{bench}:")
+            lines.extend(bench_lines)
+
+    header = (
+        f"bench_diff: {len(baseline)} baseline vs {len(current)} current "
+        f"benches, {compared} tracked metrics compared, "
+        f"threshold {args.threshold:.0%}"
+    )
+    summary = (
+        f"{len(regressions)} regression(s), {improvements} improvement(s) "
+        f"beyond threshold"
+    )
+    output = "\n".join([header] + lines + [summary])
+    print(output)
+    if args.out:
+        args.out.write_text(output + "\n", encoding="utf-8")
+
+    if args.github:
+        for bench, label, metric, old, new, shown in regressions:
+            print(
+                f"::{args.annotate_level} title=perf regression in {bench}::"
+                f"{label} / {metric}: {old:g} -> {new:g} ({shown}, "
+                f"threshold {args.threshold:.0%})"
+            )
+
+    if regressions:
+        worst = ", ".join(sorted({r[0] for r in regressions}))
+        print(f"REGRESSION in: {worst}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except SystemExit:
+        raise
+    except Exception as exc:  # malformed artifact shape, unwritable --out, ...
+        # Exit 2, never 1: callers treat 1 as "regression found" and may
+        # soften it (the PR gate does); a crashed gate must stay loud.
+        print(f"error: bench_diff failed: {exc!r}", file=sys.stderr)
+        sys.exit(2)

@@ -8,9 +8,20 @@
 //   rcj_tool stats --q q.csv --p p.csv
 //   rcj_tool batch --q q.csv --p p.csv --algos obj,inj --repeat 4 --threads 8
 //   rcj_tool serve --q q.csv --p p.csv --algos obj,inj --repeat 8 --limit 10
+//   rcj_tool serve --q q.csv --p p.csv --port 7341
+//   rcj_tool client --port 7341 --algo obj --limit 10 --out pairs.csv
 //
 // Pair output CSV columns: p_id, q_id, center_x, center_y, radius.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
+#include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +32,9 @@
 
 #include "core/rcj.h"
 #include "engine/engine.h"
+#include "net/line_reader.h"
+#include "net/net_server.h"
+#include "net/protocol.h"
 #include "service/service.h"
 #include "workload/dataset.h"
 #include "workload/generator.h"
@@ -44,7 +58,13 @@ int Usage() {
       "           [--no-intra] [--compare-serial]\n"
       "  rcj_tool serve --q Q.csv [--p P.csv | --self]\n"
       "           [--algos obj,inj,bij] [--repeat N] [--limit K]\n"
-      "           [--threads T] [--max-batch B] [--out PAIRS.csv]\n");
+      "           [--threads T] [--max-batch B] [--out PAIRS.csv]\n"
+      "           [--port P]   (with --port: TCP line-protocol server\n"
+      "                         until SIGINT/SIGTERM; 0 = ephemeral)\n"
+      "  rcj_tool client [--host H] --port P [--env NAME]\n"
+      "           [--algo brute|inj|bij|obj] [--order dfs|random]\n"
+      "           [--verify 0|1] [--seed S] [--limit K] [--io-ms F]\n"
+      "           [--out PAIRS.csv] [--quiet]\n");
   return 2;
 }
 
@@ -126,19 +146,17 @@ bool ParseCount(const std::string& text, size_t max_value, size_t* out) {
   return true;
 }
 
+// The CLI accepts exactly the wire protocol's algorithm spellings — one
+// name table for both textual front ends.
 bool ParseAlgo(const std::string& name, RcjAlgorithm* algo) {
-  if (name == "brute") {
-    *algo = RcjAlgorithm::kBrute;
-  } else if (name == "inj") {
-    *algo = RcjAlgorithm::kInj;
-  } else if (name == "bij") {
-    *algo = RcjAlgorithm::kBij;
-  } else if (name == "obj") {
-    *algo = RcjAlgorithm::kObj;
-  } else {
-    return false;
-  }
-  return true;
+  return net::ParseAlgorithmName(name, algo);
+}
+
+// Uint64 flags that mirror wire fields go through the wire's own parser,
+// so CLI and protocol validation can never drift apart.
+bool ParseU64Flag(const std::string& key, const std::string& text,
+                  uint64_t* out) {
+  return net::ParseUint64Field(key, text, out).ok();
 }
 
 // Shared by batch/serve: parses the comma-separated --algos list, printing
@@ -393,7 +411,249 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
 // top-k query that cancels its remaining work once the prefix is
 // delivered. With --out, the first request's pairs are written to CSV
 // incrementally, straight from its sink.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void HandleStopSignal(int) { g_serve_stop = 1; }
+
+// `serve --port`: the real network server. Builds the environment, wires it
+// into a Service + NetServer, and blocks until SIGINT/SIGTERM, then shuts
+// down cleanly (so `kill $pid; wait $pid` in scripts observes exit 0).
+int CmdServeNetwork(const std::map<std::string, std::string>& flags) {
+  // Demo-mode knobs have no meaning for the network server (clients bring
+  // their own algorithm/limit per request); reject them loudly instead of
+  // dropping them on the floor.
+  for (const char* demo_only :
+       {"algos", "repeat", "limit", "out", "compare-serial"}) {
+    if (flags.count(demo_only) != 0) {
+      std::fprintf(stderr,
+                   "serve: --%s is a demo-mode flag and is not used with "
+                   "--port (pass it to `rcj_tool client` instead)\n",
+                   demo_only);
+      return 2;
+    }
+  }
+  // Installed before any slow work (environment build, bind) so a
+  // supervisor's immediate `kill $pid; wait $pid` always observes the
+  // clean-shutdown exit path, never the default signal disposition.
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  size_t port = 0;
+  if (!ParseCount(FlagOr(flags, "port", "0"), 65535, &port)) {
+    std::fprintf(stderr, "serve: invalid --port '%s'\n",
+                 FlagOr(flags, "port", "0").c_str());
+    return 2;
+  }
+  ServiceOptions service_options;
+  if (!ParseCount(FlagOr(flags, "threads", "0"), 4096,
+                  &service_options.engine.num_threads)) {
+    std::fprintf(stderr, "serve: invalid --threads '%s'\n",
+                 FlagOr(flags, "threads", "0").c_str());
+    return 2;
+  }
+  if (!ParseCount(FlagOr(flags, "max-batch", "16"), 1u << 20,
+                  &service_options.max_batch_size)) {
+    std::fprintf(stderr, "serve: invalid --max-batch '%s'\n",
+                 FlagOr(flags, "max-batch", "16").c_str());
+    return 2;
+  }
+
+  RcjRunOptions options;
+  int exit_code = 0;
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      BuildEnvFromFlags("serve", flags, &options, &exit_code);
+  if (!env.ok()) return exit_code;
+  service_options.engine.worker_buffer_fraction = options.buffer_fraction;
+
+  Service service(service_options);
+  const std::map<std::string, const RcjEnvironment*> environments = {
+      {"default", env.value().get()}};
+  NetServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(port);
+  NetServer server(&service, environments, server_options);
+  const Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u (%zu worker threads)\n",
+              server_options.bind_address.c_str(),
+              static_cast<unsigned>(server.port()), service.num_threads());
+  std::fflush(stdout);
+
+  while (g_serve_stop == 0) {
+    poll(nullptr, 0, 100);  // nothing to do: connections run on threads
+  }
+  server.Stop();
+  const NetServer::Counters counters = server.counters();
+  std::printf("shut down: %llu connections | %llu ok | %llu rejected | "
+              "%llu cancelled | %llu failed\n",
+              static_cast<unsigned long long>(counters.connections),
+              static_cast<unsigned long long>(counters.ok),
+              static_cast<unsigned long long>(counters.rejected),
+              static_cast<unsigned long long>(counters.cancelled),
+              static_cast<unsigned long long>(counters.failed));
+  return 0;
+}
+
+// Scripted wire-protocol client: one connection, one query, pairs written
+// as CSV (same columns as `join --out`) to --out or stdout as they stream.
+int CmdClient(const std::map<std::string, std::string>& flags) {
+  const std::string host = FlagOr(flags, "host", "127.0.0.1");
+  size_t port = 0;
+  if (!ParseCount(FlagOr(flags, "port", ""), 65535, &port) || port == 0) {
+    std::fprintf(stderr, "client: --port (1..65535) is required\n");
+    return 2;
+  }
+
+  net::WireRequest request;
+  request.env_name = FlagOr(flags, "env", "default");
+  if (!ParseAlgo(FlagOr(flags, "algo", "obj"), &request.spec.algorithm)) {
+    std::fprintf(stderr, "client: unknown algorithm '%s'\n",
+                 FlagOr(flags, "algo", "obj").c_str());
+    return 2;
+  }
+  if (!net::ParseSearchOrderName(FlagOr(flags, "order", "dfs"),
+                                 &request.spec.order)) {
+    std::fprintf(stderr, "client: unknown search order '%s'\n",
+                 FlagOr(flags, "order", "dfs").c_str());
+    return 2;
+  }
+  if (!net::ParseBoolName(FlagOr(flags, "verify", "1"),
+                          &request.spec.verify)) {
+    std::fprintf(stderr, "client: invalid --verify '%s' (want 0|1)\n",
+                 FlagOr(flags, "verify", "1").c_str());
+    return 2;
+  }
+  // seed/limit span the full uint64 range — parsed by the wire's own
+  // ParseUint64Field, so no ParseCount cap here.
+  if (!ParseU64Flag("seed", FlagOr(flags, "seed", "42"),
+                    &request.spec.random_seed)) {
+    std::fprintf(stderr, "client: invalid --seed '%s'\n",
+                 FlagOr(flags, "seed", "42").c_str());
+    return 2;
+  }
+  if (!ParseU64Flag("limit", FlagOr(flags, "limit", "0"),
+                    &request.spec.limit)) {
+    std::fprintf(stderr, "client: invalid --limit '%s'\n",
+                 FlagOr(flags, "limit", "0").c_str());
+    return 2;
+  }
+  // The wire's own double validation (plus its non-negativity rule), so
+  // the CLI and the protocol can never drift apart here either.
+  if (!net::ParseDoubleField("io_ms", FlagOr(flags, "io-ms", "10"),
+                             &request.spec.io_ms_per_fault)
+           .ok() ||
+      request.spec.io_ms_per_fault < 0.0) {
+    std::fprintf(stderr, "client: invalid --io-ms '%s'\n",
+                 FlagOr(flags, "io-ms", "10").c_str());
+    return 2;
+  }
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "client: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "client: bad host '%s'\n", host.c_str());
+    close(fd);
+    return 2;
+  }
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    std::fprintf(stderr, "client: connect %s:%zu: %s\n", host.c_str(), port,
+                 std::strerror(errno));
+    close(fd);
+    return 1;
+  }
+
+  if (!net::SendAll(fd, net::FormatRequestLine(request) + "\n")) {
+    std::fprintf(stderr, "client: send: %s\n", std::strerror(errno));
+    close(fd);
+    return 1;
+  }
+
+  const std::string out = FlagOr(flags, "out", "");
+  std::FILE* out_file = stdout;
+  if (!out.empty()) {
+    out_file = std::fopen(out.c_str(), "w");
+    if (out_file == nullptr) {
+      std::fprintf(stderr, "client: cannot open %s\n", out.c_str());
+      close(fd);
+      return 1;
+    }
+  }
+  const bool quiet = flags.count("quiet") != 0;
+
+  net::LineReader reader(fd);
+  std::string line;
+  int exit_code = 1;
+  if (!reader.ReadLine(&line)) {
+    std::fprintf(stderr, "client: connection closed before a response\n");
+  } else if (line != "OK") {
+    Status err = Status::IoError("malformed response '" + line + "'");
+    net::ParseErrLine(line, &err);
+    std::fprintf(stderr, "client: %s\n", err.ToString().c_str());
+  } else {
+    std::fprintf(out_file, "p_id,q_id,center_x,center_y,radius\n");
+    uint64_t streamed = 0;
+    while (reader.ReadLine(&line)) {
+      RcjPair pair;
+      net::WireSummary summary;
+      Status err = Status::OK();
+      if (net::ParsePairLine(line, &pair).ok()) {
+        ++streamed;
+        std::fprintf(out_file, "%lld,%lld,%.17g,%.17g,%.17g\n",
+                     static_cast<long long>(pair.p.id),
+                     static_cast<long long>(pair.q.id),
+                     pair.circle.center.x, pair.circle.center.y,
+                     pair.circle.Radius());
+      } else if (net::ParseEndLine(line, &summary).ok()) {
+        if (!quiet) {
+          std::fprintf(stderr,
+                       "%llu pairs | candidates %llu | node accesses %llu | "
+                       "faults %llu | I/O %.2fs | CPU %.3fs\n",
+                       static_cast<unsigned long long>(summary.pairs),
+                       static_cast<unsigned long long>(
+                           summary.stats.candidates),
+                       static_cast<unsigned long long>(
+                           summary.stats.node_accesses),
+                       static_cast<unsigned long long>(
+                           summary.stats.page_faults),
+                       summary.stats.io_seconds, summary.stats.cpu_seconds);
+        }
+        exit_code = summary.pairs == streamed ? 0 : 1;
+        if (exit_code != 0) {
+          std::fprintf(stderr,
+                       "client: END reports %llu pairs but %llu streamed\n",
+                       static_cast<unsigned long long>(summary.pairs),
+                       static_cast<unsigned long long>(streamed));
+        }
+        break;
+      } else if (net::ParseErrLine(line, &err).ok()) {
+        std::fprintf(stderr, "client: %s\n", err.ToString().c_str());
+        break;
+      } else {
+        std::fprintf(stderr, "client: malformed line '%s'\n", line.c_str());
+        break;
+      }
+    }
+    if (exit_code != 0 && line.empty()) {
+      std::fprintf(stderr, "client: stream ended without END\n");
+    }
+  }
+  if (out_file != stdout) std::fclose(out_file);
+  close(fd);
+  return exit_code;
+}
+
 int CmdServe(const std::map<std::string, std::string>& flags) {
+  if (flags.count("port") != 0) return CmdServeNetwork(flags);
   std::vector<RcjAlgorithm> algorithms;
   if (!ParseAlgoList("serve", flags, &algorithms)) return 2;
   size_t repeat = 1;
@@ -568,5 +828,6 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(flags);
   if (command == "batch") return CmdBatch(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "client") return CmdClient(flags);
   return Usage();
 }
