@@ -28,6 +28,7 @@
 #include "net/line_reader.h"
 #include "net/net_server.h"
 #include "net/protocol.h"
+#include "shard/shard_router.h"
 #include "workload/generator.h"
 
 namespace {
@@ -99,16 +100,20 @@ int main() {
     return 1;
   }
 
-  Service service(ServiceOptions{});
-  NetServer server(&service, {{"meetups", meetups.value().get()},
-                              {"hubs", hubs.value().get()}});
+  ShardRouter router(ShardRouterOptions{});  // one shard: the simple shape
+  if (!router.RegisterEnvironment("meetups", meetups.value().get()).ok() ||
+      !router.RegisterEnvironment("hubs", hubs.value().get()).ok()) {
+    std::fprintf(stderr, "environment registration failed\n");
+    return 1;
+  }
+  NetServer server(&router);
   if (const Status status = server.Start(); !status.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
                  status.ToString().c_str());
     return 1;
   }
   std::printf("server up on 127.0.0.1:%u — two environments, %zu workers\n",
-              static_cast<unsigned>(server.port()), service.num_threads());
+              static_cast<unsigned>(server.port()), router.num_threads());
 
   // Three remote callers at once: a full meetups join, a full hubs
   // self-join, and an impatient top-10 caller whose remaining work the

@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "Out of range";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

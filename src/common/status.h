@@ -21,6 +21,10 @@ enum class StatusCode {
   kNotSupported = 5,
   kOutOfRange = 6,
   kCancelled = 7,
+  /// The server-side admission layer refused the work: a bounded queue or
+  /// in-flight cap is full. Unlike kCancelled (the caller walked away),
+  /// an overloaded request never started — retrying later is safe.
+  kOverloaded = 8,
 };
 
 /// A cheap, copyable success-or-error value. `Status::OK()` carries no
@@ -54,6 +58,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   /// True iff the status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -77,6 +84,12 @@ class Status {
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
+
+/// Admission-control shorthand: the error a shed submission resolves with
+/// (absl-style free helper, so call sites read as the decision they took).
+inline Status OverloadedError(std::string msg) {
+  return Status::Overloaded(std::move(msg));
+}
 
 /// A value-or-error union. Accessing `value()` on an error aborts in debug
 /// builds; call `ok()` first.

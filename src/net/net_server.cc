@@ -24,12 +24,8 @@ std::string Errno(const char* what) {
 
 }  // namespace
 
-NetServer::NetServer(Service* service,
-                     std::map<std::string, const RcjEnvironment*> environments,
-                     NetServerOptions options)
-    : service_(service),
-      environments_(std::move(environments)),
-      options_(std::move(options)) {}
+NetServer::NetServer(ShardRouter* router, NetServerOptions options)
+    : router_(router), options_(std::move(options)) {}
 
 NetServer::~NetServer() { Stop(); }
 
@@ -114,8 +110,10 @@ NetServer::Counters NetServer::counters() const {
   counters.connections = connections_count_.load(std::memory_order_relaxed);
   counters.ok = ok_count_.load(std::memory_order_relaxed);
   counters.rejected = rejected_count_.load(std::memory_order_relaxed);
+  counters.shed = shed_count_.load(std::memory_order_relaxed);
   counters.cancelled = cancelled_count_.load(std::memory_order_relaxed);
   counters.failed = failed_count_.load(std::memory_order_relaxed);
+  counters.stats = stats_count_.load(std::memory_order_relaxed);
   return counters;
 }
 
@@ -224,101 +222,49 @@ Status NetServer::ReadRequestLine(int fd, std::string* line) {
   }
 }
 
+void NetServer::HandleStats(SocketSink* sink) {
+  stats_count_.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<ShardStatus> stats = router_->Stats();
+  sink->SendLine("OK");
+  for (const ShardStatus& shard : stats) {
+    net::WireShardStats wire;
+    wire.shard = shard.shard;
+    wire.environments = shard.environments;
+    wire.queued = shard.queued;
+    wire.inflight = shard.counters.inflight;
+    wire.submitted = shard.counters.submitted;
+    wire.admitted = shard.counters.admitted;
+    wire.shed = shard.counters.shed;
+    wire.completed = shard.counters.completed;
+    wire.cancelled = shard.counters.cancelled;
+    wire.failed = shard.counters.failed;
+    sink->SendLine(net::FormatShardStatsLine(wire));
+  }
+  sink->SendLine(net::FormatStatsEndLine(stats.size()));
+  sink->Flush(options_.sink.drain_grace_ms);
+}
+
 void NetServer::HandleConnection(Connection* connection) {
   const int fd = connection->fd;
-  SocketSink sink(fd, options_.sink);
+  // The sink's death (peer gone, or backpressure past the grace) pulls the
+  // same cancellation hook a client drop does — from inside the failing
+  // Emit(), before it returns false — so the service resolves the query as
+  // Cancelled and the admission ledger classifies it exactly as the wire
+  // reported it. A death that lands before the ticket is stored is caught
+  // by the self-cancel after the store (the connection mutex orders the
+  // two, mirroring the Stop() pattern).
+  SocketSink sink(fd, options_.sink, [connection] {
+    std::lock_guard<std::mutex> lock(connection->mu);
+    connection->ticket.Cancel();  // no-op until the ticket is stored
+    connection->sink_died = true;
+  });
 
   std::string line;
   Status status = ReadRequestLine(fd, &line);
-  net::WireRequest request;
-  if (status.ok()) status = net::ParseRequestLine(line, &request);
-  if (status.ok()) {
-    const auto it = environments_.find(request.env_name);
-    if (it == environments_.end()) {
-      status = Status::NotFound("unknown environment '" + request.env_name +
-                                "'");
-    } else {
-      request.spec.env = it->second;
-      status = request.spec.Validate();
-    }
-  }
-
-  if (!status.ok()) {
-    rejected_count_.fetch_add(1, std::memory_order_relaxed);
-    sink.SendLine(net::FormatErrLine(status));
-    sink.Flush(options_.sink.drain_grace_ms);
+  if (status.ok() && net::IsStatsRequestLine(line)) {
+    HandleStats(&sink);
   } else {
-    sink.SendLine("OK");
-    QueryTicket ticket = service_->Submit(request.spec, &sink);
-    {
-      std::lock_guard<std::mutex> lock(connection->mu);
-      connection->ticket = ticket;
-    }
-    // Close the Stop() race: if Stop's cancel pass ran before the ticket
-    // was stored above, it cancelled an invalid (no-op) ticket — but then
-    // stop_ was already set, so self-cancel here. Either interleaving
-    // cancels the real ticket (the connection mutex orders the two).
-    if (stop_.load(std::memory_order_relaxed)) ticket.Cancel();
-
-    // Babysit the in-flight query: resolve the ticket while watching the
-    // socket's read side. A read *error* (ECONNRESET: the peer vanished
-    // with data in flight) cancels the query — the service stops delivery
-    // at the next pair, so the other connections' joins keep their
-    // workers. A plain EOF is NOT a cancellation: a netcat-style client
-    // legitimately half-closes its write side after the request while it
-    // keeps reading, so EOF only means "done sending" — a peer that truly
-    // closed is caught by the sink's failing sends instead.
-    Status final;
-    bool peer_gone = false;
-    bool read_side_open = true;
-    while (!ticket.TryGet(&final)) {
-      if (!read_side_open) {
-        final = ticket.Wait();  // sink death / Stop() resolve the ticket
-        break;
-      }
-      struct pollfd pfd;
-      pfd.fd = fd;
-      pfd.events = POLLIN;
-      pfd.revents = 0;
-      const int ready = poll(&pfd, 1, 20);
-      if (ready <= 0) continue;
-      char buffer[256];
-      const ssize_t got = recv(fd, buffer, sizeof(buffer), MSG_DONTWAIT);
-      if (got > 0) continue;  // stray bytes: one request per connection
-      if (got < 0 &&
-          (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
-        continue;
-      }
-      if (got == 0) {
-        read_side_open = false;  // half-close: keep streaming
-      } else {
-        peer_gone = true;  // hard error: the peer is gone
-        ticket.Cancel();
-        read_side_open = false;
-      }
-    }
-
-    if (final.ok() && !sink.dead()) {
-      net::WireSummary summary;
-      summary.pairs = sink.emitted();
-      summary.stats = ticket.stats();
-      sink.SendLine(net::FormatEndLine(summary));
-      if (sink.Flush(options_.sink.drain_grace_ms)) {
-        ok_count_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        cancelled_count_.fetch_add(1, std::memory_order_relaxed);
-      }
-    } else if (final.code() == StatusCode::kCancelled || sink.dead() ||
-               peer_gone) {
-      cancelled_count_.fetch_add(1, std::memory_order_relaxed);
-      sink.SendLine(net::FormatErrLine(
-          Status::Cancelled("stream cancelled before completion")));
-      sink.Flush(options_.sink.drain_grace_ms);
-    } else {
-      failed_count_.fetch_add(1, std::memory_order_relaxed);
-      sink.SendLine(net::FormatErrLine(final));
-      sink.Flush(options_.sink.drain_grace_ms);
-    }
+    HandleQuery(connection, &sink, status, line);
   }
 
   {
@@ -327,6 +273,121 @@ void NetServer::HandleConnection(Connection* connection) {
     connection->fd = -1;
   }
   connection->done.store(true, std::memory_order_release);
+}
+
+void NetServer::HandleQuery(Connection* connection, SocketSink* sink,
+                            Status status, const std::string& line) {
+  const int fd = connection->fd;
+  net::WireRequest request;
+  if (status.ok()) status = net::ParseRequestLine(line, &request);
+  if (status.ok()) {
+    const RcjEnvironment* env = router_->FindEnvironment(request.env_name);
+    if (env == nullptr) {
+      status = Status::NotFound("unknown environment '" + request.env_name +
+                                "'");
+    } else {
+      // Validate with the environment bound, exactly what the router will
+      // re-bind at Submit — a malformed spec is a rejection (ERR before
+      // OK), never a started query.
+      request.spec.env = env;
+      status = request.spec.Validate();
+    }
+  }
+
+  QueryTicket ticket;
+  if (status.ok()) {
+    // The router decides admission synchronously; on_admit puts the OK
+    // acknowledgement on the wire before the query can emit its first
+    // PAIR, preserving the frame order with zero buffering tricks.
+    status = router_->Submit(request.env_name, request.spec, sink, &ticket,
+                             [sink] { sink->SendLine("OK"); });
+  }
+
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kOverloaded) {
+      shed_count_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rejected_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    sink->SendLine(net::FormatErrLine(status));
+    sink->Flush(options_.sink.drain_grace_ms);
+    return;
+  }
+
+  bool sink_died_early;
+  {
+    std::lock_guard<std::mutex> lock(connection->mu);
+    connection->ticket = ticket;
+    sink_died_early = connection->sink_died;
+  }
+  // Close the Stop() (and early sink-death) race: if the cancel pass ran
+  // before the ticket was stored above, it cancelled an invalid (no-op)
+  // ticket — but then its flag was already set, so self-cancel here.
+  // Either interleaving cancels the real ticket (the connection mutex
+  // orders the two).
+  if (sink_died_early || stop_.load(std::memory_order_relaxed)) {
+    ticket.Cancel();
+  }
+
+  // Babysit the in-flight query: resolve the ticket while watching the
+  // socket's read side. A read *error* (ECONNRESET: the peer vanished
+  // with data in flight) cancels the query — the service stops delivery
+  // at the next pair, so the other connections' joins keep their
+  // workers. A plain EOF is NOT a cancellation: a netcat-style client
+  // legitimately half-closes its write side after the request while it
+  // keeps reading, so EOF only means "done sending" — a peer that truly
+  // closed is caught by the sink's failing sends instead.
+  Status final;
+  bool peer_gone = false;
+  bool read_side_open = true;
+  while (!ticket.TryGet(&final)) {
+    if (!read_side_open) {
+      final = ticket.Wait();  // sink death / Stop() resolve the ticket
+      break;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = poll(&pfd, 1, 20);
+    if (ready <= 0) continue;
+    char buffer[256];
+    const ssize_t got = recv(fd, buffer, sizeof(buffer), MSG_DONTWAIT);
+    if (got > 0) continue;  // stray bytes: one request per connection
+    if (got < 0 &&
+        (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;
+    }
+    if (got == 0) {
+      read_side_open = false;  // half-close: keep streaming
+    } else {
+      peer_gone = true;  // hard error: the peer is gone
+      ticket.Cancel();
+      read_side_open = false;
+    }
+  }
+
+  if (final.ok() && !sink->dead()) {
+    net::WireSummary summary;
+    summary.pairs = sink->emitted();
+    summary.stats = ticket.stats();
+    sink->SendLine(net::FormatEndLine(summary));
+    if (sink->Flush(options_.sink.drain_grace_ms)) {
+      ok_count_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (final.code() == StatusCode::kCancelled || sink->dead() ||
+             peer_gone) {
+    cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+    sink->SendLine(net::FormatErrLine(
+        Status::Cancelled("stream cancelled before completion")));
+    sink->Flush(options_.sink.drain_grace_ms);
+  } else {
+    failed_count_.fetch_add(1, std::memory_order_relaxed);
+    sink->SendLine(net::FormatErrLine(final));
+    sink->Flush(options_.sink.drain_grace_ms);
+  }
 }
 
 }  // namespace rcj

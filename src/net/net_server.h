@@ -1,10 +1,17 @@
 // rcj::NetServer — the TCP front door of the ringjoin stack.
 //
-// Layered directly on rcj::Service: one accepted connection carries one
-// QUERY request line, becomes one Submit() ticket, and streams its result
-// pairs back through a SocketSink in the exact serial order the engine
-// delivers them (protocol.h defines the grammar). The connection lifecycle
-// maps onto the service's cancellation hook in both directions:
+// Layered on rcj::ShardRouter: one accepted connection carries one request
+// line. A QUERY line becomes one routed Submit() ticket on the target
+// environment's shard and streams its result pairs back through a
+// SocketSink in the exact serial order the engine delivers them; a STATS
+// line is answered immediately with the router's per-shard ledger
+// (protocol.h defines both grammars). Admission control surfaces on the
+// wire: a submission the router sheds (bounded shard queue or global
+// in-flight cap) is answered with `ERR Overloaded` before any OK, so an
+// overloaded server fails fast instead of queueing unboundedly.
+//
+// The connection lifecycle maps onto the service's cancellation hook in
+// both directions:
 //
 //   * client drop — the connection thread watches the socket while the
 //     ticket is in flight; an EOF or error pulls QueryTicket::Cancel(), so
@@ -14,15 +21,14 @@
 //     stalled socket into Emit()->false, the same limit-style cancellation.
 //
 // Connections are served by one thread each (the joins themselves run on
-// the service's engine pool; connection threads only shuttle bytes), and
-// every environment the server can answer for is registered by name at
-// construction — requests select one with the `env=` field.
+// the shard engines' pools; connection threads only shuttle bytes), and
+// every environment the server can answer for is registered by name on
+// the router — requests select one with the `env=` field.
 #ifndef RINGJOIN_NET_NET_SERVER_H_
 #define RINGJOIN_NET_NET_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,7 +38,7 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "net/socket_sink.h"
-#include "service/service.h"
+#include "shard/shard_router.h"
 
 namespace rcj {
 
@@ -69,16 +75,16 @@ class NetServer {
     uint64_t connections = 0;  ///< accepted sockets.
     uint64_t ok = 0;           ///< full stream + END delivered.
     uint64_t rejected = 0;     ///< malformed/unknown requests (ERR before OK).
+    uint64_t shed = 0;         ///< refused by admission (ERR Overloaded).
     uint64_t cancelled = 0;    ///< client drop or backpressure cancellation.
     uint64_t failed = 0;       ///< engine-side query failure (ERR after OK).
+    uint64_t stats = 0;        ///< STATS probes answered.
   };
 
-  /// Serves queries against `environments` (name -> built environment) by
-  /// submitting to `service`. Both must outlive the server; environments
-  /// are treated as strictly read-only.
-  NetServer(Service* service,
-            std::map<std::string, const RcjEnvironment*> environments,
-            NetServerOptions options = {});
+  /// Serves queries by submitting through `router`, whose registered
+  /// environments are the ones requests may name. The router (and every
+  /// environment registered on it) must outlive the server.
+  NetServer(ShardRouter* router, NetServerOptions options = {});
   ~NetServer();
 
   RINGJOIN_DISALLOW_COPY_AND_ASSIGN(NetServer);
@@ -102,6 +108,10 @@ class NetServer {
     std::mutex mu;
     int fd = -1;           // -1 once the handler closed it
     QueryTicket ticket;    // valid once submitted
+    /// Set by the sink's on_dead hook; lets the handler close the race
+    /// where the sink died before the ticket was stored (mirrors the
+    /// Stop() self-cancel pattern).
+    bool sink_died = false;
     /// Set by the handler as its very last step; the accept loop reaps
     /// (joins and erases) done connections so a long-lived server does
     /// not accumulate dead threads.
@@ -110,14 +120,20 @@ class NetServer {
 
   void AcceptLoop();
   void HandleConnection(Connection* connection);
+  /// Routes one QUERY request: validation, admission, submission, and the
+  /// in-flight babysitting until the ticket resolves. `status` carries any
+  /// request-read error; `line` is the raw request line.
+  void HandleQuery(Connection* connection, SocketSink* sink, Status status,
+                   const std::string& line);
+  /// Answers a STATS request on `sink` with the router's per-shard ledger.
+  void HandleStats(SocketSink* sink);
   /// Joins and erases the connections whose handlers have finished.
   void ReapFinishedConnections();
   /// Reads the request line (up to max_request_bytes within
   /// request_timeout_ms).
   Status ReadRequestLine(int fd, std::string* line);
 
-  Service* service_;
-  const std::map<std::string, const RcjEnvironment*> environments_;
+  ShardRouter* router_;
   NetServerOptions options_;
 
   int listen_fd_ = -1;
@@ -133,8 +149,10 @@ class NetServer {
   std::atomic<uint64_t> connections_count_{0};
   std::atomic<uint64_t> ok_count_{0};
   std::atomic<uint64_t> rejected_count_{0};
+  std::atomic<uint64_t> shed_count_{0};
   std::atomic<uint64_t> cancelled_count_{0};
   std::atomic<uint64_t> failed_count_{0};
+  std::atomic<uint64_t> stats_count_{0};
 };
 
 }  // namespace rcj

@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "common/macros.h"
+
 namespace rcj {
 namespace net {
 namespace {
@@ -74,6 +76,8 @@ const char* StatusCodeWireName(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }
@@ -83,7 +87,7 @@ bool ParseStatusCodeWireName(const std::string& token, StatusCode* code) {
        {StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kIoError, StatusCode::kCorruption,
         StatusCode::kNotSupported, StatusCode::kOutOfRange,
-        StatusCode::kCancelled}) {
+        StatusCode::kCancelled, StatusCode::kOverloaded}) {
     if (token == StatusCodeWireName(candidate)) {
       *code = candidate;
       return true;
@@ -108,6 +112,8 @@ Status MakeStatus(StatusCode code, std::string message) {
       return Status::OutOfRange(std::move(message));
     case StatusCode::kCancelled:
       return Status::Cancelled(std::move(message));
+    case StatusCode::kOverloaded:
+      return Status::Overloaded(std::move(message));
     case StatusCode::kOk:
       break;
   }
@@ -424,6 +430,96 @@ std::string FormatErrLine(const Status& status) {
     }
   }
   return line;
+}
+
+bool IsStatsRequestLine(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  return tokens.size() == 1 && tokens[0] == "STATS";
+}
+
+std::string FormatShardStatsLine(const WireShardStats& stats) {
+  char buffer[320];
+  std::snprintf(buffer, sizeof(buffer),
+                "SHARD %llu envs=%llu queued=%llu inflight=%llu "
+                "submitted=%llu admitted=%llu shed=%llu completed=%llu "
+                "cancelled=%llu failed=%llu",
+                static_cast<unsigned long long>(stats.shard),
+                static_cast<unsigned long long>(stats.environments),
+                static_cast<unsigned long long>(stats.queued),
+                static_cast<unsigned long long>(stats.inflight),
+                static_cast<unsigned long long>(stats.submitted),
+                static_cast<unsigned long long>(stats.admitted),
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.cancelled),
+                static_cast<unsigned long long>(stats.failed));
+  return buffer;
+}
+
+Status ParseShardStatsLine(const std::string& line, WireShardStats* out) {
+  *out = WireShardStats{};
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.size() < 2 || tokens[0] != "SHARD") {
+    return Status::InvalidArgument("SHARD line wants 'SHARD idx key=N ...'");
+  }
+  RINGJOIN_RETURN_IF_ERROR(ParseUint64Field("shard", tokens[1], &out->shard));
+  struct Field {
+    const char* key;
+    uint64_t* slot;
+  };
+  const Field fields[] = {
+      {"envs", &out->environments},   {"queued", &out->queued},
+      {"inflight", &out->inflight},   {"submitted", &out->submitted},
+      {"admitted", &out->admitted},   {"shed", &out->shed},
+      {"completed", &out->completed}, {"cancelled", &out->cancelled},
+      {"failed", &out->failed},
+  };
+  constexpr size_t kFieldCount = sizeof(fields) / sizeof(fields[0]);
+  bool seen[kFieldCount] = {};
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    const size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("SHARD field '" + tokens[i] +
+                                     "' is not key=value");
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    size_t slot = kFieldCount;
+    for (size_t f = 0; f < kFieldCount; ++f) {
+      if (key == fields[f].key) {
+        slot = f;
+        break;
+      }
+    }
+    if (slot == kFieldCount) {
+      return Status::InvalidArgument("unknown SHARD key '" + key + "'");
+    }
+    if (seen[slot]) {
+      return Status::InvalidArgument("duplicate SHARD key '" + key + "'");
+    }
+    seen[slot] = true;
+    RINGJOIN_RETURN_IF_ERROR(ParseUint64Field(key, value, fields[slot].slot));
+  }
+  for (bool present : seen) {
+    if (!present) {
+      return Status::InvalidArgument("SHARD line is missing fields");
+    }
+  }
+  return Status::OK();
+}
+
+std::string FormatStatsEndLine(uint64_t shards) {
+  return "ENDSTATS shards=" + std::to_string(shards);
+}
+
+Status ParseStatsEndLine(const std::string& line, uint64_t* shards) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.size() != 2 || tokens[0] != "ENDSTATS" ||
+      tokens[1].rfind("shards=", 0) != 0) {
+    return Status::InvalidArgument(
+        "ENDSTATS line wants 'ENDSTATS shards=N'");
+  }
+  return ParseUint64Field("shards", tokens[1].substr(7), shards);
 }
 
 Status ParseErrLine(const std::string& line, Status* out) {

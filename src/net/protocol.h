@@ -1,13 +1,18 @@
 // Wire format of the ringjoin network protocol.
 //
-// One connection carries one query: the client sends a single `QUERY` line
-// whose key=value fields mirror QuerySpec (same knobs, same validation),
-// and the server answers with an `OK` acknowledgement, a stream of `PAIR`
-// lines in the exact serial result order, and an `END` summary — or a
-// single `ERR` line when the request is malformed or the query fails. The
-// grammar is line-oriented ASCII so a netcat session is a valid client:
+// One connection carries one request: the client sends a single `QUERY`
+// line whose key=value fields mirror QuerySpec (same knobs, same
+// validation), and the server answers with an `OK` acknowledgement, a
+// stream of `PAIR` lines in the exact serial result order, and an `END`
+// summary — or a single `ERR` line when the request is malformed, the
+// query fails, or the admission layer sheds it (`ERR Overloaded`). The
+// observability counterpart is a bare `STATS` line, answered with the
+// same `OK` acknowledgement followed by one `SHARD` row per shard and an
+// `ENDSTATS` terminator. The grammar is line-oriented ASCII so a netcat
+// session is a valid client:
 //
 //   request  = "QUERY" *( SP key "=" value ) LF
+//            | "STATS" LF
 //   key      = "env" | "algo" | "order" | "verify" | "seed" | "limit"
 //            | "io_ms"
 //   ok       = "OK" LF
@@ -15,6 +20,10 @@
 //   end      = "END" SP "pairs=" N SP "candidates=" N SP "results=" N
 //              SP "node_accesses=" N SP "faults=" N SP "io_s=" F
 //              SP "cpu_s=" F LF
+//   shard    = "SHARD" SP idx SP "envs=" N SP "queued=" N SP "inflight=" N
+//              SP "submitted=" N SP "admitted=" N SP "shed=" N
+//              SP "completed=" N SP "cancelled=" N SP "failed=" N LF
+//   endstats = "ENDSTATS" SP "shards=" N LF
 //   err      = "ERR" SP code-token SP message LF
 //
 // A PAIR line carries the two matched points; the fair-middleman circle is
@@ -93,6 +102,34 @@ std::string FormatErrLine(const Status& status);
 /// Reconstructs the transported error from an ERR line; a malformed ERR
 /// line is itself InvalidArgument.
 Status ParseErrLine(const std::string& line, Status* out);
+
+/// One shard's row of the STATS response. `queued` is the shard service's
+/// request-queue depth at snapshot time; `inflight` counts queries admitted
+/// but not yet resolved; the monotonic counters obey
+/// admitted + shed == submitted and
+/// completed + cancelled + failed == resolved (<= admitted).
+struct WireShardStats {
+  uint64_t shard = 0;
+  uint64_t environments = 0;
+  uint64_t queued = 0;
+  uint64_t inflight = 0;
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t completed = 0;
+  uint64_t cancelled = 0;
+  uint64_t failed = 0;
+};
+
+/// True iff `line` asks for server statistics. Strict like the rest of the
+/// grammar: exactly the token "STATS", nothing else on the line.
+bool IsStatsRequestLine(const std::string& line);
+
+std::string FormatShardStatsLine(const WireShardStats& stats);
+Status ParseShardStatsLine(const std::string& line, WireShardStats* out);
+
+std::string FormatStatsEndLine(uint64_t shards);
+Status ParseStatsEndLine(const std::string& line, uint64_t* shards);
 
 }  // namespace net
 }  // namespace rcj

@@ -10,9 +10,16 @@
 
 namespace rcj {
 
-SocketSink::SocketSink(int fd, SocketSinkOptions options)
-    : fd_(fd), options_(options) {
+SocketSink::SocketSink(int fd, SocketSinkOptions options,
+                       std::function<void()> on_dead)
+    : fd_(fd), options_(options), on_dead_(std::move(on_dead)) {
   if (options_.max_pending_bytes == 0) options_.max_pending_bytes = 1;
+}
+
+void SocketSink::MarkDead() {
+  if (dead_) return;
+  dead_ = true;
+  if (on_dead_) on_dead_();
 }
 
 bool SocketSink::Emit(const RcjPair& pair) {
@@ -37,7 +44,7 @@ bool SocketSink::Append(const std::string& line) {
     // cancellation instead of an unbounded queue.
     Flush(options_.drain_grace_ms);
     if (dead_ || pending_bytes() > options_.max_pending_bytes) {
-      dead_ = true;
+      MarkDead();
       return false;
     }
   }
@@ -58,7 +65,7 @@ void SocketSink::TryDrain() {
     }
     if (sent < 0 && errno == EINTR) continue;
     if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    dead_ = true;  // peer closed or the connection errored
+    MarkDead();  // peer closed or the connection errored
   }
   if (drained_ == pending_.size()) {
     pending_.clear();
@@ -88,11 +95,11 @@ bool SocketSink::Flush(int timeout_ms) {
         remaining.count() < 50 ? static_cast<int>(remaining.count()) : 50;
     const int ready = poll(&pfd, 1, step_ms);
     if (ready < 0 && errno != EINTR) {
-      dead_ = true;
+      MarkDead();
       return false;
     }
     if (ready > 0 && (pfd.revents & (POLLERR | POLLNVAL)) != 0) {
-      dead_ = true;
+      MarkDead();
       return false;
     }
     TryDrain();

@@ -20,7 +20,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 
 #include "core/pair_sink.h"
 
@@ -38,7 +40,14 @@ struct SocketSinkOptions {
 class SocketSink final : public PairSink {
  public:
   /// Does not own `fd`; the caller closes it after the last Flush().
-  explicit SocketSink(int fd, SocketSinkOptions options = {});
+  /// `on_dead`, when set, fires exactly once on the transition to dead(),
+  /// from whatever thread caused it (the engine's during Emit, the
+  /// connection's during SendLine/Flush) and before the failing call
+  /// returns — the server uses it to pull QueryTicket::Cancel() so the
+  /// service resolves a backpressure-killed stream as Cancelled, keeping
+  /// the admission ledger consistent with the wire's ERR frame.
+  explicit SocketSink(int fd, SocketSinkOptions options = {},
+                      std::function<void()> on_dead = nullptr);
 
   /// Serializes and enqueues one PAIR line. Returns false — requesting
   /// engine-side cancellation — once the peer is gone or the bounded
@@ -64,11 +73,14 @@ class SocketSink final : public PairSink {
   bool Append(const std::string& line);
   /// Sends as much pending data as the socket accepts right now.
   void TryDrain();
+  /// Marks the sink dead, firing on_dead exactly once.
+  void MarkDead();
   /// Bytes enqueued but not yet handed to the kernel.
   size_t pending_bytes() const { return pending_.size() - drained_; }
 
   int fd_;
   SocketSinkOptions options_;
+  std::function<void()> on_dead_;
   std::string pending_;
   /// Length of pending_'s already-sent prefix (compacted lazily).
   size_t drained_ = 0;

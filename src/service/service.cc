@@ -66,24 +66,45 @@ Service::Service(ServiceOptions options)
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
-Service::~Service() {
+Service::~Service() { Shutdown(); }
+
+void Service::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
-  dispatcher_.join();
+  if (dispatcher_.joinable()) dispatcher_.join();
 }
 
-QueryTicket Service::Submit(const QuerySpec& spec, PairSink* sink) {
+QueryTicket Service::Submit(const QuerySpec& spec, PairSink* sink,
+                            DoneCallback on_done) {
   Request request;
   request.spec = spec;
   request.sink = sink != nullptr ? sink : SharedNullSink();
   request.state = std::make_shared<QueryTicket::State>();
+  request.on_done = std::move(on_done);
   QueryTicket ticket(request.state);
+  bool stopped;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(request));
+    stopped = stopping_;
+    if (!stopped) queue_.push_back(std::move(request));
+  }
+  if (stopped) {
+    // The dispatcher may already be gone; resolving here (instead of
+    // enqueueing into a queue nobody drains) keeps the ticket contract —
+    // every Submit ends in a resolved ticket, never a hang. Same ordering
+    // as the dispatcher: side effects first, then the ticket resolves.
+    const Status status = Status::Cancelled("service is shut down");
+    if (request.on_done) request.on_done(status);
+    {
+      std::lock_guard<std::mutex> state_lock(request.state->mu);
+      request.state->status = status;
+      request.state->done = true;
+    }
+    request.state->cv.notify_all();
+    return ticket;
   }
   queue_cv_.notify_one();
   return ticket;
@@ -151,6 +172,12 @@ void Service::DispatcherLoop() {
           statuses[i].ok()) {
         statuses[i] = Status::Cancelled("cancelled during run");
       }
+      // Before the ticket is observable as done: anyone who saw the query
+      // resolve must also see its completion side effects (an admission
+      // ledger counting it as completed, its slot freed) — freeing the
+      // slot a moment before the Wait()er wakes is harmless, the reverse
+      // order would make a STATS probe after END racy.
+      if (round[i].on_done) round[i].on_done(statuses[i]);
       {
         std::lock_guard<std::mutex> lock(state->mu);
         state->status = statuses[i];

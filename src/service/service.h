@@ -22,6 +22,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -97,6 +98,14 @@ class QueryTicket {
 /// Destruction completes every already-submitted query, then stops.
 class Service {
  public:
+  /// Invoked exactly once per submitted query, with its final status,
+  /// immediately before the ticket becomes observable as done — so by the
+  /// time any Wait()er wakes, the callback's side effects (e.g. an
+  /// admission ledger counting the query and freeing its slot) are
+  /// visible. Runs on a service-owned thread (or inline in Submit after
+  /// Shutdown). Must not call back into the same Service.
+  using DoneCallback = std::function<void(const Status&)>;
+
   explicit Service(ServiceOptions options = {});
   ~Service();
 
@@ -107,8 +116,18 @@ class Service {
   /// threads; it may be null to discard pairs (stats-only probes). Both the
   /// sink and spec.env must stay alive until the ticket reports done.
   /// Invalid specs are not rejected here — the ticket resolves with the
-  /// validation error, so submission stays non-blocking and uniform.
-  QueryTicket Submit(const QuerySpec& spec, PairSink* sink);
+  /// validation error, so submission stays non-blocking and uniform. The
+  /// same uniformity covers a stopped service: after Shutdown() the ticket
+  /// resolves immediately (before Submit returns) as Cancelled, and
+  /// `on_done` still fires, so no caller slot ever leaks.
+  QueryTicket Submit(const QuerySpec& spec, PairSink* sink,
+                     DoneCallback on_done = nullptr);
+
+  /// Completes every already-submitted query, then stops the dispatcher.
+  /// Idempotent from the owning thread; also run by the destructor. After
+  /// Shutdown(), Submit() keeps working but resolves every ticket as
+  /// Cancelled without running it.
+  void Shutdown();
 
   /// Queries accepted but not yet handed to the engine. In-flight batches
   /// are not counted.
@@ -121,6 +140,7 @@ class Service {
     QuerySpec spec;
     PairSink* sink = nullptr;
     std::shared_ptr<QueryTicket::State> state;
+    DoneCallback on_done;
   };
 
   void DispatcherLoop();

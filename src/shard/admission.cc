@@ -1,0 +1,67 @@
+#include "shard/admission.h"
+
+#include <cassert>
+#include <string>
+
+namespace rcj {
+
+AdmissionController::AdmissionController(size_t num_shards,
+                                         AdmissionLimits limits)
+    : limits_(limits), shards_(num_shards == 0 ? 1 : num_shards) {}
+
+Status AdmissionController::TryAdmit(size_t shard) {
+  assert(shard < shards_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardCounters& counters = shards_[shard];
+  ++counters.submitted;
+  if (limits_.max_queue_per_shard != 0 &&
+      counters.inflight >= limits_.max_queue_per_shard) {
+    ++counters.shed;
+    return Status::Overloaded(
+        "shard " + std::to_string(shard) + " queue is full (" +
+        std::to_string(counters.inflight) + "/" +
+        std::to_string(limits_.max_queue_per_shard) + ")");
+  }
+  if (limits_.max_inflight_total != 0 &&
+      total_inflight_ >= limits_.max_inflight_total) {
+    ++counters.shed;
+    return Status::Overloaded(
+        "server is at its in-flight cap (" +
+        std::to_string(total_inflight_) + "/" +
+        std::to_string(limits_.max_inflight_total) + ")");
+  }
+  ++counters.admitted;
+  ++counters.inflight;
+  ++total_inflight_;
+  return Status::OK();
+}
+
+void AdmissionController::Release(size_t shard, const Status& final_status) {
+  assert(shard < shards_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardCounters& counters = shards_[shard];
+  assert(counters.inflight > 0 && total_inflight_ > 0);
+  --counters.inflight;
+  --total_inflight_;
+  if (final_status.ok()) {
+    ++counters.completed;
+  } else if (final_status.code() == StatusCode::kCancelled) {
+    ++counters.cancelled;
+  } else {
+    ++counters.failed;
+  }
+}
+
+AdmissionController::ShardCounters AdmissionController::shard_counters(
+    size_t shard) const {
+  assert(shard < shards_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_[shard];
+}
+
+size_t AdmissionController::total_inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_inflight_;
+}
+
+}  // namespace rcj

@@ -1,0 +1,129 @@
+#include "shard/shard_router.h"
+
+#include <utility>
+
+namespace rcj {
+namespace {
+
+/// FNV-1a 64-bit with a murmur3 finalizer: stable across platforms and
+/// runs (std::hash is not guaranteed to be), so environment placement is
+/// reproducible everywhere — the same property the protocol's %.17g
+/// coordinates buy the wire. The finalizer matters: raw FNV-1a's low bit
+/// is just the parity of the name's odd characters, which would pile
+/// almost every English name onto shard 0 of a two-shard router.
+uint64_t StableHash(const std::string& name) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ull;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(ShardRouterOptions options)
+    : options_(std::move(options)),
+      admission_(options_.num_shards == 0 ? 1 : options_.num_shards,
+                 options_.admission) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  shards_.resize(options_.num_shards);
+  for (Shard& shard : shards_) {
+    shard.service = std::make_unique<Service>(options_.service);
+  }
+}
+
+ShardRouter::~ShardRouter() {
+  // Each Shutdown() drains that shard's admitted work; their Release()
+  // callbacks run during the drain, so admission_ (destroyed after
+  // shards_, it is declared first) must still be alive — and is.
+  for (Shard& shard : shards_) shard.service->Shutdown();
+}
+
+Status ShardRouter::RegisterEnvironment(const std::string& name,
+                                        const RcjEnvironment* env) {
+  if (env == nullptr) {
+    return Status::InvalidArgument("environment '" + name + "' is null");
+  }
+  if (environments_.count(name) != 0) {
+    return Status::InvalidArgument("environment '" + name +
+                                   "' is already registered");
+  }
+  const auto pin = options_.placement.find(name);
+  if (pin != options_.placement.end() && pin->second >= shards_.size()) {
+    return Status::InvalidArgument(
+        "placement pins '" + name + "' to shard " +
+        std::to_string(pin->second) + " but there are only " +
+        std::to_string(shards_.size()) + " shards");
+  }
+  const size_t shard = ShardOf(name);
+  environments_.emplace(name, std::make_pair(env, shard));
+  ++shards_[shard].environments;
+  return Status::OK();
+}
+
+size_t ShardRouter::ShardOf(const std::string& env_name) const {
+  const auto it = environments_.find(env_name);
+  if (it != environments_.end()) return it->second.second;
+  const auto pin = options_.placement.find(env_name);
+  if (pin != options_.placement.end() && pin->second < shards_.size()) {
+    return pin->second;
+  }
+  return static_cast<size_t>(StableHash(env_name) % shards_.size());
+}
+
+const RcjEnvironment* ShardRouter::FindEnvironment(
+    const std::string& env_name) const {
+  const auto it = environments_.find(env_name);
+  return it == environments_.end() ? nullptr : it->second.first;
+}
+
+Status ShardRouter::Submit(const std::string& env_name, QuerySpec spec,
+                           PairSink* sink, QueryTicket* ticket,
+                           const std::function<void()>& on_admit) {
+  const auto it = environments_.find(env_name);
+  if (it == environments_.end()) {
+    return Status::NotFound("unknown environment '" + env_name + "'");
+  }
+  const RcjEnvironment* env = it->second.first;
+  const size_t shard = it->second.second;
+
+  RINGJOIN_RETURN_IF_ERROR(admission_.TryAdmit(shard));
+  // From here the slot is held; every path below ends in the service's
+  // on_done firing exactly once (even a post-shutdown Submit resolves
+  // inline), which returns it.
+  if (on_admit) on_admit();
+
+  spec.env = env;
+  QueryTicket submitted = shards_[shard].service->Submit(
+      spec, sink,
+      [this, shard](const Status& final_status) {
+        admission_.Release(shard, final_status);
+      });
+  if (ticket != nullptr) *ticket = submitted;
+  return Status::OK();
+}
+
+std::vector<ShardStatus> ShardRouter::Stats() const {
+  std::vector<ShardStatus> all(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    all[i].shard = i;
+    all[i].environments = shards_[i].environments;
+    all[i].queued = shards_[i].service->pending();
+    all[i].counters = admission_.shard_counters(i);
+  }
+  return all;
+}
+
+size_t ShardRouter::num_threads() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.service->num_threads();
+  return total;
+}
+
+}  // namespace rcj

@@ -1,0 +1,126 @@
+// ShardRouter — multi-environment sharded serving over rcj::Service.
+//
+// The service layer funnels every query through one dispatcher queue and
+// one engine: a hot environment's backlog delays every other environment,
+// and nothing bounds the backlog. The router fixes both at the layer the
+// paper's evaluation implies (many dataset configurations, independently
+// queryable): it owns N shards, each pairing a slice of the named-
+// environment registry with its OWN rcj::Service — own Engine, own worker
+// pool, own dispatcher queue — so traffic to one environment can only
+// queue behind its shardmates, never behind the whole process. An
+// AdmissionController in front enforces a bounded queue per shard and a
+// global in-flight cap: over-limit submissions resolve immediately with
+// StatusCode::kOverloaded instead of queueing unboundedly.
+//
+// Environments are assigned to shards by explicit pin
+// (ShardRouterOptions::placement) or, by default, by a stable FNV-1a hash
+// of the name — the same name lands on the same shard on every platform
+// and every run, so operators can predict and rebalance placement.
+//
+// This is the layer the network front end submits through: NetServer maps
+// `ERR Overloaded` onto shed submissions and serves the router's per-shard
+// ledger as the STATS wire command.
+#ifndef RINGJOIN_SHARD_SHARD_ROUTER_H_
+#define RINGJOIN_SHARD_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "service/service.h"
+#include "shard/admission.h"
+
+namespace rcj {
+
+struct ShardRouterOptions {
+  /// Number of shards; each owns a Service (engine + dispatcher). 0 is
+  /// treated as 1. Mind the multiplication: every shard's engine sizes
+  /// itself to hardware threads unless service.engine.num_threads caps it.
+  size_t num_shards = 1;
+  /// Knobs applied to every shard's service.
+  ServiceOptions service;
+  /// Bounded queue depth per shard + global in-flight cap (0 = unbounded).
+  AdmissionLimits admission;
+  /// Explicit environment placement (env name -> shard index), overriding
+  /// the hash for the named environments. Lets an operator isolate a known
+  /// hot environment on its own shard.
+  std::map<std::string, size_t> placement;
+};
+
+/// Point-in-time view of one shard, the STATS wire command's source.
+struct ShardStatus {
+  size_t shard = 0;
+  size_t environments = 0;  ///< environments registered on this shard.
+  size_t queued = 0;        ///< shard service's request-queue depth.
+  AdmissionController::ShardCounters counters;
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardRouterOptions options = {});
+  /// Shuts every shard's service down (draining admitted work) before the
+  /// shards are torn down.
+  ~ShardRouter();
+
+  RINGJOIN_DISALLOW_COPY_AND_ASSIGN(ShardRouter);
+
+  /// Registers a built environment under `name` on its assigned shard
+  /// (placement pin, else hash). The environment must outlive the router
+  /// and is treated as strictly read-only. InvalidArgument on a duplicate
+  /// name or an out-of-range placement pin. Not thread-safe against
+  /// Submit() — register everything before taking traffic, like the
+  /// net server's construction-time registry.
+  Status RegisterEnvironment(const std::string& name,
+                             const RcjEnvironment* env);
+
+  /// The shard `env_name` is (or would be) assigned to.
+  size_t ShardOf(const std::string& env_name) const;
+
+  /// The registered environment, or nullptr.
+  const RcjEnvironment* FindEnvironment(const std::string& env_name) const;
+
+  /// Non-blocking sharded submission. The admission decision is made
+  /// synchronously: on success `*ticket` is valid, the query is enqueued
+  /// on the environment's shard, and its slot is returned automatically
+  /// when the ticket resolves. NotFound for an unregistered environment;
+  /// Overloaded when the shard queue or the global in-flight cap is full
+  /// (counted as shed, `*ticket` untouched). `spec.env` is bound by the
+  /// router — any prior value is overwritten.
+  ///
+  /// `on_admit`, when set, runs synchronously inside the call after the
+  /// query is admitted but before it can produce pairs — the hook the
+  /// network server uses to put its OK acknowledgement on the wire ahead
+  /// of any PAIR line.
+  Status Submit(const std::string& env_name, QuerySpec spec, PairSink* sink,
+                QueryTicket* ticket,
+                const std::function<void()>& on_admit = nullptr);
+
+  /// Per-shard snapshot, indexed by shard.
+  std::vector<ShardStatus> Stats() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  /// Worker threads across all shard engines (for banners/logs).
+  size_t num_threads() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<Service> service;
+    size_t environments = 0;
+  };
+
+  ShardRouterOptions options_;
+  AdmissionController admission_;
+  std::vector<Shard> shards_;
+  /// name -> (environment, shard index); fixed after registration.
+  std::map<std::string, std::pair<const RcjEnvironment*, size_t>>
+      environments_;
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_SHARD_SHARD_ROUTER_H_

@@ -1,8 +1,11 @@
 // In-process loopback end-to-end tests for rcj::NetServer: the wire must
 // carry exactly the engine's serial result stream to every concurrent
-// connection, malformed requests must be rejected without taking the
-// server down, and a client that disappears mid-stream must cancel its
-// query instead of stalling the service for everyone else.
+// connection — byte-identical whether one shard serves everything or the
+// router spreads environments over several — malformed requests must be
+// rejected without taking the server down, a client that disappears
+// mid-stream must cancel its query instead of stalling the service for
+// everyone else, and admission control must shed with `ERR Overloaded`
+// while the STATS ledger reconciles.
 #include "net/net_server.h"
 
 #include <gtest/gtest.h>
@@ -14,6 +17,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -21,10 +25,25 @@
 
 #include "core/rcj.h"
 #include "net/protocol.h"
+#include "shard/shard_router.h"
 #include "workload/generator.h"
 
 namespace rcj {
 namespace {
+
+/// Router + registered environments, the fixture every server test wants.
+struct RouterFixture {
+  explicit RouterFixture(
+      const std::map<std::string, const RcjEnvironment*>& environments,
+      ShardRouterOptions options = {})
+      : router(std::move(options)) {
+    for (const auto& named : environments) {
+      EXPECT_TRUE(
+          router.RegisterEnvironment(named.first, named.second).ok());
+    }
+  }
+  ShardRouter router;
+};
 
 std::unique_ptr<RcjEnvironment> BuildEnv(size_t n, uint64_t seed) {
   const std::vector<PointRecord> qset = GenerateUniform(n, seed);
@@ -141,79 +160,91 @@ void ExpectSamePairs(const std::vector<RcjPair>& got,
   }
 }
 
-TEST(NetServerTest, EightConcurrentConnectionsMatchRunBatch) {
+TEST(NetServerTest, EightConcurrentConnectionsMatchSingleServicePath) {
+  // The routing-correctness contract over the wire: eight concurrent
+  // connections against a two-shard server must stream, for every
+  // registered environment, exactly the pairs (bit-identical ids and
+  // coordinates, so the re-serialized PAIR lines are byte-identical) that
+  // the pre-sharding single-Service path delivers.
   std::unique_ptr<RcjEnvironment> env_a = BuildEnv(1200, 401);
   std::unique_ptr<RcjEnvironment> env_b = BuildEnv(900, 411);
 
-  ServiceOptions service_options;
-  service_options.engine.num_threads = 4;
-  Service service(service_options);
-  NetServer server(&service, {{"default", env_a.get()}, {"b", env_b.get()}});
-  ASSERT_TRUE(server.Start().ok());
-
-  // The same eight specs the connections will ask for, run straight
-  // through the engine as the ground truth.
-  struct Case {
-    std::string request;
-    EngineQuery query;
-  };
   const RcjAlgorithm algorithms[] = {RcjAlgorithm::kObj, RcjAlgorithm::kInj,
                                      RcjAlgorithm::kBij,
                                      RcjAlgorithm::kBrute};
-  std::vector<Case> cases(8);
-  std::vector<std::vector<RcjPair>> expected(cases.size());
-  std::vector<std::unique_ptr<VectorSink>> expected_sinks;
-  for (size_t i = 0; i < cases.size(); ++i) {
-    RcjEnvironment* env = i % 2 == 0 ? env_a.get() : env_b.get();
+  std::vector<std::string> requests(8);
+  std::vector<QuerySpec> specs(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
     net::WireRequest request;
     request.env_name = i % 2 == 0 ? "default" : "b";
     request.spec.algorithm = algorithms[i % 4];
     if (i == 5) request.spec.limit = 17;  // one top-k caller in the mix
-    cases[i].request = net::FormatRequestLine(request);
-    cases[i].query.spec = request.spec;
-    cases[i].query.spec.env = env;
-    expected_sinks.push_back(std::make_unique<VectorSink>(&expected[i]));
-    cases[i].query.sink = expected_sinks.back().get();
-  }
-  {
-    Engine engine;  // fresh engine: the service's stays untouched
-    std::vector<EngineQuery> queries;
-    for (const Case& c : cases) queries.push_back(c.query);
-    for (const EngineQueryResult& result : engine.RunBatch(queries)) {
-      ASSERT_TRUE(result.status.ok());
-    }
+    requests[i] = net::FormatRequestLine(request);
+    specs[i] = request.spec;
+    specs[i].env = i % 2 == 0 ? env_a.get() : env_b.get();
   }
 
-  std::vector<Response> responses(cases.size());
+  // Ground truth: the same eight specs through one plain Service.
+  std::vector<std::vector<RcjPair>> expected(requests.size());
+  {
+    ServiceOptions service_options;
+    service_options.engine.num_threads = 4;
+    Service service(service_options);
+    std::vector<std::unique_ptr<VectorSink>> sinks;
+    std::vector<QueryTicket> tickets;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      sinks.push_back(std::make_unique<VectorSink>(&expected[i]));
+      tickets.push_back(service.Submit(specs[i], sinks.back().get()));
+    }
+    for (QueryTicket& ticket : tickets) ASSERT_TRUE(ticket.Wait().ok());
+  }
+
+  ShardRouterOptions router_options;
+  router_options.num_shards = 2;
+  router_options.service.engine.num_threads = 2;
+  RouterFixture fixture({{"default", env_a.get()}, {"b", env_b.get()}},
+                        router_options);
+  NetServer server(&fixture.router);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<Response> responses(requests.size());
   std::vector<std::thread> clients;
-  for (size_t i = 0; i < cases.size(); ++i) {
+  for (size_t i = 0; i < requests.size(); ++i) {
     clients.emplace_back([&, i] {
-      responses[i] = RunQuery(server.port(), cases[i].request);
+      responses[i] = RunQuery(server.port(), requests[i]);
     });
   }
   for (std::thread& client : clients) client.join();
 
-  for (size_t i = 0; i < cases.size(); ++i) {
+  for (size_t i = 0; i < requests.size(); ++i) {
     ASSERT_TRUE(responses[i].saw_ok) << "connection " << i;
     ASSERT_TRUE(responses[i].saw_end) << "connection " << i;
     ASSERT_TRUE(responses[i].clean) << "connection " << i;
     ExpectSamePairs(responses[i].pairs, expected[i],
                     ("connection " + std::to_string(i)).c_str());
+    // Bit-identical pairs re-serialize to byte-identical PAIR lines (the
+    // formatter is deterministic %.17g) — assert it directly.
+    for (size_t p = 0; p < responses[i].pairs.size(); ++p) {
+      ASSERT_EQ(net::FormatPairLine(responses[i].pairs[p]),
+                net::FormatPairLine(expected[i][p]))
+          << "connection " << i << " pair " << p;
+    }
     EXPECT_EQ(responses[i].summary.pairs, expected[i].size());
   }
 
   server.Stop();
   const NetServer::Counters counters = server.counters();
-  EXPECT_EQ(counters.connections, cases.size());
-  EXPECT_EQ(counters.ok, cases.size());
+  EXPECT_EQ(counters.connections, requests.size());
+  EXPECT_EQ(counters.ok, requests.size());
   EXPECT_EQ(counters.cancelled, 0u);
   EXPECT_EQ(counters.rejected, 0u);
+  EXPECT_EQ(counters.shed, 0u);
 }
 
 TEST(NetServerTest, MalformedRequestsGetErrAndServerSurvives) {
   std::unique_ptr<RcjEnvironment> env = BuildEnv(500, 421);
-  Service service(ServiceOptions{});
-  NetServer server(&service, {{"default", env.get()}});
+  RouterFixture fixture({{"default", env.get()}});
+  NetServer server(&fixture.router);
   ASSERT_TRUE(server.Start().ok());
 
   const struct {
@@ -252,8 +283,8 @@ TEST(NetServerTest, HalfClosedClientStillReceivesFullStream) {
   // keep reading. EOF on the server's read side must mean "done sending",
   // not "gone": the full stream and the END summary still arrive.
   std::unique_ptr<RcjEnvironment> env = BuildEnv(800, 471);
-  Service service(ServiceOptions{});
-  NetServer server(&service, {{"default", env.get()}});
+  RouterFixture fixture({{"default", env.get()}});
+  NetServer server(&fixture.router);
   ASSERT_TRUE(server.Start().ok());
 
   const int fd = ConnectLoopback(server.port());
@@ -277,16 +308,16 @@ TEST(NetServerTest, MidStreamDisconnectCancelsWithoutStallingOthers) {
   // Big enough that the full join streams for a while.
   std::unique_ptr<RcjEnvironment> env = BuildEnv(4000, 431);
 
-  ServiceOptions service_options;
-  service_options.engine.num_threads = 4;
-  Service service(service_options);
+  ShardRouterOptions router_options;
+  router_options.service.engine.num_threads = 4;
+  RouterFixture fixture({{"default", env.get()}}, router_options);
   NetServerOptions server_options;
   // Tiny socket + pending budgets so an unread stream backs up after a
   // handful of pairs instead of after megabytes.
   server_options.send_buffer_bytes = 4096;
   server_options.sink.max_pending_bytes = 16 * 1024;
   server_options.sink.drain_grace_ms = 300;
-  NetServer server(&service, {{"default", env.get()}}, server_options);
+  NetServer server(&fixture.router, server_options);
   ASSERT_TRUE(server.Start().ok());
 
   // A well-behaved reader runs concurrently and must come out whole.
@@ -327,12 +358,12 @@ TEST(NetServerTest, MidStreamDisconnectCancelsWithoutStallingOthers) {
 
 TEST(NetServerTest, SlowConsumerIsCancelledByBackpressure) {
   std::unique_ptr<RcjEnvironment> env = BuildEnv(4000, 441);
-  Service service(ServiceOptions{});
+  RouterFixture fixture({{"default", env.get()}});
   NetServerOptions server_options;
   server_options.send_buffer_bytes = 4096;
   server_options.sink.max_pending_bytes = 8 * 1024;
   server_options.sink.drain_grace_ms = 100;
-  NetServer server(&service, {{"default", env.get()}}, server_options);
+  NetServer server(&fixture.router, server_options);
   ASSERT_TRUE(server.Start().ok());
 
   // Connect, ask for the full join, then never read: the bounded queue
@@ -356,8 +387,8 @@ TEST(NetServerTest, LimitQueryStreamsExactPrefixOverTheWire) {
   ASSERT_TRUE(full.ok());
   ASSERT_GT(full.value().pairs.size(), 9u);
 
-  Service service(ServiceOptions{});
-  NetServer server(&service, {{"default", env.get()}});
+  RouterFixture fixture({{"default", env.get()}});
+  NetServer server(&fixture.router);
   ASSERT_TRUE(server.Start().ok());
 
   const Response response = RunQuery(server.port(), "QUERY limit=9");
@@ -374,10 +405,10 @@ TEST(NetServerTest, LimitQueryStreamsExactPrefixOverTheWire) {
 
 TEST(NetServerTest, StopWithIdleConnectionDoesNotHang) {
   std::unique_ptr<RcjEnvironment> env = BuildEnv(400, 461);
-  Service service(ServiceOptions{});
+  RouterFixture fixture({{"default", env.get()}});
   NetServerOptions server_options;
   server_options.request_timeout_ms = 60 * 1000;  // Stop must not wait this
-  NetServer server(&service, {{"default", env.get()}}, server_options);
+  NetServer server(&fixture.router, server_options);
   ASSERT_TRUE(server.Start().ok());
 
   // A connection that never sends its request line.
@@ -388,6 +419,166 @@ TEST(NetServerTest, StopWithIdleConnectionDoesNotHang) {
   const NetServer::Counters counters = server.counters();
   EXPECT_EQ(counters.connections, 1u);
   EXPECT_EQ(counters.ok, 0u);
+}
+
+/// One STATS probe, fully parsed: the per-shard rows plus the ENDSTATS
+/// terminator.
+struct StatsResponse {
+  bool ok = false;
+  std::vector<net::WireShardStats> shards;
+};
+
+StatsResponse RunStatsProbe(uint16_t port) {
+  StatsResponse result;
+  const int fd = ConnectLoopback(port);
+  SendAll(fd, "STATS\n");
+  std::string buffer;
+  char chunk[4096];
+  bool saw_ok = false;
+  for (;;) {
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      net::WireShardStats shard;
+      uint64_t shard_count = 0;
+      if (!saw_ok) {
+        if (line != "OK") {
+          close(fd);
+          return result;
+        }
+        saw_ok = true;
+      } else if (net::ParseShardStatsLine(line, &shard).ok()) {
+        result.shards.push_back(shard);
+      } else if (net::ParseStatsEndLine(line, &shard_count).ok()) {
+        result.ok = shard_count == result.shards.size();
+        close(fd);
+        return result;
+      } else {
+        close(fd);
+        return result;
+      }
+    }
+    const ssize_t got = recv(fd, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;  // EOF before ENDSTATS
+    buffer.append(chunk, static_cast<size_t>(got));
+  }
+  close(fd);
+  return result;
+}
+
+TEST(NetServerTest, StatsProbeReportsPerShardLedger) {
+  std::unique_ptr<RcjEnvironment> env_a = BuildEnv(600, 481);
+  std::unique_ptr<RcjEnvironment> env_b = BuildEnv(500, 483);
+
+  ShardRouterOptions router_options;
+  router_options.num_shards = 2;
+  router_options.placement["default"] = 0;
+  router_options.placement["b"] = 1;
+  RouterFixture fixture({{"default", env_a.get()}, {"b", env_b.get()}},
+                        router_options);
+  NetServer server(&fixture.router);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A cold server reports two idle shards.
+  StatsResponse cold = RunStatsProbe(server.port());
+  ASSERT_TRUE(cold.ok);
+  ASSERT_EQ(cold.shards.size(), 2u);
+  for (const net::WireShardStats& shard : cold.shards) {
+    EXPECT_EQ(shard.environments, 1u);
+    EXPECT_EQ(shard.submitted, 0u);
+    EXPECT_EQ(shard.inflight, 0u);
+  }
+
+  // One query per environment, then the ledger must show exactly one
+  // completed query on each shard.
+  ASSERT_TRUE(RunQuery(server.port(), "QUERY algo=obj").saw_end);
+  ASSERT_TRUE(RunQuery(server.port(), "QUERY env=b algo=obj").saw_end);
+  StatsResponse warm = RunStatsProbe(server.port());
+  ASSERT_TRUE(warm.ok);
+  ASSERT_EQ(warm.shards.size(), 2u);
+  for (const net::WireShardStats& shard : warm.shards) {
+    EXPECT_EQ(shard.submitted, 1u) << "shard " << shard.shard;
+    EXPECT_EQ(shard.admitted, 1u) << "shard " << shard.shard;
+    EXPECT_EQ(shard.completed, 1u) << "shard " << shard.shard;
+    EXPECT_EQ(shard.shed, 0u) << "shard " << shard.shard;
+    EXPECT_EQ(shard.inflight, 0u) << "shard " << shard.shard;
+  }
+
+  // A STATS probe with trailing junk is a malformed request.
+  const Response bad = RunQuery(server.port(), "STATS now");
+  EXPECT_TRUE(bad.saw_err);
+
+  server.Stop();
+  EXPECT_EQ(server.counters().stats, 2u);
+}
+
+TEST(NetServerTest, FloodAgainstTightAdmissionShedsWithErrOverloaded) {
+  // The admission acceptance shape over the wire: with --max-queue 1
+  // --max-inflight 1 semantics, a concurrent flood must come back as a
+  // mix of END and ERR Overloaded — no crashes, no hangs — and the STATS
+  // ledger must reconcile: admitted + shed == submitted.
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(2000, 491);
+
+  ShardRouterOptions router_options;
+  router_options.num_shards = 2;
+  router_options.admission.max_queue_per_shard = 1;
+  router_options.admission.max_inflight_total = 1;
+  RouterFixture fixture({{"default", env.get()}}, router_options);
+  NetServer server(&fixture.router);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kClients = 12;
+  std::vector<Response> responses(kClients);
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      responses[i] = RunQuery(server.port(), "QUERY algo=obj");
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  size_t ended = 0;
+  size_t overloaded = 0;
+  for (size_t i = 0; i < kClients; ++i) {
+    if (responses[i].saw_end) {
+      ++ended;
+      EXPECT_GT(responses[i].pairs.size(), 0u) << "connection " << i;
+    } else {
+      ASSERT_TRUE(responses[i].saw_err) << "connection " << i;
+      EXPECT_EQ(responses[i].error.code(), StatusCode::kOverloaded)
+          << "connection " << i;
+      EXPECT_FALSE(responses[i].saw_ok)
+          << "a shed request must never be acknowledged with OK";
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ended + overloaded, kClients);
+  EXPECT_GT(ended, 0u) << "the flood must not shed everything";
+  EXPECT_GT(overloaded, 0u) << "an in-flight cap of 1 must shed something";
+
+  const StatsResponse stats = RunStatsProbe(server.port());
+  ASSERT_TRUE(stats.ok);
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  for (const net::WireShardStats& shard : stats.shards) {
+    EXPECT_EQ(shard.admitted + shard.shed, shard.submitted)
+        << "shard " << shard.shard;
+    submitted += shard.submitted;
+    admitted += shard.admitted;
+    shed += shard.shed;
+  }
+  EXPECT_EQ(submitted, kClients);
+  EXPECT_EQ(admitted, ended);
+  EXPECT_EQ(shed, overloaded);
+
+  server.Stop();
+  const NetServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.ok, ended);
+  EXPECT_EQ(counters.shed, overloaded);
+  EXPECT_EQ(counters.failed, 0u);
 }
 
 }  // namespace

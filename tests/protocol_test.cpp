@@ -259,7 +259,8 @@ TEST(ProtocolErrTest, RoundTripsEveryStatusCode) {
         Status::NotFound("unknown environment 'x'"),
         Status::IoError("recv: reset"), Status::Corruption("bad page"),
         Status::NotSupported("nope"), Status::OutOfRange("limit"),
-        Status::Cancelled("client dropped")}) {
+        Status::Cancelled("client dropped"),
+        Status::Overloaded("shard 0 queue is full")}) {
     Status reparsed;
     ASSERT_TRUE(ParseErrLine(FormatErrLine(original), &reparsed).ok())
         << original.ToString();
@@ -278,6 +279,80 @@ TEST(ProtocolErrTest, MultiLineMessagesStayOneFrame) {
   Status reparsed;
   ASSERT_TRUE(ParseErrLine(line, &reparsed).ok());
   EXPECT_EQ(reparsed.message(), "line one line two");
+}
+
+TEST(ProtocolErrTest, OverloadedUsesItsOwnWireCode) {
+  // The admission layer's shed response must be distinguishable from a
+  // cancellation on the wire — retry policy differs (overloaded requests
+  // never started; cancelled ones were the caller's own doing).
+  const std::string line = FormatErrLine(Status::Overloaded("queue full"));
+  EXPECT_EQ(line, "ERR Overloaded queue full");
+  Status reparsed;
+  ASSERT_TRUE(ParseErrLine(line, &reparsed).ok());
+  EXPECT_EQ(reparsed.code(), StatusCode::kOverloaded);
+}
+
+TEST(ProtocolStatsTest, StatsRequestLineIsStrict) {
+  EXPECT_TRUE(IsStatsRequestLine("STATS"));
+  EXPECT_TRUE(IsStatsRequestLine("STATS\r"));    // interactive netcat
+  EXPECT_TRUE(IsStatsRequestLine("  STATS  "));  // whitespace-tolerant
+  EXPECT_FALSE(IsStatsRequestLine("STATS now"));
+  EXPECT_FALSE(IsStatsRequestLine("stats"));
+  EXPECT_FALSE(IsStatsRequestLine("QUERY"));
+  EXPECT_FALSE(IsStatsRequestLine(""));
+}
+
+TEST(ProtocolStatsTest, ShardLineRoundTrips) {
+  WireShardStats original;
+  original.shard = 3;
+  original.environments = 2;
+  original.queued = 5;
+  original.inflight = 7;
+  original.submitted = 100;
+  original.admitted = 90;
+  original.shed = 10;
+  original.completed = 80;
+  original.cancelled = 2;
+  original.failed = 1;
+  WireShardStats reparsed;
+  ASSERT_TRUE(
+      ParseShardStatsLine(FormatShardStatsLine(original), &reparsed).ok());
+  EXPECT_EQ(reparsed.shard, original.shard);
+  EXPECT_EQ(reparsed.environments, original.environments);
+  EXPECT_EQ(reparsed.queued, original.queued);
+  EXPECT_EQ(reparsed.inflight, original.inflight);
+  EXPECT_EQ(reparsed.submitted, original.submitted);
+  EXPECT_EQ(reparsed.admitted, original.admitted);
+  EXPECT_EQ(reparsed.shed, original.shed);
+  EXPECT_EQ(reparsed.completed, original.completed);
+  EXPECT_EQ(reparsed.cancelled, original.cancelled);
+  EXPECT_EQ(reparsed.failed, original.failed);
+}
+
+TEST(ProtocolStatsTest, ShardLineRejectsMalformedInput) {
+  WireShardStats ignored;
+  EXPECT_FALSE(ParseShardStatsLine("SHARD", &ignored).ok());
+  EXPECT_FALSE(ParseShardStatsLine("PAIR 0 envs=1", &ignored).ok());
+  // Missing fields, unknown keys, duplicates, and junk numbers.
+  EXPECT_FALSE(ParseShardStatsLine("SHARD 0 envs=1", &ignored).ok());
+  const std::string good = FormatShardStatsLine(WireShardStats{});
+  EXPECT_FALSE(ParseShardStatsLine(good + " bonus=1", &ignored).ok());
+  EXPECT_FALSE(ParseShardStatsLine(good + " envs=1", &ignored).ok());
+  EXPECT_FALSE(ParseShardStatsLine("SHARD x envs=0 queued=0 inflight=0 "
+                                   "submitted=0 admitted=0 shed=0 "
+                                   "completed=0 cancelled=0 failed=0",
+                                   &ignored)
+                   .ok());
+}
+
+TEST(ProtocolStatsTest, StatsEndLineRoundTrips) {
+  uint64_t shards = 0;
+  ASSERT_TRUE(ParseStatsEndLine(FormatStatsEndLine(4), &shards).ok());
+  EXPECT_EQ(shards, 4u);
+  EXPECT_FALSE(ParseStatsEndLine("ENDSTATS", &shards).ok());
+  EXPECT_FALSE(ParseStatsEndLine("ENDSTATS shards=x", &shards).ok());
+  EXPECT_FALSE(ParseStatsEndLine("END shards=1", &shards).ok());
+  EXPECT_FALSE(ParseStatsEndLine("ENDSTATS shards=1 extra=2", &shards).ok());
 }
 
 }  // namespace

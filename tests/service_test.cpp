@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/rcj.h"
@@ -306,6 +309,140 @@ TEST(ServiceTest, CancelAfterCompletionIsANoOp) {
 
   QueryTicket invalid;
   invalid.Cancel();  // no-op on an invalid ticket, not a crash
+}
+
+TEST(ServiceTest, DestructorDrainsWhileTicketsAreCancelledConcurrently) {
+  // Teardown under load: the destructor's drain races real Cancel()
+  // traffic — the shape a sharded server produces when it shuts down while
+  // connections are still dropping. Every ticket must resolve (ok or
+  // Cancelled), nothing may hang, and ASan must see no use-after-free of
+  // the request state.
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(1200, 441);
+
+  constexpr size_t kRequests = 12;
+  std::vector<std::vector<RcjPair>> streams(kRequests);
+  std::vector<std::unique_ptr<VectorSink>> sinks;
+  std::vector<QueryTicket> tickets;
+  std::vector<std::thread> cancellers;
+  {
+    ServiceOptions options;
+    options.max_batch_size = 2;  // several dispatch rounds: a real backlog
+    options.engine.num_threads = 2;
+    Service service(options);
+    for (size_t i = 0; i < kRequests; ++i) {
+      sinks.push_back(std::make_unique<VectorSink>(&streams[i]));
+      tickets.push_back(
+          service.Submit(QuerySpec::For(env.get()), sinks.back().get()));
+    }
+    // Every odd ticket is cancelled from its own thread while the
+    // destructor below drains the queue.
+    for (size_t i = 1; i < kRequests; i += 2) {
+      cancellers.emplace_back([ticket = tickets[i]]() mutable {
+        ticket.Cancel();
+      });
+    }
+    // Service destroyed here, mid-cancellation.
+  }
+  for (std::thread& canceller : cancellers) canceller.join();
+
+  for (size_t i = 0; i < kRequests; ++i) {
+    Status status;
+    ASSERT_TRUE(tickets[i].TryGet(&status))
+        << "ticket " << i << " never resolved";
+    EXPECT_TRUE(status.ok() || status.code() == StatusCode::kCancelled)
+        << "ticket " << i << ": " << status.ToString();
+    if (status.ok()) {
+      EXPECT_GT(streams[i].size(), 0u) << "ticket " << i;
+    }
+  }
+}
+
+TEST(ServiceTest, SubmitAfterShutdownFailsCleanly) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(500, 451);
+  Service service(ServiceOptions{});
+
+  // Work submitted before shutdown still completes.
+  std::vector<RcjPair> pairs;
+  VectorSink sink(&pairs);
+  QueryTicket before = service.Submit(QuerySpec::For(env.get()), &sink);
+  service.Shutdown();
+  Status status;
+  ASSERT_TRUE(before.TryGet(&status)) << "shutdown must drain, not drop";
+  EXPECT_TRUE(status.ok());
+  EXPECT_GT(pairs.size(), 0u);
+
+  // A late Submit resolves immediately — no hang on a dead dispatcher —
+  // with a clean error, and the completion hook still fires (an admission
+  // layer's slot must never leak).
+  std::vector<RcjPair> late_pairs;
+  VectorSink late_sink(&late_pairs);
+  Status done_status = Status::OK();
+  int done_calls = 0;
+  QueryTicket late = service.Submit(
+      QuerySpec::For(env.get()), &late_sink, [&](const Status& final) {
+        done_status = final;
+        ++done_calls;
+      });
+  ASSERT_TRUE(late.valid());
+  ASSERT_TRUE(late.TryGet(&status)) << "late ticket must resolve inline";
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(late_pairs.empty()) << "a shut-down service must not run it";
+  EXPECT_EQ(done_calls, 1);
+  EXPECT_EQ(done_status.code(), StatusCode::kCancelled);
+
+  service.Shutdown();  // idempotent; destructor will run it again
+}
+
+TEST(ServiceTest, DoneCallbackFiresOncePerOutcome) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(600, 461);
+
+  std::mutex mu;
+  std::map<std::string, std::vector<Status>> calls;
+  const auto recorder = [&](const std::string& key) {
+    return [&, key](const Status& final) {
+      std::lock_guard<std::mutex> lock(mu);
+      calls[key].push_back(final);
+    };
+  };
+
+  {
+    ServiceOptions options;
+    options.max_batch_size = 1;
+    Service service(options);
+
+    // Gate the first query so the cancelled one is still queued when its
+    // Cancel lands.
+    std::mutex gate_mu;
+    std::condition_variable gate_cv;
+    bool release = false;
+    CallbackSink gate_sink([&](const RcjPair&) {
+      std::unique_lock<std::mutex> lock(gate_mu);
+      gate_cv.wait(lock, [&] { return release; });
+      return true;
+    });
+    QueryTicket gate = service.Submit(QuerySpec::For(env.get()), &gate_sink,
+                                      recorder("ok"));
+    QueryTicket cancelled = service.Submit(QuerySpec::For(env.get()),
+                                           nullptr, recorder("cancelled"));
+    cancelled.Cancel();
+    QuerySpec invalid;  // env == nullptr -> InvalidArgument
+    QueryTicket bad = service.Submit(invalid, nullptr, recorder("invalid"));
+    {
+      std::lock_guard<std::mutex> lock(gate_mu);
+      release = true;
+    }
+    gate_cv.notify_all();
+    (void)gate.Wait();
+    (void)cancelled.Wait();
+    (void)bad.Wait();
+  }
+
+  ASSERT_EQ(calls["ok"].size(), 1u);
+  EXPECT_TRUE(calls["ok"][0].ok());
+  ASSERT_EQ(calls["cancelled"].size(), 1u);
+  EXPECT_EQ(calls["cancelled"][0].code(), StatusCode::kCancelled);
+  ASSERT_EQ(calls["invalid"].size(), 1u);
+  EXPECT_EQ(calls["invalid"][0].code(), StatusCode::kInvalidArgument);
 }
 
 TEST(ServiceTest, DestructorDrainsSubmittedWork) {

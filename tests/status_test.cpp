@@ -23,7 +23,21 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Overloaded("x").code(), StatusCode::kOverloaded);
   EXPECT_EQ(Status::IoError("disk on fire").message(), "disk on fire");
+}
+
+TEST(StatusTest, OverloadedRoundTrip) {
+  const Status s = Status::Overloaded("queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(s.message(), "queue full");
+  EXPECT_EQ(s.ToString(), "Overloaded: queue full");
+  EXPECT_EQ(s, Status::Overloaded("queue full"));
+  EXPECT_FALSE(s == Status::Cancelled("queue full"));
+
+  // The free helper is the same status, spelled as the decision.
+  EXPECT_EQ(OverloadedError("queue full"), s);
 }
 
 TEST(StatusTest, CancelledToString) {

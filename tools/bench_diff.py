@@ -135,15 +135,24 @@ def main() -> int:
 
     lines = []  # the delta table, also written to --out
     regressions = []  # (bench, label, metric, old, new, delta)
+    # Benches present in only one artifact set: listed in the table and
+    # counted as warnings, NEVER a failure — a freshly added bench must not
+    # trip the gate on its first run, and a removed bench is a review
+    # question, not a perf regression.
+    one_sided = []  # (bench, note)
     improvements = 0
     compared = 0
 
     for bench in sorted(set(baseline) | set(current)):
         if bench not in current:
-            lines.append(f"~ {bench}: missing from current run (removed bench?)")
+            note = "missing from current run (removed bench?)"
+            one_sided.append((bench, note))
+            lines.append(f"~ WARNING {bench}: {note}")
             continue
         if bench not in baseline:
-            lines.append(f"~ {bench}: new bench, no baseline yet")
+            note = "new bench, no baseline yet"
+            one_sided.append((bench, note))
+            lines.append(f"~ WARNING {bench}: {note}")
             continue
         bench_lines = []
         for label, old_metrics in baseline[bench].items():
@@ -196,7 +205,8 @@ def main() -> int:
     )
     summary = (
         f"{len(regressions)} regression(s), {improvements} improvement(s) "
-        f"beyond threshold"
+        f"beyond threshold, {len(one_sided)} bench(es) in only one set "
+        f"(warnings)"
     )
     output = "\n".join([header] + lines + [summary])
     print(output)
@@ -210,6 +220,10 @@ def main() -> int:
                 f"{label} / {metric}: {old:g} -> {new:g} ({shown}, "
                 f"threshold {args.threshold:.0%})"
             )
+        # One-sided benches always annotate at warning level, whatever the
+        # caller's gate level: they are informational by design.
+        for bench, note in one_sided:
+            print(f"::warning title=bench set changed::{bench}: {note}")
 
     if regressions:
         worst = ", ".join(sorted({r[0] for r in regressions}))

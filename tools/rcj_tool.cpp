@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/rcj.h"
@@ -36,6 +37,7 @@
 #include "net/net_server.h"
 #include "net/protocol.h"
 #include "service/service.h"
+#include "shard/shard_router.h"
 #include "workload/dataset.h"
 #include "workload/generator.h"
 
@@ -59,12 +61,20 @@ int Usage() {
       "  rcj_tool serve --q Q.csv [--p P.csv | --self]\n"
       "           [--algos obj,inj,bij] [--repeat N] [--limit K]\n"
       "           [--threads T] [--max-batch B] [--out PAIRS.csv]\n"
+      "                        (with --port, --threads is the server-wide\n"
+      "                         worker budget, split across shards)\n"
       "           [--port P]   (with --port: TCP line-protocol server\n"
       "                         until SIGINT/SIGTERM; 0 = ephemeral)\n"
+      "           [--shards N] [--max-queue N] [--max-inflight N]\n"
+      "           [--envs NAME:Q.csv:P.csv,NAME2:Q2.csv:self,...]\n"
+      "                        (extra named environments besides 'default';\n"
+      "                         network mode only)\n"
       "  rcj_tool client [--host H] --port P [--env NAME]\n"
       "           [--algo brute|inj|bij|obj] [--order dfs|random]\n"
       "           [--verify 0|1] [--seed S] [--limit K] [--io-ms F]\n"
-      "           [--out PAIRS.csv] [--quiet]\n");
+      "           [--out PAIRS.csv] [--quiet]\n"
+      "  rcj_tool client [--host H] --port P --stats\n"
+      "                        (print the server's per-shard STATS table)\n");
   return 2;
 }
 
@@ -187,6 +197,36 @@ bool ParseAlgoList(const char* cmd,
   return true;
 }
 
+// Loads Q (and P unless `self`) and builds the environment, printing a
+// `cmd`-prefixed — and, for named --envs entries, `label`-prefixed —
+// message on failure. The one construction path for the default and every
+// --envs environment, so they can never diverge.
+Result<std::unique_ptr<RcjEnvironment>> BuildEnvFromPaths(
+    const char* cmd, const std::string& label, const std::string& q_path,
+    const std::string& p_path, bool self, const RcjRunOptions& options) {
+  const std::string prefix =
+      label.empty() ? std::string() : "env '" + label + "': ";
+  const auto fail = [&](const Status& status) {
+    std::fprintf(stderr, "%s: %s%s\n", cmd, prefix.c_str(),
+                 status.ToString().c_str());
+    return status;
+  };
+  Result<Dataset> qset = LoadCsv(q_path);
+  if (!qset.ok()) return fail(qset.status());
+  Result<std::unique_ptr<RcjEnvironment>> env(
+      Status::InvalidArgument("not yet built"));
+  if (self) {
+    env = RcjEnvironment::BuildSelf(qset.value().points, options);
+  } else {
+    Result<Dataset> pset = LoadCsv(p_path);
+    if (!pset.ok()) return fail(pset.status());
+    env = RcjEnvironment::Build(qset.value().points, pset.value().points,
+                                options);
+  }
+  if (!env.ok()) return fail(env.status());
+  return env;
+}
+
 // Shared by join/batch: reads --buffer-frac/--page-size into `options`,
 // loads --q (and --p unless --self), and builds the environment. On
 // failure prints a `cmd`-prefixed message and returns the process exit
@@ -225,39 +265,16 @@ Result<std::unique_ptr<RcjEnvironment>> BuildEnvFromFlags(
     *exit_code = 2;
     return Status::InvalidArgument("missing --q");
   }
-  Result<Dataset> qset = LoadCsv(q_path);
-  if (!qset.ok()) {
-    std::fprintf(stderr, "%s: %s\n", cmd,
-                 qset.status().ToString().c_str());
-    *exit_code = 1;
-    return qset.status();
+  const bool self = flags.count("self") != 0;
+  const std::string p_path = FlagOr(flags, "p", "");
+  if (!self && p_path.empty()) {
+    std::fprintf(stderr, "%s: --p or --self is required\n", cmd);
+    *exit_code = 2;
+    return Status::InvalidArgument("missing --p/--self");
   }
-
-  Result<std::unique_ptr<RcjEnvironment>> env(
-      Status::InvalidArgument("not yet built"));
-  if (flags.count("self") != 0) {
-    env = RcjEnvironment::BuildSelf(qset.value().points, *options);
-  } else {
-    const std::string p_path = FlagOr(flags, "p", "");
-    if (p_path.empty()) {
-      std::fprintf(stderr, "%s: --p or --self is required\n", cmd);
-      *exit_code = 2;
-      return Status::InvalidArgument("missing --p/--self");
-    }
-    Result<Dataset> pset = LoadCsv(p_path);
-    if (!pset.ok()) {
-      std::fprintf(stderr, "%s: %s\n", cmd,
-                   pset.status().ToString().c_str());
-      *exit_code = 1;
-      return pset.status();
-    }
-    env = RcjEnvironment::Build(qset.value().points, pset.value().points,
-                                *options);
-  }
-  if (!env.ok()) {
-    std::fprintf(stderr, "%s: %s\n", cmd, env.status().ToString().c_str());
-    *exit_code = 1;
-  }
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      BuildEnvFromPaths(cmd, "", q_path, p_path, self, *options);
+  if (!env.ok()) *exit_code = 1;
   return env;
 }
 
@@ -415,9 +432,50 @@ volatile std::sig_atomic_t g_serve_stop = 0;
 
 void HandleStopSignal(int) { g_serve_stop = 1; }
 
-// `serve --port`: the real network server. Builds the environment, wires it
-// into a Service + NetServer, and blocks until SIGINT/SIGTERM, then shuts
-// down cleanly (so `kill $pid; wait $pid` in scripts observes exit 0).
+// Builds the extra environments named by --envs ("name:q.csv:p.csv" or
+// "name:q.csv:self", comma-separated). Appends (name, environment) pairs;
+// the unique_ptrs own them for the server's lifetime.
+bool BuildExtraEnvs(
+    const std::string& spec_list, const RcjRunOptions& options,
+    std::vector<std::pair<std::string, std::unique_ptr<RcjEnvironment>>>*
+        envs) {
+  size_t pos = 0;
+  while (pos <= spec_list.size()) {
+    size_t comma = spec_list.find(',', pos);
+    if (comma == std::string::npos) comma = spec_list.size();
+    const std::string item = spec_list.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const size_t c1 = item.find(':');
+    const size_t c2 = c1 == std::string::npos ? std::string::npos
+                                              : item.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      std::fprintf(stderr,
+                   "serve: --envs entry '%s' wants NAME:Q.csv:P.csv or "
+                   "NAME:Q.csv:self\n",
+                   item.c_str());
+      return false;
+    }
+    const std::string name = item.substr(0, c1);
+    const std::string q_path = item.substr(c1 + 1, c2 - c1 - 1);
+    const std::string p_path = item.substr(c2 + 1);
+    if (name.empty() || q_path.empty() || p_path.empty()) {
+      std::fprintf(stderr, "serve: --envs entry '%s' has an empty field\n",
+                   item.c_str());
+      return false;
+    }
+    Result<std::unique_ptr<RcjEnvironment>> env = BuildEnvFromPaths(
+        "serve", name, q_path, p_path, p_path == "self", options);
+    if (!env.ok()) return false;
+    envs->emplace_back(name, std::move(env).value());
+  }
+  return true;
+}
+
+// `serve --port`: the real network server. Builds the environments, wires
+// them into a ShardRouter + NetServer, and blocks until SIGINT/SIGTERM,
+// then shuts down cleanly (so `kill $pid; wait $pid` in scripts observes
+// exit 0).
 int CmdServeNetwork(const std::map<std::string, std::string>& flags) {
   // Demo-mode knobs have no meaning for the network server (clients bring
   // their own algorithm/limit per request); reject them loudly instead of
@@ -444,15 +502,46 @@ int CmdServeNetwork(const std::map<std::string, std::string>& flags) {
                  FlagOr(flags, "port", "0").c_str());
     return 2;
   }
-  ServiceOptions service_options;
-  if (!ParseCount(FlagOr(flags, "threads", "0"), 4096,
-                  &service_options.engine.num_threads)) {
+  ShardRouterOptions router_options;
+  if (!ParseCount(FlagOr(flags, "shards", "1"), 4096,
+                  &router_options.num_shards) ||
+      router_options.num_shards == 0) {
+    std::fprintf(stderr, "serve: invalid --shards '%s' (want 1..4096)\n",
+                 FlagOr(flags, "shards", "1").c_str());
+    return 2;
+  }
+  if (!ParseCount(FlagOr(flags, "max-queue", "0"), 1u << 20,
+                  &router_options.admission.max_queue_per_shard)) {
+    std::fprintf(stderr, "serve: invalid --max-queue '%s'\n",
+                 FlagOr(flags, "max-queue", "0").c_str());
+    return 2;
+  }
+  if (!ParseCount(FlagOr(flags, "max-inflight", "0"), 1u << 20,
+                  &router_options.admission.max_inflight_total)) {
+    std::fprintf(stderr, "serve: invalid --max-inflight '%s'\n",
+                 FlagOr(flags, "max-inflight", "0").c_str());
+    return 2;
+  }
+  size_t total_threads = 0;
+  if (!ParseCount(FlagOr(flags, "threads", "0"), 4096, &total_threads)) {
     std::fprintf(stderr, "serve: invalid --threads '%s'\n",
                  FlagOr(flags, "threads", "0").c_str());
     return 2;
   }
+  // --threads is the server-wide worker budget; every shard owns its own
+  // engine, so divide instead of letting N shards each size themselves to
+  // the full machine (8 shards on a 16-core box must not spawn 128
+  // workers). 0 = hardware concurrency, split the same way.
+  if (total_threads == 0) {
+    total_threads = std::thread::hardware_concurrency();
+    if (total_threads == 0) total_threads = 1;
+  }
+  router_options.service.engine.num_threads =
+      total_threads / router_options.num_shards > 0
+          ? total_threads / router_options.num_shards
+          : 1;
   if (!ParseCount(FlagOr(flags, "max-batch", "16"), 1u << 20,
-                  &service_options.max_batch_size)) {
+                  &router_options.service.max_batch_size)) {
     std::fprintf(stderr, "serve: invalid --max-batch '%s'\n",
                  FlagOr(flags, "max-batch", "16").c_str());
     return 2;
@@ -463,22 +552,41 @@ int CmdServeNetwork(const std::map<std::string, std::string>& flags) {
   Result<std::unique_ptr<RcjEnvironment>> env =
       BuildEnvFromFlags("serve", flags, &options, &exit_code);
   if (!env.ok()) return exit_code;
-  service_options.engine.worker_buffer_fraction = options.buffer_fraction;
+  router_options.service.engine.worker_buffer_fraction =
+      options.buffer_fraction;
 
-  Service service(service_options);
-  const std::map<std::string, const RcjEnvironment*> environments = {
-      {"default", env.value().get()}};
+  // --q/--p define "default"; --envs adds more named environments whose
+  // ownership this vector holds for the server's lifetime.
+  std::vector<std::pair<std::string, std::unique_ptr<RcjEnvironment>>>
+      extra_envs;
+  if (!BuildExtraEnvs(FlagOr(flags, "envs", ""), options, &extra_envs)) {
+    return 2;
+  }
+
+  ShardRouter router(router_options);
+  Status status = router.RegisterEnvironment("default", env.value().get());
+  for (const auto& named : extra_envs) {
+    if (!status.ok()) break;
+    status = router.RegisterEnvironment(named.first, named.second.get());
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
+    return 2;
+  }
+
   NetServerOptions server_options;
   server_options.port = static_cast<uint16_t>(port);
-  NetServer server(&service, environments, server_options);
-  const Status status = server.Start();
+  NetServer server(&router, server_options);
+  status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("listening on %s:%u (%zu worker threads)\n",
+  std::printf("listening on %s:%u (%zu shards, %zu environments, "
+              "%zu worker threads)\n",
               server_options.bind_address.c_str(),
-              static_cast<unsigned>(server.port()), service.num_threads());
+              static_cast<unsigned>(server.port()), router.num_shards(),
+              extra_envs.size() + 1, router.num_threads());
   std::fflush(stdout);
 
   while (g_serve_stop == 0) {
@@ -487,13 +595,110 @@ int CmdServeNetwork(const std::map<std::string, std::string>& flags) {
   server.Stop();
   const NetServer::Counters counters = server.counters();
   std::printf("shut down: %llu connections | %llu ok | %llu rejected | "
-              "%llu cancelled | %llu failed\n",
+              "%llu shed | %llu cancelled | %llu failed | %llu stats\n",
               static_cast<unsigned long long>(counters.connections),
               static_cast<unsigned long long>(counters.ok),
               static_cast<unsigned long long>(counters.rejected),
+              static_cast<unsigned long long>(counters.shed),
               static_cast<unsigned long long>(counters.cancelled),
-              static_cast<unsigned long long>(counters.failed));
+              static_cast<unsigned long long>(counters.failed),
+              static_cast<unsigned long long>(counters.stats));
   return 0;
+}
+
+// Connects to host:port, returning the fd, or a negated process exit code
+// (message already printed): -1 = runtime failure (retryable), -2 = usage
+// error (a malformed --host must keep exiting 2, not 1, so wrapper
+// scripts don't retry a permanently broken invocation).
+int ConnectClient(const std::string& host, size_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "client: socket: %s\n", std::strerror(errno));
+    return -1;
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "client: bad host '%s'\n", host.c_str());
+    close(fd);
+    return -2;
+  }
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    std::fprintf(stderr, "client: connect %s:%zu: %s\n", host.c_str(), port,
+                 std::strerror(errno));
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// `client --stats`: one STATS probe, printed as a table. Exit 0 iff the
+// response ends in a well-formed ENDSTATS whose shard count matches the
+// SHARD rows received.
+int CmdClientStats(const std::string& host, size_t port) {
+  const int fd = ConnectClient(host, port);
+  if (fd < 0) return -fd;
+  if (!net::SendAll(fd, "STATS\n")) {
+    std::fprintf(stderr, "client: send: %s\n", std::strerror(errno));
+    close(fd);
+    return 1;
+  }
+  net::LineReader reader(fd);
+  std::string line;
+  int exit_code = 1;
+  if (!reader.ReadLine(&line)) {
+    std::fprintf(stderr, "client: connection closed before a response\n");
+  } else if (line != "OK") {
+    Status err = Status::IoError("malformed response '" + line + "'");
+    net::ParseErrLine(line, &err);
+    std::fprintf(stderr, "client: %s\n", err.ToString().c_str());
+  } else {
+    std::printf("%-6s %5s %7s %9s %10s %9s %6s %10s %10s %7s\n", "shard",
+                "envs", "queued", "inflight", "submitted", "admitted",
+                "shed", "completed", "cancelled", "failed");
+    uint64_t rows = 0;
+    while (reader.ReadLine(&line)) {
+      net::WireShardStats shard;
+      uint64_t shards = 0;
+      Status err = Status::OK();
+      if (net::ParseShardStatsLine(line, &shard).ok()) {
+        ++rows;
+        std::printf("%-6llu %5llu %7llu %9llu %10llu %9llu %6llu %10llu "
+                    "%10llu %7llu\n",
+                    static_cast<unsigned long long>(shard.shard),
+                    static_cast<unsigned long long>(shard.environments),
+                    static_cast<unsigned long long>(shard.queued),
+                    static_cast<unsigned long long>(shard.inflight),
+                    static_cast<unsigned long long>(shard.submitted),
+                    static_cast<unsigned long long>(shard.admitted),
+                    static_cast<unsigned long long>(shard.shed),
+                    static_cast<unsigned long long>(shard.completed),
+                    static_cast<unsigned long long>(shard.cancelled),
+                    static_cast<unsigned long long>(shard.failed));
+      } else if (net::ParseStatsEndLine(line, &shards).ok()) {
+        exit_code = shards == rows ? 0 : 1;
+        if (exit_code != 0) {
+          std::fprintf(stderr,
+                       "client: ENDSTATS reports %llu shards but %llu "
+                       "rows streamed\n",
+                       static_cast<unsigned long long>(shards),
+                       static_cast<unsigned long long>(rows));
+        }
+        break;
+      } else if (net::ParseErrLine(line, &err).ok()) {
+        std::fprintf(stderr, "client: %s\n", err.ToString().c_str());
+        break;
+      } else {
+        std::fprintf(stderr, "client: malformed line '%s'\n", line.c_str());
+        break;
+      }
+    }
+  }
+  close(fd);
+  return exit_code;
 }
 
 // Scripted wire-protocol client: one connection, one query, pairs written
@@ -505,6 +710,7 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "client: --port (1..65535) is required\n");
     return 2;
   }
+  if (flags.count("stats") != 0) return CmdClientStats(host, port);
 
   net::WireRequest request;
   request.env_name = FlagOr(flags, "env", "default");
@@ -550,27 +756,8 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
     return 2;
   }
 
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::fprintf(stderr, "client: socket: %s\n", std::strerror(errno));
-    return 1;
-  }
-  struct sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    std::fprintf(stderr, "client: bad host '%s'\n", host.c_str());
-    close(fd);
-    return 2;
-  }
-  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
-              sizeof(addr)) != 0) {
-    std::fprintf(stderr, "client: connect %s:%zu: %s\n", host.c_str(), port,
-                 std::strerror(errno));
-    close(fd);
-    return 1;
-  }
+  const int fd = ConnectClient(host, port);
+  if (fd < 0) return -fd;
 
   if (!net::SendAll(fd, net::FormatRequestLine(request) + "\n")) {
     std::fprintf(stderr, "client: send: %s\n", std::strerror(errno));
@@ -654,6 +841,17 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
 
 int CmdServe(const std::map<std::string, std::string>& flags) {
   if (flags.count("port") != 0) return CmdServeNetwork(flags);
+  // Mirror of the demo-only check in CmdServeNetwork: sharding knobs mean
+  // nothing without the network server, so refuse instead of ignoring.
+  for (const char* network_only :
+       {"shards", "max-queue", "max-inflight", "envs"}) {
+    if (flags.count(network_only) != 0) {
+      std::fprintf(stderr,
+                   "serve: --%s needs the network server (add --port)\n",
+                   network_only);
+      return 2;
+    }
+  }
   std::vector<RcjAlgorithm> algorithms;
   if (!ParseAlgoList("serve", flags, &algorithms)) return 2;
   size_t repeat = 1;
