@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/rcj_inj.h"
 #include "engine/engine.h"
 
 namespace {
@@ -98,6 +99,83 @@ int main(int argc, char** argv) {
     reporter.AddMetric(label, "wall_seconds", wall);
     reporter.AddMetric(label, "speedup", speedup);
     reporter.AddMetric(label, "threads", static_cast<double>(threads));
+  }
+
+  // ---- Work stealing on skewed leaf work. -------------------------------
+  // P collapses into two tight clusters, so a handful of T_Q leaves carry
+  // most of the join. A coarse static split (chunk size = range size, the
+  // pre-stealing engine) pins each dense range to whichever worker drew
+  // it; the fine-grained chunk cursor (steal-chunk auto) lets idle workers
+  // steal the dense region chunk by chunk. Expected shape: on multi-core
+  // machines the auto rows beat the static rows at equal thread counts;
+  // on one hardware thread both collapse to ~1x, recorded honestly.
+  {
+    const std::vector<PointRecord> skew_q = GenerateUniform(n, 111);
+    const std::vector<PointRecord> skew_p =
+        GenerateGaussianClusters(n, 2, 400.0, 112);
+    std::unique_ptr<RcjEnvironment> skew_env =
+        bench::MustBuild(skew_q, skew_p, options);
+    QuerySpec skew_spec = QuerySpec::For(skew_env.get());
+    skew_spec.algorithm = options.algorithm;
+
+    // The leaf count determines the chunk size that reproduces the static
+    // contiguous split (one chunk per task).
+    std::vector<uint64_t> leaves;
+    if (!LeafPagesInOrder(skew_env->tq(), skew_spec.order,
+                          skew_spec.random_seed, &leaves)
+             .ok()) {
+      std::fprintf(stderr, "leaf enumeration failed\n");
+      return 1;
+    }
+
+    const Clock::time_point skew_serial_start = Clock::now();
+    RcjRunOptions skew_options = options;
+    const RcjRunResult skew_serial =
+        bench::MustRun(skew_env.get(), skew_options);
+    const double skew_serial_seconds = SecondsSince(skew_serial_start);
+
+    std::printf("\nskewed leaf work (P in 2 tight clusters), %zu leaves:\n",
+                leaves.size());
+    std::printf("%-22s %10s %10s %9s\n", "configuration", "results",
+                "wall(s)", "speedup");
+    std::printf("%-22s %10llu %10.3f %9s\n", "serial",
+                static_cast<unsigned long long>(skew_serial.stats.results),
+                skew_serial_seconds, "1.00x");
+    reporter.AddMetric("skew/serial", "wall_seconds", skew_serial_seconds);
+
+    for (const size_t threads : {2u, 4u, 8u}) {
+      for (const bool steal : {false, true}) {
+        EngineOptions engine_options;
+        engine_options.num_threads = threads;
+        if (!steal) {
+          // Static split: exactly one chunk per task, like the engine
+          // before the shared claim cursor existed.
+          const size_t max_tasks =
+              threads * engine_options.tasks_per_thread;
+          engine_options.steal_chunk_leaves =
+              (leaves.size() + max_tasks - 1) / max_tasks;
+        }
+        Engine engine(engine_options);
+        const Clock::time_point start = Clock::now();
+        const Result<RcjRunResult> run = engine.Run(skew_spec);
+        const double wall = SecondsSince(start);
+        if (!run.ok() ||
+            run.value().stats.results != skew_serial.stats.results) {
+          std::fprintf(stderr, "skewed run failed or mismatched\n");
+          return 1;
+        }
+        const double speedup = skew_serial_seconds / wall;
+        const std::string label =
+            std::string("skew/threads=") + std::to_string(threads) +
+            (steal ? "/steal=auto" : "/steal=static");
+        std::printf("%-22s %10llu %10.3f %8.2fx\n", label.c_str(),
+                    static_cast<unsigned long long>(
+                        run.value().stats.results),
+                    wall, speedup);
+        reporter.AddMetric(label, "wall_seconds", wall);
+        reporter.AddMetric(label, "speedup", speedup);
+      }
+    }
   }
 
   // ---- Batch throughput: a service mix of concurrent queries. -----------

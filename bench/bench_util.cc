@@ -54,20 +54,24 @@ std::vector<PointRecord> Surrogate(RealDataset kind, const Scale& scale,
 }
 
 void PrintStatsHeader() {
-  std::printf("%-22s %12s %10s %12s %10s %9s %9s %10s %9s\n",
+  std::printf("%-22s %12s %10s %12s %10s %8s %8s %9s %9s %10s %9s\n",
               "configuration", "candidates", "results", "node-access",
-              "faults", "I/O(s)", "CPU(s)", "CPUmod(s)", "total(s)");
+              "faults", "cold", "warm", "I/O(s)", "CPU(s)", "CPUmod(s)",
+              "total(s)");
 }
 
 void PrintStatsRow(const std::string& label, const JoinStats& stats) {
   const double cpu_model = static_cast<double>(stats.node_accesses) *
                            kCpuModelSecondsPerNodeAccess;
-  std::printf("%-22s %12llu %10llu %12llu %10llu %9.2f %9.3f %10.2f %9.2f\n",
+  std::printf("%-22s %12llu %10llu %12llu %10llu %8llu %8llu %9.2f "
+              "%9.3f %10.2f %9.2f\n",
               label.c_str(),
               static_cast<unsigned long long>(stats.candidates),
               static_cast<unsigned long long>(stats.results),
               static_cast<unsigned long long>(stats.node_accesses),
               static_cast<unsigned long long>(stats.page_faults),
+              static_cast<unsigned long long>(stats.cold_faults),
+              static_cast<unsigned long long>(stats.warm_faults),
               stats.io_seconds, stats.cpu_seconds, cpu_model,
               stats.total_seconds());
 }
@@ -92,6 +96,8 @@ void JsonReporter::AddStats(const std::string& label, const JoinStats& stats) {
   AddMetric(label, "node_accesses",
             static_cast<double>(stats.node_accesses));
   AddMetric(label, "page_faults", static_cast<double>(stats.page_faults));
+  AddMetric(label, "cold_faults", static_cast<double>(stats.cold_faults));
+  AddMetric(label, "warm_faults", static_cast<double>(stats.warm_faults));
   AddMetric(label, "io_seconds", stats.io_seconds);
   AddMetric(label, "cpu_seconds", stats.cpu_seconds);
   AddMetric(label, "total_seconds", stats.total_seconds());

@@ -43,6 +43,16 @@ struct JoinStats {
   uint64_t results = 0;        ///< surviving RCJ pairs.
   uint64_t node_accesses = 0;  ///< logical R-tree node reads (buffer pins).
   uint64_t page_faults = 0;    ///< buffer misses during the join.
+  /// Split of page_faults by buffer-pool history: cold_faults are first
+  /// touches of pages the executing pool had never cached (the root-path
+  /// and compulsory leaf faults a fresh view always pays), warm_faults are
+  /// refetches of pages the pool once held and evicted (capacity misses).
+  /// cold_faults + warm_faults == page_faults. A serial cold-start run is
+  /// all cold; the engine's persistent worker-view cache converts repeat
+  /// queries' compulsory faults into hits, which these counters make
+  /// observable per query.
+  uint64_t cold_faults = 0;
+  uint64_t warm_faults = 0;
   double io_seconds = 0.0;     ///< page_faults x ms_per_fault / 1000.
   double cpu_seconds = 0.0;    ///< measured wall time of the join phase.
 

@@ -1,6 +1,7 @@
 #include "core/runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
 #include "core/rcj_brute.h"
@@ -34,7 +35,10 @@ Result<std::unique_ptr<RcjEnvironment>> RcjEnvironment::BuildImpl(
     const std::vector<PointRecord>& qset,
     const std::vector<PointRecord>& pset, bool self_join,
     const RcjRunOptions& options) {
+  static std::atomic<uint64_t> next_generation{1};
   std::unique_ptr<RcjEnvironment> env(new RcjEnvironment());
+  env->generation_ =
+      next_generation.fetch_add(1, std::memory_order_relaxed);
   env->self_join_ = self_join;
   env->qset_ = qset;
   env->pset_ = self_join ? qset : pset;
@@ -187,6 +191,8 @@ Status RcjEnvironment::Run(const QuerySpec& spec, PairSink* sink,
   const BufferStats& buffer_stats = buffer_->stats();
   stats->node_accesses = buffer_stats.logical_accesses;
   stats->page_faults = buffer_stats.page_faults;
+  stats->cold_faults = buffer_stats.cold_faults;
+  stats->warm_faults = buffer_stats.warm_faults();
   IoCostModel model = cost_model_;
   model.ms_per_fault = bound.io_ms_per_fault;
   stats->io_seconds = model.SecondsFor(buffer_stats);

@@ -96,6 +96,12 @@ class RcjEnvironment {
   BufferManager& buffer() { return *buffer_; }
   bool self_join() const { return self_join_; }
 
+  /// Process-unique id assigned at Build time. Caches keyed by environment
+  /// pointer compare this too, so an environment destroyed and rebuilt at
+  /// the same address can never satisfy a stale cache entry (the engine's
+  /// persistent worker-view cache relies on it).
+  uint64_t generation() const { return generation_; }
+
   /// Total pages of both trees — the base of the buffer-fraction sizing.
   uint64_t total_tree_pages() const;
 
@@ -123,6 +129,7 @@ class RcjEnvironment {
       const RcjRunOptions& options);
 
   bool self_join_ = false;
+  uint64_t generation_ = 0;
   RTreeOptions rtree_options_;
   std::unique_ptr<MemPageStore> q_store_;
   std::unique_ptr<MemPageStore> p_store_;  // null in self-join mode

@@ -14,49 +14,25 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// A worker's private, read-only window onto one environment's indexes:
-/// fresh RTree views over the shared page stores, faulting through a
-/// private LRU pool so buffer accounting needs no cross-thread latching.
-struct WorkerView {
-  std::unique_ptr<BufferManager> buffer;
-  std::unique_ptr<RTree> tq;
-  std::unique_ptr<RTree> tp;  // aliases tq for self-joins
+/// Cached leaf orders the engine keeps across batches.
+constexpr size_t kPlanCacheCap = 32;
 
-  const RTree& tq_ref() const { return *tq; }
-  const RTree& tp_ref() const { return tp != nullptr ? *tp : *tq; }
-};
-
-Status OpenWorkerView(const RcjEnvironment& env, const EngineOptions& options,
-                      WorkerView* view) {
+size_t WorkerPoolPages(const RcjEnvironment& env,
+                       const EngineOptions& options) {
   const auto scaled = static_cast<size_t>(
       options.worker_buffer_fraction *
       static_cast<double>(env.total_tree_pages()));
-  const size_t pool_pages =
-      std::max(options.worker_min_buffer_pages, scaled);
-  view->buffer = std::make_unique<BufferManager>(pool_pages);
-
-  Result<std::unique_ptr<RTree>> tq = RTree::Open(
-      env.q_page_store(), view->buffer.get(), env.rtree_options());
-  if (!tq.ok()) return tq.status();
-  view->tq = std::move(tq).value();
-
-  if (!env.self_join()) {
-    Result<std::unique_ptr<RTree>> tp = RTree::Open(
-        env.p_page_store(), view->buffer.get(), env.rtree_options());
-    if (!tp.ok()) return tp.status();
-    view->tp = std::move(tp).value();
-  }
-  // Opening the views pinned the header pages; reset so the aggregated
-  // counters cover exactly the join, like the serial runner's cold start.
-  view->buffer->ResetStats();
-  return Status::OK();
+  return std::max(options.worker_min_buffer_pages, scaled);
 }
 
-/// Per-query streaming state, shared by the query's leaf-range tasks. Tasks
-/// buffer their pairs privately (ranges finish out of order), then hand the
-/// buffer to DeliverReadyRanges, which flushes buffers to the delivery sink
-/// strictly in range order — so the sink observes the exact serial pair
-/// stream, incrementally, as the frontier of completed ranges advances.
+/// Per-query streaming state, shared by the query's tasks. A split query's
+/// serial leaf order is divided into `num_chunks` fixed contiguous chunks;
+/// tasks claim chunks from the shared `next_chunk` cursor (work stealing),
+/// buffer each chunk's pairs privately in `chunk_pairs`, then mark the
+/// chunk complete via DeliverReadyRanges, which flushes `chunk_pairs`
+/// entries to the delivery sink strictly in chunk order — so the sink
+/// observes the exact serial pair stream, incrementally, as the frontier
+/// of completed chunks advances.
 struct QueryEmitState {
   std::mutex mu;
   /// Final delivery target: the caller's sink, or an engine-owned
@@ -64,28 +40,43 @@ struct QueryEmitState {
   PairSink* sink = nullptr;
   uint64_t limit = 0;      ///< 0 = unlimited (from QuerySpec::limit).
   uint64_t delivered = 0;  ///< pairs handed to `sink` so far.
-  size_t next_range = 0;   ///< first range not yet flushed.
-  std::vector<const std::vector<RcjPair>*> buffers;  ///< per-range output.
-  std::vector<char> range_done;
+  size_t next_range = 0;   ///< first chunk not yet flushed.
+  enum : char { kPending = 0, kDone = 1, kFailed = 2 };
+  std::vector<char> range_done;  ///< per-chunk completion state.
   /// True once nothing more may reach the sink: the limit was satisfied,
-  /// the sink refused a pair, or an earlier range failed (a later range's
+  /// the sink refused a pair, or an earlier chunk failed (a later chunk's
   /// output would no longer be a serial prefix).
   bool delivery_closed = false;
   /// First failure raised by the delivery sink itself (an Emit() that
   /// threw); settled into the query's result status at merge time.
   Status delivery_status;
-  /// Relaxed cross-thread signal that remaining work is pointless: queued
-  /// tasks skip themselves and running tasks stop at their next emission.
+  /// Relaxed cross-thread signal that remaining work is pointless: tasks
+  /// stop claiming chunks and running traversals stop at their next
+  /// emission.
   std::atomic<bool> cancelled{false};
+
+  // ---- chunk scheduling (work stealing) ----
+  /// The query's full T_Q leaf order (engine plan cache), or null when the
+  /// query runs as one unsplit task (BRUTE, small tree, intra off).
+  const std::vector<uint64_t>* leaves = nullptr;
+  size_t chunk_size = 0;
+  size_t num_chunks = 1;
+  /// Shared claim cursor: fetch_add hands each task the next unclaimed
+  /// chunk, so a task stuck in a dense (skewed) leaf region simply claims
+  /// fewer chunks while idle workers steal the rest.
+  std::atomic<size_t> next_chunk{0};
+  /// Stable per-chunk buffers (sized up front, never resized) so a chunk
+  /// finished out of order survives until the frontier reaches it.
+  std::vector<std::vector<RcjPair>> chunk_pairs;
 };
 
-/// Task-local sink: buffers into the task's private vector and aborts the
-/// traversal as soon as the query was cancelled (limit satisfied elsewhere)
-/// or this task has buffered `limit` pairs itself. The per-task cap is
-/// sound because delivery is cumulative in range order: once a single
-/// range holds `limit` pairs, nothing past them can ever reach the user's
-/// sink — so a limit-capped query stops early even when it runs as one
-/// task (single worker, small tree, or BRUTE).
+/// Task-local sink: buffers into the chunk's private vector and aborts the
+/// traversal as soon as the query was cancelled (limit satisfied
+/// elsewhere) or this chunk has buffered `limit` pairs itself. The
+/// per-chunk cap is sound because delivery is cumulative in chunk order:
+/// once a single chunk holds `limit` pairs, nothing past them can ever
+/// reach the user's sink — so a limit-capped query stops early even when
+/// it runs as one task (single worker, small tree, or BRUTE).
 class TaskBufferSink final : public PairSink {
  public:
   TaskBufferSink(std::vector<RcjPair>* buffer,
@@ -104,43 +95,45 @@ class TaskBufferSink final : public PairSink {
   uint64_t limit_;
 };
 
-/// One schedulable unit: a whole query, or one contiguous leaf range of an
-/// indexed query. Filled in by the worker that executes it.
+/// One schedulable unit: a claimant of its query's chunk cursor. A query
+/// spawns min(max_tasks, num_chunks) of these; each loops, claiming and
+/// executing chunks until the cursor (or a cancellation) runs dry.
 struct EngineTask {
   size_t query_index = 0;
-  size_t range_index = 0;
   QueryEmitState* emit = nullptr;
-  // Owned copy of this task's T_Q leaf range; null-equivalent (empty, with
-  // use_subset false) for single-task queries and BRUTE.
-  bool use_subset = false;
-  std::vector<uint64_t> leaf_subset;
 
   Status status;
-  std::vector<RcjPair> pairs;
-  JoinStats stats;
-  BufferStats buffer_stats;
+  JoinStats stats;  ///< candidate/result counts accumulated by ExecuteRcj.
+  // Buffer accounting of this task's chunks (deltas of the worker pool's
+  // counters, so a warm cached pool attributes only this query's work).
+  uint64_t node_accesses = 0;
+  uint64_t page_faults = 0;
+  uint64_t cold_faults = 0;
+  uint64_t warm_faults = 0;
   Clock::time_point start;
   Clock::time_point end;
 };
 
-/// Marks `range` complete and flushes every ready range at the frontier to
+/// Marks `range` complete and flushes every ready chunk at the frontier to
 /// the delivery sink, in order. Called by the worker that finished the
-/// range; the per-query mutex serializes delivery, so sinks see one thread
-/// at a time. On reaching the limit (or a sink refusal / range failure),
+/// chunk; the per-query mutex serializes delivery, so sinks see one thread
+/// at a time. On reaching the limit (or a sink refusal / chunk failure),
 /// closes delivery and raises the cancellation flag for the query's
-/// remaining tasks.
-void DeliverReadyRanges(QueryEmitState* st, size_t range,
-                        const std::vector<RcjPair>* pairs, bool failed) {
+/// remaining chunks.
+void DeliverReadyRanges(QueryEmitState* st, size_t range, bool failed) {
   std::lock_guard<std::mutex> lock(st->mu);
-  st->range_done[range] = 1;
-  st->buffers[range] = failed ? nullptr : pairs;
+  st->range_done[range] =
+      failed ? QueryEmitState::kFailed : QueryEmitState::kDone;
   if (failed) {
     st->delivery_closed = true;
     st->cancelled.store(true, std::memory_order_relaxed);
   }
   while (st->next_range < st->range_done.size() &&
-         st->range_done[st->next_range]) {
-    const std::vector<RcjPair>* ready = st->buffers[st->next_range];
+         st->range_done[st->next_range] != QueryEmitState::kPending) {
+    const std::vector<RcjPair>* ready =
+        st->range_done[st->next_range] == QueryEmitState::kDone
+            ? &st->chunk_pairs[st->next_range]
+            : nullptr;
     if (!st->delivery_closed && ready != nullptr) {
       // The sink is caller code (or a vector push_back that can hit
       // bad_alloc); a throw must not escape into the thread pool with the
@@ -173,50 +166,111 @@ void DeliverReadyRanges(QueryEmitState* st, size_t range,
   }
 }
 
+/// The task body: claim chunks from the query's cursor until it runs dry
+/// (or the query is cancelled), executing each against this worker's
+/// cached view — acquired lazily, so a task that never claims a chunk
+/// touches no index at all. All failure paths (Status and exceptions)
+/// collapse to a failed chunk, which closes delivery for the query without
+/// poisoning batchmates.
+void RunTaskChunks(const EngineQuery& query, const EngineOptions& options,
+                   std::vector<std::unique_ptr<WorkerContext>>* contexts,
+                   EngineTask* t) {
+  QueryEmitState* emit = t->emit;
+  WorkerView local_view;  // cache-off storage
+  WorkerView* view = nullptr;
+  BufferStats base;
+
+  const auto ensure_view = [&]() -> Status {
+    if (view != nullptr) return Status::OK();
+    const RcjEnvironment& env = *query.spec.env;
+    const size_t pool_pages = WorkerPoolPages(env, options);
+    if (options.view_cache) {
+      const size_t worker = ThreadPool::CurrentWorkerIndex();
+      // Tasks only run on pool workers, so the index is always in range.
+      Result<WorkerView*> acquired =
+          (*contexts)[worker]->Acquire(env, pool_pages, nullptr);
+      if (!acquired.ok()) return acquired.status();
+      view = acquired.value();
+    } else {
+      RINGJOIN_RETURN_IF_ERROR(
+          OpenWorkerView(env, pool_pages, &local_view));
+      view = &local_view;
+    }
+    // Snapshot the pool counters so this task charges exactly its own
+    // chunks — excluding the header pins of a fresh open (like the old
+    // post-open ResetStats) and every earlier query on a warm pool.
+    base = view->buffer->stats();
+    return Status::OK();
+  };
+
+  for (;;) {
+    // An external cancel (service ticket, dropped network peer) joins the
+    // internal one here, so even a query that never emits a pair stops at
+    // the next chunk boundary.
+    if (query.cancel != nullptr &&
+        query.cancel->load(std::memory_order_relaxed)) {
+      emit->cancelled.store(true, std::memory_order_relaxed);
+    }
+    if (emit->cancelled.load(std::memory_order_relaxed)) break;
+    const size_t chunk =
+        emit->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= emit->num_chunks) break;
+
+    // The join code reports errors via Status, but allocation can still
+    // throw on oversized result sets; convert to a per-query failure so
+    // one starved query never poisons its batchmates (engine.h contract).
+    Status status;
+    try {
+      status = ensure_view();
+      if (status.ok()) {
+        std::vector<uint64_t> subset;
+        const std::vector<uint64_t>* subset_ptr = nullptr;
+        if (emit->leaves != nullptr) {
+          const size_t begin = chunk * emit->chunk_size;
+          const size_t end = std::min(begin + emit->chunk_size,
+                                      emit->leaves->size());
+          subset.assign(emit->leaves->begin() + begin,
+                        emit->leaves->begin() + end);
+          subset_ptr = &subset;
+        }
+        const RcjEnvironment& env = *query.spec.env;
+        TaskBufferSink sink(&emit->chunk_pairs[chunk], &emit->cancelled,
+                            query.spec.limit);
+        status = ExecuteRcj(view->tq_ref(), view->tp_ref(), env.qset(),
+                            env.pset(), env.self_join(), query.spec,
+                            subset_ptr, &sink, &t->stats);
+      }
+    } catch (const std::exception& e) {
+      status =
+          Status::IoError(std::string("engine task threw: ") + e.what());
+    } catch (...) {
+      status = Status::IoError("engine task threw a non-std exception");
+    }
+    const bool failed = !status.ok();
+    if (failed) t->status = status;
+    DeliverReadyRanges(emit, chunk, failed);
+    if (failed) break;
+  }
+
+  if (view != nullptr) {
+    const BufferStats now = view->buffer->stats();
+    t->node_accesses = now.logical_accesses - base.logical_accesses;
+    t->page_faults = now.page_faults - base.page_faults;
+    t->cold_faults = now.cold_faults - base.cold_faults;
+    t->warm_faults = t->page_faults - t->cold_faults;
+  }
+}
+
 void SubmitTasks(const std::vector<EngineQuery>& queries,
-                 const EngineOptions& engine_options, ThreadPool* pool,
-                 std::vector<EngineTask>* tasks) {
+                 const EngineOptions& engine_options,
+                 std::vector<std::unique_ptr<WorkerContext>>* contexts,
+                 ThreadPool* pool, std::vector<EngineTask>* tasks) {
   for (EngineTask& task : *tasks) {
     const EngineQuery& query = queries[task.query_index];
     EngineTask* t = &task;
-    pool->Submit([t, &query, &engine_options] {
+    pool->Submit([t, &query, &engine_options, contexts] {
       t->start = Clock::now();
-      // The join code reports errors via Status, but allocation can still
-      // throw on oversized result sets; convert to a per-query failure so
-      // one starved query never poisons its batchmates (engine.h contract).
-      try {
-        // An external cancel (service ticket, dropped network peer) joins
-        // the internal one here, so even a query that never emits a pair
-        // stops at the next leaf-range boundary.
-        if (query.cancel != nullptr &&
-            query.cancel->load(std::memory_order_relaxed)) {
-          t->emit->cancelled.store(true, std::memory_order_relaxed);
-        }
-        // Skip outright if the query was already satisfied or failed — the
-        // cancellation that makes limit-capped queries cheaper than the
-        // full join.
-        if (!t->emit->cancelled.load(std::memory_order_relaxed)) {
-          WorkerView view;
-          const RcjEnvironment& env = *query.spec.env;
-          t->status = OpenWorkerView(env, engine_options, &view);
-          if (t->status.ok()) {
-            TaskBufferSink sink(&t->pairs, &t->emit->cancelled,
-                                query.spec.limit);
-            t->status = ExecuteRcj(view.tq_ref(), view.tp_ref(), env.qset(),
-                                   env.pset(), env.self_join(), query.spec,
-                                   t->use_subset ? &t->leaf_subset : nullptr,
-                                   &sink, &t->stats);
-            t->buffer_stats = view.buffer->stats();
-          }
-        }
-      } catch (const std::exception& e) {
-        t->status = Status::IoError(std::string("engine task threw: ") +
-                                    e.what());
-      } catch (...) {
-        t->status = Status::IoError("engine task threw a non-std exception");
-      }
-      DeliverReadyRanges(t->emit, t->range_index, &t->pairs,
-                         !t->status.ok());
+      RunTaskChunks(query, engine_options, contexts, t);
       t->end = Clock::now();
     });
   }
@@ -225,31 +279,95 @@ void SubmitTasks(const std::vector<EngineQuery>& queries,
 }  // namespace
 
 Engine::Engine(EngineOptions options)
-    : options_(options), pool_(options.num_threads) {}
+    : options_(options), pool_(options.num_threads) {
+  contexts_.reserve(pool_.num_threads());
+  for (size_t i = 0; i < pool_.num_threads(); ++i) {
+    contexts_.push_back(std::make_unique<WorkerContext>(
+        options_.max_cached_envs_per_worker));
+  }
+}
 
 Engine::~Engine() = default;
+
+void Engine::InvalidateCachedViews(const RcjEnvironment* env) {
+  for (const std::unique_ptr<WorkerContext>& context : contexts_) {
+    context->Invalidate(env);
+  }
+  for (auto it = plan_cache_.begin(); it != plan_cache_.end();) {
+    if (env == nullptr || it->env == env) {
+      it = plan_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+WorkerContextStats Engine::context_stats() const {
+  WorkerContextStats total;
+  for (const std::unique_ptr<WorkerContext>& context : contexts_) {
+    const WorkerContextStats& stats = context->stats();
+    total.opens += stats.opens;
+    total.reuses += stats.reuses;
+    total.evictions += stats.evictions;
+    total.invalidations += stats.invalidations;
+  }
+  return total;
+}
+
+Status Engine::LeavesFor(const QuerySpec& spec, uint64_t batch_id,
+                         const std::vector<uint64_t>** leaves) {
+  for (auto it = plan_cache_.begin(); it != plan_cache_.end(); ++it) {
+    if (it->env != spec.env || it->order != spec.order ||
+        it->seed != spec.random_seed) {
+      continue;
+    }
+    if (it->generation == spec.env->generation()) {
+      it->last_used_batch = batch_id;
+      plan_cache_.splice(plan_cache_.begin(), plan_cache_, it);
+      *leaves = &plan_cache_.front().leaves;
+      return Status::OK();
+    }
+    // Same key, older generation: the environment was rebuilt — the plan
+    // can never be valid again.
+    plan_cache_.erase(it);
+    break;
+  }
+
+  PlanEntry entry;
+  entry.env = spec.env;
+  entry.generation = spec.env->generation();
+  entry.order = spec.order;
+  entry.seed = spec.random_seed;
+  entry.last_used_batch = batch_id;
+  RINGJOIN_RETURN_IF_ERROR(LeafPagesInOrder(
+      spec.env->tq(), spec.order, spec.random_seed, &entry.leaves));
+  plan_cache_.push_front(std::move(entry));
+
+  // Evict past the cap, oldest first — but never an entry this batch
+  // already handed out (tasks hold pointers into its leaves).
+  auto it = plan_cache_.end();
+  while (plan_cache_.size() > kPlanCacheCap && it != plan_cache_.begin()) {
+    --it;
+    if (it->last_used_batch != batch_id) it = plan_cache_.erase(it);
+  }
+  *leaves = &plan_cache_.front().leaves;
+  return Status::OK();
+}
 
 std::vector<EngineQueryResult> Engine::RunBatch(
     const std::vector<EngineQuery>& queries) {
   std::vector<EngineQueryResult> results(queries.size());
+  const uint64_t batch_id = ++batch_counter_;
 
-  // ---- Plan: expand each query into one or more leaf-range tasks. -------
-  // Batches typically repeat the same environment many times; compute each
-  // distinct (env, order, seed) leaf order once so the serial planning
-  // prefix stays O(distinct environments), not O(queries).
-  struct LeafOrder {
-    const RcjEnvironment* env;
-    SearchOrder order;
-    uint64_t seed;
-    std::vector<uint64_t> leaves;
-  };
-  std::vector<LeafOrder> leaf_orders;
-
+  // ---- Plan: expand each query into one or more claimant tasks over a
+  // chunked leaf order. Leaf orders come from the engine's persistent plan
+  // cache, so batches repeating the same environment skip the serial
+  // planning traversal entirely. ---------------------------------------
   std::vector<EngineTask> tasks;
   std::vector<std::vector<size_t>> tasks_of_query(queries.size());
   // Per-query streaming state and engine-owned collection sinks. Both are
-  // stable deques/vectors of pointers referenced by queued lambdas, so they
-  // must outlive pool_.WaitIdle() below.
+  // stable vectors of pointers referenced by queued lambdas, so they must
+  // outlive pool_.WaitIdle() below.
   std::vector<std::unique_ptr<QueryEmitState>> emit_states(queries.size());
   std::vector<std::unique_ptr<VectorSink>> collect_sinks(queries.size());
 
@@ -261,54 +379,19 @@ std::vector<EngineQueryResult> Engine::RunBatch(
       continue;
     }
 
-    std::vector<std::vector<uint64_t>> ranges;
+    // The depth-first (or seeded-shuffle) leaf order is resolved once on
+    // the caller thread, then chunked, so flushing chunk outputs in order
+    // equals the serial run.
+    const std::vector<uint64_t>* leaves = nullptr;
     if (options_.intra_query_parallelism &&
         query.spec.algorithm != RcjAlgorithm::kBrute &&
         pool_.num_threads() > 1) {
-      // The depth-first (or seeded-shuffle) leaf order is computed once
-      // here on the caller thread, then split into contiguous ranges, so
-      // flushing task outputs in range order equals the serial run.
-      const std::vector<uint64_t>* leaves_ptr = nullptr;
-      for (const LeafOrder& cached : leaf_orders) {
-        if (cached.env == query.spec.env &&
-            cached.order == query.spec.order &&
-            cached.seed == query.spec.random_seed) {
-          leaves_ptr = &cached.leaves;
-          break;
-        }
+      const Status status = LeavesFor(query.spec, batch_id, &leaves);
+      if (!status.ok()) {
+        results[qi].status = status;
+        continue;
       }
-      if (leaves_ptr == nullptr) {
-        LeafOrder entry;
-        entry.env = query.spec.env;
-        entry.order = query.spec.order;
-        entry.seed = query.spec.random_seed;
-        const Status status =
-            LeafPagesInOrder(query.spec.env->tq(), query.spec.order,
-                             query.spec.random_seed, &entry.leaves);
-        if (!status.ok()) {
-          results[qi].status = status;
-          continue;
-        }
-        leaf_orders.push_back(std::move(entry));
-        leaves_ptr = &leaf_orders.back().leaves;
-      }
-      const std::vector<uint64_t>& leaves = *leaves_ptr;
-      if (leaves.size() >= options_.min_leaves_to_split) {
-        const size_t max_tasks = std::max<size_t>(
-            1, pool_.num_threads() * options_.tasks_per_thread);
-        const size_t num_ranges = std::min(max_tasks, leaves.size());
-        ranges.resize(num_ranges);
-        // Balanced contiguous split: range sizes differ by at most one.
-        const size_t base = leaves.size() / num_ranges;
-        const size_t extra = leaves.size() % num_ranges;
-        size_t next = 0;
-        for (size_t r = 0; r < num_ranges; ++r) {
-          const size_t len = base + (r < extra ? 1 : 0);
-          ranges[r].assign(leaves.begin() + next,
-                           leaves.begin() + next + len);
-          next += len;
-        }
-      }
+      if (leaves->size() < options_.min_leaves_to_split) leaves = nullptr;
     }
 
     emit_states[qi] = std::make_unique<QueryEmitState>();
@@ -316,32 +399,43 @@ std::vector<EngineQueryResult> Engine::RunBatch(
     if (query.sink != nullptr) {
       emit->sink = query.sink;
     } else {
-      collect_sinks[qi] = std::make_unique<VectorSink>(&results[qi].run.pairs);
+      collect_sinks[qi] =
+          std::make_unique<VectorSink>(&results[qi].run.pairs);
       emit->sink = collect_sinks[qi].get();
     }
     emit->limit = query.spec.limit;
-    const size_t num_ranges = ranges.empty() ? 1 : ranges.size();
-    emit->buffers.assign(num_ranges, nullptr);
-    emit->range_done.assign(num_ranges, 0);
 
-    if (ranges.empty()) {
+    size_t num_tasks = 1;
+    if (leaves != nullptr) {
+      const size_t max_tasks = std::max<size_t>(
+          1, pool_.num_threads() * options_.tasks_per_thread);
+      // Auto chunks are several times finer than the task count, so the
+      // cursor can rebalance a dense region. An explicit chunk size is
+      // clamped to the static-split granularity (ceil(leaves/max_tasks)):
+      // an oversized request degenerates to exactly the static contiguous
+      // split, never below it — a huge --steal-chunk must not silently
+      // serialize the query onto one worker.
+      const size_t static_chunk =
+          (leaves->size() + max_tasks - 1) / max_tasks;
+      size_t chunk = options_.steal_chunk_leaves;
+      if (chunk == 0) {
+        chunk = std::max<size_t>(1, leaves->size() / (max_tasks * 8));
+      }
+      chunk = std::min(std::max<size_t>(1, chunk), static_chunk);
+      emit->leaves = leaves;
+      emit->chunk_size = chunk;
+      emit->num_chunks = (leaves->size() + chunk - 1) / chunk;
+      num_tasks = std::min(max_tasks, emit->num_chunks);
+    }
+    emit->range_done.assign(emit->num_chunks, QueryEmitState::kPending);
+    emit->chunk_pairs.resize(emit->num_chunks);
+
+    for (size_t r = 0; r < num_tasks; ++r) {
       EngineTask task;
       task.query_index = qi;
-      task.range_index = 0;
       task.emit = emit;
       tasks_of_query[qi].push_back(tasks.size());
       tasks.push_back(std::move(task));
-    } else {
-      for (size_t r = 0; r < ranges.size(); ++r) {
-        EngineTask task;
-        task.query_index = qi;
-        task.range_index = r;
-        task.emit = emit;
-        task.use_subset = true;
-        task.leaf_subset = std::move(ranges[r]);
-        tasks_of_query[qi].push_back(tasks.size());
-        tasks.push_back(std::move(task));
-      }
     }
   }
 
@@ -350,16 +444,16 @@ std::vector<EngineQueryResult> Engine::RunBatch(
   // `tasks` and `queries`, so if a Submit() allocation throws mid-loop we
   // must drain the already-queued work before unwinding destroys them.
   try {
-    SubmitTasks(queries, options_, &pool_, &tasks);
+    SubmitTasks(queries, options_, &contexts_, &pool_, &tasks);
   } catch (...) {
     pool_.WaitIdle();
     throw;
   }
   pool_.WaitIdle();
 
-  // ---- Merge: delivery already happened in range order as tasks
-  // completed; here we aggregate the private pools' fault accounting,
-  // charge the paper's I/O cost model, and settle per-query statuses. -----
+  // ---- Merge: delivery already happened in chunk order as tasks
+  // completed; here we aggregate the worker pools' fault accounting,
+  // charge the paper's I/O cost model, and settle per-query statuses. ----
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     if (!results[qi].status.ok()) continue;  // planning already failed
     EngineQueryResult& result = results[qi];
@@ -371,8 +465,10 @@ std::vector<EngineQueryResult> Engine::RunBatch(
         break;
       }
       result.run.stats.candidates += task.stats.candidates;
-      result.run.stats.node_accesses += task.buffer_stats.logical_accesses;
-      result.run.stats.page_faults += task.buffer_stats.page_faults;
+      result.run.stats.node_accesses += task.node_accesses;
+      result.run.stats.page_faults += task.page_faults;
+      result.run.stats.cold_faults += task.cold_faults;
+      result.run.stats.warm_faults += task.warm_faults;
       busy_seconds +=
           std::chrono::duration<double>(task.end - task.start).count();
     }
@@ -381,13 +477,13 @@ std::vector<EngineQueryResult> Engine::RunBatch(
     }
     if (!result.status.ok()) {
       // The caller's sink may have received a serial prefix before the
-      // failing range was reached; the status is the source of truth.
+      // failing chunk was reached; the status is the source of truth.
       result.run = RcjRunResult();
       continue;
     }
-    // Results = pairs actually delivered to the sink (the in-order stream),
-    // not the sum of task-local buffers — tasks past a satisfied limit may
-    // have buffered pairs that were rightly dropped.
+    // Results = pairs actually delivered to the sink (the in-order
+    // stream), not the sum of chunk buffers — chunks past a satisfied
+    // limit may have buffered pairs that were rightly dropped.
     result.run.stats.results = emit_states[qi]->delivered;
     IoCostModel model;
     model.ms_per_fault = queries[qi].spec.io_ms_per_fault;

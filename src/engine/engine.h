@@ -25,17 +25,32 @@
 // is how a caller gets top-k middleman pairs without paying for the full
 // join.
 //
-// Each task opens private read-only R-tree views (RTree::Open) over the
-// environment's page stores with a private LRU buffer pool, so workers
-// never contend on buffer latches; per-worker BufferStats are aggregated
-// into the query's JoinStats afterwards (the summed fault count is
-// honestly a little higher than one shared serial pool would produce,
-// since every worker faults its own root path).
+// Workers execute through persistent execution contexts (worker_context.h):
+// each worker thread owns a long-lived cache of (environment -> view)
+// entries — private read-only R-tree views over the environment's page
+// stores, faulting through a private LRU pool that stays WARM across
+// tasks, batches, and service dispatch rounds. Repeat queries against the
+// same environment skip view construction and serve the root path from the
+// warm pool; JoinStats splits page_faults into cold_faults (first touches)
+// and warm_faults (capacity re-faults) so the effect is observable per
+// query. Entries are keyed by environment generation, so a rebuilt or
+// destroyed environment can never satisfy a stale entry; the owning layers
+// call InvalidateCachedViews() before tearing an environment down.
+// EngineOptions::view_cache = false restores the original open-per-task
+// model (every fault cold, minimal resident memory).
+//
+// Intra-query scheduling is adaptive: a split query's serial leaf order is
+// divided into fine-grained chunks claimed from a shared atomic cursor, so
+// a worker that drew a dense (skewed) leaf region simply claims fewer
+// chunks while idle workers steal the rest — no static range assignment,
+// and delivery still flushes strictly in chunk order, preserving the exact
+// serial pair stream.
 #ifndef RINGJOIN_ENGINE_ENGINE_H_
 #define RINGJOIN_ENGINE_ENGINE_H_
 
 #include <atomic>
 #include <cstddef>
+#include <list>
 #include <memory>
 #include <vector>
 
@@ -43,6 +58,7 @@
 #include "common/status.h"
 #include "core/runner.h"
 #include "engine/thread_pool.h"
+#include "engine/worker_context.h"
 
 namespace rcj {
 
@@ -62,6 +78,22 @@ struct EngineOptions {
   /// runner's buffer_fraction/min_buffer_pages pair.
   double worker_buffer_fraction = 0.01;
   size_t worker_min_buffer_pages = 32;
+  /// Keep each worker's R-tree views and warm buffer pool alive across
+  /// tasks and batches (the persistent worker-view cache). Off restores
+  /// the original open-per-task model: fresh views and an all-cold pool
+  /// for every task — the benchmark baseline and the memory floor.
+  bool view_cache = true;
+  /// Leaves claimed per scheduling step when one query is split across
+  /// workers. Tasks pull chunks of this size from a shared cursor (work
+  /// stealing), so skewed leaf regions no longer pin their whole static
+  /// range to one worker. 0 = auto: leaves / (max_tasks * 8), at least 1.
+  /// Explicit values are clamped to ceil(leaves / max_tasks), so an
+  /// oversized chunk degenerates to exactly the static contiguous split —
+  /// never to fewer tasks than that.
+  size_t steal_chunk_leaves = 0;
+  /// Environments one worker keeps warm at once; least recently used
+  /// entries beyond the cap are dropped (views + buffer pool freed).
+  size_t max_cached_envs_per_worker = 4;
 };
 
 /// One query of a batch: the validated spec plus an optional streaming
@@ -119,9 +151,42 @@ class Engine {
   Result<RcjRunResult> Run(const QuerySpec& spec);
   Status Run(const QuerySpec& spec, PairSink* sink, JoinStats* stats);
 
+  /// Drops every cached worker view and cached leaf-order plan matching
+  /// `env` (all of them when null). Call before destroying or rebuilding
+  /// an environment the engine has executed against, so no worker holds
+  /// views over freed page stores. Must not overlap a RunBatch call — the
+  /// same external serialization the batch API already requires (rcj::
+  /// Service runs it from its dispatcher, or after the dispatcher joined).
+  void InvalidateCachedViews(const RcjEnvironment* env = nullptr);
+
+  /// Aggregated view-cache counters across all workers (opens, reuses,
+  /// evictions, invalidations). Same serialization rule as RunBatch.
+  WorkerContextStats context_stats() const;
+
  private:
+  /// Cached T_Q leaf orders keyed by (env, generation, order, seed):
+  /// repeated batches over long-lived environments skip the serial
+  /// planning traversal entirely. LRU-capped; entries referenced by the
+  /// current batch are never evicted (tasks hold pointers into them).
+  struct PlanEntry {
+    const RcjEnvironment* env = nullptr;
+    uint64_t generation = 0;
+    SearchOrder order = SearchOrder::kDepthFirst;
+    uint64_t seed = 0;
+    uint64_t last_used_batch = 0;
+    std::vector<uint64_t> leaves;
+  };
+
+  Status LeavesFor(const QuerySpec& spec, uint64_t batch_id,
+                   const std::vector<uint64_t>** leaves);
+
   EngineOptions options_;
+  /// Declared before pool_ so workers are joined (pool_ destroyed) before
+  /// their contexts go away.
+  std::vector<std::unique_ptr<WorkerContext>> contexts_;
   ThreadPool pool_;
+  std::list<PlanEntry> plan_cache_;  // front = most recently used
+  uint64_t batch_counter_ = 0;
 };
 
 }  // namespace rcj

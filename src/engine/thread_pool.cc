@@ -1,6 +1,13 @@
 #include "engine/thread_pool.h"
 
 namespace rcj {
+namespace {
+
+thread_local size_t tls_worker_index = ThreadPool::kNotAWorker;
+
+}  // namespace
+
+size_t ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -10,7 +17,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   threads_.reserve(num_threads);
   try {
     for (size_t i = 0; i < num_threads; ++i) {
-      threads_.emplace_back([this] { WorkerLoop(); });
+      threads_.emplace_back([this, i] { WorkerLoop(i); });
     }
   } catch (...) {
     // Spawn failed partway (e.g. system thread limit): join what exists —
@@ -52,7 +59,8 @@ void ThreadPool::WaitIdle() {
                  [this] { return queue_.empty() && active_tasks_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {

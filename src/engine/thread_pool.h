@@ -41,8 +41,16 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// Index of the calling thread within its owning pool ([0, num_threads)),
+  /// or kNotAWorker when the caller is not a pool worker. Each worker
+  /// thread belongs to exactly one pool for its whole lifetime, so the
+  /// index is a stable per-pool identity — the engine uses it to give every
+  /// worker a private long-lived execution context without any locking.
+  static size_t CurrentWorkerIndex();
+  static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> threads_;
   std::mutex mu_;

@@ -351,15 +351,18 @@ Status ParsePairLine(const std::string& line, RcjPair* out) {
 }
 
 std::string FormatEndLine(const WireSummary& summary) {
-  char buffer[256];
+  char buffer[320];
   std::snprintf(buffer, sizeof(buffer),
                 "END pairs=%llu candidates=%llu results=%llu "
-                "node_accesses=%llu faults=%llu io_s=%.17g cpu_s=%.17g",
+                "node_accesses=%llu faults=%llu cold_faults=%llu "
+                "warm_faults=%llu io_s=%.17g cpu_s=%.17g",
                 static_cast<unsigned long long>(summary.pairs),
                 static_cast<unsigned long long>(summary.stats.candidates),
                 static_cast<unsigned long long>(summary.stats.results),
                 static_cast<unsigned long long>(summary.stats.node_accesses),
                 static_cast<unsigned long long>(summary.stats.page_faults),
+                static_cast<unsigned long long>(summary.stats.cold_faults),
+                static_cast<unsigned long long>(summary.stats.warm_faults),
                 summary.stats.io_seconds, summary.stats.cpu_seconds);
   return buffer;
 }
@@ -370,7 +373,7 @@ Status ParseEndLine(const std::string& line, WireSummary* out) {
   if (tokens.empty() || tokens[0] != "END") {
     return Status::InvalidArgument("END line must start with END");
   }
-  bool seen[7] = {};
+  bool seen[9] = {};
   for (size_t i = 1; i < tokens.size(); ++i) {
     const size_t eq = tokens[i].find('=');
     if (eq == std::string::npos) {
@@ -396,11 +399,17 @@ Status ParseEndLine(const std::string& line, WireSummary* out) {
     } else if (key == "faults") {
       slot = 4;
       status = ParseUint64Field(key, value, &out->stats.page_faults);
-    } else if (key == "io_s") {
+    } else if (key == "cold_faults") {
       slot = 5;
+      status = ParseUint64Field(key, value, &out->stats.cold_faults);
+    } else if (key == "warm_faults") {
+      slot = 6;
+      status = ParseUint64Field(key, value, &out->stats.warm_faults);
+    } else if (key == "io_s") {
+      slot = 7;
       status = ParseDoubleField(key, value, &out->stats.io_seconds);
     } else if (key == "cpu_s") {
-      slot = 6;
+      slot = 8;
       status = ParseDoubleField(key, value, &out->stats.cpu_seconds);
     } else {
       return Status::InvalidArgument("unknown END key '" + key + "'");

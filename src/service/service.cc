@@ -75,6 +75,32 @@ void Service::Shutdown() {
   }
   queue_cv_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
+  // The dispatcher is gone, so nothing races the engine's caches: drop
+  // every cached worker view and plan. From here the caller may destroy
+  // its environments — a stopped service never opens views again.
+  engine_.InvalidateCachedViews();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_invalidations_.clear();
+    invalidations_applied_ = invalidations_requested_;
+  }
+  invalidate_cv_.notify_all();
+}
+
+void Service::InvalidateEnvironment(const RcjEnvironment* env) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) {
+    // Shutdown() clears every cached view once the dispatcher drains, and
+    // a stopped service never opens new ones. (The engine must not be
+    // touched from here: the dispatcher may still be running its final
+    // batches.)
+    return;
+  }
+  const uint64_t ticket = ++invalidations_requested_;
+  pending_invalidations_.push_back(env);
+  queue_cv_.notify_all();
+  invalidate_cv_.wait(
+      lock, [this, ticket] { return invalidations_applied_ >= ticket; });
 }
 
 QueryTicket Service::Submit(const QuerySpec& spec, PairSink* sink,
@@ -118,15 +144,38 @@ size_t Service::pending() const {
 void Service::DispatcherLoop() {
   for (;;) {
     std::vector<Request> round;
+    std::vector<const RcjEnvironment*> invalidations;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_, and all work drained
+      queue_cv_.wait(lock, [this] {
+        return stopping_ || !queue_.empty() ||
+               !pending_invalidations_.empty();
+      });
+      invalidations.swap(pending_invalidations_);
+      if (queue_.empty() && invalidations.empty()) {
+        return;  // stopping_, and all work drained
+      }
       while (!queue_.empty() && round.size() < options_.max_batch_size) {
         round.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
     }
+
+    // Between batches is the one moment this thread — the only one that
+    // runs the engine — may touch its caches: apply invalidations first,
+    // so a caller waiting in InvalidateEnvironment can destroy the
+    // environment before the next batch could possibly reopen views.
+    if (!invalidations.empty()) {
+      for (const RcjEnvironment* env : invalidations) {
+        engine_.InvalidateCachedViews(env);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        invalidations_applied_ += invalidations.size();
+      }
+      invalidate_cv_.notify_all();
+    }
+    if (round.empty()) continue;
 
     // Requests cancelled while still queued never reach the engine; the
     // rest run behind a cancellation-aware sink shim so a Cancel() during

@@ -123,11 +123,25 @@ class Service {
   QueryTicket Submit(const QuerySpec& spec, PairSink* sink,
                      DoneCallback on_done = nullptr);
 
-  /// Completes every already-submitted query, then stops the dispatcher.
-  /// Idempotent from the owning thread; also run by the destructor. After
-  /// Shutdown(), Submit() keeps working but resolves every ticket as
-  /// Cancelled without running it.
+  /// Completes every already-submitted query, then stops the dispatcher
+  /// and drops every cached worker view — after Shutdown() returns, no
+  /// engine worker holds views over any environment, so the caller may
+  /// destroy them. Idempotent from the owning thread; also run by the
+  /// destructor. After Shutdown(), Submit() keeps working but resolves
+  /// every ticket as Cancelled without running it.
   void Shutdown();
+
+  /// Drops every cached worker view (and cached plan) for `env` from the
+  /// owned engine, blocking until the dispatcher has applied it between
+  /// batches — the hook to pull before destroying or rebuilding an
+  /// environment mid-service. The caller must first ensure no queued or
+  /// in-flight query still targets `env` (cancel the tickets or wait them
+  /// out); this call then guarantees the engine holds nothing over its
+  /// page stores. Safe from any thread except a Service callback (a
+  /// DoneCallback or sink calling back in would deadlock the dispatcher).
+  /// After Shutdown() it is a no-op: a stopped service cleared everything
+  /// and never opens new views.
+  void InvalidateEnvironment(const RcjEnvironment* env);
 
   /// Queries accepted but not yet handed to the engine. In-flight batches
   /// are not counted.
@@ -152,6 +166,12 @@ class Service {
   std::condition_variable queue_cv_;
   std::deque<Request> queue_;
   bool stopping_ = false;
+  /// Invalidation requests the dispatcher applies between batches (the
+  /// only thread that may touch the engine's caches while running).
+  std::vector<const RcjEnvironment*> pending_invalidations_;
+  uint64_t invalidations_requested_ = 0;
+  uint64_t invalidations_applied_ = 0;
+  std::condition_variable invalidate_cv_;
   std::thread dispatcher_;
 };
 

@@ -67,6 +67,21 @@ Status ShardRouter::RegisterEnvironment(const std::string& name,
   return Status::OK();
 }
 
+Status ShardRouter::ReleaseEnvironment(const std::string& name) {
+  const auto it = environments_.find(name);
+  if (it == environments_.end()) {
+    return Status::NotFound("unknown environment '" + name + "'");
+  }
+  const RcjEnvironment* env = it->second.first;
+  const size_t shard = it->second.second;
+  environments_.erase(it);
+  --shards_[shard].environments;
+  // Synchronous: once this returns, no worker of the shard's engine holds
+  // views over the environment's page stores.
+  shards_[shard].service->InvalidateEnvironment(env);
+  return Status::OK();
+}
+
 size_t ShardRouter::ShardOf(const std::string& env_name) const {
   const auto it = environments_.find(env_name);
   if (it != environments_.end()) return it->second.second;

@@ -78,6 +78,15 @@ class ShardRouter {
   Status RegisterEnvironment(const std::string& name,
                              const RcjEnvironment* env);
 
+  /// Unregisters `name` and drops every cached worker view (and plan) its
+  /// shard's engine holds over the environment, blocking until the drop is
+  /// applied — after it returns, the environment may be destroyed and the
+  /// name re-registered (e.g. with a rebuilt environment). The caller must
+  /// first stop traffic to the name and resolve its outstanding tickets,
+  /// the same discipline RegisterEnvironment demands. NotFound when the
+  /// name is not registered.
+  Status ReleaseEnvironment(const std::string& name);
+
   /// The shard `env_name` is (or would be) assigned to.
   size_t ShardOf(const std::string& env_name) const;
 

@@ -36,7 +36,16 @@ BufferManager::~BufferManager() {
 int BufferManager::RegisterStore(PageStore* store) {
   std::lock_guard<std::mutex> lock(mu_);
   stores_.push_back(store);
+  ever_cached_.emplace_back();
   return static_cast<int>(stores_.size()) - 1;
+}
+
+bool BufferManager::MarkCachedLocked(int store_id, uint64_t page_no) {
+  std::vector<bool>& seen = ever_cached_[static_cast<size_t>(store_id)];
+  if (page_no >= seen.size()) seen.resize(page_no + 1, false);
+  if (seen[page_no]) return false;
+  seen[page_no] = true;
+  return true;
 }
 
 Result<PageHandle> BufferManager::Pin(int store_id, uint64_t page_no) {
@@ -62,6 +71,10 @@ Result<PageHandle> BufferManager::Pin(int store_id, uint64_t page_no) {
   frame.page_no = page_no;
   frame.data = std::make_unique<uint8_t[]>(store->page_size());
   RINGJOIN_RETURN_IF_ERROR(store->Read(page_no, frame.data.get()));
+  // Only a SUCCESSFUL first fetch since construction/Clear() is a cold
+  // (compulsory) fault — a failed read leaves no history, so a retry
+  // still counts cold. Refetching an evicted page is warm (capacity).
+  if (MarkCachedLocked(store_id, page_no)) ++stats_.cold_faults;
   frame.pin_count = 1;
   frames_.push_front(std::move(frame));
   table_[key] = frames_.begin();
@@ -86,6 +99,9 @@ Result<PageHandle> BufferManager::NewPage(int store_id, uint64_t* page_no) {
   frame.pin_count = 1;
   frames_.push_front(std::move(frame));
   table_[Key(store_id, *page_no)] = frames_.begin();
+  // The page is resident from birth: a later re-fault (after eviction) is
+  // a capacity miss, not a first touch.
+  (void)MarkCachedLocked(store_id, *page_no);
   return PageHandle(this, &frames_.front());
 }
 
@@ -150,6 +166,8 @@ Status BufferManager::Clear() {
   RINGJOIN_RETURN_IF_ERROR(FlushAllLocked());
   frames_.clear();
   table_.clear();
+  // New cold epoch: every next fault is compulsory again.
+  for (std::vector<bool>& seen : ever_cached_) seen.clear();
   return Status::OK();
 }
 

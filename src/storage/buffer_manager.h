@@ -25,10 +25,19 @@ namespace rcj {
 struct BufferStats {
   uint64_t logical_accesses = 0;  ///< Pin() calls (== R-tree node accesses).
   uint64_t page_faults = 0;       ///< misses that hit the page store.
+  /// Faults on pages this pool had never cached before (compulsory misses:
+  /// the root-path and first-leaf faults a freshly opened view always
+  /// pays). The complement, warm_faults(), counts re-faults of pages the
+  /// pool once held and evicted — capacity misses. Clear() starts a new
+  /// cold epoch (every page counts as unseen again); ResetStats() zeroes
+  /// the counters but keeps the residency history, which is how a reused
+  /// warm pool attributes its faults honestly across queries.
+  uint64_t cold_faults = 0;
   uint64_t evictions = 0;
   uint64_t writebacks = 0;        ///< dirty pages written on eviction/flush.
 
   uint64_t hits() const { return logical_accesses - page_faults; }
+  uint64_t warm_faults() const { return page_faults - cold_faults; }
 };
 
 namespace internal {
@@ -121,7 +130,10 @@ class BufferManager {
   /// Writes back all dirty frames (does not drop them).
   Status FlushAll();
 
-  /// Flushes and drops every cached frame. Requires no outstanding pins.
+  /// Flushes and drops every cached frame, and forgets the residency
+  /// history behind BufferStats::cold_faults — a cleared pool is cold
+  /// again, like the paper's per-measurement restart. Requires no
+  /// outstanding pins.
   Status Clear();
 
   /// Changes capacity; evicts LRU unpinned frames if shrinking.
@@ -162,6 +174,16 @@ class BufferManager {
   // addresses, which PageHandle relies on.
   std::list<Frame> frames_;
   std::unordered_map<uint64_t, std::list<Frame>::iterator> table_;
+  // Per-store bitmap of every page this pool has ever cached since
+  // construction/Clear(): the residency history that splits faults into
+  // cold (first touch) and warm (evicted and refetched). One bit per
+  // page (page numbers are dense per store), grown on demand, untouched
+  // by ResetStats() so a long-lived warm pool keeps attributing
+  // correctly across queries. Pages are marked only once actually
+  // cached — a failed fault leaves no history.
+  std::vector<std::vector<bool>> ever_cached_;
+  // Marks (store_id, page_no) in the history; true iff it was new.
+  bool MarkCachedLocked(int store_id, uint64_t page_no);
   BufferStats stats_;
 };
 

@@ -35,6 +35,51 @@ TEST(BufferManagerTest, HitAndMissAccounting) {
   EXPECT_EQ(buffer.stats().hits(), 1u);
 }
 
+TEST(BufferManagerTest, ColdWarmFaultSplit) {
+  auto store = MakeStore(4);
+  BufferManager buffer(2);
+  const int sid = buffer.RegisterStore(store.get());
+
+  // First touches are cold (compulsory) faults.
+  { auto h = buffer.Pin(sid, 0); ASSERT_TRUE(h.ok()); }
+  { auto h = buffer.Pin(sid, 1); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(buffer.stats().cold_faults, 2u);
+  EXPECT_EQ(buffer.stats().warm_faults(), 0u);
+
+  // Overflow the 2-page pool, then refetch the evicted page: that fault
+  // is warm (capacity), not cold — the pool has seen the page before.
+  { auto h = buffer.Pin(sid, 2); ASSERT_TRUE(h.ok()); }  // cold, evicts 0
+  { auto h = buffer.Pin(sid, 0); ASSERT_TRUE(h.ok()); }  // warm refetch
+  EXPECT_EQ(buffer.stats().page_faults, 4u);
+  EXPECT_EQ(buffer.stats().cold_faults, 3u);
+  EXPECT_EQ(buffer.stats().warm_faults(), 1u);
+}
+
+TEST(BufferManagerTest, ResetStatsKeepsHistoryButClearStartsColdEpoch) {
+  auto store = MakeStore(4);
+  BufferManager buffer(1);
+  const int sid = buffer.RegisterStore(store.get());
+
+  { auto h = buffer.Pin(sid, 0); ASSERT_TRUE(h.ok()); }
+  { auto h = buffer.Pin(sid, 1); ASSERT_TRUE(h.ok()); }  // evicts 0
+
+  // ResetStats zeroes the counters but keeps the residency history: the
+  // warm-pool reuse contract — the next refetch of page 0 counts warm.
+  buffer.ResetStats();
+  { auto h = buffer.Pin(sid, 0); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(buffer.stats().page_faults, 1u);
+  EXPECT_EQ(buffer.stats().cold_faults, 0u);
+  EXPECT_EQ(buffer.stats().warm_faults(), 1u);
+
+  // Clear() starts a new cold epoch: the same page faults cold again.
+  ASSERT_TRUE(buffer.Clear().ok());
+  buffer.ResetStats();
+  { auto h = buffer.Pin(sid, 0); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(buffer.stats().page_faults, 1u);
+  EXPECT_EQ(buffer.stats().cold_faults, 1u);
+  EXPECT_EQ(buffer.stats().warm_faults(), 0u);
+}
+
 TEST(BufferManagerTest, PinReturnsStoredBytes) {
   auto store = MakeStore(4);
   BufferManager buffer(8);

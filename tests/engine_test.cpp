@@ -250,6 +250,8 @@ TEST(EngineTest, AggregatedStatsAreCoherent) {
   EXPECT_GE(stats.candidates, stats.results);
   EXPECT_GT(stats.node_accesses, 0u);
   EXPECT_GE(stats.node_accesses, stats.page_faults);
+  // The cold/warm split partitions the faults exactly.
+  EXPECT_EQ(stats.cold_faults + stats.warm_faults, stats.page_faults);
   // Aggregated private pools still obey the paper's I/O cost model.
   EXPECT_DOUBLE_EQ(stats.io_seconds,
                    static_cast<double>(stats.page_faults) * 0.010);
@@ -482,13 +484,46 @@ TEST(EngineTest, IntraQueryParallelismOffStillMatchesSerial) {
                        "no intra");
 }
 
-TEST(EngineTest, EngineIsReusableAcrossBatches) {
+TEST(EngineTest, EngineIsReusableAcrossBatchesAndWarmsUp) {
   const std::vector<PointRecord> set = GenerateUniform(1000, 91);
   Result<std::unique_ptr<RcjEnvironment>> env =
       RcjEnvironment::BuildSelf(set, RcjRunOptions{});
   ASSERT_TRUE(env.ok());
 
-  Engine engine(EngineOptions{});
+  // One worker, so both runs traverse through the same cached pool — with
+  // several workers the chunk cursor may hand a worker leaves it has not
+  // seen, which are honest cold faults but would make this nondeterministic.
+  EngineOptions engine_options;
+  engine_options.num_threads = 1;
+  Engine engine(engine_options);
+  const QuerySpec spec = QuerySpec::For(env.value().get());
+  const Result<RcjRunResult> first = engine.Run(spec);
+  const Result<RcjRunResult> second = engine.Run(spec);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().pairs.size(), second.value().pairs.size());
+  // The persistent worker-view cache keeps pools warm across batches: the
+  // first run pays compulsory (cold) faults, a repeat of the same query
+  // never does — whatever it still faults is capacity-only (warm).
+  EXPECT_GT(first.value().stats.cold_faults, 0u);
+  EXPECT_EQ(second.value().stats.cold_faults, 0u)
+      << "a repeated query on warm views must not re-fault first touches";
+  EXPECT_LE(second.value().stats.page_faults,
+            first.value().stats.page_faults);
+}
+
+TEST(EngineTest, ViewCacheOffRestoresColdStartAccounting) {
+  const std::vector<PointRecord> set = GenerateUniform(1000, 92);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::BuildSelf(set, RcjRunOptions{});
+  ASSERT_TRUE(env.ok());
+
+  EngineOptions engine_options;
+  engine_options.view_cache = false;
+  // One worker: with more, the chunk partition across tasks (and so each
+  // fresh pool's fault count) is timing-dependent.
+  engine_options.num_threads = 1;
+  Engine engine(engine_options);
   const QuerySpec spec = QuerySpec::For(env.value().get());
   const Result<RcjRunResult> first = engine.Run(spec);
   const Result<RcjRunResult> second = engine.Run(spec);

@@ -223,6 +223,8 @@ TEST(ProtocolEndTest, RoundTripsSummary) {
   summary.stats.results = 42;
   summary.stats.node_accesses = 77;
   summary.stats.page_faults = 13;
+  summary.stats.cold_faults = 9;
+  summary.stats.warm_faults = 4;
   summary.stats.io_seconds = 0.13;
   summary.stats.cpu_seconds = 0.0075;
 
@@ -233,6 +235,8 @@ TEST(ProtocolEndTest, RoundTripsSummary) {
   EXPECT_EQ(reparsed.stats.results, summary.stats.results);
   EXPECT_EQ(reparsed.stats.node_accesses, summary.stats.node_accesses);
   EXPECT_EQ(reparsed.stats.page_faults, summary.stats.page_faults);
+  EXPECT_EQ(reparsed.stats.cold_faults, summary.stats.cold_faults);
+  EXPECT_EQ(reparsed.stats.warm_faults, summary.stats.warm_faults);
   EXPECT_EQ(reparsed.stats.io_seconds, summary.stats.io_seconds);
   EXPECT_EQ(reparsed.stats.cpu_seconds, summary.stats.cpu_seconds);
 }
@@ -241,14 +245,23 @@ TEST(ProtocolEndTest, RejectsIncompleteOrDuplicateSummaries) {
   WireSummary summary;
   EXPECT_FALSE(ParseEndLine("END pairs=1", &summary).ok());
   EXPECT_FALSE(ParseEndLine("OK", &summary).ok());
+  // The pre-cold/warm field list is incomplete now — stats can no longer
+  // ride the wire without their fault split.
+  EXPECT_FALSE(
+      ParseEndLine("END pairs=1 candidates=0 results=0 node_accesses=0 "
+                   "faults=0 io_s=0 cpu_s=0",
+                   &summary)
+          .ok());
   EXPECT_FALSE(
       ParseEndLine("END pairs=1 pairs=2 candidates=0 results=0 "
-                   "node_accesses=0 faults=0 io_s=0 cpu_s=0",
+                   "node_accesses=0 faults=0 cold_faults=0 warm_faults=0 "
+                   "io_s=0 cpu_s=0",
                    &summary)
           .ok());
   EXPECT_FALSE(
       ParseEndLine("END pairs=1 candidates=0 results=0 node_accesses=0 "
-                   "faults=0 io_s=0 cpu_s=0 bonus=1",
+                   "faults=0 cold_faults=0 warm_faults=0 io_s=0 cpu_s=0 "
+                   "bonus=1",
                    &summary)
           .ok());
 }

@@ -53,14 +53,18 @@ int Usage() {
       "           [--seed S] [--clusters W] [--sigma SG] --out FILE.csv\n"
       "  rcj_tool join --q Q.csv [--p P.csv | --self]\n"
       "           [--algo brute|inj|bij|obj] [--buffer-frac F]\n"
-      "           [--page-size B] [--out PAIRS.csv]\n"
+      "           [--page-size B] [--out PAIRS.csv] [engine knobs]\n"
+      "                        (any engine knob runs the join through the\n"
+      "                         parallel engine instead of the serial\n"
+      "                         runner)\n"
       "  rcj_tool stats --q Q.csv --p P.csv\n"
       "  rcj_tool batch --q Q.csv [--p P.csv | --self]\n"
       "           [--algos obj,inj,bij] [--repeat N] [--threads T]\n"
-      "           [--no-intra] [--compare-serial]\n"
+      "           [--no-intra] [--compare-serial] [engine knobs]\n"
       "  rcj_tool serve --q Q.csv [--p P.csv | --self]\n"
       "           [--algos obj,inj,bij] [--repeat N] [--limit K]\n"
       "           [--threads T] [--max-batch B] [--out PAIRS.csv]\n"
+      "           [engine knobs]\n"
       "                        (with --port, --threads is the server-wide\n"
       "                         worker budget, split across shards)\n"
       "           [--port P]   (with --port: TCP line-protocol server\n"
@@ -74,7 +78,10 @@ int Usage() {
       "           [--verify 0|1] [--seed S] [--limit K] [--io-ms F]\n"
       "           [--out PAIRS.csv] [--quiet]\n"
       "  rcj_tool client [--host H] --port P --stats\n"
-      "                        (print the server's per-shard STATS table)\n");
+      "                        (print the server's per-shard STATS table)\n"
+      "  engine knobs (join/batch/serve, demo and network alike):\n"
+      "           [--tasks-per-thread N] [--min-leaves-to-split N]\n"
+      "           [--view-cache on|off] [--steal-chunk N]  (0 = auto)\n");
   return 2;
 }
 
@@ -167,6 +174,75 @@ bool ParseAlgo(const std::string& name, RcjAlgorithm* algo) {
 bool ParseU64Flag(const std::string& key, const std::string& text,
                   uint64_t* out) {
   return net::ParseUint64Field(key, text, out).ok();
+}
+
+// The engine execution knobs shared by join/batch/serve (demo and network
+// alike — every mode owns at least one engine). One name table, so the
+// parser, join's engine-mode trigger, and client's rejection can never
+// drift apart.
+constexpr const char* kEngineKnobFlags[] = {
+    "tasks-per-thread", "min-leaves-to-split", "view-cache", "steal-chunk"};
+
+// Parses the engine knobs into `engine_options`, printing a `cmd`-prefixed
+// message on a bad value. Flags not passed leave the corresponding
+// EngineOptions field at whatever the caller seeded (the library default,
+// usually), so CLI and library defaults cannot diverge. --view-cache takes
+// on/off (or the wire's boolean spellings); --steal-chunk 0 = auto-sized
+// chunks.
+bool ParseEngineFlags(const char* cmd,
+                      const std::map<std::string, std::string>& flags,
+                      EngineOptions* engine_options) {
+  const auto tasks_it = flags.find("tasks-per-thread");
+  if (tasks_it != flags.end() &&
+      (!ParseCount(tasks_it->second, 1u << 10,
+                   &engine_options->tasks_per_thread) ||
+       engine_options->tasks_per_thread == 0)) {
+    std::fprintf(stderr,
+                 "%s: invalid --tasks-per-thread '%s' (want 1..1024)\n", cmd,
+                 tasks_it->second.c_str());
+    return false;
+  }
+  const auto split_it = flags.find("min-leaves-to-split");
+  if (split_it != flags.end() &&
+      !ParseCount(split_it->second, 1u << 20,
+                  &engine_options->min_leaves_to_split)) {
+    std::fprintf(stderr, "%s: invalid --min-leaves-to-split '%s'\n", cmd,
+                 split_it->second.c_str());
+    return false;
+  }
+  const auto cache_it = flags.find("view-cache");
+  if (cache_it != flags.end()) {
+    if (cache_it->second == "on") {
+      engine_options->view_cache = true;
+    } else if (cache_it->second == "off") {
+      engine_options->view_cache = false;
+    } else if (!net::ParseBoolName(cache_it->second,
+                                   &engine_options->view_cache)) {
+      std::fprintf(stderr, "%s: invalid --view-cache '%s' (want on|off)\n",
+                   cmd, cache_it->second.c_str());
+      return false;
+    }
+  }
+  const auto chunk_it = flags.find("steal-chunk");
+  if (chunk_it != flags.end() &&
+      !ParseCount(chunk_it->second, 1u << 20,
+                  &engine_options->steal_chunk_leaves)) {
+    std::fprintf(stderr, "%s: invalid --steal-chunk '%s' (0 = auto)\n", cmd,
+                 chunk_it->second.c_str());
+    return false;
+  }
+  return true;
+}
+
+// True when any engine execution knob was passed — `join` switches from
+// the paper's serial runner to the parallel engine exactly then, so the
+// default join output keeps its historical cold-start accounting.
+bool HasEngineFlags(const std::map<std::string, std::string>& flags) {
+  if (flags.count("threads") != 0) return true;
+  for (const char* knob : kEngineKnobFlags) {
+    if (flags.count(knob) != 0) return true;
+  }
+  return false;
 }
 
 // Shared by batch/serve: parses the comma-separated --algos list, printing
@@ -286,13 +362,36 @@ int CmdJoin(const std::map<std::string, std::string>& flags) {
     return 2;
   }
 
+  // Any engine knob switches the join from the serial runner to the
+  // parallel engine; parse them before the expensive environment build.
+  const bool engine_mode = HasEngineFlags(flags);
+  EngineOptions engine_options;
+  if (engine_mode) {
+    if (!ParseCount(FlagOr(flags, "threads", "0"), 4096,
+                    &engine_options.num_threads)) {
+      std::fprintf(stderr, "join: invalid --threads '%s'\n",
+                   FlagOr(flags, "threads", "0").c_str());
+      return 2;
+    }
+    if (!ParseEngineFlags("join", flags, &engine_options)) return 2;
+  }
+
   int exit_code = 0;
   Result<std::unique_ptr<RcjEnvironment>> env =
       BuildEnvFromFlags("join", flags, &options, &exit_code);
   if (!env.ok()) return exit_code;
   const bool self = flags.count("self") != 0;
 
-  Result<RcjRunResult> result = env.value()->Run(options);
+  Result<RcjRunResult> result(Status::InvalidArgument("not yet run"));
+  if (engine_mode) {
+    engine_options.worker_buffer_fraction = options.buffer_fraction;
+    Engine engine(engine_options);
+    QuerySpec spec = QuerySpec::For(env.value().get());
+    spec.algorithm = options.algorithm;
+    result = engine.Run(spec);
+  } else {
+    result = env.value()->Run(options);
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "join: %s\n", result.status().ToString().c_str());
     return 1;
@@ -319,12 +418,14 @@ int CmdJoin(const std::map<std::string, std::string>& flags) {
   }
 
   std::printf("%s%s: %llu pairs | candidates %llu | node accesses %llu | "
-              "faults %llu | I/O %.2fs | CPU %.3fs\n",
+              "faults %llu (%llu cold, %llu warm) | I/O %.2fs | CPU %.3fs\n",
               AlgorithmName(options.algorithm), self ? " (self)" : "",
               static_cast<unsigned long long>(run.stats.results),
               static_cast<unsigned long long>(run.stats.candidates),
               static_cast<unsigned long long>(run.stats.node_accesses),
               static_cast<unsigned long long>(run.stats.page_faults),
+              static_cast<unsigned long long>(run.stats.cold_faults),
+              static_cast<unsigned long long>(run.stats.warm_faults),
               run.stats.io_seconds, run.stats.cpu_seconds);
   if (!out.empty()) std::printf("pairs written to %s\n", out.c_str());
   return 0;
@@ -352,6 +453,7 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
     return 2;
   }
   engine_options.intra_query_parallelism = flags.count("no-intra") == 0;
+  if (!ParseEngineFlags("batch", flags, &engine_options)) return 2;
 
   RcjRunOptions options;
   int exit_code = 0;
@@ -380,8 +482,8 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  std::printf("%-6s %10s %12s %10s %9s %9s\n", "algo", "results",
-              "node-access", "faults", "I/O(s)", "CPU(s)");
+  std::printf("%-6s %10s %12s %10s %8s %8s %9s %9s\n", "algo", "results",
+              "node-access", "faults", "cold", "warm", "I/O(s)", "CPU(s)");
   int failures = 0;
   for (size_t i = 0; i < results.size(); ++i) {
     if (!results[i].status.ok()) {
@@ -391,11 +493,13 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
       continue;
     }
     const JoinStats& stats = results[i].run.stats;
-    std::printf("%-6s %10llu %12llu %10llu %9.2f %9.3f\n",
+    std::printf("%-6s %10llu %12llu %10llu %8llu %8llu %9.2f %9.3f\n",
                 AlgorithmName(queries[i].spec.algorithm),
                 static_cast<unsigned long long>(stats.results),
                 static_cast<unsigned long long>(stats.node_accesses),
                 static_cast<unsigned long long>(stats.page_faults),
+                static_cast<unsigned long long>(stats.cold_faults),
+                static_cast<unsigned long long>(stats.warm_faults),
                 stats.io_seconds, stats.cpu_seconds);
   }
   std::printf("batch: %zu queries in %.3f s on %zu threads\n",
@@ -540,6 +644,9 @@ int CmdServeNetwork(const std::map<std::string, std::string>& flags) {
       total_threads / router_options.num_shards > 0
           ? total_threads / router_options.num_shards
           : 1;
+  if (!ParseEngineFlags("serve", flags, &router_options.service.engine)) {
+    return 2;
+  }
   if (!ParseCount(FlagOr(flags, "max-batch", "16"), 1u << 20,
                   &router_options.service.max_batch_size)) {
     std::fprintf(stderr, "serve: invalid --max-batch '%s'\n",
@@ -704,6 +811,18 @@ int CmdClientStats(const std::string& host, size_t port) {
 // Scripted wire-protocol client: one connection, one query, pairs written
 // as CSV (same columns as `join --out`) to --out or stdout as they stream.
 int CmdClient(const std::map<std::string, std::string>& flags) {
+  // Engine knobs configure a server-side engine (join/batch/serve); a
+  // wire client passing them is confused — reject loudly instead of
+  // dropping them on the floor, like the other mode-mismatched flags.
+  for (const char* server_only : kEngineKnobFlags) {
+    if (flags.count(server_only) != 0) {
+      std::fprintf(stderr,
+                   "client: --%s is an engine knob of join/batch/serve and "
+                   "has no meaning for a wire client\n",
+                   server_only);
+      return 2;
+    }
+  }
   const std::string host = FlagOr(flags, "host", "127.0.0.1");
   size_t port = 0;
   if (!ParseCount(FlagOr(flags, "port", ""), 65535, &port) || port == 0) {
@@ -804,7 +923,8 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
         if (!quiet) {
           std::fprintf(stderr,
                        "%llu pairs | candidates %llu | node accesses %llu | "
-                       "faults %llu | I/O %.2fs | CPU %.3fs\n",
+                       "faults %llu (%llu cold, %llu warm) | I/O %.2fs | "
+                       "CPU %.3fs\n",
                        static_cast<unsigned long long>(summary.pairs),
                        static_cast<unsigned long long>(
                            summary.stats.candidates),
@@ -812,6 +932,10 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
                            summary.stats.node_accesses),
                        static_cast<unsigned long long>(
                            summary.stats.page_faults),
+                       static_cast<unsigned long long>(
+                           summary.stats.cold_faults),
+                       static_cast<unsigned long long>(
+                           summary.stats.warm_faults),
                        summary.stats.io_seconds, summary.stats.cpu_seconds);
         }
         exit_code = summary.pairs == streamed ? 0 : 1;
@@ -873,6 +997,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
                  FlagOr(flags, "threads", "0").c_str());
     return 2;
   }
+  if (!ParseEngineFlags("serve", flags, &service_options.engine)) return 2;
   if (!ParseCount(FlagOr(flags, "max-batch", "16"), 1u << 20,
                   &service_options.max_batch_size)) {
     std::fprintf(stderr, "serve: invalid --max-batch '%s'\n",
@@ -945,8 +1070,9 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
               requests.size(), submit_seconds, service.pending(),
               service.num_threads());
 
-  std::printf("%-8s %-6s %10s %12s %10s %9s %9s\n", "ticket", "algo",
-              "streamed", "candidates", "faults", "I/O(s)", "CPU(s)");
+  std::printf("%-8s %-6s %10s %12s %10s %8s %8s %9s %9s\n", "ticket",
+              "algo", "streamed", "candidates", "faults", "cold", "warm",
+              "I/O(s)", "CPU(s)");
   int failures = 0;
   for (size_t i = 0; i < requests.size(); ++i) {
     const Status status = requests[i].ticket.Wait();
@@ -957,11 +1083,14 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
       continue;
     }
     const JoinStats stats = requests[i].ticket.stats();
-    std::printf("%-8zu %-6s %10llu %12llu %10llu %9.2f %9.3f\n", i,
-                AlgorithmName(requests[i].algorithm),
+    std::printf("%-8zu %-6s %10llu %12llu %10llu %8llu %8llu %9.2f "
+                "%9.3f\n",
+                i, AlgorithmName(requests[i].algorithm),
                 static_cast<unsigned long long>(requests[i].streamed),
                 static_cast<unsigned long long>(stats.candidates),
                 static_cast<unsigned long long>(stats.page_faults),
+                static_cast<unsigned long long>(stats.cold_faults),
+                static_cast<unsigned long long>(stats.warm_faults),
                 stats.io_seconds, stats.cpu_seconds);
   }
   if (out_file != nullptr) {
