@@ -99,6 +99,7 @@ void JsonReporter::AddStats(const std::string& label, const JoinStats& stats) {
   AddMetric(label, "cold_faults", static_cast<double>(stats.cold_faults));
   AddMetric(label, "warm_faults", static_cast<double>(stats.warm_faults));
   AddMetric(label, "io_seconds", stats.io_seconds);
+  AddMetric(label, "io_wall_seconds", stats.io_wall_seconds);
   AddMetric(label, "cpu_seconds", stats.cpu_seconds);
   AddMetric(label, "total_seconds", stats.total_seconds());
 }

@@ -55,6 +55,13 @@ struct JoinStats {
   uint64_t warm_faults = 0;
   double io_seconds = 0.0;     ///< page_faults x ms_per_fault / 1000.
   double cpu_seconds = 0.0;    ///< measured wall time of the join phase.
+  /// Measured wall-clock seconds spent in backing-store reads (PageStore::
+  /// Read on buffer faults) — real I/O, as opposed to the modeled
+  /// `io_seconds`. Near zero on the in-memory backend; genuine device wait
+  /// on the file backends. Note: real reads happen inside the timed join,
+  /// so `cpu_seconds` (measured wall) already contains this — it is a
+  /// breakdown, not an addend.
+  double io_wall_seconds = 0.0;
 
   double total_seconds() const { return io_seconds + cpu_seconds; }
 };

@@ -1,8 +1,11 @@
 #include "core/runner.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 
 #include "core/rcj_brute.h"
 #include "core/rcj_bulk.h"
@@ -31,17 +34,70 @@ size_t BufferPagesFor(uint64_t total_pages, double fraction,
 
 }  // namespace
 
-Result<std::unique_ptr<RcjEnvironment>> RcjEnvironment::BuildImpl(
-    const std::vector<PointRecord>& qset,
-    const std::vector<PointRecord>& pset, bool self_join,
-    const RcjRunOptions& options) {
+const char* StorageBackendName(StorageBackend backend) {
+  switch (backend) {
+    case StorageBackend::kMem:
+      return "mem";
+    case StorageBackend::kFile:
+      return "file";
+    case StorageBackend::kMmap:
+      return "mmap";
+  }
+  return "?";
+}
+
+bool ParseStorageBackend(const std::string& name, StorageBackend* out) {
+  if (name == "mem") {
+    *out = StorageBackend::kMem;
+  } else if (name == "file") {
+    *out = StorageBackend::kFile;
+  } else if (name == "mmap") {
+    *out = StorageBackend::kMmap;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Status RcjEnvironment::MakeStore(const RcjRunOptions& options,
+                                 const std::string& label,
+                                 std::unique_ptr<PageStore>* store,
+                                 std::string* path) {
+  if (options.storage == StorageBackend::kMem) {
+    *store = std::make_unique<MemPageStore>(options.page_size);
+    path->clear();
+    return Status::OK();
+  }
+  const std::string dir =
+      options.storage_dir.empty() ? "." : options.storage_dir;
+  *path = dir + "/rcj_env_" + std::to_string(::getpid()) + "_" +
+          std::to_string(generation_) + "_" + label + ".pages";
+  // RTree::Create needs an empty store; a leftover file from a crashed run
+  // must not leak into this environment.
+  std::remove(path->c_str());
+  if (options.storage == StorageBackend::kFile) {
+    Result<std::unique_ptr<FilePageStore>> opened =
+        FilePageStore::Open(*path, options.page_size, /*create=*/true);
+    if (!opened.ok()) return opened.status();
+    *store = std::move(opened).value();
+  } else {
+    Result<std::unique_ptr<MappedPageStore>> opened =
+        MappedPageStore::Open(*path, options.page_size, /*create=*/true);
+    if (!opened.ok()) return opened.status();
+    *store = std::move(opened).value();
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RcjEnvironment>> RcjEnvironment::PrepareStores(
+    bool self_join, const RcjRunOptions& options) {
   static std::atomic<uint64_t> next_generation{1};
   std::unique_ptr<RcjEnvironment> env(new RcjEnvironment());
   env->generation_ =
       next_generation.fetch_add(1, std::memory_order_relaxed);
   env->self_join_ = self_join;
-  env->qset_ = qset;
-  env->pset_ = self_join ? qset : pset;
+  env->storage_ = options.storage;
+  env->keep_storage_files_ = options.keep_storage_files;
   env->cost_model_.ms_per_fault = options.io_ms_per_fault;
   env->rtree_options_ = options.rtree_options;
 
@@ -49,22 +105,54 @@ Result<std::unique_ptr<RcjEnvironment>> RcjEnvironment::BuildImpl(
   // paper measures joins, not index construction.
   env->buffer_ = std::make_unique<BufferManager>(1u << 20);
 
-  env->q_store_ = std::make_unique<MemPageStore>(options.page_size);
+  RINGJOIN_RETURN_IF_ERROR(
+      env->MakeStore(options, "q", &env->q_store_, &env->q_path_));
   Result<std::unique_ptr<RTree>> tq =
       RTree::Create(env->q_store_.get(), env->buffer_.get(),
                     options.rtree_options);
   if (!tq.ok()) return tq.status();
   env->tq_ = std::move(tq.value());
-  RINGJOIN_RETURN_IF_ERROR(
-      BuildTree(env->tq_.get(), env->qset_, options.bulk_load));
 
   if (!self_join) {
-    env->p_store_ = std::make_unique<MemPageStore>(options.page_size);
+    RINGJOIN_RETURN_IF_ERROR(
+        env->MakeStore(options, "p", &env->p_store_, &env->p_path_));
     Result<std::unique_ptr<RTree>> tp =
         RTree::Create(env->p_store_.get(), env->buffer_.get(),
                       options.rtree_options);
     if (!tp.ok()) return tp.status();
     env->tp_ = std::move(tp.value());
+  }
+  return env;
+}
+
+RcjEnvironment::~RcjEnvironment() {
+  // Release views and flush the buffer while the stores are still alive,
+  // then unlink the scratch page files.
+  tp_.reset();
+  tq_.reset();
+  buffer_.reset();
+  p_store_.reset();
+  q_store_.reset();
+  if (!keep_storage_files_) {
+    if (!q_path_.empty()) std::remove(q_path_.c_str());
+    if (!p_path_.empty()) std::remove(p_path_.c_str());
+  }
+}
+
+Result<std::unique_ptr<RcjEnvironment>> RcjEnvironment::BuildImpl(
+    const std::vector<PointRecord>& qset,
+    const std::vector<PointRecord>& pset, bool self_join,
+    const RcjRunOptions& options) {
+  Result<std::unique_ptr<RcjEnvironment>> prepared =
+      PrepareStores(self_join, options);
+  if (!prepared.ok()) return prepared.status();
+  std::unique_ptr<RcjEnvironment> env = std::move(prepared).value();
+  env->qset_ = qset;
+  env->pset_ = self_join ? qset : pset;
+
+  RINGJOIN_RETURN_IF_ERROR(
+      BuildTree(env->tq_.get(), env->qset_, options.bulk_load));
+  if (!self_join) {
     RINGJOIN_RETURN_IF_ERROR(
         BuildTree(env->tp_.get(), env->pset_, options.bulk_load));
   }
@@ -80,6 +168,46 @@ Result<std::unique_ptr<RcjEnvironment>> RcjEnvironment::BuildImpl(
 
   RINGJOIN_RETURN_IF_ERROR(env->SetBufferFraction(options.buffer_fraction,
                                                   options.min_buffer_pages));
+  // The trees are read-only from here on. Syncing flushes the page files
+  // and switches the pread backend into its O_DIRECT read path.
+  RINGJOIN_RETURN_IF_ERROR(env->q_store_->Sync());
+  if (!self_join) RINGJOIN_RETURN_IF_ERROR(env->p_store_->Sync());
+  return env;
+}
+
+Result<std::unique_ptr<RcjEnvironment>> RcjEnvironment::BuildExternal(
+    PointSource* qsource, PointSource* psource,
+    const RcjRunOptions& options) {
+  if (!options.bulk_load) {
+    return Status::InvalidArgument(
+        "BuildExternal requires bulk loading (one-by-one insertion would "
+        "need the resident pointset anyway)");
+  }
+  Result<std::unique_ptr<RcjEnvironment>> prepared =
+      PrepareStores(/*self_join=*/false, options);
+  if (!prepared.ok()) return prepared.status();
+  std::unique_ptr<RcjEnvironment> env = std::move(prepared).value();
+  env->resident_pointsets_ = false;
+
+  // The external loader writes each node page exactly once, so a modest
+  // build pool suffices regardless of tree size — that bound is the point.
+  RINGJOIN_RETURN_IF_ERROR(env->buffer_->Clear());
+  RINGJOIN_RETURN_IF_ERROR(env->buffer_->SetCapacity(1u << 16));
+
+  const std::string spill_dir =
+      options.storage_dir.empty() ? "." : options.storage_dir;
+  RINGJOIN_RETURN_IF_ERROR(
+      env->tq_->BulkLoadStrExternal(qsource, spill_dir));
+  RINGJOIN_RETURN_IF_ERROR(
+      env->tp_->BulkLoadStrExternal(psource, spill_dir));
+
+  RINGJOIN_RETURN_IF_ERROR(env->tq_->SaveHeader());
+  RINGJOIN_RETURN_IF_ERROR(env->tp_->SaveHeader());
+  RINGJOIN_RETURN_IF_ERROR(env->SetBufferFraction(options.buffer_fraction,
+                                                  options.min_buffer_pages));
+  // Read-only from here on; arm the pread backend's O_DIRECT path.
+  RINGJOIN_RETURN_IF_ERROR(env->q_store_->Sync());
+  RINGJOIN_RETURN_IF_ERROR(env->p_store_->Sync());
   return env;
 }
 
@@ -166,6 +294,11 @@ Status RcjEnvironment::Run(const QuerySpec& spec, PairSink* sink,
     return Status::InvalidArgument(
         "QuerySpec is bound to a different environment");
   }
+  if (bound.algorithm == RcjAlgorithm::kBrute && !resident_pointsets_) {
+    return Status::InvalidArgument(
+        "BRUTE needs the resident pointsets, which an externally built "
+        "environment never materializes");
+  }
 
   *stats = JoinStats();
   const RTree& tq = *tq_;
@@ -196,6 +329,7 @@ Status RcjEnvironment::Run(const QuerySpec& spec, PairSink* sink,
   IoCostModel model = cost_model_;
   model.ms_per_fault = bound.io_ms_per_fault;
   stats->io_seconds = model.SecondsFor(buffer_stats);
+  stats->io_wall_seconds = buffer_stats.io_wall_seconds;
   stats->cpu_seconds = std::chrono::duration<double>(end - start).count();
   return Status::OK();
 }

@@ -12,6 +12,7 @@
 #define RINGJOIN_CORE_RUNNER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/macros.h"
@@ -19,12 +20,26 @@
 #include "core/pair_sink.h"
 #include "core/query_spec.h"
 #include "core/rcj_types.h"
+#include "rtree/point_source.h"
 #include "rtree/rtree.h"
 #include "storage/buffer_manager.h"
 #include "storage/cost_model.h"
 #include "storage/page_store.h"
 
 namespace rcj {
+
+/// Where an environment's tree pages live.
+enum class StorageBackend {
+  kMem,   ///< heap pages: zero real I/O, the paper's modeled-cost substrate.
+  kFile,  ///< pread(2) page files: real, overlappable device reads.
+  kMmap,  ///< the same files read through a shared read-only mmap(2).
+};
+
+/// Human-readable backend name ("mem" / "file" / "mmap").
+const char* StorageBackendName(StorageBackend backend);
+
+/// Parses "mem" / "file" / "mmap"; returns false on anything else.
+bool ParseStorageBackend(const std::string& name, StorageBackend* out);
 
 /// Knobs of one join execution, defaulting to the paper's setup: 1 KiB
 /// pages, a shared buffer of 1% of the total tree sizes, 10 ms charged per
@@ -33,6 +48,17 @@ struct RcjRunOptions {
   RcjAlgorithm algorithm = RcjAlgorithm::kObj;
   SearchOrder order = SearchOrder::kDepthFirst;
   bool verify = true;
+
+  /// Backing storage for the built trees. kMem keeps the paper's modeled
+  /// I/O; kFile/kMmap put every page in a real file under `storage_dir`,
+  /// which is what JoinStats::io_wall_seconds measures.
+  StorageBackend storage = StorageBackend::kMem;
+  /// Directory for page files and external-build spill runs when
+  /// storage != kMem; "" means the current directory.
+  std::string storage_dir;
+  /// Keep the page files when the environment is destroyed (default:
+  /// unlink them — environments own their scratch files).
+  bool keep_storage_files = false;
 
   uint32_t page_size = kDefaultPageSize;
   /// Buffer capacity as a fraction of the page count of both trees.
@@ -71,6 +97,22 @@ class RcjEnvironment {
   /// Builds a single tree self-join environment (postbox scenario).
   static Result<std::unique_ptr<RcjEnvironment>> BuildSelf(
       const std::vector<PointRecord>& set, const RcjRunOptions& options);
+
+  /// Streaming build for pointsets too large to hold in RAM: both trees
+  /// are bulk loaded with the external-memory STR loader
+  /// (RTree::BulkLoadStrExternal), reading each source once in bounded
+  /// batches and spilling sorted runs under `options.storage_dir`. The
+  /// resulting trees are byte-identical to Build() on the same points.
+  /// Requires `options.bulk_load` (the default) and leaves the resident
+  /// qset()/pset() copies empty, so Run() rejects BRUTE on such an
+  /// environment. Sources must stay valid for the duration of the call.
+  static Result<std::unique_ptr<RcjEnvironment>> BuildExternal(
+      PointSource* qsource, PointSource* psource,
+      const RcjRunOptions& options);
+
+  /// Unlinks the environment's page files unless the build options said to
+  /// keep them.
+  ~RcjEnvironment();
 
   RINGJOIN_DISALLOW_COPY_AND_ASSIGN(RcjEnvironment);
 
@@ -111,6 +153,11 @@ class RcjEnvironment {
 
   const std::vector<PointRecord>& qset() const { return qset_; }
   const std::vector<PointRecord>& pset() const { return pset_; }
+  /// False for BuildExternal environments, whose pointsets were never
+  /// materialized (BRUTE needs them; the indexed algorithms do not).
+  bool resident_pointsets() const { return resident_pointsets_; }
+  /// The storage backend the environment was built with.
+  StorageBackend storage() const { return storage_; }
 
   /// Backing stores of the built trees. Build() persists both tree headers,
   /// so additional read-only views can be opened over these stores with
@@ -128,11 +175,22 @@ class RcjEnvironment {
       const std::vector<PointRecord>& pset, bool self_join,
       const RcjRunOptions& options);
 
+  /// Shared skeleton of Build/BuildExternal: generation, stores, trees.
+  static Result<std::unique_ptr<RcjEnvironment>> PrepareStores(
+      bool self_join, const RcjRunOptions& options);
+  /// Creates the backend store for `label` ("q"/"p") per `options`.
+  Status MakeStore(const RcjRunOptions& options, const std::string& label,
+                   std::unique_ptr<PageStore>* store, std::string* path);
+
   bool self_join_ = false;
+  bool resident_pointsets_ = true;
+  StorageBackend storage_ = StorageBackend::kMem;
+  bool keep_storage_files_ = false;
   uint64_t generation_ = 0;
   RTreeOptions rtree_options_;
-  std::unique_ptr<MemPageStore> q_store_;
-  std::unique_ptr<MemPageStore> p_store_;  // null in self-join mode
+  std::unique_ptr<PageStore> q_store_;
+  std::unique_ptr<PageStore> p_store_;  // null in self-join mode
+  std::string q_path_, p_path_;  // page-file paths ("" for kMem)
   std::unique_ptr<BufferManager> buffer_;
   std::unique_ptr<RTree> tq_;
   std::unique_ptr<RTree> tp_;  // null in self-join mode (alias tq_)

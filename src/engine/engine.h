@@ -94,6 +94,14 @@ struct EngineOptions {
   /// Environments one worker keeps warm at once; least recently used
   /// entries beyond the cap are dropped (views + buffer pool freed).
   size_t max_cached_envs_per_worker = 4;
+  /// Leaf-order readahead: when a task claims a chunk of its query's T_Q
+  /// leaf order, up to this many of the chunk's leaf pages are announced
+  /// to the backing store (PageStore::Prefetch — posix_fadvise/madvise
+  /// WILLNEED on the file backends, a no-op in memory) before the
+  /// traversal reads them one by one. The leaf order is computed up front,
+  /// so this is a perfect prefetch oracle: the kernel can stream the pages
+  /// in while the worker is still verifying circles. 0 disables.
+  size_t readahead_leaves = 256;
 };
 
 /// One query of a batch: the validated spec plus an optional streaming

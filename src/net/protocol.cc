@@ -351,11 +351,11 @@ Status ParsePairLine(const std::string& line, RcjPair* out) {
 }
 
 std::string FormatEndLine(const WireSummary& summary) {
-  char buffer[320];
+  char buffer[352];
   std::snprintf(buffer, sizeof(buffer),
                 "END pairs=%llu candidates=%llu results=%llu "
                 "node_accesses=%llu faults=%llu cold_faults=%llu "
-                "warm_faults=%llu io_s=%.17g cpu_s=%.17g",
+                "warm_faults=%llu io_s=%.17g io_wall_s=%.17g cpu_s=%.17g",
                 static_cast<unsigned long long>(summary.pairs),
                 static_cast<unsigned long long>(summary.stats.candidates),
                 static_cast<unsigned long long>(summary.stats.results),
@@ -363,7 +363,8 @@ std::string FormatEndLine(const WireSummary& summary) {
                 static_cast<unsigned long long>(summary.stats.page_faults),
                 static_cast<unsigned long long>(summary.stats.cold_faults),
                 static_cast<unsigned long long>(summary.stats.warm_faults),
-                summary.stats.io_seconds, summary.stats.cpu_seconds);
+                summary.stats.io_seconds, summary.stats.io_wall_seconds,
+                summary.stats.cpu_seconds);
   return buffer;
 }
 
@@ -373,7 +374,7 @@ Status ParseEndLine(const std::string& line, WireSummary* out) {
   if (tokens.empty() || tokens[0] != "END") {
     return Status::InvalidArgument("END line must start with END");
   }
-  bool seen[9] = {};
+  bool seen[10] = {};
   for (size_t i = 1; i < tokens.size(); ++i) {
     const size_t eq = tokens[i].find('=');
     if (eq == std::string::npos) {
@@ -408,8 +409,11 @@ Status ParseEndLine(const std::string& line, WireSummary* out) {
     } else if (key == "io_s") {
       slot = 7;
       status = ParseDoubleField(key, value, &out->stats.io_seconds);
-    } else if (key == "cpu_s") {
+    } else if (key == "io_wall_s") {
       slot = 8;
+      status = ParseDoubleField(key, value, &out->stats.io_wall_seconds);
+    } else if (key == "cpu_s") {
+      slot = 9;
       status = ParseDoubleField(key, value, &out->stats.cpu_seconds);
     } else {
       return Status::InvalidArgument("unknown END key '" + key + "'");

@@ -19,7 +19,8 @@
 //   pair     = "PAIR" SP p_id SP q_id SP x1 SP y1 SP x2 SP y2 LF
 //   end      = "END" SP "pairs=" N SP "candidates=" N SP "results=" N
 //              SP "node_accesses=" N SP "faults=" N SP "cold_faults=" N
-//              SP "warm_faults=" N SP "io_s=" F SP "cpu_s=" F LF
+//              SP "warm_faults=" N SP "io_s=" F SP "io_wall_s=" F
+//              SP "cpu_s=" F LF
 //   shard    = "SHARD" SP idx SP "envs=" N SP "queued=" N SP "inflight=" N
 //              SP "submitted=" N SP "admitted=" N SP "shed=" N
 //              SP "completed=" N SP "cancelled=" N SP "failed=" N LF

@@ -1,0 +1,200 @@
+// External-memory STR bulk loading (RTree::BulkLoadStrExternal).
+//
+// Classic two-phase external sort specialized to STR tiling:
+//
+//   1. Run formation — consume the PointSource in bounded batches, sort
+//      each batch with StrLessByX, and spill it as a raw binary run file.
+//   2. Merge + tile — k-way merge the runs back into the globally x-sorted
+//      stream (StrLessByX is a total order, so the merge reproduces
+//      std::sort's output exactly), accumulate one vertical slab at a
+//      time, sort it by StrLessByY in memory, and emit leaf pages.
+//
+// Peak memory is one run buffer plus the per-run merge buffers plus one
+// slab (~per_slab = ceil(n / ceil(sqrt(#leaves))) records) plus one
+// BranchEntry per leaf — everything else streams to the page store, so a
+// 10^8-point tree builds in a few hundred MB instead of holding 2.4 GB of
+// points. Slab and leaf boundaries use the same integer arithmetic as the
+// in-memory loader, and the shared EmitBulkLeaf/PackBulkUpperLevels tail
+// allocates pages in the same order, so the resulting page store is
+// byte-identical to BulkLoadStr on the same input.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "rtree/rtree.h"
+
+namespace rcj {
+namespace {
+
+/// Records buffered per run during the merge (16K records = 384 KiB).
+constexpr size_t kMergeBufRecords = 16 * 1024;
+
+/// Temporary spill files, unlinked on scope exit (including error paths).
+struct SpillFiles {
+  std::vector<std::string> paths;
+  ~SpillFiles() {
+    for (const std::string& path : paths) std::remove(path.c_str());
+  }
+};
+
+/// Buffered sequential reader over one sorted run file.
+struct RunReader {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file{nullptr, std::fclose};
+  std::vector<PointRecord> buf;
+  size_t pos = 0;
+  size_t avail = 0;
+
+  bool Refill() {
+    avail = std::fread(buf.data(), sizeof(PointRecord), buf.size(),
+                       file.get());
+    pos = 0;
+    return avail > 0;
+  }
+  /// Advances to the next record; false at end of run.
+  bool Advance(PointRecord* out) {
+    if (pos >= avail && !Refill()) return false;
+    *out = buf[pos++];
+    return true;
+  }
+};
+
+struct HeapEntry {
+  PointRecord rec;
+  size_t run;
+};
+
+/// Min-heap order on the x total order (no ties: ids are unique).
+struct HeapGreater {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return StrLessByX(b.rec, a.rec);
+  }
+};
+
+}  // namespace
+
+Status RTree::BulkLoadStrExternal(PointSource* source,
+                                  const std::string& spill_dir,
+                                  size_t run_points) {
+  if (height_ != 0 || num_points_ != 0) {
+    return Status::InvalidArgument(
+        "BulkLoadStrExternal requires an empty tree");
+  }
+  const uint64_t total = source->size();
+  if (total == 0) return Status::OK();
+  if (run_points == 0) run_points = 1;
+  const size_t n = static_cast<size_t>(total);
+
+  uint32_t leaf_fill = 0, branch_fill = 0;
+  BulkFills(&leaf_fill, &branch_fill);
+
+  // ---- Phase 1: sorted run formation ------------------------------------
+  static std::atomic<uint64_t> next_spill_id{1};
+  const uint64_t spill_id =
+      next_spill_id.fetch_add(1, std::memory_order_relaxed);
+  SpillFiles spill;
+  {
+    std::vector<PointRecord> run;
+    run.resize(std::min<size_t>(run_points, n));
+    uint64_t consumed = 0;
+    for (;;) {
+      size_t filled = 0;
+      while (filled < run.size()) {
+        Result<size_t> got =
+            source->Next(run.data() + filled, run.size() - filled);
+        if (!got.ok()) return got.status();
+        if (got.value() == 0) break;
+        filled += got.value();
+      }
+      if (filled == 0) break;
+      consumed += filled;
+      std::sort(run.begin(), run.begin() + static_cast<std::ptrdiff_t>(filled),
+                StrLessByX);
+      std::string path = spill_dir + "/rcj_spill_" +
+                         std::to_string(::getpid()) + "_" +
+                         std::to_string(spill_id) + "_" +
+                         std::to_string(spill.paths.size()) + ".run";
+      std::FILE* file = std::fopen(path.c_str(), "wb");
+      if (file == nullptr) {
+        return Status::IoError("cannot create spill run: " + path);
+      }
+      spill.paths.push_back(path);
+      const size_t written =
+          std::fwrite(run.data(), sizeof(PointRecord), filled, file);
+      const bool flushed = std::fclose(file) == 0;
+      if (written != filled || !flushed) {
+        return Status::IoError("short write to spill run: " + path);
+      }
+      if (filled < run.size()) break;  // source exhausted mid-run
+    }
+    if (consumed != total) {
+      return Status::InvalidArgument(
+          "PointSource yielded a different count than its size()");
+    }
+  }
+
+  // ---- Phase 2: k-way merge into slabs, tile, emit leaves ---------------
+  std::vector<RunReader> readers(spill.paths.size());
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapGreater> heap;
+  for (size_t i = 0; i < readers.size(); ++i) {
+    readers[i].file.reset(std::fopen(spill.paths[i].c_str(), "rb"));
+    if (readers[i].file == nullptr) {
+      return Status::IoError("cannot reopen spill run: " + spill.paths[i]);
+    }
+    readers[i].buf.resize(kMergeBufRecords);
+    PointRecord rec;
+    if (readers[i].Advance(&rec)) heap.push(HeapEntry{rec, i});
+  }
+
+  // Identical boundary arithmetic to the in-memory loader.
+  const size_t num_leaves = (n + leaf_fill - 1) / leaf_fill;
+  const size_t num_slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t per_slab = (n + num_slabs - 1) / num_slabs;
+
+  std::vector<BranchEntry> level_entries;
+  level_entries.reserve(num_leaves);
+  std::vector<PointRecord> slab;
+  slab.reserve(per_slab);
+  uint64_t merged = 0;
+
+  const auto flush_slab = [&]() -> Status {
+    std::sort(slab.begin(), slab.end(), StrLessByY);
+    for (size_t begin = 0; begin < slab.size(); begin += leaf_fill) {
+      const size_t end = std::min(slab.size(), begin + leaf_fill);
+      RINGJOIN_RETURN_IF_ERROR(
+          EmitBulkLeaf(slab.data() + begin, end - begin, &level_entries));
+    }
+    slab.clear();
+    return Status::OK();
+  };
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    slab.push_back(top.rec);
+    ++merged;
+    PointRecord rec;
+    if (readers[top.run].Advance(&rec)) heap.push(HeapEntry{rec, top.run});
+    if (slab.size() == per_slab) {
+      RINGJOIN_RETURN_IF_ERROR(flush_slab());
+    }
+  }
+  if (!slab.empty()) {
+    RINGJOIN_RETURN_IF_ERROR(flush_slab());
+  }
+  if (merged != total) {
+    return Status::Corruption("spill runs lost records during the merge");
+  }
+
+  num_points_ = n;
+  return PackBulkUpperLevels(std::move(level_entries), branch_fill);
+}
+
+}  // namespace rcj

@@ -1,0 +1,59 @@
+// Streaming input for the external-memory bulk loader: a forward iterator
+// over a pointset of known cardinality, consumed in bounded-size batches so
+// a 10^7–10^8-point build never holds the whole set in RAM.
+#ifndef RINGJOIN_RTREE_POINT_SOURCE_H_
+#define RINGJOIN_RTREE_POINT_SOURCE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+
+namespace rcj {
+
+/// A one-pass stream of PointRecords with a cardinality known up front
+/// (STR needs |S| to compute slab and leaf boundaries before reading).
+///
+/// Thread safety: none — a source is consumed by one builder thread.
+/// Lifetime: must outlive the bulk-load call that consumes it.
+class PointSource {
+ public:
+  virtual ~PointSource() = default;
+
+  /// Total number of points this source will yield.
+  virtual uint64_t size() const = 0;
+
+  /// Fills `out` with up to `max` records, returning how many were
+  /// produced; 0 means the stream is exhausted. The sum of all returns
+  /// must equal size().
+  virtual Result<size_t> Next(PointRecord* out, size_t max) = 0;
+};
+
+/// Adapter over an in-memory vector (tests, and callers whose data already
+/// fits in RAM but who want the external build path's bounded page-write
+/// behaviour). Does not own the vector; it must outlive the source.
+class VectorPointSource : public PointSource {
+ public:
+  explicit VectorPointSource(const std::vector<PointRecord>* records)
+      : records_(records) {}
+
+  uint64_t size() const override { return records_->size(); }
+
+  Result<size_t> Next(PointRecord* out, size_t max) override {
+    const size_t n = std::min(max, records_->size() - position_);
+    for (size_t i = 0; i < n; ++i) out[i] = (*records_)[position_ + i];
+    position_ += n;
+    return n;
+  }
+
+ private:
+  const std::vector<PointRecord>* records_;
+  size_t position_ = 0;
+};
+
+}  // namespace rcj
+
+#endif  // RINGJOIN_RTREE_POINT_SOURCE_H_

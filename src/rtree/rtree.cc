@@ -19,19 +19,18 @@ struct HeaderLayout {
   uint64_t num_points;
 };
 
-// Deterministic total order on points used by bulk loading.
-bool LessByX(const PointRecord& a, const PointRecord& b) {
-  if (a.pt.x != b.pt.x) return a.pt.x < b.pt.x;
-  if (a.pt.y != b.pt.y) return a.pt.y < b.pt.y;
-  return a.id < b.id;
-}
-bool LessByY(const PointRecord& a, const PointRecord& b) {
-  if (a.pt.y != b.pt.y) return a.pt.y < b.pt.y;
-  if (a.pt.x != b.pt.x) return a.pt.x < b.pt.x;
-  return a.id < b.id;
-}
-
 }  // namespace
+
+bool StrLessByX(const PointRecord& a, const PointRecord& b) {
+  if (a.pt.x != b.pt.x) return a.pt.x < b.pt.x;
+  if (a.pt.y != b.pt.y) return a.pt.y < b.pt.y;
+  return a.id < b.id;
+}
+bool StrLessByY(const PointRecord& a, const PointRecord& b) {
+  if (a.pt.y != b.pt.y) return a.pt.y < b.pt.y;
+  if (a.pt.x != b.pt.x) return a.pt.x < b.pt.x;
+  return a.id < b.id;
+}
 
 RTree::RTree(PageStore* store, BufferManager* buffer, RTreeOptions options)
     : store_(store),
@@ -610,27 +609,46 @@ Status RTree::Delete(const PointRecord& rec, bool* found) {
 
 // ---- Bulk loading --------------------------------------------------------
 
+void RTree::BulkFills(uint32_t* leaf_fill, uint32_t* branch_fill) const {
+  *leaf_fill = std::clamp<uint32_t>(
+      static_cast<uint32_t>(options_.bulk_fill_fraction *
+                            static_cast<double>(leaf_capacity_)),
+      1, leaf_capacity_);
+  *branch_fill = std::clamp<uint32_t>(
+      static_cast<uint32_t>(options_.bulk_fill_fraction *
+                            static_cast<double>(branch_capacity_)),
+      2, branch_capacity_);
+}
+
+Status RTree::EmitBulkLeaf(const PointRecord* recs, size_t count,
+                           std::vector<BranchEntry>* level_entries) {
+  Node leaf;
+  leaf.level = 0;
+  leaf.points.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    leaf.points.push_back(LeafEntry{recs[i]});
+  }
+  Result<uint64_t> page = AllocateNode(leaf);
+  if (!page.ok()) return page.status();
+  level_entries->push_back(BranchEntry{leaf.ComputeMbr(), page.value()});
+  return Status::OK();
+}
+
 Status RTree::BulkLoadStr(std::vector<PointRecord> recs) {
   if (height_ != 0 || num_points_ != 0) {
     return Status::InvalidArgument("BulkLoadStr requires an empty tree");
   }
   if (recs.empty()) return Status::OK();
 
-  const auto leaf_fill = std::clamp<uint32_t>(
-      static_cast<uint32_t>(options_.bulk_fill_fraction *
-                            static_cast<double>(leaf_capacity_)),
-      1, leaf_capacity_);
-  const auto branch_fill = std::clamp<uint32_t>(
-      static_cast<uint32_t>(options_.bulk_fill_fraction *
-                            static_cast<double>(branch_capacity_)),
-      2, branch_capacity_);
+  uint32_t leaf_fill = 0, branch_fill = 0;
+  BulkFills(&leaf_fill, &branch_fill);
 
   const size_t n = recs.size();
   num_points_ = n;
 
   // Tile the points: sort by x, cut into ~sqrt(#leaves) vertical slabs,
   // sort each slab by y, cut into leaf-sized runs.
-  std::sort(recs.begin(), recs.end(), LessByX);
+  std::sort(recs.begin(), recs.end(), StrLessByX);
   const size_t num_leaves = (n + leaf_fill - 1) / leaf_fill;
   const size_t num_slabs = static_cast<size_t>(
       std::ceil(std::sqrt(static_cast<double>(num_leaves))));
@@ -640,21 +658,19 @@ Status RTree::BulkLoadStr(std::vector<PointRecord> recs) {
   for (size_t slab_begin = 0; slab_begin < n; slab_begin += per_slab) {
     const size_t slab_end = std::min(n, slab_begin + per_slab);
     std::sort(recs.begin() + static_cast<std::ptrdiff_t>(slab_begin),
-              recs.begin() + static_cast<std::ptrdiff_t>(slab_end), LessByY);
+              recs.begin() + static_cast<std::ptrdiff_t>(slab_end),
+              StrLessByY);
     for (size_t begin = slab_begin; begin < slab_end; begin += leaf_fill) {
       const size_t end = std::min(slab_end, begin + leaf_fill);
-      Node leaf;
-      leaf.level = 0;
-      leaf.points.reserve(end - begin);
-      for (size_t i = begin; i < end; ++i) {
-        leaf.points.push_back(LeafEntry{recs[i]});
-      }
-      Result<uint64_t> page = AllocateNode(leaf);
-      if (!page.ok()) return page.status();
-      level_entries.push_back(BranchEntry{leaf.ComputeMbr(), page.value()});
+      RINGJOIN_RETURN_IF_ERROR(
+          EmitBulkLeaf(recs.data() + begin, end - begin, &level_entries));
     }
   }
+  return PackBulkUpperLevels(std::move(level_entries), branch_fill);
+}
 
+Status RTree::PackBulkUpperLevels(std::vector<BranchEntry> level_entries,
+                                  uint32_t branch_fill) {
   // Pack upper levels with the same tiling on entry-MBR centers.
   uint32_t level = 1;
   while (level_entries.size() > 1) {

@@ -1,6 +1,7 @@
 #include "storage/buffer_manager.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
 
 namespace rcj {
@@ -70,7 +71,12 @@ Result<PageHandle> BufferManager::Pin(int store_id, uint64_t page_no) {
   frame.store_id = store_id;
   frame.page_no = page_no;
   frame.data = std::make_unique<uint8_t[]>(store->page_size());
+  const auto read_start = std::chrono::steady_clock::now();
   RINGJOIN_RETURN_IF_ERROR(store->Read(page_no, frame.data.get()));
+  stats_.io_wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    read_start)
+          .count();
   // Only a SUCCESSFUL first fetch since construction/Clear() is a cold
   // (compulsory) fault — a failed read leaves no history, so a retry
   // still counts cold. Refetching an evicted page is warm (capacity).

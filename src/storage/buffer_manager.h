@@ -35,6 +35,11 @@ struct BufferStats {
   uint64_t cold_faults = 0;
   uint64_t evictions = 0;
   uint64_t writebacks = 0;        ///< dirty pages written on eviction/flush.
+  /// Measured wall-clock seconds spent inside PageStore::Read on faults —
+  /// the real I/O time, as opposed to the cost model's modeled
+  /// page_faults x 10 ms. Near zero for MemPageStore (a memcpy); genuine
+  /// device wait for the file backends once the OS cache is cold.
+  double io_wall_seconds = 0.0;
 
   uint64_t hits() const { return logical_accesses - page_faults; }
   uint64_t warm_faults() const { return page_faults - cold_faults; }

@@ -1,8 +1,73 @@
 #include "storage/page_store.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 namespace rcj {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// pread/pwrite loop handling short transfers and EINTR.
+Status FullPread(int fd, uint8_t* out, size_t len, off_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd, out + done, len - done,
+                              offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("pread failed"));
+    }
+    if (n == 0) return Status::IoError("pread hit EOF mid-page");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FullPwrite(int fd, const uint8_t* data, size_t len, off_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pwrite(fd, data + done, len - done,
+                               offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("pwrite failed"));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Per-thread bounce buffer for O_DIRECT reads, which require the
+/// destination to be block-aligned (buffer-pool frames are not). Grown to
+/// the largest page size any store on this thread reads; one memcpy per
+/// page is noise next to a device read.
+uint8_t* DirectReadBuffer(size_t size) {
+  struct Buffer {
+    void* ptr = nullptr;
+    size_t capacity = 0;
+    ~Buffer() { std::free(ptr); }
+  };
+  static thread_local Buffer buffer;
+  if (buffer.capacity < size) {
+    std::free(buffer.ptr);
+    const size_t capacity = (size + 4095) & ~static_cast<size_t>(4095);
+    buffer.ptr = std::aligned_alloc(4096, capacity);
+    buffer.capacity = buffer.ptr != nullptr ? capacity : 0;
+  }
+  return static_cast<uint8_t*>(buffer.ptr);
+}
+
+}  // namespace
 
 Status MemPageStore::Read(uint64_t page_no, uint8_t* out) const {
   if (page_no >= pages_.size()) {
@@ -27,85 +92,209 @@ Result<uint64_t> MemPageStore::Allocate() {
   return static_cast<uint64_t>(pages_.size() - 1);
 }
 
-Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
-    const std::string& path, uint32_t page_size, bool create) {
-  std::FILE* file = std::fopen(path.c_str(), "rb+");
-  if (file == nullptr) {
-    if (!create) {
+// ---- FilePageStore -------------------------------------------------------
+
+Result<int> FilePageStore::OpenFd(const std::string& path, uint32_t page_size,
+                                  bool create, uint64_t* num_pages) {
+  int flags = O_RDWR;
+  if (create) flags |= O_CREAT;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    if (!create && errno == ENOENT) {
       return Status::NotFound("cannot open page file: " + path);
     }
-    file = std::fopen(path.c_str(), "wb+");
-    if (file == nullptr) {
-      return Status::IoError("cannot create page file: " + path);
-    }
+    return Status::IoError(Errno("cannot open page file " + path));
   }
-  if (std::fseek(file, 0, SEEK_END) != 0) {
-    std::fclose(file);
-    return Status::IoError("seek failed on: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError(Errno("fstat failed on " + path));
   }
-  const long bytes = std::ftell(file);
-  if (bytes < 0 || bytes % static_cast<long>(page_size) != 0) {
-    std::fclose(file);
-    return Status::Corruption("page file size is not a multiple of the page "
-                              "size: " +
-                              path);
+  if (st.st_size % static_cast<off_t>(page_size) != 0) {
+    ::close(fd);
+    return Status::Corruption(
+        "page file size is not a multiple of the page size: " + path);
   }
-  const uint64_t pages = static_cast<uint64_t>(bytes) / page_size;
-  return std::unique_ptr<FilePageStore>(
-      new FilePageStore(file, page_size, pages));
+  *num_pages = static_cast<uint64_t>(st.st_size) / page_size;
+  return fd;
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
+    const std::string& path, uint32_t page_size, bool create) {
+  uint64_t pages = 0;
+  Result<int> fd = OpenFd(path, page_size, create, &pages);
+  if (!fd.ok()) return fd.status();
+  std::unique_ptr<FilePageStore> store(
+      new FilePageStore(fd.value(), path, page_size, pages));
+  store->EnableDirectReads();
+  return store;
+}
+
+void FilePageStore::EnableDirectReads() {
+#if defined(O_DIRECT)
+  direct_fd_ = ::open(path_.c_str(), O_RDONLY | O_DIRECT);
+  direct_ok_.store(direct_fd_ >= 0, std::memory_order_relaxed);
+#endif
 }
 
 FilePageStore::~FilePageStore() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (direct_fd_ >= 0) ::close(direct_fd_);
+  if (fd_ >= 0) ::close(fd_);
 }
 
 Status FilePageStore::Read(uint64_t page_no, uint8_t* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (page_no >= num_pages_) {
+  if (page_no >= num_pages()) {
     return Status::OutOfRange("read past end of FilePageStore");
   }
-  if (std::fseek(file_, static_cast<long>(page_no * page_size()), SEEK_SET) !=
-      0) {
-    return Status::IoError("seek failed");
+  const off_t offset = static_cast<off_t>(page_no * page_size());
+  if (direct_reads_active()) {
+    uint8_t* bounce = DirectReadBuffer(page_size());
+    if (bounce != nullptr &&
+        FullPread(direct_fd_, bounce, page_size(), offset).ok()) {
+      std::memcpy(out, bounce, page_size());
+      return Status::OK();
+    }
+    // Typically EINVAL: the page size or file offset violates the device's
+    // direct-I/O alignment, or the filesystem refuses O_DIRECT. Permanent,
+    // so fall back to the buffered descriptor for good.
+    direct_ok_.store(false, std::memory_order_relaxed);
   }
-  if (std::fread(out, 1, page_size(), file_) != page_size()) {
-    return Status::IoError("short read");
-  }
-  return Status::OK();
+  return FullPread(fd_, out, page_size(), offset);
 }
 
 Status FilePageStore::Write(uint64_t page_no, const uint8_t* data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (page_no >= num_pages_) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (page_no >= num_pages()) {
     return Status::OutOfRange("write past end of FilePageStore");
   }
-  if (std::fseek(file_, static_cast<long>(page_no * page_size()), SEEK_SET) !=
-      0) {
-    return Status::IoError("seek failed");
-  }
-  if (std::fwrite(data, 1, page_size(), file_) != page_size()) {
-    return Status::IoError("short write");
-  }
-  return Status::OK();
+  clean_.store(false, std::memory_order_release);
+  return FullPwrite(fd_, data, page_size(),
+                    static_cast<off_t>(page_no * page_size()));
 }
 
 Result<uint64_t> FilePageStore::Allocate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const uint64_t page_no = num_pages_.load(std::memory_order_relaxed);
   std::vector<uint8_t> zeros(page_size(), 0);
-  if (std::fseek(file_, static_cast<long>(num_pages_ * page_size()),
-                 SEEK_SET) != 0) {
-    return Status::IoError("seek failed");
+  clean_.store(false, std::memory_order_release);
+  RINGJOIN_RETURN_IF_ERROR(
+      FullPwrite(fd_, zeros.data(), page_size(),
+                 static_cast<off_t>(page_no * page_size())));
+  num_pages_.store(page_no + 1, std::memory_order_release);
+  return page_no;
+}
+
+void FilePageStore::Prefetch(uint64_t page_no, uint64_t count) const {
+  const uint64_t pages = num_pages();
+  if (page_no >= pages || count == 0) return;
+  if (direct_reads_active()) return;  // direct reads bypass the OS cache
+  count = std::min(count, pages - page_no);
+#if defined(POSIX_FADV_WILLNEED)
+  (void)::posix_fadvise(fd_, static_cast<off_t>(page_no * page_size()),
+                        static_cast<off_t>(count * page_size()),
+                        POSIX_FADV_WILLNEED);
+#endif
+}
+
+Status FilePageStore::DropOsCache() {
+  RINGJOIN_RETURN_IF_ERROR(Sync());
+#if defined(POSIX_FADV_DONTNEED)
+  if (::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED) != 0) {
+    return Status::IoError(Errno("posix_fadvise(DONTNEED) failed"));
   }
-  if (std::fwrite(zeros.data(), 1, page_size(), file_) != page_size()) {
-    return Status::IoError("short write while allocating");
-  }
-  return num_pages_++;
+#endif
+  return Status::OK();
 }
 
 Status FilePageStore::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (std::fflush(file_) != 0) return Status::IoError("fflush failed");
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError(Errno("fdatasync failed"));
+  }
+  // Nothing buffered is pending anymore, so O_DIRECT reads see every
+  // completed write: re-arm direct mode.
+  clean_.store(true, std::memory_order_release);
   return Status::OK();
+}
+
+// ---- MappedPageStore -----------------------------------------------------
+
+Result<std::unique_ptr<MappedPageStore>> MappedPageStore::Open(
+    const std::string& path, uint32_t page_size, bool create) {
+  uint64_t pages = 0;
+  Result<int> fd = OpenFd(path, page_size, create, &pages);
+  if (!fd.ok()) return fd.status();
+  std::unique_ptr<MappedPageStore> store(
+      new MappedPageStore(fd.value(), path, page_size, pages));
+  if (pages > 0) {
+    RINGJOIN_RETURN_IF_ERROR(store->EnsureMapped(pages));
+  }
+  return store;
+}
+
+MappedPageStore::~MappedPageStore() {
+  uint8_t* map = map_.load(std::memory_order_relaxed);
+  if (map != nullptr) {
+    ::munmap(map, mapped_pages_.load(std::memory_order_relaxed) *
+                      static_cast<size_t>(page_size()));
+  }
+  for (const auto& old : retired_) ::munmap(old.first, old.second);
+}
+
+Status MappedPageStore::EnsureMapped(uint64_t min_pages) const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  const uint64_t mapped = mapped_pages_.load(std::memory_order_relaxed);
+  if (mapped >= min_pages) return Status::OK();  // another thread raced us
+  // Map the file's full current length (never past EOF: touching unmapped
+  // file tail would SIGBUS).
+  const uint64_t file_pages = num_pages();
+  if (file_pages < min_pages) {
+    return Status::OutOfRange("read past end of MappedPageStore");
+  }
+  const size_t len = file_pages * static_cast<size_t>(page_size());
+  void* map = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd_, 0);
+  if (map == MAP_FAILED) {
+    return Status::IoError(Errno("mmap failed"));
+  }
+  uint8_t* old = map_.load(std::memory_order_relaxed);
+  if (old != nullptr) {
+    // Concurrent readers may still hold the old pointer; retire it instead
+    // of unmapping (address space is reclaimed at destruction).
+    retired_.emplace_back(old, mapped * static_cast<size_t>(page_size()));
+  }
+  map_.store(static_cast<uint8_t*>(map), std::memory_order_relaxed);
+  mapped_pages_.store(file_pages, std::memory_order_release);
+  return Status::OK();
+}
+
+Status MappedPageStore::Read(uint64_t page_no, uint8_t* out) const {
+  if (page_no >= mapped_pages_.load(std::memory_order_acquire)) {
+    RINGJOIN_RETURN_IF_ERROR(EnsureMapped(page_no + 1));
+  }
+  const uint8_t* map = map_.load(std::memory_order_relaxed);
+  std::memcpy(out, map + page_no * static_cast<size_t>(page_size()),
+              page_size());
+  return Status::OK();
+}
+
+void MappedPageStore::Prefetch(uint64_t page_no, uint64_t count) const {
+  const uint64_t mapped = mapped_pages_.load(std::memory_order_acquire);
+  if (page_no >= mapped || count == 0) return;
+  count = std::min(count, mapped - page_no);
+  uint8_t* map = map_.load(std::memory_order_relaxed);
+  (void)::madvise(map + page_no * static_cast<size_t>(page_size()),
+                  count * static_cast<size_t>(page_size()), MADV_WILLNEED);
+}
+
+Status MappedPageStore::DropOsCache() {
+  const uint64_t mapped = mapped_pages_.load(std::memory_order_acquire);
+  uint8_t* map = map_.load(std::memory_order_relaxed);
+  if (map != nullptr && mapped > 0) {
+    // Drops this mapping's PTEs so the pages lose their mapped reference;
+    // the base-class fadvise below can then drop them from the page cache.
+    (void)::madvise(map, mapped * static_cast<size_t>(page_size()),
+                    MADV_DONTNEED);
+  }
+  return FilePageStore::DropOsCache();
 }
 
 }  // namespace rcj

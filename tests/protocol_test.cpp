@@ -226,6 +226,7 @@ TEST(ProtocolEndTest, RoundTripsSummary) {
   summary.stats.cold_faults = 9;
   summary.stats.warm_faults = 4;
   summary.stats.io_seconds = 0.13;
+  summary.stats.io_wall_seconds = 0.0421;
   summary.stats.cpu_seconds = 0.0075;
 
   WireSummary reparsed;
@@ -238,6 +239,7 @@ TEST(ProtocolEndTest, RoundTripsSummary) {
   EXPECT_EQ(reparsed.stats.cold_faults, summary.stats.cold_faults);
   EXPECT_EQ(reparsed.stats.warm_faults, summary.stats.warm_faults);
   EXPECT_EQ(reparsed.stats.io_seconds, summary.stats.io_seconds);
+  EXPECT_EQ(reparsed.stats.io_wall_seconds, summary.stats.io_wall_seconds);
   EXPECT_EQ(reparsed.stats.cpu_seconds, summary.stats.cpu_seconds);
 }
 
@@ -249,19 +251,26 @@ TEST(ProtocolEndTest, RejectsIncompleteOrDuplicateSummaries) {
   // ride the wire without their fault split.
   EXPECT_FALSE(
       ParseEndLine("END pairs=1 candidates=0 results=0 node_accesses=0 "
-                   "faults=0 io_s=0 cpu_s=0",
+                   "faults=0 io_s=0 io_wall_s=0 cpu_s=0",
+                   &summary)
+          .ok());
+  // So is the pre-io_wall_s list: a modeled io_s without the measured
+  // counterpart no longer parses.
+  EXPECT_FALSE(
+      ParseEndLine("END pairs=1 candidates=0 results=0 node_accesses=0 "
+                   "faults=0 cold_faults=0 warm_faults=0 io_s=0 cpu_s=0",
                    &summary)
           .ok());
   EXPECT_FALSE(
       ParseEndLine("END pairs=1 pairs=2 candidates=0 results=0 "
                    "node_accesses=0 faults=0 cold_faults=0 warm_faults=0 "
-                   "io_s=0 cpu_s=0",
+                   "io_s=0 io_wall_s=0 cpu_s=0",
                    &summary)
           .ok());
   EXPECT_FALSE(
       ParseEndLine("END pairs=1 candidates=0 results=0 node_accesses=0 "
-                   "faults=0 cold_faults=0 warm_faults=0 io_s=0 cpu_s=0 "
-                   "bonus=1",
+                   "faults=0 cold_faults=0 warm_faults=0 io_s=0 io_wall_s=0 "
+                   "cpu_s=0 bonus=1",
                    &summary)
           .ok());
 }

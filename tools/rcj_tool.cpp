@@ -53,7 +53,8 @@ int Usage() {
       "           [--seed S] [--clusters W] [--sigma SG] --out FILE.csv\n"
       "  rcj_tool join --q Q.csv [--p P.csv | --self]\n"
       "           [--algo brute|inj|bij|obj] [--buffer-frac F]\n"
-      "           [--page-size B] [--out PAIRS.csv] [engine knobs]\n"
+      "           [--page-size B] [--out PAIRS.csv] [storage knobs]\n"
+      "           [engine knobs]\n"
       "                        (any engine knob runs the join through the\n"
       "                         parallel engine instead of the serial\n"
       "                         runner)\n"
@@ -79,9 +80,15 @@ int Usage() {
       "           [--out PAIRS.csv] [--quiet]\n"
       "  rcj_tool client [--host H] --port P --stats\n"
       "                        (print the server's per-shard STATS table)\n"
+      "  storage knobs (join/batch/serve — where the R-tree pages live):\n"
+      "           [--storage mem|file|mmap]  (default mem; file = pread,\n"
+      "                         mmap = memory-mapped reads)\n"
+      "           [--storage-dir DIR]  (file/mmap page files; default .)\n"
       "  engine knobs (join/batch/serve, demo and network alike):\n"
       "           [--tasks-per-thread N] [--min-leaves-to-split N]\n"
-      "           [--view-cache on|off] [--steal-chunk N]  (0 = auto)\n");
+      "           [--view-cache on|off] [--steal-chunk N]  (0 = auto)\n"
+      "           [--readahead N]  (leaf pages prefetched per task chunk\n"
+      "                         on file/mmap storage; 0 = off)\n");
   return 2;
 }
 
@@ -181,7 +188,8 @@ bool ParseU64Flag(const std::string& key, const std::string& text,
 // parser, join's engine-mode trigger, and client's rejection can never
 // drift apart.
 constexpr const char* kEngineKnobFlags[] = {
-    "tasks-per-thread", "min-leaves-to-split", "view-cache", "steal-chunk"};
+    "tasks-per-thread", "min-leaves-to-split", "view-cache", "steal-chunk",
+    "readahead"};
 
 // Parses the engine knobs into `engine_options`, printing a `cmd`-prefixed
 // message on a bad value. Flags not passed leave the corresponding
@@ -229,6 +237,14 @@ bool ParseEngineFlags(const char* cmd,
                   &engine_options->steal_chunk_leaves)) {
     std::fprintf(stderr, "%s: invalid --steal-chunk '%s' (0 = auto)\n", cmd,
                  chunk_it->second.c_str());
+    return false;
+  }
+  const auto readahead_it = flags.find("readahead");
+  if (readahead_it != flags.end() &&
+      !ParseCount(readahead_it->second, 1u << 20,
+                  &engine_options->readahead_leaves)) {
+    std::fprintf(stderr, "%s: invalid --readahead '%s' (0 = off)\n", cmd,
+                 readahead_it->second.c_str());
     return false;
   }
   return true;
@@ -334,6 +350,17 @@ Result<std::unique_ptr<RcjEnvironment>> BuildEnvFromFlags(
     return Status::InvalidArgument("invalid --page-size");
   }
   options->page_size = static_cast<uint32_t>(page_size);
+  // Storage backend for the environment's page stores: mem (historical
+  // default), file (pread), or mmap. --storage-dir picks where the page
+  // files of the non-mem backends live.
+  if (!ParseStorageBackend(FlagOr(flags, "storage", "mem"),
+                           &options->storage)) {
+    std::fprintf(stderr, "%s: invalid --storage '%s' (want mem|file|mmap)\n",
+                 cmd, FlagOr(flags, "storage", "mem").c_str());
+    *exit_code = 2;
+    return Status::InvalidArgument("invalid --storage");
+  }
+  options->storage_dir = FlagOr(flags, "storage-dir", "");
 
   const std::string q_path = FlagOr(flags, "q", "");
   if (q_path.empty()) {
@@ -418,7 +445,8 @@ int CmdJoin(const std::map<std::string, std::string>& flags) {
   }
 
   std::printf("%s%s: %llu pairs | candidates %llu | node accesses %llu | "
-              "faults %llu (%llu cold, %llu warm) | I/O %.2fs | CPU %.3fs\n",
+              "faults %llu (%llu cold, %llu warm) | I/O %.2fs "
+              "(wall %.3fs) | CPU %.3fs\n",
               AlgorithmName(options.algorithm), self ? " (self)" : "",
               static_cast<unsigned long long>(run.stats.results),
               static_cast<unsigned long long>(run.stats.candidates),
@@ -426,7 +454,8 @@ int CmdJoin(const std::map<std::string, std::string>& flags) {
               static_cast<unsigned long long>(run.stats.page_faults),
               static_cast<unsigned long long>(run.stats.cold_faults),
               static_cast<unsigned long long>(run.stats.warm_faults),
-              run.stats.io_seconds, run.stats.cpu_seconds);
+              run.stats.io_seconds, run.stats.io_wall_seconds,
+              run.stats.cpu_seconds);
   if (!out.empty()) std::printf("pairs written to %s\n", out.c_str());
   return 0;
 }
@@ -482,8 +511,9 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  std::printf("%-6s %10s %12s %10s %8s %8s %9s %9s\n", "algo", "results",
-              "node-access", "faults", "cold", "warm", "I/O(s)", "CPU(s)");
+  std::printf("%-6s %10s %12s %10s %8s %8s %9s %10s %9s\n", "algo",
+              "results", "node-access", "faults", "cold", "warm", "I/O(s)",
+              "IOwall(s)", "CPU(s)");
   int failures = 0;
   for (size_t i = 0; i < results.size(); ++i) {
     if (!results[i].status.ok()) {
@@ -493,14 +523,14 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
       continue;
     }
     const JoinStats& stats = results[i].run.stats;
-    std::printf("%-6s %10llu %12llu %10llu %8llu %8llu %9.2f %9.3f\n",
+    std::printf("%-6s %10llu %12llu %10llu %8llu %8llu %9.2f %10.3f %9.3f\n",
                 AlgorithmName(queries[i].spec.algorithm),
                 static_cast<unsigned long long>(stats.results),
                 static_cast<unsigned long long>(stats.node_accesses),
                 static_cast<unsigned long long>(stats.page_faults),
                 static_cast<unsigned long long>(stats.cold_faults),
                 static_cast<unsigned long long>(stats.warm_faults),
-                stats.io_seconds, stats.cpu_seconds);
+                stats.io_seconds, stats.io_wall_seconds, stats.cpu_seconds);
   }
   std::printf("batch: %zu queries in %.3f s on %zu threads\n",
               queries.size(), wall, engine.num_threads());
@@ -923,8 +953,8 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
         if (!quiet) {
           std::fprintf(stderr,
                        "%llu pairs | candidates %llu | node accesses %llu | "
-                       "faults %llu (%llu cold, %llu warm) | I/O %.2fs | "
-                       "CPU %.3fs\n",
+                       "faults %llu (%llu cold, %llu warm) | I/O %.2fs "
+                       "(wall %.3fs) | CPU %.3fs\n",
                        static_cast<unsigned long long>(summary.pairs),
                        static_cast<unsigned long long>(
                            summary.stats.candidates),
@@ -936,7 +966,9 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
                            summary.stats.cold_faults),
                        static_cast<unsigned long long>(
                            summary.stats.warm_faults),
-                       summary.stats.io_seconds, summary.stats.cpu_seconds);
+                       summary.stats.io_seconds,
+                       summary.stats.io_wall_seconds,
+                       summary.stats.cpu_seconds);
         }
         exit_code = summary.pairs == streamed ? 0 : 1;
         if (exit_code != 0) {
@@ -1070,9 +1102,9 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
               requests.size(), submit_seconds, service.pending(),
               service.num_threads());
 
-  std::printf("%-8s %-6s %10s %12s %10s %8s %8s %9s %9s\n", "ticket",
+  std::printf("%-8s %-6s %10s %12s %10s %8s %8s %9s %10s %9s\n", "ticket",
               "algo", "streamed", "candidates", "faults", "cold", "warm",
-              "I/O(s)", "CPU(s)");
+              "I/O(s)", "IOwall(s)", "CPU(s)");
   int failures = 0;
   for (size_t i = 0; i < requests.size(); ++i) {
     const Status status = requests[i].ticket.Wait();
@@ -1084,14 +1116,14 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     }
     const JoinStats stats = requests[i].ticket.stats();
     std::printf("%-8zu %-6s %10llu %12llu %10llu %8llu %8llu %9.2f "
-                "%9.3f\n",
+                "%10.3f %9.3f\n",
                 i, AlgorithmName(requests[i].algorithm),
                 static_cast<unsigned long long>(requests[i].streamed),
                 static_cast<unsigned long long>(stats.candidates),
                 static_cast<unsigned long long>(stats.page_faults),
                 static_cast<unsigned long long>(stats.cold_faults),
                 static_cast<unsigned long long>(stats.warm_faults),
-                stats.io_seconds, stats.cpu_seconds);
+                stats.io_seconds, stats.io_wall_seconds, stats.cpu_seconds);
   }
   if (out_file != nullptr) {
     std::fclose(out_file);
