@@ -1,0 +1,225 @@
+// Churn: snapshot queries against a live environment under concurrent
+// mutation. Sweeps mutation rate x query threads; every query pins an
+// MVCC snapshot and must stream the exact join of the membership that
+// snapshot froze, while a mutator inserts, deletes, and periodically
+// compacts the same environment.
+//
+// This is a systems benchmark, not a paper reproduction. Two properties
+// are self-checked on every run and recorded in BENCH_churn.json:
+//   * per-epoch determinism — any two queries whose snapshots observe the
+//     same mutation epoch must report the same result count, even when a
+//     compaction swapped the base between them (the fold preserves
+//     membership exactly);
+//   * quiescent agreement — after the churn window the engine's merged
+//     stream count must equal the serial snapshot runner's.
+// Expected shape: queries keep completing at every mutation rate
+// (compactions never block the read path; the only exclusive window is
+// the O(1) base swap), with throughput dipping as the delta grows.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "live/live_environment.h"
+
+namespace {
+
+using namespace rcj;
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::ParseScale(argc, argv);
+  bench::PrintBanner(
+      "Churn: snapshot queries over a mutating live environment",
+      "no paper counterpart; per-epoch result counts must be exactly "
+      "reproducible while inserts/deletes/compactions run",
+      scale);
+
+  const size_t n = scale.N(8000);  // per side
+  const double window_seconds = scale.full ? 2.0 : 0.5;
+  std::printf("workload: OBJ snapshots over %zu x %zu uniform points, "
+              "%.1fs per configuration\n\n",
+              n, n, window_seconds);
+  const std::vector<PointRecord> qset = GenerateUniform(n, 131);
+  const std::vector<PointRecord> pset = GenerateUniform(n, 132);
+
+  bench::JsonReporter reporter("churn");
+  reporter.AddMetric("workload", "points_per_side", static_cast<double>(n));
+
+  std::printf("%-22s %9s %9s %8s %8s %11s %8s\n", "configuration",
+              "queries", "qps", "muts", "compacts", "epochs_seen",
+              "pairs");
+
+  for (const size_t rate : {size_t{0}, size_t{64}, size_t{512}}) {
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      LiveOptions live_options;
+      live_options.build.buffer_fraction = 0.05;
+      Result<std::unique_ptr<LiveEnvironment>> live =
+          LiveEnvironment::Create(qset, pset, live_options);
+      if (!live.ok()) {
+        std::fprintf(stderr, "live build failed: %s\n",
+                     live.status().ToString().c_str());
+        return 1;
+      }
+      LiveEnvironment& env = *live.value();
+
+      std::atomic<bool> stop{false};
+      std::atomic<bool> failed{false};
+
+      // Mutator: `rate` mutations per millisecond tick, one compaction per
+      // ~4096 applied. Inserts take fresh ids with jittered copies of base
+      // coordinates (stays inside the data space); every third operation
+      // deletes the oldest still-live inserted point.
+      std::thread mutator;
+      if (rate > 0) {
+        mutator = std::thread([&] {
+          PointId next_id = 10000000;
+          uint64_t applied = 0;
+          uint64_t last_compact = 0;
+          std::deque<PointId> inserted;
+          while (!stop.load(std::memory_order_relaxed)) {
+            for (size_t i = 0;
+                 i < rate && !stop.load(std::memory_order_relaxed); ++i) {
+              if (applied % 3 == 2 && !inserted.empty()) {
+                if (!env.Delete(LiveSide::kQ, inserted.front()).ok()) {
+                  failed.store(true);
+                  return;
+                }
+                inserted.pop_front();
+              } else {
+                PointRecord rec = qset[static_cast<size_t>(next_id) % n];
+                rec.id = next_id;
+                rec.pt.x += 1e-5 * static_cast<double>(next_id % 89);
+                rec.pt.y += 1e-5 * static_cast<double>(next_id % 97);
+                if (!env.Insert(LiveSide::kQ, rec).ok()) {
+                  failed.store(true);
+                  return;
+                }
+                inserted.push_back(next_id);
+                ++next_id;
+              }
+              ++applied;
+            }
+            if (applied - last_compact >= 4096) {
+              if (!env.Compact().ok()) {
+                failed.store(true);
+                return;
+              }
+              last_compact = applied;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        });
+      }
+
+      // Query threads: pin a snapshot, run the merged join through a
+      // private engine, and record (epoch -> result count). Any two
+      // queries that froze the same epoch must agree exactly.
+      std::mutex epoch_mu;
+      std::map<uint64_t, uint64_t> epoch_counts;
+      std::atomic<uint64_t> queries{0};
+      std::atomic<uint64_t> pairs_total{0};
+      const Clock::time_point deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(window_seconds));
+      std::vector<std::thread> workers;
+      for (size_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&] {
+          EngineOptions engine_options;
+          engine_options.num_threads = 1;
+          Engine engine(engine_options);
+          while (Clock::now() < deadline &&
+                 !failed.load(std::memory_order_relaxed)) {
+            const LiveSnapshot snapshot = env.TakeSnapshot();
+            const Result<RcjRunResult> run = engine.Run(snapshot.Spec());
+            if (!run.ok()) {
+              failed.store(true);
+              return;
+            }
+            const uint64_t count = run.value().pairs.size();
+            {
+              const std::lock_guard<std::mutex> lock(epoch_mu);
+              const auto inserted =
+                  epoch_counts.emplace(snapshot.epoch(), count);
+              if (!inserted.second && inserted.first->second != count) {
+                std::fprintf(stderr,
+                             "epoch %llu count mismatch: %llu vs %llu\n",
+                             static_cast<unsigned long long>(
+                                 snapshot.epoch()),
+                             static_cast<unsigned long long>(
+                                 inserted.first->second),
+                             static_cast<unsigned long long>(count));
+                failed.store(true);
+                return;
+              }
+            }
+            queries.fetch_add(1);
+            pairs_total.fetch_add(count);
+          }
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+      stop.store(true);
+      if (mutator.joinable()) mutator.join();
+      if (failed.load()) {
+        std::fprintf(stderr, "churn self-check failed (rate=%zu)\n", rate);
+        return 1;
+      }
+
+      // Quiescent agreement: engine merged stream == serial snapshot run.
+      const LiveSnapshot final_snapshot = env.TakeSnapshot();
+      Engine check_engine(EngineOptions{});
+      const Result<RcjRunResult> parallel =
+          check_engine.Run(final_snapshot.Spec());
+      const Result<RcjRunResult> serial =
+          final_snapshot.Run(final_snapshot.Spec());
+      if (!parallel.ok() || !serial.ok() ||
+          parallel.value().pairs.size() != serial.value().pairs.size()) {
+        std::fprintf(stderr, "quiescent engine/serial divergence\n");
+        return 1;
+      }
+
+      const LiveStats stats = env.stats();
+      const uint64_t total_queries = queries.load();
+      const double qps =
+          static_cast<double>(total_queries) / window_seconds;
+      const double mean_pairs =
+          total_queries == 0
+              ? 0.0
+              : static_cast<double>(pairs_total.load()) /
+                    static_cast<double>(total_queries);
+      const std::string label = "mut=" + std::to_string(rate) +
+                                "/threads=" + std::to_string(threads);
+      std::printf("%-22s %9llu %9.1f %8llu %8llu %11zu %8.0f\n",
+                  label.c_str(),
+                  static_cast<unsigned long long>(total_queries), qps,
+                  static_cast<unsigned long long>(stats.epoch),
+                  static_cast<unsigned long long>(stats.compactions),
+                  epoch_counts.size(), mean_pairs);
+      reporter.AddMetric(label, "queries",
+                         static_cast<double>(total_queries));
+      reporter.AddMetric(label, "queries_per_second", qps);
+      reporter.AddMetric(label, "mutations",
+                         static_cast<double>(stats.epoch));
+      reporter.AddMetric(label, "compactions",
+                         static_cast<double>(stats.compactions));
+      reporter.AddMetric(label, "epochs_observed",
+                         static_cast<double>(epoch_counts.size()));
+      reporter.AddMetric(label, "mean_pairs", mean_pairs);
+      reporter.AddMetric(label, "self_check_failures", 0.0);
+    }
+  }
+
+  reporter.Write();
+  return 0;
+}

@@ -128,7 +128,7 @@ double RunSharedPoolThreads(RcjEnvironment* env, size_t num_threads,
       JoinStats stats;
       const Status status =
           ExecuteRcj(*views[i].tq, *views[i].tp, env->qset(), env->pset(),
-                     env->self_join(), spec, nullptr, &sink, &stats);
+                     env->self_join(), spec, nullptr, true, &sink, &stats);
       if (!status.ok()) {
         std::fprintf(stderr, "shared-pool query failed: %s\n",
                      status.ToString().c_str());

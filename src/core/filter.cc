@@ -26,7 +26,8 @@ using MinHeap = std::priority_queue<HeapItem, std::vector<HeapItem>, HeapCompare
 
 Status FilterCandidates(const RTree& tp, const Point& q,
                         PointId self_skip_id,
-                        std::vector<PointRecord>* candidates) {
+                        std::vector<PointRecord>* candidates,
+                        const std::unordered_set<PointId>* exclude) {
   candidates->clear();
   if (tp.height() == 0) return Status::OK();
 
@@ -58,6 +59,9 @@ Status FilterCandidates(const RTree& tp, const Point& q,
 
     if (top.is_point) {
       if (top.rec.id == self_skip_id) continue;  // identity in a self-join
+      if (exclude != nullptr && exclude->count(top.rec.id) != 0) {
+        continue;  // tombstoned: neither a candidate nor an anchor
+      }
       candidates->push_back(top.rec);
       regions.emplace_back(q, top.rec.pt);
       continue;
@@ -91,7 +95,8 @@ Status BulkFilterCandidates(const RTree& tp,
                             const std::vector<PointRecord>& qs,
                             const BulkFilterOptions& options,
                             std::vector<std::vector<PointRecord>>*
-                                per_q_candidates) {
+                                per_q_candidates,
+                            const std::unordered_set<PointId>* exclude) {
   const size_t group = qs.size();
   per_q_candidates->assign(group, {});
   if (group == 0 || tp.height() == 0) return Status::OK();
@@ -154,6 +159,9 @@ Status BulkFilterCandidates(const RTree& tp,
     if (prunable_for_all) continue;
 
     if (top.is_point) {
+      if (exclude != nullptr && exclude->count(top.rec.id) != 0) {
+        continue;  // tombstoned: neither a candidate nor an anchor
+      }
       for (size_t i = 0; i < group; ++i) {
         if (options.self_join && top.rec.id == qs[i].id) continue;
         if (!pruned_for(i, top)) {

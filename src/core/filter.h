@@ -10,6 +10,7 @@
 #ifndef RINGJOIN_CORE_FILTER_H_
 #define RINGJOIN_CORE_FILTER_H_
 
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -23,9 +24,15 @@ namespace rcj {
 /// `self_skip_id`: in a self-join T_P contains q itself; pass q's id so the
 /// identity point is neither reported nor used as a pruning anchor. Pass
 /// kInvalidPointId for a regular (two-dataset) join.
+///
+/// `exclude`: tombstoned point ids of a live environment's delta overlay
+/// (null for a static join). Excluded points are treated exactly like the
+/// identity point — never reported and never a pruning anchor — so every
+/// remaining anchor is a live point and Lemma-1/3 pruning stays sound.
 Status FilterCandidates(const RTree& tp, const Point& q,
                         PointId self_skip_id,
-                        std::vector<PointRecord>* candidates);
+                        std::vector<PointRecord>* candidates,
+                        const std::unordered_set<PointId>* exclude = nullptr);
 
 /// Options for the bulk filter.
 struct BulkFilterOptions {
@@ -40,11 +47,15 @@ struct BulkFilterOptions {
 /// Algorithm 7. One best-first traversal of T_P (ordered by mindist from the
 /// centroid of `qs`) retrieves candidate sets for all points of one T_Q leaf
 /// concurrently. `per_q_candidates` is resized to qs.size(), aligned with qs.
+/// `exclude` as in FilterCandidates; the caller must also drop tombstoned
+/// points from `qs` itself (dead siblings must not seed symmetric anchors).
 Status BulkFilterCandidates(const RTree& tp,
                             const std::vector<PointRecord>& qs,
                             const BulkFilterOptions& options,
                             std::vector<std::vector<PointRecord>>*
-                                per_q_candidates);
+                                per_q_candidates,
+                            const std::unordered_set<PointId>* exclude =
+                                nullptr);
 
 }  // namespace rcj
 

@@ -18,6 +18,7 @@
 namespace rcj {
 
 class RcjEnvironment;
+struct DeltaOverlay;
 
 /// One query: which environment to join, which algorithm and knobs to use,
 /// and how much of the result stream the caller wants. Plain aggregate —
@@ -27,6 +28,14 @@ struct QuerySpec {
   /// The built environment to run against. Must outlive the query's
   /// execution; the executing layer treats it as strictly read-only.
   const RcjEnvironment* env = nullptr;
+
+  /// Pending mutations to merge into the base environment's result (null
+  /// for the classic static query). Set by a live environment's snapshot
+  /// (src/live/); the overlay must outlive the query's execution, and its
+  /// self_join flag must match the environment's. The merged stream keeps
+  /// every serial-order guarantee: base leaves first (tombstoned points
+  /// skipped), then the delta records in insertion order.
+  const DeltaOverlay* overlay = nullptr;
 
   RcjAlgorithm algorithm = RcjAlgorithm::kObj;
   SearchOrder order = SearchOrder::kDepthFirst;

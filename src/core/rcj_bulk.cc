@@ -24,6 +24,14 @@ Status RunBulkJoin(const RTree& tq, const RTree& tp,
   filter_options.symmetric_pruning = options.symmetric_pruning;
   filter_options.self_join = options.self_join;
 
+  const DeltaOverlay* overlay = options.overlay;
+  const std::unordered_set<PointId>* dead_q =
+      overlay != nullptr ? overlay->dead_or_null(LiveSide::kQ) : nullptr;
+  const std::unordered_set<PointId>* dead_p = nullptr;
+  if (overlay != nullptr) {
+    dead_p = options.self_join ? dead_q : overlay->dead_or_null(LiveSide::kP);
+  }
+
   std::vector<PointRecord> group;
   std::vector<std::vector<PointRecord>> per_q;
   std::vector<CandidateCircle> circles;
@@ -34,11 +42,21 @@ Status RunBulkJoin(const RTree& tq, const RTree& tp,
 
     group.clear();
     for (const LeafEntry& entry : leaf.value().points) {
+      // Tombstoned leaf members drop out of the group entirely, so a dead
+      // sibling never seeds a Lemma-5 symmetric anchor.
+      if (dead_q != nullptr && dead_q->count(entry.rec.id) != 0) continue;
       group.push_back(entry.rec);
     }
 
     RINGJOIN_RETURN_IF_ERROR(
-        BulkFilterCandidates(tp, group, filter_options, &per_q));
+        BulkFilterCandidates(tp, group, filter_options, &per_q, dead_p));
+    if (overlay != nullptr) {
+      for (size_t i = 0; i < group.size(); ++i) {
+        FilterCandidatesFlat(
+            overlay->delta(LiveSide::kP), group[i].pt,
+            options.self_join ? group[i].id : kInvalidPointId, &per_q[i]);
+      }
+    }
 
     circles.clear();
     for (size_t i = 0; i < group.size(); ++i) {
@@ -51,15 +69,8 @@ Status RunBulkJoin(const RTree& tq, const RTree& tp,
     stats->candidates += circles.size();
 
     if (options.verify) {
-      if (options.self_join) {
-        RINGJOIN_RETURN_IF_ERROR(
-            VerifyCandidates(tq, TreeSide::kQSide, true, &circles));
-      } else {
-        RINGJOIN_RETURN_IF_ERROR(
-            VerifyCandidates(tq, TreeSide::kQSide, false, &circles));
-        RINGJOIN_RETURN_IF_ERROR(
-            VerifyCandidates(tp, TreeSide::kPSide, false, &circles));
-      }
+      RINGJOIN_RETURN_IF_ERROR(
+          VerifyMerged(tq, tp, options.self_join, overlay, &circles));
     }
     for (const CandidateCircle& c : circles) {
       if (!c.alive) continue;
@@ -69,6 +80,12 @@ Status RunBulkJoin(const RTree& tq, const RTree& tp,
         return Status::OK();  // early termination requested by the sink
       }
     }
+  }
+  if (options.delta_tail && overlay != nullptr) {
+    bool stopped = false;
+    RINGJOIN_RETURN_IF_ERROR(RunDeltaTail(tq, tp, options.self_join,
+                                          options.verify, *overlay, sink,
+                                          &emitted, stats, &stopped));
   }
   stats->results += emitted;
   return Status::OK();

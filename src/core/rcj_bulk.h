@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/delta_overlay.h"
 #include "core/pair_sink.h"
 #include "core/rcj_types.h"
 #include "rtree/rtree.h"
@@ -30,6 +31,11 @@ struct BulkJoinOptions {
   /// When non-null, visits exactly these T_Q leaf pages in the given order
   /// and ignores `order`/`random_seed` (see InjOptions::leaf_pages).
   const std::vector<uint64_t>* leaf_pages = nullptr;
+  /// Pending live-environment mutations (see InjOptions::overlay).
+  const DeltaOverlay* overlay = nullptr;
+  /// Append the delta-Q tail after the visited leaves (see
+  /// InjOptions::delta_tail).
+  bool delta_tail = false;
 };
 
 /// Algorithm 6 (BIJ / OBJ). Emits each surviving pair through `sink` as its

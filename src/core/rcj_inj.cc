@@ -31,6 +31,14 @@ Status RunInj(const RTree& tq, const RTree& tp, const InjOptions& options,
   const std::vector<uint64_t>& pages =
       options.leaf_pages != nullptr ? *options.leaf_pages : leaf_pages;
 
+  const DeltaOverlay* overlay = options.overlay;
+  const std::unordered_set<PointId>* dead_q =
+      overlay != nullptr ? overlay->dead_or_null(LiveSide::kQ) : nullptr;
+  const std::unordered_set<PointId>* dead_p = nullptr;
+  if (overlay != nullptr) {
+    dead_p = options.self_join ? dead_q : overlay->dead_or_null(LiveSide::kP);
+  }
+
   std::vector<PointRecord> candidates;
   std::vector<CandidateCircle> circles;
   for (const uint64_t page : pages) {
@@ -39,8 +47,15 @@ Status RunInj(const RTree& tq, const RTree& tp, const InjOptions& options,
 
     for (const LeafEntry& entry : leaf.value().points) {
       const PointRecord& q = entry.rec;
+      if (dead_q != nullptr && dead_q->count(q.id) != 0) continue;
       RINGJOIN_RETURN_IF_ERROR(FilterCandidates(
-          tp, q.pt, options.self_join ? q.id : kInvalidPointId, &candidates));
+          tp, q.pt, options.self_join ? q.id : kInvalidPointId, &candidates,
+          dead_p));
+      if (overlay != nullptr) {
+        FilterCandidatesFlat(overlay->delta(LiveSide::kP), q.pt,
+                             options.self_join ? q.id : kInvalidPointId,
+                             &candidates);
+      }
 
       circles.clear();
       for (const PointRecord& p : candidates) {
@@ -53,15 +68,8 @@ Status RunInj(const RTree& tq, const RTree& tp, const InjOptions& options,
       stats->candidates += circles.size();
 
       if (options.verify) {
-        if (options.self_join) {
-          RINGJOIN_RETURN_IF_ERROR(
-              VerifyCandidates(tq, TreeSide::kQSide, true, &circles));
-        } else {
-          RINGJOIN_RETURN_IF_ERROR(
-              VerifyCandidates(tq, TreeSide::kQSide, false, &circles));
-          RINGJOIN_RETURN_IF_ERROR(
-              VerifyCandidates(tp, TreeSide::kPSide, false, &circles));
-        }
+        RINGJOIN_RETURN_IF_ERROR(
+            VerifyMerged(tq, tp, options.self_join, overlay, &circles));
       }
       for (const CandidateCircle& c : circles) {
         if (!c.alive) continue;
@@ -72,6 +80,12 @@ Status RunInj(const RTree& tq, const RTree& tp, const InjOptions& options,
         }
       }
     }
+  }
+  if (options.delta_tail && overlay != nullptr) {
+    bool stopped = false;
+    RINGJOIN_RETURN_IF_ERROR(RunDeltaTail(tq, tp, options.self_join,
+                                          options.verify, *overlay, sink,
+                                          &emitted, stats, &stopped));
   }
   stats->results += emitted;
   return Status::OK();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/delta_overlay.h"
 #include "core/pair_sink.h"
 #include "core/rcj_types.h"
 #include "rtree/rtree.h"
@@ -31,6 +32,15 @@ struct InjOptions {
   /// each worker; concatenating the workers' outputs in range order yields
   /// the serial result.
   const std::vector<uint64_t>* leaf_pages = nullptr;
+  /// Pending mutations of a live environment (null = static join).
+  /// Tombstoned T_Q points are skipped, tombstoned T_P points stop being
+  /// candidates/anchors/witnesses, and delta records join both roles.
+  const DeltaOverlay* overlay = nullptr;
+  /// Append the overlay's delta-Q tail after the visited leaves. The serial
+  /// runner and unsplit engine queries set this; a split engine query sets
+  /// it only on the last leaf chunk, so the merged stream stays identical
+  /// across thread counts.
+  bool delta_tail = false;
 };
 
 /// Algorithm 5 (INJ_DF). Emits each surviving pair through `sink` as soon

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "core/delta_overlay.h"
 #include "core/rcj_brute.h"
 #include "core/rcj_bulk.h"
 #include "core/rcj_inj.h"
@@ -238,26 +239,42 @@ Status ExecuteRcj(const RTree& tq, const RTree& tp,
                   const std::vector<PointRecord>& qset,
                   const std::vector<PointRecord>& pset, bool self_join,
                   const QuerySpec& spec,
-                  const std::vector<uint64_t>* tq_leaf_subset, PairSink* sink,
-                  JoinStats* stats) {
+                  const std::vector<uint64_t>* tq_leaf_subset, bool delta_tail,
+                  PairSink* sink, JoinStats* stats) {
+  const DeltaOverlay* overlay =
+      spec.overlay != nullptr && !spec.overlay->empty() ? spec.overlay
+                                                        : nullptr;
   switch (spec.algorithm) {
     case RcjAlgorithm::kBrute: {
       if (tq_leaf_subset != nullptr) {
         return Status::InvalidArgument(
             "BRUTE does not traverse T_Q leaves; leaf subsets do not apply");
       }
+      const std::vector<PointRecord>* bq = &qset;
+      const std::vector<PointRecord>* bp = &pset;
+      std::vector<PointRecord> eff_q, eff_p;
+      if (overlay != nullptr) {
+        eff_q = EffectivePointset(qset, *overlay, LiveSide::kQ);
+        bq = &eff_q;
+        if (self_join) {
+          bp = &eff_q;
+        } else {
+          eff_p = EffectivePointset(pset, *overlay, LiveSide::kP);
+          bp = &eff_p;
+        }
+      }
       // The in-memory definitional algorithm; candidates = |P| x |Q| by
       // construction (counted up front even if the sink stops the stream).
       stats->candidates += self_join
-                               ? qset.size() * (qset.size() - 1) / 2
-                               : pset.size() * qset.size();
+                               ? bq->size() * (bq->size() - 1) / 2
+                               : bp->size() * bq->size();
       uint64_t emitted = 0;
       CallbackSink counting([&emitted, sink](const RcjPair& pair) {
         ++emitted;
         return sink->Emit(pair);
       });
-      const Status status = self_join ? BruteForceRcjSelf(qset, &counting)
-                                      : BruteForceRcj(pset, qset, &counting);
+      const Status status = self_join ? BruteForceRcjSelf(*bq, &counting)
+                                      : BruteForceRcj(*bp, *bq, &counting);
       stats->results += emitted;
       return status;
     }
@@ -268,6 +285,8 @@ Status ExecuteRcj(const RTree& tq, const RTree& tp,
       inj.self_join = self_join;
       inj.random_seed = spec.random_seed;
       inj.leaf_pages = tq_leaf_subset;
+      inj.overlay = overlay;
+      inj.delta_tail = delta_tail;
       return RunInj(tq, tp, inj, sink, stats);
     }
     case RcjAlgorithm::kBij:
@@ -279,6 +298,8 @@ Status ExecuteRcj(const RTree& tq, const RTree& tp,
       bulk.order = spec.order;
       bulk.random_seed = spec.random_seed;
       bulk.leaf_pages = tq_leaf_subset;
+      bulk.overlay = overlay;
+      bulk.delta_tail = delta_tail;
       return RunBulkJoin(tq, tp, bulk, sink, stats);
     }
   }
@@ -299,6 +320,10 @@ Status RcjEnvironment::Run(const QuerySpec& spec, PairSink* sink,
         "BRUTE needs the resident pointsets, which an externally built "
         "environment never materializes");
   }
+  if (bound.overlay != nullptr && bound.overlay->self_join != self_join_) {
+    return Status::InvalidArgument(
+        "QuerySpec overlay self-join mode does not match the environment");
+  }
 
   *stats = JoinStats();
   const RTree& tq = *tq_;
@@ -317,7 +342,8 @@ Status RcjEnvironment::Run(const QuerySpec& spec, PairSink* sink,
   const auto start = std::chrono::steady_clock::now();
   const Status status =
       ExecuteRcj(tq, tp, qset_, pset_, self_join_, bound,
-                 /*tq_leaf_subset=*/nullptr, &limited, stats);
+                 /*tq_leaf_subset=*/nullptr, /*delta_tail=*/true, &limited,
+                 stats);
   if (!status.ok()) return status;
   const auto end = std::chrono::steady_clock::now();
 

@@ -210,13 +210,17 @@ class RcjEnvironment {
 /// is determined only at delivery time. `tq_leaf_subset`, when non-null,
 /// restricts the indexed algorithms (INJ/BIJ/OBJ) to that contiguous range
 /// of T_Q leaf pages; it must be null for BRUTE. `qset`/`pset` are
-/// consulted only by BRUTE.
+/// consulted only by BRUTE (which, under a live overlay, joins the
+/// effective sets — base minus tombstones plus delta). `delta_tail` makes
+/// the indexed algorithms append `spec.overlay`'s delta-Q tail after their
+/// leaf range; exactly one fragment of a query may set it (the serial
+/// runner and unsplit engine queries always do).
 Status ExecuteRcj(const RTree& tq, const RTree& tp,
                   const std::vector<PointRecord>& qset,
                   const std::vector<PointRecord>& pset, bool self_join,
                   const QuerySpec& spec,
-                  const std::vector<uint64_t>* tq_leaf_subset, PairSink* sink,
-                  JoinStats* stats);
+                  const std::vector<uint64_t>* tq_leaf_subset, bool delta_tail,
+                  PairSink* sink, JoinStats* stats);
 
 /// One-shot convenience: build an environment and run one algorithm.
 Result<RcjRunResult> RunRcj(const std::vector<PointRecord>& qset,

@@ -7,6 +7,7 @@ struct VerifyContext {
   const RTree* tree;
   TreeSide side;
   bool self_join;
+  const std::unordered_set<PointId>* exclude;  // tombstones; may be null
 };
 
 bool ExcludedAtLeaf(const VerifyContext& ctx, const CandidateCircle& c,
@@ -25,6 +26,9 @@ Status VerifyRec(const VerifyContext& ctx, uint64_t page_no,
 
   if (node.value().is_leaf()) {
     for (const LeafEntry& e : node.value().points) {
+      if (ctx.exclude != nullptr && ctx.exclude->count(e.rec.id) != 0) {
+        continue;  // tombstoned: a dead point is not a witness
+      }
       for (CandidateCircle* c : alive) {
         if (!c->alive) continue;
         if (StrictlyInsideDiametral(e.rec.pt, c->p.pt, c->q.pt) &&
@@ -40,11 +44,14 @@ Status VerifyRec(const VerifyContext& ctx, uint64_t page_no,
     // Face rule: a whole MBR face strictly inside a circle certifies an
     // invalidating point in the subtree (paper Fig. 7d). The certified
     // point cannot be a candidate endpoint: in the exact diametral
-    // predicate, endpoints evaluate to 0 — never strictly inside.
+    // predicate, endpoints evaluate to 0 — never strictly inside. With an
+    // exclude set the rule is unsound — the certified point might be the
+    // dead one — so the verifier descends instead.
     std::vector<CandidateCircle*> descend;
     for (CandidateCircle* c : alive) {
       if (!c->alive) continue;
-      if (DiametralContainsRectFace(c->p.pt, c->q.pt, e.mbr)) {
+      if (ctx.exclude == nullptr &&
+          DiametralContainsRectFace(c->p.pt, c->q.pt, e.mbr)) {
         c->alive = false;
         continue;
       }
@@ -67,7 +74,8 @@ Status VerifyRec(const VerifyContext& ctx, uint64_t page_no,
 }  // namespace
 
 Status VerifyCandidates(const RTree& tree, TreeSide side, bool self_join,
-                        std::vector<CandidateCircle>* candidates) {
+                        std::vector<CandidateCircle>* candidates,
+                        const std::unordered_set<PointId>* exclude) {
   if (tree.height() == 0 || candidates->empty()) return Status::OK();
   std::vector<CandidateCircle*> alive;
   alive.reserve(candidates->size());
@@ -75,8 +83,8 @@ Status VerifyCandidates(const RTree& tree, TreeSide side, bool self_join,
     if (c.alive) alive.push_back(&c);
   }
   if (alive.empty()) return Status::OK();
-  return VerifyRec(VerifyContext{&tree, side, self_join}, tree.root_page(),
-                   alive);
+  return VerifyRec(VerifyContext{&tree, side, self_join, exclude},
+                   tree.root_page(), alive);
 }
 
 }  // namespace rcj

@@ -9,6 +9,7 @@
 #ifndef RINGJOIN_CORE_VERIFY_H_
 #define RINGJOIN_CORE_VERIFY_H_
 
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -28,8 +29,15 @@ enum class TreeSide {
 /// Algorithm 3. Marks `alive = false` on every candidate invalidated by a
 /// point in `tree`. With `self_join`, both endpoints' ids are skipped (the
 /// tree stores the single self-joined dataset).
+///
+/// `exclude`: tombstoned point ids of a live environment's delta overlay
+/// (null for a static join). Excluded points are not witnesses — a dead
+/// point must never kill a candidate. A non-null set also disables the MBR
+/// face rule: the point the face certifies might be the excluded one, so
+/// the verifier descends and checks leaf points individually instead.
 Status VerifyCandidates(const RTree& tree, TreeSide side, bool self_join,
-                        std::vector<CandidateCircle>* candidates);
+                        std::vector<CandidateCircle>* candidates,
+                        const std::unordered_set<PointId>* exclude = nullptr);
 
 }  // namespace rcj
 

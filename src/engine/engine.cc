@@ -264,9 +264,15 @@ void RunTaskChunks(const EngineQuery& query, const EngineOptions& options,
         }
         TaskBufferSink sink(&emit->chunk_pairs[chunk], &emit->cancelled,
                             query.spec.limit);
+        // Exactly one fragment of the query appends the overlay's delta-Q
+        // tail: the last leaf chunk of a split query, or the whole query
+        // when it was never split. Chunks deliver in index order, so the
+        // merged stream stays identical across thread counts.
+        const bool delta_tail = emit->leaves == nullptr ||
+                                chunk == emit->num_chunks - 1;
         status = ExecuteRcj(view->tq_ref(), view->tp_ref(), env.qset(),
                             env.pset(), env.self_join(), query.spec,
-                            subset_ptr, &sink, &t->stats);
+                            subset_ptr, delta_tail, &sink, &t->stats);
       }
     } catch (const std::exception& e) {
       status =

@@ -1,28 +1,25 @@
 #include "extensions/dynamic_rcj.h"
 
-#include <algorithm>
-
-#include "core/filter.h"
-#include "core/verify.h"
-#include "geometry/circle.h"
+#include <utility>
+#include <vector>
 
 namespace rcj {
 
 Result<std::unique_ptr<DynamicRcj>> DynamicRcj::Create(uint32_t page_size) {
   std::unique_ptr<DynamicRcj> join(new DynamicRcj());
+  LiveOptions options;
+  options.build.page_size = page_size;
   // Maintenance is an online workload: keep a comfortably-sized buffer
   // (the paper's fault-charged experiments are the batch algorithms').
-  join->buffer_ = std::make_unique<BufferManager>(1u << 16);
-  join->p_store_ = std::make_unique<MemPageStore>(page_size);
-  join->q_store_ = std::make_unique<MemPageStore>(page_size);
-  Result<std::unique_ptr<RTree>> tp =
-      RTree::Create(join->p_store_.get(), join->buffer_.get(), {});
-  if (!tp.ok()) return tp.status();
-  join->tp_ = std::move(tp.value());
-  Result<std::unique_ptr<RTree>> tq =
-      RTree::Create(join->q_store_.get(), join->buffer_.get(), {});
-  if (!tq.ok()) return tq.status();
-  join->tq_ = std::move(tq.value());
+  options.build.buffer_fraction = 1.0;
+  // Fold the delta back into the base periodically so query cost tracks
+  // the dataset, not the insertion history. The threshold is the knob the
+  // old implementation lacked: before it trips, an insertion costs O(1).
+  options.compact_threshold = 512;
+  Result<std::unique_ptr<LiveEnvironment>> live =
+      LiveEnvironment::Create({}, {}, options);
+  if (!live.ok()) return live.status();
+  join->live_ = std::move(live).value();
   return join;
 }
 
@@ -35,43 +32,27 @@ Status DynamicRcj::InsertQ(const PointRecord& q) {
 }
 
 Status DynamicRcj::InsertImpl(const PointRecord& rec, bool into_p) {
-  // (a) Kill maintained pairs that strictly contain the new point — it is
-  // a fresh witness inside their circles. (Locality theorem part (a):
-  // nothing else can become invalid.)
-  pairs_.erase(std::remove_if(pairs_.begin(), pairs_.end(),
-                              [&rec](const RcjPair& pair) {
-                                return StrictlyInsideDiametral(
-                                    rec.pt, pair.p.pt, pair.q.pt);
-                              }),
-               pairs_.end());
-
-  // Index the new point.
-  RTree& own_tree = into_p ? *tp_ : *tq_;
-  RTree& other_tree = into_p ? *tq_ : *tp_;
-  RINGJOIN_RETURN_IF_ERROR(own_tree.Insert(rec));
-
-  // (b) New pairs involve the new point only: filter its candidate
-  // partners from the opposite tree, then verify against both datasets.
-  std::vector<PointRecord> candidates;
-  RINGJOIN_RETURN_IF_ERROR(FilterCandidates(other_tree, rec.pt,
-                                            kInvalidPointId, &candidates));
-  std::vector<CandidateCircle> circles;
-  circles.reserve(candidates.size());
-  for (const PointRecord& partner : candidates) {
-    if (into_p) {
-      circles.push_back(CandidateCircle::Make(rec, partner));
-    } else {
-      circles.push_back(CandidateCircle::Make(partner, rec));
-    }
-  }
   RINGJOIN_RETURN_IF_ERROR(
-      VerifyCandidates(*tq_, TreeSide::kQSide, false, &circles));
-  RINGJOIN_RETURN_IF_ERROR(
-      VerifyCandidates(*tp_, TreeSide::kPSide, false, &circles));
-  for (const CandidateCircle& c : circles) {
-    if (c.alive) pairs_.push_back(RcjPair{c.p, c.q, c.circle});
-  }
+      live_->Insert(into_p ? LiveSide::kP : LiveSide::kQ, rec));
+  (into_p ? p_size_ : q_size_) += 1;
+  pairs_stale_ = true;
   return Status::OK();
+}
+
+const std::vector<RcjPair>& DynamicRcj::pairs() const {
+  if (!pairs_stale_) return pairs_;
+  // The merged serial join over a fresh snapshot: the base trees packed at
+  // the last compaction plus every later insertion from the overlay.
+  const LiveSnapshot snapshot = live_->TakeSnapshot();
+  Result<RcjRunResult> run = snapshot.Run(snapshot.Spec());
+  // The shim's accessor cannot surface a Status; a failed recompute keeps
+  // the previous (stale) pair set, which only happens on storage errors
+  // the memory backend cannot produce.
+  if (run.ok()) {
+    pairs_ = std::move(run).value().pairs;
+    pairs_stale_ = false;
+  }
+  return pairs_;
 }
 
 }  // namespace rcj

@@ -3,15 +3,14 @@
 // (a new restaurant opens: update the recycling-station plan locally
 // instead of re-running the join).
 //
-// Correctness rests on a locality theorem for the ring constraint:
-// inserting a point x into P ∪ Q
-//   (a) can only *invalidate* existing pairs whose circle strictly
-//       contains x (x is a new witness), and
-//   (b) can only *create* pairs that involve x itself (any pair not
-//       involving x that was invalid before keeps its witness: insertions
-//       never remove points).
-// So one pass over the current result set (a) plus one filter+verify for x
-// against the opposite dataset (b) maintains the exact join.
+// Since the live subsystem landed (src/live/), this class is a thin
+// compatibility shim over rcj::LiveEnvironment: insertions go into the
+// MVCC delta overlay (O(1) per mutation), and the maintained pair set is
+// the lazily recomputed merged base+delta join — the overlay's
+// incremental PruneRegion filtering plays the role the old hand-rolled
+// locality pass played, with deletions, snapshots, and background
+// compaction available through LiveEnvironment for callers who outgrow
+// this insert-only API. New code should use LiveEnvironment directly.
 #ifndef RINGJOIN_EXTENSIONS_DYNAMIC_RCJ_H_
 #define RINGJOIN_EXTENSIONS_DYNAMIC_RCJ_H_
 
@@ -21,16 +20,15 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "core/rcj_types.h"
-#include "rtree/rtree.h"
-#include "storage/buffer_manager.h"
+#include "live/live_environment.h"
 #include "storage/page_store.h"
 
 namespace rcj {
 
 /// A dynamically-maintained ring-constrained join over two growing
-/// pointsets. Supports insertions; each insertion updates the maintained
-/// pair set in time proportional to the affected neighborhood plus one
-/// scan of the current result list.
+/// pointsets. Supports insertions; each insertion is O(1) against the
+/// delta overlay, and pairs() re-derives the exact merged join on demand
+/// (memoized until the next insertion).
 class DynamicRcj {
  public:
   /// Creates an empty maintained join (both sides empty).
@@ -39,30 +37,34 @@ class DynamicRcj {
 
   RINGJOIN_DISALLOW_COPY_AND_ASSIGN(DynamicRcj);
 
-  /// Inserts a point into P and updates the result set.
+  /// Inserts a point into P and updates the maintained join.
   Status InsertP(const PointRecord& p);
 
-  /// Inserts a point into Q and updates the result set.
+  /// Inserts a point into Q and updates the maintained join.
   Status InsertQ(const PointRecord& q);
 
-  /// The maintained RCJ pairs (unordered).
-  const std::vector<RcjPair>& pairs() const { return pairs_; }
+  /// The maintained RCJ pairs (unordered). Lazily recomputed from a fresh
+  /// live snapshot after mutations; the reference stays valid until the
+  /// next insertion.
+  const std::vector<RcjPair>& pairs() const;
 
-  uint64_t p_size() const { return tp_->num_points(); }
-  uint64_t q_size() const { return tq_->num_points(); }
+  uint64_t p_size() const { return p_size_; }
+  uint64_t q_size() const { return q_size_; }
+
+  /// The live environment behind the shim, for callers migrating to the
+  /// full mutation API (deletes, snapshots, compaction).
+  LiveEnvironment* live() { return live_.get(); }
 
  private:
   DynamicRcj() = default;
 
-  // side: true = new point joined P (partners come from Q).
   Status InsertImpl(const PointRecord& rec, bool into_p);
 
-  std::unique_ptr<MemPageStore> p_store_;
-  std::unique_ptr<MemPageStore> q_store_;
-  std::unique_ptr<BufferManager> buffer_;
-  std::unique_ptr<RTree> tp_;
-  std::unique_ptr<RTree> tq_;
-  std::vector<RcjPair> pairs_;
+  std::unique_ptr<LiveEnvironment> live_;
+  uint64_t p_size_ = 0;
+  uint64_t q_size_ = 0;
+  mutable std::vector<RcjPair> pairs_;
+  mutable bool pairs_stale_ = false;
 };
 
 }  // namespace rcj

@@ -1,0 +1,341 @@
+#include "live/live_environment.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "rtree/point_source.h"
+
+namespace rcj {
+
+namespace live_internal {
+
+Pin::Pin(std::shared_ptr<BaseState> b) : base(std::move(b)) {
+  std::lock_guard<std::mutex> lock(base->mu);
+  ++base->pins;
+}
+
+Pin::~Pin() {
+  std::lock_guard<std::mutex> lock(base->mu);
+  if (--base->pins == 0) base->cv.notify_all();
+}
+
+}  // namespace live_internal
+
+namespace {
+
+bool SameRecord(const PointRecord& a, const PointRecord& b) {
+  return a.id == b.id && a.pt.x == b.pt.x && a.pt.y == b.pt.y;
+}
+
+// One side of the overlay fold that runs when a compaction swaps in its
+// rebuilt base. `cap` is the overlay version the rebuild consumed, `cur`
+// the live overlay at swap time (cur extends cap, except where mutations
+// after the capture touched captured state). Record-level arithmetic:
+//
+//   new_delta = cur.delta records not folded into the base
+//             = { r in cur.delta : no identical record in cap.delta }
+//   new_dead  = (cur.dead \ cap.dead)   — cap.dead ids were simply left
+//                                         out of the new base —
+//             ∪ { id of r in cap.delta with no identical record in
+//                 cur.delta }           — a captured insert deleted (or
+//                                         replaced) during the rebuild now
+//                                         has a base copy to tombstone.
+//
+// Matching by full record (id AND coordinates) matters: delete-then-
+// reinsert of a captured id with new coordinates must keep the new delta
+// record and tombstone the folded copy.
+void FoldSide(const std::vector<PointRecord>& cur_delta,
+              const std::unordered_set<PointId>& cur_dead,
+              const std::vector<PointRecord>& cap_delta,
+              const std::unordered_set<PointId>& cap_dead,
+              std::vector<PointRecord>* new_delta,
+              std::unordered_set<PointId>* new_dead) {
+  std::unordered_map<PointId, const PointRecord*> cap;
+  cap.reserve(cap_delta.size());
+  for (const PointRecord& rec : cap_delta) cap.emplace(rec.id, &rec);
+  std::unordered_map<PointId, const PointRecord*> cur;
+  cur.reserve(cur_delta.size());
+  for (const PointRecord& rec : cur_delta) cur.emplace(rec.id, &rec);
+
+  for (const PointRecord& rec : cur_delta) {
+    const auto it = cap.find(rec.id);
+    if (it != cap.end() && SameRecord(*it->second, rec)) continue;
+    new_delta->push_back(rec);
+  }
+  for (const PointId id : cur_dead) {
+    if (cap_dead.count(id) == 0) new_dead->insert(id);
+  }
+  for (const auto& entry : cap) {
+    const auto it = cur.find(entry.first);
+    if (it == cur.end() || !SameRecord(*it->second, *entry.second)) {
+      new_dead->insert(entry.first);
+    }
+  }
+}
+
+Status CheckUniqueIds(const std::vector<PointRecord>& set, const char* label,
+                      std::unordered_set<PointId>* live) {
+  live->clear();
+  live->reserve(set.size());
+  for (const PointRecord& rec : set) {
+    if (rec.id == kInvalidPointId) {
+      return Status::InvalidArgument(std::string(label) +
+                                     " contains the invalid point id");
+    }
+    if (!live->insert(rec.id).second) {
+      return Status::InvalidArgument(std::string(label) + " duplicates id " +
+                                     std::to_string(rec.id));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LiveEnvironment>> LiveEnvironment::Create(
+    const std::vector<PointRecord>& qset,
+    const std::vector<PointRecord>& pset, const LiveOptions& options) {
+  return CreateImpl(qset, pset, /*self_join=*/false, options);
+}
+
+Result<std::unique_ptr<LiveEnvironment>> LiveEnvironment::CreateSelf(
+    const std::vector<PointRecord>& set, const LiveOptions& options) {
+  return CreateImpl(set, set, /*self_join=*/true, options);
+}
+
+Result<std::unique_ptr<LiveEnvironment>> LiveEnvironment::CreateImpl(
+    const std::vector<PointRecord>& qset,
+    const std::vector<PointRecord>& pset, bool self_join,
+    const LiveOptions& options) {
+  std::unique_ptr<LiveEnvironment> env(new LiveEnvironment());
+  env->options_ = options;
+  env->self_join_ = self_join;
+  RINGJOIN_RETURN_IF_ERROR(CheckUniqueIds(qset, "qset", &env->live_q_));
+  env->base_q_ = qset;
+  if (!self_join) {
+    RINGJOIN_RETURN_IF_ERROR(CheckUniqueIds(pset, "pset", &env->live_p_));
+    env->base_p_ = pset;
+  }
+
+  Result<std::unique_ptr<RcjEnvironment>> base =
+      env->BuildBase(env->base_q_, env->base_p_);
+  if (!base.ok()) return base.status();
+  env->base_ = std::make_shared<live_internal::BaseState>();
+  env->base_->env = std::move(base).value();
+
+  env->overlay_ = std::make_shared<DeltaOverlay>();
+  env->overlay_->self_join = self_join;
+
+  if (options.compact_threshold > 0) {
+    env->compactor_ =
+        std::thread([raw = env.get()] { raw->CompactorLoop(); });
+  }
+  return env;
+}
+
+LiveEnvironment::~LiveEnvironment() {
+  if (compactor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    compact_cv_.notify_all();
+    compactor_.join();
+  }
+}
+
+Result<std::unique_ptr<RcjEnvironment>> LiveEnvironment::BuildBase(
+    const std::vector<PointRecord>& qset,
+    const std::vector<PointRecord>& pset) const {
+  if (self_join_) {
+    return RcjEnvironment::BuildSelf(qset, options_.build);
+  }
+  if (options_.build.storage != StorageBackend::kMem &&
+      options_.build.bulk_load) {
+    // File-backed bases go through the external STR loader so a rebuild's
+    // page writes stay bounded regardless of environment size.
+    VectorPointSource qsource(&qset);
+    VectorPointSource psource(&pset);
+    return RcjEnvironment::BuildExternal(&qsource, &psource, options_.build);
+  }
+  return RcjEnvironment::Build(qset, pset, options_.build);
+}
+
+std::unordered_set<PointId>& LiveEnvironment::LiveSet(LiveSide side) {
+  return (side == LiveSide::kQ || self_join_) ? live_q_ : live_p_;
+}
+
+void LiveEnvironment::EnsurePrivateOverlay() {
+  // Snapshots (and an in-flight compaction's capture) share the current
+  // version; never mutate what they can see.
+  if (overlay_.use_count() > 1) {
+    overlay_ = std::make_shared<DeltaOverlay>(*overlay_);
+  }
+}
+
+void LiveEnvironment::MaybeSignalCompactor() {
+  if (options_.compact_threshold > 0 &&
+      overlay_->pending() >= options_.compact_threshold) {
+    compact_cv_.notify_one();
+  }
+}
+
+Status LiveEnvironment::Insert(LiveSide side, const PointRecord& rec) {
+  if (rec.id == kInvalidPointId) {
+    return Status::InvalidArgument("insert: invalid point id");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unordered_set<PointId>& live = LiveSet(side);
+  if (!live.insert(rec.id).second) {
+    return Status::InvalidArgument("insert: id " + std::to_string(rec.id) +
+                                   " is already live on side " +
+                                   LiveSideName(side));
+  }
+  EnsurePrivateOverlay();
+  overlay_->mutable_delta(side).push_back(rec);
+  overlay_->epoch = ++epoch_;
+  MaybeSignalCompactor();
+  return Status::OK();
+}
+
+Status LiveEnvironment::Delete(LiveSide side, PointId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unordered_set<PointId>& live = LiveSet(side);
+  const auto it = live.find(id);
+  if (it == live.end()) {
+    return Status::NotFound("delete: id " + std::to_string(id) +
+                            " is not live on side " + LiveSideName(side));
+  }
+  EnsurePrivateOverlay();
+  std::vector<PointRecord>& delta = overlay_->mutable_delta(side);
+  bool was_delta = false;
+  for (auto rec = delta.begin(); rec != delta.end(); ++rec) {
+    if (rec->id == id) {
+      delta.erase(rec);
+      was_delta = true;
+      break;
+    }
+  }
+  // A delta record just disappears; a base point needs a tombstone.
+  if (!was_delta) overlay_->mutable_dead(side).insert(id);
+  live.erase(it);
+  overlay_->epoch = ++epoch_;
+  MaybeSignalCompactor();
+  return Status::OK();
+}
+
+LiveSnapshot LiveEnvironment::TakeSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  LiveSnapshot snapshot;
+  snapshot.pin_ = std::make_shared<live_internal::Pin>(base_);
+  snapshot.overlay_ = overlay_;
+  return snapshot;
+}
+
+Status LiveEnvironment::Compact() {
+  std::lock_guard<std::mutex> serialize(compact_mu_);
+
+  std::shared_ptr<live_internal::BaseState> old_base;
+  std::shared_ptr<const DeltaOverlay> captured;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (overlay_->empty()) return Status::OK();
+    old_base = base_;
+    captured = overlay_;  // shared: later mutations copy-on-write
+  }
+
+  // Compose and rebuild outside mu_ — mutations and queries proceed
+  // against the old base meanwhile. base_q_/base_p_ are written only by
+  // compactions, which compact_mu_ serializes, so reading them here
+  // without mu_ is safe.
+  std::vector<PointRecord> new_q =
+      EffectivePointset(base_q_, *captured, LiveSide::kQ);
+  std::vector<PointRecord> new_p;
+  if (!self_join_) {
+    new_p = EffectivePointset(base_p_, *captured, LiveSide::kP);
+  }
+
+  Result<std::unique_ptr<RcjEnvironment>> built = BuildBase(new_q, new_p);
+  if (!built.ok()) return built.status();
+  auto fresh = std::make_shared<live_internal::BaseState>();
+  fresh->env = std::move(built).value();
+
+  const RcjEnvironment* retired = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto folded = std::make_shared<DeltaOverlay>();
+    folded->self_join = self_join_;
+    folded->epoch = epoch_;
+    FoldSide(overlay_->delta_q, overlay_->dead_q, captured->delta_q,
+             captured->dead_q, &folded->delta_q, &folded->dead_q);
+    if (!self_join_) {
+      FoldSide(overlay_->delta_p, overlay_->dead_p, captured->delta_p,
+               captured->dead_p, &folded->delta_p, &folded->dead_p);
+    }
+    retired = old_base->env.get();
+    base_ = std::move(fresh);
+    overlay_ = std::move(folded);
+    base_q_ = std::move(new_q);
+    if (!self_join_) base_p_ = std::move(new_p);
+    ++compactions_;
+  }
+
+  // New snapshots pin the new base from here on. Drain the readers still
+  // inside the retired one, let the caches drop their views (the PR-5
+  // generation contract), then destroy its trees.
+  {
+    std::unique_lock<std::mutex> lock(old_base->mu);
+    old_base->cv.wait(lock, [&] { return old_base->pins == 0; });
+  }
+  if (hook_) hook_(retired);
+  old_base->env.reset();
+  return Status::OK();
+}
+
+void LiveEnvironment::CompactorLoop() {
+  // Retry only after the next mutation when an attempt fails (or folds
+  // into a still-over-threshold overlay): epoch_ moves on every mutation.
+  uint64_t last_attempt = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      compact_cv_.wait(lock, [&] {
+        return stop_ ||
+               (overlay_->pending() >= options_.compact_threshold &&
+                epoch_ != last_attempt);
+      });
+      if (stop_) return;
+      last_attempt = epoch_;
+    }
+    const Status status = Compact();
+    static_cast<void>(status);  // a failed rebuild retries on the next wake
+  }
+}
+
+LiveStats LiveEnvironment::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LiveStats stats;
+  stats.epoch = epoch_;
+  stats.generation = base_->env->generation();
+  stats.compactions = compactions_;
+  stats.delta_size =
+      overlay_->delta_q.size() +
+      (self_join_ ? 0 : overlay_->delta_p.size());
+  stats.tombstones = overlay_->tombstones();
+  stats.base_q = base_q_.size();
+  stats.base_p = self_join_ ? base_q_.size() : base_p_.size();
+  return stats;
+}
+
+void LiveEnvironment::EffectivePointsets(std::vector<PointRecord>* q,
+                                         std::vector<PointRecord>* p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *q = EffectivePointset(base_q_, *overlay_, LiveSide::kQ);
+  if (p != nullptr) {
+    *p = self_join_ ? *q
+                    : EffectivePointset(base_p_, *overlay_, LiveSide::kP);
+  }
+}
+
+}  // namespace rcj

@@ -114,6 +114,7 @@ NetServer::Counters NetServer::counters() const {
   counters.cancelled = cancelled_count_.load(std::memory_order_relaxed);
   counters.failed = failed_count_.load(std::memory_order_relaxed);
   counters.stats = stats_count_.load(std::memory_order_relaxed);
+  counters.mutations = mutations_count_.load(std::memory_order_relaxed);
   return counters;
 }
 
@@ -240,7 +241,61 @@ void NetServer::HandleStats(SocketSink* sink) {
     wire.failed = shard.counters.failed;
     sink->SendLine(net::FormatShardStatsLine(wire));
   }
-  sink->SendLine(net::FormatStatsEndLine(stats.size()));
+  const std::vector<EnvironmentStatus> envs = router_->EnvStats();
+  for (const EnvironmentStatus& env : envs) {
+    net::WireEnvStats wire;
+    wire.name = env.name;
+    wire.shard = env.shard;
+    wire.live = env.live;
+    wire.generation = env.stats.generation;
+    wire.epoch = env.stats.epoch;
+    wire.delta = env.stats.delta_size;
+    wire.tombstones = env.stats.tombstones;
+    wire.compactions = env.stats.compactions;
+    wire.base_q = env.stats.base_q;
+    wire.base_p = env.stats.base_p;
+    sink->SendLine(net::FormatEnvStatsLine(wire));
+  }
+  sink->SendLine(net::FormatStatsEndLine(stats.size(), envs.size()));
+  sink->Flush(options_.sink.drain_grace_ms);
+}
+
+void NetServer::HandleMutation(SocketSink* sink, const std::string& line) {
+  net::WireMutation mutation;
+  Status status = net::ParseMutationLine(line, &mutation);
+  LiveStats after;
+  if (status.ok()) {
+    switch (mutation.op) {
+      case net::WireMutationOp::kInsert:
+        status = router_->Insert(mutation.env_name, mutation.side,
+                                 mutation.rec, &after);
+        break;
+      case net::WireMutationOp::kDelete:
+        status = router_->Delete(mutation.env_name, mutation.side,
+                                 mutation.rec.id, &after);
+        break;
+      case net::WireMutationOp::kCompact:
+        status = router_->Compact(mutation.env_name, &after);
+        break;
+    }
+  }
+  if (!status.ok()) {
+    rejected_count_.fetch_add(1, std::memory_order_relaxed);
+    sink->SendLine(net::FormatErrLine(status));
+    sink->Flush(options_.sink.drain_grace_ms);
+    return;
+  }
+  mutations_count_.fetch_add(1, std::memory_order_relaxed);
+  net::WireMutationAck ack;
+  ack.op = mutation.op;
+  ack.env_name = mutation.env_name;
+  ack.epoch = after.epoch;
+  ack.generation = after.generation;
+  ack.delta = after.delta_size;
+  ack.tombstones = after.tombstones;
+  ack.compactions = after.compactions;
+  sink->SendLine("OK");
+  sink->SendLine(net::FormatMutationAckLine(ack));
   sink->Flush(options_.sink.drain_grace_ms);
 }
 
@@ -263,6 +318,8 @@ void NetServer::HandleConnection(Connection* connection) {
   Status status = ReadRequestLine(fd, &line);
   if (status.ok() && net::IsStatsRequestLine(line)) {
     HandleStats(&sink);
+  } else if (status.ok() && net::IsMutationRequestLine(line)) {
+    HandleMutation(&sink, line);
   } else {
     HandleQuery(connection, &sink, status, line);
   }
@@ -280,20 +337,10 @@ void NetServer::HandleQuery(Connection* connection, SocketSink* sink,
   const int fd = connection->fd;
   net::WireRequest request;
   if (status.ok()) status = net::ParseRequestLine(line, &request);
-  if (status.ok()) {
-    const RcjEnvironment* env = router_->FindEnvironment(request.env_name);
-    if (env == nullptr) {
-      status = Status::NotFound("unknown environment '" + request.env_name +
-                                "'");
-    } else {
-      // Validate with the environment bound, exactly what the router will
-      // re-bind at Submit — a malformed spec is a rejection (ERR before
-      // OK), never a started query.
-      request.spec.env = env;
-      status = request.spec.Validate();
-    }
-  }
-
+  // Name resolution, environment binding (a live environment binds a
+  // pinned snapshot), and spec validation all happen inside Submit,
+  // before admission — a malformed spec is a rejection (ERR before OK),
+  // never a started query.
   QueryTicket ticket;
   if (status.ok()) {
     // The router decides admission synchronously; on_admit puts the OK

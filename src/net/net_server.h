@@ -3,9 +3,11 @@
 // Layered on rcj::ShardRouter: one accepted connection carries one request
 // line. A QUERY line becomes one routed Submit() ticket on the target
 // environment's shard and streams its result pairs back through a
-// SocketSink in the exact serial order the engine delivers them; a STATS
-// line is answered immediately with the router's per-shard ledger
-// (protocol.h defines both grammars). Admission control surfaces on the
+// SocketSink in the exact serial order the engine delivers them; an
+// INSERT/DELETE/COMPACT line is a routed mutation of a live environment,
+// answered with an OK + MUT acknowledgement; a STATS line is answered
+// immediately with the router's per-shard and per-environment ledgers
+// (protocol.h defines all the grammars). Admission control surfaces on the
 // wire: a submission the router sheds (bounded shard queue or global
 // in-flight cap) is answered with `ERR Overloaded` before any OK, so an
 // overloaded server fails fast instead of queueing unboundedly.
@@ -79,6 +81,7 @@ class NetServer {
     uint64_t cancelled = 0;    ///< client drop or backpressure cancellation.
     uint64_t failed = 0;       ///< engine-side query failure (ERR after OK).
     uint64_t stats = 0;        ///< STATS probes answered.
+    uint64_t mutations = 0;    ///< INSERT/DELETE/COMPACT applied (OK + MUT).
   };
 
   /// Serves queries by submitting through `router`, whose registered
@@ -125,8 +128,14 @@ class NetServer {
   /// request-read error; `line` is the raw request line.
   void HandleQuery(Connection* connection, SocketSink* sink, Status status,
                    const std::string& line);
-  /// Answers a STATS request on `sink` with the router's per-shard ledger.
+  /// Answers a STATS request on `sink` with the router's per-shard and
+  /// per-environment ledgers.
   void HandleStats(SocketSink* sink);
+  /// Applies one INSERT/DELETE/COMPACT line through the router and
+  /// acknowledges with OK + MUT (or a single ERR). Mutations are
+  /// synchronous — no ticket, no admission slot; the router serializes
+  /// them against the target environment's own locks.
+  void HandleMutation(SocketSink* sink, const std::string& line);
   /// Joins and erases the connections whose handlers have finished.
   void ReapFinishedConnections();
   /// Reads the request line (up to max_request_bytes within
@@ -153,6 +162,7 @@ class NetServer {
   std::atomic<uint64_t> cancelled_count_{0};
   std::atomic<uint64_t> failed_count_{0};
   std::atomic<uint64_t> stats_count_{0};
+  std::atomic<uint64_t> mutations_count_{0};
 };
 
 }  // namespace rcj

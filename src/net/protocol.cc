@@ -198,6 +198,25 @@ Status ParseUint64Field(const std::string& key, const std::string& value,
   return Status::OK();
 }
 
+Status ParseInt64Field(const std::string& key, const std::string& value,
+                       int64_t* out) {
+  const size_t digits_from = value.rfind('-', 0) == 0 ? 1 : 0;
+  if (value.size() == digits_from ||
+      value.find_first_not_of("0123456789", digits_from) !=
+          std::string::npos) {
+    return Status::InvalidArgument("field '" + key +
+                                   "' is not an integer: '" + value + "'");
+  }
+  errno = 0;
+  const long long parsed = std::strtoll(value.c_str(), nullptr, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("field '" + key + "' overflows int64: '" +
+                              value + "'");
+  }
+  *out = static_cast<int64_t>(parsed);
+  return Status::OK();
+}
+
 Status ParseDoubleField(const std::string& key, const std::string& value,
                         double* out) {
   if (value.empty()) {
@@ -521,18 +540,317 @@ Status ParseShardStatsLine(const std::string& line, WireShardStats* out) {
   return Status::OK();
 }
 
-std::string FormatStatsEndLine(uint64_t shards) {
-  return "ENDSTATS shards=" + std::to_string(shards);
+std::string FormatEnvStatsLine(const WireEnvStats& stats) {
+  char buffer[384];
+  std::snprintf(buffer, sizeof(buffer),
+                "ENV %s shard=%llu live=%d generation=%llu epoch=%llu "
+                "delta=%llu tombstones=%llu compactions=%llu base_q=%llu "
+                "base_p=%llu",
+                stats.name.c_str(),
+                static_cast<unsigned long long>(stats.shard),
+                stats.live ? 1 : 0,
+                static_cast<unsigned long long>(stats.generation),
+                static_cast<unsigned long long>(stats.epoch),
+                static_cast<unsigned long long>(stats.delta),
+                static_cast<unsigned long long>(stats.tombstones),
+                static_cast<unsigned long long>(stats.compactions),
+                static_cast<unsigned long long>(stats.base_q),
+                static_cast<unsigned long long>(stats.base_p));
+  return buffer;
 }
 
-Status ParseStatsEndLine(const std::string& line, uint64_t* shards) {
+Status ParseEnvStatsLine(const std::string& line, WireEnvStats* out) {
+  *out = WireEnvStats{};
   const std::vector<std::string> tokens = Tokenize(line);
-  if (tokens.size() != 2 || tokens[0] != "ENDSTATS" ||
-      tokens[1].rfind("shards=", 0) != 0) {
-    return Status::InvalidArgument(
-        "ENDSTATS line wants 'ENDSTATS shards=N'");
+  if (tokens.size() < 2 || tokens[0] != "ENV") {
+    return Status::InvalidArgument("ENV line wants 'ENV name key=N ...'");
   }
-  return ParseUint64Field("shards", tokens[1].substr(7), shards);
+  if (!IsEnvName(tokens[1])) {
+    return Status::InvalidArgument("invalid env name '" + tokens[1] + "'");
+  }
+  out->name = tokens[1];
+  struct Field {
+    const char* key;
+    uint64_t* slot;
+  };
+  uint64_t live = 0;
+  const Field fields[] = {
+      {"shard", &out->shard},           {"live", &live},
+      {"generation", &out->generation}, {"epoch", &out->epoch},
+      {"delta", &out->delta},           {"tombstones", &out->tombstones},
+      {"compactions", &out->compactions},
+      {"base_q", &out->base_q},         {"base_p", &out->base_p},
+  };
+  constexpr size_t kFieldCount = sizeof(fields) / sizeof(fields[0]);
+  bool seen[kFieldCount] = {};
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    const size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("ENV field '" + tokens[i] +
+                                     "' is not key=value");
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    size_t slot = kFieldCount;
+    for (size_t f = 0; f < kFieldCount; ++f) {
+      if (key == fields[f].key) {
+        slot = f;
+        break;
+      }
+    }
+    if (slot == kFieldCount) {
+      return Status::InvalidArgument("unknown ENV key '" + key + "'");
+    }
+    if (seen[slot]) {
+      return Status::InvalidArgument("duplicate ENV key '" + key + "'");
+    }
+    seen[slot] = true;
+    RINGJOIN_RETURN_IF_ERROR(ParseUint64Field(key, value, fields[slot].slot));
+  }
+  for (bool present : seen) {
+    if (!present) {
+      return Status::InvalidArgument("ENV line is missing fields");
+    }
+  }
+  if (live > 1) {
+    return Status::InvalidArgument("ENV field 'live' wants 0 or 1");
+  }
+  out->live = live != 0;
+  return Status::OK();
+}
+
+std::string FormatStatsEndLine(uint64_t shards, uint64_t envs) {
+  return "ENDSTATS shards=" + std::to_string(shards) +
+         " envs=" + std::to_string(envs);
+}
+
+Status ParseStatsEndLine(const std::string& line, uint64_t* shards,
+                         uint64_t* envs) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.size() != 3 || tokens[0] != "ENDSTATS" ||
+      tokens[1].rfind("shards=", 0) != 0 ||
+      tokens[2].rfind("envs=", 0) != 0) {
+    return Status::InvalidArgument(
+        "ENDSTATS line wants 'ENDSTATS shards=N envs=N'");
+  }
+  RINGJOIN_RETURN_IF_ERROR(
+      ParseUint64Field("shards", tokens[1].substr(7), shards));
+  return ParseUint64Field("envs", tokens[2].substr(5), envs);
+}
+
+const char* MutationOpWireName(WireMutationOp op) {
+  switch (op) {
+    case WireMutationOp::kInsert:
+      return "insert";
+    case WireMutationOp::kDelete:
+      return "delete";
+    case WireMutationOp::kCompact:
+      return "compact";
+  }
+  return "?";
+}
+
+bool ParseMutationOpName(const std::string& name, WireMutationOp* op) {
+  for (WireMutationOp candidate :
+       {WireMutationOp::kInsert, WireMutationOp::kDelete,
+        WireMutationOp::kCompact}) {
+    if (name == MutationOpWireName(candidate)) {
+      *op = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsMutationRequestLine(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  return !tokens.empty() &&
+         (tokens[0] == "INSERT" || tokens[0] == "DELETE" ||
+          tokens[0] == "COMPACT");
+}
+
+Status ParseMutationLine(const std::string& line, WireMutation* out) {
+  *out = WireMutation{};
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    return Status::InvalidArgument(
+        "mutation must start with INSERT, DELETE, or COMPACT");
+  }
+  if (tokens[0] == "INSERT") {
+    out->op = WireMutationOp::kInsert;
+  } else if (tokens[0] == "DELETE") {
+    out->op = WireMutationOp::kDelete;
+  } else if (tokens[0] == "COMPACT") {
+    out->op = WireMutationOp::kCompact;
+  } else {
+    return Status::InvalidArgument(
+        "mutation must start with INSERT, DELETE, or COMPACT");
+  }
+  const bool wants_point = out->op == WireMutationOp::kInsert;
+  const bool wants_id = out->op != WireMutationOp::kCompact;
+
+  // seen slots: env, side, id, x, y.
+  bool seen[5] = {};
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& field = tokens[i];
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("field '" + field +
+                                     "' is not key=value");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    Status status = Status::OK();
+    int slot = -1;
+    if (key == "env") {
+      slot = 0;
+      if (!IsEnvName(value)) {
+        status = Status::InvalidArgument("invalid env name '" + value + "'");
+      } else {
+        out->env_name = value;
+      }
+    } else if (key == "side" && wants_id) {
+      slot = 1;
+      if (!ParseLiveSideName(value, &out->side)) {
+        status = Status::InvalidArgument("field 'side' wants q|p, got '" +
+                                         value + "'");
+      }
+    } else if (key == "id" && wants_id) {
+      slot = 2;
+      status = ParseInt64Field(key, value, &out->rec.id);
+    } else if (key == "x" && wants_point) {
+      slot = 3;
+      status = ParseDoubleField(key, value, &out->rec.pt.x);
+    } else if (key == "y" && wants_point) {
+      slot = 4;
+      status = ParseDoubleField(key, value, &out->rec.pt.y);
+    } else {
+      status = Status::InvalidArgument("unknown " +
+                                       std::string(tokens[0]) + " key '" +
+                                       key + "'");
+    }
+    if (!status.ok()) return status;
+    if (seen[slot]) {
+      return Status::InvalidArgument("duplicate key '" + key + "'");
+    }
+    seen[slot] = true;
+  }
+  const int required_from = 1;
+  const int required_to = wants_point ? 4 : (wants_id ? 2 : 0);
+  for (int slot = required_from; slot <= required_to; ++slot) {
+    if (!seen[slot]) {
+      static const char* kNames[] = {"env", "side", "id", "x", "y"};
+      return Status::InvalidArgument(std::string(tokens[0]) +
+                                     " is missing field '" + kNames[slot] +
+                                     "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::string FormatMutationLine(const WireMutation& mutation) {
+  std::string line;
+  switch (mutation.op) {
+    case WireMutationOp::kInsert:
+      line = "INSERT";
+      break;
+    case WireMutationOp::kDelete:
+      line = "DELETE";
+      break;
+    case WireMutationOp::kCompact:
+      line = "COMPACT";
+      break;
+  }
+  const WireMutation defaults;
+  if (mutation.env_name != defaults.env_name) {
+    line += " env=" + mutation.env_name;
+  }
+  if (mutation.op != WireMutationOp::kCompact) {
+    line += std::string(" side=") + LiveSideName(mutation.side);
+    line += " id=" + std::to_string(mutation.rec.id);
+  }
+  if (mutation.op == WireMutationOp::kInsert) {
+    line += " x=" + FormatDouble(mutation.rec.pt.x);
+    line += " y=" + FormatDouble(mutation.rec.pt.y);
+  }
+  return line;
+}
+
+std::string FormatMutationAckLine(const WireMutationAck& ack) {
+  char buffer[320];
+  std::snprintf(buffer, sizeof(buffer),
+                "MUT op=%s env=%s epoch=%llu generation=%llu delta=%llu "
+                "tombstones=%llu compactions=%llu",
+                MutationOpWireName(ack.op), ack.env_name.c_str(),
+                static_cast<unsigned long long>(ack.epoch),
+                static_cast<unsigned long long>(ack.generation),
+                static_cast<unsigned long long>(ack.delta),
+                static_cast<unsigned long long>(ack.tombstones),
+                static_cast<unsigned long long>(ack.compactions));
+  return buffer;
+}
+
+Status ParseMutationAckLine(const std::string& line, WireMutationAck* out) {
+  *out = WireMutationAck{};
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty() || tokens[0] != "MUT") {
+    return Status::InvalidArgument("MUT line must start with MUT");
+  }
+  // seen slots: op, env, epoch, generation, delta, tombstones, compactions.
+  bool seen[7] = {};
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("MUT field '" + tokens[i] +
+                                     "' is not key=value");
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    Status status = Status::OK();
+    int slot = -1;
+    if (key == "op") {
+      slot = 0;
+      if (!ParseMutationOpName(value, &out->op)) {
+        status = Status::InvalidArgument(
+            "unknown op '" + value + "' (want insert|delete|compact)");
+      }
+    } else if (key == "env") {
+      slot = 1;
+      if (!IsEnvName(value)) {
+        status = Status::InvalidArgument("invalid env name '" + value + "'");
+      } else {
+        out->env_name = value;
+      }
+    } else if (key == "epoch") {
+      slot = 2;
+      status = ParseUint64Field(key, value, &out->epoch);
+    } else if (key == "generation") {
+      slot = 3;
+      status = ParseUint64Field(key, value, &out->generation);
+    } else if (key == "delta") {
+      slot = 4;
+      status = ParseUint64Field(key, value, &out->delta);
+    } else if (key == "tombstones") {
+      slot = 5;
+      status = ParseUint64Field(key, value, &out->tombstones);
+    } else if (key == "compactions") {
+      slot = 6;
+      status = ParseUint64Field(key, value, &out->compactions);
+    } else {
+      return Status::InvalidArgument("unknown MUT key '" + key + "'");
+    }
+    if (!status.ok()) return status;
+    if (seen[slot]) {
+      return Status::InvalidArgument("duplicate MUT key '" + key + "'");
+    }
+    seen[slot] = true;
+  }
+  for (bool present : seen) {
+    if (!present) {
+      return Status::InvalidArgument("MUT line is missing fields");
+    }
+  }
+  return Status::OK();
 }
 
 Status ParseErrLine(const std::string& line, Status* out) {

@@ -7,24 +7,39 @@
 // summary — or a single `ERR` line when the request is malformed, the
 // query fails, or the admission layer sheds it (`ERR Overloaded`). The
 // observability counterpart is a bare `STATS` line, answered with the
-// same `OK` acknowledgement followed by one `SHARD` row per shard and an
-// `ENDSTATS` terminator. The grammar is line-oriented ASCII so a netcat
-// session is a valid client:
+// same `OK` acknowledgement followed by one `SHARD` row per shard, one
+// `ENV` row per registered environment, and an `ENDSTATS` terminator.
+// Mutations ride the same one-line shape: an `INSERT`, `DELETE`, or
+// `COMPACT` request against a live environment is answered with `OK` and
+// a single `MUT` acknowledgement carrying the environment's counters
+// right after the mutation. The grammar is line-oriented ASCII so a
+// netcat session is a valid client:
 //
 //   request  = "QUERY" *( SP key "=" value ) LF
 //            | "STATS" LF
+//            | "INSERT" *( SP mkey "=" value ) LF   ; env? side id x y
+//            | "DELETE" *( SP mkey "=" value ) LF   ; env? side id
+//            | "COMPACT" [ SP "env=" name ] LF
 //   key      = "env" | "algo" | "order" | "verify" | "seed" | "limit"
 //            | "io_ms"
+//   mkey     = "env" | "side" | "id" | "x" | "y"
 //   ok       = "OK" LF
 //   pair     = "PAIR" SP p_id SP q_id SP x1 SP y1 SP x2 SP y2 LF
 //   end      = "END" SP "pairs=" N SP "candidates=" N SP "results=" N
 //              SP "node_accesses=" N SP "faults=" N SP "cold_faults=" N
 //              SP "warm_faults=" N SP "io_s=" F SP "io_wall_s=" F
 //              SP "cpu_s=" F LF
+//   mut      = "MUT" SP "op=" ( "insert" | "delete" | "compact" )
+//              SP "env=" name SP "epoch=" N SP "generation=" N
+//              SP "delta=" N SP "tombstones=" N SP "compactions=" N LF
 //   shard    = "SHARD" SP idx SP "envs=" N SP "queued=" N SP "inflight=" N
 //              SP "submitted=" N SP "admitted=" N SP "shed=" N
 //              SP "completed=" N SP "cancelled=" N SP "failed=" N LF
-//   endstats = "ENDSTATS" SP "shards=" N LF
+//   env      = "ENV" SP name SP "shard=" N SP "live=" ( "0" | "1" )
+//              SP "generation=" N SP "epoch=" N SP "delta=" N
+//              SP "tombstones=" N SP "compactions=" N SP "base_q=" N
+//              SP "base_p=" N LF
+//   endstats = "ENDSTATS" SP "shards=" N SP "envs=" N LF
 //   err      = "ERR" SP code-token SP message LF
 //
 // A PAIR line carries the two matched points; the fair-middleman circle is
@@ -43,6 +58,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "core/delta_overlay.h"
 #include "core/query_spec.h"
 #include "core/rcj_types.h"
 
@@ -80,6 +96,11 @@ Status ParseUint64Field(const std::string& key, const std::string& value,
 /// with the CLI for the same reason.
 Status ParseDoubleField(const std::string& key, const std::string& value,
                         double* out);
+/// Strict int64 field parse (optional leading '-', then digits): the
+/// validation INSERT/DELETE apply to point ids, shared with the CLI's
+/// mutation files.
+Status ParseInt64Field(const std::string& key, const std::string& value,
+                       int64_t* out);
 
 /// Parses one request line into `*out` (which is reset to defaults first).
 /// Unknown, empty, or repeated keys and malformed values are
@@ -129,8 +150,74 @@ bool IsStatsRequestLine(const std::string& line);
 std::string FormatShardStatsLine(const WireShardStats& stats);
 Status ParseShardStatsLine(const std::string& line, WireShardStats* out);
 
-std::string FormatStatsEndLine(uint64_t shards);
-Status ParseStatsEndLine(const std::string& line, uint64_t* shards);
+/// One environment's row of the STATS response: its shard placement plus
+/// the LiveStats counters (a static registration reports generation and
+/// base sizes with every mutation counter zero, live=0).
+struct WireEnvStats {
+  std::string name = "default";
+  uint64_t shard = 0;
+  bool live = false;
+  uint64_t generation = 0;
+  uint64_t epoch = 0;
+  uint64_t delta = 0;
+  uint64_t tombstones = 0;
+  uint64_t compactions = 0;
+  uint64_t base_q = 0;
+  uint64_t base_p = 0;
+};
+
+std::string FormatEnvStatsLine(const WireEnvStats& stats);
+Status ParseEnvStatsLine(const std::string& line, WireEnvStats* out);
+
+std::string FormatStatsEndLine(uint64_t shards, uint64_t envs);
+Status ParseStatsEndLine(const std::string& line, uint64_t* shards,
+                         uint64_t* envs);
+
+/// The three mutation verbs of the wire, in their request spellings.
+enum class WireMutationOp { kInsert, kDelete, kCompact };
+
+/// Lowercase op spellings used by the MUT acknowledgement ("insert" |
+/// "delete" | "compact").
+const char* MutationOpWireName(WireMutationOp op);
+bool ParseMutationOpName(const std::string& name, WireMutationOp* op);
+
+/// One parsed mutation request. `rec` carries the id (DELETE) or the id
+/// plus coordinates (INSERT); it is ignored for COMPACT.
+struct WireMutation {
+  WireMutationOp op = WireMutationOp::kCompact;
+  std::string env_name = "default";
+  LiveSide side = LiveSide::kQ;
+  PointRecord rec;
+};
+
+/// True iff `line` opens with one of the mutation verbs (the dispatch
+/// test; the line may still fail the strict parse below).
+bool IsMutationRequestLine(const std::string& line);
+
+/// Parses one INSERT/DELETE/COMPACT line. Strict like ParseRequestLine:
+/// unknown, empty, or repeated keys, malformed values, and missing
+/// required fields (INSERT: side/id/x/y, DELETE: side/id) are
+/// InvalidArgument. `env` defaults to "default" when omitted.
+Status ParseMutationLine(const std::string& line, WireMutation* out);
+
+/// Serializes a mutation request; `env` is omitted when it matches the
+/// default, mirroring FormatRequestLine.
+std::string FormatMutationLine(const WireMutation& mutation);
+
+/// The MUT acknowledgement: which mutation was applied, and the live
+/// environment's counters observed right after it.
+struct WireMutationAck {
+  WireMutationOp op = WireMutationOp::kCompact;
+  std::string env_name = "default";
+  uint64_t epoch = 0;
+  uint64_t generation = 0;
+  uint64_t delta = 0;
+  uint64_t tombstones = 0;
+  uint64_t compactions = 0;
+};
+
+std::string FormatMutationAckLine(const WireMutationAck& ack);
+Status ParseMutationAckLine(const std::string& line, WireMutationAck* out);
 
 }  // namespace net
 }  // namespace rcj

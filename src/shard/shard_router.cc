@@ -45,11 +45,8 @@ ShardRouter::~ShardRouter() {
   for (Shard& shard : shards_) shard.service->Shutdown();
 }
 
-Status ShardRouter::RegisterEnvironment(const std::string& name,
-                                        const RcjEnvironment* env) {
-  if (env == nullptr) {
-    return Status::InvalidArgument("environment '" + name + "' is null");
-  }
+Status ShardRouter::RegisterImpl(const std::string& name,
+                                 Registration registration) {
   if (environments_.count(name) != 0) {
     return Status::InvalidArgument("environment '" + name +
                                    "' is already registered");
@@ -61,9 +58,39 @@ Status ShardRouter::RegisterEnvironment(const std::string& name,
         std::to_string(pin->second) + " but there are only " +
         std::to_string(shards_.size()) + " shards");
   }
-  const size_t shard = ShardOf(name);
-  environments_.emplace(name, std::make_pair(env, shard));
-  ++shards_[shard].environments;
+  registration.shard = ShardOf(name);
+  ++shards_[registration.shard].environments;
+  environments_.emplace(name, registration);
+  return Status::OK();
+}
+
+Status ShardRouter::RegisterEnvironment(const std::string& name,
+                                        const RcjEnvironment* env) {
+  if (env == nullptr) {
+    return Status::InvalidArgument("environment '" + name + "' is null");
+  }
+  Registration registration;
+  registration.env = env;
+  return RegisterImpl(name, registration);
+}
+
+Status ShardRouter::RegisterLiveEnvironment(const std::string& name,
+                                            LiveEnvironment* env) {
+  if (env == nullptr) {
+    return Status::InvalidArgument("environment '" + name + "' is null");
+  }
+  Registration registration;
+  registration.live = env;
+  RINGJOIN_RETURN_IF_ERROR(RegisterImpl(name, registration));
+  // Compaction retires a base only after every snapshot pin drained, and
+  // Submit holds each query's snapshot until its ticket resolves — so when
+  // this hook fires, no in-flight query of the shard still targets the
+  // retired environment, exactly the precondition InvalidateEnvironment
+  // demands.
+  Service* service = shards_[ShardOf(name)].service.get();
+  env->set_invalidation_hook([service](const RcjEnvironment* retired) {
+    service->InvalidateEnvironment(retired);
+  });
   return Status::OK();
 }
 
@@ -72,19 +99,26 @@ Status ShardRouter::ReleaseEnvironment(const std::string& name) {
   if (it == environments_.end()) {
     return Status::NotFound("unknown environment '" + name + "'");
   }
-  const RcjEnvironment* env = it->second.first;
-  const size_t shard = it->second.second;
+  const Registration registration = it->second;
   environments_.erase(it);
-  --shards_[shard].environments;
+  --shards_[registration.shard].environments;
+  Service* service = shards_[registration.shard].service.get();
+  if (registration.live != nullptr) {
+    // Future compactions must not call back into this router's services.
+    registration.live->set_invalidation_hook(nullptr);
+    const LiveSnapshot snapshot = registration.live->TakeSnapshot();
+    service->InvalidateEnvironment(snapshot.env());
+    return Status::OK();
+  }
   // Synchronous: once this returns, no worker of the shard's engine holds
   // views over the environment's page stores.
-  shards_[shard].service->InvalidateEnvironment(env);
+  service->InvalidateEnvironment(registration.env);
   return Status::OK();
 }
 
 size_t ShardRouter::ShardOf(const std::string& env_name) const {
   const auto it = environments_.find(env_name);
-  if (it != environments_.end()) return it->second.second;
+  if (it != environments_.end()) return it->second.shard;
   const auto pin = options_.placement.find(env_name);
   if (pin != options_.placement.end() && pin->second < shards_.size()) {
     return pin->second;
@@ -95,7 +129,46 @@ size_t ShardRouter::ShardOf(const std::string& env_name) const {
 const RcjEnvironment* ShardRouter::FindEnvironment(
     const std::string& env_name) const {
   const auto it = environments_.find(env_name);
-  return it == environments_.end() ? nullptr : it->second.first;
+  return it == environments_.end() ? nullptr : it->second.env;
+}
+
+Result<LiveEnvironment*> ShardRouter::FindLive(
+    const std::string& env_name) const {
+  const auto it = environments_.find(env_name);
+  if (it == environments_.end()) {
+    return Status::NotFound("unknown environment '" + env_name + "'");
+  }
+  if (it->second.live == nullptr) {
+    return Status::NotSupported("environment '" + env_name +
+                                "' is static (not registered live)");
+  }
+  return it->second.live;
+}
+
+Status ShardRouter::Insert(const std::string& env_name, LiveSide side,
+                           const PointRecord& rec, LiveStats* after) {
+  Result<LiveEnvironment*> live = FindLive(env_name);
+  RINGJOIN_RETURN_IF_ERROR(live.status());
+  RINGJOIN_RETURN_IF_ERROR(live.value()->Insert(side, rec));
+  if (after != nullptr) *after = live.value()->stats();
+  return Status::OK();
+}
+
+Status ShardRouter::Delete(const std::string& env_name, LiveSide side,
+                           PointId id, LiveStats* after) {
+  Result<LiveEnvironment*> live = FindLive(env_name);
+  RINGJOIN_RETURN_IF_ERROR(live.status());
+  RINGJOIN_RETURN_IF_ERROR(live.value()->Delete(side, id));
+  if (after != nullptr) *after = live.value()->stats();
+  return Status::OK();
+}
+
+Status ShardRouter::Compact(const std::string& env_name, LiveStats* after) {
+  Result<LiveEnvironment*> live = FindLive(env_name);
+  RINGJOIN_RETURN_IF_ERROR(live.status());
+  RINGJOIN_RETURN_IF_ERROR(live.value()->Compact());
+  if (after != nullptr) *after = live.value()->stats();
+  return Status::OK();
 }
 
 Status ShardRouter::Submit(const std::string& env_name, QuerySpec spec,
@@ -105,8 +178,23 @@ Status ShardRouter::Submit(const std::string& env_name, QuerySpec spec,
   if (it == environments_.end()) {
     return Status::NotFound("unknown environment '" + env_name + "'");
   }
-  const RcjEnvironment* env = it->second.first;
-  const size_t shard = it->second.second;
+  const Registration& registration = it->second;
+  const size_t shard = registration.shard;
+
+  // Bind the spec before admission: a spec the environment cannot run is
+  // a rejection, never a started query. Live submissions bind a fresh
+  // snapshot — base plus frozen overlay version — and park it in the
+  // ticket's done-callback so the base stays pinned (compaction-proof)
+  // exactly as long as the query is in flight.
+  LiveSnapshot snapshot;
+  if (registration.live != nullptr) {
+    snapshot = registration.live->TakeSnapshot();
+    spec.env = snapshot.env();
+    spec.overlay = snapshot.overlay();
+  } else {
+    spec.env = registration.env;
+  }
+  RINGJOIN_RETURN_IF_ERROR(spec.Validate());
 
   RINGJOIN_RETURN_IF_ERROR(admission_.TryAdmit(shard));
   // From here the slot is held; every path below ends in the service's
@@ -114,10 +202,9 @@ Status ShardRouter::Submit(const std::string& env_name, QuerySpec spec,
   // inline), which returns it.
   if (on_admit) on_admit();
 
-  spec.env = env;
   QueryTicket submitted = shards_[shard].service->Submit(
       spec, sink,
-      [this, shard](const Status& final_status) {
+      [this, shard, snapshot](const Status& final_status) {
         admission_.Release(shard, final_status);
       });
   if (ticket != nullptr) *ticket = submitted;
@@ -131,6 +218,28 @@ std::vector<ShardStatus> ShardRouter::Stats() const {
     all[i].environments = shards_[i].environments;
     all[i].queued = shards_[i].service->pending();
     all[i].counters = admission_.shard_counters(i);
+  }
+  return all;
+}
+
+std::vector<EnvironmentStatus> ShardRouter::EnvStats() const {
+  std::vector<EnvironmentStatus> all;
+  all.reserve(environments_.size());
+  for (const auto& entry : environments_) {
+    EnvironmentStatus status;
+    status.name = entry.first;
+    status.shard = entry.second.shard;
+    status.live = entry.second.live != nullptr;
+    if (entry.second.live != nullptr) {
+      status.stats = entry.second.live->stats();
+    } else {
+      const RcjEnvironment* env = entry.second.env;
+      status.stats.generation = env->generation();
+      status.stats.base_q = env->qset().size();
+      status.stats.base_p =
+          env->self_join() ? env->qset().size() : env->pset().size();
+    }
+    all.push_back(std::move(status));
   }
   return all;
 }

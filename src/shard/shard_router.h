@@ -32,6 +32,7 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "live/live_environment.h"
 #include "service/service.h"
 #include "shard/admission.h"
 
@@ -60,6 +61,16 @@ struct ShardStatus {
   AdmissionController::ShardCounters counters;
 };
 
+/// Point-in-time view of one registered environment, the STATS wire
+/// command's per-environment rows. Static registrations report their
+/// build generation and packed sizes with every mutation counter zero.
+struct EnvironmentStatus {
+  std::string name;
+  size_t shard = 0;
+  bool live = false;
+  LiveStats stats;
+};
+
 class ShardRouter {
  public:
   explicit ShardRouter(ShardRouterOptions options = {});
@@ -78,28 +89,56 @@ class ShardRouter {
   Status RegisterEnvironment(const std::string& name,
                              const RcjEnvironment* env);
 
+  /// Registers a mutable environment under `name`. The router takes over
+  /// the environment's invalidation hook (wiring retired-base teardown to
+  /// the shard service's view drop), so the caller must not set one.
+  /// Same registration discipline and errors as RegisterEnvironment;
+  /// mutations themselves are fully concurrent once registered.
+  Status RegisterLiveEnvironment(const std::string& name,
+                                 LiveEnvironment* env);
+
   /// Unregisters `name` and drops every cached worker view (and plan) its
   /// shard's engine holds over the environment, blocking until the drop is
   /// applied — after it returns, the environment may be destroyed and the
   /// name re-registered (e.g. with a rebuilt environment). The caller must
   /// first stop traffic to the name and resolve its outstanding tickets,
-  /// the same discipline RegisterEnvironment demands. NotFound when the
-  /// name is not registered.
+  /// the same discipline RegisterEnvironment demands. For a live
+  /// registration this also unwires the invalidation hook. NotFound when
+  /// the name is not registered.
   Status ReleaseEnvironment(const std::string& name);
 
   /// The shard `env_name` is (or would be) assigned to.
   size_t ShardOf(const std::string& env_name) const;
 
-  /// The registered environment, or nullptr.
+  /// The registered static environment, or nullptr. Live registrations
+  /// also return nullptr: their base environment changes at every
+  /// compaction, so there is no stable pointer to hand out — submit (and
+  /// mutate) by name instead.
   const RcjEnvironment* FindEnvironment(const std::string& env_name) const;
+
+  /// Routed mutations, by environment name. NotFound for an unregistered
+  /// name, NotSupported when the name is a static registration; otherwise
+  /// the live environment's own result. On success `*after`, when set,
+  /// receives the environment's counters observed right after the
+  /// mutation (the MUT wire acknowledgement's payload).
+  Status Insert(const std::string& env_name, LiveSide side,
+                const PointRecord& rec, LiveStats* after = nullptr);
+  Status Delete(const std::string& env_name, LiveSide side, PointId id,
+                LiveStats* after = nullptr);
+  Status Compact(const std::string& env_name, LiveStats* after = nullptr);
 
   /// Non-blocking sharded submission. The admission decision is made
   /// synchronously: on success `*ticket` is valid, the query is enqueued
   /// on the environment's shard, and its slot is returned automatically
   /// when the ticket resolves. NotFound for an unregistered environment;
+  /// InvalidArgument when the bound spec fails validation (rejected
+  /// before admission, so the net server's ERR always precedes its OK);
   /// Overloaded when the shard queue or the global in-flight cap is full
-  /// (counted as shed, `*ticket` untouched). `spec.env` is bound by the
-  /// router — any prior value is overwritten.
+  /// (counted as shed, `*ticket` untouched). `spec.env` (and, for live
+  /// environments, `spec.overlay`) is bound by the router — any prior
+  /// value is overwritten. A live submission runs against a fresh
+  /// snapshot, which the router keeps pinned until the ticket resolves —
+  /// compaction can retire the base mid-query without invalidating it.
   ///
   /// `on_admit`, when set, runs synchronously inside the call after the
   /// query is admitted but before it can produce pairs — the hook the
@@ -112,6 +151,10 @@ class ShardRouter {
   /// Per-shard snapshot, indexed by shard.
   std::vector<ShardStatus> Stats() const;
 
+  /// Per-environment snapshot, ordered by name (so the STATS wire rows
+  /// are deterministic).
+  std::vector<EnvironmentStatus> EnvStats() const;
+
   size_t num_shards() const { return shards_.size(); }
   /// Worker threads across all shard engines (for banners/logs).
   size_t num_threads() const;
@@ -122,12 +165,27 @@ class ShardRouter {
     size_t environments = 0;
   };
 
+  /// One named registration: exactly one of `env` (static, read-only) and
+  /// `live` (mutable) is set.
+  struct Registration {
+    const RcjEnvironment* env = nullptr;
+    LiveEnvironment* live = nullptr;
+    size_t shard = 0;
+  };
+
+  /// Shared tail of both Register flavours: placement checks plus the
+  /// registry insert.
+  Status RegisterImpl(const std::string& name, Registration registration);
+
+  /// The live registration under `name` (NotFound / NotSupported as
+  /// documented on the mutation routers).
+  Result<LiveEnvironment*> FindLive(const std::string& env_name) const;
+
   ShardRouterOptions options_;
   AdmissionController admission_;
   std::vector<Shard> shards_;
-  /// name -> (environment, shard index); fixed after registration.
-  std::map<std::string, std::pair<const RcjEnvironment*, size_t>>
-      environments_;
+  /// Fixed after registration.
+  std::map<std::string, Registration> environments_;
 };
 
 }  // namespace rcj

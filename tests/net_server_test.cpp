@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/rcj.h"
+#include "live/live_environment.h"
 #include "net/protocol.h"
 #include "shard/shard_router.h"
 #include "workload/generator.h"
@@ -421,11 +422,20 @@ TEST(NetServerTest, StopWithIdleConnectionDoesNotHang) {
   EXPECT_EQ(counters.ok, 0u);
 }
 
-/// One STATS probe, fully parsed: the per-shard rows plus the ENDSTATS
-/// terminator.
+/// One STATS probe, fully parsed: the per-shard rows, the per-environment
+/// rows, and the ENDSTATS terminator.
 struct StatsResponse {
   bool ok = false;
   std::vector<net::WireShardStats> shards;
+  std::vector<net::WireEnvStats> envs;
+
+  /// The ENV row for `name`, or nullptr when the server reported none.
+  const net::WireEnvStats* Env(const std::string& name) const {
+    for (const net::WireEnvStats& env : envs) {
+      if (env.name == name) return &env;
+    }
+    return nullptr;
+  }
 };
 
 StatsResponse RunStatsProbe(uint16_t port) {
@@ -441,7 +451,9 @@ StatsResponse RunStatsProbe(uint16_t port) {
       const std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
       net::WireShardStats shard;
+      net::WireEnvStats env;
       uint64_t shard_count = 0;
+      uint64_t env_count = 0;
       if (!saw_ok) {
         if (line != "OK") {
           close(fd);
@@ -450,8 +462,12 @@ StatsResponse RunStatsProbe(uint16_t port) {
         saw_ok = true;
       } else if (net::ParseShardStatsLine(line, &shard).ok()) {
         result.shards.push_back(shard);
-      } else if (net::ParseStatsEndLine(line, &shard_count).ok()) {
-        result.ok = shard_count == result.shards.size();
+      } else if (net::ParseEnvStatsLine(line, &env).ok()) {
+        result.envs.push_back(env);
+      } else if (net::ParseStatsEndLine(line, &shard_count, &env_count)
+                     .ok()) {
+        result.ok = shard_count == result.shards.size() &&
+                    env_count == result.envs.size();
         close(fd);
         return result;
       } else {
@@ -462,6 +478,49 @@ StatsResponse RunStatsProbe(uint16_t port) {
     const ssize_t got = recv(fd, chunk, sizeof(chunk), 0);
     if (got < 0 && errno == EINTR) continue;
     if (got <= 0) break;  // EOF before ENDSTATS
+    buffer.append(chunk, static_cast<size_t>(got));
+  }
+  close(fd);
+  return result;
+}
+
+/// One mutation request over its own connection: OK + MUT on success, the
+/// ERR status otherwise.
+struct MutationResponse {
+  bool ok = false;
+  net::WireMutationAck ack;
+  Status error = Status::OK();
+};
+
+MutationResponse RunMutation(uint16_t port, const std::string& line) {
+  MutationResponse result;
+  const int fd = ConnectLoopback(port);
+  SendAll(fd, line + "\n");
+  std::string buffer;
+  char chunk[4096];
+  bool saw_ok = false;
+  for (;;) {
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string frame = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!saw_ok) {
+        if (frame == "OK") {
+          saw_ok = true;
+          continue;
+        }
+        result.error = Status::IoError("malformed response '" + frame + "'");
+        net::ParseErrLine(frame, &result.error);
+        close(fd);
+        return result;
+      }
+      result.ok = net::ParseMutationAckLine(frame, &result.ack).ok();
+      close(fd);
+      return result;
+    }
+    const ssize_t got = recv(fd, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;  // EOF before MUT
     buffer.append(chunk, static_cast<size_t>(got));
   }
   close(fd);
@@ -481,7 +540,7 @@ TEST(NetServerTest, StatsProbeReportsPerShardLedger) {
   NetServer server(&fixture.router);
   ASSERT_TRUE(server.Start().ok());
 
-  // A cold server reports two idle shards.
+  // A cold server reports two idle shards and one static ENV row each.
   StatsResponse cold = RunStatsProbe(server.port());
   ASSERT_TRUE(cold.ok);
   ASSERT_EQ(cold.shards.size(), 2u);
@@ -490,6 +549,18 @@ TEST(NetServerTest, StatsProbeReportsPerShardLedger) {
     EXPECT_EQ(shard.submitted, 0u);
     EXPECT_EQ(shard.inflight, 0u);
   }
+  ASSERT_EQ(cold.envs.size(), 2u);
+  const net::WireEnvStats* default_env = cold.Env("default");
+  ASSERT_NE(default_env, nullptr);
+  EXPECT_EQ(default_env->shard, 0u);
+  EXPECT_FALSE(default_env->live);
+  EXPECT_EQ(default_env->delta, 0u);
+  EXPECT_EQ(default_env->base_q, 600u);
+  EXPECT_EQ(default_env->base_p, 700u);
+  const net::WireEnvStats* b_env = cold.Env("b");
+  ASSERT_NE(b_env, nullptr);
+  EXPECT_EQ(b_env->shard, 1u);
+  EXPECT_FALSE(b_env->live);
 
   // One query per environment, then the ledger must show exactly one
   // completed query on each shard.
@@ -579,6 +650,99 @@ TEST(NetServerTest, FloodAgainstTightAdmissionShedsWithErrOverloaded) {
   EXPECT_EQ(counters.ok, ended);
   EXPECT_EQ(counters.shed, overloaded);
   EXPECT_EQ(counters.failed, 0u);
+}
+
+TEST(NetServerTest, LiveMutationsApplyOverTheWire) {
+  const std::vector<PointRecord> qset = GenerateUniform(400, 901);
+  const std::vector<PointRecord> pset = GenerateUniform(500, 902);
+  Result<std::unique_ptr<LiveEnvironment>> live =
+      LiveEnvironment::Create(qset, pset, LiveOptions{});
+  ASSERT_TRUE(live.ok());
+
+  ShardRouter router;
+  ASSERT_TRUE(
+      router.RegisterLiveEnvironment("default", live.value().get()).ok());
+  NetServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+
+  // One insert per side; the MUT acks carry the advancing epoch and the
+  // growing delta.
+  const MutationResponse first =
+      RunMutation(server.port(), "INSERT side=q id=100000 x=0.5 y=0.5");
+  ASSERT_TRUE(first.ok) << first.error.ToString();
+  EXPECT_EQ(first.ack.op, net::WireMutationOp::kInsert);
+  EXPECT_EQ(first.ack.epoch, 1u);
+  EXPECT_EQ(first.ack.delta, 1u);
+  const MutationResponse second = RunMutation(
+      server.port(), "INSERT side=p id=100001 x=0.5001 y=0.5001");
+  ASSERT_TRUE(second.ok) << second.error.ToString();
+  EXPECT_EQ(second.ack.epoch, 2u);
+  EXPECT_EQ(second.ack.delta, 2u);
+
+  // Deleting a base point tombstones it.
+  const MutationResponse third = RunMutation(
+      server.port(), "DELETE side=p id=" + std::to_string(pset[0].id));
+  ASSERT_TRUE(third.ok) << third.error.ToString();
+  EXPECT_EQ(third.ack.tombstones, 1u);
+
+  // Rejections are a single ERR frame with the router's status code, and
+  // they do not advance the epoch.
+  const MutationResponse unknown_id =
+      RunMutation(server.port(), "DELETE side=p id=999999999");
+  EXPECT_FALSE(unknown_id.ok);
+  EXPECT_EQ(unknown_id.error.code(), StatusCode::kNotFound);
+  const MutationResponse duplicate =
+      RunMutation(server.port(), "INSERT side=q id=100000 x=1 y=1");
+  EXPECT_FALSE(duplicate.ok);
+  EXPECT_EQ(duplicate.error.code(), StatusCode::kInvalidArgument);
+  const MutationResponse unknown_env = RunMutation(
+      server.port(), "INSERT env=nosuch side=q id=7 x=0 y=0");
+  EXPECT_FALSE(unknown_env.ok);
+  EXPECT_EQ(unknown_env.error.code(), StatusCode::kNotFound);
+
+  // The wire's merged stream must be exactly the in-process snapshot
+  // stream — the engine path and the serial path deliver one order. The
+  // snapshot is scoped: holding its base pin across the COMPACT below
+  // would deadlock the compaction's pin-drain wait on ourselves.
+  std::vector<RcjPair> expected;
+  {
+    const LiveSnapshot snapshot = live.value()->TakeSnapshot();
+    const Result<RcjRunResult> run = snapshot.Run(snapshot.Spec());
+    ASSERT_TRUE(run.ok());
+    expected = run.value().pairs;
+  }
+  const Response merged = RunQuery(server.port(), "QUERY algo=obj");
+  ASSERT_TRUE(merged.saw_end);
+  ExpectSamePairs(merged.pairs, expected, "merged stream");
+
+  // STATS carries the live row's counters.
+  const StatsResponse stats = RunStatsProbe(server.port());
+  ASSERT_TRUE(stats.ok);
+  const net::WireEnvStats* row = stats.Env("default");
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE(row->live);
+  EXPECT_EQ(row->epoch, 3u);
+  EXPECT_EQ(row->delta, 2u);
+  EXPECT_EQ(row->tombstones, 1u);
+  EXPECT_EQ(row->compactions, 0u);
+
+  // COMPACT folds the delta into a fresh base; the same membership keeps
+  // answering queries afterwards.
+  const MutationResponse compacted = RunMutation(server.port(), "COMPACT");
+  ASSERT_TRUE(compacted.ok) << compacted.error.ToString();
+  EXPECT_EQ(compacted.ack.op, net::WireMutationOp::kCompact);
+  EXPECT_EQ(compacted.ack.delta, 0u);
+  EXPECT_EQ(compacted.ack.tombstones, 0u);
+  EXPECT_EQ(compacted.ack.compactions, 1u);
+  const Response after = RunQuery(server.port(), "QUERY algo=obj");
+  ASSERT_TRUE(after.saw_end);
+  EXPECT_EQ(after.summary.pairs, expected.size());
+
+  server.Stop();
+  EXPECT_EQ(server.counters().mutations, 4u);
+  EXPECT_EQ(server.counters().rejected, 3u);
+  // Unwire the invalidation hook before the router's services go away.
+  ASSERT_TRUE(router.ReleaseEnvironment("default").ok());
 }
 
 }  // namespace

@@ -369,12 +369,185 @@ TEST(ProtocolStatsTest, ShardLineRejectsMalformedInput) {
 
 TEST(ProtocolStatsTest, StatsEndLineRoundTrips) {
   uint64_t shards = 0;
-  ASSERT_TRUE(ParseStatsEndLine(FormatStatsEndLine(4), &shards).ok());
+  uint64_t envs = 0;
+  ASSERT_TRUE(ParseStatsEndLine(FormatStatsEndLine(4, 7), &shards, &envs).ok());
   EXPECT_EQ(shards, 4u);
-  EXPECT_FALSE(ParseStatsEndLine("ENDSTATS", &shards).ok());
-  EXPECT_FALSE(ParseStatsEndLine("ENDSTATS shards=x", &shards).ok());
-  EXPECT_FALSE(ParseStatsEndLine("END shards=1", &shards).ok());
-  EXPECT_FALSE(ParseStatsEndLine("ENDSTATS shards=1 extra=2", &shards).ok());
+  EXPECT_EQ(envs, 7u);
+  EXPECT_FALSE(ParseStatsEndLine("ENDSTATS", &shards, &envs).ok());
+  // The pre-live single-field form no longer parses: a stream without an
+  // environment count cannot be checked for truncated ENV rows.
+  EXPECT_FALSE(ParseStatsEndLine("ENDSTATS shards=1", &shards, &envs).ok());
+  EXPECT_FALSE(ParseStatsEndLine("ENDSTATS shards=x envs=1", &shards, &envs)
+                   .ok());
+  EXPECT_FALSE(ParseStatsEndLine("ENDSTATS shards=1 envs=x", &shards, &envs)
+                   .ok());
+  EXPECT_FALSE(ParseStatsEndLine("END shards=1 envs=1", &shards, &envs).ok());
+  EXPECT_FALSE(ParseStatsEndLine("ENDSTATS shards=1 envs=2 extra=3", &shards,
+                                 &envs)
+                   .ok());
+  EXPECT_FALSE(ParseStatsEndLine("ENDSTATS envs=1 shards=1", &shards, &envs)
+                   .ok());  // fixed field order, like every other frame
+}
+
+TEST(ProtocolStatsTest, EnvLineRoundTrips) {
+  WireEnvStats original;
+  original.name = "west";
+  original.shard = 1;
+  original.live = true;
+  original.generation = 5;
+  original.epoch = 17;
+  original.delta = 23;
+  original.tombstones = 4;
+  original.compactions = 2;
+  original.base_q = 1000;
+  original.base_p = 2000;
+  WireEnvStats reparsed;
+  ASSERT_TRUE(
+      ParseEnvStatsLine(FormatEnvStatsLine(original), &reparsed).ok());
+  EXPECT_EQ(reparsed.name, original.name);
+  EXPECT_EQ(reparsed.shard, original.shard);
+  EXPECT_EQ(reparsed.live, original.live);
+  EXPECT_EQ(reparsed.generation, original.generation);
+  EXPECT_EQ(reparsed.epoch, original.epoch);
+  EXPECT_EQ(reparsed.delta, original.delta);
+  EXPECT_EQ(reparsed.tombstones, original.tombstones);
+  EXPECT_EQ(reparsed.compactions, original.compactions);
+  EXPECT_EQ(reparsed.base_q, original.base_q);
+  EXPECT_EQ(reparsed.base_p, original.base_p);
+}
+
+TEST(ProtocolStatsTest, EnvLineRejectsMalformedInput) {
+  WireEnvStats ignored;
+  EXPECT_FALSE(ParseEnvStatsLine("ENV", &ignored).ok());
+  EXPECT_FALSE(ParseEnvStatsLine("ENV west", &ignored).ok());
+  EXPECT_FALSE(ParseEnvStatsLine("SHARD 0 envs=1", &ignored).ok());
+  // Every field is required; unknown keys, duplicates, bad env names, and
+  // non-boolean live values are rejected.
+  EXPECT_FALSE(ParseEnvStatsLine("ENV west shard=0 live=1", &ignored).ok());
+  const std::string good = FormatEnvStatsLine(WireEnvStats{});
+  ASSERT_TRUE(ParseEnvStatsLine(good, &ignored).ok());
+  EXPECT_FALSE(ParseEnvStatsLine(good + " bonus=1", &ignored).ok());
+  EXPECT_FALSE(ParseEnvStatsLine(good + " shard=0", &ignored).ok());
+  EXPECT_FALSE(ParseEnvStatsLine("ENV no/slashes shard=0 live=0 "
+                                 "generation=0 epoch=0 delta=0 tombstones=0 "
+                                 "compactions=0 base_q=0 base_p=0",
+                                 &ignored)
+                   .ok());
+  EXPECT_FALSE(ParseEnvStatsLine("ENV west shard=0 live=2 generation=0 "
+                                 "epoch=0 delta=0 tombstones=0 "
+                                 "compactions=0 base_q=0 base_p=0",
+                                 &ignored)
+                   .ok());
+}
+
+TEST(ProtocolMutationTest, RequestLineDetectionIsStrict) {
+  EXPECT_TRUE(IsMutationRequestLine("INSERT side=q id=1 x=0 y=0"));
+  EXPECT_TRUE(IsMutationRequestLine("  DELETE side=p id=3\r"));
+  EXPECT_TRUE(IsMutationRequestLine("COMPACT"));
+  EXPECT_FALSE(IsMutationRequestLine("insert side=q id=1 x=0 y=0"));
+  EXPECT_FALSE(IsMutationRequestLine("QUERY"));
+  EXPECT_FALSE(IsMutationRequestLine("STATS"));
+  EXPECT_FALSE(IsMutationRequestLine(""));
+}
+
+TEST(ProtocolMutationTest, InsertRoundTrips) {
+  WireMutation original;
+  original.op = WireMutationOp::kInsert;
+  original.env_name = "west";
+  original.side = LiveSide::kP;
+  original.rec.id = 12345;
+  original.rec.pt = Point{123.456789012345678, -0.0000001};
+  WireMutation reparsed;
+  ASSERT_TRUE(
+      ParseMutationLine(FormatMutationLine(original), &reparsed).ok());
+  EXPECT_EQ(reparsed.op, original.op);
+  EXPECT_EQ(reparsed.env_name, original.env_name);
+  EXPECT_EQ(reparsed.side, original.side);
+  EXPECT_EQ(reparsed.rec.id, original.rec.id);
+  EXPECT_EQ(reparsed.rec.pt, original.rec.pt);  // %.17g exact round-trip
+}
+
+TEST(ProtocolMutationTest, DeleteAndCompactRoundTrip) {
+  WireMutation del;
+  del.op = WireMutationOp::kDelete;
+  del.side = LiveSide::kQ;
+  del.rec.id = -7;  // negative ids are legal points, only parse must cope
+  WireMutation reparsed;
+  ASSERT_TRUE(ParseMutationLine(FormatMutationLine(del), &reparsed).ok());
+  EXPECT_EQ(reparsed.op, WireMutationOp::kDelete);
+  EXPECT_EQ(reparsed.env_name, "default");
+  EXPECT_EQ(reparsed.side, LiveSide::kQ);
+  EXPECT_EQ(reparsed.rec.id, -7);
+
+  WireMutation compact;
+  compact.op = WireMutationOp::kCompact;
+  compact.env_name = "hubs";
+  ASSERT_TRUE(
+      ParseMutationLine(FormatMutationLine(compact), &reparsed).ok());
+  EXPECT_EQ(reparsed.op, WireMutationOp::kCompact);
+  EXPECT_EQ(reparsed.env_name, "hubs");
+
+  // An env-less COMPACT is the single-token frame.
+  EXPECT_EQ(FormatMutationLine(WireMutation{}), "COMPACT");
+  ASSERT_TRUE(ParseMutationLine("COMPACT", &reparsed).ok());
+  EXPECT_EQ(reparsed.env_name, "default");
+}
+
+TEST(ProtocolMutationTest, RejectsMissingAndForeignKeys) {
+  WireMutation ignored;
+  // INSERT requires side, id, x, and y.
+  EXPECT_FALSE(ParseMutationLine("INSERT", &ignored).ok());
+  EXPECT_FALSE(ParseMutationLine("INSERT side=q id=1 x=0", &ignored).ok());
+  EXPECT_FALSE(ParseMutationLine("INSERT id=1 x=0 y=0", &ignored).ok());
+  // DELETE requires side and id, and owns no coordinates.
+  EXPECT_FALSE(ParseMutationLine("DELETE side=q", &ignored).ok());
+  EXPECT_FALSE(
+      ParseMutationLine("DELETE side=q id=1 x=0", &ignored).ok());
+  // COMPACT takes only env.
+  EXPECT_FALSE(ParseMutationLine("COMPACT side=q", &ignored).ok());
+  EXPECT_FALSE(ParseMutationLine("COMPACT now", &ignored).ok());
+  // Shared strictness: duplicates, junk values, bad sides and env names.
+  EXPECT_FALSE(
+      ParseMutationLine("INSERT side=q side=p id=1 x=0 y=0", &ignored).ok());
+  EXPECT_FALSE(
+      ParseMutationLine("INSERT side=r id=1 x=0 y=0", &ignored).ok());
+  EXPECT_FALSE(
+      ParseMutationLine("INSERT side=q id=ten x=0 y=0", &ignored).ok());
+  EXPECT_FALSE(
+      ParseMutationLine("INSERT side=q id=1 x=nan y=0", &ignored).ok());
+  EXPECT_FALSE(
+      ParseMutationLine("INSERT env=no/slashes side=q id=1 x=0 y=0",
+                        &ignored)
+          .ok());
+  EXPECT_FALSE(ParseMutationLine("UPSERT side=q id=1 x=0 y=0", &ignored).ok());
+}
+
+TEST(ProtocolMutationTest, AckLineRoundTrips) {
+  WireMutationAck original;
+  original.op = WireMutationOp::kInsert;
+  original.env_name = "west";
+  original.epoch = 9;
+  original.generation = 3;
+  original.delta = 11;
+  original.tombstones = 2;
+  original.compactions = 1;
+  WireMutationAck reparsed;
+  ASSERT_TRUE(
+      ParseMutationAckLine(FormatMutationAckLine(original), &reparsed).ok());
+  EXPECT_EQ(reparsed.op, original.op);
+  EXPECT_EQ(reparsed.env_name, original.env_name);
+  EXPECT_EQ(reparsed.epoch, original.epoch);
+  EXPECT_EQ(reparsed.generation, original.generation);
+  EXPECT_EQ(reparsed.delta, original.delta);
+  EXPECT_EQ(reparsed.tombstones, original.tombstones);
+  EXPECT_EQ(reparsed.compactions, original.compactions);
+
+  WireMutationAck ignored;
+  EXPECT_FALSE(ParseMutationAckLine("MUT", &ignored).ok());
+  EXPECT_FALSE(ParseMutationAckLine("MUT op=insert env=x", &ignored).ok());
+  const std::string good = FormatMutationAckLine(WireMutationAck{});
+  EXPECT_FALSE(ParseMutationAckLine(good + " bonus=1", &ignored).ok());
+  EXPECT_FALSE(ParseMutationAckLine(good + " epoch=1", &ignored).ok());
 }
 
 }  // namespace

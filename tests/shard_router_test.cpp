@@ -333,5 +333,132 @@ TEST(ShardRouterTest, DestructionDrainsAdmittedWork) {
   }
 }
 
+TEST(ShardRouterTest, LiveRegistrationRoutesMutationsAndSnapshotsQueries) {
+  const std::vector<PointRecord> qset = GenerateUniform(400, 561);
+  const std::vector<PointRecord> pset = GenerateUniform(450, 562);
+  Result<std::unique_ptr<LiveEnvironment>> live =
+      LiveEnvironment::Create(qset, pset, LiveOptions{});
+  ASSERT_TRUE(live.ok());
+  std::unique_ptr<RcjEnvironment> static_env = BuildEnv(300, 563);
+
+  ShardRouterOptions options;
+  options.num_shards = 2;
+  ShardRouter router(options);
+  ASSERT_TRUE(
+      router.RegisterLiveEnvironment("live", live.value().get()).ok());
+  ASSERT_TRUE(router.RegisterEnvironment("static", static_env.get()).ok());
+
+  // Live registrations have no stable environment pointer to hand out.
+  EXPECT_EQ(router.FindEnvironment("live"), nullptr);
+  EXPECT_EQ(router.FindEnvironment("static"), static_env.get());
+
+  // Mutation routing: applied to the live target, NotFound for unknown
+  // names, NotSupported for static ones.
+  LiveStats after;
+  PointRecord rec{Point{0.25, 0.75}, 90000};
+  ASSERT_TRUE(router.Insert("live", LiveSide::kQ, rec, &after).ok());
+  EXPECT_EQ(after.epoch, 1u);
+  EXPECT_EQ(after.delta_size, 1u);
+  ASSERT_TRUE(router.Delete("live", LiveSide::kP, pset[3].id, &after).ok());
+  EXPECT_EQ(after.tombstones, 1u);
+  EXPECT_EQ(router.Insert("ghost", LiveSide::kQ, rec, nullptr).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(router.Insert("static", LiveSide::kQ, rec, nullptr).code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(router.Compact("static", nullptr).code(),
+            StatusCode::kNotSupported);
+
+  // A routed live query equals the snapshot's own serial merged stream.
+  std::vector<RcjPair> expected;
+  {
+    const LiveSnapshot snapshot = live.value()->TakeSnapshot();
+    const Result<RcjRunResult> run = snapshot.Run(snapshot.Spec());
+    ASSERT_TRUE(run.ok());
+    expected = run.value().pairs;
+  }
+  std::vector<RcjPair> routed;
+  VectorSink sink(&routed);
+  QueryTicket ticket;
+  ASSERT_TRUE(router.Submit("live", QuerySpec{}, &sink, &ticket).ok());
+  ASSERT_TRUE(ticket.Wait().ok());
+  ExpectSameSequence(routed, expected, "routed live stream");
+
+  // Compaction through the router folds everything; the routed stream is
+  // unchanged as a set, and EnvStats reflects the new base.
+  ASSERT_TRUE(router.Compact("live", &after).ok());
+  EXPECT_EQ(after.delta_size, 0u);
+  EXPECT_EQ(after.tombstones, 0u);
+  EXPECT_EQ(after.compactions, 1u);
+
+  const std::vector<EnvironmentStatus> env_stats = router.EnvStats();
+  ASSERT_EQ(env_stats.size(), 2u);  // name-ordered: "live" < "static"
+  EXPECT_EQ(env_stats[0].name, "live");
+  EXPECT_TRUE(env_stats[0].live);
+  EXPECT_EQ(env_stats[0].stats.compactions, 1u);
+  EXPECT_EQ(env_stats[0].stats.base_q, qset.size() + 1);
+  EXPECT_EQ(env_stats[0].stats.base_p, pset.size() - 1);
+  EXPECT_EQ(env_stats[1].name, "static");
+  EXPECT_FALSE(env_stats[1].live);
+  EXPECT_EQ(env_stats[1].stats.base_q, 300u);
+  EXPECT_EQ(env_stats[1].stats.base_p, 350u);
+
+  // Releasing the live registration unwires the hook; later compactions
+  // must not call back into the (soon dead) services.
+  ASSERT_TRUE(router.ReleaseEnvironment("live").ok());
+  EXPECT_EQ(router.Insert("live", LiveSide::kQ, rec, nullptr).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ShardRouterTest, LiveQueriesStreamWhileCompactionRuns) {
+  // Queries submitted through the router while another thread compacts
+  // repeatedly must all resolve with the stream of the snapshot they
+  // pinned — nothing torn, nothing stalled.
+  const std::vector<PointRecord> base = GenerateUniform(900, 571);
+  LiveOptions live_options;
+  Result<std::unique_ptr<LiveEnvironment>> live =
+      LiveEnvironment::CreateSelf(base, live_options);
+  ASSERT_TRUE(live.ok());
+
+  ShardRouter router(ShardRouterOptions{});
+  ASSERT_TRUE(
+      router.RegisterLiveEnvironment("live", live.value().get()).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    PointId next_id = 500000;
+    uint64_t round = 0;
+    while (!stop.load()) {
+      for (int i = 0; i < 8; ++i) {
+        const double jitter = 1e-4 * static_cast<double>(next_id % 97);
+        ASSERT_TRUE(router
+                        .Insert("live", LiveSide::kQ,
+                                PointRecord{Point{0.1 + jitter, 0.9 - jitter},
+                                            next_id},
+                                nullptr)
+                        .ok());
+        ++next_id;
+      }
+      ASSERT_TRUE(router.Compact("live", nullptr).ok());
+      ++round;
+    }
+  });
+
+  for (int i = 0; i < 30; ++i) {
+    std::vector<RcjPair> pairs;
+    VectorSink sink(&pairs);
+    QueryTicket ticket;
+    ASSERT_TRUE(router.Submit("live", QuerySpec{}, &sink, &ticket).ok());
+    ASSERT_TRUE(ticket.Wait().ok()) << "query " << i;
+    // Self-check: every query sees at least the base join's members; the
+    // merged stream is internally consistent (dedup rule p.id >= q.id).
+    for (const RcjPair& pair : pairs) {
+      ASSERT_LT(pair.p.id, pair.q.id) << "query " << i;
+    }
+  }
+  stop.store(true);
+  churn.join();
+  ASSERT_TRUE(router.ReleaseEnvironment("live").ok());
+}
+
 }  // namespace
 }  // namespace rcj

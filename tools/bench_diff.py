@@ -135,11 +135,13 @@ def main() -> int:
 
     lines = []  # the delta table, also written to --out
     regressions = []  # (bench, label, metric, old, new, delta)
-    # Benches present in only one artifact set: listed in the table and
-    # counted as warnings, NEVER a failure — a freshly added bench must not
-    # trip the gate on its first run, and a removed bench is a review
-    # question, not a perf regression.
-    one_sided = []  # (bench, note)
+    # Benches or rows present in only one artifact set: listed in the table
+    # and counted as warnings, NEVER a failure — a freshly added bench (or
+    # row label) must not trip the gate on its first run, and a removed or
+    # renamed one is a review question, not a perf regression. Both
+    # directions are counted, so retiring a bench and adding one read the
+    # same way in the summary.
+    one_sided = []  # (scope, note)
     improvements = 0
     compared = 0
 
@@ -155,10 +157,19 @@ def main() -> int:
             lines.append(f"~ WARNING {bench}: {note}")
             continue
         bench_lines = []
+        # Row labels in only one run are the same one-sided case one level
+        # down (a renamed sweep configuration, a retired scale point):
+        # counted warnings in both directions, never a failure.
+        for label in sorted(set(current[bench]) - set(baseline[bench])):
+            note = "new row, no baseline yet"
+            one_sided.append((f"{bench} / {label}", note))
+            bench_lines.append(f"  ~ WARNING row '{label}': {note}")
         for label, old_metrics in baseline[bench].items():
             new_metrics = current[bench].get(label)
             if new_metrics is None:
-                bench_lines.append(f"  ~ row '{label}' missing from current run")
+                note = "missing from current run (renamed row?)"
+                one_sided.append((f"{bench} / {label}", note))
+                bench_lines.append(f"  ~ WARNING row '{label}': {note}")
                 continue
             for metric in tracked:
                 old_has = metric in old_metrics
@@ -205,8 +216,8 @@ def main() -> int:
     )
     summary = (
         f"{len(regressions)} regression(s), {improvements} improvement(s) "
-        f"beyond threshold, {len(one_sided)} bench(es) in only one set "
-        f"(warnings)"
+        f"beyond threshold, {len(one_sided)} bench(es)/row(s) in only one "
+        f"set (warnings)"
     )
     output = "\n".join([header] + lines + [summary])
     print(output)
@@ -220,10 +231,10 @@ def main() -> int:
                 f"{label} / {metric}: {old:g} -> {new:g} ({shown}, "
                 f"threshold {args.threshold:.0%})"
             )
-        # One-sided benches always annotate at warning level, whatever the
-        # caller's gate level: they are informational by design.
-        for bench, note in one_sided:
-            print(f"::warning title=bench set changed::{bench}: {note}")
+        # One-sided benches/rows always annotate at warning level, whatever
+        # the caller's gate level: they are informational by design.
+        for scope, note in one_sided:
+            print(f"::warning title=bench set changed::{scope}: {note}")
 
     if regressions:
         worst = ", ".join(sorted({r[0] for r in regressions}))

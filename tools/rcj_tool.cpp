@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -33,6 +34,7 @@
 
 #include "core/rcj.h"
 #include "engine/engine.h"
+#include "live/live_environment.h"
 #include "net/line_reader.h"
 #include "net/net_server.h"
 #include "net/protocol.h"
@@ -58,6 +60,12 @@ int Usage() {
       "                        (any engine knob runs the join through the\n"
       "                         parallel engine instead of the serial\n"
       "                         runner)\n"
+      "           [--mutations FILE]  (wrap the datasets in a live\n"
+      "                         environment, apply the file's wire-grammar\n"
+      "                         INSERT/DELETE/COMPACT lines in order, then\n"
+      "                         join the mutated view; pairs stream in\n"
+      "                         engine order, unsorted — byte-comparable\n"
+      "                         to a wire client's stream)\n"
       "  rcj_tool stats --q Q.csv --p P.csv\n"
       "  rcj_tool batch --q Q.csv [--p P.csv | --self]\n"
       "           [--algos obj,inj,bij] [--repeat N] [--threads T]\n"
@@ -74,12 +82,23 @@ int Usage() {
       "           [--envs NAME:Q.csv:P.csv,NAME2:Q2.csv:self,...]\n"
       "                        (extra named environments besides 'default';\n"
       "                         network mode only)\n"
+      "           [--live]     (serve 'default' as a live environment that\n"
+      "                         accepts INSERT/DELETE/COMPACT; network\n"
+      "                         mode only)\n"
+      "           [--compact-threshold N]  (with --live: background-compact\n"
+      "                         once N mutations are pending; 0 = manual\n"
+      "                         COMPACT only)\n"
       "  rcj_tool client [--host H] --port P [--env NAME]\n"
       "           [--algo brute|inj|bij|obj] [--order dfs|random]\n"
       "           [--verify 0|1] [--seed S] [--limit K] [--io-ms F]\n"
       "           [--out PAIRS.csv] [--quiet]\n"
       "  rcj_tool client [--host H] --port P --stats\n"
-      "                        (print the server's per-shard STATS table)\n"
+      "                        (print the server's per-shard and per-\n"
+      "                         environment STATS tables)\n"
+      "  rcj_tool client [--host H] --port P [--env NAME] --mutations FILE\n"
+      "                        (send the file's INSERT/DELETE/COMPACT lines\n"
+      "                         to the server, one request each; --env\n"
+      "                         names the target of env-less lines)\n"
       "  storage knobs (join/batch/serve — where the R-tree pages live):\n"
       "           [--storage mem|file|mmap]  (default mem; file = pread,\n"
       "                         mmap = memory-mapped reads)\n"
@@ -319,13 +338,13 @@ Result<std::unique_ptr<RcjEnvironment>> BuildEnvFromPaths(
   return env;
 }
 
-// Shared by join/batch: reads --buffer-frac/--page-size into `options`,
-// loads --q (and --p unless --self), and builds the environment. On
-// failure prints a `cmd`-prefixed message and returns the process exit
-// code via `*exit_code`.
-Result<std::unique_ptr<RcjEnvironment>> BuildEnvFromFlags(
-    const char* cmd, const std::map<std::string, std::string>& flags,
-    RcjRunOptions* options, int* exit_code) {
+// Reads the storage/sizing flags shared by join/batch/serve
+// (--buffer-frac, --page-size, --storage, --storage-dir) into `options`.
+// On failure prints a `cmd`-prefixed message, sets `*exit_code`, and
+// returns false.
+bool ParseRunOptions(const char* cmd,
+                     const std::map<std::string, std::string>& flags,
+                     RcjRunOptions* options, int* exit_code) {
   *exit_code = 0;
   options->buffer_fraction =
       std::atof(FlagOr(flags, "buffer-frac", "0.01").c_str());
@@ -334,7 +353,7 @@ Result<std::unique_ptr<RcjEnvironment>> BuildEnvFromFlags(
     std::fprintf(stderr, "%s: invalid --buffer-frac '%s' (want [0, 1])\n",
                  cmd, FlagOr(flags, "buffer-frac", "0.01").c_str());
     *exit_code = 2;
-    return Status::InvalidArgument("invalid --buffer-frac");
+    return false;
   }
   // Pages must hold the node header plus at least a few entries; a bare
   // strtoul would let "abc" (0) or a tiny value underflow the node layout
@@ -347,7 +366,7 @@ Result<std::unique_ptr<RcjEnvironment>> BuildEnvFromFlags(
                  "%s: invalid --page-size '%s' (want 256..1048576)\n", cmd,
                  FlagOr(flags, "page-size", "1024").c_str());
     *exit_code = 2;
-    return Status::InvalidArgument("invalid --page-size");
+    return false;
   }
   options->page_size = static_cast<uint32_t>(page_size);
   // Storage backend for the environment's page stores: mem (historical
@@ -358,27 +377,133 @@ Result<std::unique_ptr<RcjEnvironment>> BuildEnvFromFlags(
     std::fprintf(stderr, "%s: invalid --storage '%s' (want mem|file|mmap)\n",
                  cmd, FlagOr(flags, "storage", "mem").c_str());
     *exit_code = 2;
-    return Status::InvalidArgument("invalid --storage");
+    return false;
   }
   options->storage_dir = FlagOr(flags, "storage-dir", "");
+  return true;
+}
 
-  const std::string q_path = FlagOr(flags, "q", "");
-  if (q_path.empty()) {
+// Reads the --q/--p/--self dataset selection, printing a `cmd`-prefixed
+// message and setting `*exit_code` on a missing flag.
+bool ParseDatasetPaths(const char* cmd,
+                       const std::map<std::string, std::string>& flags,
+                       std::string* q_path, std::string* p_path, bool* self,
+                       int* exit_code) {
+  *exit_code = 0;
+  *q_path = FlagOr(flags, "q", "");
+  if (q_path->empty()) {
     std::fprintf(stderr, "%s: --q is required\n", cmd);
     *exit_code = 2;
-    return Status::InvalidArgument("missing --q");
+    return false;
   }
-  const bool self = flags.count("self") != 0;
-  const std::string p_path = FlagOr(flags, "p", "");
-  if (!self && p_path.empty()) {
+  *self = flags.count("self") != 0;
+  *p_path = FlagOr(flags, "p", "");
+  if (!*self && p_path->empty()) {
     std::fprintf(stderr, "%s: --p or --self is required\n", cmd);
     *exit_code = 2;
-    return Status::InvalidArgument("missing --p/--self");
+    return false;
+  }
+  return true;
+}
+
+// Shared by join/batch: reads --buffer-frac/--page-size into `options`,
+// loads --q (and --p unless --self), and builds the environment. On
+// failure prints a `cmd`-prefixed message and returns the process exit
+// code via `*exit_code`.
+Result<std::unique_ptr<RcjEnvironment>> BuildEnvFromFlags(
+    const char* cmd, const std::map<std::string, std::string>& flags,
+    RcjRunOptions* options, int* exit_code) {
+  if (!ParseRunOptions(cmd, flags, options, exit_code)) {
+    return Status::InvalidArgument("bad run options");
+  }
+  std::string q_path;
+  std::string p_path;
+  bool self = false;
+  if (!ParseDatasetPaths(cmd, flags, &q_path, &p_path, &self, exit_code)) {
+    return Status::InvalidArgument("bad dataset flags");
   }
   Result<std::unique_ptr<RcjEnvironment>> env =
       BuildEnvFromPaths(cmd, "", q_path, p_path, self, *options);
   if (!env.ok()) *exit_code = 1;
   return env;
+}
+
+// Builds a LiveEnvironment from the --q/--p/--self datasets (the live
+// front end of join --mutations and serve --live). `options` must already
+// be parsed.
+Result<std::unique_ptr<LiveEnvironment>> BuildLiveFromFlags(
+    const char* cmd, const std::map<std::string, std::string>& flags,
+    const RcjRunOptions& options, size_t compact_threshold,
+    int* exit_code) {
+  std::string q_path;
+  std::string p_path;
+  bool self = false;
+  if (!ParseDatasetPaths(cmd, flags, &q_path, &p_path, &self, exit_code)) {
+    return Status::InvalidArgument("bad dataset flags");
+  }
+  const auto fail = [&](const Status& status) {
+    std::fprintf(stderr, "%s: %s\n", cmd, status.ToString().c_str());
+    *exit_code = 1;
+    return status;
+  };
+  Result<Dataset> qset = LoadCsv(q_path);
+  if (!qset.ok()) return fail(qset.status());
+  LiveOptions live_options;
+  live_options.build = options;
+  live_options.compact_threshold = compact_threshold;
+  Result<std::unique_ptr<LiveEnvironment>> live(
+      Status::InvalidArgument("not yet built"));
+  if (self) {
+    live = LiveEnvironment::CreateSelf(qset.value().points, live_options);
+  } else {
+    Result<Dataset> pset = LoadCsv(p_path);
+    if (!pset.ok()) return fail(pset.status());
+    live = LiveEnvironment::Create(qset.value().points, pset.value().points,
+                                   live_options);
+  }
+  if (!live.ok()) return fail(live.status());
+  return live;
+}
+
+// Applies a mutation file (wire-grammar INSERT/DELETE/COMPACT lines;
+// blank lines and #-comments skipped) to `live` in order. The env= field
+// is ignored — the file addresses whatever environment the caller bound.
+// Prints `cmd`-prefixed errors with the file line number.
+bool ApplyMutationFile(const char* cmd, const std::string& path,
+                       LiveEnvironment* live) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open %s\n", cmd, path.c_str());
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    net::WireMutation mutation;
+    Status status = net::ParseMutationLine(line, &mutation);
+    if (status.ok()) {
+      switch (mutation.op) {
+        case net::WireMutationOp::kInsert:
+          status = live->Insert(mutation.side, mutation.rec);
+          break;
+        case net::WireMutationOp::kDelete:
+          status = live->Delete(mutation.side, mutation.rec.id);
+          break;
+        case net::WireMutationOp::kCompact:
+          status = live->Compact();
+          break;
+      }
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s:%d: %s\n", cmd, path.c_str(), lineno,
+                   status.ToString().c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 int CmdJoin(const std::map<std::string, std::string>& flags) {
@@ -403,21 +528,48 @@ int CmdJoin(const std::map<std::string, std::string>& flags) {
     if (!ParseEngineFlags("join", flags, &engine_options)) return 2;
   }
 
-  int exit_code = 0;
-  Result<std::unique_ptr<RcjEnvironment>> env =
-      BuildEnvFromFlags("join", flags, &options, &exit_code);
-  if (!env.ok()) return exit_code;
   const bool self = flags.count("self") != 0;
-
+  const std::string mutations = FlagOr(flags, "mutations", "");
+  int exit_code = 0;
   Result<RcjRunResult> result(Status::InvalidArgument("not yet run"));
-  if (engine_mode) {
-    engine_options.worker_buffer_fraction = options.buffer_fraction;
-    Engine engine(engine_options);
-    QuerySpec spec = QuerySpec::For(env.value().get());
+  std::unique_ptr<RcjEnvironment> env;
+  std::unique_ptr<LiveEnvironment> live;
+  if (!mutations.empty()) {
+    // Live path: wrap the datasets, replay the mutation file, then join
+    // the mutated view through a snapshot — the in-process oracle a wire
+    // client's stream is byte-compared against.
+    if (!ParseRunOptions("join", flags, &options, &exit_code)) {
+      return exit_code;
+    }
+    Result<std::unique_ptr<LiveEnvironment>> built = BuildLiveFromFlags(
+        "join", flags, options, /*compact_threshold=*/0, &exit_code);
+    if (!built.ok()) return exit_code;
+    live = std::move(built).value();
+    if (!ApplyMutationFile("join", mutations, live.get())) return 1;
+    const LiveSnapshot snapshot = live->TakeSnapshot();
+    QuerySpec spec = snapshot.Spec();
     spec.algorithm = options.algorithm;
-    result = engine.Run(spec);
+    if (engine_mode) {
+      engine_options.worker_buffer_fraction = options.buffer_fraction;
+      Engine engine(engine_options);
+      result = engine.Run(spec);
+    } else {
+      result = snapshot.Run(spec);
+    }
   } else {
-    result = env.value()->Run(options);
+    Result<std::unique_ptr<RcjEnvironment>> built =
+        BuildEnvFromFlags("join", flags, &options, &exit_code);
+    if (!built.ok()) return exit_code;
+    env = std::move(built).value();
+    if (engine_mode) {
+      engine_options.worker_buffer_fraction = options.buffer_fraction;
+      Engine engine(engine_options);
+      QuerySpec spec = QuerySpec::For(env.get());
+      spec.algorithm = options.algorithm;
+      result = engine.Run(spec);
+    } else {
+      result = env->Run(options);
+    }
   }
   if (!result.ok()) {
     std::fprintf(stderr, "join: %s\n", result.status().ToString().c_str());
@@ -425,7 +577,10 @@ int CmdJoin(const std::map<std::string, std::string>& flags) {
   }
 
   RcjRunResult& run = result.value();
-  NormalizePairs(&run.pairs);
+  // The live stream stays in engine/serial order so it can be byte-compared
+  // against a wire client's stream; the static output keeps its historical
+  // sorted order.
+  if (mutations.empty()) NormalizePairs(&run.pairs);
 
   const std::string out = FlagOr(flags, "out", "");
   if (!out.empty()) {
@@ -684,11 +839,39 @@ int CmdServeNetwork(const std::map<std::string, std::string>& flags) {
     return 2;
   }
 
+  const bool live_mode = flags.count("live") != 0;
+  size_t compact_threshold = 0;
+  if (!ParseCount(FlagOr(flags, "compact-threshold", "0"), 1u << 30,
+                  &compact_threshold)) {
+    std::fprintf(stderr, "serve: invalid --compact-threshold '%s'\n",
+                 FlagOr(flags, "compact-threshold", "0").c_str());
+    return 2;
+  }
+  if (compact_threshold != 0 && !live_mode) {
+    std::fprintf(stderr,
+                 "serve: --compact-threshold needs --live (static "
+                 "environments never compact)\n");
+    return 2;
+  }
+
   RcjRunOptions options;
   int exit_code = 0;
-  Result<std::unique_ptr<RcjEnvironment>> env =
-      BuildEnvFromFlags("serve", flags, &options, &exit_code);
-  if (!env.ok()) return exit_code;
+  std::unique_ptr<RcjEnvironment> env;
+  std::unique_ptr<LiveEnvironment> live;
+  if (live_mode) {
+    if (!ParseRunOptions("serve", flags, &options, &exit_code)) {
+      return exit_code;
+    }
+    Result<std::unique_ptr<LiveEnvironment>> built = BuildLiveFromFlags(
+        "serve", flags, options, compact_threshold, &exit_code);
+    if (!built.ok()) return exit_code;
+    live = std::move(built).value();
+  } else {
+    Result<std::unique_ptr<RcjEnvironment>> built =
+        BuildEnvFromFlags("serve", flags, &options, &exit_code);
+    if (!built.ok()) return exit_code;
+    env = std::move(built).value();
+  }
   router_options.service.engine.worker_buffer_fraction =
       options.buffer_fraction;
 
@@ -701,7 +884,10 @@ int CmdServeNetwork(const std::map<std::string, std::string>& flags) {
   }
 
   ShardRouter router(router_options);
-  Status status = router.RegisterEnvironment("default", env.value().get());
+  Status status =
+      live != nullptr
+          ? router.RegisterLiveEnvironment("default", live.get())
+          : router.RegisterEnvironment("default", env.get());
   for (const auto& named : extra_envs) {
     if (!status.ok()) break;
     status = router.RegisterEnvironment(named.first, named.second.get());
@@ -719,27 +905,33 @@ int CmdServeNetwork(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("listening on %s:%u (%zu shards, %zu environments, "
+  std::printf("listening on %s:%u (%zu shards, %zu environments%s, "
               "%zu worker threads)\n",
               server_options.bind_address.c_str(),
               static_cast<unsigned>(server.port()), router.num_shards(),
-              extra_envs.size() + 1, router.num_threads());
+              extra_envs.size() + 1, live != nullptr ? ", live default" : "",
+              router.num_threads());
   std::fflush(stdout);
 
   while (g_serve_stop == 0) {
     poll(nullptr, 0, 100);  // nothing to do: connections run on threads
   }
   server.Stop();
+  // Unwire the live environment's invalidation hook before the router's
+  // services die under it — its background compactor may outlive them.
+  if (live != nullptr) router.ReleaseEnvironment("default");
   const NetServer::Counters counters = server.counters();
   std::printf("shut down: %llu connections | %llu ok | %llu rejected | "
-              "%llu shed | %llu cancelled | %llu failed | %llu stats\n",
+              "%llu shed | %llu cancelled | %llu failed | %llu stats | "
+              "%llu mutations\n",
               static_cast<unsigned long long>(counters.connections),
               static_cast<unsigned long long>(counters.ok),
               static_cast<unsigned long long>(counters.rejected),
               static_cast<unsigned long long>(counters.shed),
               static_cast<unsigned long long>(counters.cancelled),
               static_cast<unsigned long long>(counters.failed),
-              static_cast<unsigned long long>(counters.stats));
+              static_cast<unsigned long long>(counters.stats),
+              static_cast<unsigned long long>(counters.mutations));
   return 0;
 }
 
@@ -772,9 +964,9 @@ int ConnectClient(const std::string& host, size_t port) {
   return fd;
 }
 
-// `client --stats`: one STATS probe, printed as a table. Exit 0 iff the
-// response ends in a well-formed ENDSTATS whose shard count matches the
-// SHARD rows received.
+// `client --stats`: one STATS probe, printed as two tables (per-shard,
+// then per-environment). Exit 0 iff the response ends in a well-formed
+// ENDSTATS whose shard and environment counts match the rows received.
 int CmdClientStats(const std::string& host, size_t port) {
   const int fd = ConnectClient(host, port);
   if (fd < 0) return -fd;
@@ -796,13 +988,16 @@ int CmdClientStats(const std::string& host, size_t port) {
     std::printf("%-6s %5s %7s %9s %10s %9s %6s %10s %10s %7s\n", "shard",
                 "envs", "queued", "inflight", "submitted", "admitted",
                 "shed", "completed", "cancelled", "failed");
-    uint64_t rows = 0;
+    uint64_t shard_rows = 0;
+    uint64_t env_rows = 0;
     while (reader.ReadLine(&line)) {
       net::WireShardStats shard;
+      net::WireEnvStats env;
       uint64_t shards = 0;
+      uint64_t envs = 0;
       Status err = Status::OK();
       if (net::ParseShardStatsLine(line, &shard).ok()) {
-        ++rows;
+        ++shard_rows;
         std::printf("%-6llu %5llu %7llu %9llu %10llu %9llu %6llu %10llu "
                     "%10llu %7llu\n",
                     static_cast<unsigned long long>(shard.shard),
@@ -815,14 +1010,36 @@ int CmdClientStats(const std::string& host, size_t port) {
                     static_cast<unsigned long long>(shard.completed),
                     static_cast<unsigned long long>(shard.cancelled),
                     static_cast<unsigned long long>(shard.failed));
-      } else if (net::ParseStatsEndLine(line, &shards).ok()) {
-        exit_code = shards == rows ? 0 : 1;
+      } else if (net::ParseEnvStatsLine(line, &env).ok()) {
+        if (env_rows == 0) {
+          std::printf("%-16s %5s %4s %10s %8s %7s %10s %11s %8s %8s\n",
+                      "env", "shard", "live", "generation", "epoch",
+                      "delta", "tombstones", "compactions", "base_q",
+                      "base_p");
+        }
+        ++env_rows;
+        std::printf("%-16s %5llu %4d %10llu %8llu %7llu %10llu %11llu "
+                    "%8llu %8llu\n",
+                    env.name.c_str(),
+                    static_cast<unsigned long long>(env.shard),
+                    env.live ? 1 : 0,
+                    static_cast<unsigned long long>(env.generation),
+                    static_cast<unsigned long long>(env.epoch),
+                    static_cast<unsigned long long>(env.delta),
+                    static_cast<unsigned long long>(env.tombstones),
+                    static_cast<unsigned long long>(env.compactions),
+                    static_cast<unsigned long long>(env.base_q),
+                    static_cast<unsigned long long>(env.base_p));
+      } else if (net::ParseStatsEndLine(line, &shards, &envs).ok()) {
+        exit_code = (shards == shard_rows && envs == env_rows) ? 0 : 1;
         if (exit_code != 0) {
           std::fprintf(stderr,
-                       "client: ENDSTATS reports %llu shards but %llu "
-                       "rows streamed\n",
+                       "client: ENDSTATS reports %llu shards / %llu envs "
+                       "but %llu / %llu rows streamed\n",
                        static_cast<unsigned long long>(shards),
-                       static_cast<unsigned long long>(rows));
+                       static_cast<unsigned long long>(envs),
+                       static_cast<unsigned long long>(shard_rows),
+                       static_cast<unsigned long long>(env_rows));
         }
         break;
       } else if (net::ParseErrLine(line, &err).ok()) {
@@ -836,6 +1053,81 @@ int CmdClientStats(const std::string& host, size_t port) {
   }
   close(fd);
   return exit_code;
+}
+
+// `client --mutations FILE`: sends the file's INSERT/DELETE/COMPACT lines
+// to the server, one request (= one connection) each, in order. Lines
+// without an env= field are bound to `env_name` (the --env flag). Exits
+// non-zero at the first rejected or malformed exchange; on success prints
+// the final MUT acknowledgement's counters.
+int CmdClientMutations(const std::string& host, size_t port,
+                       const std::string& env_name,
+                       const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "client: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string line;
+  int lineno = 0;
+  uint64_t applied = 0;
+  net::WireMutationAck last_ack;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    net::WireMutation mutation;
+    Status status = net::ParseMutationLine(line, &mutation);
+    if (!status.ok()) {
+      std::fprintf(stderr, "client: %s:%d: %s\n", path.c_str(), lineno,
+                   status.ToString().c_str());
+      return 2;
+    }
+    const net::WireMutation defaults;
+    if (mutation.env_name == defaults.env_name) {
+      mutation.env_name = env_name;
+    }
+    const int fd = ConnectClient(host, port);
+    if (fd < 0) return -fd;
+    if (!net::SendAll(fd, net::FormatMutationLine(mutation) + "\n")) {
+      std::fprintf(stderr, "client: send: %s\n", std::strerror(errno));
+      close(fd);
+      return 1;
+    }
+    net::LineReader reader(fd);
+    std::string response;
+    int exit_code = 0;
+    if (!reader.ReadLine(&response)) {
+      std::fprintf(stderr,
+                   "client: %s:%d: connection closed before a response\n",
+                   path.c_str(), lineno);
+      exit_code = 1;
+    } else if (response != "OK") {
+      Status err = Status::IoError("malformed response '" + response + "'");
+      net::ParseErrLine(response, &err);
+      std::fprintf(stderr, "client: %s:%d: %s\n", path.c_str(), lineno,
+                   err.ToString().c_str());
+      exit_code = 1;
+    } else if (!reader.ReadLine(&response) ||
+               !net::ParseMutationAckLine(response, &last_ack).ok()) {
+      std::fprintf(stderr, "client: %s:%d: malformed MUT line '%s'\n",
+                   path.c_str(), lineno, response.c_str());
+      exit_code = 1;
+    }
+    close(fd);
+    if (exit_code != 0) return exit_code;
+    ++applied;
+  }
+  std::printf("applied %llu mutations | env %s | epoch %llu | generation "
+              "%llu | delta %llu | tombstones %llu | compactions %llu\n",
+              static_cast<unsigned long long>(applied),
+              last_ack.env_name.c_str(),
+              static_cast<unsigned long long>(last_ack.epoch),
+              static_cast<unsigned long long>(last_ack.generation),
+              static_cast<unsigned long long>(last_ack.delta),
+              static_cast<unsigned long long>(last_ack.tombstones),
+              static_cast<unsigned long long>(last_ack.compactions));
+  return 0;
 }
 
 // Scripted wire-protocol client: one connection, one query, pairs written
@@ -860,6 +1152,10 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
     return 2;
   }
   if (flags.count("stats") != 0) return CmdClientStats(host, port);
+  if (flags.count("mutations") != 0) {
+    return CmdClientMutations(host, port, FlagOr(flags, "env", "default"),
+                              flags.at("mutations"));
+  }
 
   net::WireRequest request;
   request.env_name = FlagOr(flags, "env", "default");
@@ -1000,7 +1296,8 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   // Mirror of the demo-only check in CmdServeNetwork: sharding knobs mean
   // nothing without the network server, so refuse instead of ignoring.
   for (const char* network_only :
-       {"shards", "max-queue", "max-inflight", "envs"}) {
+       {"shards", "max-queue", "max-inflight", "envs", "live",
+        "compact-threshold"}) {
     if (flags.count(network_only) != 0) {
       std::fprintf(stderr,
                    "serve: --%s needs the network server (add --port)\n",
