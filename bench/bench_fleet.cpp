@@ -1,0 +1,314 @@
+// Fleet scale-out: end-to-end throughput of the fleet tier — many
+// concurrent TCP clients flooding one FleetProxy in front of 1, 2, and 4
+// in-process NetServer backends.
+//
+// This is a systems benchmark with no paper counterpart (the paper runs
+// one machine); it measures what the router tier buys. Each backend
+// models a fixed-capacity serve process: one engine thread and an
+// admission cap of one in-flight query, so a backend that is busy sheds
+// with `ERR Overloaded` exactly as a saturated process would. Scaling
+// out adds admission slots: with one backend the flood spends most of
+// its wall time shed, sleeping through the proxy's capped jittered
+// backoff, and re-dialing; with four backends almost every query lands
+// in a free slot on the first or second attempt. That is why qps grows
+// from 1 to 4 backends even on a single-core machine — the win is
+// recovered idle time, not parallel compute — and it puts this tier's
+// retry/backoff machinery on the hot path instead of a cold error path.
+//
+// Every response is self-checked against ground truth computed straight
+// from the engine: the END pair count and an order-sensitive hash chain
+// over the raw PAIR lines must match for every query, on every tier —
+// a wrong, duplicated, reordered, or spliced stream fails the bench, so
+// the throughput numbers can only come from correct streams. After each
+// flood the fleet-wide STATS fan-out must reconcile: every shard ledger
+// satisfies admitted + shed == submitted, and the completed total equals
+// the queries the clients ran — each query completed exactly once no
+// matter how many times it was shed and retried on the way.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stable_hash.h"
+#include "fleet/fleet_proxy.h"
+#include "net/net_server.h"
+#include "net/protocol.h"
+#include "net/protocol_client.h"
+#include "shard/shard_router.h"
+
+namespace {
+
+using namespace rcj;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr size_t kEnvironments = 4;
+constexpr size_t kClientThreads = 8;
+
+/// Environment names whose consistent-hash placements are the distinct
+/// slots 0..3 of a four-backend fleet (which also splits 2/2 across a
+/// two-backend fleet). Scanned deterministically rather than hardcoded
+/// so the bench cannot silently skew if StableHash ever changes.
+std::vector<std::string> PickSpreadEnvNames() {
+  std::vector<std::string> names;
+  std::vector<bool> taken(kEnvironments, false);
+  for (size_t candidate = 0; names.size() < kEnvironments; ++candidate) {
+    const std::string name = "env" + std::to_string(candidate);
+    const size_t slot = StableHash(name) % kEnvironments;
+    if (taken[slot]) continue;
+    taken[slot] = true;
+    names.push_back(name);
+  }
+  return names;
+}
+
+/// Order-sensitive hash chain over a stream of PAIR lines: any changed,
+/// missing, duplicated, or reordered line changes the digest.
+uint64_t ChainHash(uint64_t chain, const std::string& line) {
+  return StableHash(line) ^ (chain * 1099511628211ull);
+}
+
+/// Ground truth for one environment: what every correct stream must
+/// deliver, computed once from the engine without any networking.
+struct Expected {
+  uint64_t pairs = 0;
+  uint64_t digest = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::ParseScale(argc, argv);
+  bench::PrintBanner(
+      "Fleet scale-out: concurrent TCP clients vs 1/2/4 proxied backends",
+      "no paper counterpart; each backend admits one query at a time, so "
+      "qps grows with backend count via recovered shed/backoff idle time",
+      scale);
+
+  const size_t n = scale.N(12000);  // per side, per environment
+  const size_t queries_per_thread = scale.full ? 8 : 4;
+  const size_t total_queries = kClientThreads * queries_per_thread;
+  std::printf("workload: %zu environments of %zu x %zu uniform points, "
+              "%zu client threads x %zu queries, 1 engine thread and 1 "
+              "admission slot per backend\n\n",
+              kEnvironments, n, n, kClientThreads, queries_per_thread);
+
+  const std::vector<std::string> env_names = PickSpreadEnvNames();
+  std::vector<std::unique_ptr<RcjEnvironment>> envs;
+  for (size_t e = 0; e < kEnvironments; ++e) {
+    envs.push_back(bench::MustBuild(GenerateUniform(n, 1501 + e),
+                                    GenerateUniform(n, 1601 + e),
+                                    RcjRunOptions{}));
+  }
+
+  // Ground truth per environment, straight from the engine.
+  std::vector<Expected> expected(kEnvironments);
+  for (size_t e = 0; e < kEnvironments; ++e) {
+    const Result<RcjRunResult> run =
+        envs[e]->Run(QuerySpec::For(envs[e].get()));
+    if (!run.ok()) {
+      std::fprintf(stderr, "ground truth %zu: %s\n", e,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    for (const RcjPair& pair : run.value().pairs) {
+      expected[e].digest =
+          ChainHash(expected[e].digest, net::FormatPairLine(pair));
+    }
+    expected[e].pairs = run.value().pairs.size();
+    if (expected[e].pairs == 0) {
+      std::fprintf(stderr, "environment %zu has no pairs — broken "
+                   "workload\n", e);
+      return 1;
+    }
+  }
+
+  bench::JsonReporter reporter("fleet");
+  reporter.AddMetric("workload", "environments",
+                     static_cast<double>(kEnvironments));
+  reporter.AddMetric("workload", "points_per_side", static_cast<double>(n));
+  reporter.AddMetric("workload", "queries",
+                     static_cast<double>(total_queries));
+  reporter.AddMetric("workload", "client_threads",
+                     static_cast<double>(kClientThreads));
+
+  std::printf("%-14s %8s %10s %10s %9s %9s %8s\n", "configuration",
+              "queries", "wall(s)", "qps", "retries", "backoffs",
+              "speedup");
+  double baseline_qps = 0.0;
+  for (const size_t backends : {1u, 2u, 4u}) {
+    // Each backend is its own router + server, as separate serve
+    // processes would be; all register every environment, like a fleet
+    // started from one dataset. One engine thread and one admission
+    // slot each: a busy backend sheds, it does not queue.
+    std::vector<std::unique_ptr<ShardRouter>> routers;
+    std::vector<std::unique_ptr<NetServer>> servers;
+    std::vector<fleet::BackendAddress> addresses;
+    for (size_t b = 0; b < backends; ++b) {
+      ShardRouterOptions options;
+      options.service.engine.num_threads = 1;
+      options.admission.max_inflight_total = 1;
+      routers.push_back(std::make_unique<ShardRouter>(options));
+      for (size_t e = 0; e < kEnvironments; ++e) {
+        const Status status =
+            routers.back()->RegisterEnvironment(env_names[e], envs[e].get());
+        if (!status.ok()) {
+          std::fprintf(stderr, "register: %s\n",
+                       status.ToString().c_str());
+          return 1;
+        }
+      }
+      servers.push_back(std::make_unique<NetServer>(routers.back().get()));
+      if (!servers.back()->Start().ok()) {
+        std::fprintf(stderr, "backend %zu failed to start\n", b);
+        return 1;
+      }
+      addresses.push_back({"127.0.0.1", servers.back()->port()});
+    }
+    // A replica window of two lets a shed query fail over to the
+    // neighboring backend before sleeping; the retry budget is sized so
+    // no query in the flood exhausts it (shed must stay zero — every
+    // stream is still verified).
+    fleet::FleetProxyOptions proxy_options;
+    proxy_options.replicas = 2;
+    proxy_options.retry.max_attempts = 64;
+    proxy_options.retry.base_backoff_ms = 50;
+    proxy_options.retry.max_backoff_ms = 400;
+    fleet::FleetProxy proxy(addresses, proxy_options);
+    if (!proxy.Start().ok()) {
+      std::fprintf(stderr, "proxy failed to start\n");
+      return 1;
+    }
+
+    std::atomic<size_t> failures{0};
+    std::vector<std::thread> clients;
+    const Clock::time_point start = Clock::now();
+    for (size_t t = 0; t < kClientThreads; ++t) {
+      clients.emplace_back([&, t] {
+        for (size_t i = 0; i < queries_per_thread; ++i) {
+          const size_t e = (t + i) % kEnvironments;
+          Result<net::ProtocolClient> dialed =
+              net::ProtocolClient::Connect("127.0.0.1", proxy.port());
+          if (!dialed.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          net::ProtocolClient client = std::move(dialed).value();
+          net::WireRequest request;
+          request.env_name = env_names[e];
+          uint64_t digest = 0;
+          net::WireSummary summary;
+          const Status status = client.RunQuery(
+              request,
+              [&digest](const std::string& line) {
+                digest = ChainHash(digest, line);
+                return true;
+              },
+              &summary);
+          // The stream-correctness self-check: exact pair count and
+          // exact order-sensitive content digest, per query.
+          if (!status.ok() || summary.pairs != expected[e].pairs ||
+              digest != expected[e].digest) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    const double wall = SecondsSince(start);
+
+    if (failures.load() != 0) {
+      std::fprintf(stderr,
+                   "%zu of %zu streams failed their self-check at "
+                   "backends=%zu\n",
+                   failures.load(), total_queries, backends);
+      return 1;
+    }
+    // The fleet ledger must account for exactly this flood: shed
+    // attempts inflate submitted, but each query completed exactly once.
+    {
+      Result<net::ProtocolClient> dialed =
+          net::ProtocolClient::Connect("127.0.0.1", proxy.port());
+      if (!dialed.ok()) {
+        std::fprintf(stderr, "stats dial failed\n");
+        return 1;
+      }
+      net::ProtocolClient stats_client = std::move(dialed).value();
+      std::vector<net::WireShardStats> shards;
+      const Status status = stats_client.Stats(&shards, nullptr);
+      if (!status.ok()) {
+        std::fprintf(stderr, "stats: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      uint64_t completed = 0;
+      for (const net::WireShardStats& shard : shards) {
+        if (shard.admitted + shard.shed != shard.submitted) {
+          std::fprintf(stderr, "shard %llu ledger does not reconcile\n",
+                       static_cast<unsigned long long>(shard.shard));
+          return 1;
+        }
+        completed += shard.completed;
+      }
+      if (completed != total_queries) {
+        std::fprintf(stderr,
+                     "fleet completed %llu queries, clients ran %zu\n",
+                     static_cast<unsigned long long>(completed),
+                     total_queries);
+        return 1;
+      }
+    }
+
+    proxy.Stop();
+    for (std::unique_ptr<NetServer>& server : servers) server->Stop();
+
+    // Read only after Stop() has joined every relay thread — counters
+    // land just after the END flush the client is unblocked by.
+    const fleet::FleetProxy::Counters proxy_counters = proxy.counters();
+    if (proxy_counters.ok != total_queries || proxy_counters.shed != 0 ||
+        proxy_counters.failed != 0) {
+      std::fprintf(stderr,
+                   "proxy ledger at backends=%zu: ok=%llu shed=%llu "
+                   "failed=%llu, want %zu/0/0\n",
+                   backends,
+                   static_cast<unsigned long long>(proxy_counters.ok),
+                   static_cast<unsigned long long>(proxy_counters.shed),
+                   static_cast<unsigned long long>(proxy_counters.failed),
+                   total_queries);
+      return 1;
+    }
+
+    const double qps = static_cast<double>(total_queries) / wall;
+    if (backends == 1) baseline_qps = qps;
+    const std::string label = "backends=" + std::to_string(backends);
+    std::printf("%-14s %8zu %10.3f %10.1f %9llu %9llu %7.2fx\n",
+                label.c_str(), total_queries, wall, qps,
+                static_cast<unsigned long long>(proxy_counters.retries),
+                static_cast<unsigned long long>(proxy_counters.backoffs),
+                baseline_qps > 0.0 ? qps / baseline_qps : 0.0);
+    reporter.AddMetric(label, "backends", static_cast<double>(backends));
+    reporter.AddMetric(label, "wall_seconds", wall);
+    reporter.AddMetric(label, "qps", qps);
+    reporter.AddMetric(label, "retries",
+                       static_cast<double>(proxy_counters.retries));
+    reporter.AddMetric(label, "backoffs",
+                       static_cast<double>(proxy_counters.backoffs));
+    if (baseline_qps > 0.0) {
+      reporter.AddMetric(label, "speedup_vs_1backend",
+                         qps / baseline_qps);
+    }
+  }
+
+  if (reporter.Write()) {
+    std::printf("\nwrote %s\n", reporter.path().c_str());
+  }
+  std::printf("all streams passed their self-checks; every tier's "
+              "fleet ledger reconciled\n");
+  return 0;
+}

@@ -1,0 +1,604 @@
+#include "fleet/fleet_proxy.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/stable_hash.h"
+#include "net/line_reader.h"
+#include "net/protocol.h"
+#include "net/request_reader.h"
+
+namespace rcj {
+namespace fleet {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Client-bound bytes are batched up to this size before hitting the
+/// socket, amortizing syscalls across a pair stream while keeping the
+/// relay incremental.
+constexpr size_t kFlushThresholdBytes = 8192;
+
+bool IsPairLine(const std::string& line) {
+  return line.rfind("PAIR ", 0) == 0;
+}
+
+bool IsEndLine(const std::string& line) {
+  return line.rfind("END ", 0) == 0;
+}
+
+}  // namespace
+
+FleetProxy::FleetProxy(std::vector<BackendAddress> backends,
+                       FleetProxyOptions options)
+    : options_(std::move(options)),
+      pool_(std::move(backends), options_.pool) {}
+
+FleetProxy::~FleetProxy() { Stop(); }
+
+Status FleetProxy::Start() {
+  if (pool_.size() == 0) {
+    return Status::InvalidArgument("fleet proxy needs at least one backend");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError(Errno("socket"));
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    const Status status = Status::IoError(Errno("bind"));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (listen(listen_fd_, options_.backlog) != 0) {
+    const Status status = Status::IoError(Errno("listen"));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                  &addr_len) != 0) {
+    const Status status = Status::IoError(Errno("getsockname"));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  stop_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void FleetProxy::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+  }
+  sleep_cv_.notify_all();
+  accept_thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Unblock every relay: shutting both sockets down makes any blocking
+  // recv/send in the handler return immediately.
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections = connections_;
+  }
+  for (const std::shared_ptr<Connection>& connection : connections) {
+    std::lock_guard<std::mutex> lock(connection->mu);
+    if (connection->client_fd >= 0) {
+      shutdown(connection->client_fd, SHUT_RDWR);
+    }
+    if (connection->backend_fd >= 0) {
+      shutdown(connection->backend_fd, SHUT_RDWR);
+    }
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(threads_);
+    connections_.clear();
+  }
+  for (std::thread& thread : threads) thread.join();
+  started_ = false;
+}
+
+std::vector<size_t> FleetProxy::ReplicaSet(
+    const std::string& env_name) const {
+  const size_t backends = pool_.size();
+  const size_t width =
+      std::min(std::max<size_t>(1, options_.replicas), backends);
+  const size_t primary =
+      static_cast<size_t>(StableHash(env_name) % backends);
+  std::vector<size_t> replicas;
+  replicas.reserve(width);
+  for (size_t i = 0; i < width; ++i) {
+    replicas.push_back((primary + i) % backends);
+  }
+  return replicas;
+}
+
+FleetProxy::Counters FleetProxy::counters() const {
+  Counters counters;
+  counters.connections = connections_count_.load(std::memory_order_relaxed);
+  counters.queries = queries_count_.load(std::memory_order_relaxed);
+  counters.ok = ok_count_.load(std::memory_order_relaxed);
+  counters.rejected = rejected_count_.load(std::memory_order_relaxed);
+  counters.shed = shed_count_.load(std::memory_order_relaxed);
+  counters.failed = failed_count_.load(std::memory_order_relaxed);
+  counters.cancelled = cancelled_count_.load(std::memory_order_relaxed);
+  counters.retries = retries_count_.load(std::memory_order_relaxed);
+  counters.failovers = failovers_count_.load(std::memory_order_relaxed);
+  counters.backoffs = backoffs_count_.load(std::memory_order_relaxed);
+  counters.stats = stats_count_.load(std::memory_order_relaxed);
+  counters.mutations = mutations_count_.load(std::memory_order_relaxed);
+  counters.stats_backends_skipped =
+      stats_backends_skipped_count_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void FleetProxy::ReapFinishedConnections() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t i = 0;
+    while (i < connections_.size()) {
+      if (connections_[i]->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(threads_[i]));
+        connections_[i] = std::move(connections_.back());
+        connections_.pop_back();
+        threads_[i] = std::move(threads_.back());
+        threads_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (std::thread& thread : finished) thread.join();
+}
+
+void FleetProxy::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    ReapFinishedConnections();
+    bool saturated;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      saturated = connections_.size() >= options_.max_connections;
+    }
+    if (saturated) {
+      poll(nullptr, 0, 20);
+      continue;
+    }
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_count_.fetch_add(1, std::memory_order_relaxed);
+    auto connection = std::make_shared<Connection>();
+    connection->client_fd = fd;
+    std::lock_guard<std::mutex> lock(mu_);
+    connections_.push_back(connection);
+    threads_.emplace_back(
+        [this, connection] { HandleConnection(connection.get()); });
+  }
+}
+
+void FleetProxy::SetBackendFd(Connection* connection, int fd) {
+  std::lock_guard<std::mutex> lock(connection->mu);
+  connection->backend_fd = fd;
+}
+
+bool FleetProxy::FlushToClient(Connection* connection, std::string* out) {
+  if (out->empty()) return true;
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(connection->mu);
+    fd = connection->client_fd;
+  }
+  if (fd < 0) {
+    out->clear();
+    return false;
+  }
+  const bool sent = net::SendAll(fd, *out);
+  out->clear();
+  return sent;
+}
+
+void FleetProxy::Backoff(uint64_t ms) {
+  backoffs_count_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.sleep_fn) {
+    options_.sleep_fn(ms);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(sleep_mu_);
+  sleep_cv_.wait_for(lock, std::chrono::milliseconds(ms), [this] {
+    return stop_.load(std::memory_order_relaxed);
+  });
+}
+
+void FleetProxy::HandleConnection(Connection* connection) {
+  const int fd = connection->client_fd;
+  const net::RequestReadOptions read_options{options_.max_request_bytes,
+                                             options_.request_timeout_ms};
+  std::string carry;
+  std::string line;
+  Status status =
+      net::ReadRequestLine(fd, read_options, &stop_, &carry, &line);
+  if (!status.ok()) {
+    rejected_count_.fetch_add(1, std::memory_order_relaxed);
+    std::string err = net::FormatErrLine(status) + "\n";
+    FlushToClient(connection, &err);
+  } else if (net::IsStatsRequestLine(line)) {
+    HandleStats(connection);
+  } else if (net::IsMutationRequestLine(line)) {
+    HandleMutations(connection, std::move(line), &carry);
+  } else {
+    HandleQuery(connection, line);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(connection->mu);
+    close(fd);
+    connection->client_fd = -1;
+  }
+  connection->done.store(true, std::memory_order_release);
+}
+
+void FleetProxy::HandleQuery(Connection* connection,
+                             const std::string& line) {
+  net::WireRequest request;
+  Status parse = net::ParseRequestLine(line, &request);
+  std::string out;
+  if (!parse.ok()) {
+    // Reject malformed requests at the edge — no backend ever sees them.
+    rejected_count_.fetch_add(1, std::memory_order_relaxed);
+    out = net::FormatErrLine(parse) + "\n";
+    FlushToClient(connection, &out);
+    return;
+  }
+  queries_count_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::vector<size_t> replicas = ReplicaSet(request.env_name);
+  RetryPolicy policy = options_.retry;
+  if (policy.max_attempts == 0) policy.max_attempts = 1;
+  // De-correlate concurrent requests' jitter streams; request 0 keeps the
+  // configured seed so tests can pin the schedule.
+  policy.seed += retry_seed_.fetch_add(1, std::memory_order_relaxed) *
+                 0x9e3779b97f4a7c15ull;
+  RetrySchedule schedule(policy);
+
+  bool ok_sent = false;
+  // FNV hashes of every PAIR line already relayed to the client: the
+  // replay-skip ledger. A failover re-runs the (deterministic) query on
+  // the next replica and verifies-then-skips this prefix, so the client
+  // stream carries no duplicated and no corrupted pairs.
+  std::vector<uint64_t> forwarded;
+  Status last_error = Status::IoError("no backend attempt was made");
+
+  for (size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (stop_.load(std::memory_order_relaxed)) break;
+    if (attempt > 0 && attempt % replicas.size() == 0) {
+      // A whole replica cycle failed: back off before going around again.
+      Backoff(schedule.NextDelayMs());
+      if (stop_.load(std::memory_order_relaxed)) break;
+    }
+    if (attempt > 0) retries_count_.fetch_add(1, std::memory_order_relaxed);
+    const size_t backend = replicas[attempt % replicas.size()];
+    const std::string backend_name =
+        BackendAddressToString(pool_.address(backend));
+
+    Result<net::ProtocolClient> dialed = pool_.Dial(backend);
+    if (!dialed.ok()) {
+      last_error = dialed.status();
+      continue;
+    }
+    net::ProtocolClient conn = std::move(dialed).value();
+    SetBackendFd(connection, conn.fd());
+    const bool resuming = ok_sent;
+
+    std::string resp;
+    if (!conn.SendLine(line) || !conn.ReadLine(&resp)) {
+      SetBackendFd(connection, -1);
+      last_error = Status::IoError("backend " + backend_name +
+                                   " closed before a response");
+      continue;
+    }
+    if (resp != "OK") {
+      SetBackendFd(connection, -1);
+      Status transported = Status::Corruption(
+          "backend " + backend_name + " sent '" + resp + "' before OK");
+      net::ParseErrLine(resp, &transported);
+      if (transported.code() == StatusCode::kOverloaded) {
+        // The shed happened before the query started; retrying is safe.
+        last_error = transported;
+        continue;
+      }
+      // A definitive rejection (unknown env, bad spec the proxy's laxer
+      // knowledge let through): relay verbatim, conversation over.
+      rejected_count_.fetch_add(1, std::memory_order_relaxed);
+      out.append(resp).push_back('\n');
+      FlushToClient(connection, &out);
+      return;
+    }
+    if (!ok_sent) {
+      ok_sent = true;
+      out.append("OK\n");
+      if (!FlushToClient(connection, &out)) {
+        cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+        SetBackendFd(connection, -1);
+        return;
+      }
+    }
+    if (resuming) {
+      failovers_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    uint64_t seen = 0;  // pairs observed from THIS backend's stream
+    bool stream_lost = false;
+    for (;;) {
+      if (!conn.ReadLine(&resp)) {
+        last_error = Status::IoError(
+            "backend " + backend_name + " lost mid-stream after " +
+            std::to_string(seen) + " pairs");
+        stream_lost = true;
+        break;
+      }
+      if (IsPairLine(resp)) {
+        const uint64_t hash = StableHash(resp);
+        if (seen < forwarded.size()) {
+          if (forwarded[seen] != hash) {
+            // The replica's deterministic stream does not match what was
+            // already relayed — splicing would corrupt the client stream.
+            failed_count_.fetch_add(1, std::memory_order_relaxed);
+            out = net::FormatErrLine(Status::Corruption(
+                      "replica streams diverged at pair " +
+                      std::to_string(seen))) +
+                  "\n";
+            FlushToClient(connection, &out);
+            SetBackendFd(connection, -1);
+            return;
+          }
+          ++seen;  // verified: already relayed, skip
+          continue;
+        }
+        forwarded.push_back(hash);
+        ++seen;
+        out.append(resp).push_back('\n');
+        if (out.size() >= kFlushThresholdBytes &&
+            !FlushToClient(connection, &out)) {
+          cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+          SetBackendFd(connection, -1);
+          return;
+        }
+        continue;
+      }
+      if (IsEndLine(resp) && seen < forwarded.size()) {
+        // The replica finished short of the already-relayed prefix:
+        // divergence again, not a relayable END.
+        failed_count_.fetch_add(1, std::memory_order_relaxed);
+        out = net::FormatErrLine(Status::Corruption(
+                  "replica stream ended at pair " + std::to_string(seen) +
+                  " short of the " + std::to_string(forwarded.size()) +
+                  " already relayed")) +
+              "\n";
+        FlushToClient(connection, &out);
+        SetBackendFd(connection, -1);
+        return;
+      }
+      // END or a post-OK ERR epilogue: relay verbatim, conversation over.
+      out.append(resp).push_back('\n');
+      if (FlushToClient(connection, &out)) {
+        if (IsEndLine(resp)) {
+          ok_count_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed_count_.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+      }
+      SetBackendFd(connection, -1);
+      return;
+    }
+    SetBackendFd(connection, -1);
+    if (!stream_lost) return;  // unreachable today; defensive
+  }
+
+  // Retry budget exhausted (or shutdown): report the last failure. The
+  // ERR frame is legal both before OK (rejection) and after (epilogue).
+  if (last_error.code() == StatusCode::kOverloaded) {
+    shed_count_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  out.append(net::FormatErrLine(last_error)).push_back('\n');
+  FlushToClient(connection, &out);
+}
+
+void FleetProxy::HandleStats(Connection* connection) {
+  // Fan out to every backend; renumber each backend's shard indices by
+  // the running total so the fleet view is one flat shard space, and sum
+  // the ENDSTATS totals. Per-backend ledgers each satisfy
+  // admitted + shed == submitted, so their concatenation reconciles
+  // exactly — no proxy-side bookkeeping is needed for the global count.
+  std::string shard_rows;
+  std::string env_rows;
+  uint64_t total_shards = 0;
+  uint64_t total_envs = 0;
+  for (size_t index = 0; index < pool_.size(); ++index) {
+    if (stop_.load(std::memory_order_relaxed)) break;
+    Result<net::ProtocolClient> dialed = pool_.Dial(index);
+    if (!dialed.ok()) {
+      stats_backends_skipped_count_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    net::ProtocolClient conn = std::move(dialed).value();
+    SetBackendFd(connection, conn.fd());
+    std::vector<net::WireShardStats> shards;
+    std::vector<net::WireEnvStats> envs;
+    const Status status = conn.Stats(&shards, &envs);
+    SetBackendFd(connection, -1);
+    if (!status.ok()) {
+      stats_backends_skipped_count_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    for (net::WireShardStats& shard : shards) {
+      shard.shard += total_shards;
+      shard_rows.append(net::FormatShardStatsLine(shard)).push_back('\n');
+    }
+    for (net::WireEnvStats& env : envs) {
+      env.shard += total_shards;
+      env_rows.append(net::FormatEnvStatsLine(env)).push_back('\n');
+    }
+    total_shards += shards.size();
+    total_envs += envs.size();
+  }
+  stats_count_.fetch_add(1, std::memory_order_relaxed);
+  std::string out = "OK\n";
+  out += shard_rows;
+  out += env_rows;
+  out += net::FormatStatsEndLine(total_shards, total_envs) + "\n";
+  FlushToClient(connection, &out);
+}
+
+bool FleetProxy::RelayMutation(
+    Connection* connection, const std::string& line,
+    std::vector<std::unique_ptr<net::ProtocolClient>>* held,
+    std::string* reply) {
+  net::WireMutation mutation;
+  Status parse = net::ParseMutationLine(line, &mutation);
+  if (!parse.ok()) {
+    rejected_count_.fetch_add(1, std::memory_order_relaxed);
+    *reply = net::FormatErrLine(parse) + "\n";
+    return false;
+  }
+  // Mutations go to the environment's whole replica window, not just the
+  // primary — every backend that may serve a read of this environment
+  // must converge. Consistency over availability: one unreachable
+  // replica fails the op rather than forking the replicas' histories.
+  const std::vector<size_t> replicas = ReplicaSet(mutation.env_name);
+  net::WireMutationAck primary_ack;
+  Status failure;
+  for (size_t i = 0; i < replicas.size() && failure.ok(); ++i) {
+    const size_t index = replicas[i];
+    std::unique_ptr<net::ProtocolClient>& slot = (*held)[index];
+    net::WireMutationAck ack;
+    Status op_status;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      // A conversation that sat idle (parked in the pool, or held since
+      // an earlier op of this batch) may have been timed out by the
+      // backend; such a failure earns one fresh redial. A fresh dial's
+      // failure — and any backend ERR — is final: after the request hit
+      // the wire a non-idempotent op must not be replayed blindly.
+      bool stale_candidate = slot != nullptr;
+      if (!slot) {
+        bool reused = false;
+        Result<net::ProtocolClient> dialed = pool_.Acquire(index, &reused);
+        if (!dialed.ok()) {
+          op_status = dialed.status();
+          break;
+        }
+        slot = std::make_unique<net::ProtocolClient>(
+            std::move(dialed).value());
+        stale_candidate = reused;
+      }
+      SetBackendFd(connection, slot->fd());
+      op_status = slot->Mutate(mutation, &ack);
+      SetBackendFd(connection, -1);
+      if (op_status.ok()) break;
+      slot.reset();  // the conversation is dead either way
+      if (!stale_candidate ||
+          op_status.code() != StatusCode::kIoError) {
+        break;
+      }
+    }
+    if (!op_status.ok()) {
+      failure = op_status;
+    } else if (i == 0) {
+      primary_ack = ack;
+    }
+  }
+  if (!failure.ok()) {
+    failed_count_.fetch_add(1, std::memory_order_relaxed);
+    *reply = net::FormatErrLine(failure) + "\n";
+    return false;
+  }
+  mutations_count_.fetch_add(1, std::memory_order_relaxed);
+  *reply = "OK\n" + net::FormatMutationAckLine(primary_ack) + "\n";
+  return true;
+}
+
+void FleetProxy::HandleMutations(Connection* connection, std::string line,
+                                 std::string* carry) {
+  const net::RequestReadOptions read_options{options_.max_request_bytes,
+                                             options_.request_timeout_ms};
+  std::vector<std::unique_ptr<net::ProtocolClient>> held(pool_.size());
+  for (;;) {
+    std::string reply;
+    const bool applied = RelayMutation(connection, line, &held, &reply);
+    const bool delivered = FlushToClient(connection, &reply);
+    if (!applied || !delivered) break;
+    bool clean_eof = false;
+    const Status status =
+        net::ReadRequestLine(connection->client_fd, read_options, &stop_,
+                             carry, &line, &clean_eof);
+    if (!status.ok()) {
+      if (!clean_eof && !line.empty()) {
+        rejected_count_.fetch_add(1, std::memory_order_relaxed);
+        std::string err = net::FormatErrLine(status) + "\n";
+        FlushToClient(connection, &err);
+      }
+      break;
+    }
+    if (!net::IsMutationRequestLine(line)) {
+      rejected_count_.fetch_add(1, std::memory_order_relaxed);
+      std::string err =
+          net::FormatErrLine(Status::InvalidArgument(
+              "only mutation requests may follow a mutation on one "
+              "connection")) +
+          "\n";
+      FlushToClient(connection, &err);
+      break;
+    }
+  }
+  // Park the still-healthy conversations for the next batch.
+  for (size_t index = 0; index < held.size(); ++index) {
+    if (held[index]) pool_.Release(index, std::move(*held[index]));
+  }
+}
+
+}  // namespace fleet
+}  // namespace rcj

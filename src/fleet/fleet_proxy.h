@@ -1,0 +1,207 @@
+// FleetProxy — the router tier that turns the wire protocol into a
+// distribution substrate.
+//
+// The proxy speaks the existing line protocol on the front (a client
+// cannot tell it from a single `rcj_tool serve` process — the CI smoke
+// `cmp`s the byte streams to prove it) and proxies each conversation to
+// one or more backend serve processes over TCP:
+//
+//   * QUERY — placed by consistent hash of the environment name (the
+//     same StableHash that places environments on shards inside one
+//     process), optionally fanned across a replica window of
+//     `replicas` consecutive backends for read-mostly environments.
+//     The response stream is relayed verbatim. Failures fail over:
+//     a refused connection, an `ERR Overloaded` shed, or a backend
+//     dying mid-stream moves the request to the next replica, with
+//     capped exponential backoff + jitter between full replica cycles
+//     (see retry.h). Because pair streams are deterministic and
+//     byte-identical across engines, a mid-stream failover *replays*
+//     the query on the next replica and skips the pairs already
+//     forwarded — verifying each skipped line against a hash of what
+//     was sent, so a diverging replica is surfaced as Corruption
+//     rather than spliced into the stream.
+//   * INSERT/DELETE/COMPACT — applied to every replica of the
+//     environment (a replicated live environment must converge), and
+//     acknowledged with the primary's MUT. Batches (many mutation
+//     lines per connection) are relayed onto pooled backend
+//     connections that persist across the batch.
+//   * STATS — fanned out to every reachable backend; per-backend shard
+//     rows are renumbered into one global index space and the ENDSTATS
+//     totals are summed, so per-backend admission ledgers reconcile
+//     into one exact fleet-wide count.
+//
+// The proxy holds no query state beyond the in-flight relay: environment
+// registration lives on the backends, admission lives on the backends
+// (an `ERR Overloaded` that survives the retry budget reaches the
+// client), and determinism lives in the engines. That is what makes the
+// tier stateless and horizontally stackable.
+#ifndef RINGJOIN_FLEET_FLEET_PROXY_H_
+#define RINGJOIN_FLEET_FLEET_PROXY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "fleet/backend_pool.h"
+#include "fleet/retry.h"
+
+namespace rcj {
+namespace fleet {
+
+struct FleetProxyOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (read it back with
+  /// port() after Start()).
+  uint16_t port = 0;
+  /// Listen address; loopback-only by default, like NetServer.
+  std::string bind_address = "127.0.0.1";
+  int backlog = 64;
+  /// Cap on simultaneously served client connections (one thread each).
+  size_t max_connections = 256;
+  size_t max_request_bytes = 4096;
+  /// Per-request-line delivery timeout (per line of a mutation batch).
+  int request_timeout_ms = 10000;
+  /// Read fan-out: a query for environment E may be served by any of the
+  /// `replicas` backends following StableHash(E) around the ring.
+  /// Clamped to [1, backend count]. Mutations always go to the whole
+  /// window so replicated environments converge.
+  size_t replicas = 1;
+  /// Retry/backoff policy for failed backend attempts.
+  RetryPolicy retry;
+  /// Test seam: sleeps `ms` between failed replica cycles. Defaults to a
+  /// stop-aware condition-variable wait; tests inject a recorder.
+  std::function<void(uint64_t ms)> sleep_fn;
+  /// Pool sizing.
+  BackendPoolOptions pool;
+};
+
+class FleetProxy {
+ public:
+  /// Monotonic counters of proxy outcomes. Backend-side dial counters
+  /// live on the pool (pool().counters()).
+  struct Counters {
+    uint64_t connections = 0;      ///< accepted client sockets.
+    uint64_t queries = 0;          ///< QUERY conversations begun.
+    uint64_t ok = 0;               ///< full stream + END relayed.
+    uint64_t rejected = 0;         ///< malformed requests (ERR before OK).
+    uint64_t shed = 0;             ///< Overloaded relayed after retries.
+    uint64_t failed = 0;           ///< backend ERR / exhausted retries.
+    uint64_t cancelled = 0;        ///< client gone mid-relay.
+    uint64_t retries = 0;          ///< backend attempts past the first.
+    uint64_t failovers = 0;        ///< mid-stream replays on a replica.
+    uint64_t backoffs = 0;         ///< sleeps between failed cycles.
+    uint64_t stats = 0;            ///< STATS fan-outs answered.
+    uint64_t mutations = 0;        ///< mutation ops acknowledged.
+    uint64_t stats_backends_skipped = 0;  ///< unreachable during STATS.
+  };
+
+  FleetProxy(std::vector<BackendAddress> backends,
+             FleetProxyOptions options = {});
+  ~FleetProxy();
+
+  RINGJOIN_DISALLOW_COPY_AND_ASSIGN(FleetProxy);
+
+  /// Binds, listens, and starts accepting. IoError on bind/listen
+  /// failure. The backends need not be up yet — placement is pure
+  /// hashing, and a request simply retries per policy.
+  Status Start();
+
+  /// Stops accepting, unblocks every relay, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound port (resolves ephemeral port 0); valid after Start().
+  uint16_t port() const { return port_; }
+
+  size_t backend_count() const { return pool_.size(); }
+
+  /// Rewrites one backend's address (supervisor respawn path).
+  void SetBackendAddress(size_t index, BackendAddress address) {
+    pool_.SetAddress(index, std::move(address));
+  }
+
+  /// The replica window for `env_name`: `replicas` consecutive backend
+  /// indices starting at StableHash(env_name) % backends. Exposed so
+  /// tests (and the supervisor's kill targeting) can predict placement.
+  std::vector<size_t> ReplicaSet(const std::string& env_name) const;
+
+  Counters counters() const;
+  const BackendPool& pool() const { return pool_; }
+
+ private:
+  /// Per-connection state shared with Stop(): both socket fds are shut
+  /// down to unblock the handler wherever it is blocked.
+  struct Connection {
+    std::mutex mu;
+    int client_fd = -1;
+    int backend_fd = -1;  ///< fd of the in-flight backend relay, if any.
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ReapFinishedConnections();
+  void HandleConnection(Connection* connection);
+  void HandleQuery(Connection* connection, const std::string& line);
+  void HandleStats(Connection* connection);
+  void HandleMutations(Connection* connection, std::string line,
+                       std::string* carry);
+  /// Relays one mutation line to every replica of its environment.
+  /// On success fills `*reply` with the primary's OK + MUT frames; on
+  /// failure fills it with the ERR frame and returns false (which ends
+  /// the batch, matching backend behavior). `held` caches the pooled
+  /// backend conversations across a batch.
+  bool RelayMutation(Connection* connection, const std::string& line,
+                     std::vector<std::unique_ptr<net::ProtocolClient>>* held,
+                     std::string* reply);
+  /// Sends buffered client-bound bytes; false once the client is gone.
+  bool FlushToClient(Connection* connection, std::string* out);
+  /// Stop-aware backoff sleep (or the injected sleep_fn).
+  void Backoff(uint64_t ms);
+  /// Publishes `fd` as the connection's in-flight backend socket so
+  /// Stop() can shut it down; pass -1 to clear.
+  void SetBackendFd(Connection* connection, int fd);
+
+  FleetProxyOptions options_;
+  BackendPool pool_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> threads_;
+
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+
+  std::atomic<uint64_t> retry_seed_{0};
+
+  std::atomic<uint64_t> connections_count_{0};
+  std::atomic<uint64_t> queries_count_{0};
+  std::atomic<uint64_t> ok_count_{0};
+  std::atomic<uint64_t> rejected_count_{0};
+  std::atomic<uint64_t> shed_count_{0};
+  std::atomic<uint64_t> failed_count_{0};
+  std::atomic<uint64_t> cancelled_count_{0};
+  std::atomic<uint64_t> retries_count_{0};
+  std::atomic<uint64_t> failovers_count_{0};
+  std::atomic<uint64_t> backoffs_count_{0};
+  std::atomic<uint64_t> stats_count_{0};
+  std::atomic<uint64_t> mutations_count_{0};
+  std::atomic<uint64_t> stats_backends_skipped_count_{0};
+};
+
+}  // namespace fleet
+}  // namespace rcj
+
+#endif  // RINGJOIN_FLEET_FLEET_PROXY_H_

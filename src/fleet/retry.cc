@@ -1,0 +1,50 @@
+#include "fleet/retry.h"
+
+#include <algorithm>
+
+namespace rcj {
+namespace fleet {
+namespace {
+
+/// splitmix64: tiny, uniform, and stable across platforms — the jitter
+/// stream must be reproducible for the tests that pin exact delays.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t BackoffBaseMs(const RetryPolicy& policy, size_t cycle) {
+  uint64_t delay = policy.base_backoff_ms;
+  for (size_t i = 0; i < cycle; ++i) {
+    if (delay >= policy.max_backoff_ms) break;
+    delay *= 2;
+  }
+  return std::min(delay, policy.max_backoff_ms);
+}
+
+RetrySchedule::RetrySchedule(const RetryPolicy& policy)
+    : policy_(policy), rng_state_(policy.seed) {
+  if (policy_.max_attempts == 0) policy_.max_attempts = 1;
+  policy_.jitter_fraction =
+      std::min(1.0, std::max(0.0, policy_.jitter_fraction));
+}
+
+uint64_t RetrySchedule::NextDelayMs() {
+  const uint64_t base = BackoffBaseMs(policy_, cycle_);
+  ++cycle_;
+  if (base == 0 || policy_.jitter_fraction == 0.0) return base;
+  // Uniform draw from [base * (1 - jitter), base]: subtract a random
+  // share of the jitter window so the full delay is the upper bound.
+  const double window = static_cast<double>(base) * policy_.jitter_fraction;
+  const double unit =
+      static_cast<double>(NextRandom(&rng_state_) >> 11) *
+      (1.0 / 9007199254740992.0);  // 53-bit mantissa → [0, 1)
+  return base - static_cast<uint64_t>(window * unit);
+}
+
+}  // namespace fleet
+}  // namespace rcj

@@ -1,0 +1,66 @@
+// Retry policy of the fleet tier: capped exponential backoff with
+// deterministic jitter.
+//
+// The proxy retries a request when a backend refuses the connection,
+// dies mid-stream, or sheds it with `ERR Overloaded`. Retries first walk
+// the environment's replica set (an immediate failover costs nothing);
+// only once a whole cycle of replicas has failed does the proxy sleep —
+// an exponentially growing, capped, jittered delay, so a recovering
+// fleet is not stampeded by synchronized retry waves (the jitter
+// de-correlates clients that failed at the same instant).
+//
+// The schedule is a pure function of the policy's seed (splitmix64
+// underneath), so tests assert exact delays and production gets
+// per-request decorrelation by seeding from a per-request counter.
+#ifndef RINGJOIN_FLEET_RETRY_H_
+#define RINGJOIN_FLEET_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rcj {
+namespace fleet {
+
+struct RetryPolicy {
+  /// Total backend attempts per request (first try included). 0 is
+  /// normalized to 1 — the request is always tried at least once.
+  size_t max_attempts = 6;
+  /// Un-jittered delay after the first failed replica cycle; doubles per
+  /// further cycle.
+  uint64_t base_backoff_ms = 10;
+  /// Cap on the un-jittered delay.
+  uint64_t max_backoff_ms = 500;
+  /// Jitter width: the actual delay is drawn uniformly from
+  /// [delay * (1 - jitter_fraction), delay]. Clamped to [0, 1].
+  double jitter_fraction = 0.5;
+  /// Seed of the jitter stream; same seed, same schedule.
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// The un-jittered backoff for zero-based failure cycle `cycle`:
+/// min(max_backoff_ms, base_backoff_ms << cycle), overflow-safe.
+uint64_t BackoffBaseMs(const RetryPolicy& policy, size_t cycle);
+
+/// One request's retry schedule. Not thread-safe; one per request.
+class RetrySchedule {
+ public:
+  explicit RetrySchedule(const RetryPolicy& policy);
+
+  /// The jittered delay for the next failure cycle, advancing the
+  /// schedule. Always within
+  /// [base * (1 - jitter), base] of BackoffBaseMs(cycle).
+  uint64_t NextDelayMs();
+
+  /// Failure cycles consumed so far.
+  size_t cycles() const { return cycle_; }
+
+ private:
+  RetryPolicy policy_;
+  uint64_t rng_state_;
+  size_t cycle_ = 0;
+};
+
+}  // namespace fleet
+}  // namespace rcj
+
+#endif  // RINGJOIN_FLEET_RETRY_H_

@@ -14,6 +14,7 @@
 
 #include "core/runner.h"
 #include "net/protocol.h"
+#include "net/request_reader.h"
 
 namespace rcj {
 namespace {
@@ -177,52 +178,6 @@ void NetServer::AcceptLoop() {
   }
 }
 
-Status NetServer::ReadRequestLine(int fd, std::string* line) {
-  line->clear();
-  // Wall-clock deadline: a slow-drip client that keeps the socket readable
-  // must still run out of time, or it pins a handler thread forever.
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::milliseconds(options_.request_timeout_ms);
-  for (;;) {
-    if (std::chrono::steady_clock::now() >= deadline ||
-        stop_.load(std::memory_order_relaxed)) {
-      return Status::InvalidArgument("timed out waiting for request line");
-    }
-    struct pollfd pfd;
-    pfd.fd = fd;
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    const int ready = poll(&pfd, 1, 100);
-    if (ready < 0 && errno != EINTR) return Status::IoError(Errno("poll"));
-    if (ready <= 0) continue;
-    char buffer[512];
-    const ssize_t got = recv(fd, buffer, sizeof(buffer), 0);
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(Errno("recv"));
-    }
-    if (got == 0) {
-      return Status::InvalidArgument(
-          "connection closed before a full request line");
-    }
-    for (ssize_t i = 0; i < got; ++i) {
-      if (buffer[i] == '\n') {
-        // Bytes past the newline are ignored: the protocol carries one
-        // request per connection.
-        return Status::OK();
-      }
-      line->push_back(buffer[i]);
-      if (line->size() > options_.max_request_bytes) {
-        return Status::InvalidArgument("request line exceeds " +
-                                       std::to_string(
-                                           options_.max_request_bytes) +
-                                       " bytes");
-      }
-    }
-  }
-}
-
 void NetServer::HandleStats(SocketSink* sink) {
   stats_count_.fetch_add(1, std::memory_order_relaxed);
   const std::vector<ShardStatus> stats = router_->Stats();
@@ -260,7 +215,7 @@ void NetServer::HandleStats(SocketSink* sink) {
   sink->Flush(options_.sink.drain_grace_ms);
 }
 
-void NetServer::HandleMutation(SocketSink* sink, const std::string& line) {
+bool NetServer::HandleMutation(SocketSink* sink, const std::string& line) {
   net::WireMutation mutation;
   Status status = net::ParseMutationLine(line, &mutation);
   LiveStats after;
@@ -283,7 +238,7 @@ void NetServer::HandleMutation(SocketSink* sink, const std::string& line) {
     rejected_count_.fetch_add(1, std::memory_order_relaxed);
     sink->SendLine(net::FormatErrLine(status));
     sink->Flush(options_.sink.drain_grace_ms);
-    return;
+    return false;
   }
   mutations_count_.fetch_add(1, std::memory_order_relaxed);
   net::WireMutationAck ack;
@@ -297,6 +252,36 @@ void NetServer::HandleMutation(SocketSink* sink, const std::string& line) {
   sink->SendLine("OK");
   sink->SendLine(net::FormatMutationAckLine(ack));
   sink->Flush(options_.sink.drain_grace_ms);
+  return true;
+}
+
+void NetServer::HandleMutations(int fd, SocketSink* sink, std::string line,
+                                std::string* carry) {
+  const net::RequestReadOptions read_options{options_.max_request_bytes,
+                                             options_.request_timeout_ms};
+  while (HandleMutation(sink, line)) {
+    bool clean_eof = false;
+    const Status status = net::ReadRequestLine(fd, read_options, &stop_,
+                                               carry, &line, &clean_eof);
+    if (!status.ok()) {
+      // A clean close (or an idle timeout with no partial line pending)
+      // simply ends the batch; a half-delivered line is a real error.
+      if (!clean_eof && !line.empty()) {
+        rejected_count_.fetch_add(1, std::memory_order_relaxed);
+        sink->SendLine(net::FormatErrLine(status));
+        sink->Flush(options_.sink.drain_grace_ms);
+      }
+      return;
+    }
+    if (!net::IsMutationRequestLine(line)) {
+      rejected_count_.fetch_add(1, std::memory_order_relaxed);
+      sink->SendLine(net::FormatErrLine(Status::InvalidArgument(
+          "only mutation requests may follow a mutation on one "
+          "connection")));
+      sink->Flush(options_.sink.drain_grace_ms);
+      return;
+    }
+  }
 }
 
 void NetServer::HandleConnection(Connection* connection) {
@@ -314,12 +299,16 @@ void NetServer::HandleConnection(Connection* connection) {
     connection->sink_died = true;
   });
 
+  const net::RequestReadOptions read_options{options_.max_request_bytes,
+                                             options_.request_timeout_ms};
+  std::string carry;
   std::string line;
-  Status status = ReadRequestLine(fd, &line);
+  Status status =
+      net::ReadRequestLine(fd, read_options, &stop_, &carry, &line);
   if (status.ok() && net::IsStatsRequestLine(line)) {
     HandleStats(&sink);
   } else if (status.ok() && net::IsMutationRequestLine(line)) {
-    HandleMutation(&sink, line);
+    HandleMutations(fd, &sink, std::move(line), &carry);
   } else {
     HandleQuery(connection, &sink, status, line);
   }

@@ -1,11 +1,14 @@
 // rcj::NetServer — the TCP front door of the ringjoin stack.
 //
-// Layered on rcj::ShardRouter: one accepted connection carries one request
-// line. A QUERY line becomes one routed Submit() ticket on the target
-// environment's shard and streams its result pairs back through a
-// SocketSink in the exact serial order the engine delivers them; an
-// INSERT/DELETE/COMPACT line is a routed mutation of a live environment,
-// answered with an OK + MUT acknowledgement; a STATS line is answered
+// Layered on rcj::ShardRouter: one accepted connection carries one
+// request conversation. A QUERY line becomes one routed Submit() ticket
+// on the target environment's shard and streams its result pairs back
+// through a SocketSink in the exact serial order the engine delivers
+// them; an INSERT/DELETE/COMPACT line is a routed mutation of a live
+// environment, answered with an OK + MUT acknowledgement — and further
+// mutation lines may follow on the same connection (a batch: one
+// connection, many ops, one ack each) until the client closes or errs;
+// a STATS line is answered
 // immediately with the router's per-shard and per-environment ledgers
 // (protocol.h defines all the grammars). Admission control surfaces on the
 // wire: a submission the router sheds (bounded shard queue or global
@@ -58,7 +61,8 @@ struct NetServerOptions {
   size_t max_connections = 256;
   /// Hard cap on the request line; longer requests are rejected.
   size_t max_request_bytes = 4096;
-  /// How long a connection may take to deliver its request line.
+  /// How long a connection may take to deliver a request line (applied
+  /// per line: each mutation of a batch gets a fresh allowance).
   int request_timeout_ms = 10000;
   /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Shrinking
   /// it (tests do) makes the sink's bounded-queue backpressure bite after
@@ -131,16 +135,20 @@ class NetServer {
   /// Answers a STATS request on `sink` with the router's per-shard and
   /// per-environment ledgers.
   void HandleStats(SocketSink* sink);
+  /// Serves a batch of mutation lines, the first already read into
+  /// `line`: each is applied through the router and acknowledged with
+  /// OK + MUT, then the next line is read off the same connection until
+  /// the client closes (clean end) or a line fails (ERR, conversation
+  /// over). Mutations are synchronous — no ticket, no admission slot;
+  /// the router serializes them against the target environment's locks.
+  void HandleMutations(int fd, SocketSink* sink, std::string line,
+                       std::string* carry);
   /// Applies one INSERT/DELETE/COMPACT line through the router and
-  /// acknowledges with OK + MUT (or a single ERR). Mutations are
-  /// synchronous — no ticket, no admission slot; the router serializes
-  /// them against the target environment's own locks.
-  void HandleMutation(SocketSink* sink, const std::string& line);
+  /// acknowledges with OK + MUT; false when the line failed and an ERR
+  /// was sent instead (which ends the conversation).
+  bool HandleMutation(SocketSink* sink, const std::string& line);
   /// Joins and erases the connections whose handlers have finished.
   void ReapFinishedConnections();
-  /// Reads the request line (up to max_request_bytes within
-  /// request_timeout_ms).
-  Status ReadRequestLine(int fd, std::string* line);
 
   ShardRouter* router_;
   NetServerOptions options_;

@@ -1,0 +1,46 @@
+// Server-side request-line framing, shared by NetServer and FleetProxy.
+//
+// Reads one LF-terminated request line off a connected socket under a
+// wall-clock deadline and a length cap. Bytes received past the newline
+// are preserved in a caller-owned carry buffer and consumed by the next
+// call — the mechanism that lets one connection carry a *batch* of
+// mutation requests (PR 7's open follow-up) instead of the historical
+// one-request-per-connection rule, without ever re-reading the socket
+// for data that already arrived.
+#ifndef RINGJOIN_NET_REQUEST_READER_H_
+#define RINGJOIN_NET_REQUEST_READER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace rcj {
+namespace net {
+
+struct RequestReadOptions {
+  /// Hard cap on the request line; longer requests are rejected.
+  size_t max_request_bytes = 4096;
+  /// How long the peer may take to deliver the full line.
+  int request_timeout_ms = 10000;
+};
+
+/// Reads the next request line from `fd` into `*line` (LF consumed, no
+/// trailing CR stripping — the strict parsers reject CRs like any other
+/// unexpected byte, matching the historical server behavior). `*carry`
+/// holds surplus bytes between calls and must persist per connection.
+///
+/// On a clean EOF — the peer closed with no partial line pending —
+/// `*clean_eof` (when non-null) is set and InvalidArgument is returned;
+/// batch loops use the flag to end without treating the close as an
+/// error. `stop` (when non-null) aborts the wait when set, so server
+/// shutdown unblocks handler threads promptly.
+Status ReadRequestLine(int fd, const RequestReadOptions& options,
+                       const std::atomic<bool>* stop, std::string* carry,
+                       std::string* line, bool* clean_eof = nullptr);
+
+}  // namespace net
+}  // namespace rcj
+
+#endif  // RINGJOIN_NET_REQUEST_READER_H_

@@ -2,30 +2,9 @@
 
 #include <utility>
 
+#include "common/stable_hash.h"
+
 namespace rcj {
-namespace {
-
-/// FNV-1a 64-bit with a murmur3 finalizer: stable across platforms and
-/// runs (std::hash is not guaranteed to be), so environment placement is
-/// reproducible everywhere — the same property the protocol's %.17g
-/// coordinates buy the wire. The finalizer matters: raw FNV-1a's low bit
-/// is just the parity of the name's odd characters, which would pile
-/// almost every English name onto shard 0 of a two-shard router.
-uint64_t StableHash(const std::string& name) {
-  uint64_t hash = 1469598103934665603ull;
-  for (const char c : name) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ull;
-  }
-  hash ^= hash >> 33;
-  hash *= 0xff51afd7ed558ccdull;
-  hash ^= hash >> 33;
-  hash *= 0xc4ceb9fe1a85ec53ull;
-  hash ^= hash >> 33;
-  return hash;
-}
-
-}  // namespace
 
 ShardRouter::ShardRouter(ShardRouterOptions options)
     : options_(std::move(options)),

@@ -745,5 +745,125 @@ TEST(NetServerTest, LiveMutationsApplyOverTheWire) {
   ASSERT_TRUE(router.ReleaseEnvironment("default").ok());
 }
 
+/// Reads `count` OK+MUT acknowledgement pairs from `fd`, or stops at the
+/// first ERR/EOF. Returns the parsed acks.
+std::vector<net::WireMutationAck> ReadMutationAcks(int fd, size_t count) {
+  std::vector<net::WireMutationAck> acks;
+  std::string buffer;
+  char chunk[4096];
+  bool saw_ok = false;
+  while (acks.size() < count) {
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos &&
+           acks.size() < count) {
+      const std::string frame = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!saw_ok) {
+        if (frame != "OK") return acks;  // ERR or junk: stop here
+        saw_ok = true;
+        continue;
+      }
+      net::WireMutationAck ack;
+      if (!net::ParseMutationAckLine(frame, &ack).ok()) return acks;
+      acks.push_back(ack);
+      saw_ok = false;
+    }
+    if (acks.size() == count) break;
+    const ssize_t got = recv(fd, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(got));
+  }
+  return acks;
+}
+
+TEST(NetServerTest, BatchedMutationsShareOneConnection) {
+  // The batched-wire-mutations contract: a client may keep sending
+  // mutation lines on the connection after each OK + MUT, and the whole
+  // batch counts as one connection. The batch here is pipelined — all
+  // four lines in one write — so the reader's carry buffer (bytes past
+  // the first newline) is what feeds ops 2..4.
+  const std::vector<PointRecord> qset = GenerateUniform(300, 911);
+  const std::vector<PointRecord> pset = GenerateUniform(400, 912);
+  Result<std::unique_ptr<LiveEnvironment>> live =
+      LiveEnvironment::Create(qset, pset, LiveOptions{});
+  ASSERT_TRUE(live.ok());
+  ShardRouter router;
+  ASSERT_TRUE(
+      router.RegisterLiveEnvironment("default", live.value().get()).ok());
+  NetServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = ConnectLoopback(server.port());
+  SendAll(fd,
+          "INSERT side=q id=800000 x=0.2 y=0.2\n"
+          "INSERT side=p id=800001 x=0.2001 y=0.2001\n"
+          "DELETE side=p id=800001\n"
+          "COMPACT\n");
+  const std::vector<net::WireMutationAck> acks = ReadMutationAcks(fd, 4);
+  ASSERT_EQ(acks.size(), 4u);
+  EXPECT_EQ(acks[0].op, net::WireMutationOp::kInsert);
+  EXPECT_EQ(acks[0].epoch, 1u);
+  EXPECT_EQ(acks[1].epoch, 2u);
+  EXPECT_EQ(acks[2].op, net::WireMutationOp::kDelete);
+  EXPECT_EQ(acks[2].epoch, 3u);
+  EXPECT_EQ(acks[3].op, net::WireMutationOp::kCompact);
+  EXPECT_EQ(acks[3].compactions, 1u);
+
+  // A clean shutdown of the sending side ends the batch without an ERR:
+  // the server must read EOF, not a timeout, and close quietly.
+  shutdown(fd, SHUT_WR);
+  char trailing;
+  EXPECT_EQ(recv(fd, &trailing, 1, 0), 0) << "no frame may follow the acks";
+  close(fd);
+
+  server.Stop();
+  const NetServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.connections, 1u)
+      << "the whole batch must ride one connection";
+  EXPECT_EQ(counters.mutations, 4u);
+  EXPECT_EQ(counters.rejected, 0u);
+  ASSERT_TRUE(router.ReleaseEnvironment("default").ok());
+}
+
+TEST(NetServerTest, NonMutationAfterMutationIsRejected) {
+  // The conversation upgrade is one-way: once a connection carried a
+  // mutation, a QUERY/STATS on it is a protocol error — the server must
+  // answer ERR and close, and the earlier ops must have applied.
+  const std::vector<PointRecord> qset = GenerateUniform(200, 921);
+  const std::vector<PointRecord> pset = GenerateUniform(300, 922);
+  Result<std::unique_ptr<LiveEnvironment>> live =
+      LiveEnvironment::Create(qset, pset, LiveOptions{});
+  ASSERT_TRUE(live.ok());
+  ShardRouter router;
+  ASSERT_TRUE(
+      router.RegisterLiveEnvironment("default", live.value().get()).ok());
+  NetServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = ConnectLoopback(server.port());
+  SendAll(fd, "INSERT side=q id=810000 x=0.3 y=0.3\n");
+  ASSERT_EQ(ReadMutationAcks(fd, 1).size(), 1u);
+  SendAll(fd, "QUERY algo=obj\n");
+  const Response response = ReadResponse(fd);
+  close(fd);
+  ASSERT_TRUE(response.saw_err);
+  EXPECT_EQ(response.error.code(), StatusCode::kInvalidArgument);
+
+  // The rejection ended only that conversation; the insert stuck and the
+  // server keeps serving.
+  const StatsResponse stats = RunStatsProbe(server.port());
+  ASSERT_TRUE(stats.ok);
+  const net::WireEnvStats* row = stats.Env("default");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->delta, 1u);
+
+  server.Stop();
+  const NetServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.mutations, 1u);
+  EXPECT_EQ(counters.rejected, 1u);
+  ASSERT_TRUE(router.ReleaseEnvironment("default").ok());
+}
+
 }  // namespace
 }  // namespace rcj

@@ -1,0 +1,126 @@
+// Unit tests for the fleet tier's retry schedule: the un-jittered
+// exponential curve must double and cap exactly, the jittered draw must
+// stay inside its documented window, and the whole schedule must be a
+// pure function of the policy seed — tests elsewhere pin exact delays
+// through an injected sleep recorder, which only works if the stream is
+// deterministic and platform-stable.
+#include "fleet/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace rcj {
+namespace fleet {
+namespace {
+
+TEST(RetryTest, BackoffBaseDoublesUntilTheCap) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10;
+  policy.max_backoff_ms = 500;
+  EXPECT_EQ(BackoffBaseMs(policy, 0), 10u);
+  EXPECT_EQ(BackoffBaseMs(policy, 1), 20u);
+  EXPECT_EQ(BackoffBaseMs(policy, 2), 40u);
+  EXPECT_EQ(BackoffBaseMs(policy, 3), 80u);
+  EXPECT_EQ(BackoffBaseMs(policy, 4), 160u);
+  EXPECT_EQ(BackoffBaseMs(policy, 5), 320u);
+  EXPECT_EQ(BackoffBaseMs(policy, 6), 500u) << "640 must clamp to the cap";
+  EXPECT_EQ(BackoffBaseMs(policy, 7), 500u);
+  EXPECT_EQ(BackoffBaseMs(policy, 63), 500u);
+}
+
+TEST(RetryTest, BackoffBaseSurvivesExtremePolicies) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 0;
+  policy.max_backoff_ms = 500;
+  // A zero base never grows: doubling zero is zero, not a hang.
+  EXPECT_EQ(BackoffBaseMs(policy, 0), 0u);
+  EXPECT_EQ(BackoffBaseMs(policy, 10), 0u);
+
+  // A cycle count far past 64 must not overflow the shift into nonsense.
+  policy.base_backoff_ms = 3;
+  policy.max_backoff_ms = UINT64_MAX;
+  EXPECT_EQ(BackoffBaseMs(policy, 200), BackoffBaseMs(policy, 199));
+
+  // base above the cap clamps immediately.
+  policy.base_backoff_ms = 1000;
+  policy.max_backoff_ms = 500;
+  EXPECT_EQ(BackoffBaseMs(policy, 0), 500u);
+}
+
+TEST(RetryTest, ZeroJitterReproducesTheBaseCurveExactly) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10;
+  policy.max_backoff_ms = 500;
+  policy.jitter_fraction = 0.0;
+  RetrySchedule schedule(policy);
+  const uint64_t expected[] = {10, 20, 40, 80, 160, 320, 500, 500};
+  for (size_t i = 0; i < sizeof(expected) / sizeof(expected[0]); ++i) {
+    EXPECT_EQ(schedule.NextDelayMs(), expected[i]) << "cycle " << i;
+  }
+  EXPECT_EQ(schedule.cycles(), 8u);
+}
+
+TEST(RetryTest, JitteredDelaysStayInsideTheDocumentedWindow) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 100;
+  policy.max_backoff_ms = 10000;
+  policy.jitter_fraction = 0.5;
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    policy.seed = seed;
+    RetrySchedule schedule(policy);
+    for (size_t cycle = 0; cycle < 8; ++cycle) {
+      const uint64_t base = BackoffBaseMs(policy, cycle);
+      const uint64_t delay = schedule.NextDelayMs();
+      EXPECT_LE(delay, base) << "seed " << seed << " cycle " << cycle;
+      EXPECT_GE(delay, base - base / 2)
+          << "seed " << seed << " cycle " << cycle;
+    }
+  }
+}
+
+TEST(RetryTest, SameSeedSameSchedule) {
+  RetryPolicy policy;
+  policy.jitter_fraction = 0.5;
+  policy.seed = 0x1234u;
+  RetrySchedule a(policy);
+  RetrySchedule b(policy);
+  std::vector<uint64_t> delays_a;
+  std::vector<uint64_t> delays_b;
+  for (size_t i = 0; i < 16; ++i) {
+    delays_a.push_back(a.NextDelayMs());
+    delays_b.push_back(b.NextDelayMs());
+  }
+  EXPECT_EQ(delays_a, delays_b);
+
+  // A different seed must actually move at least one delay, or the
+  // de-correlation the proxy buys with per-request seeds is imaginary.
+  policy.seed = 0x5678u;
+  RetrySchedule c(policy);
+  bool diverged = false;
+  for (size_t i = 0; i < 16; ++i) {
+    if (c.NextDelayMs() != delays_a[i]) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RetryTest, JitterFractionIsClampedNotTrusted) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 100;
+  policy.max_backoff_ms = 100;
+  policy.jitter_fraction = 7.5;  // clamped to 1: window is all of base
+  RetrySchedule wild(policy);
+  for (size_t i = 0; i < 32; ++i) {
+    EXPECT_LE(wild.NextDelayMs(), 100u);
+  }
+  policy.jitter_fraction = -2.0;  // clamped to 0: no jitter at all
+  RetrySchedule frozen(policy);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(frozen.NextDelayMs(), 100u);
+  }
+}
+
+}  // namespace
+}  // namespace fleet
+}  // namespace rcj

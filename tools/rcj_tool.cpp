@@ -34,10 +34,13 @@
 
 #include "core/rcj.h"
 #include "engine/engine.h"
+#include "fleet/fleet_proxy.h"
+#include "fleet/fleet_supervisor.h"
 #include "live/live_environment.h"
 #include "net/line_reader.h"
 #include "net/net_server.h"
 #include "net/protocol.h"
+#include "net/protocol_client.h"
 #include "service/service.h"
 #include "shard/shard_router.h"
 #include "workload/dataset.h"
@@ -97,8 +100,24 @@ int Usage() {
       "                         environment STATS tables)\n"
       "  rcj_tool client [--host H] --port P [--env NAME] --mutations FILE\n"
       "                        (send the file's INSERT/DELETE/COMPACT lines\n"
-      "                         to the server, one request each; --env\n"
-      "                         names the target of env-less lines)\n"
+      "                         to the server as one batched connection;\n"
+      "                         --env names the target of env-less lines)\n"
+      "  rcj_tool proxy --backends H:P,H:P,... [--port P] [--replicas R]\n"
+      "           [--retry-attempts N] [--retry-base-ms MS]\n"
+      "           [--retry-max-ms MS]\n"
+      "                        (fleet router tier: speaks the same line\n"
+      "                         protocol in front of running serve\n"
+      "                         backends — consistent-hash env placement,\n"
+      "                         replica fan-out, retry/failover with\n"
+      "                         jittered backoff, fleet-wide STATS)\n"
+      "  rcj_tool fleet --q Q.csv [--p P.csv | --self] [--backends N]\n"
+      "           [--port P] [--replicas R] [--log-dir DIR] [--no-respawn]\n"
+      "           [--retry-attempts N] [--retry-base-ms MS]\n"
+      "           [--retry-max-ms MS] [serve flags]\n"
+      "                        (spawn and supervise N local serve backends\n"
+      "                         on ephemeral ports behind one proxy; dead\n"
+      "                         backends are respawned; remaining flags\n"
+      "                         pass through to every backend's serve)\n"
       "  storage knobs (join/batch/serve — where the R-tree pages live):\n"
       "           [--storage mem|file|mmap]  (default mem; file = pread,\n"
       "                         mmap = memory-mapped reads)\n"
@@ -1068,6 +1087,12 @@ int CmdClientMutations(const std::string& host, size_t port,
     std::fprintf(stderr, "client: cannot open %s\n", path.c_str());
     return 1;
   }
+  // One connection carries the whole batch: the server acknowledges each
+  // op with OK + MUT and keeps the conversation open for the next line,
+  // so a mutation file costs one dial instead of one per op.
+  const int fd = ConnectClient(host, port);
+  if (fd < 0) return -fd;
+  net::ProtocolClient client(fd);
   std::string line;
   int lineno = 0;
   uint64_t applied = 0;
@@ -1087,35 +1112,12 @@ int CmdClientMutations(const std::string& host, size_t port,
     if (mutation.env_name == defaults.env_name) {
       mutation.env_name = env_name;
     }
-    const int fd = ConnectClient(host, port);
-    if (fd < 0) return -fd;
-    if (!net::SendAll(fd, net::FormatMutationLine(mutation) + "\n")) {
-      std::fprintf(stderr, "client: send: %s\n", std::strerror(errno));
-      close(fd);
+    status = client.Mutate(mutation, &last_ack);
+    if (!status.ok()) {
+      std::fprintf(stderr, "client: %s:%d: %s\n", path.c_str(), lineno,
+                   status.ToString().c_str());
       return 1;
     }
-    net::LineReader reader(fd);
-    std::string response;
-    int exit_code = 0;
-    if (!reader.ReadLine(&response)) {
-      std::fprintf(stderr,
-                   "client: %s:%d: connection closed before a response\n",
-                   path.c_str(), lineno);
-      exit_code = 1;
-    } else if (response != "OK") {
-      Status err = Status::IoError("malformed response '" + response + "'");
-      net::ParseErrLine(response, &err);
-      std::fprintf(stderr, "client: %s:%d: %s\n", path.c_str(), lineno,
-                   err.ToString().c_str());
-      exit_code = 1;
-    } else if (!reader.ReadLine(&response) ||
-               !net::ParseMutationAckLine(response, &last_ack).ok()) {
-      std::fprintf(stderr, "client: %s:%d: malformed MUT line '%s'\n",
-                   path.c_str(), lineno, response.c_str());
-      exit_code = 1;
-    }
-    close(fd);
-    if (exit_code != 0) return exit_code;
     ++applied;
   }
   std::printf("applied %llu mutations | env %s | epoch %llu | generation "
@@ -1429,6 +1431,206 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Shared flag parsing of the fleet router tier (`proxy` and `fleet`).
+/// False (with *exit_code set) on a malformed flag.
+bool ParseProxyFlags(const char* cmd,
+                     const std::map<std::string, std::string>& flags,
+                     fleet::FleetProxyOptions* options, int* exit_code) {
+  *exit_code = 2;
+  size_t value = 0;
+  if (!ParseCount(FlagOr(flags, "port", "0"), 65535, &value)) {
+    std::fprintf(stderr, "%s: invalid --port '%s'\n", cmd,
+                 FlagOr(flags, "port", "0").c_str());
+    return false;
+  }
+  options->port = static_cast<uint16_t>(value);
+  if (!ParseCount(FlagOr(flags, "replicas", "1"), 64, &value) ||
+      value == 0) {
+    std::fprintf(stderr, "%s: invalid --replicas '%s' (want 1..64)\n", cmd,
+                 FlagOr(flags, "replicas", "1").c_str());
+    return false;
+  }
+  options->replicas = value;
+  if (!ParseCount(FlagOr(flags, "retry-attempts", "6"), 64, &value) ||
+      value == 0) {
+    std::fprintf(stderr, "%s: invalid --retry-attempts '%s' (want 1..64)\n",
+                 cmd, FlagOr(flags, "retry-attempts", "6").c_str());
+    return false;
+  }
+  options->retry.max_attempts = value;
+  if (!ParseCount(FlagOr(flags, "retry-base-ms", "10"), 60000, &value)) {
+    std::fprintf(stderr, "%s: invalid --retry-base-ms '%s'\n", cmd,
+                 FlagOr(flags, "retry-base-ms", "10").c_str());
+    return false;
+  }
+  options->retry.base_backoff_ms = value;
+  if (!ParseCount(FlagOr(flags, "retry-max-ms", "500"), 600000, &value)) {
+    std::fprintf(stderr, "%s: invalid --retry-max-ms '%s'\n", cmd,
+                 FlagOr(flags, "retry-max-ms", "500").c_str());
+    return false;
+  }
+  options->retry.max_backoff_ms = value;
+  *exit_code = 0;
+  return true;
+}
+
+/// Prints the proxy's shutdown counter line (shared by proxy and fleet).
+void PrintProxyCounters(const fleet::FleetProxy& proxy) {
+  const fleet::FleetProxy::Counters counters = proxy.counters();
+  const fleet::BackendPool::Counters pool = proxy.pool().counters();
+  std::printf(
+      "shut down: %llu connections | %llu queries | %llu ok | "
+      "%llu rejected | %llu shed | %llu failed | %llu cancelled | "
+      "%llu retries | %llu failovers | %llu backoffs | %llu stats | "
+      "%llu mutations | %llu dials | %llu pooled\n",
+      static_cast<unsigned long long>(counters.connections),
+      static_cast<unsigned long long>(counters.queries),
+      static_cast<unsigned long long>(counters.ok),
+      static_cast<unsigned long long>(counters.rejected),
+      static_cast<unsigned long long>(counters.shed),
+      static_cast<unsigned long long>(counters.failed),
+      static_cast<unsigned long long>(counters.cancelled),
+      static_cast<unsigned long long>(counters.retries),
+      static_cast<unsigned long long>(counters.failovers),
+      static_cast<unsigned long long>(counters.backoffs),
+      static_cast<unsigned long long>(counters.stats),
+      static_cast<unsigned long long>(counters.mutations),
+      static_cast<unsigned long long>(pool.dials),
+      static_cast<unsigned long long>(pool.reuses));
+}
+
+// `rcj_tool proxy`: the fleet router tier in front of already-running
+// backends. Serves the same line protocol until SIGINT/SIGTERM.
+int CmdProxy(const std::map<std::string, std::string>& flags) {
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  const std::string backends_flag = FlagOr(flags, "backends", "");
+  if (backends_flag.empty()) {
+    std::fprintf(stderr, "proxy: --backends host:port,... is required\n");
+    return 2;
+  }
+  std::vector<fleet::BackendAddress> backends;
+  Status status = fleet::ParseBackendList(backends_flag, &backends);
+  if (!status.ok()) {
+    std::fprintf(stderr, "proxy: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  fleet::FleetProxyOptions options;
+  int exit_code = 0;
+  if (!ParseProxyFlags("proxy", flags, &options, &exit_code)) {
+    return exit_code;
+  }
+  fleet::FleetProxy proxy(std::move(backends), options);
+  status = proxy.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "proxy: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("proxy listening on %s:%u (%zu backends, %zu replicas)\n",
+              options.bind_address.c_str(),
+              static_cast<unsigned>(proxy.port()), proxy.backend_count(),
+              options.replicas);
+  std::fflush(stdout);
+  while (g_serve_stop == 0) {
+    poll(nullptr, 0, 100);
+  }
+  proxy.Stop();
+  PrintProxyCounters(proxy);
+  return 0;
+}
+
+// `rcj_tool fleet`: the dev/CI topology — spawn N local serve backends
+// on ephemeral ports, supervise them (respawning the dead), and front
+// them with the proxy. Every flag not consumed here passes through to
+// each backend's `serve` command line.
+int CmdFleet(int argc, char** argv) {
+  const auto flags = ParseFlags(argc, argv, 2);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  size_t backends = 0;
+  if (!ParseCount(FlagOr(flags, "backends", "2"), 64, &backends) ||
+      backends == 0) {
+    std::fprintf(stderr, "fleet: invalid --backends '%s' (want 1..64)\n",
+                 FlagOr(flags, "backends", "2").c_str());
+    return 2;
+  }
+  fleet::FleetProxyOptions options;
+  int exit_code = 0;
+  if (!ParseProxyFlags("fleet", flags, &options, &exit_code)) {
+    return exit_code;
+  }
+
+  // Everything but the fleet-level flags passes through to the backends'
+  // serve command lines verbatim (the supervisor appends --port 0).
+  fleet::FleetSupervisorOptions supervisor_options;
+  supervisor_options.argv0 = "/proc/self/exe";
+  supervisor_options.backends = backends;
+  supervisor_options.log_dir = FlagOr(flags, "log-dir", "fleet-logs");
+  supervisor_options.respawn = flags.count("no-respawn") == 0;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    const std::string key = argv[i] + 2;
+    const bool has_value =
+        i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0;
+    bool fleet_only = false;
+    for (const char* own :
+         {"backends", "port", "replicas", "log-dir", "no-respawn",
+          "retry-attempts", "retry-base-ms", "retry-max-ms"}) {
+      if (key == own) {
+        fleet_only = true;
+        break;
+      }
+    }
+    if (fleet_only) {
+      if (has_value) ++i;
+      continue;
+    }
+    supervisor_options.serve_args.push_back(argv[i]);
+    if (has_value) supervisor_options.serve_args.push_back(argv[++i]);
+  }
+
+  fleet::FleetSupervisor supervisor(supervisor_options);
+  Status status = supervisor.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "fleet: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  fleet::FleetProxy proxy(supervisor.addresses(), options);
+  status = proxy.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "fleet: %s\n", status.ToString().c_str());
+    supervisor.Stop();
+    return 1;
+  }
+  for (size_t i = 0; i < backends; ++i) {
+    std::printf("backend %zu pid %d at %s\n", i,
+                static_cast<int>(supervisor.pid(i)),
+                fleet::BackendAddressToString(supervisor.address(i))
+                    .c_str());
+  }
+  std::printf("fleet listening on %s:%u (%zu backends, %zu replicas, "
+              "logs in %s)\n",
+              options.bind_address.c_str(),
+              static_cast<unsigned>(proxy.port()), backends,
+              options.replicas, supervisor_options.log_dir.c_str());
+  std::fflush(stdout);
+
+  while (g_serve_stop == 0) {
+    poll(nullptr, 0, 200);
+    supervisor.Supervise([&proxy](size_t index,
+                                  const fleet::BackendAddress& address) {
+      proxy.SetBackendAddress(index, address);
+      std::printf("respawned backend %zu at %s\n", index,
+                  fleet::BackendAddressToString(address).c_str());
+      std::fflush(stdout);
+    });
+  }
+  proxy.Stop();
+  supervisor.Stop();
+  PrintProxyCounters(proxy);
+  return 0;
+}
+
 int CmdStats(const std::map<std::string, std::string>& flags) {
   const std::string q_path = FlagOr(flags, "q", "");
   const std::string p_path = FlagOr(flags, "p", "");
@@ -1485,5 +1687,7 @@ int main(int argc, char** argv) {
   if (command == "batch") return CmdBatch(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "client") return CmdClient(flags);
+  if (command == "proxy") return CmdProxy(flags);
+  if (command == "fleet") return CmdFleet(argc, argv);
   return Usage();
 }
