@@ -25,6 +25,7 @@
 #include "bench_util.h"
 #include "core/rcj_inj.h"
 #include "engine/engine.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -300,6 +301,65 @@ int main(int argc, char** argv) {
   reporter.AddMetric("batch", "speedup", loop_seconds / batch_seconds);
   reporter.AddMetric("batch", "worker_threads",
                      static_cast<double>(batch_engine.num_threads()));
+
+  // ---- Observability: exec-latency quantiles + instrumentation price. ---
+  // Every engine run above observed its per-query wall time into the
+  // process-wide rcj_engine_exec_seconds histogram; the p50/p99 rows give
+  // the JSON artifact a latency trajectory to track alongside throughput.
+  {
+    const obs::HistogramSnapshot exec = obs::MetricsRegistry::Default()
+                                            .histogram(
+                                                "rcj_engine_exec_seconds")
+                                            ->Snap();
+    const double p50_ms = exec.Quantile(0.50) * 1e3;
+    const double p99_ms = exec.Quantile(0.99) * 1e3;
+    std::printf("\nengine exec latency across this bench's %llu queries: "
+                "p50 %.3f ms | p99 %.3f ms\n",
+                static_cast<unsigned long long>(exec.count), p50_ms, p99_ms);
+    reporter.AddMetric("latency", "queries",
+                       static_cast<double>(exec.count));
+    reporter.AddMetric("latency", "p50_ms", p50_ms);
+    reporter.AddMetric("latency", "p99_ms", p99_ms);
+
+    // Price of the instrumentation itself: the identical query loop with
+    // the runtime metrics switch on vs off (the off path still pays one
+    // relaxed load per site; building with -DRINGJOIN_NO_METRICS removes
+    // even that). Target: under 3% — a relaxed striped fetch_add per
+    // counter bump should be invisible next to real join work.
+    EngineOptions overhead_options;
+    overhead_options.num_threads = 4;
+    Engine overhead_engine(overhead_options);
+    if (!overhead_engine.Run(spec).ok()) {  // warm views and buffers
+      std::fprintf(stderr, "overhead warmup failed\n");
+      return 1;
+    }
+    const size_t reps = scale.full ? 12 : 6;
+    double wall_on = 0.0;
+    double wall_off = 0.0;
+    for (const bool enabled : {true, false}) {
+      obs::SetMetricsEnabled(enabled);
+      const Clock::time_point start = Clock::now();
+      for (size_t r = 0; r < reps; ++r) {
+        const Result<RcjRunResult> run = overhead_engine.Run(spec);
+        if (!run.ok() ||
+            run.value().stats.results != serial.stats.results) {
+          obs::SetMetricsEnabled(true);
+          std::fprintf(stderr, "overhead run failed or mismatched\n");
+          return 1;
+        }
+      }
+      (enabled ? wall_on : wall_off) = SecondsSince(start);
+    }
+    obs::SetMetricsEnabled(true);
+    const double overhead_pct = 100.0 * (wall_on - wall_off) / wall_off;
+    std::printf("instrumentation overhead: metrics on %.3fs vs off %.3fs "
+                "over %zu runs = %+.2f%% (target < 3%%)%s\n",
+                wall_on, wall_off, reps, overhead_pct,
+                overhead_pct < 3.0 ? "" : "  ** over target **");
+    reporter.AddMetric("overhead", "metrics_on_seconds", wall_on);
+    reporter.AddMetric("overhead", "metrics_off_seconds", wall_off);
+    reporter.AddMetric("overhead", "overhead_pct", overhead_pct);
+  }
 
   reporter.Write();
   return 0;

@@ -20,6 +20,10 @@ namespace rcj {
 class RcjEnvironment;
 struct DeltaOverlay;
 
+namespace obs {
+class TraceContext;
+}  // namespace obs
+
 /// One query: which environment to join, which algorithm and knobs to use,
 /// and how much of the result stream the caller wants. Plain aggregate —
 /// fill the fields, then Validate() before (or let the execution layer
@@ -51,6 +55,13 @@ struct QuerySpec {
 
   /// Milliseconds charged per page fault by the paper's I/O cost model.
   double io_ms_per_fault = 10.0;
+
+  /// When non-null, every layer the query crosses records timed spans
+  /// into this trace (src/obs/trace.h). Non-owning; the context must
+  /// outlive the query's execution (submitters keep it until the ticket
+  /// resolves). Null — the default — costs the instrumented paths nothing
+  /// beyond a pointer check.
+  obs::TraceContext* trace = nullptr;
 
   /// Checks the spec describes an executable query: a bound environment,
   /// a known algorithm and search order, and a finite non-negative I/O

@@ -6,6 +6,8 @@
 #include <mutex>
 
 #include "core/rcj_inj.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/buffer_manager.h"
 #include "storage/cost_model.h"
 
@@ -208,17 +210,26 @@ void RunTaskChunks(const EngineQuery& query, const EngineOptions& options,
     if (view != nullptr) return Status::OK();
     const RcjEnvironment& env = *query.spec.env;
     const size_t pool_pages = WorkerPoolPages(env, options);
+    obs::TraceContext* trace = query.spec.trace;
+    const obs::TraceClock::time_point open_start =
+        trace != nullptr ? obs::TraceClock::now()
+                         : obs::TraceClock::time_point();
+    bool opened_fresh = true;  // the cache-off path always opens cold
     if (options.view_cache) {
       const size_t worker = ThreadPool::CurrentWorkerIndex();
       // Tasks only run on pool workers, so the index is always in range.
       Result<WorkerView*> acquired =
-          (*contexts)[worker]->Acquire(env, pool_pages, nullptr);
+          (*contexts)[worker]->Acquire(env, pool_pages, &opened_fresh);
       if (!acquired.ok()) return acquired.status();
       view = acquired.value();
     } else {
       RINGJOIN_RETURN_IF_ERROR(
           OpenWorkerView(env, pool_pages, &local_view));
       view = &local_view;
+    }
+    if (trace != nullptr) {
+      trace->Record(opened_fresh ? "view_open_cold" : "view_open_warm", 2,
+                    open_start, obs::TraceClock::now());
     }
     // Snapshot the pool counters so this task charges exactly its own
     // chunks — excluding the header pins of a fresh open (like the old
@@ -270,9 +281,17 @@ void RunTaskChunks(const EngineQuery& query, const EngineOptions& options,
         // merged stream stays identical across thread counts.
         const bool delta_tail = emit->leaves == nullptr ||
                                 chunk == emit->num_chunks - 1;
+        obs::TraceContext* trace = query.spec.trace;
+        const obs::TraceClock::time_point chunk_start =
+            trace != nullptr ? obs::TraceClock::now()
+                             : obs::TraceClock::time_point();
         status = ExecuteRcj(view->tq_ref(), view->tp_ref(), env.qset(),
                             env.pset(), env.self_join(), query.spec,
                             subset_ptr, delta_tail, &sink, &t->stats);
+        if (trace != nullptr) {
+          trace->Record("leaf_chunk", 2, chunk_start,
+                        obs::TraceClock::now());
+        }
       }
     } catch (const std::exception& e) {
       status =
@@ -293,6 +312,13 @@ void RunTaskChunks(const EngineQuery& query, const EngineOptions& options,
     t->cold_faults = now.cold_faults - base.cold_faults;
     t->warm_faults = t->page_faults - t->cold_faults;
     t->io_wall_seconds = now.io_wall_seconds - base.io_wall_seconds;
+    if (query.spec.trace != nullptr && t->page_faults > 0) {
+      // Device wait attributed to this task's chunks; count = faults. The
+      // sum across tasks can exceed the exec span's wall time — overlapped
+      // waits are the parallel speedup, not an accounting error.
+      query.spec.trace->RecordSeconds("io_wall", 2, t->io_wall_seconds,
+                                      t->page_faults);
+    }
   }
 }
 
@@ -489,10 +515,23 @@ std::vector<EngineQueryResult> Engine::RunBatch(
   // ---- Merge: delivery already happened in chunk order as tasks
   // completed; here we aggregate the worker pools' fault accounting,
   // charge the paper's I/O cost model, and settle per-query statuses. ----
+  static obs::Counter* queries_total =
+      obs::MetricsRegistry::Default().counter("rcj_engine_queries_total");
+  static obs::Counter* batches_total =
+      obs::MetricsRegistry::Default().counter("rcj_engine_batches_total");
+  static obs::Histogram* exec_seconds =
+      obs::MetricsRegistry::Default().histogram("rcj_engine_exec_seconds");
+  batches_total->Add();
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     if (!results[qi].status.ok()) continue;  // planning already failed
     EngineQueryResult& result = results[qi];
     double busy_seconds = 0.0;
+    Clock::time_point first_start = Clock::time_point::max();
+    Clock::time_point last_end = Clock::time_point::min();
+    for (const size_t ti : tasks_of_query[qi]) {
+      first_start = std::min(first_start, tasks[ti].start);
+      last_end = std::max(last_end, tasks[ti].end);
+    }
     for (const size_t ti : tasks_of_query[qi]) {
       const EngineTask& task = tasks[ti];
       if (!task.status.ok()) {
@@ -535,6 +574,17 @@ std::vector<EngineQueryResult> Engine::RunBatch(
     // tasks interleaving on the pool. Batch latency is the caller's wall
     // clock around RunBatch.
     result.run.stats.cpu_seconds = busy_seconds;
+    queries_total->Add();
+    if (last_end > first_start) {
+      // The query's wall window across its tasks (first start to last
+      // end): what a p50/p99 latency summary should see, not the summed
+      // busy time.
+      exec_seconds->Observe(
+          std::chrono::duration<double>(last_end - first_start).count());
+      if (queries[qi].spec.trace != nullptr) {
+        queries[qi].spec.trace->Record("exec", 1, first_start, last_end);
+      }
+    }
   }
   return results;
 }

@@ -2,7 +2,35 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace rcj {
+namespace {
+
+/// The registry mirrors of WorkerContextStats, shared by every context
+/// (the per-context split stays available via Engine::context_stats()).
+struct ViewCacheMetrics {
+  obs::Counter* opens;
+  obs::Counter* reuses;
+  obs::Counter* evictions;
+  obs::Counter* invalidations;
+
+  static const ViewCacheMetrics& Get() {
+    static const ViewCacheMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+      ViewCacheMetrics m;
+      m.opens = registry.counter("rcj_worker_view_opens_total");
+      m.reuses = registry.counter("rcj_worker_view_reuses_total");
+      m.evictions = registry.counter("rcj_worker_view_evictions_total");
+      m.invalidations =
+          registry.counter("rcj_worker_view_invalidations_total");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Status OpenWorkerView(const RcjEnvironment& env, size_t pool_pages,
                       WorkerView* view) {
@@ -36,18 +64,21 @@ Result<WorkerView*> WorkerContext::Acquire(const RcjEnvironment& env,
         it->pool_pages == pool_pages) {
       entries_.splice(entries_.begin(), entries_, it);
       ++stats_.reuses;
+      ViewCacheMetrics::Get().reuses->Add();
       if (opened_fresh != nullptr) *opened_fresh = false;
       return &entries_.front().view;
     }
     // Same address, different generation (rebuilt environment) or a
     // changed pool sizing: the entry is stale, never usable.
     ++stats_.invalidations;
+    ViewCacheMetrics::Get().invalidations->Add();
     entries_.erase(it);
     break;
   }
 
   while (entries_.size() >= max_entries_) {
     ++stats_.evictions;
+    ViewCacheMetrics::Get().evictions->Add();
     entries_.pop_back();
   }
 
@@ -58,6 +89,7 @@ Result<WorkerView*> WorkerContext::Acquire(const RcjEnvironment& env,
   RINGJOIN_RETURN_IF_ERROR(OpenWorkerView(env, pool_pages, &entry.view));
   entries_.push_front(std::move(entry));
   ++stats_.opens;
+  ViewCacheMetrics::Get().opens->Add();
   if (opened_fresh != nullptr) *opened_fresh = true;
   return &entries_.front().view;
 }
@@ -66,6 +98,7 @@ void WorkerContext::Invalidate(const RcjEnvironment* env) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (env == nullptr || it->env == env) {
       ++stats_.invalidations;
+      ViewCacheMetrics::Get().invalidations->Add();
       it = entries_.erase(it);
     } else {
       ++it;

@@ -16,6 +16,8 @@
 #include "net/line_reader.h"
 #include "net/protocol.h"
 #include "net/request_reader.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rcj {
 namespace fleet {
@@ -23,6 +25,67 @@ namespace {
 
 std::string Errno(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Registry mirrors of the proxy's outcome counters, plus the fleet-only
+/// signals: responses actually read from backends (the counter the CI
+/// smoke reconciles against the backends' admission ledgers), replayed
+/// pairs skipped on failover, and the backoff-delay histogram.
+struct ProxyMetrics {
+  obs::Counter* connections;
+  obs::Counter* queries;
+  obs::Counter* ok;
+  obs::Counter* rejected;
+  obs::Counter* shed;
+  obs::Counter* failed;
+  obs::Counter* cancelled;
+  obs::Counter* retries;
+  obs::Counter* failovers;
+  obs::Counter* backoffs;
+  obs::Counter* stats;
+  obs::Counter* mutations;
+  obs::Counter* metrics_scrapes;
+  obs::Counter* forwarded;
+  obs::Counter* replay_skipped_pairs;
+  obs::Counter* stats_backends_skipped;
+  obs::Histogram* backoff_seconds;
+
+  static const ProxyMetrics& Get() {
+    static const ProxyMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+      ProxyMetrics m;
+      m.connections = registry.counter("rcj_proxy_connections_total");
+      m.queries = registry.counter("rcj_proxy_queries_total");
+      m.ok = registry.counter("rcj_proxy_ok_total");
+      m.rejected = registry.counter("rcj_proxy_rejected_total");
+      m.shed = registry.counter("rcj_proxy_shed_total");
+      m.failed = registry.counter("rcj_proxy_failed_total");
+      m.cancelled = registry.counter("rcj_proxy_cancelled_total");
+      m.retries = registry.counter("rcj_proxy_retries_total");
+      m.failovers = registry.counter("rcj_proxy_failovers_total");
+      m.backoffs = registry.counter("rcj_proxy_backoffs_total");
+      m.stats = registry.counter("rcj_proxy_stats_total");
+      m.mutations = registry.counter("rcj_proxy_mutations_total");
+      m.metrics_scrapes = registry.counter("rcj_proxy_metrics_total");
+      m.forwarded = registry.counter("rcj_proxy_forwarded_total");
+      m.replay_skipped_pairs =
+          registry.counter("rcj_proxy_replay_skipped_pairs_total");
+      m.stats_backends_skipped =
+          registry.counter("rcj_proxy_stats_backends_skipped_total");
+      m.backoff_seconds = registry.histogram("rcj_proxy_backoff_seconds");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+/// Per-backend attempt counter (labeled metric name). Looked up per
+/// attempt — attempts are connection-rate, not pair-rate, so the registry
+/// mutex is fine here.
+obs::Counter* BackendAttemptCounter(size_t backend) {
+  return obs::MetricsRegistry::Default().counter(
+      "rcj_proxy_backend_attempts_total{backend=\"" +
+      std::to_string(backend) + "\"}");
 }
 
 /// Client-bound bytes are batched up to this size before hitting the
@@ -164,6 +227,7 @@ FleetProxy::Counters FleetProxy::counters() const {
   counters.mutations = mutations_count_.load(std::memory_order_relaxed);
   counters.stats_backends_skipped =
       stats_backends_skipped_count_.load(std::memory_order_relaxed);
+  counters.metrics = metrics_count_.load(std::memory_order_relaxed);
   return counters;
 }
 
@@ -208,6 +272,7 @@ void FleetProxy::AcceptLoop() {
     const int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     connections_count_.fetch_add(1, std::memory_order_relaxed);
+    ProxyMetrics::Get().connections->Add();
     auto connection = std::make_shared<Connection>();
     connection->client_fd = fd;
     std::lock_guard<std::mutex> lock(mu_);
@@ -240,6 +305,9 @@ bool FleetProxy::FlushToClient(Connection* connection, std::string* out) {
 
 void FleetProxy::Backoff(uint64_t ms) {
   backoffs_count_.fetch_add(1, std::memory_order_relaxed);
+  ProxyMetrics::Get().backoffs->Add();
+  ProxyMetrics::Get().backoff_seconds->Observe(
+      static_cast<double>(ms) / 1000.0);
   if (options_.sleep_fn) {
     options_.sleep_fn(ms);
     return;
@@ -260,10 +328,13 @@ void FleetProxy::HandleConnection(Connection* connection) {
       net::ReadRequestLine(fd, read_options, &stop_, &carry, &line);
   if (!status.ok()) {
     rejected_count_.fetch_add(1, std::memory_order_relaxed);
+    ProxyMetrics::Get().rejected->Add();
     std::string err = net::FormatErrLine(status) + "\n";
     FlushToClient(connection, &err);
   } else if (net::IsStatsRequestLine(line)) {
     HandleStats(connection);
+  } else if (net::IsMetricsRequestLine(line)) {
+    HandleMetrics(connection);
   } else if (net::IsMutationRequestLine(line)) {
     HandleMutations(connection, std::move(line), &carry);
   } else {
@@ -286,11 +357,26 @@ void FleetProxy::HandleQuery(Connection* connection,
   if (!parse.ok()) {
     // Reject malformed requests at the edge — no backend ever sees them.
     rejected_count_.fetch_add(1, std::memory_order_relaxed);
+    ProxyMetrics::Get().rejected->Add();
     out = net::FormatErrLine(parse) + "\n";
     FlushToClient(connection, &out);
     return;
   }
   queries_count_.fetch_add(1, std::memory_order_relaxed);
+  ProxyMetrics::Get().queries->Add();
+
+  // A traced query is stitched: the proxy mints (or adopts) the trace id
+  // and forwards it on the backend's QUERY line, so the backend's TRACE
+  // lines carry the same id and can be relayed verbatim; the proxy's own
+  // proxy.* spans join them under one combined ENDTRACE.
+  std::unique_ptr<obs::TraceContext> trace;
+  std::string forward_line = line;
+  if (request.trace) {
+    trace = std::make_unique<obs::TraceContext>(request.trace_id);
+    if (request.trace_id.empty()) {
+      forward_line += " trace_id=" + trace->id();
+    }
+  }
 
   const std::vector<size_t> replicas = ReplicaSet(request.env_name);
   RetryPolicy policy = options_.retry;
@@ -307,21 +393,63 @@ void FleetProxy::HandleQuery(Connection* connection,
   // the next replica and verifies-then-skips this prefix, so the client
   // stream carries no duplicated and no corrupted pairs.
   std::vector<uint64_t> forwarded;
+  uint64_t replay_skipped = 0;
   Status last_error = Status::IoError("no backend attempt was made");
+
+  // Feed the process-wide slow-query log on every exit path. The proxy's
+  // wall time includes dials, retries, and backoff — exactly what a slow
+  // fleet query looks like from the client's side.
+  struct SlowLogGuard {
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    const std::vector<uint64_t>* relayed = nullptr;
+    const obs::TraceContext* trace = nullptr;
+    std::string env;
+    ~SlowLogGuard() {
+      obs::SlowQueryLog* log = obs::MetricsRegistry::Default().slow_log();
+      if (!log->enabled()) return;
+      obs::SlowQueryEntry entry;
+      entry.wall_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      entry.pairs = relayed->size();
+      entry.env = env;
+      if (trace != nullptr) entry.trace_id = trace->id();
+      entry.detail = "proxy";
+      log->MaybeRecord(entry);
+    }
+  };
+  SlowLogGuard slow_guard;
+  slow_guard.relayed = &forwarded;
+  slow_guard.trace = trace.get();
+  slow_guard.env = request.env_name;
 
   for (size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
     if (stop_.load(std::memory_order_relaxed)) break;
     if (attempt > 0 && attempt % replicas.size() == 0) {
       // A whole replica cycle failed: back off before going around again.
+      const auto backoff_start = obs::TraceClock::now();
       Backoff(schedule.NextDelayMs());
+      if (trace != nullptr) {
+        trace->Record("proxy.backoff", 1, backoff_start,
+                      obs::TraceClock::now());
+      }
       if (stop_.load(std::memory_order_relaxed)) break;
     }
-    if (attempt > 0) retries_count_.fetch_add(1, std::memory_order_relaxed);
+    if (attempt > 0) {
+      retries_count_.fetch_add(1, std::memory_order_relaxed);
+      ProxyMetrics::Get().retries->Add();
+    }
     const size_t backend = replicas[attempt % replicas.size()];
     const std::string backend_name =
         BackendAddressToString(pool_.address(backend));
 
+    BackendAttemptCounter(backend)->Add();
+    const auto dial_start = obs::TraceClock::now();
     Result<net::ProtocolClient> dialed = pool_.Dial(backend);
+    if (trace != nullptr) {
+      trace->Record("proxy.dial", 1, dial_start, obs::TraceClock::now());
+    }
     if (!dialed.ok()) {
       last_error = dialed.status();
       continue;
@@ -331,12 +459,16 @@ void FleetProxy::HandleQuery(Connection* connection,
     const bool resuming = ok_sent;
 
     std::string resp;
-    if (!conn.SendLine(line) || !conn.ReadLine(&resp)) {
+    if (!conn.SendLine(forward_line) || !conn.ReadLine(&resp)) {
       SetBackendFd(connection, -1);
       last_error = Status::IoError("backend " + backend_name +
                                    " closed before a response");
       continue;
     }
+    // A response line was read: the backend processed the request (and,
+    // for well-formed queries, ran it through admission) — the counter
+    // the fleet smoke reconciles against backend ledgers.
+    ProxyMetrics::Get().forwarded->Add();
     if (resp != "OK") {
       SetBackendFd(connection, -1);
       Status transported = Status::Corruption(
@@ -350,6 +482,7 @@ void FleetProxy::HandleQuery(Connection* connection,
       // A definitive rejection (unknown env, bad spec the proxy's laxer
       // knowledge let through): relay verbatim, conversation over.
       rejected_count_.fetch_add(1, std::memory_order_relaxed);
+      ProxyMetrics::Get().rejected->Add();
       out.append(resp).push_back('\n');
       FlushToClient(connection, &out);
       return;
@@ -359,12 +492,14 @@ void FleetProxy::HandleQuery(Connection* connection,
       out.append("OK\n");
       if (!FlushToClient(connection, &out)) {
         cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+        ProxyMetrics::Get().cancelled->Add();
         SetBackendFd(connection, -1);
         return;
       }
     }
     if (resuming) {
       failovers_count_.fetch_add(1, std::memory_order_relaxed);
+      ProxyMetrics::Get().failovers->Add();
     }
 
     uint64_t seen = 0;  // pairs observed from THIS backend's stream
@@ -384,6 +519,7 @@ void FleetProxy::HandleQuery(Connection* connection,
             // The replica's deterministic stream does not match what was
             // already relayed — splicing would corrupt the client stream.
             failed_count_.fetch_add(1, std::memory_order_relaxed);
+            ProxyMetrics::Get().failed->Add();
             out = net::FormatErrLine(Status::Corruption(
                       "replica streams diverged at pair " +
                       std::to_string(seen))) +
@@ -393,6 +529,7 @@ void FleetProxy::HandleQuery(Connection* connection,
             return;
           }
           ++seen;  // verified: already relayed, skip
+          ++replay_skipped;
           continue;
         }
         forwarded.push_back(hash);
@@ -401,6 +538,7 @@ void FleetProxy::HandleQuery(Connection* connection,
         if (out.size() >= kFlushThresholdBytes &&
             !FlushToClient(connection, &out)) {
           cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+          ProxyMetrics::Get().cancelled->Add();
           SetBackendFd(connection, -1);
           return;
         }
@@ -410,6 +548,7 @@ void FleetProxy::HandleQuery(Connection* connection,
         // The replica finished short of the already-relayed prefix:
         // divergence again, not a relayable END.
         failed_count_.fetch_add(1, std::memory_order_relaxed);
+        ProxyMetrics::Get().failed->Add();
         out = net::FormatErrLine(Status::Corruption(
                   "replica stream ended at pair " + std::to_string(seen) +
                   " short of the " + std::to_string(forwarded.size()) +
@@ -420,15 +559,53 @@ void FleetProxy::HandleQuery(Connection* connection,
         return;
       }
       // END or a post-OK ERR epilogue: relay verbatim, conversation over.
+      const bool is_end = IsEndLine(resp);
       out.append(resp).push_back('\n');
+      if (is_end && replay_skipped > 0) {
+        ProxyMetrics::Get().replay_skipped_pairs->Add(replay_skipped);
+      }
+      if (is_end && trace != nullptr) {
+        if (replay_skipped > 0) {
+          trace->RecordSeconds("proxy.replay_skip", 1, 0.0, replay_skipped);
+        }
+        // Relay the backend's TRACE lines verbatim (same trace id, so the
+        // fleet trace stitches), swallow the backend's ENDTRACE, append the
+        // proxy's own spans, and emit one combined ENDTRACE.
+        uint64_t relayed_spans = 0;
+        std::string trace_line;
+        while (conn.ReadLine(&trace_line)) {
+          if (net::IsTraceEndLine(trace_line)) break;
+          if (!net::IsTraceLine(trace_line)) continue;  // defensive
+          out.append(trace_line).push_back('\n');
+          ++relayed_spans;
+        }
+        trace->Record("proxy", 0, trace->start_time(), obs::TraceClock::now());
+        const std::vector<obs::TraceSpan> spans = trace->Spans();
+        for (const obs::TraceSpan& span : spans) {
+          net::WireTraceSpan wire;
+          wire.id = trace->id();
+          wire.depth = static_cast<uint64_t>(span.depth);
+          wire.span = span.name;
+          wire.count = span.count;
+          wire.total_s = span.total_seconds;
+          wire.start_s = span.start_seconds;
+          out.append(net::FormatTraceLine(wire)).push_back('\n');
+        }
+        out.append(
+               net::FormatTraceEndLine(trace->id(), relayed_spans + spans.size()))
+            .push_back('\n');
+      }
       if (FlushToClient(connection, &out)) {
-        if (IsEndLine(resp)) {
+        if (is_end) {
           ok_count_.fetch_add(1, std::memory_order_relaxed);
+          ProxyMetrics::Get().ok->Add();
         } else {
           failed_count_.fetch_add(1, std::memory_order_relaxed);
+          ProxyMetrics::Get().failed->Add();
         }
       } else {
         cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+        ProxyMetrics::Get().cancelled->Add();
       }
       SetBackendFd(connection, -1);
       return;
@@ -441,8 +618,10 @@ void FleetProxy::HandleQuery(Connection* connection,
   // ERR frame is legal both before OK (rejection) and after (epilogue).
   if (last_error.code() == StatusCode::kOverloaded) {
     shed_count_.fetch_add(1, std::memory_order_relaxed);
+    ProxyMetrics::Get().shed->Add();
   } else {
     failed_count_.fetch_add(1, std::memory_order_relaxed);
+    ProxyMetrics::Get().failed->Add();
   }
   out.append(net::FormatErrLine(last_error)).push_back('\n');
   FlushToClient(connection, &out);
@@ -463,6 +642,7 @@ void FleetProxy::HandleStats(Connection* connection) {
     Result<net::ProtocolClient> dialed = pool_.Dial(index);
     if (!dialed.ok()) {
       stats_backends_skipped_count_.fetch_add(1, std::memory_order_relaxed);
+      ProxyMetrics::Get().stats_backends_skipped->Add();
       continue;
     }
     net::ProtocolClient conn = std::move(dialed).value();
@@ -473,6 +653,7 @@ void FleetProxy::HandleStats(Connection* connection) {
     SetBackendFd(connection, -1);
     if (!status.ok()) {
       stats_backends_skipped_count_.fetch_add(1, std::memory_order_relaxed);
+      ProxyMetrics::Get().stats_backends_skipped->Add();
       continue;
     }
     for (net::WireShardStats& shard : shards) {
@@ -487,10 +668,29 @@ void FleetProxy::HandleStats(Connection* connection) {
     total_envs += envs.size();
   }
   stats_count_.fetch_add(1, std::memory_order_relaxed);
+  ProxyMetrics::Get().stats->Add();
   std::string out = "OK\n";
   out += shard_rows;
   out += env_rows;
   out += net::FormatStatsEndLine(total_shards, total_envs) + "\n";
+  FlushToClient(connection, &out);
+}
+
+void FleetProxy::HandleMetrics(Connection* connection) {
+  metrics_count_.fetch_add(1, std::memory_order_relaxed);
+  ProxyMetrics::Get().metrics_scrapes->Add();
+  // The proxy's registry only — a fleet operator scrapes backends
+  // directly (their ports are in the supervisor's log). The exposition is
+  // newline-terminated per line, so the line count is the '\n' count.
+  const std::string exposition =
+      obs::MetricsRegistry::Default().RenderPrometheus();
+  uint64_t lines = 0;
+  for (const char c : exposition) {
+    if (c == '\n') ++lines;
+  }
+  std::string out = "OK\n";
+  out += exposition;
+  out += net::FormatMetricsEndLine(lines) + "\n";
   FlushToClient(connection, &out);
 }
 
@@ -502,6 +702,7 @@ bool FleetProxy::RelayMutation(
   Status parse = net::ParseMutationLine(line, &mutation);
   if (!parse.ok()) {
     rejected_count_.fetch_add(1, std::memory_order_relaxed);
+    ProxyMetrics::Get().rejected->Add();
     *reply = net::FormatErrLine(parse) + "\n";
     return false;
   }
@@ -553,10 +754,12 @@ bool FleetProxy::RelayMutation(
   }
   if (!failure.ok()) {
     failed_count_.fetch_add(1, std::memory_order_relaxed);
+    ProxyMetrics::Get().failed->Add();
     *reply = net::FormatErrLine(failure) + "\n";
     return false;
   }
   mutations_count_.fetch_add(1, std::memory_order_relaxed);
+  ProxyMetrics::Get().mutations->Add();
   *reply = "OK\n" + net::FormatMutationAckLine(primary_ack) + "\n";
   return true;
 }
@@ -578,6 +781,7 @@ void FleetProxy::HandleMutations(Connection* connection, std::string line,
     if (!status.ok()) {
       if (!clean_eof && !line.empty()) {
         rejected_count_.fetch_add(1, std::memory_order_relaxed);
+        ProxyMetrics::Get().rejected->Add();
         std::string err = net::FormatErrLine(status) + "\n";
         FlushToClient(connection, &err);
       }
@@ -585,6 +789,7 @@ void FleetProxy::HandleMutations(Connection* connection, std::string line,
     }
     if (!net::IsMutationRequestLine(line)) {
       rejected_count_.fetch_add(1, std::memory_order_relaxed);
+      ProxyMetrics::Get().rejected->Add();
       std::string err =
           net::FormatErrLine(Status::InvalidArgument(
               "only mutation requests may follow a mutation on one "

@@ -100,6 +100,7 @@ class FleetProxy {
     uint64_t stats = 0;            ///< STATS fan-outs answered.
     uint64_t mutations = 0;        ///< mutation ops acknowledged.
     uint64_t stats_backends_skipped = 0;  ///< unreachable during STATS.
+    uint64_t metrics = 0;          ///< METRICS scrapes answered (locally).
   };
 
   FleetProxy(std::vector<BackendAddress> backends,
@@ -150,6 +151,9 @@ class FleetProxy {
   void HandleConnection(Connection* connection);
   void HandleQuery(Connection* connection, const std::string& line);
   void HandleStats(Connection* connection);
+  /// Answers METRICS from this process's registry (the proxy's own
+  /// counters); backend registries are scraped by dialing the backends.
+  void HandleMetrics(Connection* connection);
   void HandleMutations(Connection* connection, std::string line,
                        std::string* carry);
   /// Relays one mutation line to every replica of its environment.
@@ -199,6 +203,7 @@ class FleetProxy {
   std::atomic<uint64_t> stats_count_{0};
   std::atomic<uint64_t> mutations_count_{0};
   std::atomic<uint64_t> stats_backends_skipped_count_{0};
+  std::atomic<uint64_t> metrics_count_{0};
 };
 
 }  // namespace fleet

@@ -11,11 +11,45 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
 
 namespace rcj {
 namespace fleet {
 namespace {
+
+/// Fleet-tier health metrics: death/respawn totals plus a per-backend
+/// up/down gauge (labelled by backend index) the smoke can watch flip.
+struct SupervisorMetrics {
+  obs::Counter* deaths;
+  obs::Counter* respawns;
+
+  static SupervisorMetrics& Get() {
+    static SupervisorMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+      SupervisorMetrics m;
+      m.deaths = registry.counter("rcj_fleet_backend_deaths_total");
+      m.respawns = registry.counter("rcj_fleet_backend_respawns_total");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+obs::Gauge* BackendUpGauge(size_t index) {
+  static std::mutex mu;
+  static std::vector<obs::Gauge*> gauges;
+  std::lock_guard<std::mutex> lock(mu);
+  while (gauges.size() <= index) {
+    gauges.push_back(obs::MetricsRegistry::Default().gauge(
+        "rcj_fleet_backend_up{backend=\"" + std::to_string(gauges.size()) +
+        "\"}"));
+  }
+  return gauges[index];
+}
 
 /// Scans `text` from `*offset` for a serve startup line
 /// ("listening on host:port (...)"), advancing `*offset` past consumed
@@ -122,6 +156,7 @@ Status FleetSupervisor::Spawn(size_t index) {
     }
     ReadFileTail(backend.log_path, &log);
     if (FindListeningLine(log, &backend.log_scanned, &backend.address)) {
+      BackendUpGauge(index)->Set(1);
       return Status::OK();
     }
     poll(nullptr, 0, 20);
@@ -161,10 +196,12 @@ void FleetSupervisor::Stop() {
   for (Backend& backend : backends_) {
     if (backend.pid > 0) kill(backend.pid, SIGTERM);
   }
-  for (Backend& backend : backends_) {
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    Backend& backend = backends_[i];
     if (backend.pid > 0) {
       waitpid(backend.pid, nullptr, 0);
       backend.pid = -1;
+      BackendUpGauge(i)->Set(0);
     }
   }
   started_ = false;
@@ -190,9 +227,12 @@ size_t FleetSupervisor::Supervise(
     }
     ++deaths;
     backend.pid = -1;
+    SupervisorMetrics::Get().deaths->Add();
+    BackendUpGauge(i)->Set(0);
     if (!options_.respawn) continue;
-    if (Spawn(i).ok() && on_respawn) {
-      on_respawn(i, backend.address);
+    if (Spawn(i).ok()) {
+      SupervisorMetrics::Get().respawns->Add();
+      if (on_respawn) on_respawn(i, backend.address);
     }
   }
   return deaths;

@@ -1,12 +1,42 @@
 #include "live/live_environment.h"
 
+#include <chrono>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "rtree/point_source.h"
 
 namespace rcj {
+namespace {
+
+/// Registry mirrors of the live tier: mutation rate, compaction duration
+/// (rebuild + swap + pin drain), and the pin-drain wait alone — the part
+/// of a compaction that in-flight queries stretch.
+struct LiveMetrics {
+  obs::Counter* mutations;
+  obs::Counter* compactions;
+  obs::Histogram* compaction_seconds;
+  obs::Histogram* pin_drain_seconds;
+
+  static const LiveMetrics& Get() {
+    static const LiveMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+      LiveMetrics m;
+      m.mutations = registry.counter("rcj_live_mutations_total");
+      m.compactions = registry.counter("rcj_live_compactions_total");
+      m.compaction_seconds =
+          registry.histogram("rcj_live_compaction_seconds");
+      m.pin_drain_seconds =
+          registry.histogram("rcj_live_pin_drain_seconds");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 namespace live_internal {
 
@@ -195,6 +225,7 @@ Status LiveEnvironment::Insert(LiveSide side, const PointRecord& rec) {
   EnsurePrivateOverlay();
   overlay_->mutable_delta(side).push_back(rec);
   overlay_->epoch = ++epoch_;
+  LiveMetrics::Get().mutations->Add();
   MaybeSignalCompactor();
   return Status::OK();
 }
@@ -221,6 +252,7 @@ Status LiveEnvironment::Delete(LiveSide side, PointId id) {
   if (!was_delta) overlay_->mutable_dead(side).insert(id);
   live.erase(it);
   overlay_->epoch = ++epoch_;
+  LiveMetrics::Get().mutations->Add();
   MaybeSignalCompactor();
   return Status::OK();
 }
@@ -244,6 +276,7 @@ Status LiveEnvironment::Compact() {
     old_base = base_;
     captured = overlay_;  // shared: later mutations copy-on-write
   }
+  const auto compact_start = std::chrono::steady_clock::now();
 
   // Compose and rebuild outside mu_ — mutations and queries proceed
   // against the old base meanwhile. base_q_/base_p_ are written only by
@@ -284,12 +317,22 @@ Status LiveEnvironment::Compact() {
   // New snapshots pin the new base from here on. Drain the readers still
   // inside the retired one, let the caches drop their views (the PR-5
   // generation contract), then destroy its trees.
+  const auto drain_start = std::chrono::steady_clock::now();
   {
     std::unique_lock<std::mutex> lock(old_base->mu);
     old_base->cv.wait(lock, [&] { return old_base->pins == 0; });
   }
+  LiveMetrics::Get().pin_drain_seconds->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    drain_start)
+          .count());
   if (hook_) hook_(retired);
   old_base->env.reset();
+  LiveMetrics::Get().compactions->Add();
+  LiveMetrics::Get().compaction_seconds->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    compact_start)
+          .count());
   return Status::OK();
 }
 

@@ -10,11 +10,14 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <utility>
 
 #include "core/runner.h"
 #include "net/protocol.h"
 #include "net/request_reader.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rcj {
 namespace {
@@ -22,6 +25,51 @@ namespace {
 std::string Errno(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
+
+/// Registry mirrors of the server's connection-outcome counters, plus the
+/// wire-volume counters only the sinks know (bytes to the kernel, pairs
+/// delivered, backpressure stalls) and the gauges the snapshot thread
+/// refreshes.
+struct ServerMetrics {
+  obs::Counter* connections;
+  obs::Counter* ok;
+  obs::Counter* rejected;
+  obs::Counter* shed;
+  obs::Counter* cancelled;
+  obs::Counter* failed;
+  obs::Counter* stats;
+  obs::Counter* mutations;
+  obs::Counter* metrics_scrapes;
+  obs::Counter* bytes_sent;
+  obs::Counter* pairs_sent;
+  obs::Counter* backpressure_stalls;
+  obs::Gauge* active_connections;
+  obs::Gauge* shards_queued;
+
+  static const ServerMetrics& Get() {
+    static const ServerMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+      ServerMetrics m;
+      m.connections = registry.counter("rcj_server_connections_total");
+      m.ok = registry.counter("rcj_server_ok_total");
+      m.rejected = registry.counter("rcj_server_rejected_total");
+      m.shed = registry.counter("rcj_server_shed_total");
+      m.cancelled = registry.counter("rcj_server_cancelled_total");
+      m.failed = registry.counter("rcj_server_failed_total");
+      m.stats = registry.counter("rcj_server_stats_total");
+      m.mutations = registry.counter("rcj_server_mutations_total");
+      m.metrics_scrapes = registry.counter("rcj_server_metrics_total");
+      m.bytes_sent = registry.counter("rcj_server_bytes_sent_total");
+      m.pairs_sent = registry.counter("rcj_server_pairs_total");
+      m.backpressure_stalls =
+          registry.counter("rcj_server_backpressure_stalls_total");
+      m.active_connections = registry.gauge("rcj_server_active_connections");
+      m.shards_queued = registry.gauge("rcj_server_shards_queued");
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -72,13 +120,49 @@ Status NetServer::Start() {
 
   stop_.store(false, std::memory_order_relaxed);
   started_ = true;
+  // The slow-query log is process-wide; only a non-negative threshold
+  // reconfigures it, so embedding several servers (tests, the fleet's
+  // in-process backends) composes without clobbering.
+  if (options_.slow_query_ms >= 0) {
+    obs::MetricsRegistry::Default().slow_log()->Configure(
+        options_.slow_query_ms / 1000.0);
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (options_.metrics_snapshot_ms > 0) {
+    snapshot_thread_ = std::thread([this] { SnapshotLoop(); });
+  }
   return Status::OK();
+}
+
+void NetServer::SnapshotLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    {
+      std::unique_lock<std::mutex> lock(snapshot_mu_);
+      snapshot_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.metrics_snapshot_ms),
+          [this] { return stop_.load(std::memory_order_relaxed); });
+    }
+    if (stop_.load(std::memory_order_relaxed)) return;
+    uint64_t queued = 0;
+    for (const ShardStatus& shard : router_->Stats()) {
+      queued += shard.queued;
+    }
+    ServerMetrics::Get().shards_queued->Set(static_cast<int64_t>(queued));
+    size_t active;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active = connections_.size();
+    }
+    ServerMetrics::Get().active_connections->Set(
+        static_cast<int64_t>(active));
+  }
 }
 
 void NetServer::Stop() {
   if (!started_) return;
   stop_.store(true, std::memory_order_relaxed);
+  snapshot_cv_.notify_all();
+  if (snapshot_thread_.joinable()) snapshot_thread_.join();
   accept_thread_.join();
   close(listen_fd_);
   listen_fd_ = -1;
@@ -116,6 +200,7 @@ NetServer::Counters NetServer::counters() const {
   counters.failed = failed_count_.load(std::memory_order_relaxed);
   counters.stats = stats_count_.load(std::memory_order_relaxed);
   counters.mutations = mutations_count_.load(std::memory_order_relaxed);
+  counters.metrics = metrics_count_.load(std::memory_order_relaxed);
   return counters;
 }
 
@@ -169,6 +254,7 @@ void NetServer::AcceptLoop() {
                  sizeof(options_.send_buffer_bytes));
     }
     connections_count_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().connections->Add();
     auto connection = std::make_shared<Connection>();
     connection->fd = fd;
     std::lock_guard<std::mutex> lock(mu_);
@@ -180,6 +266,7 @@ void NetServer::AcceptLoop() {
 
 void NetServer::HandleStats(SocketSink* sink) {
   stats_count_.fetch_add(1, std::memory_order_relaxed);
+  ServerMetrics::Get().stats->Add();
   const std::vector<ShardStatus> stats = router_->Stats();
   sink->SendLine("OK");
   for (const ShardStatus& shard : stats) {
@@ -215,6 +302,27 @@ void NetServer::HandleStats(SocketSink* sink) {
   sink->Flush(options_.sink.drain_grace_ms);
 }
 
+void NetServer::HandleMetrics(SocketSink* sink) {
+  metrics_count_.fetch_add(1, std::memory_order_relaxed);
+  ServerMetrics::Get().metrics_scrapes->Add();
+  const std::string exposition =
+      obs::MetricsRegistry::Default().RenderPrometheus();
+  // Split the newline-terminated exposition into wire lines; ENDMETRICS
+  // carries the count so a client can read the block without sniffing.
+  std::vector<std::string> lines;
+  size_t begin = 0;
+  while (begin < exposition.size()) {
+    size_t end = exposition.find('\n', begin);
+    if (end == std::string::npos) end = exposition.size();
+    lines.push_back(exposition.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  sink->SendLine("OK");
+  for (const std::string& line : lines) sink->SendLine(line);
+  sink->SendLine(net::FormatMetricsEndLine(lines.size()));
+  sink->Flush(options_.sink.drain_grace_ms);
+}
+
 bool NetServer::HandleMutation(SocketSink* sink, const std::string& line) {
   net::WireMutation mutation;
   Status status = net::ParseMutationLine(line, &mutation);
@@ -236,11 +344,13 @@ bool NetServer::HandleMutation(SocketSink* sink, const std::string& line) {
   }
   if (!status.ok()) {
     rejected_count_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().rejected->Add();
     sink->SendLine(net::FormatErrLine(status));
     sink->Flush(options_.sink.drain_grace_ms);
     return false;
   }
   mutations_count_.fetch_add(1, std::memory_order_relaxed);
+  ServerMetrics::Get().mutations->Add();
   net::WireMutationAck ack;
   ack.op = mutation.op;
   ack.env_name = mutation.env_name;
@@ -268,6 +378,7 @@ void NetServer::HandleMutations(int fd, SocketSink* sink, std::string line,
       // simply ends the batch; a half-delivered line is a real error.
       if (!clean_eof && !line.empty()) {
         rejected_count_.fetch_add(1, std::memory_order_relaxed);
+        ServerMetrics::Get().rejected->Add();
         sink->SendLine(net::FormatErrLine(status));
         sink->Flush(options_.sink.drain_grace_ms);
       }
@@ -275,6 +386,7 @@ void NetServer::HandleMutations(int fd, SocketSink* sink, std::string line,
     }
     if (!net::IsMutationRequestLine(line)) {
       rejected_count_.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::Get().rejected->Add();
       sink->SendLine(net::FormatErrLine(Status::InvalidArgument(
           "only mutation requests may follow a mutation on one "
           "connection")));
@@ -307,11 +419,19 @@ void NetServer::HandleConnection(Connection* connection) {
       net::ReadRequestLine(fd, read_options, &stop_, &carry, &line);
   if (status.ok() && net::IsStatsRequestLine(line)) {
     HandleStats(&sink);
+  } else if (status.ok() && net::IsMetricsRequestLine(line)) {
+    HandleMetrics(&sink);
   } else if (status.ok() && net::IsMutationRequestLine(line)) {
     HandleMutations(fd, &sink, std::move(line), &carry);
   } else {
     HandleQuery(connection, &sink, status, line);
   }
+
+  // The wire-volume counters only the sink knows, settled once per
+  // connection (the sink is single-owner here, so the reads are safe).
+  ServerMetrics::Get().bytes_sent->Add(sink.bytes_sent());
+  ServerMetrics::Get().pairs_sent->Add(sink.emitted());
+  ServerMetrics::Get().backpressure_stalls->Add(sink.stalls());
 
   {
     std::lock_guard<std::mutex> lock(connection->mu);
@@ -324,8 +444,17 @@ void NetServer::HandleConnection(Connection* connection) {
 void NetServer::HandleQuery(Connection* connection, SocketSink* sink,
                             Status status, const std::string& line) {
   const int fd = connection->fd;
+  const auto query_start = std::chrono::steady_clock::now();
   net::WireRequest request;
   if (status.ok()) status = net::ParseRequestLine(line, &request);
+  // A traced query carries its context on this frame: every layer below
+  // records into it through spec.trace, and the ticket resolves before
+  // this frame unwinds, so the lifetime holds by construction.
+  std::unique_ptr<obs::TraceContext> trace;
+  if (status.ok() && request.trace) {
+    trace = std::make_unique<obs::TraceContext>(request.trace_id);
+    request.spec.trace = trace.get();
+  }
   // Name resolution, environment binding (a live environment binds a
   // pinned snapshot), and spec validation all happen inside Submit,
   // before admission — a malformed spec is a rejection (ERR before OK),
@@ -335,6 +464,7 @@ void NetServer::HandleQuery(Connection* connection, SocketSink* sink,
     // The router decides admission synchronously; on_admit puts the OK
     // acknowledgement on the wire before the query can emit its first
     // PAIR, preserving the frame order with zero buffering tricks.
+    obs::ScopedSpan admit_span(trace.get(), "admit", 1);
     status = router_->Submit(request.env_name, request.spec, sink, &ticket,
                              [sink] { sink->SendLine("OK"); });
   }
@@ -342,8 +472,10 @@ void NetServer::HandleQuery(Connection* connection, SocketSink* sink,
   if (!status.ok()) {
     if (status.code() == StatusCode::kOverloaded) {
       shed_count_.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::Get().shed->Add();
     } else {
       rejected_count_.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::Get().rejected->Add();
     }
     sink->SendLine(net::FormatErrLine(status));
     sink->Flush(options_.sink.drain_grace_ms);
@@ -403,27 +535,73 @@ void NetServer::HandleQuery(Connection* connection, SocketSink* sink,
     }
   }
 
+  std::string outcome;
   if (final.ok() && !sink->dead()) {
+    if (trace != nullptr) {
+      // Drain the streamed pairs first, timed: a slow consumer's
+      // backpressure wait shows up as this span. (The control-frame flush
+      // below stays untraced — its duration could not be reported anyway.)
+      const auto flush_start = obs::TraceClock::now();
+      sink->Flush(options_.sink.drain_grace_ms);
+      trace->Record("sink_flush", 1, flush_start, obs::TraceClock::now());
+    }
     net::WireSummary summary;
     summary.pairs = sink->emitted();
     summary.stats = ticket.stats();
     sink->SendLine(net::FormatEndLine(summary));
+    if (trace != nullptr) {
+      // The span tree rides after END: the result stream stays
+      // byte-identical to an untraced run up to and including END, and a
+      // trace-aware client reads on until ENDTRACE.
+      trace->Record("server", 0, trace->start_time(), obs::TraceClock::now());
+      const std::vector<obs::TraceSpan> spans = trace->Spans();
+      for (const obs::TraceSpan& span : spans) {
+        net::WireTraceSpan wire;
+        wire.id = trace->id();
+        wire.depth = static_cast<uint64_t>(span.depth);
+        wire.span = span.name;
+        wire.count = span.count;
+        wire.total_s = span.total_seconds;
+        wire.start_s = span.start_seconds;
+        sink->SendLine(net::FormatTraceLine(wire));
+      }
+      sink->SendLine(net::FormatTraceEndLine(trace->id(), spans.size()));
+    }
     if (sink->Flush(options_.sink.drain_grace_ms)) {
       ok_count_.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::Get().ok->Add();
+      outcome = "ok";
     } else {
       cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::Get().cancelled->Add();
+      outcome = "cancelled (final flush)";
     }
   } else if (final.code() == StatusCode::kCancelled || sink->dead() ||
              peer_gone) {
     cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().cancelled->Add();
     sink->SendLine(net::FormatErrLine(
         Status::Cancelled("stream cancelled before completion")));
     sink->Flush(options_.sink.drain_grace_ms);
+    outcome = "cancelled";
   } else {
     failed_count_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().failed->Add();
     sink->SendLine(net::FormatErrLine(final));
     sink->Flush(options_.sink.drain_grace_ms);
+    outcome = "failed: " + final.message();
   }
+
+  obs::SlowQueryEntry slow;
+  slow.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    query_start)
+          .count();
+  slow.pairs = sink->emitted();
+  slow.env = request.env_name;
+  if (trace != nullptr) slow.trace_id = trace->id();
+  slow.detail = outcome;
+  obs::MetricsRegistry::Default().slow_log()->MaybeRecord(slow);
 }
 
 }  // namespace rcj

@@ -33,6 +33,7 @@
 #define RINGJOIN_NET_NET_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -70,6 +71,15 @@ struct NetServerOptions {
   int send_buffer_bytes = 0;
   /// Backpressure knobs of each connection's SocketSink.
   SocketSinkOptions sink;
+  /// Queries whose wall time meets this threshold are remembered by the
+  /// process-wide slow-query log (dumped by METRICS and rcj_tool).
+  /// Negative leaves the log's current configuration alone (off by
+  /// default); 0 records every query.
+  double slow_query_ms = -1.0;
+  /// Period of the background thread that refreshes registry gauges
+  /// (active connections, shard queue depths) from the router's ledgers.
+  /// 0 or negative disables the thread.
+  int metrics_snapshot_ms = 1000;
 };
 
 class NetServer {
@@ -86,6 +96,7 @@ class NetServer {
     uint64_t failed = 0;       ///< engine-side query failure (ERR after OK).
     uint64_t stats = 0;        ///< STATS probes answered.
     uint64_t mutations = 0;    ///< INSERT/DELETE/COMPACT applied (OK + MUT).
+    uint64_t metrics = 0;      ///< METRICS scrapes answered.
   };
 
   /// Serves queries by submitting through `router`, whose registered
@@ -135,6 +146,11 @@ class NetServer {
   /// Answers a STATS request on `sink` with the router's per-shard and
   /// per-environment ledgers.
   void HandleStats(SocketSink* sink);
+  /// Answers a METRICS request on `sink` with the process-wide registry's
+  /// Prometheus exposition (OK, the exposition lines, ENDMETRICS).
+  void HandleMetrics(SocketSink* sink);
+  /// Body of the periodic gauge-refresh thread (options.metrics_snapshot_ms).
+  void SnapshotLoop();
   /// Serves a batch of mutation lines, the first already read into
   /// `line`: each is applied through the router and acknowledged with
   /// OK + MUT, then the next line is read off the same connection until
@@ -158,6 +174,9 @@ class NetServer {
   std::atomic<bool> stop_{false};
   bool started_ = false;
   std::thread accept_thread_;
+  std::thread snapshot_thread_;
+  std::mutex snapshot_mu_;
+  std::condition_variable snapshot_cv_;
 
   std::mutex mu_;
   std::vector<std::shared_ptr<Connection>> connections_;
@@ -171,6 +190,7 @@ class NetServer {
   std::atomic<uint64_t> failed_count_{0};
   std::atomic<uint64_t> stats_count_{0};
   std::atomic<uint64_t> mutations_count_{0};
+  std::atomic<uint64_t> metrics_count_{0};
 };
 
 }  // namespace rcj

@@ -289,6 +289,14 @@ Status ParseRequestLine(const std::string& line, WireRequest* out) {
       if (status.ok() && out->spec.io_ms_per_fault < 0.0) {
         status = Status::OutOfRange("field 'io_ms' must be non-negative");
       }
+    } else if (key == "trace") {
+      status = ParseBoolField(key, value, &out->trace);
+    } else if (key == "trace_id") {
+      if (!IsValidTraceId(value)) {
+        status = Status::InvalidArgument("invalid trace id '" + value + "'");
+      } else {
+        out->trace_id = value;
+      }
     } else {
       status = Status::InvalidArgument("unknown key '" + key + "'");
     }
@@ -321,6 +329,8 @@ std::string FormatRequestLine(const WireRequest& request) {
   if (request.spec.io_ms_per_fault != defaults.spec.io_ms_per_fault) {
     line += " io_ms=" + FormatDouble(request.spec.io_ms_per_fault);
   }
+  if (request.trace) line += " trace=1";
+  if (!request.trace_id.empty()) line += " trace_id=" + request.trace_id;
   return line;
 }
 
@@ -851,6 +861,149 @@ Status ParseMutationAckLine(const std::string& line, WireMutationAck* out) {
     }
   }
   return Status::OK();
+}
+
+bool IsValidTraceId(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                    c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Span names share the trace-id charset (they travel as bare tokens).
+bool IsValidSpanName(const std::string& name) { return IsValidTraceId(name); }
+
+}  // namespace
+
+bool IsTraceLine(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  return !tokens.empty() && tokens[0] == "TRACE";
+}
+
+std::string FormatTraceLine(const WireTraceSpan& span) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "TRACE id=%s depth=%llu span=%s count=%llu total_s=%.9g "
+                "start_s=%.9g",
+                span.id.c_str(),
+                static_cast<unsigned long long>(span.depth),
+                span.span.c_str(),
+                static_cast<unsigned long long>(span.count), span.total_s,
+                span.start_s);
+  return buffer;
+}
+
+Status ParseTraceLine(const std::string& line, WireTraceSpan* out) {
+  *out = WireTraceSpan{};
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty() || tokens[0] != "TRACE") {
+    return Status::InvalidArgument("TRACE line must start with TRACE");
+  }
+  // seen slots: id, depth, span, count, total_s, start_s.
+  bool seen[6] = {};
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("TRACE field '" + tokens[i] +
+                                     "' is not key=value");
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    Status status = Status::OK();
+    int slot = -1;
+    if (key == "id") {
+      slot = 0;
+      if (!IsValidTraceId(value)) {
+        status = Status::InvalidArgument("invalid trace id '" + value + "'");
+      } else {
+        out->id = value;
+      }
+    } else if (key == "depth") {
+      slot = 1;
+      status = ParseUint64Field(key, value, &out->depth);
+    } else if (key == "span") {
+      slot = 2;
+      if (!IsValidSpanName(value)) {
+        status = Status::InvalidArgument("invalid span name '" + value +
+                                         "'");
+      } else {
+        out->span = value;
+      }
+    } else if (key == "count") {
+      slot = 3;
+      status = ParseUint64Field(key, value, &out->count);
+    } else if (key == "total_s") {
+      slot = 4;
+      status = ParseDoubleField(key, value, &out->total_s);
+    } else if (key == "start_s") {
+      slot = 5;
+      status = ParseDoubleField(key, value, &out->start_s);
+    } else {
+      return Status::InvalidArgument("unknown TRACE key '" + key + "'");
+    }
+    if (!status.ok()) return status;
+    if (seen[slot]) {
+      return Status::InvalidArgument("duplicate TRACE key '" + key + "'");
+    }
+    seen[slot] = true;
+  }
+  for (bool present : seen) {
+    if (!present) {
+      return Status::InvalidArgument("TRACE line is missing fields");
+    }
+  }
+  return Status::OK();
+}
+
+bool IsTraceEndLine(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  return !tokens.empty() && tokens[0] == "ENDTRACE";
+}
+
+std::string FormatTraceEndLine(const std::string& id, uint64_t spans) {
+  return "ENDTRACE id=" + id + " spans=" + std::to_string(spans);
+}
+
+Status ParseTraceEndLine(const std::string& line, std::string* id,
+                         uint64_t* spans) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.size() != 3 || tokens[0] != "ENDTRACE" ||
+      tokens[1].rfind("id=", 0) != 0 ||
+      tokens[2].rfind("spans=", 0) != 0) {
+    return Status::InvalidArgument(
+        "ENDTRACE line wants 'ENDTRACE id=token spans=N'");
+  }
+  const std::string id_value = tokens[1].substr(3);
+  if (!IsValidTraceId(id_value)) {
+    return Status::InvalidArgument("invalid trace id '" + id_value + "'");
+  }
+  *id = id_value;
+  return ParseUint64Field("spans", tokens[2].substr(6), spans);
+}
+
+bool IsMetricsRequestLine(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  return tokens.size() == 1 && tokens[0] == "METRICS";
+}
+
+std::string FormatMetricsEndLine(uint64_t lines) {
+  return "ENDMETRICS lines=" + std::to_string(lines);
+}
+
+Status ParseMetricsEndLine(const std::string& line, uint64_t* lines) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.size() != 2 || tokens[0] != "ENDMETRICS" ||
+      tokens[1].rfind("lines=", 0) != 0) {
+    return Status::InvalidArgument(
+        "ENDMETRICS line wants 'ENDMETRICS lines=N'");
+  }
+  return ParseUint64Field("lines", tokens[1].substr(6), lines);
 }
 
 Status ParseErrLine(const std::string& line, Status* out) {

@@ -17,11 +17,12 @@
 //
 //   request  = "QUERY" *( SP key "=" value ) LF
 //            | "STATS" LF
+//            | "METRICS" LF
 //            | "INSERT" *( SP mkey "=" value ) LF   ; env? side id x y
 //            | "DELETE" *( SP mkey "=" value ) LF   ; env? side id
 //            | "COMPACT" [ SP "env=" name ] LF
 //   key      = "env" | "algo" | "order" | "verify" | "seed" | "limit"
-//            | "io_ms"
+//            | "io_ms" | "trace" | "trace_id"
 //   mkey     = "env" | "side" | "id" | "x" | "y"
 //   ok       = "OK" LF
 //   pair     = "PAIR" SP p_id SP q_id SP x1 SP y1 SP x2 SP y2 LF
@@ -40,7 +41,20 @@
 //              SP "tombstones=" N SP "compactions=" N SP "base_q=" N
 //              SP "base_p=" N LF
 //   endstats = "ENDSTATS" SP "shards=" N SP "envs=" N LF
+//   trace    = "TRACE" SP "id=" token SP "depth=" N SP "span=" name
+//              SP "count=" N SP "total_s=" F SP "start_s=" F LF
+//   endtrace = "ENDTRACE" SP "id=" token SP "spans=" N LF
+//   endmetrics = "ENDMETRICS" SP "lines=" N LF
 //   err      = "ERR" SP code-token SP message LF
+//
+// A `QUERY ... trace=1` response appends the query's span tree — one TRACE
+// line per aggregated span, then ENDTRACE — after the END summary; without
+// trace=1 the stream is byte-identical to the untraced protocol. The
+// optional trace_id key lets a fronting proxy propagate its trace id to
+// backends so fleet traces stitch (every relayed TRACE line carries the
+// same id). A `METRICS` request is answered with `OK`, the registry's
+// Prometheus text exposition verbatim (including `#` comment lines), and
+// an `ENDMETRICS` terminator.
 //
 // A PAIR line carries the two matched points; the fair-middleman circle is
 // re-derived on the client (Circle::Enclosing is deterministic), so the
@@ -71,6 +85,11 @@ namespace net {
 struct WireRequest {
   std::string env_name = "default";
   QuerySpec spec;
+  /// trace=1: the caller wants the span tree (TRACE lines after END).
+  bool trace = false;
+  /// Optional caller-chosen trace id (proxy -> backend propagation); the
+  /// server mints one when empty. Must satisfy IsValidTraceId.
+  std::string trace_id;
 };
 
 /// Final summary of one streamed query, sent as the END line.
@@ -218,6 +237,40 @@ struct WireMutationAck {
 
 std::string FormatMutationAckLine(const WireMutationAck& ack);
 Status ParseMutationAckLine(const std::string& line, WireMutationAck* out);
+
+/// Trace ids on the wire: 1-64 chars of [A-Za-z0-9_.-].
+bool IsValidTraceId(const std::string& id);
+
+/// One aggregated span row of a trace=1 response (obs::TraceSpan on the
+/// wire, plus the trace id every row repeats so stitched fleet traces are
+/// self-describing).
+struct WireTraceSpan {
+  std::string id;
+  uint64_t depth = 0;
+  std::string span;
+  uint64_t count = 0;
+  double total_s = 0.0;
+  double start_s = 0.0;
+};
+
+/// True iff the line opens a TRACE row (prefix dispatch; the strict parse
+/// below may still reject it).
+bool IsTraceLine(const std::string& line);
+
+std::string FormatTraceLine(const WireTraceSpan& span);
+Status ParseTraceLine(const std::string& line, WireTraceSpan* out);
+
+bool IsTraceEndLine(const std::string& line);
+std::string FormatTraceEndLine(const std::string& id, uint64_t spans);
+Status ParseTraceEndLine(const std::string& line, std::string* id,
+                         uint64_t* spans);
+
+/// True iff `line` asks for the metrics exposition: exactly the token
+/// "METRICS", nothing else on the line (strict, like STATS).
+bool IsMetricsRequestLine(const std::string& line);
+
+std::string FormatMetricsEndLine(uint64_t lines);
+Status ParseMetricsEndLine(const std::string& line, uint64_t* lines);
 
 }  // namespace net
 }  // namespace rcj

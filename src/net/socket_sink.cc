@@ -42,6 +42,7 @@ bool SocketSink::Append(const std::string& line) {
     // reads slowly gets back under the bound within the grace (a complete
     // drain is not required); one that stopped reading turns into a
     // cancellation instead of an unbounded queue.
+    ++stalls_;
     Flush(options_.drain_grace_ms);
     if (dead_ || pending_bytes() > options_.max_pending_bytes) {
       MarkDead();
@@ -61,6 +62,7 @@ void SocketSink::TryDrain() {
              MSG_DONTWAIT | MSG_NOSIGNAL);
     if (sent > 0) {
       drained_ += static_cast<size_t>(sent);
+      bytes_sent_ += static_cast<uint64_t>(sent);
       continue;
     }
     if (sent < 0 && errno == EINTR) continue;

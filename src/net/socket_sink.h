@@ -69,6 +69,14 @@ class SocketSink final : public PairSink {
   /// PAIR lines accepted so far (the count an END summary reports).
   uint64_t emitted() const { return emitted_; }
 
+  /// Bytes handed to the kernel so far (result payload plus control
+  /// frames sent through this sink).
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+  /// Times an Emit() hit the pending-buffer bound and had to sit out the
+  /// drain grace — the backpressure signal the server's registry counts.
+  uint64_t stalls() const { return stalls_; }
+
  private:
   bool Append(const std::string& line);
   /// Sends as much pending data as the socket accepts right now.
@@ -86,6 +94,8 @@ class SocketSink final : public PairSink {
   size_t drained_ = 0;
   bool dead_ = false;
   uint64_t emitted_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t stalls_ = 0;
 };
 
 }  // namespace rcj

@@ -1,0 +1,243 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rcj {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+std::string FormatMetricDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+/// Splits "name{labels}" into the bare name and the "{labels}" block
+/// (empty when the name carries no labels).
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+  } else {
+    *base = name.substr(0, brace);
+    *labels = name.substr(brace);
+  }
+}
+
+/// "name{a="b"}" + suffix "_bucket" + le label -> name_bucket{a="b",le="x"}.
+std::string SpliceName(const std::string& base, const std::string& labels,
+                       const char* suffix, const std::string& le) {
+  std::string out = base + suffix;
+  if (le.empty()) {
+    out += labels;
+    return out;
+  }
+  if (labels.empty()) {
+    out += "{le=\"" + le + "\"}";
+  } else {
+    out += labels.substr(0, labels.size() - 1) + ",le=\"" + le + "\"}";
+  }
+  return out;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+size_t AssignStripe() {
+  static std::atomic<size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+}
+
+}  // namespace internal
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t next_seen = seen + counts[i];
+    if (static_cast<double>(next_seen) >= target) {
+      // The overflow bucket has no upper bound; clamp to the last boundary
+      // (bounded error is better than infinity for a summary row).
+      if (i >= bounds.size()) {
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double into =
+          (target - static_cast<double>(seen)) /
+          static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, into));
+    }
+    seen = next_seen;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), stripes_(new Stripe[kMetricStripes]) {
+  for (size_t s = 0; s < kMetricStripes; ++s) {
+    stripes_[s].counts.reset(new std::atomic<uint64_t>[bounds_.size() + 1]);
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      stripes_[s].counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+HistogramSnapshot Histogram::Snap() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (size_t s = 0; s < kMetricStripes; ++s) {
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      snap.counts[b] += stripes_[s].counts[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += stripes_[s].sum.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+const std::vector<double>& DefaultLatencyBounds() {
+  static const std::vector<double> bounds = {
+      0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+      0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0};
+  return bounds;
+}
+
+void SlowQueryLog::Configure(double threshold_seconds, size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threshold_seconds_ = threshold_seconds;
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+bool SlowQueryLog::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threshold_seconds_ >= 0.0;
+}
+
+double SlowQueryLog::threshold_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threshold_seconds_;
+}
+
+void SlowQueryLog::MaybeRecord(const SlowQueryEntry& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (threshold_seconds_ < 0.0 || entry.wall_seconds < threshold_seconds_) {
+    return;
+  }
+  entries_.push_back(entry);
+  if (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQueryEntry>(entries_.begin(), entries_.end());
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot.reset(new Histogram(bounds.empty() ? DefaultLatencyBounds()
+                                            : bounds));
+  }
+  return slot.get();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string base;
+  std::string labels;
+  // Maps are name-sorted, so label variants of one base name are adjacent
+  // and get a single # TYPE header.
+  std::string last_typed;
+  const auto type_header = [&](const std::string& metric_base,
+                               const char* type) {
+    if (metric_base == last_typed) return;
+    last_typed = metric_base;
+    out += "# TYPE " + metric_base + " " + type + "\n";
+  };
+  for (const auto& entry : counters_) {
+    SplitLabels(entry.first, &base, &labels);
+    type_header(base, "counter");
+    out += entry.first + " " + std::to_string(entry.second->Value()) + "\n";
+  }
+  for (const auto& entry : gauges_) {
+    SplitLabels(entry.first, &base, &labels);
+    type_header(base, "gauge");
+    out += entry.first + " " + std::to_string(entry.second->Value()) + "\n";
+  }
+  for (const auto& entry : histograms_) {
+    SplitLabels(entry.first, &base, &labels);
+    type_header(base, "histogram");
+    const HistogramSnapshot snap = entry.second->Snap();
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < snap.counts.size(); ++b) {
+      cumulative += snap.counts[b];
+      const std::string le = b < snap.bounds.size()
+                                 ? FormatMetricDouble(snap.bounds[b])
+                                 : std::string("+Inf");
+      out += SpliceName(base, labels, "_bucket", le) + " " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += SpliceName(base, labels, "_sum", "") + " " +
+           FormatMetricDouble(snap.sum) + "\n";
+    out += SpliceName(base, labels, "_count", "") + " " +
+           std::to_string(snap.count) + "\n";
+  }
+  for (const SlowQueryEntry& entry : slow_log_.Dump()) {
+    out += "# slowlog wall_s=" + FormatMetricDouble(entry.wall_seconds) +
+           " pairs=" + std::to_string(entry.pairs) + " env=" + entry.env;
+    if (!entry.trace_id.empty()) out += " trace=" + entry.trace_id;
+    if (!entry.detail.empty()) {
+      out += " ";
+      for (char c : entry.detail) {
+        out += (c == '\n' || c == '\r') ? ' ' : c;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace rcj

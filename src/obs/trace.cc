@@ -1,0 +1,97 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+namespace rcj {
+namespace obs {
+namespace {
+
+/// splitmix64 finalizer: spreads the (time, pid, counter) mix across all
+/// 64 bits so concurrent processes starting in the same tick still get
+/// distinct ids.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TraceContext::TraceContext(std::string id)
+    : id_(id.empty() ? NewId() : std::move(id)),
+      start_(TraceClock::now()) {}
+
+std::string TraceContext::NewId() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t ticks = static_cast<uint64_t>(
+      TraceClock::now().time_since_epoch().count());
+  const uint64_t salt =
+      (static_cast<uint64_t>(::getpid()) << 32) ^
+      counter.fetch_add(1, std::memory_order_relaxed);
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(Mix(ticks ^ Mix(salt))));
+  return buffer;
+}
+
+void TraceContext::Record(const std::string& name, int depth,
+                          TraceClock::time_point start,
+                          TraceClock::time_point end) {
+  const double offset =
+      std::max(0.0, std::chrono::duration<double>(start - start_).count());
+  const double seconds =
+      std::max(0.0, std::chrono::duration<double>(end - start).count());
+  Add(name, depth, offset, seconds, 1);
+}
+
+void TraceContext::RecordSeconds(const std::string& name, int depth,
+                                 double seconds, uint64_t count) {
+  const double elapsed = ElapsedSeconds();
+  const double offset = std::max(0.0, elapsed - std::max(0.0, seconds));
+  Add(name, depth, offset, std::max(0.0, seconds), count);
+}
+
+double TraceContext::ElapsedSeconds() const {
+  return std::chrono::duration<double>(TraceClock::now() - start_).count();
+}
+
+void TraceContext::Add(const std::string& name, int depth,
+                       double start_offset, double seconds, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan& span = spans_[{depth, name}];
+  if (span.count == 0) {
+    span.name = name;
+    span.depth = depth;
+    span.start_seconds = start_offset;
+  } else {
+    span.start_seconds = std::min(span.start_seconds, start_offset);
+  }
+  span.count += count;
+  span.total_seconds += seconds;
+}
+
+std::vector<TraceSpan> TraceContext::Spans() const {
+  std::vector<TraceSpan> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(spans_.size());
+    for (const auto& entry : spans_) out.push_back(entry.second);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              if (a.start_seconds != b.start_seconds) {
+                return a.start_seconds < b.start_seconds;
+              }
+              if (a.depth != b.depth) return a.depth < b.depth;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace obs
+}  // namespace rcj

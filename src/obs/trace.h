@@ -1,0 +1,109 @@
+// Per-query tracing: a TraceContext travels with one query (via
+// QuerySpec::trace) and collects timed spans from every layer it crosses —
+// admission, snapshot pin, view opens, leaf-chunk execution, I/O wall,
+// sink flush, and the fleet tier's dial/retry/backoff/replay.
+//
+// Spans aggregate by (depth, name): a query that executes 200 leaf chunks
+// records one "leaf_chunk" span with count=200 and the summed duration,
+// so the wire representation (TRACE lines, protocol.h) stays a handful of
+// lines regardless of fan-out. Depth is assigned by the recording site
+// (0 = the request, 1 = a stage of it, 2 = inside a stage) and renders the
+// tree; start offsets are relative to the context's creation.
+//
+// Recording is mutex-guarded — engine workers record concurrently — but a
+// query pays nothing unless it was traced: every instrumented site first
+// checks `spec.trace != nullptr`.
+#ifndef RINGJOIN_OBS_TRACE_H_
+#define RINGJOIN_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace rcj {
+namespace obs {
+
+using TraceClock = std::chrono::steady_clock;
+
+/// One aggregated span of a trace.
+struct TraceSpan {
+  std::string name;
+  int depth = 0;
+  uint64_t count = 0;          ///< merged occurrences.
+  double total_seconds = 0.0;  ///< summed duration across occurrences.
+  double start_seconds = 0.0;  ///< earliest start, relative to the trace.
+};
+
+/// The per-query trace: an id plus the aggregated spans. Thread-safe.
+class TraceContext {
+ public:
+  /// Starts the trace clock now. An empty id is replaced with NewId().
+  explicit TraceContext(std::string id = "");
+  RINGJOIN_DISALLOW_COPY_AND_ASSIGN(TraceContext);
+
+  /// A fresh process-unique id (16 lowercase hex chars).
+  static std::string NewId();
+
+  const std::string& id() const { return id_; }
+  TraceClock::time_point start_time() const { return start_; }
+
+  /// Records one timed occurrence of (depth, name).
+  void Record(const std::string& name, int depth,
+              TraceClock::time_point start, TraceClock::time_point end);
+
+  /// Records `count` occurrences totalling `seconds` when only a duration
+  /// is known (e.g. an I/O wall-clock sum); the start offset is taken as
+  /// "now minus seconds", clamped to the trace start.
+  void RecordSeconds(const std::string& name, int depth, double seconds,
+                     uint64_t count = 1);
+
+  /// Elapsed seconds since the trace started.
+  double ElapsedSeconds() const;
+
+  /// The aggregated spans, ordered for tree rendering: by start offset,
+  /// then depth, then name.
+  std::vector<TraceSpan> Spans() const;
+
+ private:
+  void Add(const std::string& name, int depth, double start_offset,
+           double seconds, uint64_t count);
+
+  std::string id_;
+  TraceClock::time_point start_;
+  mutable std::mutex mu_;
+  std::map<std::pair<int, std::string>, TraceSpan> spans_;
+};
+
+/// RAII recorder: times its scope into `trace` (null trace = no-op).
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceContext* trace, const char* name, int depth)
+      : trace_(trace), name_(name), depth_(depth) {
+    if (trace_ != nullptr) start_ = TraceClock::now();
+  }
+
+  ~ScopedSpan() {
+    if (trace_ != nullptr) {
+      trace_->Record(name_, depth_, start_, TraceClock::now());
+    }
+  }
+
+  RINGJOIN_DISALLOW_COPY_AND_ASSIGN(ScopedSpan);
+
+ private:
+  TraceContext* trace_;
+  const char* name_;
+  int depth_;
+  TraceClock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace rcj
+
+#endif  // RINGJOIN_OBS_TRACE_H_

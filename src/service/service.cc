@@ -1,9 +1,36 @@
 #include "service/service.h"
 
+#include <chrono>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rcj {
 namespace {
+
+/// Registry mirrors of the dispatcher's health: how long requests sit in
+/// the queue, how long an engine round takes, and how deep the queue is
+/// right now. The queue-depth gauge is what an operator watches to tell
+/// "slow queries" from "slow admission".
+struct ServiceMetrics {
+  obs::Histogram* queue_wait_seconds;
+  obs::Histogram* batch_seconds;
+  obs::Gauge* queue_depth;
+
+  static const ServiceMetrics& Get() {
+    static const ServiceMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+      ServiceMetrics m;
+      m.queue_wait_seconds =
+          registry.histogram("rcj_service_queue_wait_seconds");
+      m.batch_seconds = registry.histogram("rcj_service_batch_seconds");
+      m.queue_depth = registry.gauge("rcj_service_queue_depth");
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 /// Discards pairs when the caller submitted without a sink (stats-only).
 class NullSink final : public PairSink {
@@ -110,12 +137,17 @@ QueryTicket Service::Submit(const QuerySpec& spec, PairSink* sink,
   request.sink = sink != nullptr ? sink : SharedNullSink();
   request.state = std::make_shared<QueryTicket::State>();
   request.on_done = std::move(on_done);
+  request.enqueue_time = std::chrono::steady_clock::now();
   QueryTicket ticket(request.state);
   bool stopped;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopped = stopping_;
-    if (!stopped) queue_.push_back(std::move(request));
+    if (!stopped) {
+      queue_.push_back(std::move(request));
+      ServiceMetrics::Get().queue_depth->Set(
+          static_cast<int64_t>(queue_.size()));
+    }
   }
   if (stopped) {
     // The dispatcher may already be gone; resolving here (instead of
@@ -158,6 +190,22 @@ void Service::DispatcherLoop() {
       while (!queue_.empty() && round.size() < options_.max_batch_size) {
         round.push_back(std::move(queue_.front()));
         queue_.pop_front();
+      }
+      ServiceMetrics::Get().queue_depth->Set(
+          static_cast<int64_t>(queue_.size()));
+    }
+    if (!round.empty()) {
+      const auto dequeued_at = std::chrono::steady_clock::now();
+      for (const Request& request : round) {
+        const double waited =
+            std::chrono::duration<double>(dequeued_at -
+                                          request.enqueue_time)
+                .count();
+        ServiceMetrics::Get().queue_wait_seconds->Observe(waited);
+        if (request.spec.trace != nullptr) {
+          request.spec.trace->Record("queue_wait", 1, request.enqueue_time,
+                                     dequeued_at);
+        }
       }
     }
 
@@ -203,7 +251,12 @@ void Service::DispatcherLoop() {
     // Pairs stream to the request sinks from inside this call, as the
     // engine's leaf-range tasks complete — completion of RunBatch only
     // settles statuses and stats.
+    const auto batch_start = std::chrono::steady_clock::now();
     const std::vector<EngineQueryResult> results = engine_.RunBatch(batch);
+    ServiceMetrics::Get().batch_seconds->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      batch_start)
+            .count());
 
     std::vector<Status> statuses(round.size(),
                                  Status::Cancelled("cancelled before run"));

@@ -19,6 +19,7 @@
 #define RINGJOIN_SERVICE_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -155,6 +156,10 @@ class Service {
     PairSink* sink = nullptr;
     std::shared_ptr<QueryTicket::State> state;
     DoneCallback on_done;
+    /// When Submit() enqueued the request; the dispatcher turns the gap
+    /// until dequeue into the queue-wait histogram and, for traced
+    /// queries, a queue_wait span.
+    std::chrono::steady_clock::time_point enqueue_time{};
   };
 
   void DispatcherLoop();

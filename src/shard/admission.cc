@@ -3,7 +3,35 @@
 #include <cassert>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace rcj {
+namespace {
+
+/// Registry mirrors of the admission ledger, aggregated over shards (the
+/// per-shard split stays on STATS). The inflight gauge tracks
+/// total_inflight_ exactly; shed vs admitted is the load-shedding rate.
+struct AdmissionMetrics {
+  obs::Counter* submitted;
+  obs::Counter* admitted;
+  obs::Counter* shed;
+  obs::Gauge* inflight;
+
+  static const AdmissionMetrics& Get() {
+    static const AdmissionMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+      AdmissionMetrics m;
+      m.submitted = registry.counter("rcj_admission_submitted_total");
+      m.admitted = registry.counter("rcj_admission_admitted_total");
+      m.shed = registry.counter("rcj_admission_shed_total");
+      m.inflight = registry.gauge("rcj_admission_inflight");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 AdmissionController::AdmissionController(size_t num_shards,
                                          AdmissionLimits limits)
@@ -14,9 +42,11 @@ Status AdmissionController::TryAdmit(size_t shard) {
   std::lock_guard<std::mutex> lock(mu_);
   ShardCounters& counters = shards_[shard];
   ++counters.submitted;
+  AdmissionMetrics::Get().submitted->Add();
   if (limits_.max_queue_per_shard != 0 &&
       counters.inflight >= limits_.max_queue_per_shard) {
     ++counters.shed;
+    AdmissionMetrics::Get().shed->Add();
     return Status::Overloaded(
         "shard " + std::to_string(shard) + " queue is full (" +
         std::to_string(counters.inflight) + "/" +
@@ -25,6 +55,7 @@ Status AdmissionController::TryAdmit(size_t shard) {
   if (limits_.max_inflight_total != 0 &&
       total_inflight_ >= limits_.max_inflight_total) {
     ++counters.shed;
+    AdmissionMetrics::Get().shed->Add();
     return Status::Overloaded(
         "server is at its in-flight cap (" +
         std::to_string(total_inflight_) + "/" +
@@ -33,6 +64,9 @@ Status AdmissionController::TryAdmit(size_t shard) {
   ++counters.admitted;
   ++counters.inflight;
   ++total_inflight_;
+  AdmissionMetrics::Get().admitted->Add();
+  AdmissionMetrics::Get().inflight->Set(
+      static_cast<int64_t>(total_inflight_));
   return Status::OK();
 }
 
@@ -43,6 +77,8 @@ void AdmissionController::Release(size_t shard, const Status& final_status) {
   assert(counters.inflight > 0 && total_inflight_ > 0);
   --counters.inflight;
   --total_inflight_;
+  AdmissionMetrics::Get().inflight->Set(
+      static_cast<int64_t>(total_inflight_));
   if (final_status.ok()) {
     ++counters.completed;
   } else if (final_status.code() == StatusCode::kCancelled) {

@@ -1,8 +1,11 @@
 #include "shard/shard_router.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/stable_hash.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rcj {
 
@@ -166,7 +169,9 @@ Status ShardRouter::Submit(const std::string& env_name, QuerySpec spec,
   // ticket's done-callback so the base stays pinned (compaction-proof)
   // exactly as long as the query is in flight.
   LiveSnapshot snapshot;
-  if (registration.live != nullptr) {
+  const auto snapshot_bound_at = std::chrono::steady_clock::now();
+  const bool pinned_snapshot = registration.live != nullptr;
+  if (pinned_snapshot) {
     snapshot = registration.live->TakeSnapshot();
     spec.env = snapshot.env();
     spec.overlay = snapshot.overlay();
@@ -181,9 +186,27 @@ Status ShardRouter::Submit(const std::string& env_name, QuerySpec spec,
   // inline), which returns it.
   if (on_admit) on_admit();
 
+  const auto admitted_at = std::chrono::steady_clock::now();
+  obs::TraceContext* trace = spec.trace;
   QueryTicket submitted = shards_[shard].service->Submit(
       spec, sink,
-      [this, shard, snapshot](const Status& final_status) {
+      [this, shard, snapshot, admitted_at, snapshot_bound_at,
+       pinned_snapshot, trace](const Status& final_status) {
+        // Admit-to-release is the full time the query held its slot —
+        // the latency an operator reconciles against the inflight gauge.
+        const auto released_at = std::chrono::steady_clock::now();
+        static obs::Histogram* const wait_seconds =
+            obs::MetricsRegistry::Default().histogram(
+                "rcj_admission_wait_seconds");
+        wait_seconds->Observe(
+            std::chrono::duration<double>(released_at - admitted_at)
+                .count());
+        if (trace != nullptr && pinned_snapshot) {
+          // The snapshot pin lives from bind until this callback returns
+          // it (release happens as the lambda's captures die). The span
+          // is what shows a slow query blocking compaction.
+          trace->Record("snapshot_pin", 1, snapshot_bound_at, released_at);
+        }
         admission_.Release(shard, final_status);
       });
   if (ticket != nullptr) *ticket = submitted;

@@ -4,7 +4,33 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace rcj {
+namespace {
+
+/// Fault-latency histograms, split the same way BufferStats splits fault
+/// counts: cold (compulsory first touch) vs warm (evicted and refetched).
+/// For MemPageStore both sit in the lowest bucket; for the file backends
+/// the split shows whether a workload is paying device seeks for pages it
+/// already had once.
+struct BufferFaultMetrics {
+  obs::Histogram* cold;
+  obs::Histogram* warm;
+
+  static const BufferFaultMetrics& Get() {
+    static const BufferFaultMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+      BufferFaultMetrics m;
+      m.cold = registry.histogram("rcj_buffer_cold_fault_seconds");
+      m.warm = registry.histogram("rcj_buffer_warm_fault_seconds");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   if (this != &other) {
@@ -73,14 +99,20 @@ Result<PageHandle> BufferManager::Pin(int store_id, uint64_t page_no) {
   frame.data = std::make_unique<uint8_t[]>(store->page_size());
   const auto read_start = std::chrono::steady_clock::now();
   RINGJOIN_RETURN_IF_ERROR(store->Read(page_no, frame.data.get()));
-  stats_.io_wall_seconds +=
+  const double read_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     read_start)
           .count();
+  stats_.io_wall_seconds += read_seconds;
   // Only a SUCCESSFUL first fetch since construction/Clear() is a cold
   // (compulsory) fault — a failed read leaves no history, so a retry
   // still counts cold. Refetching an evicted page is warm (capacity).
-  if (MarkCachedLocked(store_id, page_no)) ++stats_.cold_faults;
+  if (MarkCachedLocked(store_id, page_no)) {
+    ++stats_.cold_faults;
+    BufferFaultMetrics::Get().cold->Observe(read_seconds);
+  } else {
+    BufferFaultMetrics::Get().warm->Observe(read_seconds);
+  }
   frame.pin_count = 1;
   frames_.push_front(std::move(frame));
   table_[key] = frames_.begin();

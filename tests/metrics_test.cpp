@@ -1,0 +1,253 @@
+// MetricsRegistry correctness: the striped counters and histograms must
+// lose nothing under concurrent writers (monotonic counters merge exactly
+// on scrape — that is the whole point of the stripes), quantiles must
+// interpolate the way docs/OBSERVABILITY.md promises, the slow-query log
+// must honor its threshold and ring capacity, and the Prometheus renderer
+// must emit the cumulative-bucket exposition a scraper expects. These run
+// under the TSan CI legs, so the concurrency tests double as data-race
+// proofs for the hot-path instrumentation.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rcj {
+namespace obs {
+namespace {
+
+constexpr size_t kThreads = 8;
+
+TEST(MetricsCounterTest, EightConcurrentWritersLoseNothing) {
+  Counter counter;
+  constexpr uint64_t kAddsPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kAddsPerThread; ++i) counter.Add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Exact, not approximate: relaxed ordering may reorder, but fetch_add
+  // on the stripes never drops an increment and Value() sums them all.
+  EXPECT_EQ(counter.Value(), kThreads * kAddsPerThread);
+}
+
+TEST(MetricsCounterTest, DeltaAddsAccumulate) {
+  Counter counter;
+  counter.Add(5);
+  counter.Add();  // default delta 1
+  counter.Add(36);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(MetricsGaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(7);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.Value(), -3);  // gauges are signed
+}
+
+TEST(MetricsHistogramTest, ConcurrentObservesMergeExactly) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      // Thread t observes a constant in bucket t % 4; sums stay exact in
+      // doubles because every value is a small integer.
+      const double value = static_cast<double>(t % 4) + 0.5;
+      for (uint64_t i = 0; i < kPerThread; ++i) histogram.Observe(value);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const HistogramSnapshot snap = histogram.Snap();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  // 8 threads over 4 values: each of 0.5, 1.5, 2.5, 3.5 observed twice
+  // per-thread-slot => 2 * kPerThread each. 0.5 <= 1.0, 1.5 <= 2.0, and
+  // both 2.5 and 3.5 land in (2, 4].
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.counts[0], 2 * kPerThread);
+  EXPECT_EQ(snap.counts[1], 2 * kPerThread);
+  EXPECT_EQ(snap.counts[2], 4 * kPerThread);
+  EXPECT_EQ(snap.counts[3], 0u);
+  const double want_sum =
+      static_cast<double>(kPerThread) * 2.0 * (0.5 + 1.5 + 2.5 + 3.5);
+  EXPECT_NEAR(snap.sum, want_sum, want_sum * 1e-12);
+}
+
+TEST(MetricsHistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram histogram({10.0, 20.0, 40.0});
+  for (int i = 0; i < 100; ++i) histogram.Observe(5.0);    // (0, 10]
+  for (int i = 0; i < 100; ++i) histogram.Observe(15.0);   // (10, 20]
+  const HistogramSnapshot snap = histogram.Snap();
+  // Median sits exactly at the first boundary; p75 is halfway through the
+  // second bucket's linear span.
+  EXPECT_NEAR(snap.Quantile(0.5), 10.0, 1e-9);
+  EXPECT_NEAR(snap.Quantile(0.75), 15.0, 1e-9);
+  // Empty histograms answer 0 rather than dividing by zero.
+  EXPECT_EQ(Histogram({1.0}).Snap().Quantile(0.99), 0.0);
+}
+
+TEST(MetricsHistogramTest, OverflowBucketClampsToLastBoundary) {
+  Histogram histogram({1.0});
+  histogram.Observe(1000.0);
+  const HistogramSnapshot snap = histogram.Snap();
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_NEAR(snap.Quantile(0.99), 1.0, 1e-9);
+}
+
+TEST(MetricsRegistryTest, LookupsReturnStableSharedPointers) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("rcj_test_total");
+  EXPECT_EQ(registry.counter("rcj_test_total"), counter);
+  counter->Add(3);
+  EXPECT_EQ(registry.counter("rcj_test_total")->Value(), 3u);
+
+  // First registration fixes the boundaries; later bounds are ignored.
+  Histogram* histogram = registry.histogram("rcj_test_seconds", {1.0, 2.0});
+  EXPECT_EQ(registry.histogram("rcj_test_seconds", {9.0}), histogram);
+  EXPECT_EQ(histogram->bounds().size(), 2u);
+
+  // Empty bounds mean the shared latency ladder.
+  Histogram* defaulted = registry.histogram("rcj_default_seconds");
+  EXPECT_EQ(defaulted->bounds(), DefaultLatencyBounds());
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationYieldsOneMetric) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      Counter* counter = registry.counter("rcj_race_total");
+      counter->Add();
+      seen[t] = counter;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(registry.counter("rcj_race_total")->Value(), kThreads);
+}
+
+TEST(MetricsRenderTest, PrometheusExpositionShape) {
+  MetricsRegistry registry;
+  registry.counter("rcj_ok_total")->Add(2);
+  registry.gauge("rcj_up{backend=\"0\"}")->Set(1);
+  Histogram* histogram = registry.histogram("rcj_wait_seconds", {1.0, 2.0});
+  histogram->Observe(0.5);
+  histogram->Observe(1.5);
+  histogram->Observe(99.0);
+
+  const std::string out = registry.RenderPrometheus();
+  EXPECT_NE(out.find("# TYPE rcj_ok_total counter\n"), std::string::npos);
+  EXPECT_NE(out.find("rcj_ok_total 2\n"), std::string::npos);
+  // Labels stay inside the name; the gauge keeps its label block.
+  EXPECT_NE(out.find("# TYPE rcj_up gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("rcj_up{backend=\"0\"} 1\n"), std::string::npos);
+  // Histogram buckets are cumulative and close with +Inf == _count.
+  EXPECT_NE(out.find("rcj_wait_seconds_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("rcj_wait_seconds_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("rcj_wait_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("rcj_wait_seconds_count 3\n"), std::string::npos);
+  // Every line of the exposition is newline-terminated (the METRICS wire
+  // handler splits on that).
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(MetricsRenderTest, HistogramWithLabelsSplicesLeIntoBlock) {
+  MetricsRegistry registry;
+  registry.histogram("rcj_io_seconds{disk=\"0\"}", {1.0})->Observe(0.5);
+  const std::string out = registry.RenderPrometheus();
+  EXPECT_NE(out.find("rcj_io_seconds_bucket{disk=\"0\",le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("rcj_io_seconds_count{disk=\"0\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(SlowQueryLogTest, DisabledUntilConfigured) {
+  SlowQueryLog log;
+  EXPECT_FALSE(log.enabled());
+  SlowQueryEntry entry;
+  entry.wall_seconds = 100.0;
+  log.MaybeRecord(entry);
+  EXPECT_TRUE(log.Dump().empty());
+}
+
+TEST(SlowQueryLogTest, ThresholdGatesAndRingEvictsOldest) {
+  SlowQueryLog log;
+  log.Configure(/*threshold_seconds=*/0.5, /*capacity=*/2);
+  EXPECT_TRUE(log.enabled());
+  EXPECT_EQ(log.threshold_seconds(), 0.5);
+
+  SlowQueryEntry fast;
+  fast.wall_seconds = 0.1;
+  fast.env = "fast";
+  log.MaybeRecord(fast);
+  EXPECT_TRUE(log.Dump().empty()) << "under-threshold entry recorded";
+
+  for (const char* name : {"a", "b", "c"}) {
+    SlowQueryEntry slow;
+    slow.wall_seconds = 1.0;
+    slow.env = name;
+    log.MaybeRecord(slow);
+  }
+  const std::vector<SlowQueryEntry> dumped = log.Dump();
+  ASSERT_EQ(dumped.size(), 2u);  // capacity 2: "a" evicted
+  EXPECT_EQ(dumped[0].env, "b");
+  EXPECT_EQ(dumped[1].env, "c");
+}
+
+TEST(SlowQueryLogTest, EntriesRideTheExpositionAsComments) {
+  MetricsRegistry registry;
+  registry.slow_log()->Configure(0.0);
+  SlowQueryEntry entry;
+  entry.wall_seconds = 1.25;
+  entry.pairs = 7;
+  entry.env = "city";
+  entry.trace_id = "t.1";
+  entry.detail = "ok";
+  registry.slow_log()->MaybeRecord(entry);
+  const std::string out = registry.RenderPrometheus();
+  const size_t at = out.find("# slowlog ");
+  ASSERT_NE(at, std::string::npos);
+  const std::string line = out.substr(at, out.find('\n', at) - at);
+  EXPECT_NE(line.find("pairs=7"), std::string::npos) << line;
+  EXPECT_NE(line.find("env=city"), std::string::npos) << line;
+  EXPECT_NE(line.find("trace=t.1"), std::string::npos) << line;
+}
+
+TEST(MetricsEnabledTest, RuntimeSwitchSkipsWrites) {
+  // Process-global switch: restore it even on assertion failure paths.
+  struct Restore {
+    ~Restore() { SetMetricsEnabled(true); }
+  } restore;
+
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram({1.0});
+  SetMetricsEnabled(false);
+  counter.Add();
+  gauge.Set(5);
+  histogram.Observe(0.5);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(gauge.Value(), 0);
+  EXPECT_EQ(histogram.Snap().count, 0u);
+  counter.Add();
+  EXPECT_EQ(counter.Value(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace rcj

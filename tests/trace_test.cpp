@@ -1,0 +1,375 @@
+// Per-query tracing, unit and end-to-end: spans must aggregate by
+// (depth, name) with earliest-start merging, the TRACE/ENDTRACE wire
+// frames must round-trip, a `trace=1` query must carry its span tree
+// after END while an untraced query adds ZERO extra wire lines (the
+// determinism contract), and a trace id sent through the fleet proxy
+// must come back on every stitched row — backend spans and proxy spans
+// under one id, asserted by string match like a log aggregator would.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/rcj.h"
+#include "fleet/fleet_proxy.h"
+#include "net/line_reader.h"
+#include "net/net_server.h"
+#include "net/protocol.h"
+#include "shard/shard_router.h"
+#include "workload/generator.h"
+
+namespace rcj {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(TraceContextTest, SpansAggregateByDepthAndName) {
+  obs::TraceContext trace("agg-test");
+  const obs::TraceClock::time_point base = trace.start_time();
+  // Two occurrences of the same (depth, name): counts and durations sum,
+  // the start offset keeps the EARLIEST occurrence.
+  trace.Record("stage", 1, base + milliseconds(10), base + milliseconds(30));
+  trace.Record("stage", 1, base + milliseconds(5), base + milliseconds(15));
+  trace.Record("request", 0, base, base + milliseconds(40));
+
+  const std::vector<obs::TraceSpan> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Ordered by start offset: the request (t=0) before the stage (t=5ms).
+  EXPECT_EQ(spans[0].name, "request");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[0].count, 1u);
+  EXPECT_NEAR(spans[0].total_seconds, 0.040, 1e-9);
+  EXPECT_EQ(spans[1].name, "stage");
+  EXPECT_EQ(spans[1].count, 2u);
+  EXPECT_NEAR(spans[1].total_seconds, 0.030, 1e-9);  // 20ms + 10ms
+  EXPECT_NEAR(spans[1].start_seconds, 0.005, 1e-9);  // earliest start
+}
+
+TEST(TraceContextTest, RecordSecondsCarriesCountAndClampsStart) {
+  obs::TraceContext trace;
+  // A duration-only record (modeled I/O wall) longer than the trace has
+  // been alive: the start offset clamps to the trace start, never
+  // negative.
+  trace.RecordSeconds("io_wall", 2, 3600.0, 7);
+  const std::vector<obs::TraceSpan> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].count, 7u);
+  EXPECT_NEAR(spans[0].total_seconds, 3600.0, 1e-9);
+  EXPECT_GE(spans[0].start_seconds, 0.0);
+}
+
+TEST(TraceContextTest, ScopedSpanRecordsItsScope) {
+  obs::TraceContext trace;
+  {
+    obs::ScopedSpan span(&trace, "scoped", 1);
+  }
+  // Null trace: the RAII helper must be a no-op, not a crash.
+  { obs::ScopedSpan ignored(nullptr, "scoped", 1); }
+  const std::vector<obs::TraceSpan> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "scoped");
+  EXPECT_EQ(spans[0].count, 1u);
+  EXPECT_GE(spans[0].total_seconds, 0.0);
+}
+
+TEST(TraceContextTest, IdsDefaultToFreshHexAndKeepCallerIds) {
+  EXPECT_EQ(obs::TraceContext("tour.1").id(), "tour.1");
+
+  const std::string id = obs::TraceContext().id();
+  ASSERT_EQ(id.size(), 16u);
+  for (char c : id) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+        << "non-hex char in id " << id;
+  }
+  EXPECT_NE(obs::TraceContext().id(), id) << "ids must be process-unique";
+}
+
+TEST(TraceWireTest, TraceLineRoundTrips) {
+  net::WireTraceSpan span;
+  span.id = "abc-123";
+  span.depth = 2;
+  span.span = "leaf_chunk";
+  span.count = 200;
+  span.total_s = 0.125;
+  span.start_s = 0.5;
+
+  const std::string line = net::FormatTraceLine(span);
+  EXPECT_TRUE(net::IsTraceLine(line));
+  net::WireTraceSpan parsed;
+  ASSERT_TRUE(net::ParseTraceLine(line, &parsed).ok()) << line;
+  EXPECT_EQ(parsed.id, span.id);
+  EXPECT_EQ(parsed.depth, span.depth);
+  EXPECT_EQ(parsed.span, span.span);
+  EXPECT_EQ(parsed.count, span.count);
+  EXPECT_EQ(parsed.total_s, span.total_s);
+  EXPECT_EQ(parsed.start_s, span.start_s);
+}
+
+TEST(TraceWireTest, TraceEndLineRoundTrips) {
+  const std::string line = net::FormatTraceEndLine("abc-123", 5);
+  EXPECT_EQ(line, "ENDTRACE id=abc-123 spans=5");
+  EXPECT_TRUE(net::IsTraceEndLine(line));
+  std::string id;
+  uint64_t spans = 0;
+  ASSERT_TRUE(net::ParseTraceEndLine(line, &id, &spans).ok());
+  EXPECT_EQ(id, "abc-123");
+  EXPECT_EQ(spans, 5u);
+
+  EXPECT_FALSE(net::ParseTraceEndLine("ENDTRACE id=x", &id, &spans).ok());
+  EXPECT_FALSE(
+      net::ParseTraceEndLine("ENDTRACE id=bad/id spans=1", &id, &spans).ok());
+}
+
+TEST(TraceWireTest, TraceIdCharset) {
+  EXPECT_TRUE(net::IsValidTraceId("tour.1"));
+  EXPECT_TRUE(net::IsValidTraceId("a"));
+  EXPECT_TRUE(net::IsValidTraceId("A-Z_0.9"));
+  EXPECT_TRUE(net::IsValidTraceId(std::string(64, 'x')));
+  EXPECT_FALSE(net::IsValidTraceId(""));
+  EXPECT_FALSE(net::IsValidTraceId(std::string(65, 'x')));
+  EXPECT_FALSE(net::IsValidTraceId("has space"));
+  EXPECT_FALSE(net::IsValidTraceId("no/slash"));
+}
+
+// ---- end-to-end: the TRACE block on the wire ------------------------------
+
+std::unique_ptr<RcjEnvironment> BuildEnv(size_t n, uint64_t seed) {
+  const std::vector<PointRecord> qset = GenerateUniform(n, seed);
+  const std::vector<PointRecord> pset = GenerateUniform(n + 100, seed + 1);
+  Result<std::unique_ptr<RcjEnvironment>> env =
+      RcjEnvironment::Build(qset, pset, RcjRunOptions{});
+  EXPECT_TRUE(env.ok());
+  return std::move(env).value();
+}
+
+int ConnectLoopback(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(
+      connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void SendLine(int fd, const std::string& line) {
+  const std::string data = line + "\n";
+  size_t sent_total = 0;
+  while (sent_total < data.size()) {
+    const ssize_t sent = send(fd, data.data() + sent_total,
+                              data.size() - sent_total, MSG_NOSIGNAL);
+    ASSERT_GT(sent, 0) << std::strerror(errno);
+    sent_total += static_cast<size_t>(sent);
+  }
+}
+
+/// The response stream of one query, split at END: the pair count before
+/// it and every raw line after it that belongs to the trace block (up to
+/// and including ENDTRACE when one arrived).
+struct TracedResponse {
+  bool saw_ok = false;
+  bool saw_end = false;
+  size_t pairs = 0;
+  std::vector<std::string> trace_lines;  // TRACE rows, verbatim
+  std::string endtrace_line;             // empty when none arrived
+};
+
+/// Reads one query's response. When `expect_trace` is set, keeps reading
+/// after END until ENDTRACE; otherwise stops at END so the caller can
+/// prove the connection carries nothing extra.
+TracedResponse ReadTraced(net::LineReader* reader, bool expect_trace) {
+  TracedResponse response;
+  std::string line;
+  while (reader->ReadLine(&line)) {
+    RcjPair pair;
+    net::WireSummary summary;
+    if (!response.saw_ok) {
+      EXPECT_EQ(line, "OK");
+      response.saw_ok = true;
+    } else if (!response.saw_end) {
+      if (net::ParsePairLine(line, &pair).ok()) {
+        ++response.pairs;
+      } else if (net::ParseEndLine(line, &summary).ok()) {
+        response.saw_end = true;
+        if (!expect_trace) return response;
+      } else {
+        ADD_FAILURE() << "unexpected line before END: " << line;
+        return response;
+      }
+    } else if (net::IsTraceLine(line)) {
+      response.trace_lines.push_back(line);
+    } else if (net::IsTraceEndLine(line)) {
+      response.endtrace_line = line;
+      return response;
+    } else {
+      ADD_FAILURE() << "unexpected line after END: " << line;
+      return response;
+    }
+  }
+  return response;
+}
+
+std::set<std::string> SpanNames(const std::vector<std::string>& lines) {
+  std::set<std::string> names;
+  for (const std::string& line : lines) {
+    net::WireTraceSpan span;
+    EXPECT_TRUE(net::ParseTraceLine(line, &span).ok()) << line;
+    names.insert(span.span);
+  }
+  return names;
+}
+
+TEST(TraceEndToEndTest, TracedQueryCarriesSpanTreeAfterEnd) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(400, 701);
+  ShardRouter router{ShardRouterOptions{}};
+  ASSERT_TRUE(router.RegisterEnvironment("default", env.get()).ok());
+  NetServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+
+  net::WireRequest request;
+  request.env_name = "default";
+  request.spec.limit = 10;
+  request.trace = true;
+  request.trace_id = "e2e-trace-1";
+
+  const int fd = ConnectLoopback(server.port());
+  net::LineReader reader(fd);
+  SendLine(fd, net::FormatRequestLine(request));
+  const TracedResponse response = ReadTraced(&reader, /*expect_trace=*/true);
+  close(fd);
+  server.Stop();
+
+  EXPECT_TRUE(response.saw_end);
+  EXPECT_EQ(response.pairs, 10u);
+  ASSERT_FALSE(response.trace_lines.empty());
+  // Every row carries the caller's id — that is what makes the block
+  // greppable in an aggregated log.
+  for (const std::string& line : response.trace_lines) {
+    EXPECT_NE(line.find("id=e2e-trace-1"), std::string::npos) << line;
+  }
+  const std::set<std::string> names = SpanNames(response.trace_lines);
+  EXPECT_EQ(names.count("server"), 1u) << "missing the depth-0 request span";
+  EXPECT_EQ(names.count("exec"), 1u) << "missing the engine execution span";
+
+  std::string id;
+  uint64_t spans = 0;
+  ASSERT_FALSE(response.endtrace_line.empty()) << "no ENDTRACE terminator";
+  ASSERT_TRUE(net::ParseTraceEndLine(response.endtrace_line, &id, &spans).ok());
+  EXPECT_EQ(id, "e2e-trace-1");
+  EXPECT_EQ(spans, response.trace_lines.size());
+}
+
+TEST(TraceEndToEndTest, UntracedQueryAddsZeroWireLines) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(400, 702);
+  ShardRouter router{ShardRouterOptions{}};
+  ASSERT_TRUE(router.RegisterEnvironment("default", env.get()).ok());
+  NetServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+
+  net::WireRequest request;
+  request.env_name = "default";
+  request.spec.limit = 5;
+
+  // The wire serves one request per connection, so "tracing off adds
+  // zero lines" means: after END the stream is DONE — the server closes
+  // and the next read is EOF, with no TRACE or ENDTRACE riding in
+  // between. This is the determinism contract: untraced streams are
+  // byte-identical to the pre-observability protocol.
+  const int fd = ConnectLoopback(server.port());
+  net::LineReader reader(fd);
+  SendLine(fd, net::FormatRequestLine(request));
+  const TracedResponse response = ReadTraced(&reader, /*expect_trace=*/false);
+  EXPECT_TRUE(response.saw_end);
+  EXPECT_EQ(response.pairs, 5u);
+
+  std::string line;
+  EXPECT_FALSE(reader.ReadLine(&line))
+      << "stray line after END on an untraced query: " << line;
+  close(fd);
+  server.Stop();
+}
+
+TEST(TraceEndToEndTest, ProxyStitchesBackendSpansUnderOneId) {
+  // The smallest fleet: two single-env backends behind one proxy. A traced
+  // query through the proxy must come back with backend spans AND proxy
+  // spans, every row under the caller's trace id — the proxy forwards the
+  // id, relays the backend's TRACE rows verbatim, and appends its own.
+  struct Backend {
+    std::unique_ptr<RcjEnvironment> env;
+    std::unique_ptr<ShardRouter> router;
+    std::unique_ptr<NetServer> server;
+  };
+  std::vector<Backend> backends(2);
+  std::vector<fleet::BackendAddress> addresses;
+  uint64_t seed = 711;
+  for (Backend& backend : backends) {
+    backend.env = BuildEnv(300, seed++);
+    backend.router = std::make_unique<ShardRouter>(ShardRouterOptions{});
+    ASSERT_TRUE(
+        backend.router->RegisterEnvironment("default", backend.env.get())
+            .ok());
+    backend.server = std::make_unique<NetServer>(backend.router.get());
+    ASSERT_TRUE(backend.server->Start().ok());
+    fleet::BackendAddress address;
+    address.host = "127.0.0.1";
+    address.port = backend.server->port();
+    addresses.push_back(address);
+  }
+  fleet::FleetProxyOptions proxy_options;
+  proxy_options.replicas = 2;
+  fleet::FleetProxy proxy(addresses, proxy_options);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  net::WireRequest request;
+  request.env_name = "default";
+  request.spec.limit = 10;
+  request.trace = true;
+  request.trace_id = "fleet-trace-1";
+
+  const int fd = ConnectLoopback(proxy.port());
+  net::LineReader reader(fd);
+  SendLine(fd, net::FormatRequestLine(request));
+  const TracedResponse response = ReadTraced(&reader, /*expect_trace=*/true);
+  close(fd);
+  proxy.Stop();
+  for (Backend& backend : backends) backend.server->Stop();
+
+  EXPECT_TRUE(response.saw_end);
+  EXPECT_EQ(response.pairs, 10u);
+  ASSERT_FALSE(response.trace_lines.empty());
+  // String-match propagation: every stitched row, backend-born or
+  // proxy-born, carries the id the client picked.
+  for (const std::string& line : response.trace_lines) {
+    EXPECT_NE(line.find("id=fleet-trace-1"), std::string::npos) << line;
+  }
+  const std::set<std::string> names = SpanNames(response.trace_lines);
+  EXPECT_EQ(names.count("server"), 1u) << "backend spans missing";
+  EXPECT_EQ(names.count("proxy"), 1u) << "proxy spans missing";
+  EXPECT_EQ(names.count("proxy.dial"), 1u) << "proxy dial span missing";
+
+  std::string id;
+  uint64_t spans = 0;
+  ASSERT_FALSE(response.endtrace_line.empty()) << "no ENDTRACE terminator";
+  ASSERT_TRUE(net::ParseTraceEndLine(response.endtrace_line, &id, &spans).ok());
+  EXPECT_EQ(id, "fleet-trace-1");
+  EXPECT_EQ(spans, response.trace_lines.size());
+}
+
+}  // namespace
+}  // namespace rcj

@@ -12,9 +12,17 @@ node accesses, page faults, and the modeled I/O seconds derived from
 them); measured CPU seconds are too noisy on shared CI runners to gate on,
 but can be opted in with --metrics.
 
+Histogram-summary latency rows (the p50_ms/p99_ms metrics benches emit
+from the observability histograms, e.g. engine-exec latency) are gated
+too, under their own --latency-threshold: wall-clock quantiles on shared
+runners are real measurements but noisier than the deterministic
+counters, so they get a wider band instead of being dropped from the
+gate entirely.
+
 Usage:
   bench_diff.py BASELINE_DIR CURRENT_DIR [--threshold 0.15]
                 [--metrics candidates,node_accesses,page_faults,io_seconds]
+                [--latency-metrics p50_ms,p99_ms] [--latency-threshold 0.5]
                 [--github] [--out delta.md]
 
 Exit codes: 0 = no regression, 1 = at least one tracked metric regressed,
@@ -27,6 +35,7 @@ import sys
 from pathlib import Path
 
 DEFAULT_METRICS = "candidates,node_accesses,page_faults,io_seconds"
+DEFAULT_LATENCY_METRICS = "p50_ms,p99_ms"
 
 
 def load_artifacts(directory: Path):
@@ -87,6 +96,19 @@ def main() -> int:
         help=f"comma-separated tracked metrics (default {DEFAULT_METRICS})",
     )
     parser.add_argument(
+        "--latency-metrics",
+        default=DEFAULT_LATENCY_METRICS,
+        help="comma-separated histogram-summary metrics gated under "
+        f"--latency-threshold (default {DEFAULT_LATENCY_METRICS})",
+    )
+    parser.add_argument(
+        "--latency-threshold",
+        type=float,
+        default=0.5,
+        help="relative growth that counts as a latency regression "
+        "(default 0.5; quantiles are noisier than cost counters)",
+    )
+    parser.add_argument(
         "--zero-tolerance",
         type=float,
         default=0.0,
@@ -113,13 +135,20 @@ def main() -> int:
         if not directory.is_dir():
             print(f"error: {directory} is not a directory", file=sys.stderr)
             return 2
-    if args.threshold <= 0:
-        print("error: --threshold must be positive", file=sys.stderr)
+    if args.threshold <= 0 or args.latency_threshold <= 0:
+        print("error: thresholds must be positive", file=sys.stderr)
         return 2
-    tracked = [m for m in args.metrics.split(",") if m]
-    if not tracked:
+    cost_metrics = [m for m in args.metrics.split(",") if m]
+    if not cost_metrics:
         print("error: --metrics lists no metrics", file=sys.stderr)
         return 2
+    latency_metrics = [m for m in args.latency_metrics.split(",") if m]
+    # Latency metrics ride behind the cost counters in one tracked list;
+    # each metric is gated under its own threshold below.
+    tracked = cost_metrics + [
+        m for m in latency_metrics if m not in cost_metrics
+    ]
+    latency_set = set(latency_metrics)
 
     baseline = load_artifacts(args.baseline)
     current = load_artifacts(args.current)
@@ -186,17 +215,22 @@ def main() -> int:
                     continue
                 old, new = old_metrics[metric], new_metrics[metric]
                 compared += 1
+                threshold = (
+                    args.latency_threshold
+                    if metric in latency_set
+                    else args.threshold
+                )
                 delta = relative_delta(old, new)
                 if delta is None:
                     regressed = new > args.zero_tolerance
                     shown = "inf" if regressed else "0%"
                 else:
-                    regressed = delta > args.threshold
+                    regressed = delta > threshold
                     shown = f"{delta:+.1%}"
                 if regressed:
                     regressions.append((bench, label, metric, old, new, shown))
                     marker = "REGRESSED"
-                elif delta is not None and delta < -args.threshold:
+                elif delta is not None and delta < -threshold:
                     improvements += 1
                     marker = "improved"
                 else:
@@ -212,7 +246,8 @@ def main() -> int:
     header = (
         f"bench_diff: {len(baseline)} baseline vs {len(current)} current "
         f"benches, {compared} tracked metrics compared, "
-        f"threshold {args.threshold:.0%}"
+        f"threshold {args.threshold:.0%} "
+        f"(latency {args.latency_threshold:.0%})"
     )
     summary = (
         f"{len(regressions)} regression(s), {improvements} improvement(s) "
@@ -226,10 +261,15 @@ def main() -> int:
 
     if args.github:
         for bench, label, metric, old, new, shown in regressions:
+            gate = (
+                args.latency_threshold
+                if metric in latency_set
+                else args.threshold
+            )
             print(
                 f"::{args.annotate_level} title=perf regression in {bench}::"
                 f"{label} / {metric}: {old:g} -> {new:g} ({shown}, "
-                f"threshold {args.threshold:.0%})"
+                f"threshold {gate:.0%})"
             )
         # One-sided benches/rows always annotate at warning level, whatever
         # the caller's gate level: they are informational by design.

@@ -41,6 +41,7 @@
 #include "net/net_server.h"
 #include "net/protocol.h"
 #include "net/protocol_client.h"
+#include "obs/metrics.h"
 #include "service/service.h"
 #include "shard/shard_router.h"
 #include "workload/dataset.h"
@@ -91,20 +92,31 @@ int Usage() {
       "           [--compact-threshold N]  (with --live: background-compact\n"
       "                         once N mutations are pending; 0 = manual\n"
       "                         COMPACT only)\n"
+      "           [--slow-query-ms MS]  (record queries slower than MS in\n"
+      "                         the slow-query log, dumped via METRICS;\n"
+      "                         network mode only; 0 = record every query)\n"
       "  rcj_tool client [--host H] --port P [--env NAME]\n"
       "           [--algo brute|inj|bij|obj] [--order dfs|random]\n"
       "           [--verify 0|1] [--seed S] [--limit K] [--io-ms F]\n"
       "           [--out PAIRS.csv] [--quiet]\n"
+      "           [--trace]    (request the query's span tree: the server\n"
+      "                         appends TRACE lines after END, printed as\n"
+      "                         an indented tree on stderr)\n"
+      "           [--trace-id ID]  (with --trace: propagate a caller-chosen\n"
+      "                         trace id instead of a server-minted one)\n"
       "  rcj_tool client [--host H] --port P --stats\n"
       "                        (print the server's per-shard and per-\n"
       "                         environment STATS tables)\n"
+      "  rcj_tool client [--host H] --port P --metrics\n"
+      "                        (scrape the server's METRICS registry and\n"
+      "                         print the Prometheus text exposition)\n"
       "  rcj_tool client [--host H] --port P [--env NAME] --mutations FILE\n"
       "                        (send the file's INSERT/DELETE/COMPACT lines\n"
       "                         to the server as one batched connection;\n"
       "                         --env names the target of env-less lines)\n"
       "  rcj_tool proxy --backends H:P,H:P,... [--port P] [--replicas R]\n"
       "           [--retry-attempts N] [--retry-base-ms MS]\n"
-      "           [--retry-max-ms MS]\n"
+      "           [--retry-max-ms MS] [--slow-query-ms MS]\n"
       "                        (fleet router tier: speaks the same line\n"
       "                         protocol in front of running serve\n"
       "                         backends — consistent-hash env placement,\n"
@@ -918,6 +930,17 @@ int CmdServeNetwork(const std::map<std::string, std::string>& flags) {
 
   NetServerOptions server_options;
   server_options.port = static_cast<uint16_t>(port);
+  const auto slow_it = flags.find("slow-query-ms");
+  if (slow_it != flags.end()) {
+    if (!net::ParseDoubleField("slow_query_ms", slow_it->second,
+                               &server_options.slow_query_ms)
+             .ok() ||
+        server_options.slow_query_ms < 0.0) {
+      std::fprintf(stderr, "serve: invalid --slow-query-ms '%s' (want >= 0)\n",
+                   slow_it->second.c_str());
+      return 2;
+    }
+  }
   NetServer server(&router, server_options);
   status = server.Start();
   if (!status.ok()) {
@@ -1074,6 +1097,53 @@ int CmdClientStats(const std::string& host, size_t port) {
   return exit_code;
 }
 
+// `client --metrics`: one METRICS scrape, the Prometheus text exposition
+// relayed to stdout verbatim (slow-query entries ride along as `# slowlog`
+// comments). Exit 0 iff the ENDMETRICS line count matches the lines
+// received.
+int CmdClientMetrics(const std::string& host, size_t port) {
+  const int fd = ConnectClient(host, port);
+  if (fd < 0) return -fd;
+  if (!net::SendAll(fd, "METRICS\n")) {
+    std::fprintf(stderr, "client: send: %s\n", std::strerror(errno));
+    close(fd);
+    return 1;
+  }
+  net::LineReader reader(fd);
+  std::string line;
+  int exit_code = 1;
+  if (!reader.ReadLine(&line)) {
+    std::fprintf(stderr, "client: connection closed before a response\n");
+  } else if (line != "OK") {
+    Status err = Status::IoError("malformed response '" + line + "'");
+    net::ParseErrLine(line, &err);
+    std::fprintf(stderr, "client: %s\n", err.ToString().c_str());
+  } else {
+    uint64_t streamed = 0;
+    uint64_t reported = 0;
+    while (reader.ReadLine(&line)) {
+      if (net::ParseMetricsEndLine(line, &reported).ok()) {
+        exit_code = reported == streamed ? 0 : 1;
+        if (exit_code != 0) {
+          std::fprintf(stderr,
+                       "client: ENDMETRICS reports %llu lines but %llu "
+                       "streamed\n",
+                       static_cast<unsigned long long>(reported),
+                       static_cast<unsigned long long>(streamed));
+        }
+        break;
+      }
+      ++streamed;
+      std::printf("%s\n", line.c_str());
+    }
+    if (exit_code != 0 && reported == 0) {
+      std::fprintf(stderr, "client: stream ended without ENDMETRICS\n");
+    }
+  }
+  close(fd);
+  return exit_code;
+}
+
 // `client --mutations FILE`: sends the file's INSERT/DELETE/COMPACT lines
 // to the server, one request (= one connection) each, in order. Lines
 // without an env= field are bound to `env_name` (the --env flag). Exits
@@ -1154,6 +1224,7 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
     return 2;
   }
   if (flags.count("stats") != 0) return CmdClientStats(host, port);
+  if (flags.count("metrics") != 0) return CmdClientMetrics(host, port);
   if (flags.count("mutations") != 0) {
     return CmdClientMutations(host, port, FlagOr(flags, "env", "default"),
                               flags.at("mutations"));
@@ -1161,6 +1232,19 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
 
   net::WireRequest request;
   request.env_name = FlagOr(flags, "env", "default");
+  request.trace = flags.count("trace") != 0;
+  request.trace_id = FlagOr(flags, "trace-id", "");
+  if (!request.trace_id.empty() && !request.trace) {
+    std::fprintf(stderr, "client: --trace-id needs --trace\n");
+    return 2;
+  }
+  if (!request.trace_id.empty() && !net::IsValidTraceId(request.trace_id)) {
+    std::fprintf(stderr,
+                 "client: invalid --trace-id '%s' (want 1..64 chars of "
+                 "[A-Za-z0-9_.-])\n",
+                 request.trace_id.c_str());
+    return 2;
+  }
   if (!ParseAlgo(FlagOr(flags, "algo", "obj"), &request.spec.algorithm)) {
     std::fprintf(stderr, "client: unknown algorithm '%s'\n",
                  FlagOr(flags, "algo", "obj").c_str());
@@ -1275,6 +1359,44 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
                        static_cast<unsigned long long>(summary.pairs),
                        static_cast<unsigned long long>(streamed));
         }
+        if (exit_code == 0 && request.trace) {
+          // The span tree rides after END: TRACE rows (depth-indented
+          // here), closed by ENDTRACE whose count must match.
+          uint64_t rows = 0;
+          uint64_t reported_spans = 0;
+          std::string end_id;
+          bool trace_done = false;
+          while (reader.ReadLine(&line)) {
+            net::WireTraceSpan span;
+            if (net::ParseTraceEndLine(line, &end_id, &reported_spans)
+                    .ok()) {
+              trace_done = true;
+              break;
+            }
+            if (!net::ParseTraceLine(line, &span).ok()) {
+              std::fprintf(stderr, "client: malformed trace line '%s'\n",
+                           line.c_str());
+              break;
+            }
+            if (rows == 0) std::fprintf(stderr, "trace %s:\n", span.id.c_str());
+            ++rows;
+            std::fprintf(stderr,
+                         "%*s%-24s count=%llu total=%.3fms start=+%.3fms\n",
+                         static_cast<int>(2 * (span.depth + 1)), "",
+                         span.span.c_str(),
+                         static_cast<unsigned long long>(span.count),
+                         span.total_s * 1e3, span.start_s * 1e3);
+          }
+          if (!trace_done || reported_spans != rows) {
+            std::fprintf(
+                stderr,
+                "client: trace block ended badly (%llu rows, ENDTRACE %s)\n",
+                static_cast<unsigned long long>(rows),
+                trace_done ? std::to_string(reported_spans).c_str()
+                           : "missing");
+            exit_code = 1;
+          }
+        }
         break;
       } else if (net::ParseErrLine(line, &err).ok()) {
         std::fprintf(stderr, "client: %s\n", err.ToString().c_str());
@@ -1299,7 +1421,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   // nothing without the network server, so refuse instead of ignoring.
   for (const char* network_only :
        {"shards", "max-queue", "max-inflight", "envs", "live",
-        "compact-threshold"}) {
+        "compact-threshold", "slow-query-ms"}) {
     if (flags.count(network_only) != 0) {
       std::fprintf(stderr,
                    "serve: --%s needs the network server (add --port)\n",
@@ -1470,6 +1592,21 @@ bool ParseProxyFlags(const char* cmd,
     return false;
   }
   options->retry.max_backoff_ms = value;
+  // The slow-query log is process-wide (the proxy records its relay wall
+  // times into it); configuring it here covers both front ends. Under
+  // `fleet` the flag also passes through to every backend's serve.
+  const auto slow_it = flags.find("slow-query-ms");
+  if (slow_it != flags.end()) {
+    double slow_ms = -1.0;
+    if (!net::ParseDoubleField("slow_query_ms", slow_it->second, &slow_ms)
+             .ok() ||
+        slow_ms < 0.0) {
+      std::fprintf(stderr, "%s: invalid --slow-query-ms '%s' (want >= 0)\n",
+                   cmd, slow_it->second.c_str());
+      return false;
+    }
+    obs::MetricsRegistry::Default().slow_log()->Configure(slow_ms / 1000.0);
+  }
   *exit_code = 0;
   return true;
 }
