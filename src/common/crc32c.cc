@@ -1,0 +1,36 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace rcj {
+namespace crc32c {
+namespace {
+
+/// Builds the reflected CRC32C lookup table at static-init time. The
+/// reversed polynomial of Castagnoli's 0x1EDC6F41 is 0x82F63B78.
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const void* data, size_t n) {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = init_crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace crc32c
+}  // namespace rcj

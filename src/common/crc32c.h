@@ -1,0 +1,42 @@
+// CRC32C (Castagnoli) — the checksum guarding mutation-WAL records.
+//
+// Software table-driven implementation (no SSE4.2 dependency), polynomial
+// 0x1EDC6F41 reflected. The value is masked the way LevelDB/RocksDB mask
+// CRCs stored alongside the data they cover: a CRC of a byte string that
+// *contains* CRCs is dangerously likely to collide with itself after a
+// partial overwrite, and the rotate-and-offset mask breaks that
+// self-similarity. WAL records store the masked form; verification
+// unmasks before comparing.
+#ifndef RINGJOIN_COMMON_CRC32C_H_
+#define RINGJOIN_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rcj {
+namespace crc32c {
+
+/// CRC32C of `data[0, n)`, seeded with `init_crc` (0 for a fresh
+/// checksum; pass a previous value to extend it over concatenated
+/// buffers).
+uint32_t Extend(uint32_t init_crc, const void* data, size_t n);
+
+inline uint32_t Value(const void* data, size_t n) {
+  return Extend(0, data, n);
+}
+
+/// The storage mask (LevelDB's kMaskDelta scheme): rotate right 15 bits
+/// and add a constant. Stored CRCs are masked; Unmask inverts it.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace crc32c
+}  // namespace rcj
+
+#endif  // RINGJOIN_COMMON_CRC32C_H_

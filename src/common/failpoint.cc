@@ -1,0 +1,216 @@
+#include "common/failpoint.h"
+
+#include <signal.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <thread>
+
+namespace rcj {
+namespace failpoint {
+namespace {
+
+enum class Trigger { kAlways, kOneIn, kAfter };
+enum class Action { kErr, kSleep, kCrash };
+
+struct Spec {
+  Trigger trigger = Trigger::kAlways;
+  uint64_t one_in = 1;       ///< kOneIn: fire when rng() % one_in == 0.
+  uint64_t after = 0;        ///< kAfter: pass this many evals first.
+  uint64_t evals = 0;        ///< kAfter state: evaluations seen so far.
+  std::mt19937_64 rng;       ///< kOneIn state: seeded draw stream.
+  Action action = Action::kErr;
+  uint64_t sleep_ms = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Spec> sites;
+};
+
+Registry& GetRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+/// One-time env arming: a child process spawned with RINGJOIN_FAILPOINTS
+/// in its environment (the chaos smoke) arms itself before the first
+/// site fires. Parse errors are ignored here — there is no caller to
+/// report to — but the same string through ConfigureFromList() in a test
+/// surfaces them. Runs lazily at the first Eval, never again (an
+/// explicit Reset() stays reset).
+void ArmFromEnvOnce() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    if (const char* env = std::getenv("RINGJOIN_FAILPOINTS")) {
+      ConfigureFromList(env);
+    }
+  });
+}
+
+Status ParseSpec(const std::string& site, const std::string& text,
+                 Spec* out) {
+  std::istringstream in(text);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("failpoint " + site + ": empty spec");
+  }
+  size_t i = 0;
+  uint64_t seed = 0;
+  auto take_uint = [&](const char* what, uint64_t* value) {
+    if (i >= tokens.size() || tokens[i].empty() ||
+        tokens[i].find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("failpoint " + site + ": " + what +
+                                     " wants a number");
+    }
+    *value = std::strtoull(tokens[i].c_str(), nullptr, 10);
+    ++i;
+    return Status::OK();
+  };
+  if (tokens[i] == "1in") {
+    ++i;
+    out->trigger = Trigger::kOneIn;
+    Status status = take_uint("1in", &out->one_in);
+    if (!status.ok()) return status;
+    if (out->one_in == 0) {
+      return Status::InvalidArgument("failpoint " + site + ": 1in 0");
+    }
+    if (i < tokens.size() && tokens[i] == "seed") {
+      ++i;
+      status = take_uint("seed", &seed);
+      if (!status.ok()) return status;
+    }
+  } else if (tokens[i] == "after") {
+    ++i;
+    out->trigger = Trigger::kAfter;
+    const Status status = take_uint("after", &out->after);
+    if (!status.ok()) return status;
+  }
+  out->rng.seed(seed);
+  if (i >= tokens.size()) {
+    return Status::InvalidArgument("failpoint " + site +
+                                   ": trigger without an action");
+  }
+  if (tokens[i] == "err") {
+    out->action = Action::kErr;
+    ++i;
+  } else if (tokens[i] == "sleep") {
+    ++i;
+    out->action = Action::kSleep;
+    const Status status = take_uint("sleep", &out->sleep_ms);
+    if (!status.ok()) return status;
+  } else if (tokens[i] == "crash") {
+    out->action = Action::kCrash;
+    ++i;
+  } else {
+    return Status::InvalidArgument("failpoint " + site +
+                                   ": unknown action '" + tokens[i] + "'");
+  }
+  if (i != tokens.size()) {
+    return Status::InvalidArgument("failpoint " + site +
+                                   ": trailing tokens after action");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Eval(const char* site) {
+  ArmFromEnvOnce();
+  Registry& registry = GetRegistry();
+  Action action;
+  uint64_t sleep_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.sites.find(site);
+    if (it == registry.sites.end()) return Status::OK();
+    Spec& spec = it->second;
+    switch (spec.trigger) {
+      case Trigger::kAlways:
+        break;
+      case Trigger::kOneIn:
+        if (spec.rng() % spec.one_in != 0) return Status::OK();
+        break;
+      case Trigger::kAfter:
+        if (spec.evals++ < spec.after) return Status::OK();
+        break;
+    }
+    action = spec.action;
+    sleep_ms = spec.sleep_ms;
+  }
+  switch (action) {
+    case Action::kErr:
+      return Status::IoError(std::string("failpoint ") + site);
+    case Action::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      return Status::OK();
+    case Action::kCrash:
+      // SIGKILL, not abort(): the recovery tests model a machine-level
+      // kill -9 with no atexit/flush rescue.
+      raise(SIGKILL);
+      return Status::OK();  // unreachable
+  }
+  return Status::OK();
+}
+
+Status Configure(const std::string& site, const std::string& spec_text) {
+  Registry& registry = GetRegistry();
+  if (spec_text == "off") {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.sites.erase(site);
+    return Status::OK();
+  }
+  Spec spec;
+  const Status status = ParseSpec(site, spec_text, &spec);
+  if (!status.ok()) return status;
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.sites[site] = std::move(spec);
+  return Status::OK();
+}
+
+Status ConfigureFromList(const std::string& list) {
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t semi = list.find(';', start);
+    const std::string entry = list.substr(
+        start, semi == std::string::npos ? std::string::npos : semi - start);
+    if (!entry.empty()) {
+      const size_t eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Status::InvalidArgument("failpoint list entry '" + entry +
+                                       "' is not site=spec");
+      }
+      const Status status =
+          Configure(entry.substr(0, eq), entry.substr(eq + 1));
+      if (!status.ok()) return status;
+    }
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  return Status::OK();
+}
+
+void Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.sites.clear();
+}
+
+std::vector<std::string> ArmedSites() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.sites.size());
+  for (const auto& entry : registry.sites) names.push_back(entry.first);
+  return names;  // std::map iterates sorted.
+}
+
+}  // namespace failpoint
+}  // namespace rcj

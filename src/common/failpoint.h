@@ -1,0 +1,83 @@
+// Deterministic fault injection for tests and chaos smokes.
+//
+// A failpoint is a named site compiled into a hot path:
+//
+//   RINGJOIN_RETURN_IF_ERROR(RINGJOIN_FAILPOINT("wal_sync"));
+//
+// With the default build (`RINGJOIN_FAILPOINTS` CMake option OFF) the
+// macro expands to an OK status and the site costs nothing — production
+// binaries carry no fault-injection machinery. With the option ON the
+// site consults a process-wide registry of armed specs:
+//
+//   spec    = "off" | [ trigger SP ] action
+//   trigger = "1in" SP N [ SP "seed" SP S ]   ; seeded RNG, fires ~1/N
+//           | "after" SP K                    ; passes K times, then fires
+//   action  = "err"                           ; return IoError
+//           | "sleep" SP MS                   ; delay, then proceed
+//           | "crash"                         ; raise(SIGKILL) — the
+//                                             ; kill -9 the recovery
+//                                             ; tests need
+//
+// Specs are armed three ways, all sharing this grammar: the
+// `RINGJOIN_FAILPOINTS` environment variable ("site=spec;site2=spec",
+// read once at first use), Configure() from tests, and the test-only
+// `FAILPOINT <site> <spec>` wire command (rejected with NotSupported
+// when compiled out). Both trigger kinds are deterministic: `after K`
+// counts evaluations, and `1in N` draws from a per-site mt19937_64
+// seeded explicitly (default seed 0), so a failing run replays exactly.
+//
+// Armed sites in this PR: wal_append, wal_sync, compact_swap,
+// backend_dial, relay_midstream (see docs/ROBUSTNESS.md).
+#ifndef RINGJOIN_COMMON_FAILPOINT_H_
+#define RINGJOIN_COMMON_FAILPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rcj {
+namespace failpoint {
+
+/// True when the build carries the registry (RINGJOIN_FAILPOINTS=ON).
+/// The wire handler uses this to answer FAILPOINT with NotSupported on
+/// production builds.
+#if defined(RINGJOIN_FAILPOINTS)
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+/// Evaluates the site: OK to proceed, an error when an armed `err` spec
+/// fires. `sleep` blocks then returns OK; `crash` does not return.
+/// Unarmed sites return OK after one mutex-guarded map lookup.
+Status Eval(const char* site);
+
+/// Arms (or with "off" disarms) one site. InvalidArgument on a spec that
+/// doesn't parse; the site name itself is free-form (arming a site no
+/// code evaluates is legal and inert).
+Status Configure(const std::string& site, const std::string& spec);
+
+/// Arms every "site=spec" entry of a ';'-separated list (the
+/// RINGJOIN_FAILPOINTS environment variable format). First error wins;
+/// prior entries stay armed.
+Status ConfigureFromList(const std::string& list);
+
+/// Disarms every site (test teardown).
+void Reset();
+
+/// Names of currently armed sites, sorted (observability/debugging).
+std::vector<std::string> ArmedSites();
+
+}  // namespace failpoint
+}  // namespace rcj
+
+/// The compiled-in site marker. Expands to a plain OK status when the
+/// build excludes failpoints, so call sites need no #ifdef.
+#if defined(RINGJOIN_FAILPOINTS)
+#define RINGJOIN_FAILPOINT(site) ::rcj::failpoint::Eval(site)
+#else
+#define RINGJOIN_FAILPOINT(site) ::rcj::Status::OK()
+#endif
+
+#endif  // RINGJOIN_COMMON_FAILPOINT_H_

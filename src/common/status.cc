@@ -23,6 +23,8 @@ const char* CodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

@@ -25,6 +25,12 @@ enum class StatusCode {
   /// in-flight cap is full. Unlike kCancelled (the caller walked away),
   /// an overloaded request never started — retrying later is safe.
   kOverloaded = 8,
+  /// The caller's end-to-end deadline expired before the work finished
+  /// (or before it started — expired-at-admission work is shed without
+  /// taking a slot). Distinct from kCancelled: the caller set a budget
+  /// and the budget ran out; retrying with the same budget will likely
+  /// expire again.
+  kDeadlineExceeded = 9,
 };
 
 /// A cheap, copyable success-or-error value. `Status::OK()` carries no
@@ -60,6 +66,9 @@ class Status {
   }
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the status represents success.

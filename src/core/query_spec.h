@@ -10,6 +10,7 @@
 #ifndef RINGJOIN_CORE_QUERY_SPEC_H_
 #define RINGJOIN_CORE_QUERY_SPEC_H_
 
+#include <chrono>
 #include <cstdint>
 
 #include "common/status.h"
@@ -55,6 +56,25 @@ struct QuerySpec {
 
   /// Milliseconds charged per page fault by the paper's I/O cost model.
   double io_ms_per_fault = 10.0;
+
+  /// Absolute end-to-end deadline on the steady clock; the
+  /// default-constructed time_point means "none". Set from the wire's
+  /// relative `deadline_ms` at parse time. Enforced in three places:
+  /// admission sheds already-expired work with kDeadlineExceeded before
+  /// it takes a slot, the engine aborts an in-flight query at the next
+  /// leaf-chunk boundary, and a fronting proxy budgets its retries
+  /// against the remaining time.
+  std::chrono::steady_clock::time_point deadline{};
+
+  /// True when a deadline was set.
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+
+  /// True when the deadline was set and has passed at `now`.
+  bool deadline_expired(std::chrono::steady_clock::time_point now) const {
+    return has_deadline() && now >= deadline;
+  }
 
   /// When non-null, every layer the query crosses records timed spans
   /// into this trace (src/obs/trace.h). Non-owning; the context must

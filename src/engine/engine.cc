@@ -52,6 +52,10 @@ struct QueryEmitState {
   /// First failure raised by the delivery sink itself (an Emit() that
   /// threw); settled into the query's result status at merge time.
   Status delivery_status;
+  /// Set (once) when a task observed the query's deadline expired at a
+  /// chunk boundary: the whole query resolves to this status at merge
+  /// time, since a partial stream past a blown budget is not a result.
+  Status abort_status;
   /// Relaxed cross-thread signal that remaining work is pointless: tasks
   /// stop claiming chunks and running traversals stop at their next
   /// emission.
@@ -244,6 +248,18 @@ void RunTaskChunks(const EngineQuery& query, const EngineOptions& options,
     // the next chunk boundary.
     if (query.cancel != nullptr &&
         query.cancel->load(std::memory_order_relaxed)) {
+      emit->cancelled.store(true, std::memory_order_relaxed);
+    }
+    // Leaf-chunk boundaries are the engine's deadline enforcement points:
+    // a blown budget aborts the whole query (DeadlineExceeded at merge)
+    // instead of letting it keep claiming chunks it can no longer use.
+    if (query.spec.deadline_expired(Clock::now())) {
+      std::lock_guard<std::mutex> lock(emit->mu);
+      if (emit->abort_status.ok()) {
+        emit->abort_status = Status::DeadlineExceeded(
+            "query deadline expired at a leaf-chunk boundary");
+      }
+      emit->delivery_closed = true;
       emit->cancelled.store(true, std::memory_order_relaxed);
     }
     if (emit->cancelled.load(std::memory_order_relaxed)) break;
@@ -549,6 +565,9 @@ std::vector<EngineQueryResult> Engine::RunBatch(
       result.run.stats.io_wall_seconds += task.io_wall_seconds;
       busy_seconds +=
           std::chrono::duration<double>(task.end - task.start).count();
+    }
+    if (result.status.ok() && !emit_states[qi]->abort_status.ok()) {
+      result.status = emit_states[qi]->abort_status;
     }
     if (result.status.ok() && !emit_states[qi]->delivery_status.ok()) {
       result.status = emit_states[qi]->delivery_status;

@@ -12,6 +12,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/failpoint.h"
+#include "common/macros.h"
 #include "common/stable_hash.h"
 #include "net/line_reader.h"
 #include "net/protocol.h"
@@ -48,6 +50,13 @@ struct ProxyMetrics {
   obs::Counter* forwarded;
   obs::Counter* replay_skipped_pairs;
   obs::Counter* stats_backends_skipped;
+  obs::Counter* expired;
+  obs::Counter* epoch_probes;
+  obs::Counter* catchups;
+  obs::Counter* catchup_failures;
+  obs::Counter* catchup_replayed;
+  obs::Counter* excluded_skips;
+  obs::Counter* relay_exclusions;
   obs::Histogram* backoff_seconds;
 
   static const ProxyMetrics& Get() {
@@ -72,6 +81,17 @@ struct ProxyMetrics {
           registry.counter("rcj_proxy_replay_skipped_pairs_total");
       m.stats_backends_skipped =
           registry.counter("rcj_proxy_stats_backends_skipped_total");
+      m.expired = registry.counter("rcj_proxy_expired_total");
+      m.epoch_probes = registry.counter("rcj_proxy_epoch_probes_total");
+      m.catchups = registry.counter("rcj_proxy_catchups_total");
+      m.catchup_failures =
+          registry.counter("rcj_proxy_catchup_failures_total");
+      m.catchup_replayed =
+          registry.counter("rcj_proxy_catchup_replayed_total");
+      m.excluded_skips =
+          registry.counter("rcj_proxy_excluded_skips_total");
+      m.relay_exclusions =
+          registry.counter("rcj_proxy_relay_exclusions_total");
       m.backoff_seconds = registry.histogram("rcj_proxy_backoff_seconds");
       return m;
     }();
@@ -106,7 +126,14 @@ bool IsEndLine(const std::string& line) {
 FleetProxy::FleetProxy(std::vector<BackendAddress> backends,
                        FleetProxyOptions options)
     : options_(std::move(options)),
-      pool_(std::move(backends), options_.pool) {}
+      pool_(std::move(backends), options_.pool),
+      excluded_(pool_.size()) {
+  // vector<atomic> default-constructs its elements; make the initial
+  // state explicit rather than relying on zero-initialization.
+  for (std::atomic<bool>& flag : excluded_) {
+    flag.store(false, std::memory_order_relaxed);
+  }
+}
 
 FleetProxy::~FleetProxy() { Stop(); }
 
@@ -228,7 +255,27 @@ FleetProxy::Counters FleetProxy::counters() const {
   counters.stats_backends_skipped =
       stats_backends_skipped_count_.load(std::memory_order_relaxed);
   counters.metrics = metrics_count_.load(std::memory_order_relaxed);
+  counters.expired = expired_count_.load(std::memory_order_relaxed);
+  counters.epoch_probes =
+      epoch_probes_count_.load(std::memory_order_relaxed);
+  counters.catchups = catchups_count_.load(std::memory_order_relaxed);
+  counters.catchup_failures =
+      catchup_failures_count_.load(std::memory_order_relaxed);
+  counters.excluded_skips =
+      excluded_skips_count_.load(std::memory_order_relaxed);
+  counters.relay_exclusions =
+      relay_exclusions_count_.load(std::memory_order_relaxed);
   return counters;
+}
+
+void FleetProxy::SetExcluded(size_t index, bool excluded) {
+  if (index >= excluded_.size()) return;
+  excluded_[index].store(excluded, std::memory_order_relaxed);
+}
+
+bool FleetProxy::excluded(size_t index) const {
+  return index < excluded_.size() &&
+         excluded_[index].load(std::memory_order_relaxed);
 }
 
 void FleetProxy::ReapFinishedConnections() {
@@ -365,6 +412,14 @@ void FleetProxy::HandleQuery(Connection* connection,
   queries_count_.fetch_add(1, std::memory_order_relaxed);
   ProxyMetrics::Get().queries->Add();
 
+  // The client's relative budget is anchored once, here: retries, dials,
+  // and backoffs below all spend from this single deadline, and each
+  // forwarded attempt carries only the budget still remaining.
+  const bool has_deadline = request.deadline_ms != 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(request.deadline_ms);
+
   // A traced query is stitched: the proxy mints (or adopts) the trace id
   // and forwards it on the backend's QUERY line, so the backend's TRACE
   // lines carry the same id and can be relayed verbatim; the proxy's own
@@ -375,6 +430,9 @@ void FleetProxy::HandleQuery(Connection* connection,
     trace = std::make_unique<obs::TraceContext>(request.trace_id);
     if (request.trace_id.empty()) {
       forward_line += " trace_id=" + trace->id();
+      // Keep the parsed request in sync: deadline-bearing attempts are
+      // re-serialized from it below and must carry the same id.
+      request.trace_id = trace->id();
     }
   }
 
@@ -426,10 +484,29 @@ void FleetProxy::HandleQuery(Connection* connection,
 
   for (size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
     if (stop_.load(std::memory_order_relaxed)) break;
+    if (has_deadline &&
+        std::chrono::steady_clock::now() >= deadline) {
+      last_error = Status::DeadlineExceeded(
+          "deadline expired after " + std::to_string(attempt) +
+          " backend attempts");
+      break;
+    }
     if (attempt > 0 && attempt % replicas.size() == 0) {
-      // A whole replica cycle failed: back off before going around again.
+      // A whole replica cycle failed: back off before going around again
+      // — but never sleep past the client's deadline; the budget is
+      // better spent reporting DeadlineExceeded promptly.
+      uint64_t delay_ms = schedule.NextDelayMs();
+      if (has_deadline) {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        delay_ms = std::min<uint64_t>(
+            delay_ms,
+            remaining > 0 ? static_cast<uint64_t>(remaining) : 0);
+      }
       const auto backoff_start = obs::TraceClock::now();
-      Backoff(schedule.NextDelayMs());
+      Backoff(delay_ms);
       if (trace != nullptr) {
         trace->Record("proxy.backoff", 1, backoff_start,
                       obs::TraceClock::now());
@@ -441,10 +518,39 @@ void FleetProxy::HandleQuery(Connection* connection,
       ProxyMetrics::Get().retries->Add();
     }
     const size_t backend = replicas[attempt % replicas.size()];
+    if (excluded_[backend].load(std::memory_order_relaxed)) {
+      // The replica is respawning / catching up: it is not allowed to
+      // serve reads until its epochs match the primary's again.
+      excluded_skips_count_.fetch_add(1, std::memory_order_relaxed);
+      ProxyMetrics::Get().excluded_skips->Add();
+      last_error = Status::IoError(
+          "backend " + std::to_string(backend) +
+          " is excluded pending catch-up");
+      continue;
+    }
     const std::string backend_name =
         BackendAddressToString(pool_.address(backend));
 
+    // Deadline-bearing attempts re-serialize the request so the backend
+    // sees only the *remaining* budget — its own admission and engine
+    // checks then enforce the same end-to-end deadline.
+    std::string attempt_line = forward_line;
+    if (has_deadline) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      request.deadline_ms =
+          remaining > 0 ? static_cast<uint64_t>(remaining) : 1;
+      attempt_line = net::FormatRequestLine(request);
+    }
+
     BackendAttemptCounter(backend)->Add();
+    const Status dial_fp = RINGJOIN_FAILPOINT("backend_dial");
+    if (!dial_fp.ok()) {
+      last_error = dial_fp;
+      continue;
+    }
     const auto dial_start = obs::TraceClock::now();
     Result<net::ProtocolClient> dialed = pool_.Dial(backend);
     if (trace != nullptr) {
@@ -459,7 +565,7 @@ void FleetProxy::HandleQuery(Connection* connection,
     const bool resuming = ok_sent;
 
     std::string resp;
-    if (!conn.SendLine(forward_line) || !conn.ReadLine(&resp)) {
+    if (!conn.SendLine(attempt_line) || !conn.ReadLine(&resp)) {
       SetBackendFd(connection, -1);
       last_error = Status::IoError("backend " + backend_name +
                                    " closed before a response");
@@ -478,6 +584,16 @@ void FleetProxy::HandleQuery(Connection* connection,
         // The shed happened before the query started; retrying is safe.
         last_error = transported;
         continue;
+      }
+      if (transported.code() == StatusCode::kDeadlineExceeded) {
+        // The backend shed the query because the (forwarded, remaining)
+        // budget ran out — another replica would expire the same way, so
+        // this is final, not a failover.
+        expired_count_.fetch_add(1, std::memory_order_relaxed);
+        ProxyMetrics::Get().expired->Add();
+        out.append(resp).push_back('\n');
+        FlushToClient(connection, &out);
+        return;
       }
       // A definitive rejection (unknown env, bad spec the proxy's laxer
       // knowledge let through): relay verbatim, conversation over.
@@ -505,6 +621,14 @@ void FleetProxy::HandleQuery(Connection* connection,
     uint64_t seen = 0;  // pairs observed from THIS backend's stream
     bool stream_lost = false;
     for (;;) {
+      const Status relay_fp = RINGJOIN_FAILPOINT("relay_midstream");
+      if (!relay_fp.ok()) {
+        // Chaos seam: drop the backend conversation mid-stream, exactly
+        // like a relay whose peer died — exercising the failover replay.
+        last_error = relay_fp;
+        stream_lost = true;
+        break;
+      }
       if (!conn.ReadLine(&resp)) {
         last_error = Status::IoError(
             "backend " + backend_name + " lost mid-stream after " +
@@ -616,9 +740,20 @@ void FleetProxy::HandleQuery(Connection* connection,
 
   // Retry budget exhausted (or shutdown): report the last failure. The
   // ERR frame is legal both before OK (rejection) and after (epilogue).
+  if (has_deadline && last_error.code() != StatusCode::kDeadlineExceeded &&
+      std::chrono::steady_clock::now() >= deadline) {
+    // The policy's attempts ran out and so did the clock; the deadline is
+    // the truer story for a budgeted caller.
+    last_error = Status::DeadlineExceeded(
+        "deadline expired during retries; last failure: " +
+        last_error.message());
+  }
   if (last_error.code() == StatusCode::kOverloaded) {
     shed_count_.fetch_add(1, std::memory_order_relaxed);
     ProxyMetrics::Get().shed->Add();
+  } else if (last_error.code() == StatusCode::kDeadlineExceeded) {
+    expired_count_.fetch_add(1, std::memory_order_relaxed);
+    ProxyMetrics::Get().expired->Add();
   } else {
     failed_count_.fetch_add(1, std::memory_order_relaxed);
     ProxyMetrics::Get().failed->Add();
@@ -708,13 +843,31 @@ bool FleetProxy::RelayMutation(
   }
   // Mutations go to the environment's whole replica window, not just the
   // primary — every backend that may serve a read of this environment
-  // must converge. Consistency over availability: one unreachable
-  // replica fails the op rather than forking the replicas' histories.
+  // must converge. A replica that cannot take the op is not allowed to
+  // fail it for everyone: it is *excluded* from the read window on the
+  // spot, the op lands on the ring below, and CatchUp() replays the
+  // suffix before the replica may serve reads again — so a mid-batch
+  // kill degrades to one replica catching up, never to forked histories
+  // a client can observe. (Whether the failed replica actually applied
+  // the op before dying is ambiguous here; the EPOCH probe at catch-up
+  // time resolves it exactly, because the replayed suffix starts at the
+  // replica's own recovered epoch.) Only when *no* replica acknowledges
+  // does the op fail.
+  //
+  // The catch-up lock spans the fan-out AND the ring append: a CatchUp()
+  // running concurrently would otherwise miss exactly this mutation.
+  std::lock_guard<std::mutex> catchup_lock(catchup_mu_);
   const std::vector<size_t> replicas = ReplicaSet(mutation.env_name);
   net::WireMutationAck primary_ack;
-  Status failure;
-  for (size_t i = 0; i < replicas.size() && failure.ok(); ++i) {
+  bool have_ack = false;
+  Status last_error;
+  for (size_t i = 0; i < replicas.size(); ++i) {
     const size_t index = replicas[i];
+    if (excluded_[index].load(std::memory_order_relaxed)) {
+      excluded_skips_count_.fetch_add(1, std::memory_order_relaxed);
+      ProxyMetrics::Get().excluded_skips->Add();
+      continue;
+    }
     std::unique_ptr<net::ProtocolClient>& slot = (*held)[index];
     net::WireMutationAck ack;
     Status op_status;
@@ -746,22 +899,193 @@ bool FleetProxy::RelayMutation(
         break;
       }
     }
-    if (!op_status.ok()) {
-      failure = op_status;
-    } else if (i == 0) {
-      primary_ack = ack;
+    if (op_status.ok()) {
+      if (!have_ack) {
+        primary_ack = ack;
+        have_ack = true;
+      }
+      continue;
     }
+    if (op_status.code() != StatusCode::kIoError) {
+      // A *logical* rejection (InvalidArgument, NotFound...) comes from a
+      // healthy backend refusing the op; converged replicas refuse
+      // deterministically, so relay the first refusal and exclude no one.
+      failed_count_.fetch_add(1, std::memory_order_relaxed);
+      ProxyMetrics::Get().failed->Add();
+      *reply = net::FormatErrLine(op_status) + "\n";
+      return false;
+    }
+    // Transport failure: the replica is unreachable (or died mid-op).
+    // Exclude it from the read window right now — before the supervisor
+    // even notices the death — and keep going; CatchUp() reconciles it.
+    excluded_[index].store(true, std::memory_order_relaxed);
+    relay_exclusions_count_.fetch_add(1, std::memory_order_relaxed);
+    ProxyMetrics::Get().relay_exclusions->Add();
+    last_error = op_status;
   }
-  if (!failure.ok()) {
+  if (!have_ack) {
+    Status failure = last_error.ok()
+                         ? Status::IoError("every replica of '" +
+                                           mutation.env_name +
+                                           "' is excluded pending catch-up")
+                         : last_error;
     failed_count_.fetch_add(1, std::memory_order_relaxed);
     ProxyMetrics::Get().failed->Add();
     *reply = net::FormatErrLine(failure) + "\n";
     return false;
   }
+  // Remember the acknowledged mutation for catch-up. COMPACT stays off
+  // the ring: it does not advance the epoch, and a caught-up replica may
+  // compact on its own schedule.
+  if (mutation.op != net::WireMutationOp::kCompact) {
+    RingEntry entry;
+    entry.epoch = primary_ack.epoch;
+    entry.env_name = mutation.env_name;
+    entry.line = line;
+    mutation_ring_.push_back(std::move(entry));
+    while (mutation_ring_.size() > options_.mutation_ring_capacity &&
+           !mutation_ring_.empty()) {
+      mutation_ring_.pop_front();
+    }
+  }
   mutations_count_.fetch_add(1, std::memory_order_relaxed);
   ProxyMetrics::Get().mutations->Add();
   *reply = "OK\n" + net::FormatMutationAckLine(primary_ack) + "\n";
   return true;
+}
+
+Status FleetProxy::ProbeEpoch(size_t index, const std::string& env_name,
+                              uint64_t* epoch) {
+  epoch_probes_count_.fetch_add(1, std::memory_order_relaxed);
+  ProxyMetrics::Get().epoch_probes->Add();
+  Result<net::ProtocolClient> dialed = pool_.Dial(index);
+  if (!dialed.ok()) return dialed.status();
+  net::ProtocolClient conn = std::move(dialed).value();
+  std::string resp;
+  if (!conn.SendLine(net::FormatEpochRequestLine(env_name)) ||
+      !conn.ReadLine(&resp)) {
+    return Status::IoError("backend " + std::to_string(index) +
+                           " closed during an epoch probe");
+  }
+  if (resp != "OK") {
+    Status transported = Status::Corruption(
+        "backend " + std::to_string(index) + " sent '" + resp +
+        "' to an epoch probe");
+    net::ParseErrLine(resp, &transported);
+    return transported;
+  }
+  if (!conn.ReadLine(&resp)) {
+    return Status::IoError("backend " + std::to_string(index) +
+                           " closed before its epoch row");
+  }
+  std::string got_env;
+  RINGJOIN_RETURN_IF_ERROR(
+      net::ParseEpochResponseLine(resp, &got_env, epoch));
+  if (got_env != env_name) {
+    return Status::Corruption("epoch probe for '" + env_name +
+                              "' answered for '" + got_env + "'");
+  }
+  return Status::OK();
+}
+
+Status FleetProxy::CatchUpEnv(size_t index, const std::string& env_name) {
+  // The target is the primary's epoch: the first healthy replica of the
+  // window that is not the one catching up. A lone replica has no peer
+  // to trail behind.
+  const std::vector<size_t> replicas = ReplicaSet(env_name);
+  size_t primary = pool_.size();
+  for (const size_t replica : replicas) {
+    if (replica != index &&
+        !excluded_[replica].load(std::memory_order_relaxed)) {
+      primary = replica;
+      break;
+    }
+  }
+  if (primary == pool_.size()) return Status::OK();
+  uint64_t target = 0;
+  RINGJOIN_RETURN_IF_ERROR(ProbeEpoch(primary, env_name, &target));
+  uint64_t have = 0;
+  RINGJOIN_RETURN_IF_ERROR(ProbeEpoch(index, env_name, &have));
+  if (have >= target) return Status::OK();
+
+  // The missing suffix must be fully covered by the ring: contiguous
+  // from the replica's next epoch up to the primary's. A gap means the
+  // ring already evicted history this replica needs.
+  std::vector<const RingEntry*> suffix;
+  for (const RingEntry& entry : mutation_ring_) {
+    if (entry.env_name == env_name && entry.epoch > have &&
+        entry.epoch <= target) {
+      suffix.push_back(&entry);
+    }
+  }
+  if (suffix.empty() || suffix.front()->epoch != have + 1 ||
+      suffix.back()->epoch != target ||
+      suffix.back()->epoch - suffix.front()->epoch + 1 != suffix.size()) {
+    return Status::IoError(
+        "mutation ring no longer covers epochs " + std::to_string(have + 1) +
+        ".." + std::to_string(target) + " of '" + env_name +
+        "'; the replica needs a full restore");
+  }
+
+  Result<net::ProtocolClient> dialed = pool_.Dial(index);
+  if (!dialed.ok()) return dialed.status();
+  net::ProtocolClient conn = std::move(dialed).value();
+  for (const RingEntry* entry : suffix) {
+    net::WireMutation mutation;
+    RINGJOIN_RETURN_IF_ERROR(net::ParseMutationLine(entry->line, &mutation));
+    net::WireMutationAck ack;
+    RINGJOIN_RETURN_IF_ERROR(conn.Mutate(mutation, &ack));
+    ProxyMetrics::Get().catchup_replayed->Add();
+    if (ack.epoch != entry->epoch) {
+      return Status::Corruption(
+          "catch-up replay of '" + env_name + "' landed at epoch " +
+          std::to_string(ack.epoch) + ", expected " +
+          std::to_string(entry->epoch) +
+          " — the replica's history diverged");
+    }
+  }
+
+  // Close the handshake: the replica must now agree with the primary.
+  RINGJOIN_RETURN_IF_ERROR(ProbeEpoch(index, env_name, &have));
+  if (have != target) {
+    return Status::Corruption(
+        "after catch-up, '" + env_name + "' on backend " +
+        std::to_string(index) + " is at epoch " + std::to_string(have) +
+        ", primary at " + std::to_string(target));
+  }
+  return Status::OK();
+}
+
+Status FleetProxy::CatchUp(size_t index) {
+  if (index >= pool_.size()) {
+    return Status::InvalidArgument("no backend " + std::to_string(index));
+  }
+  // No mutation may land while the suffix is being fed, or "epochs
+  // match" below would be stale the moment it was measured.
+  std::lock_guard<std::mutex> lock(catchup_mu_);
+  std::vector<std::string> envs;
+  for (const RingEntry& entry : mutation_ring_) {
+    if (std::find(envs.begin(), envs.end(), entry.env_name) != envs.end()) {
+      continue;
+    }
+    const std::vector<size_t> replicas = ReplicaSet(entry.env_name);
+    if (std::find(replicas.begin(), replicas.end(), index) !=
+        replicas.end()) {
+      envs.push_back(entry.env_name);
+    }
+  }
+  for (const std::string& env_name : envs) {
+    const Status status = CatchUpEnv(index, env_name);
+    if (!status.ok()) {
+      catchup_failures_count_.fetch_add(1, std::memory_order_relaxed);
+      ProxyMetrics::Get().catchup_failures->Add();
+      return status;
+    }
+  }
+  excluded_[index].store(false, std::memory_order_relaxed);
+  catchups_count_.fetch_add(1, std::memory_order_relaxed);
+  ProxyMetrics::Get().catchups->Add();
+  return Status::OK();
 }
 
 void FleetProxy::HandleMutations(Connection* connection, std::string line,

@@ -41,6 +41,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -75,6 +76,11 @@ struct FleetProxyOptions {
   size_t replicas = 1;
   /// Retry/backoff policy for failed backend attempts.
   RetryPolicy retry;
+  /// Bound on the in-memory ring of recently relayed mutations (the
+  /// catch-up feed for respawned replicas). A replica that fell further
+  /// behind than the ring reaches cannot catch up incrementally and
+  /// needs a full restore; size it to cover the longest expected outage.
+  size_t mutation_ring_capacity = 4096;
   /// Test seam: sleeps `ms` between failed replica cycles. Defaults to a
   /// stop-aware condition-variable wait; tests inject a recorder.
   std::function<void(uint64_t ms)> sleep_fn;
@@ -101,6 +107,12 @@ class FleetProxy {
     uint64_t mutations = 0;        ///< mutation ops acknowledged.
     uint64_t stats_backends_skipped = 0;  ///< unreachable during STATS.
     uint64_t metrics = 0;          ///< METRICS scrapes answered (locally).
+    uint64_t expired = 0;          ///< deadlines blown (ERR DeadlineExceeded).
+    uint64_t epoch_probes = 0;     ///< EPOCH handshakes sent to backends.
+    uint64_t catchups = 0;         ///< replicas caught up and readmitted.
+    uint64_t catchup_failures = 0; ///< CatchUp calls that left the exclusion.
+    uint64_t excluded_skips = 0;   ///< attempts skipped over excluded replicas.
+    uint64_t relay_exclusions = 0; ///< replicas excluded by a failed relay.
   };
 
   FleetProxy(std::vector<BackendAddress> backends,
@@ -132,6 +144,23 @@ class FleetProxy {
   /// indices starting at StableHash(env_name) % backends. Exposed so
   /// tests (and the supervisor's kill targeting) can predict placement.
   std::vector<size_t> ReplicaSet(const std::string& env_name) const;
+
+  /// Marks one backend excluded from (or readmitted to) query fan-out
+  /// and mutation relay. The supervisor sets the flag the moment it
+  /// observes a death; CatchUp() clears it once the replica's epochs
+  /// match the primary's again.
+  void SetExcluded(size_t index, bool excluded);
+  bool excluded(size_t index) const;
+
+  /// The respawn handshake: for every environment the backend replicates
+  /// that has ring history, probes the backend's and the primary's EPOCH,
+  /// feeds the missing mutation suffix from the ring, and re-probes until
+  /// the epochs match — only then is the exclusion flag cleared. Fails
+  /// (and keeps the replica excluded) when the ring no longer reaches
+  /// back to the replica's epoch: that replica needs a full restore.
+  /// Serialized against in-flight mutation relays, so no mutation can
+  /// slip between the feed and the readmission.
+  Status CatchUp(size_t index);
 
   Counters counters() const;
   const BackendPool& pool() const { return pool_; }
@@ -172,6 +201,20 @@ class FleetProxy {
   /// Stop() can shut it down; pass -1 to clear.
   void SetBackendFd(Connection* connection, int fd);
 
+  /// One relayed mutation remembered for catch-up: the raw wire line and
+  /// the epoch the (first acknowledging) replica landed it at.
+  struct RingEntry {
+    uint64_t epoch = 0;
+    std::string env_name;
+    std::string line;
+  };
+
+  /// One EPOCH handshake with backend `index` for `env_name`.
+  Status ProbeEpoch(size_t index, const std::string& env_name,
+                    uint64_t* epoch);
+  /// CatchUp's per-environment body; caller holds catchup_mu_.
+  Status CatchUpEnv(size_t index, const std::string& env_name);
+
   FleetProxyOptions options_;
   BackendPool pool_;
 
@@ -187,6 +230,15 @@ class FleetProxy {
 
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;
+
+  /// Serializes mutation relays against catch-up feeds: while one
+  /// replica is being fed its missing suffix, no new mutation may land
+  /// on the others, so "epochs match" at the end of CatchUp() really
+  /// means caught up.
+  std::mutex catchup_mu_;
+  std::deque<RingEntry> mutation_ring_;  ///< guarded by catchup_mu_.
+  /// Per-backend exclusion flags (fixed size; indexed like the pool).
+  std::vector<std::atomic<bool>> excluded_;
 
   std::atomic<uint64_t> retry_seed_{0};
 
@@ -204,6 +256,12 @@ class FleetProxy {
   std::atomic<uint64_t> mutations_count_{0};
   std::atomic<uint64_t> stats_backends_skipped_count_{0};
   std::atomic<uint64_t> metrics_count_{0};
+  std::atomic<uint64_t> expired_count_{0};
+  std::atomic<uint64_t> epoch_probes_count_{0};
+  std::atomic<uint64_t> catchups_count_{0};
+  std::atomic<uint64_t> catchup_failures_count_{0};
+  std::atomic<uint64_t> excluded_skips_count_{0};
+  std::atomic<uint64_t> relay_exclusions_count_{0};
 };
 
 }  // namespace fleet

@@ -117,6 +117,11 @@ Status FleetSupervisor::Spawn(size_t index) {
   args.push_back(options_.argv0);
   args.push_back("serve");
   for (const std::string& arg : options_.serve_args) args.push_back(arg);
+  if (index < options_.per_backend_args.size()) {
+    for (const std::string& arg : options_.per_backend_args[index]) {
+      args.push_back(arg);
+    }
+  }
   args.push_back("--port");
   args.push_back("0");
   std::vector<char*> argv;

@@ -13,10 +13,12 @@
 // Supervise() reaps dead children (waitpid WNOHANG) and respawns them;
 // the respawn callback hands the new address to the proxy
 // (FleetProxy::SetBackendAddress), which drops any pooled connections to
-// the dead process. A freshly respawned backend is *empty-state* — it
-// re-registers its environments from the same command line, so static
-// datasets reload identically, while live-environment deltas made since
-// startup are lost on that replica (documented failover semantics).
+// the dead process. A respawned backend re-registers its environments
+// from the same command line; when the fleet runs with per-backend WAL
+// dirs (per_backend_args carrying --wal-dir), the new process replays
+// its own journal and the proxy's catch-up protocol
+// (FleetProxy::CatchUp) feeds it the mutations relayed while it was
+// down, so no acknowledged write is lost across a kill -9.
 #ifndef RINGJOIN_FLEET_FLEET_SUPERVISOR_H_
 #define RINGJOIN_FLEET_FLEET_SUPERVISOR_H_
 
@@ -40,6 +42,12 @@ struct FleetSupervisorOptions {
   /// Arguments after "serve" shared by every backend (--q/--p/--envs...).
   /// The supervisor appends `--port 0` itself.
   std::vector<std::string> serve_args;
+  /// Extra per-backend arguments appended after `serve_args` — the slot
+  /// for state each backend must own alone, like its `--wal-dir`.
+  /// Indexed by backend; backends past the vector's end get no extras.
+  /// A respawn reuses the same extras, which is what lets the new
+  /// process find its predecessor's journal.
+  std::vector<std::vector<std::string>> per_backend_args;
   /// Number of backend processes.
   size_t backends = 2;
   /// Directory for per-backend logs; created if missing.

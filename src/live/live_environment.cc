@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "live/mutation_log.h"
 #include "obs/metrics.h"
 #include "rtree/point_source.h"
 
@@ -141,6 +142,7 @@ Result<std::unique_ptr<LiveEnvironment>> LiveEnvironment::CreateImpl(
   std::unique_ptr<LiveEnvironment> env(new LiveEnvironment());
   env->options_ = options;
   env->self_join_ = self_join;
+  env->epoch_ = options.initial_epoch;
   RINGJOIN_RETURN_IF_ERROR(CheckUniqueIds(qset, "qset", &env->live_q_));
   env->base_q_ = qset;
   if (!self_join) {
@@ -156,6 +158,7 @@ Result<std::unique_ptr<LiveEnvironment>> LiveEnvironment::CreateImpl(
 
   env->overlay_ = std::make_shared<DeltaOverlay>();
   env->overlay_->self_join = self_join;
+  env->overlay_->epoch = options.initial_epoch;
 
   if (options.compact_threshold > 0) {
     env->compactor_ =
@@ -217,11 +220,23 @@ Status LiveEnvironment::Insert(LiveSide side, const PointRecord& rec) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   std::unordered_set<PointId>& live = LiveSet(side);
-  if (!live.insert(rec.id).second) {
+  if (live.count(rec.id) != 0) {
     return Status::InvalidArgument("insert: id " + std::to_string(rec.id) +
                                    " is already live on side " +
                                    LiveSideName(side));
   }
+  // Write-ahead: journal the mutation before touching any state, so a
+  // crash either shows the whole mutation on replay or none of it, and
+  // an append failure rejects the mutation without applying it.
+  if (log_ != nullptr) {
+    WalRecord record;
+    record.epoch = epoch_ + 1;
+    record.op = WalOp::kInsert;
+    record.side = side;
+    record.rec = rec;
+    RINGJOIN_RETURN_IF_ERROR(log_->Append(record));
+  }
+  live.insert(rec.id);
   EnsurePrivateOverlay();
   overlay_->mutable_delta(side).push_back(rec);
   overlay_->epoch = ++epoch_;
@@ -237,6 +252,14 @@ Status LiveEnvironment::Delete(LiveSide side, PointId id) {
   if (it == live.end()) {
     return Status::NotFound("delete: id " + std::to_string(id) +
                             " is not live on side " + LiveSideName(side));
+  }
+  if (log_ != nullptr) {
+    WalRecord record;
+    record.epoch = epoch_ + 1;
+    record.op = WalOp::kDelete;
+    record.side = side;
+    record.rec.id = id;
+    RINGJOIN_RETURN_IF_ERROR(log_->Append(record));
   }
   EnsurePrivateOverlay();
   std::vector<PointRecord>& delta = overlay_->mutable_delta(side);
@@ -314,6 +337,19 @@ Status LiveEnvironment::Compact() {
     ++compactions_;
   }
 
+  // Checkpoint the journal against the base just installed: everything
+  // at or below the captured epoch is folded into base_q_/base_p_ (which
+  // only compactions write, serialized by compact_mu_, so reading them
+  // here without mu_ is safe — same argument as the rebuild above). A
+  // checkpoint failure is reported but leaves durability intact: replay
+  // still works from the previous snapshot plus the unshortened journal.
+  Status checkpoint_status = Status::OK();
+  if (log_ != nullptr) {
+    checkpoint_status =
+        log_->Checkpoint(captured->epoch, self_join_, base_q_,
+                         self_join_ ? std::vector<PointRecord>() : base_p_);
+  }
+
   // New snapshots pin the new base from here on. Drain the readers still
   // inside the retired one, let the caches drop their views (the PR-5
   // generation contract), then destroy its trees.
@@ -333,7 +369,7 @@ Status LiveEnvironment::Compact() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     compact_start)
           .count());
-  return Status::OK();
+  return checkpoint_status;
 }
 
 void LiveEnvironment::CompactorLoop() {
@@ -379,6 +415,37 @@ void LiveEnvironment::EffectivePointsets(std::vector<PointRecord>* q,
     *p = self_join_ ? *q
                     : EffectivePointset(base_p_, *overlay_, LiveSide::kP);
   }
+}
+
+void LiveEnvironment::AttachLog(std::unique_ptr<MutationLog> log) {
+  std::lock_guard<std::mutex> lock(mu_);
+  log_ = std::move(log);
+}
+
+Status ReplayRecovery(const WalRecovery& recovery, LiveEnvironment* env) {
+  for (const WalRecord& record : recovery.records) {
+    Status status;
+    switch (record.op) {
+      case WalOp::kInsert:
+        status = env->Insert(record.side, record.rec);
+        break;
+      case WalOp::kDelete:
+        status = env->Delete(record.side, record.rec.id);
+        break;
+    }
+    if (!status.ok()) {
+      return Status::Corruption("wal replay: epoch " +
+                                std::to_string(record.epoch) + ": " +
+                                status.ToString());
+    }
+    if (env->stats().epoch != record.epoch) {
+      return Status::Corruption(
+          "wal replay: record epoch " + std::to_string(record.epoch) +
+          " replayed as epoch " + std::to_string(env->stats().epoch) +
+          "; the journal does not describe this environment");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace rcj

@@ -39,6 +39,9 @@
 
 namespace rcj {
 
+class MutationLog;
+struct WalRecovery;
+
 namespace live_internal {
 
 /// One base environment plus its pin count. Snapshots hold it via
@@ -74,6 +77,10 @@ struct LiveOptions {
   /// pending() (delta records + tombstones) reaches this many mutations.
   /// 0 = manual Compact() only.
   size_t compact_threshold = 0;
+  /// Starting mutation epoch. 0 for a fresh environment; WAL recovery
+  /// passes the recovered snapshot's epoch so replayed mutations repeat
+  /// their original epoch numbers exactly.
+  uint64_t initial_epoch = 0;
 };
 
 /// A point-in-time view of LiveEnvironment counters (see STATS on the
@@ -195,6 +202,14 @@ class LiveEnvironment {
   void EffectivePointsets(std::vector<PointRecord>* q,
                           std::vector<PointRecord>* p) const;
 
+  /// Attaches the write-ahead journal. Every later Insert/Delete is
+  /// appended (and group-committed) before it is applied — an append
+  /// error fails the mutation without applying it — and every Compact()
+  /// checkpoints the folded base so replay stays bounded. Attach *after*
+  /// replaying recovered records (replay must not re-journal them); not
+  /// guarded against concurrent mutation, like set_invalidation_hook.
+  void AttachLog(std::unique_ptr<MutationLog> log);
+
  private:
   LiveEnvironment() = default;
 
@@ -223,6 +238,7 @@ class LiveEnvironment {
   LiveOptions options_;
   bool self_join_ = false;
   std::function<void(const RcjEnvironment*)> hook_;
+  std::unique_ptr<MutationLog> log_;  ///< null = not durable.
 
   mutable std::mutex mu_;  // guards everything below
   std::shared_ptr<live_internal::BaseState> base_;
@@ -239,6 +255,14 @@ class LiveEnvironment {
   std::thread compactor_;
   bool stop_ = false;
 };
+
+/// Applies recovered journal records to `env` through the normal
+/// Insert/Delete path, in order, verifying that each replayed mutation
+/// reproduces its recorded epoch (a mismatch is Corruption — the journal
+/// does not describe this environment's history). Call on an environment
+/// created with initial_epoch == the recovery's snapshot epoch and with
+/// no log attached yet.
+Status ReplayRecovery(const WalRecovery& recovery, LiveEnvironment* env);
 
 }  // namespace rcj
 

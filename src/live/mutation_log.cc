@@ -1,0 +1,499 @@
+#include "live/mutation_log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+#include "obs/metrics.h"
+
+namespace rcj {
+namespace {
+
+/// Registry mirrors of the durability tier: append/sync/checkpoint rates,
+/// replay volume, torn-tail truncations, and the fdatasync latency the
+/// group-commit window amortizes.
+struct WalMetrics {
+  obs::Counter* appends;
+  obs::Counter* syncs;
+  obs::Counter* checkpoints;
+  obs::Counter* replayed_records;
+  obs::Counter* truncated_bytes;
+  obs::Histogram* sync_seconds;
+
+  static const WalMetrics& Get() {
+    static const WalMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+      WalMetrics m;
+      m.appends = registry.counter("rcj_wal_appends_total");
+      m.syncs = registry.counter("rcj_wal_syncs_total");
+      m.checkpoints = registry.counter("rcj_wal_checkpoints_total");
+      m.replayed_records = registry.counter("rcj_wal_replayed_records_total");
+      m.truncated_bytes = registry.counter("rcj_wal_truncated_bytes_total");
+      m.sync_seconds = registry.histogram("rcj_wal_sync_seconds");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+// ---- fixed-width little-endian encoding --------------------------------
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+double GetF64(const char* p) {
+  const uint64_t bits = GetU64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// ---- journal record framing --------------------------------------------
+
+/// epoch(8) + op(1) + side(1) + id(8) + x(8) + y(8).
+constexpr size_t kPayloadLen = 34;
+constexpr size_t kHeaderLen = 8;  ///< len(4) + masked crc(4).
+
+std::string EncodeRecord(const WalRecord& record) {
+  std::string payload;
+  payload.reserve(kPayloadLen);
+  PutU64(&payload, record.epoch);
+  payload.push_back(static_cast<char>(record.op));
+  payload.push_back(static_cast<char>(record.side == LiveSide::kQ ? 0 : 1));
+  PutU64(&payload, static_cast<uint64_t>(record.rec.id));
+  PutF64(&payload, record.rec.pt.x);
+  PutF64(&payload, record.rec.pt.y);
+
+  std::string out;
+  out.reserve(kHeaderLen + kPayloadLen);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  out += payload;
+  return out;
+}
+
+bool DecodePayload(const char* p, WalRecord* out) {
+  out->epoch = GetU64(p);
+  const unsigned char op = static_cast<unsigned char>(p[8]);
+  const unsigned char side = static_cast<unsigned char>(p[9]);
+  if (op > 1 || side > 1) return false;
+  out->op = static_cast<WalOp>(op);
+  out->side = side == 0 ? LiveSide::kQ : LiveSide::kP;
+  out->rec.id = static_cast<PointId>(GetU64(p + 10));
+  out->rec.pt.x = GetF64(p + 18);
+  out->rec.pt.y = GetF64(p + 26);
+  return true;
+}
+
+// ---- base snapshot format ----------------------------------------------
+
+/// magic(8) + body_len(8) + masked crc(4) + pad(4), then the body:
+/// epoch(8) + self_join(1) + pad(7) + nq(8) + np(8) + points.
+constexpr char kSnapMagic[8] = {'R', 'J', 'S', 'N', 'A', 'P', '0', '1'};
+constexpr size_t kSnapHeaderLen = 24;
+
+void PutPointset(std::string* out, const std::vector<PointRecord>& set) {
+  for (const PointRecord& rec : set) {
+    PutU64(out, static_cast<uint64_t>(rec.id));
+    PutF64(out, rec.pt.x);
+    PutF64(out, rec.pt.y);
+  }
+}
+
+std::string EncodeSnapshot(uint64_t epoch, bool self_join,
+                           const std::vector<PointRecord>& base_q,
+                           const std::vector<PointRecord>& base_p) {
+  std::string body;
+  body.reserve(32 + 24 * (base_q.size() + base_p.size()));
+  PutU64(&body, epoch);
+  body.push_back(self_join ? 1 : 0);
+  body.append(7, '\0');
+  PutU64(&body, base_q.size());
+  PutU64(&body, base_p.size());
+  PutPointset(&body, base_q);
+  PutPointset(&body, base_p);
+
+  std::string out;
+  out.reserve(kSnapHeaderLen + body.size());
+  out.append(kSnapMagic, sizeof(kSnapMagic));
+  PutU64(&out, body.size());
+  PutU32(&out, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  PutU32(&out, 0);
+  out += body;
+  return out;
+}
+
+Status DecodeSnapshot(const std::string& path, const std::string& data,
+                      WalRecovery* out) {
+  if (data.size() < kSnapHeaderLen ||
+      std::memcmp(data.data(), kSnapMagic, sizeof(kSnapMagic)) != 0) {
+    return Status::Corruption(path + ": not a base snapshot");
+  }
+  const uint64_t body_len = GetU64(data.data() + 8);
+  if (data.size() != kSnapHeaderLen + body_len) {
+    return Status::Corruption(path + ": truncated snapshot body");
+  }
+  const char* body = data.data() + kSnapHeaderLen;
+  if (crc32c::Unmask(GetU32(data.data() + 16)) !=
+      crc32c::Value(body, body_len)) {
+    return Status::Corruption(path + ": snapshot checksum mismatch");
+  }
+  if (body_len < 32) {
+    return Status::Corruption(path + ": snapshot body too small");
+  }
+  out->snapshot_epoch = GetU64(body);
+  out->self_join = body[8] != 0;
+  const uint64_t nq = GetU64(body + 16);
+  const uint64_t np = GetU64(body + 24);
+  if (body_len != 32 + 24 * (nq + np)) {
+    return Status::Corruption(path + ": snapshot pointset size mismatch");
+  }
+  const char* p = body + 32;
+  out->base_q.reserve(nq);
+  for (uint64_t i = 0; i < nq; ++i, p += 24) {
+    PointRecord rec;
+    rec.id = static_cast<PointId>(GetU64(p));
+    rec.pt.x = GetF64(p + 8);
+    rec.pt.y = GetF64(p + 16);
+    out->base_q.push_back(rec);
+  }
+  out->base_p.reserve(np);
+  for (uint64_t i = 0; i < np; ++i, p += 24) {
+    PointRecord rec;
+    rec.id = static_cast<PointId>(GetU64(p));
+    rec.pt.x = GetF64(p + 8);
+    rec.pt.y = GetF64(p + 16);
+    out->base_p.push_back(rec);
+  }
+  out->has_snapshot = true;
+  return Status::OK();
+}
+
+// ---- filesystem helpers ------------------------------------------------
+
+Status MkDirs(const std::string& path) {
+  std::string prefix;
+  size_t start = 0;
+  while (start <= path.size()) {
+    const size_t slash = path.find('/', start);
+    const size_t end = slash == std::string::npos ? path.size() : slash;
+    prefix = path.substr(0, end);
+    start = end + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError("mkdir " + prefix + ": " + std::strerror(errno));
+    }
+    if (slash == std::string::npos) break;
+  }
+  return Status::OK();
+}
+
+/// Reads the whole file; NotFound when it does not exist.
+Status ReadAll(const std::string& path, std::string* out) {
+  out->clear();
+  const int fd = open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(path);
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t got = read(fd, buffer, sizeof(buffer));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      close(fd);
+      return Status::IoError("read " + path + ": " + err);
+    }
+    if (got == 0) break;
+    out->append(buffer, static_cast<size_t>(got));
+  }
+  close(fd);
+  return Status::OK();
+}
+
+Status WriteAllFd(int fd, const std::string& path, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t got =
+        write(fd, data.data() + written, data.size() - written);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write " + path + ": " + std::strerror(errno));
+    }
+    written += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("open dir " + dir + ": " + std::strerror(errno));
+  }
+  if (fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::IoError("fsync dir " + dir + ": " + err);
+  }
+  close(fd);
+  return Status::OK();
+}
+
+/// tmp → write → fsync → rename → dir fsync: the file named `name` is
+/// either its previous complete content or the new complete content, at
+/// every crash instant.
+Status WriteFileAtomic(const std::string& dir, const std::string& name,
+                       const std::string& data) {
+  const std::string tmp_path = dir + "/" + name + ".tmp";
+  const std::string final_path = dir + "/" + name;
+  const int fd =
+      open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + tmp_path + ": " + std::strerror(errno));
+  }
+  Status status = WriteAllFd(fd, tmp_path, data);
+  if (status.ok() && fsync(fd) != 0) {
+    status = Status::IoError("fsync " + tmp_path + ": " + std::strerror(errno));
+  }
+  close(fd);
+  if (!status.ok()) {
+    unlink(tmp_path.c_str());
+    return status;
+  }
+  if (rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    const std::string err = std::strerror(errno);
+    unlink(tmp_path.c_str());
+    return Status::IoError("rename " + tmp_path + ": " + err);
+  }
+  return SyncDir(dir);
+}
+
+std::string JournalPath(const std::string& dir) { return dir + "/wal.log"; }
+std::string SnapshotPath(const std::string& dir) { return dir + "/base.snap"; }
+
+}  // namespace
+
+MutationLog::MutationLog(MutationLogOptions options)
+    : options_(std::move(options)),
+      last_sync_(std::chrono::steady_clock::now()) {}
+
+MutationLog::~MutationLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    if (dirty_) fdatasync(fd_);
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<MutationLog>> MutationLog::Open(
+    const MutationLogOptions& options, WalRecovery* recovery) {
+  *recovery = WalRecovery();
+  RINGJOIN_RETURN_IF_ERROR(MkDirs(options.dir));
+
+  // Base snapshot: optional, but if present it must be intact — the
+  // tmp/rename protocol guarantees that, so a bad one is real corruption.
+  std::string snap;
+  Status status = ReadAll(SnapshotPath(options.dir), &snap);
+  if (status.ok()) {
+    RINGJOIN_RETURN_IF_ERROR(
+        DecodeSnapshot(SnapshotPath(options.dir), snap, recovery));
+  } else if (status.code() != StatusCode::kNotFound) {
+    return status;
+  }
+
+  // Journal replay: scan records until the first torn or corrupt one,
+  // then truncate the file to the good prefix. A record the last
+  // checkpoint already folded (epoch <= snapshot epoch) is skipped —
+  // that is the crash-between-renames window, not an error.
+  const std::string journal_path = JournalPath(options.dir);
+  std::string journal;
+  status = ReadAll(journal_path, &journal);
+  if (!status.ok() && status.code() != StatusCode::kNotFound) return status;
+  size_t offset = 0;
+  while (offset < journal.size()) {
+    if (journal.size() - offset < kHeaderLen) break;
+    const uint32_t len = GetU32(journal.data() + offset);
+    if (len != kPayloadLen) break;
+    if (journal.size() - offset < kHeaderLen + len) break;
+    const char* payload = journal.data() + offset + kHeaderLen;
+    if (crc32c::Unmask(GetU32(journal.data() + offset + 4)) !=
+        crc32c::Value(payload, len)) {
+      break;
+    }
+    WalRecord record;
+    if (!DecodePayload(payload, &record)) break;
+    if (record.epoch <= recovery->snapshot_epoch && recovery->has_snapshot) {
+      ++recovery->skipped_records;
+    } else {
+      recovery->records.push_back(record);
+    }
+    offset += kHeaderLen + len;
+  }
+  recovery->truncated_bytes = journal.size() - offset;
+  if (recovery->truncated_bytes > 0) {
+    const int fd = open(journal_path.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return Status::IoError("open " + journal_path + ": " +
+                             std::strerror(errno));
+    }
+    if (ftruncate(fd, static_cast<off_t>(offset)) != 0 || fsync(fd) != 0) {
+      const std::string err = std::strerror(errno);
+      close(fd);
+      return Status::IoError("truncate " + journal_path + ": " + err);
+    }
+    close(fd);
+    WalMetrics::Get().truncated_bytes->Add(recovery->truncated_bytes);
+  }
+  WalMetrics::Get().replayed_records->Add(recovery->records.size());
+
+  std::unique_ptr<MutationLog> log(new MutationLog(options));
+  log->fd_ = open(journal_path.c_str(),
+                  O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (log->fd_ < 0) {
+    return Status::IoError("open " + journal_path + ": " +
+                           std::strerror(errno));
+  }
+  return log;
+}
+
+Status MutationLog::Append(const WalRecord& record) {
+  RINGJOIN_RETURN_IF_ERROR(RINGJOIN_FAILPOINT("wal_append"));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wedged_) {
+    return Status::IoError("mutation log " + options_.dir +
+                           " is wedged after a failed write");
+  }
+  const std::string encoded = EncodeRecord(record);
+  const off_t before = lseek(fd_, 0, SEEK_END);
+  Status status = WriteAllFd(fd_, JournalPath(options_.dir), encoded);
+  if (status.ok()) {
+    dirty_ = true;
+    const auto now = std::chrono::steady_clock::now();
+    if (options_.sync_interval_ms <= 0 ||
+        now - last_sync_ >=
+            std::chrono::milliseconds(options_.sync_interval_ms)) {
+      status = SyncLocked();
+    }
+  }
+  if (!status.ok()) {
+    // Roll the failed record (or its torn prefix) back off the tail so
+    // the journal never carries a mutation the environment rejected. If
+    // even that fails, poison the log: appending past a torn middle
+    // would orphan every later record at replay.
+    if (before < 0 || ftruncate(fd_, before) != 0) wedged_ = true;
+    return status;
+  }
+  WalMetrics::Get().appends->Add();
+  return Status::OK();
+}
+
+Status MutationLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SyncLocked();
+}
+
+Status MutationLog::SyncLocked() {
+  if (!dirty_) return Status::OK();
+  RINGJOIN_RETURN_IF_ERROR(RINGJOIN_FAILPOINT("wal_sync"));
+  const auto start = std::chrono::steady_clock::now();
+  if (fdatasync(fd_) != 0) {
+    return Status::IoError("fdatasync " + JournalPath(options_.dir) + ": " +
+                           std::strerror(errno));
+  }
+  dirty_ = false;
+  last_sync_ = std::chrono::steady_clock::now();
+  WalMetrics::Get().syncs->Add();
+  WalMetrics::Get().sync_seconds->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return Status::OK();
+}
+
+Status MutationLog::Checkpoint(uint64_t folded_epoch, bool self_join,
+                               const std::vector<PointRecord>& base_q,
+                               const std::vector<PointRecord>& base_p) {
+  // Phase 1: persist the folded base. After this rename, replay skips
+  // journal records at or below folded_epoch whether or not phase 2 runs.
+  RINGJOIN_RETURN_IF_ERROR(WriteFileAtomic(
+      options_.dir, "base.snap",
+      EncodeSnapshot(folded_epoch, self_join, base_q, base_p)));
+
+  RINGJOIN_RETURN_IF_ERROR(RINGJOIN_FAILPOINT("compact_swap"));
+
+  // Phase 2: filter-rewrite the journal, keeping only the suffix the new
+  // snapshot does not cover. Appends block on mu_ meanwhile, so the
+  // rewrite sees a stable file and the reopened fd resumes at its tail.
+  std::lock_guard<std::mutex> lock(mu_);
+  RINGJOIN_RETURN_IF_ERROR(SyncLocked());
+  const std::string journal_path = JournalPath(options_.dir);
+  std::string journal;
+  Status status = ReadAll(journal_path, &journal);
+  if (!status.ok() && status.code() != StatusCode::kNotFound) return status;
+  std::string kept;
+  size_t offset = 0;
+  while (journal.size() - offset >= kHeaderLen) {
+    const uint32_t len = GetU32(journal.data() + offset);
+    if (len != kPayloadLen || journal.size() - offset < kHeaderLen + len) {
+      break;
+    }
+    const char* payload = journal.data() + offset + kHeaderLen;
+    if (crc32c::Unmask(GetU32(journal.data() + offset + 4)) !=
+        crc32c::Value(payload, len)) {
+      break;
+    }
+    if (GetU64(payload) > folded_epoch) {
+      kept.append(journal, offset, kHeaderLen + len);
+    }
+    offset += kHeaderLen + len;
+  }
+  RINGJOIN_RETURN_IF_ERROR(WriteFileAtomic(options_.dir, "wal.log", kept));
+  // The append fd still points at the old (now unlinked) inode; reopen.
+  if (fd_ >= 0) close(fd_);
+  fd_ = open(journal_path.c_str(),
+             O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    wedged_ = true;
+    return Status::IoError("reopen " + journal_path + ": " +
+                           std::strerror(errno));
+  }
+  dirty_ = false;
+  WalMetrics::Get().checkpoints->Add();
+  return Status::OK();
+}
+
+}  // namespace rcj

@@ -13,6 +13,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "core/runner.h"
 #include "net/protocol.h"
 #include "net/request_reader.h"
@@ -40,6 +41,9 @@ struct ServerMetrics {
   obs::Counter* stats;
   obs::Counter* mutations;
   obs::Counter* metrics_scrapes;
+  obs::Counter* expired;
+  obs::Counter* idle_closed;
+  obs::Counter* epochs;
   obs::Counter* bytes_sent;
   obs::Counter* pairs_sent;
   obs::Counter* backpressure_stalls;
@@ -59,6 +63,9 @@ struct ServerMetrics {
       m.stats = registry.counter("rcj_server_stats_total");
       m.mutations = registry.counter("rcj_server_mutations_total");
       m.metrics_scrapes = registry.counter("rcj_server_metrics_total");
+      m.expired = registry.counter("rcj_server_expired_total");
+      m.idle_closed = registry.counter("rcj_server_idle_closed_total");
+      m.epochs = registry.counter("rcj_server_epochs_total");
       m.bytes_sent = registry.counter("rcj_server_bytes_sent_total");
       m.pairs_sent = registry.counter("rcj_server_pairs_total");
       m.backpressure_stalls =
@@ -201,6 +208,9 @@ NetServer::Counters NetServer::counters() const {
   counters.stats = stats_count_.load(std::memory_order_relaxed);
   counters.mutations = mutations_count_.load(std::memory_order_relaxed);
   counters.metrics = metrics_count_.load(std::memory_order_relaxed);
+  counters.expired = expired_count_.load(std::memory_order_relaxed);
+  counters.idle_closed = idle_closed_count_.load(std::memory_order_relaxed);
+  counters.epochs = epochs_count_.load(std::memory_order_relaxed);
   return counters;
 }
 
@@ -323,6 +333,57 @@ void NetServer::HandleMetrics(SocketSink* sink) {
   sink->Flush(options_.sink.drain_grace_ms);
 }
 
+void NetServer::HandleEpoch(SocketSink* sink, const std::string& line) {
+  std::string env_name;
+  Status status = net::ParseEpochRequestLine(line, &env_name);
+  uint64_t epoch = 0;
+  if (status.ok()) {
+    bool found = false;
+    for (const EnvironmentStatus& env : router_->EnvStats()) {
+      if (env.name == env_name) {
+        epoch = env.stats.epoch;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      status = Status::NotFound("unknown environment '" + env_name + "'");
+    }
+  }
+  if (!status.ok()) {
+    rejected_count_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().rejected->Add();
+    sink->SendLine(net::FormatErrLine(status));
+    sink->Flush(options_.sink.drain_grace_ms);
+    return;
+  }
+  epochs_count_.fetch_add(1, std::memory_order_relaxed);
+  ServerMetrics::Get().epochs->Add();
+  sink->SendLine("OK");
+  sink->SendLine(net::FormatEpochResponseLine(env_name, epoch));
+  sink->Flush(options_.sink.drain_grace_ms);
+}
+
+void NetServer::HandleFailpoint(SocketSink* sink, const std::string& line) {
+  std::string site;
+  std::string spec;
+  Status status = net::ParseFailpointLine(line, &site, &spec);
+  if (status.ok() && !failpoint::kCompiledIn) {
+    status = Status::NotSupported(
+        "this server was built without RINGJOIN_FAILPOINTS");
+  }
+  if (status.ok()) status = failpoint::Configure(site, spec);
+  if (!status.ok()) {
+    rejected_count_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().rejected->Add();
+    sink->SendLine(net::FormatErrLine(status));
+    sink->Flush(options_.sink.drain_grace_ms);
+    return;
+  }
+  sink->SendLine("OK");
+  sink->Flush(options_.sink.drain_grace_ms);
+}
+
 bool NetServer::HandleMutation(SocketSink* sink, const std::string& line) {
   net::WireMutation mutation;
   Status status = net::ParseMutationLine(line, &mutation);
@@ -368,15 +429,22 @@ bool NetServer::HandleMutation(SocketSink* sink, const std::string& line) {
 void NetServer::HandleMutations(int fd, SocketSink* sink, std::string line,
                                 std::string* carry) {
   const net::RequestReadOptions read_options{options_.max_request_bytes,
-                                             options_.request_timeout_ms};
+                                             options_.request_timeout_ms,
+                                             options_.idle_timeout_ms};
   while (HandleMutation(sink, line)) {
     bool clean_eof = false;
-    const Status status = net::ReadRequestLine(fd, read_options, &stop_,
-                                               carry, &line, &clean_eof);
+    bool idle_closed = false;
+    const Status status =
+        net::ReadRequestLine(fd, read_options, &stop_, carry, &line,
+                             &clean_eof, &idle_closed);
     if (!status.ok()) {
-      // A clean close (or an idle timeout with no partial line pending)
+      if (idle_closed) {
+        idle_closed_count_.fetch_add(1, std::memory_order_relaxed);
+        ServerMetrics::Get().idle_closed->Add();
+      }
+      // A clean close (or the idle reaper with no partial line pending)
       // simply ends the batch; a half-delivered line is a real error.
-      if (!clean_eof && !line.empty()) {
+      if (!clean_eof && !idle_closed && !line.empty()) {
         rejected_count_.fetch_add(1, std::memory_order_relaxed);
         ServerMetrics::Get().rejected->Add();
         sink->SendLine(net::FormatErrLine(status));
@@ -412,15 +480,26 @@ void NetServer::HandleConnection(Connection* connection) {
   });
 
   const net::RequestReadOptions read_options{options_.max_request_bytes,
-                                             options_.request_timeout_ms};
+                                             options_.request_timeout_ms,
+                                             options_.idle_timeout_ms};
   std::string carry;
   std::string line;
-  Status status =
-      net::ReadRequestLine(fd, read_options, &stop_, &carry, &line);
-  if (status.ok() && net::IsStatsRequestLine(line)) {
+  bool idle_closed = false;
+  Status status = net::ReadRequestLine(fd, read_options, &stop_, &carry,
+                                       &line, nullptr, &idle_closed);
+  if (idle_closed) {
+    // The peer connected and sent nothing for the idle window: reap it
+    // quietly — no ERR, it was never mid-conversation.
+    idle_closed_count_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().idle_closed->Add();
+  } else if (status.ok() && net::IsStatsRequestLine(line)) {
     HandleStats(&sink);
   } else if (status.ok() && net::IsMetricsRequestLine(line)) {
     HandleMetrics(&sink);
+  } else if (status.ok() && net::IsEpochRequestLine(line)) {
+    HandleEpoch(&sink, line);
+  } else if (status.ok() && net::IsFailpointRequestLine(line)) {
+    HandleFailpoint(&sink, line);
   } else if (status.ok() && net::IsMutationRequestLine(line)) {
     HandleMutations(fd, &sink, std::move(line), &carry);
   } else {
@@ -447,6 +526,15 @@ void NetServer::HandleQuery(Connection* connection, SocketSink* sink,
   const auto query_start = std::chrono::steady_clock::now();
   net::WireRequest request;
   if (status.ok()) status = net::ParseRequestLine(line, &request);
+  // The wire carries a *relative* budget; anchor it to this process's
+  // steady clock the moment the request is understood. Everything below —
+  // admission, the engine's chunk boundaries, the final ERR — compares
+  // against this one absolute deadline.
+  if (status.ok() && request.deadline_ms != 0) {
+    request.spec.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(request.deadline_ms);
+  }
   // A traced query carries its context on this frame: every layer below
   // records into it through spec.trace, and the ticket resolves before
   // this frame unwinds, so the lifetime holds by construction.
@@ -473,6 +561,11 @@ void NetServer::HandleQuery(Connection* connection, SocketSink* sink,
     if (status.code() == StatusCode::kOverloaded) {
       shed_count_.fetch_add(1, std::memory_order_relaxed);
       ServerMetrics::Get().shed->Add();
+    } else if (status.code() == StatusCode::kDeadlineExceeded) {
+      // Admission shed the query because its budget had already run out —
+      // a deadline outcome, not a malformed request.
+      expired_count_.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::Get().expired->Add();
     } else {
       rejected_count_.fetch_add(1, std::memory_order_relaxed);
       ServerMetrics::Get().rejected->Add();
@@ -584,6 +677,14 @@ void NetServer::HandleQuery(Connection* connection, SocketSink* sink,
         Status::Cancelled("stream cancelled before completion")));
     sink->Flush(options_.sink.drain_grace_ms);
     outcome = "cancelled";
+  } else if (final.code() == StatusCode::kDeadlineExceeded) {
+    // The engine aborted the stream at a chunk boundary when the budget
+    // ran out mid-flight: same outcome class as the admission shed above.
+    expired_count_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().expired->Add();
+    sink->SendLine(net::FormatErrLine(final));
+    sink->Flush(options_.sink.drain_grace_ms);
+    outcome = "expired: " + final.message();
   } else {
     failed_count_.fetch_add(1, std::memory_order_relaxed);
     ServerMetrics::Get().failed->Add();

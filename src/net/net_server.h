@@ -65,6 +65,11 @@ struct NetServerOptions {
   /// How long a connection may take to deliver a request line (applied
   /// per line: each mutation of a batch gets a fresh allowance).
   int request_timeout_ms = 10000;
+  /// Reap a connection that sits with no bytes of a next request for this
+  /// long (0 = off). A keep-alive client that went quiet is closed without
+  /// an ERR and counted in Counters::idle_closed; a peer that stalled
+  /// mid-line stays governed by request_timeout_ms.
+  int idle_timeout_ms = 0;
   /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Shrinking
   /// it (tests do) makes the sink's bounded-queue backpressure bite after
   /// a few pairs instead of after megabytes.
@@ -97,6 +102,9 @@ class NetServer {
     uint64_t stats = 0;        ///< STATS probes answered.
     uint64_t mutations = 0;    ///< INSERT/DELETE/COMPACT applied (OK + MUT).
     uint64_t metrics = 0;      ///< METRICS scrapes answered.
+    uint64_t expired = 0;      ///< deadline exceeded (ERR DeadlineExceeded).
+    uint64_t idle_closed = 0;  ///< reaped by the idle timeout.
+    uint64_t epochs = 0;       ///< EPOCH probes answered.
   };
 
   /// Serves queries by submitting through `router`, whose registered
@@ -149,6 +157,12 @@ class NetServer {
   /// Answers a METRICS request on `sink` with the process-wide registry's
   /// Prometheus exposition (OK, the exposition lines, ENDMETRICS).
   void HandleMetrics(SocketSink* sink);
+  /// Answers an EPOCH probe: OK plus one epoch response row for the named
+  /// environment (static environments report epoch 0).
+  void HandleEpoch(SocketSink* sink, const std::string& line);
+  /// Arms or disarms one failpoint site (test builds only; ERR
+  /// NotSupported when failpoints are compiled out).
+  void HandleFailpoint(SocketSink* sink, const std::string& line);
   /// Body of the periodic gauge-refresh thread (options.metrics_snapshot_ms).
   void SnapshotLoop();
   /// Serves a batch of mutation lines, the first already read into
@@ -191,6 +205,9 @@ class NetServer {
   std::atomic<uint64_t> stats_count_{0};
   std::atomic<uint64_t> mutations_count_{0};
   std::atomic<uint64_t> metrics_count_{0};
+  std::atomic<uint64_t> expired_count_{0};
+  std::atomic<uint64_t> idle_closed_count_{0};
+  std::atomic<uint64_t> epochs_count_{0};
 };
 
 }  // namespace rcj

@@ -78,6 +78,8 @@ const char* StatusCodeWireName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -87,7 +89,8 @@ bool ParseStatusCodeWireName(const std::string& token, StatusCode* code) {
        {StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kIoError, StatusCode::kCorruption,
         StatusCode::kNotSupported, StatusCode::kOutOfRange,
-        StatusCode::kCancelled, StatusCode::kOverloaded}) {
+        StatusCode::kCancelled, StatusCode::kOverloaded,
+        StatusCode::kDeadlineExceeded}) {
     if (token == StatusCodeWireName(candidate)) {
       *code = candidate;
       return true;
@@ -114,6 +117,8 @@ Status MakeStatus(StatusCode code, std::string message) {
       return Status::Cancelled(std::move(message));
     case StatusCode::kOverloaded:
       return Status::Overloaded(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
     case StatusCode::kOk:
       break;
   }
@@ -289,6 +294,11 @@ Status ParseRequestLine(const std::string& line, WireRequest* out) {
       if (status.ok() && out->spec.io_ms_per_fault < 0.0) {
         status = Status::OutOfRange("field 'io_ms' must be non-negative");
       }
+    } else if (key == "deadline_ms") {
+      status = ParseUint64Field(key, value, &out->deadline_ms);
+      if (status.ok() && out->deadline_ms == 0) {
+        status = Status::OutOfRange("field 'deadline_ms' must be positive");
+      }
     } else if (key == "trace") {
       status = ParseBoolField(key, value, &out->trace);
     } else if (key == "trace_id") {
@@ -328,6 +338,9 @@ std::string FormatRequestLine(const WireRequest& request) {
   }
   if (request.spec.io_ms_per_fault != defaults.spec.io_ms_per_fault) {
     line += " io_ms=" + FormatDouble(request.spec.io_ms_per_fault);
+  }
+  if (request.deadline_ms != 0) {
+    line += " deadline_ms=" + std::to_string(request.deadline_ms);
   }
   if (request.trace) line += " trace=1";
   if (!request.trace_id.empty()) line += " trace_id=" + request.trace_id;
@@ -1004,6 +1017,84 @@ Status ParseMetricsEndLine(const std::string& line, uint64_t* lines) {
         "ENDMETRICS line wants 'ENDMETRICS lines=N'");
   }
   return ParseUint64Field("lines", tokens[1].substr(6), lines);
+}
+
+bool IsEpochRequestLine(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  return !tokens.empty() && tokens[0] == "EPOCH";
+}
+
+std::string FormatEpochRequestLine(const std::string& env_name) {
+  if (env_name == "default") return "EPOCH";
+  return "EPOCH env=" + env_name;
+}
+
+Status ParseEpochRequestLine(const std::string& line, std::string* env_name) {
+  *env_name = "default";
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty() || tokens[0] != "EPOCH" || tokens.size() > 2) {
+    return Status::InvalidArgument("EPOCH request wants 'EPOCH [env=name]'");
+  }
+  if (tokens.size() == 2) {
+    if (tokens[1].rfind("env=", 0) != 0 || !IsEnvName(tokens[1].substr(4))) {
+      return Status::InvalidArgument("EPOCH request wants 'EPOCH [env=name]'");
+    }
+    *env_name = tokens[1].substr(4);
+  }
+  return Status::OK();
+}
+
+std::string FormatEpochResponseLine(const std::string& env_name,
+                                    uint64_t epoch) {
+  return "EPOCH env=" + env_name + " epoch=" + std::to_string(epoch);
+}
+
+Status ParseEpochResponseLine(const std::string& line, std::string* env_name,
+                              uint64_t* epoch) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.size() != 3 || tokens[0] != "EPOCH" ||
+      tokens[1].rfind("env=", 0) != 0 ||
+      tokens[2].rfind("epoch=", 0) != 0) {
+    return Status::InvalidArgument(
+        "EPOCH response wants 'EPOCH env=name epoch=N'");
+  }
+  const std::string name = tokens[1].substr(4);
+  if (!IsEnvName(name)) {
+    return Status::InvalidArgument("invalid env name '" + name + "'");
+  }
+  *env_name = name;
+  return ParseUint64Field("epoch", tokens[2].substr(6), epoch);
+}
+
+bool IsFailpointRequestLine(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  return !tokens.empty() && tokens[0] == "FAILPOINT";
+}
+
+std::string FormatFailpointLine(const std::string& site,
+                                const std::string& spec) {
+  return "FAILPOINT " + site + " " + spec;
+}
+
+Status ParseFailpointLine(const std::string& line, std::string* site,
+                          std::string* spec) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.size() < 3 || tokens[0] != "FAILPOINT") {
+    return Status::InvalidArgument(
+        "FAILPOINT request wants 'FAILPOINT site spec...'");
+  }
+  // Sites share the trace-id charset: bare tokens, no '=' ambiguity.
+  if (!IsValidTraceId(tokens[1])) {
+    return Status::InvalidArgument("invalid failpoint site '" + tokens[1] +
+                                   "'");
+  }
+  *site = tokens[1];
+  spec->clear();
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    if (i > 2) *spec += ' ';
+    *spec += tokens[i];
+  }
+  return Status::OK();
 }
 
 Status ParseErrLine(const std::string& line, Status* out) {

@@ -21,8 +21,10 @@
 //            | "INSERT" *( SP mkey "=" value ) LF   ; env? side id x y
 //            | "DELETE" *( SP mkey "=" value ) LF   ; env? side id
 //            | "COMPACT" [ SP "env=" name ] LF
+//            | "EPOCH" [ SP "env=" name ] LF
+//            | "FAILPOINT" SP site SP spec LF       ; test builds only
 //   key      = "env" | "algo" | "order" | "verify" | "seed" | "limit"
-//            | "io_ms" | "trace" | "trace_id"
+//            | "io_ms" | "deadline_ms" | "trace" | "trace_id"
 //   mkey     = "env" | "side" | "id" | "x" | "y"
 //   ok       = "OK" LF
 //   pair     = "PAIR" SP p_id SP q_id SP x1 SP y1 SP x2 SP y2 LF
@@ -41,6 +43,7 @@
 //              SP "tombstones=" N SP "compactions=" N SP "base_q=" N
 //              SP "base_p=" N LF
 //   endstats = "ENDSTATS" SP "shards=" N SP "envs=" N LF
+//   epoch    = "EPOCH" SP "env=" name SP "epoch=" N LF
 //   trace    = "TRACE" SP "id=" token SP "depth=" N SP "span=" name
 //              SP "count=" N SP "total_s=" F SP "start_s=" F LF
 //   endtrace = "ENDTRACE" SP "id=" token SP "spans=" N LF
@@ -85,6 +88,12 @@ namespace net {
 struct WireRequest {
   std::string env_name = "default";
   QuerySpec spec;
+  /// Relative end-to-end deadline in milliseconds; 0 = none. The wire
+  /// carries the *relative* budget (clocks are per-process): the server
+  /// anchors it to its steady clock at parse time (spec.deadline), and a
+  /// fronting proxy rewrites it to the remaining budget before
+  /// forwarding.
+  uint64_t deadline_ms = 0;
   /// trace=1: the caller wants the span tree (TRACE lines after END).
   bool trace = false;
   /// Optional caller-chosen trace id (proxy -> backend propagation); the
@@ -264,6 +273,37 @@ bool IsTraceEndLine(const std::string& line);
 std::string FormatTraceEndLine(const std::string& id, uint64_t spans);
 Status ParseTraceEndLine(const std::string& line, std::string* id,
                          uint64_t* spans);
+
+/// True iff `line` opens with the EPOCH verb (prefix dispatch; the
+/// strict parses below may still reject it).
+bool IsEpochRequestLine(const std::string& line);
+
+/// The epoch-probe request: "EPOCH [env=name]" (name defaults to
+/// "default"). The answer is OK plus one epoch response line. The fleet
+/// proxy uses the probe to decide whether a respawned replica has
+/// caught up with the primary's mutation history.
+std::string FormatEpochRequestLine(const std::string& env_name);
+Status ParseEpochRequestLine(const std::string& line, std::string* env_name);
+
+/// The epoch response row: "EPOCH env=name epoch=N". A static
+/// (non-live) environment reports epoch 0.
+std::string FormatEpochResponseLine(const std::string& env_name,
+                                    uint64_t epoch);
+Status ParseEpochResponseLine(const std::string& line, std::string* env_name,
+                              uint64_t* epoch);
+
+/// True iff `line` opens with the FAILPOINT verb (test-only command;
+/// servers built without RINGJOIN_FAILPOINTS answer ERR NotSupported).
+bool IsFailpointRequestLine(const std::string& line);
+
+/// "FAILPOINT <site> <spec...>": arms (or with spec "off" disarms) one
+/// failpoint site (common/failpoint.h grammar). The site is a bare
+/// token (trace-id charset); the spec is everything after it, passed to
+/// the registry verbatim. Answered with a bare OK.
+std::string FormatFailpointLine(const std::string& site,
+                                const std::string& spec);
+Status ParseFailpointLine(const std::string& line, std::string* site,
+                          std::string* spec);
 
 /// True iff `line` asks for the metrics exposition: exactly the token
 /// "METRICS", nothing else on the line (strict, like STATS).

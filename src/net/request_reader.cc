@@ -29,9 +29,11 @@ bool TakeLineFromCarry(std::string* carry, std::string* line) {
 
 Status ReadRequestLine(int fd, const RequestReadOptions& options,
                        const std::atomic<bool>* stop, std::string* carry,
-                       std::string* line, bool* clean_eof) {
+                       std::string* line, bool* clean_eof,
+                       bool* idle_closed) {
   line->clear();
   if (clean_eof) *clean_eof = false;
+  if (idle_closed) *idle_closed = false;
   if (TakeLineFromCarry(carry, line)) {
     if (line->size() > options.max_request_bytes) {
       return Status::InvalidArgument(
@@ -42,11 +44,24 @@ Status ReadRequestLine(int fd, const RequestReadOptions& options,
   }
   // Wall-clock deadline: a slow-drip client that keeps the socket readable
   // must still run out of time, or it pins a handler thread forever.
+  const auto start = std::chrono::steady_clock::now();
   const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::milliseconds(options.request_timeout_ms);
+      start + std::chrono::milliseconds(options.request_timeout_ms);
+  const auto idle_deadline =
+      start + std::chrono::milliseconds(options.idle_timeout_ms);
   for (;;) {
-    if (std::chrono::steady_clock::now() >= deadline ||
+    const auto now = std::chrono::steady_clock::now();
+    // The idle reaper only applies while not a single byte of the next
+    // request has arrived (carry included, via the initial line fill): a
+    // peer that started typing is governed by the request timeout alone.
+    if (options.idle_timeout_ms > 0 && line->empty() &&
+        now >= idle_deadline) {
+      if (idle_closed) *idle_closed = true;
+      return Status::InvalidArgument(
+          "connection idle for " +
+          std::to_string(options.idle_timeout_ms) + " ms");
+    }
+    if (now >= deadline ||
         (stop && stop->load(std::memory_order_relaxed))) {
       return Status::InvalidArgument("timed out waiting for request line");
     }

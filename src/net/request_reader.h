@@ -24,6 +24,11 @@ struct RequestReadOptions {
   size_t max_request_bytes = 4096;
   /// How long the peer may take to deliver the full line.
   int request_timeout_ms = 10000;
+  /// How long a connection may sit with *no bytes of a next request* (not
+  /// even a partial line) before the server reaps it; 0 disables. Only
+  /// meaningful when shorter than request_timeout_ms: once the first byte
+  /// arrives the peer is mid-request and the request timeout governs.
+  int idle_timeout_ms = 0;
 };
 
 /// Reads the next request line from `fd` into `*line` (LF consumed, no
@@ -36,9 +41,15 @@ struct RequestReadOptions {
 /// batch loops use the flag to end without treating the close as an
 /// error. `stop` (when non-null) aborts the wait when set, so server
 /// shutdown unblocks handler threads promptly.
+///
+/// When `idle_timeout_ms` elapses with zero bytes of a next request
+/// received, `*idle_closed` (when non-null) is set and InvalidArgument is
+/// returned — the reaper path for keep-alive connections that went quiet,
+/// distinguishable from a peer that stalled mid-request.
 Status ReadRequestLine(int fd, const RequestReadOptions& options,
                        const std::atomic<bool>* stop, std::string* carry,
-                       std::string* line, bool* clean_eof = nullptr);
+                       std::string* line, bool* clean_eof = nullptr,
+                       bool* idle_closed = nullptr);
 
 }  // namespace net
 }  // namespace rcj

@@ -70,6 +70,18 @@ Status AdmissionController::TryAdmit(size_t shard) {
   return Status::OK();
 }
 
+Status AdmissionController::ShedExpired(size_t shard) {
+  assert(shard < shards_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardCounters& counters = shards_[shard];
+  ++counters.submitted;
+  ++counters.shed;
+  AdmissionMetrics::Get().submitted->Add();
+  AdmissionMetrics::Get().shed->Add();
+  return Status::DeadlineExceeded(
+      "deadline expired before admission on shard " + std::to_string(shard));
+}
+
 void AdmissionController::Release(size_t shard, const Status& final_status) {
   assert(shard < shards_.size());
   std::lock_guard<std::mutex> lock(mu_);

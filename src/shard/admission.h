@@ -62,6 +62,13 @@ class AdmissionController {
   /// shed and no slot is held. Thread-safe.
   Status TryAdmit(size_t shard);
 
+  /// Counts a submission whose deadline had already expired when it
+  /// arrived: one submitted + one shed, no slot taken, returning the
+  /// kDeadlineExceeded the caller relays. Keeps the ledger exact
+  /// (admitted + shed == submitted) without charging expired work
+  /// against the queue bounds.
+  Status ShedExpired(size_t shard);
+
   /// Returns the slot taken by a successful TryAdmit, classifying the
   /// query's outcome from its final status (OK -> completed, Cancelled ->
   /// cancelled, anything else -> failed).

@@ -180,6 +180,13 @@ Status ShardRouter::Submit(const std::string& env_name, QuerySpec spec,
   }
   RINGJOIN_RETURN_IF_ERROR(spec.Validate());
 
+  // A query whose budget ran out before admission never takes a slot:
+  // shed it now so the queue bounds stay available for work that can
+  // still finish inside its deadline.
+  if (spec.deadline_expired(std::chrono::steady_clock::now())) {
+    return admission_.ShedExpired(shard);
+  }
+
   RINGJOIN_RETURN_IF_ERROR(admission_.TryAdmit(shard));
   // From here the slot is held; every path below ends in the service's
   // on_done firing exactly once (even a post-shutdown Submit resolves

@@ -693,6 +693,195 @@ TEST(FleetProxyTest, MutationsFanOutToTheWholeReplicaWindow) {
   }
 }
 
+/// A replicated live fleet: every backend owns a LiveEnvironment over the
+/// same base data, registered as "default" — the in-process twin of what
+/// `rcj_tool fleet --live` spawns.
+struct LiveFleet {
+  explicit LiveFleet(size_t n) {
+    const std::vector<PointRecord> qset = GenerateUniform(300, 771);
+    const std::vector<PointRecord> pset = GenerateUniform(400, 772);
+    for (size_t i = 0; i < n; ++i) {
+      Result<std::unique_ptr<LiveEnvironment>> live =
+          LiveEnvironment::Create(qset, pset, LiveOptions{});
+      EXPECT_TRUE(live.ok());
+      lives.push_back(std::move(live).value());
+      routers.push_back(std::make_unique<ShardRouter>());
+      EXPECT_TRUE(routers.back()
+                      ->RegisterLiveEnvironment("default", lives.back().get())
+                      .ok());
+      servers.push_back(std::make_unique<NetServer>(routers.back().get()));
+      EXPECT_TRUE(servers.back()->Start().ok());
+      addresses.push_back({"127.0.0.1", servers.back()->port()});
+    }
+  }
+  ~LiveFleet() {
+    for (size_t i = 0; i < servers.size(); ++i) {
+      servers[i]->Stop();
+      EXPECT_TRUE(routers[i]->ReleaseEnvironment("default").ok());
+    }
+  }
+  /// The backend's own view of the "default" epoch, probed directly.
+  uint64_t Epoch(size_t i) {
+    Result<net::ProtocolClient> direct =
+        net::ProtocolClient::Connect("127.0.0.1", servers[i]->port());
+    EXPECT_TRUE(direct.ok());
+    net::ProtocolClient client = std::move(direct).value();
+    std::vector<net::WireEnvStats> envs;
+    EXPECT_TRUE(client.Stats(nullptr, &envs).ok());
+    EXPECT_EQ(envs.size(), 1u);
+    return envs.empty() ? 0 : envs[0].epoch;
+  }
+  std::vector<std::unique_ptr<LiveEnvironment>> lives;
+  std::vector<std::unique_ptr<ShardRouter>> routers;
+  std::vector<std::unique_ptr<NetServer>> servers;
+  std::vector<BackendAddress> addresses;
+};
+
+/// One INSERT through an open proxy mutation conversation.
+Status InsertViaProxy(net::ProtocolClient* client, int64_t id,
+                      net::WireMutationAck* ack) {
+  net::WireMutation mutation;
+  mutation.op = net::WireMutationOp::kInsert;
+  mutation.side = LiveSide::kQ;
+  mutation.rec.id = id;
+  mutation.rec.pt.x = 0.25 + 1e-6 * static_cast<double>(id % 1000);
+  mutation.rec.pt.y = 0.5;
+  return client->Mutate(mutation, ack);
+}
+
+TEST(FleetProxyTest, ExcludedReplicaIsFedTheMissingSuffixAndReadmitted) {
+  LiveFleet fleet(2);
+  FleetProxyOptions options;
+  options.replicas = 2;
+  FleetProxy proxy(fleet.addresses, options);
+  ASSERT_TRUE(proxy.Start().ok());
+  const std::vector<size_t> window = proxy.ReplicaSet("default");
+  ASSERT_EQ(window.size(), 2u);
+  const size_t survivor = window[0];
+  const size_t lagger = window[1];
+
+  Result<net::ProtocolClient> dialed =
+      net::ProtocolClient::Connect("127.0.0.1", proxy.port());
+  ASSERT_TRUE(dialed.ok());
+  net::ProtocolClient client = std::move(dialed).value();
+
+  // Two ops while both replicas are in the window: both converge.
+  net::WireMutationAck ack;
+  for (int64_t id = 710000; id < 710002; ++id) {
+    ASSERT_TRUE(InsertViaProxy(&client, id, &ack).ok());
+  }
+  EXPECT_EQ(fleet.Epoch(survivor), 2u);
+  EXPECT_EQ(fleet.Epoch(lagger), 2u);
+
+  // The supervisor notices a death: the replica is excluded, and three
+  // more ops land only on the survivor (each skip is counted). The acks
+  // keep flowing — one healthy replica is enough to make progress.
+  proxy.SetExcluded(lagger, true);
+  for (int64_t id = 710002; id < 710005; ++id) {
+    ASSERT_TRUE(InsertViaProxy(&client, id, &ack).ok());
+    EXPECT_EQ(ack.epoch, static_cast<uint64_t>(id - 710000 + 1));
+  }
+  EXPECT_EQ(fleet.Epoch(survivor), 5u);
+  EXPECT_EQ(fleet.Epoch(lagger), 2u) << "an excluded replica must not see ops";
+
+  // The respawn handshake: CatchUp feeds epochs 3..5 from the ring,
+  // re-probes, and only then clears the exclusion.
+  const Status caught_up = proxy.CatchUp(lagger);
+  ASSERT_TRUE(caught_up.ok()) << caught_up.ToString();
+  EXPECT_FALSE(proxy.excluded(lagger));
+  EXPECT_EQ(fleet.Epoch(lagger), 5u) << "epochs must match the primary";
+
+  client.Close();
+  proxy.Stop();
+  const FleetProxy::Counters counters = proxy.counters();
+  EXPECT_EQ(counters.mutations, 5u);
+  EXPECT_EQ(counters.excluded_skips, 3u);
+  EXPECT_EQ(counters.catchups, 1u);
+  EXPECT_EQ(counters.catchup_failures, 0u);
+  EXPECT_GE(counters.epoch_probes, 3u)
+      << "primary probe, lagger probe, and the closing re-probe";
+}
+
+TEST(FleetProxyTest, MidBatchBackendDeathExcludesOnTheSpotAndStillAcks) {
+  LiveFleet fleet(2);
+  FleetProxyOptions options;
+  options.replicas = 2;
+  FleetProxy proxy(fleet.addresses, options);
+  ASSERT_TRUE(proxy.Start().ok());
+  const std::vector<size_t> window = proxy.ReplicaSet("default");
+  const size_t victim = window[1];
+
+  Result<net::ProtocolClient> dialed =
+      net::ProtocolClient::Connect("127.0.0.1", proxy.port());
+  ASSERT_TRUE(dialed.ok());
+  net::ProtocolClient client = std::move(dialed).value();
+
+  net::WireMutationAck ack;
+  ASSERT_TRUE(InsertViaProxy(&client, 720000, &ack).ok());
+  EXPECT_EQ(ack.epoch, 1u);
+
+  // The victim dies between two ops of the same batch. The next relay
+  // hits a dead conversation, fails the redial, excludes the replica on
+  // the spot — and still acknowledges via the survivor instead of
+  // failing the op for everyone.
+  fleet.servers[victim]->Stop();
+  ASSERT_TRUE(InsertViaProxy(&client, 720001, &ack).ok());
+  EXPECT_EQ(ack.epoch, 2u);
+  EXPECT_TRUE(proxy.excluded(victim));
+
+  // Catch-up cannot succeed while the replica is still down: the failure
+  // is surfaced and the exclusion stays, keeping the dead replica out of
+  // the read window.
+  const Status caught_up = proxy.CatchUp(victim);
+  EXPECT_FALSE(caught_up.ok());
+  EXPECT_TRUE(proxy.excluded(victim));
+
+  client.Close();
+  proxy.Stop();
+  const FleetProxy::Counters counters = proxy.counters();
+  EXPECT_EQ(counters.mutations, 2u);
+  EXPECT_EQ(counters.relay_exclusions, 1u);
+  EXPECT_EQ(counters.catchup_failures, 1u);
+}
+
+TEST(FleetProxyTest, CatchUpFailsWhenTheRingNoLongerReachesBack) {
+  LiveFleet fleet(2);
+  FleetProxyOptions options;
+  options.replicas = 2;
+  options.mutation_ring_capacity = 2;
+  FleetProxy proxy(fleet.addresses, options);
+  ASSERT_TRUE(proxy.Start().ok());
+  const std::vector<size_t> window = proxy.ReplicaSet("default");
+  const size_t lagger = window[1];
+
+  Result<net::ProtocolClient> dialed =
+      net::ProtocolClient::Connect("127.0.0.1", proxy.port());
+  ASSERT_TRUE(dialed.ok());
+  net::ProtocolClient client = std::move(dialed).value();
+
+  net::WireMutationAck ack;
+  ASSERT_TRUE(InsertViaProxy(&client, 730000, &ack).ok());
+  proxy.SetExcluded(lagger, true);
+  // Four more ops against a ring of two: epochs 2..3 are evicted, so the
+  // lagger's missing suffix (2..5) is no longer contiguous in memory.
+  for (int64_t id = 730001; id < 730005; ++id) {
+    ASSERT_TRUE(InsertViaProxy(&client, id, &ack).ok());
+  }
+
+  const Status caught_up = proxy.CatchUp(lagger);
+  ASSERT_FALSE(caught_up.ok());
+  EXPECT_EQ(caught_up.code(), StatusCode::kIoError);
+  EXPECT_NE(caught_up.ToString().find("full restore"), std::string::npos)
+      << caught_up.ToString();
+  EXPECT_TRUE(proxy.excluded(lagger))
+      << "a replica the ring cannot repair must stay out of the window";
+  EXPECT_EQ(fleet.Epoch(lagger), 1u);
+
+  client.Close();
+  proxy.Stop();
+  EXPECT_EQ(proxy.counters().catchup_failures, 1u);
+}
+
 }  // namespace
 }  // namespace fleet
 }  // namespace rcj

@@ -1,0 +1,508 @@
+// Durability contract of the mutation WAL: replay returns exactly the
+// acknowledged prefix (a journal truncated at *any* byte boundary of its
+// final record recovers the preceding records, never crashes, never
+// applies a partial mutation), checkpoints bound replay without changing
+// its outcome in either crash-between-renames order, and an environment
+// rebuilt from dir state at any instant produces a merged query stream
+// identical to a never-crashed oracle.
+#include "live/mutation_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/failpoint.h"
+#include "live/live_environment.h"
+#include "test_util.h"
+
+namespace rcj {
+namespace {
+
+using testing_util::RandomRecords;
+
+// kHeaderLen + kPayloadLen of the journal framing (mutation_log.cc).
+constexpr size_t kRecordBytes = 42;
+
+std::string MakeTempDir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") +
+                     "/rcj_wal_test_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const char* dir = mkdtemp(buf.data());
+  EXPECT_NE(dir, nullptr);
+  return dir != nullptr ? dir : "";
+}
+
+void RemoveTree(const std::string& dir) {
+  for (const char* name : {"/wal.log", "/base.snap", "/wal.log.tmp",
+                           "/base.snap.tmp"}) {
+    unlink((dir + name).c_str());
+  }
+  rmdir(dir.c_str());
+}
+
+std::string ReadFile(const std::string& path) {
+  std::string out;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, got);
+  std::fclose(f);
+  return out;
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+  std::fclose(f);
+}
+
+off_t FileSize(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0 ? st.st_size : -1;
+}
+
+WalRecord MakeRecord(uint64_t epoch) {
+  WalRecord record;
+  record.epoch = epoch;
+  record.op = epoch % 3 == 0 ? WalOp::kDelete : WalOp::kInsert;
+  record.side = epoch % 2 == 0 ? LiveSide::kQ : LiveSide::kP;
+  record.rec.id = static_cast<PointId>(1000 + epoch);
+  record.rec.pt.x = 1.5 * static_cast<double>(epoch);
+  record.rec.pt.y = -0.25 * static_cast<double>(epoch);
+  return record;
+}
+
+void ExpectRecordEq(const WalRecord& actual, const WalRecord& expected) {
+  EXPECT_EQ(actual.epoch, expected.epoch);
+  EXPECT_EQ(actual.op, expected.op);
+  EXPECT_EQ(actual.side, expected.side);
+  EXPECT_EQ(actual.rec.id, expected.rec.id);
+  EXPECT_EQ(actual.rec.pt.x, expected.rec.pt.x);
+  EXPECT_EQ(actual.rec.pt.y, expected.rec.pt.y);
+}
+
+TEST(MutationLogTest, AppendReplayRoundTrip) {
+  const std::string dir = MakeTempDir();
+  WalRecovery recovery;
+  {
+    Result<std::unique_ptr<MutationLog>> log =
+        MutationLog::Open({dir, 0}, &recovery);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    EXPECT_FALSE(recovery.has_snapshot);
+    EXPECT_TRUE(recovery.records.empty());
+    EXPECT_EQ(recovery.truncated_bytes, 0u);
+    for (uint64_t epoch = 1; epoch <= 7; ++epoch) {
+      ASSERT_TRUE(log.value()->Append(MakeRecord(epoch)).ok());
+    }
+  }
+  Result<std::unique_ptr<MutationLog>> reopened =
+      MutationLog::Open({dir, 0}, &recovery);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ(recovery.records.size(), 7u);
+  EXPECT_EQ(recovery.truncated_bytes, 0u);
+  EXPECT_EQ(recovery.skipped_records, 0u);
+  for (uint64_t epoch = 1; epoch <= 7; ++epoch) {
+    ExpectRecordEq(recovery.records[epoch - 1], MakeRecord(epoch));
+  }
+  RemoveTree(dir);
+}
+
+TEST(MutationLogTest, TornTailTruncatedAtEveryByteBoundary) {
+  const std::string dir = MakeTempDir();
+  WalRecovery recovery;
+  {
+    Result<std::unique_ptr<MutationLog>> log =
+        MutationLog::Open({dir, 0}, &recovery);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    for (uint64_t epoch = 1; epoch <= 5; ++epoch) {
+      ASSERT_TRUE(log.value()->Append(MakeRecord(epoch)).ok());
+    }
+  }
+  const std::string intact = ReadFile(dir + "/wal.log");
+  ASSERT_EQ(intact.size(), 5 * kRecordBytes);
+
+  // Cut the journal after every byte of the final record (0 = the record
+  // is gone entirely, kRecordBytes - 1 = one byte short of complete):
+  // replay must recover records 1..4 exactly and truncate in place.
+  for (size_t cut = 0; cut < kRecordBytes; ++cut) {
+    const size_t keep = 4 * kRecordBytes + cut;
+    WriteFile(dir + "/wal.log", intact.substr(0, keep));
+    {
+      Result<std::unique_ptr<MutationLog>> log =
+          MutationLog::Open({dir, 0}, &recovery);
+      ASSERT_TRUE(log.ok()) << "cut=" << cut << ": "
+                            << log.status().ToString();
+      ASSERT_EQ(recovery.records.size(), 4u) << "cut=" << cut;
+      EXPECT_EQ(recovery.truncated_bytes, cut) << "cut=" << cut;
+      for (uint64_t epoch = 1; epoch <= 4; ++epoch) {
+        ExpectRecordEq(recovery.records[epoch - 1], MakeRecord(epoch));
+      }
+    }
+    // The torn bytes were truncated off in place: a second replay sees a
+    // clean journal of exactly the durable prefix.
+    EXPECT_EQ(FileSize(dir + "/wal.log"),
+              static_cast<off_t>(4 * kRecordBytes))
+        << "cut=" << cut;
+    {
+      Result<std::unique_ptr<MutationLog>> log =
+          MutationLog::Open({dir, 0}, &recovery);
+      ASSERT_TRUE(log.ok()) << log.status().ToString();
+      EXPECT_EQ(recovery.records.size(), 4u) << "cut=" << cut;
+      EXPECT_EQ(recovery.truncated_bytes, 0u) << "cut=" << cut;
+    }
+  }
+  RemoveTree(dir);
+}
+
+TEST(MutationLogTest, BitFlipInTailRecordDropsIt) {
+  const std::string dir = MakeTempDir();
+  WalRecovery recovery;
+  {
+    Result<std::unique_ptr<MutationLog>> log =
+        MutationLog::Open({dir, 0}, &recovery);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    for (uint64_t epoch = 1; epoch <= 3; ++epoch) {
+      ASSERT_TRUE(log.value()->Append(MakeRecord(epoch)).ok());
+    }
+  }
+  std::string journal = ReadFile(dir + "/wal.log");
+  journal[2 * kRecordBytes + 20] ^= 0x40;  // payload byte of record 3
+  WriteFile(dir + "/wal.log", journal);
+
+  Result<std::unique_ptr<MutationLog>> log =
+      MutationLog::Open({dir, 0}, &recovery);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  ASSERT_EQ(recovery.records.size(), 2u);
+  EXPECT_EQ(recovery.truncated_bytes, kRecordBytes);
+  RemoveTree(dir);
+}
+
+TEST(MutationLogTest, CheckpointBoundsReplay) {
+  const std::string dir = MakeTempDir();
+  const std::vector<PointRecord> base_q = RandomRecords(20, 11);
+  const std::vector<PointRecord> base_p = RandomRecords(20, 12);
+  WalRecovery recovery;
+  {
+    Result<std::unique_ptr<MutationLog>> log =
+        MutationLog::Open({dir, 0}, &recovery);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    for (uint64_t epoch = 1; epoch <= 10; ++epoch) {
+      ASSERT_TRUE(log.value()->Append(MakeRecord(epoch)).ok());
+    }
+    // Fold epochs 1..6 into the base; 7..10 stay journaled.
+    ASSERT_TRUE(log.value()
+                    ->Checkpoint(6, /*self_join=*/false, base_q, base_p)
+                    .ok());
+    ASSERT_TRUE(log.value()->Append(MakeRecord(11)).ok());
+  }
+  Result<std::unique_ptr<MutationLog>> log =
+      MutationLog::Open({dir, 0}, &recovery);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_TRUE(recovery.has_snapshot);
+  EXPECT_EQ(recovery.snapshot_epoch, 6u);
+  EXPECT_FALSE(recovery.self_join);
+  ASSERT_EQ(recovery.base_q.size(), base_q.size());
+  ASSERT_EQ(recovery.base_p.size(), base_p.size());
+  for (size_t i = 0; i < base_q.size(); ++i) {
+    EXPECT_EQ(recovery.base_q[i].id, base_q[i].id);
+    EXPECT_EQ(recovery.base_q[i].pt.x, base_q[i].pt.x);
+    EXPECT_EQ(recovery.base_q[i].pt.y, base_q[i].pt.y);
+  }
+  ASSERT_EQ(recovery.records.size(), 5u);  // 7..11
+  for (uint64_t epoch = 7; epoch <= 11; ++epoch) {
+    ExpectRecordEq(recovery.records[epoch - 7], MakeRecord(epoch));
+  }
+  EXPECT_EQ(recovery.skipped_records, 0u);
+  RemoveTree(dir);
+}
+
+TEST(MutationLogTest, CrashBetweenCheckpointRenamesSkipsFoldedRecords) {
+  const std::string dir = MakeTempDir();
+  WalRecovery recovery;
+  std::string pre_checkpoint_journal;
+  {
+    Result<std::unique_ptr<MutationLog>> log =
+        MutationLog::Open({dir, 0}, &recovery);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    for (uint64_t epoch = 1; epoch <= 8; ++epoch) {
+      ASSERT_TRUE(log.value()->Append(MakeRecord(epoch)).ok());
+    }
+    ASSERT_TRUE(log.value()->Sync().ok());
+    pre_checkpoint_journal = ReadFile(dir + "/wal.log");
+    ASSERT_TRUE(log.value()
+                    ->Checkpoint(5, /*self_join=*/true, RandomRecords(10, 13),
+                                 {})
+                    .ok());
+  }
+  // Simulate the crash window after base.snap renamed but before the
+  // journal rewrite renamed: the old journal (epochs 1..8) is still on
+  // disk next to the new snapshot. Replay must skip the folded 1..5.
+  WriteFile(dir + "/wal.log", pre_checkpoint_journal);
+  Result<std::unique_ptr<MutationLog>> log =
+      MutationLog::Open({dir, 0}, &recovery);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_TRUE(recovery.has_snapshot);
+  EXPECT_EQ(recovery.snapshot_epoch, 5u);
+  EXPECT_TRUE(recovery.self_join);
+  EXPECT_EQ(recovery.skipped_records, 5u);
+  ASSERT_EQ(recovery.records.size(), 3u);  // 6..8
+  for (uint64_t epoch = 6; epoch <= 8; ++epoch) {
+    ExpectRecordEq(recovery.records[epoch - 6], MakeRecord(epoch));
+  }
+  RemoveTree(dir);
+}
+
+TEST(MutationLogTest, CorruptSnapshotIsAnErrorNotAReset) {
+  const std::string dir = MakeTempDir();
+  WalRecovery recovery;
+  {
+    Result<std::unique_ptr<MutationLog>> log =
+        MutationLog::Open({dir, 0}, &recovery);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    ASSERT_TRUE(log.value()->Append(MakeRecord(1)).ok());
+    ASSERT_TRUE(log.value()
+                    ->Checkpoint(1, /*self_join=*/true, RandomRecords(5, 14),
+                                 {})
+                    .ok());
+  }
+  std::string snap = ReadFile(dir + "/base.snap");
+  ASSERT_GT(snap.size(), 40u);
+  snap[40] ^= 0x01;  // a body byte: the CRC must catch it
+  WriteFile(dir + "/base.snap", snap);
+  Result<std::unique_ptr<MutationLog>> log =
+      MutationLog::Open({dir, 0}, &recovery);
+  ASSERT_FALSE(log.ok());
+  EXPECT_EQ(log.status().code(), StatusCode::kCorruption);
+  RemoveTree(dir);
+}
+
+TEST(MutationLogTest, GroupCommitWindowStillReplaysEverything) {
+  const std::string dir = MakeTempDir();
+  WalRecovery recovery;
+  {
+    // A huge window: no append triggers fdatasync, so close-time (and
+    // explicit Sync()) durability is what replay exercises.
+    Result<std::unique_ptr<MutationLog>> log =
+        MutationLog::Open({dir, 60000}, &recovery);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    for (uint64_t epoch = 1; epoch <= 20; ++epoch) {
+      ASSERT_TRUE(log.value()->Append(MakeRecord(epoch)).ok());
+    }
+    ASSERT_TRUE(log.value()->Sync().ok());
+  }
+  Result<std::unique_ptr<MutationLog>> log =
+      MutationLog::Open({dir, 60000}, &recovery);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(recovery.records.size(), 20u);
+  RemoveTree(dir);
+}
+
+// ---- recovery == never-crashed oracle ----------------------------------
+
+// Applies the same scripted mutation stream to any live environment.
+void ApplyScript(LiveEnvironment* live, uint64_t seed, int steps,
+                 PointId first_fresh) {
+  testing_util::SplitMix rng(seed);
+  PointId next_id = first_fresh;
+  std::vector<PointId> inserted;
+  for (int i = 0; i < steps; ++i) {
+    const LiveSide side = rng.Next() % 2 == 0 ? LiveSide::kQ : LiveSide::kP;
+    if (!inserted.empty() && rng.Next() % 4 == 0) {
+      const size_t victim = rng.Next() % inserted.size();
+      // The scripted delete may target either side's namespace; try Q
+      // then P so the script stays deterministic without bookkeeping.
+      if (!live->Delete(LiveSide::kQ, inserted[victim]).ok()) {
+        ASSERT_TRUE(live->Delete(LiveSide::kP, inserted[victim]).ok());
+      }
+      inserted[victim] = inserted.back();
+      inserted.pop_back();
+    } else {
+      const PointRecord rec{rng.NextPoint(0.0, 1000.0), next_id++};
+      ASSERT_TRUE(live->Insert(side, rec).ok());
+      inserted.push_back(rec.id);
+    }
+  }
+}
+
+std::vector<RcjPair> MergedStream(LiveEnvironment* live) {
+  LiveSnapshot snapshot = live->TakeSnapshot();
+  QuerySpec spec = snapshot.Spec();
+  spec.algorithm = RcjAlgorithm::kObj;
+  Result<RcjRunResult> result = snapshot.Run(spec);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result.value().pairs)
+                     : std::vector<RcjPair>{};
+}
+
+void ExpectSameStream(const std::vector<RcjPair>& recovered,
+                      const std::vector<RcjPair>& expected) {
+  ASSERT_EQ(recovered.size(), expected.size());
+  for (size_t i = 0; i < recovered.size(); ++i) {
+    ASSERT_EQ(recovered[i].p.id, expected[i].p.id) << "at " << i;
+    ASSERT_EQ(recovered[i].q.id, expected[i].q.id) << "at " << i;
+    ASSERT_EQ(recovered[i].circle.center.x, expected[i].circle.center.x);
+    ASSERT_EQ(recovered[i].circle.center.y, expected[i].circle.center.y);
+    ASSERT_EQ(recovered[i].circle.radius2, expected[i].circle.radius2);
+  }
+}
+
+// The crash-recovery invariant: rebuild from dir state (journal only,
+// then checkpoint + journal suffix) and compare the merged stream pair
+// by pair, in order, against an oracle that never went down.
+TEST(MutationLogTest, RecoveredEnvironmentMatchesNeverCrashedOracle) {
+  const std::string dir = MakeTempDir();
+  const std::vector<PointRecord> qset = RandomRecords(60, 21);
+  std::vector<PointRecord> pset = RandomRecords(60, 22);
+  for (PointRecord& rec : pset) rec.id += 10000;
+
+  // Oracle: same datasets, same script, no crash, no WAL.
+  Result<std::unique_ptr<LiveEnvironment>> oracle =
+      LiveEnvironment::Create(qset, pset, LiveOptions{});
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  ApplyScript(oracle.value().get(), 23, 80, 20000);
+
+  // Durable twin: journal attached, killed (destroyed) after the script.
+  {
+    WalRecovery recovery;
+    Result<std::unique_ptr<MutationLog>> log =
+        MutationLog::Open({dir, 0}, &recovery);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    Result<std::unique_ptr<LiveEnvironment>> live =
+        LiveEnvironment::Create(qset, pset, LiveOptions{});
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+    live.value()->AttachLog(std::move(log).value());
+    ApplyScript(live.value().get(), 23, 80, 20000);
+  }
+
+  // First recovery: journal only (no checkpoint yet).
+  {
+    WalRecovery recovery;
+    Result<std::unique_ptr<MutationLog>> log =
+        MutationLog::Open({dir, 0}, &recovery);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    EXPECT_FALSE(recovery.has_snapshot);
+    LiveOptions options;
+    options.initial_epoch = recovery.snapshot_epoch;
+    Result<std::unique_ptr<LiveEnvironment>> live =
+        LiveEnvironment::Create(qset, pset, options);
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+    ASSERT_TRUE(ReplayRecovery(recovery, live.value().get()).ok());
+    live.value()->AttachLog(std::move(log).value());
+    EXPECT_EQ(live.value()->stats().epoch, oracle.value()->stats().epoch);
+    ExpectSameStream(MergedStream(live.value().get()),
+                     MergedStream(oracle.value().get()));
+    // Compact (which checkpoints, now that the log is attached), then
+    // keep mutating so the journal gains a post-checkpoint suffix. The
+    // oracle compacts at the same point: stream *order* depends on base
+    // tree packing, and "never crashed" means same history, compactions
+    // included.
+    ASSERT_TRUE(live.value()->Compact().ok());
+    ASSERT_TRUE(oracle.value()->Compact().ok());
+    ApplyScript(live.value().get(), 29, 20, 40000);
+    ApplyScript(oracle.value().get(), 29, 20, 40000);
+  }
+
+  // Second recovery: checkpoint + journal suffix this time.
+  {
+    WalRecovery recovery;
+    Result<std::unique_ptr<MutationLog>> log =
+        MutationLog::Open({dir, 0}, &recovery);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    EXPECT_TRUE(recovery.has_snapshot);
+    EXPECT_GT(recovery.snapshot_epoch, 0u);
+    LiveOptions options;
+    options.initial_epoch = recovery.snapshot_epoch;
+    Result<std::unique_ptr<LiveEnvironment>> live =
+        LiveEnvironment::Create(recovery.base_q, recovery.base_p, options);
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+    ASSERT_TRUE(ReplayRecovery(recovery, live.value().get()).ok());
+    EXPECT_EQ(live.value()->stats().epoch, oracle.value()->stats().epoch);
+    ExpectSameStream(MergedStream(live.value().get()),
+                     MergedStream(oracle.value().get()));
+  }
+  RemoveTree(dir);
+}
+
+TEST(MutationLogTest, ReplayEpochMismatchIsCorruption) {
+  const std::string dir = MakeTempDir();
+  WalRecovery recovery;
+  {
+    Result<std::unique_ptr<MutationLog>> log =
+        MutationLog::Open({dir, 0}, &recovery);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    Result<std::unique_ptr<LiveEnvironment>> live = LiveEnvironment::Create(
+        RandomRecords(10, 31), {}, LiveOptions{});
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+    live.value()->AttachLog(std::move(log).value());
+    ASSERT_TRUE(live.value()
+                    ->Insert(LiveSide::kQ,
+                             PointRecord{Point{1.0, 2.0}, 555})
+                    .ok());
+  }
+  Result<std::unique_ptr<MutationLog>> log =
+      MutationLog::Open({dir, 0}, &recovery);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  // Wrong starting epoch: the journal says this mutation produced epoch
+  // 1, but the environment is already past it.
+  LiveOptions options;
+  options.initial_epoch = 7;
+  Result<std::unique_ptr<LiveEnvironment>> live = LiveEnvironment::Create(
+      RandomRecords(10, 31), {}, options);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  const Status replayed = ReplayRecovery(recovery, live.value().get());
+  EXPECT_EQ(replayed.code(), StatusCode::kCorruption)
+      << replayed.ToString();
+  RemoveTree(dir);
+}
+
+// A failed journal append must fail the mutation without applying it —
+// the ack-implies-durable direction of the WAL contract. Needs the
+// compiled-in failpoint registry.
+TEST(MutationLogTest, FailedAppendFailsTheMutationWithoutApplyingIt) {
+  if (!failpoint::kCompiledIn) {
+    GTEST_SKIP() << "built without RINGJOIN_FAILPOINTS";
+  }
+  const std::string dir = MakeTempDir();
+  {
+    WalRecovery recovery;
+    Result<std::unique_ptr<MutationLog>> log =
+        MutationLog::Open({dir, 0}, &recovery);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    Result<std::unique_ptr<LiveEnvironment>> live = LiveEnvironment::Create(
+        RandomRecords(10, 41), {}, LiveOptions{});
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+    live.value()->AttachLog(std::move(log).value());
+
+    ASSERT_TRUE(failpoint::Configure("wal_append", "err").ok());
+    const Status failed = live.value()->Insert(
+        LiveSide::kQ, PointRecord{Point{3.0, 4.0}, 777});
+    failpoint::Reset();
+    EXPECT_FALSE(failed.ok());
+    EXPECT_EQ(live.value()->stats().epoch, 0u);
+    std::vector<PointRecord> q, p;
+    live.value()->EffectivePointsets(&q, &p);
+    for (const PointRecord& rec : q) EXPECT_NE(rec.id, 777);
+  }
+  // The rejected mutation must also be absent from a replay.
+  WalRecovery recovery;
+  Result<std::unique_ptr<MutationLog>> reopened =
+      MutationLog::Open({dir, 0}, &recovery);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(recovery.records.empty());
+  RemoveTree(dir);
+}
+
+}  // namespace
+}  // namespace rcj

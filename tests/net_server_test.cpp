@@ -15,6 +15,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <map>
@@ -23,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "core/rcj.h"
 #include "live/live_environment.h"
 #include "net/protocol.h"
@@ -863,6 +865,133 @@ TEST(NetServerTest, NonMutationAfterMutationIsRejected) {
   EXPECT_EQ(counters.mutations, 1u);
   EXPECT_EQ(counters.rejected, 1u);
   ASSERT_TRUE(router.ReleaseEnvironment("default").ok());
+}
+
+/// Sends one request line and collects every response line until the
+/// server closes the conversation.
+std::vector<std::string> OneShot(uint16_t port, const std::string& line) {
+  const int fd = ConnectLoopback(port);
+  SendAll(fd, line + "\n");
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = recv(fd, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(got));
+  }
+  close(fd);
+  std::vector<std::string> lines;
+  size_t start = 0, newline;
+  while ((newline = buffer.find('\n', start)) != std::string::npos) {
+    lines.push_back(buffer.substr(start, newline - start));
+    start = newline + 1;
+  }
+  return lines;
+}
+
+TEST(NetServerTest, EpochProbeReportsTheLiveEpoch) {
+  Result<std::unique_ptr<LiveEnvironment>> live = LiveEnvironment::Create(
+      GenerateUniform(200, 951), GenerateUniform(200, 952), LiveOptions{});
+  ASSERT_TRUE(live.ok());
+  ShardRouter router;
+  ASSERT_TRUE(
+      router.RegisterLiveEnvironment("default", live.value().get()).ok());
+  NetServer server(&router);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<std::string> reply = OneShot(server.port(), "EPOCH");
+  ASSERT_EQ(reply.size(), 2u);
+  EXPECT_EQ(reply[0], "OK");
+  std::string env;
+  uint64_t epoch = 99;
+  ASSERT_TRUE(net::ParseEpochResponseLine(reply[1], &env, &epoch).ok())
+      << reply[1];
+  EXPECT_EQ(env, "default");
+  EXPECT_EQ(epoch, 0u);
+
+  // A mutation advances what the probe reports — the signal the fleet
+  // catch-up handshake compares across replicas.
+  ASSERT_TRUE(
+      RunMutation(server.port(), "INSERT side=q id=880000 x=0.1 y=0.2").ok);
+  reply = OneShot(server.port(), "EPOCH env=default");
+  ASSERT_EQ(reply.size(), 2u);
+  ASSERT_TRUE(net::ParseEpochResponseLine(reply[1], &env, &epoch).ok());
+  EXPECT_EQ(epoch, 1u);
+
+  // Unknown environments are NotFound, not epoch 0 — a respawned replica
+  // that has not registered yet must not look caught up.
+  reply = OneShot(server.port(), "EPOCH env=nosuch");
+  ASSERT_EQ(reply.size(), 1u);
+  Status error;
+  ASSERT_TRUE(net::ParseErrLine(reply[0], &error).ok()) << reply[0];
+  EXPECT_EQ(error.code(), StatusCode::kNotFound);
+
+  server.Stop();
+  EXPECT_EQ(server.counters().epochs, 2u);
+  ASSERT_TRUE(router.ReleaseEnvironment("default").ok());
+}
+
+TEST(NetServerTest, FailpointWireCommandFollowsTheBuildFlag) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(150, 961);
+  RouterFixture fixture({{"default", env.get()}});
+  NetServer server(&fixture.router);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<std::string> reply =
+      OneShot(server.port(), "FAILPOINT test_wire_site err");
+  ASSERT_EQ(reply.size(), 1u);
+  if (failpoint::kCompiledIn) {
+    EXPECT_EQ(reply[0], "OK");
+    const std::vector<std::string> armed = failpoint::ArmedSites();
+    EXPECT_NE(std::find(armed.begin(), armed.end(), "test_wire_site"),
+              armed.end());
+    // Disarm over the wire too.
+    EXPECT_EQ(OneShot(server.port(), "FAILPOINT test_wire_site off")[0],
+              "OK");
+    EXPECT_TRUE(failpoint::ArmedSites().empty());
+    // A spec that fails the grammar is an ERR, not a silent no-op.
+    Status error;
+    ASSERT_TRUE(net::ParseErrLine(
+                    OneShot(server.port(), "FAILPOINT site bogus")[0], &error)
+                    .ok());
+    EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+  } else {
+    Status error;
+    ASSERT_TRUE(net::ParseErrLine(reply[0], &error).ok()) << reply[0];
+    EXPECT_EQ(error.code(), StatusCode::kNotSupported);
+  }
+  server.Stop();
+  failpoint::Reset();
+}
+
+TEST(NetServerTest, IdleConnectionsAreReapedQuietly) {
+  std::unique_ptr<RcjEnvironment> env = BuildEnv(200, 971);
+  RouterFixture fixture({{"default", env.get()}});
+  NetServerOptions options;
+  options.idle_timeout_ms = 150;
+  NetServer server(&fixture.router, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A connection that never sends a request line: the reaper closes it
+  // quietly — EOF, no ERR bytes — instead of holding the slot forever.
+  const int idle_fd = ConnectLoopback(server.port());
+  char chunk[64];
+  const ssize_t got = recv(idle_fd, chunk, sizeof(chunk), 0);
+  EXPECT_EQ(got, 0) << "idle close must be quiet, got bytes or an error";
+  close(idle_fd);
+
+  // The reaped connection did not poison the server: a real query on a
+  // fresh connection still streams in full.
+  const Response response = RunQuery(server.port(), "QUERY algo=obj");
+  EXPECT_TRUE(response.saw_end);
+  EXPECT_GT(response.pairs.size(), 0u);
+
+  server.Stop();
+  const NetServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.idle_closed, 1u);
+  EXPECT_EQ(counters.rejected, 0u)
+      << "an idle reap is not a malformed-request rejection";
 }
 
 }  // namespace

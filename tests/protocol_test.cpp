@@ -550,6 +550,97 @@ TEST(ProtocolMutationTest, AckLineRoundTrips) {
   EXPECT_FALSE(ParseMutationAckLine(good + " epoch=1", &ignored).ok());
 }
 
+TEST(ProtocolDeadlineTest, DeadlineMsParsesAndRoundTrips) {
+  WireRequest request;
+  ASSERT_TRUE(
+      ParseRequestLine("QUERY algo=obj deadline_ms=2500", &request).ok());
+  EXPECT_EQ(request.deadline_ms, 2500u);
+
+  // Absent on the wire means none (the struct default).
+  WireRequest bare;
+  ASSERT_TRUE(ParseRequestLine("QUERY algo=obj", &bare).ok());
+  EXPECT_EQ(bare.deadline_ms, 0u);
+
+  // Round trip through FormatRequestLine — the proxy re-serializes the
+  // remaining budget per backend attempt through this path.
+  WireRequest reparsed;
+  ASSERT_TRUE(ParseRequestLine(FormatRequestLine(request), &reparsed).ok());
+  EXPECT_EQ(reparsed.deadline_ms, 2500u);
+  EXPECT_EQ(FormatRequestLine(bare).find("deadline_ms"), std::string::npos)
+      << "no-deadline requests must not grow a deadline on relay";
+}
+
+TEST(ProtocolDeadlineTest, DeadlineMsRejectsZeroAndGarbage) {
+  WireRequest request;
+  EXPECT_EQ(ParseRequestLine("QUERY deadline_ms=0", &request).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_FALSE(ParseRequestLine("QUERY deadline_ms=-5", &request).ok());
+  EXPECT_FALSE(ParseRequestLine("QUERY deadline_ms=soon", &request).ok());
+  EXPECT_FALSE(
+      ParseRequestLine("QUERY deadline_ms=1 deadline_ms=2", &request).ok());
+}
+
+TEST(ProtocolEpochTest, RequestLineRoundTrips) {
+  EXPECT_EQ(FormatEpochRequestLine("default"), "EPOCH");
+  EXPECT_EQ(FormatEpochRequestLine("west"), "EPOCH env=west");
+
+  EXPECT_TRUE(IsEpochRequestLine("EPOCH"));
+  EXPECT_TRUE(IsEpochRequestLine("EPOCH env=west"));
+  EXPECT_FALSE(IsEpochRequestLine("epoch"));
+  EXPECT_FALSE(IsEpochRequestLine("QUERY"));
+
+  std::string env;
+  ASSERT_TRUE(ParseEpochRequestLine("EPOCH", &env).ok());
+  EXPECT_EQ(env, "default");
+  ASSERT_TRUE(ParseEpochRequestLine("EPOCH env=west", &env).ok());
+  EXPECT_EQ(env, "west");
+  EXPECT_FALSE(ParseEpochRequestLine("EPOCH west", &env).ok());
+  EXPECT_FALSE(ParseEpochRequestLine("EPOCH env=bad/name", &env).ok());
+  EXPECT_FALSE(ParseEpochRequestLine("EPOCH env=a env=b", &env).ok());
+}
+
+TEST(ProtocolEpochTest, ResponseLineRoundTrips) {
+  std::string env;
+  uint64_t epoch = 0;
+  ASSERT_TRUE(
+      ParseEpochResponseLine(FormatEpochResponseLine("west", 12345), &env,
+                             &epoch)
+          .ok());
+  EXPECT_EQ(env, "west");
+  EXPECT_EQ(epoch, 12345u);
+
+  EXPECT_FALSE(ParseEpochResponseLine("EPOCH env=west", &env, &epoch).ok());
+  EXPECT_FALSE(ParseEpochResponseLine("EPOCH epoch=5", &env, &epoch).ok());
+  EXPECT_FALSE(
+      ParseEpochResponseLine("EPOCH env=west epoch=soon", &env, &epoch)
+          .ok());
+  EXPECT_FALSE(
+      ParseEpochResponseLine("EPOCH env=b/d epoch=5", &env, &epoch).ok());
+}
+
+TEST(ProtocolFailpointTest, LineRoundTripsAndKeepsMultiTokenSpecs) {
+  EXPECT_TRUE(IsFailpointRequestLine("FAILPOINT wal_sync err"));
+  EXPECT_FALSE(IsFailpointRequestLine("failpoint wal_sync err"));
+
+  std::string site, spec;
+  ASSERT_TRUE(
+      ParseFailpointLine(FormatFailpointLine("wal_sync", "1in 3 seed 7 err"),
+                         &site, &spec)
+          .ok());
+  EXPECT_EQ(site, "wal_sync");
+  EXPECT_EQ(spec, "1in 3 seed 7 err");
+
+  ASSERT_TRUE(ParseFailpointLine("FAILPOINT compact_swap off", &site, &spec)
+                  .ok());
+  EXPECT_EQ(site, "compact_swap");
+  EXPECT_EQ(spec, "off");
+
+  EXPECT_FALSE(ParseFailpointLine("FAILPOINT", &site, &spec).ok());
+  EXPECT_FALSE(ParseFailpointLine("FAILPOINT wal_sync", &site, &spec).ok());
+  EXPECT_FALSE(
+      ParseFailpointLine("FAILPOINT s!te err", &site, &spec).ok());
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace rcj

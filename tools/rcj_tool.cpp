@@ -16,6 +16,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -37,6 +38,7 @@
 #include "fleet/fleet_proxy.h"
 #include "fleet/fleet_supervisor.h"
 #include "live/live_environment.h"
+#include "live/mutation_log.h"
 #include "net/line_reader.h"
 #include "net/net_server.h"
 #include "net/protocol.h"
@@ -95,9 +97,24 @@ int Usage() {
       "           [--slow-query-ms MS]  (record queries slower than MS in\n"
       "                         the slow-query log, dumped via METRICS;\n"
       "                         network mode only; 0 = record every query)\n"
+      "           [--wal-dir DIR]  (with --live: durable mutation journal —\n"
+      "                         replayed on startup, appended before every\n"
+      "                         mutation is applied, checkpointed by\n"
+      "                         COMPACT)\n"
+      "           [--wal-sync-ms MS]  (group-commit window: fdatasync at\n"
+      "                         most once per MS; 0 = sync every append)\n"
+      "           [--idle-timeout-ms MS]  (reap connections idle longer\n"
+      "                         than MS between requests; 0 = never;\n"
+      "                         network mode only)\n"
       "  rcj_tool client [--host H] --port P [--env NAME]\n"
       "           [--algo brute|inj|bij|obj] [--order dfs|random]\n"
       "           [--verify 0|1] [--seed S] [--limit K] [--io-ms F]\n"
+      "           [--deadline-ms MS]  (end-to-end budget; the server sheds\n"
+      "                         the query with ERR DeadlineExceeded once\n"
+      "                         it expires; 0 = none)\n"
+      "           [--expect-shed]  (exit 0 when the server sheds the query\n"
+      "                         with Overloaded/DeadlineExceeded — for\n"
+      "                         overload drills; other ERRs still fail)\n"
       "           [--out PAIRS.csv] [--quiet]\n"
       "           [--trace]    (request the query's span tree: the server\n"
       "                         appends TRACE lines after END, printed as\n"
@@ -114,6 +131,9 @@ int Usage() {
       "                        (send the file's INSERT/DELETE/COMPACT lines\n"
       "                         to the server as one batched connection;\n"
       "                         --env names the target of env-less lines)\n"
+      "  rcj_tool client [--host H] --port P [--env NAME] --epoch\n"
+      "                        (probe the environment's mutation epoch;\n"
+      "                         prints 'name epoch')\n"
       "  rcj_tool proxy --backends H:P,H:P,... [--port P] [--replicas R]\n"
       "           [--retry-attempts N] [--retry-base-ms MS]\n"
       "           [--retry-max-ms MS] [--slow-query-ms MS]\n"
@@ -130,6 +150,11 @@ int Usage() {
       "                         on ephemeral ports behind one proxy; dead\n"
       "                         backends are respawned; remaining flags\n"
       "                         pass through to every backend's serve)\n"
+      "           [--wal-dir DIR]  (with --live: per-backend journals in\n"
+      "                         DIR/backend-<i>; a respawned backend\n"
+      "                         replays its journal, is fed the mutations\n"
+      "                         it missed, and rejoins the read window\n"
+      "                         only once its epochs match the primary)\n"
       "  storage knobs (join/batch/serve — where the R-tree pages live):\n"
       "           [--storage mem|file|mmap]  (default mem; file = pread,\n"
       "                         mmap = memory-mapped reads)\n"
@@ -461,11 +486,14 @@ Result<std::unique_ptr<RcjEnvironment>> BuildEnvFromFlags(
 
 // Builds a LiveEnvironment from the --q/--p/--self datasets (the live
 // front end of join --mutations and serve --live). `options` must already
-// be parsed.
+// be parsed. With a non-empty `wal_dir` the environment is durable: the
+// journal there is replayed first (the datasets only seed a journal that
+// has no checkpoint yet), and every later mutation is logged before it is
+// applied.
 Result<std::unique_ptr<LiveEnvironment>> BuildLiveFromFlags(
     const char* cmd, const std::map<std::string, std::string>& flags,
     const RcjRunOptions& options, size_t compact_threshold,
-    int* exit_code) {
+    const std::string& wal_dir, int wal_sync_ms, int* exit_code) {
   std::string q_path;
   std::string p_path;
   bool self = false;
@@ -477,22 +505,64 @@ Result<std::unique_ptr<LiveEnvironment>> BuildLiveFromFlags(
     *exit_code = 1;
     return status;
   };
-  Result<Dataset> qset = LoadCsv(q_path);
-  if (!qset.ok()) return fail(qset.status());
+
+  std::unique_ptr<MutationLog> log;
+  WalRecovery recovery;
+  if (!wal_dir.empty()) {
+    MutationLogOptions log_options;
+    log_options.dir = wal_dir;
+    log_options.sync_interval_ms = wal_sync_ms;
+    Result<std::unique_ptr<MutationLog>> opened =
+        MutationLog::Open(log_options, &recovery);
+    if (!opened.ok()) return fail(opened.status());
+    log = std::move(opened).value();
+    if (recovery.has_snapshot && recovery.self_join != self) {
+      return fail(Status::InvalidArgument(
+          std::string(wal_dir) + " holds a checkpoint of a " +
+          (recovery.self_join ? "self" : "two-dataset") +
+          "-join environment but the flags describe the other flavour"));
+    }
+  }
+
   LiveOptions live_options;
   live_options.build = options;
   live_options.compact_threshold = compact_threshold;
+  live_options.initial_epoch = recovery.snapshot_epoch;
   Result<std::unique_ptr<LiveEnvironment>> live(
       Status::InvalidArgument("not yet built"));
-  if (self) {
+  if (recovery.has_snapshot) {
+    // The checkpoint supersedes the CSVs: it is the folded image of what
+    // the environment actually contained when it last compacted.
+    live = self ? LiveEnvironment::CreateSelf(recovery.base_q, live_options)
+                : LiveEnvironment::Create(recovery.base_q, recovery.base_p,
+                                          live_options);
+  } else if (self) {
+    Result<Dataset> qset = LoadCsv(q_path);
+    if (!qset.ok()) return fail(qset.status());
     live = LiveEnvironment::CreateSelf(qset.value().points, live_options);
   } else {
+    Result<Dataset> qset = LoadCsv(q_path);
+    if (!qset.ok()) return fail(qset.status());
     Result<Dataset> pset = LoadCsv(p_path);
     if (!pset.ok()) return fail(pset.status());
     live = LiveEnvironment::Create(qset.value().points, pset.value().points,
                                    live_options);
   }
   if (!live.ok()) return fail(live.status());
+
+  if (log != nullptr) {
+    // Replay before attaching: recovered records must not re-journal.
+    const Status replayed = ReplayRecovery(recovery, live.value().get());
+    if (!replayed.ok()) return fail(replayed);
+    live.value()->AttachLog(std::move(log));
+    std::printf("%s: recovered %s from %s (snapshot epoch %llu, %zu journal "
+                "records replayed, %llu torn bytes truncated)\n",
+                cmd, recovery.has_snapshot ? "checkpoint" : "journal",
+                wal_dir.c_str(),
+                static_cast<unsigned long long>(recovery.snapshot_epoch),
+                recovery.records.size(),
+                static_cast<unsigned long long>(recovery.truncated_bytes));
+  }
   return live;
 }
 
@@ -573,7 +643,8 @@ int CmdJoin(const std::map<std::string, std::string>& flags) {
       return exit_code;
     }
     Result<std::unique_ptr<LiveEnvironment>> built = BuildLiveFromFlags(
-        "join", flags, options, /*compact_threshold=*/0, &exit_code);
+        "join", flags, options, /*compact_threshold=*/0, /*wal_dir=*/"",
+        /*wal_sync_ms=*/0, &exit_code);
     if (!built.ok()) return exit_code;
     live = std::move(built).value();
     if (!ApplyMutationFile("join", mutations, live.get())) return 1;
@@ -884,6 +955,30 @@ int CmdServeNetwork(const std::map<std::string, std::string>& flags) {
                  "environments never compact)\n");
     return 2;
   }
+  const std::string wal_dir = FlagOr(flags, "wal-dir", "");
+  if (!wal_dir.empty() && !live_mode) {
+    std::fprintf(stderr,
+                 "serve: --wal-dir needs --live (static environments have "
+                 "no mutations to journal)\n");
+    return 2;
+  }
+  size_t wal_sync_ms = 0;
+  if (!ParseCount(FlagOr(flags, "wal-sync-ms", "0"), 60000, &wal_sync_ms)) {
+    std::fprintf(stderr, "serve: invalid --wal-sync-ms '%s' (want 0..60000)\n",
+                 FlagOr(flags, "wal-sync-ms", "0").c_str());
+    return 2;
+  }
+  if (wal_sync_ms != 0 && wal_dir.empty()) {
+    std::fprintf(stderr, "serve: --wal-sync-ms needs --wal-dir\n");
+    return 2;
+  }
+  size_t idle_timeout_ms = 0;
+  if (!ParseCount(FlagOr(flags, "idle-timeout-ms", "0"), 86400000,
+                  &idle_timeout_ms)) {
+    std::fprintf(stderr, "serve: invalid --idle-timeout-ms '%s'\n",
+                 FlagOr(flags, "idle-timeout-ms", "0").c_str());
+    return 2;
+  }
 
   RcjRunOptions options;
   int exit_code = 0;
@@ -894,7 +989,8 @@ int CmdServeNetwork(const std::map<std::string, std::string>& flags) {
       return exit_code;
     }
     Result<std::unique_ptr<LiveEnvironment>> built = BuildLiveFromFlags(
-        "serve", flags, options, compact_threshold, &exit_code);
+        "serve", flags, options, compact_threshold, wal_dir,
+        static_cast<int>(wal_sync_ms), &exit_code);
     if (!built.ok()) return exit_code;
     live = std::move(built).value();
   } else {
@@ -930,6 +1026,7 @@ int CmdServeNetwork(const std::map<std::string, std::string>& flags) {
 
   NetServerOptions server_options;
   server_options.port = static_cast<uint16_t>(port);
+  server_options.idle_timeout_ms = static_cast<int>(idle_timeout_ms);
   const auto slow_it = flags.find("slow-query-ms");
   if (slow_it != flags.end()) {
     if (!net::ParseDoubleField("slow_query_ms", slow_it->second,
@@ -964,14 +1061,16 @@ int CmdServeNetwork(const std::map<std::string, std::string>& flags) {
   if (live != nullptr) router.ReleaseEnvironment("default");
   const NetServer::Counters counters = server.counters();
   std::printf("shut down: %llu connections | %llu ok | %llu rejected | "
-              "%llu shed | %llu cancelled | %llu failed | %llu stats | "
-              "%llu mutations\n",
+              "%llu shed | %llu expired | %llu cancelled | %llu failed | "
+              "%llu idle-closed | %llu stats | %llu mutations\n",
               static_cast<unsigned long long>(counters.connections),
               static_cast<unsigned long long>(counters.ok),
               static_cast<unsigned long long>(counters.rejected),
               static_cast<unsigned long long>(counters.shed),
+              static_cast<unsigned long long>(counters.expired),
               static_cast<unsigned long long>(counters.cancelled),
               static_cast<unsigned long long>(counters.failed),
+              static_cast<unsigned long long>(counters.idle_closed),
               static_cast<unsigned long long>(counters.stats),
               static_cast<unsigned long long>(counters.mutations));
   return 0;
@@ -1144,6 +1243,45 @@ int CmdClientMetrics(const std::string& host, size_t port) {
   return exit_code;
 }
 
+// `client --epoch`: one EPOCH probe for --env, printed as "env epoch".
+// The chaos smoke uses it to assert a respawned backend's mutation epoch
+// matches the survivor's before comparing their query streams.
+int CmdClientEpoch(const std::string& host, size_t port,
+                   const std::string& env_name) {
+  const int fd = ConnectClient(host, port);
+  if (fd < 0) return -fd;
+  if (!net::SendAll(fd, net::FormatEpochRequestLine(env_name) + "\n")) {
+    std::fprintf(stderr, "client: send: %s\n", std::strerror(errno));
+    close(fd);
+    return 1;
+  }
+  net::LineReader reader(fd);
+  std::string line;
+  int exit_code = 1;
+  if (!reader.ReadLine(&line)) {
+    std::fprintf(stderr, "client: connection closed before a response\n");
+  } else if (line != "OK") {
+    Status err = Status::IoError("malformed response '" + line + "'");
+    net::ParseErrLine(line, &err);
+    std::fprintf(stderr, "client: %s\n", err.ToString().c_str());
+  } else if (!reader.ReadLine(&line)) {
+    std::fprintf(stderr, "client: connection closed before the epoch row\n");
+  } else {
+    std::string name;
+    uint64_t epoch = 0;
+    const Status parsed = net::ParseEpochResponseLine(line, &name, &epoch);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "client: %s\n", parsed.ToString().c_str());
+    } else {
+      std::printf("%s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(epoch));
+      exit_code = 0;
+    }
+  }
+  close(fd);
+  return exit_code;
+}
+
 // `client --mutations FILE`: sends the file's INSERT/DELETE/COMPACT lines
 // to the server, one request (= one connection) each, in order. Lines
 // without an env= field are bound to `env_name` (the --env flag). Exits
@@ -1225,6 +1363,9 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
   }
   if (flags.count("stats") != 0) return CmdClientStats(host, port);
   if (flags.count("metrics") != 0) return CmdClientMetrics(host, port);
+  if (flags.count("epoch") != 0) {
+    return CmdClientEpoch(host, port, FlagOr(flags, "env", "default"));
+  }
   if (flags.count("mutations") != 0) {
     return CmdClientMutations(host, port, FlagOr(flags, "env", "default"),
                               flags.at("mutations"));
@@ -1286,6 +1427,17 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
                  FlagOr(flags, "io-ms", "10").c_str());
     return 2;
   }
+  if (!ParseU64Flag("deadline-ms", FlagOr(flags, "deadline-ms", "0"),
+                    &request.deadline_ms)) {
+    std::fprintf(stderr, "client: invalid --deadline-ms '%s'\n",
+                 FlagOr(flags, "deadline-ms", "0").c_str());
+    return 2;
+  }
+  // --expect-shed: this invocation *wants* to be load-shed (an overload
+  // or deadline drill). ERR Overloaded / ERR DeadlineExceeded then exit
+  // 0; any other ERR still fails, so a smoke can't pass on the wrong
+  // error.
+  const bool expect_shed = flags.count("expect-shed") != 0;
 
   const int fd = ConnectClient(host, port);
   if (fd < 0) return -fd;
@@ -1308,6 +1460,10 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
   }
   const bool quiet = flags.count("quiet") != 0;
 
+  const auto shed_like = [](const Status& err) {
+    return err.code() == StatusCode::kOverloaded ||
+           err.code() == StatusCode::kDeadlineExceeded;
+  };
   net::LineReader reader(fd);
   std::string line;
   int exit_code = 1;
@@ -1315,8 +1471,12 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "client: connection closed before a response\n");
   } else if (line != "OK") {
     Status err = Status::IoError("malformed response '" + line + "'");
-    net::ParseErrLine(line, &err);
+    const bool parsed = net::ParseErrLine(line, &err).ok();
     std::fprintf(stderr, "client: %s\n", err.ToString().c_str());
+    if (expect_shed && parsed && shed_like(err)) {
+      std::fprintf(stderr, "client: shed as expected (--expect-shed)\n");
+      exit_code = 0;
+    }
   } else {
     std::fprintf(out_file, "p_id,q_id,center_x,center_y,radius\n");
     uint64_t streamed = 0;
@@ -1400,6 +1560,10 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
         break;
       } else if (net::ParseErrLine(line, &err).ok()) {
         std::fprintf(stderr, "client: %s\n", err.ToString().c_str());
+        if (expect_shed && shed_like(err)) {
+          std::fprintf(stderr, "client: shed as expected (--expect-shed)\n");
+          exit_code = 0;
+        }
         break;
       } else {
         std::fprintf(stderr, "client: malformed line '%s'\n", line.c_str());
@@ -1421,7 +1585,8 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   // nothing without the network server, so refuse instead of ignoring.
   for (const char* network_only :
        {"shards", "max-queue", "max-inflight", "envs", "live",
-        "compact-threshold", "slow-query-ms"}) {
+        "compact-threshold", "slow-query-ms", "wal-dir", "wal-sync-ms",
+        "idle-timeout-ms"}) {
     if (flags.count(network_only) != 0) {
       std::fprintf(stderr,
                    "serve: --%s needs the network server (add --port)\n",
@@ -1617,14 +1782,16 @@ void PrintProxyCounters(const fleet::FleetProxy& proxy) {
   const fleet::BackendPool::Counters pool = proxy.pool().counters();
   std::printf(
       "shut down: %llu connections | %llu queries | %llu ok | "
-      "%llu rejected | %llu shed | %llu failed | %llu cancelled | "
-      "%llu retries | %llu failovers | %llu backoffs | %llu stats | "
-      "%llu mutations | %llu dials | %llu pooled\n",
+      "%llu rejected | %llu shed | %llu expired | %llu failed | "
+      "%llu cancelled | %llu retries | %llu failovers | %llu backoffs | "
+      "%llu stats | %llu mutations | %llu catchups | %llu dials | "
+      "%llu pooled\n",
       static_cast<unsigned long long>(counters.connections),
       static_cast<unsigned long long>(counters.queries),
       static_cast<unsigned long long>(counters.ok),
       static_cast<unsigned long long>(counters.rejected),
       static_cast<unsigned long long>(counters.shed),
+      static_cast<unsigned long long>(counters.expired),
       static_cast<unsigned long long>(counters.failed),
       static_cast<unsigned long long>(counters.cancelled),
       static_cast<unsigned long long>(counters.retries),
@@ -1632,6 +1799,7 @@ void PrintProxyCounters(const fleet::FleetProxy& proxy) {
       static_cast<unsigned long long>(counters.backoffs),
       static_cast<unsigned long long>(counters.stats),
       static_cast<unsigned long long>(counters.mutations),
+      static_cast<unsigned long long>(counters.catchups),
       static_cast<unsigned long long>(pool.dials),
       static_cast<unsigned long long>(pool.reuses));
 }
@@ -1712,7 +1880,7 @@ int CmdFleet(int argc, char** argv) {
     bool fleet_only = false;
     for (const char* own :
          {"backends", "port", "replicas", "log-dir", "no-respawn",
-          "retry-attempts", "retry-base-ms", "retry-max-ms"}) {
+          "retry-attempts", "retry-base-ms", "retry-max-ms", "wal-dir"}) {
       if (key == own) {
         fleet_only = true;
         break;
@@ -1724,6 +1892,22 @@ int CmdFleet(int argc, char** argv) {
     }
     supervisor_options.serve_args.push_back(argv[i]);
     if (has_value) supervisor_options.serve_args.push_back(argv[++i]);
+  }
+  // --wal-dir is split per backend: journals are the state each process
+  // must own alone, and a respawn finding its predecessor's journal is
+  // the whole point of passing the same extras again.
+  const std::string wal_dir = FlagOr(flags, "wal-dir", "");
+  if (!wal_dir.empty()) {
+    if (mkdir(wal_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "fleet: mkdir %s: %s\n", wal_dir.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    supervisor_options.per_backend_args.resize(backends);
+    for (size_t i = 0; i < backends; ++i) {
+      supervisor_options.per_backend_args[i] = {
+          "--wal-dir", wal_dir + "/backend-" + std::to_string(i)};
+    }
   }
 
   fleet::FleetSupervisor supervisor(supervisor_options);
@@ -1756,11 +1940,31 @@ int CmdFleet(int argc, char** argv) {
     poll(nullptr, 0, 200);
     supervisor.Supervise([&proxy](size_t index,
                                   const fleet::BackendAddress& address) {
+      // Excluded first, address second: the respawned process recovered
+      // only its own journal and may trail the mutations relayed while
+      // it was down — it must not serve reads until CatchUp() below
+      // proves its epochs match.
+      proxy.SetExcluded(index, true);
       proxy.SetBackendAddress(index, address);
-      std::printf("respawned backend %zu at %s\n", index,
-                  fleet::BackendAddressToString(address).c_str());
+      std::printf("respawned backend %zu at %s (excluded pending "
+                  "catch-up)\n",
+                  index, fleet::BackendAddressToString(address).c_str());
       std::fflush(stdout);
     });
+    // Readmission pass: any excluded backend with a live process gets a
+    // catch-up attempt (mutation relays exclude dead replicas on their
+    // own, before the supervisor even reaps them). Failures simply retry
+    // next loop — the backend stays excluded, reads degrade gracefully.
+    for (size_t i = 0; i < backends; ++i) {
+      if (!proxy.excluded(i) || supervisor.pid(i) <= 0) continue;
+      const Status caught_up = proxy.CatchUp(i);
+      if (caught_up.ok()) {
+        std::printf("backend %zu caught up; readmitted to the read "
+                    "window\n",
+                    i);
+        std::fflush(stdout);
+      }
+    }
   }
   proxy.Stop();
   supervisor.Stop();
